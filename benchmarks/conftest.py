@@ -1,0 +1,52 @@
+"""Benchmark fixtures: bench-scale cases shared across the suite.
+
+Everything here runs at the 'bench' preset (~1/50 of the paper's voxel
+counts, structure-preserving); matrices are cached on disk after the first
+build, so repeated benchmark runs start fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import case_weights, prepare_input_matrix
+from repro.plans.cases import build_case_matrix
+
+
+@pytest.fixture(scope="session")
+def liver1():
+    """Liver beam 1 at bench scale (the paper's headline case)."""
+    return build_case_matrix("Liver 1", preset="bench")
+
+
+@pytest.fixture(scope="session")
+def liver1_half(liver1):
+    return prepare_input_matrix("half_double", "Liver 1", "bench")
+
+
+@pytest.fixture(scope="session")
+def liver1_single(liver1):
+    return prepare_input_matrix("single", "Liver 1", "bench")
+
+
+@pytest.fixture(scope="session")
+def liver1_rscf(liver1):
+    return prepare_input_matrix("gpu_baseline", "Liver 1", "bench")
+
+
+@pytest.fixture(scope="session")
+def liver1_weights(liver1):
+    return case_weights("Liver 1", liver1.n_spots)
+
+
+def assert_paper_bands(report) -> None:
+    """Fail with a readable message when a claim leaves its paper band."""
+    from repro.bench.recording import failed_claims
+
+    bad = failed_claims(report)
+    assert not bad, "; ".join(
+        f"{c.claim}={c.measured:.4g} outside {c.band} "
+        f"(paper {c.paper_value}, {c.source})"
+        for c in bad
+    )

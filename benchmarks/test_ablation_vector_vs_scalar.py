@@ -1,0 +1,48 @@
+"""Ablation — warp-per-row vs thread-per-row (the paper's Section III choice).
+
+The paper assigns one warp per row "mainly ... a more favourable memory
+access pattern": consecutive lanes read consecutive elements.  This bench
+quantifies the choice on the real matrices: the scalar kernel pays an
+uncoalesced L2 penalty plus warp divergence proportional to the row-length
+spread.
+"""
+
+import pytest
+
+from repro.bench.harness import run_spmv_experiment
+from repro.plans.cases import case_names
+
+
+@pytest.fixture(scope="module")
+def results():
+    out = {}
+    for case in ("Liver 1", "Prostate 1"):
+        for kernel in ("single", "scalar_csr"):
+            out[(case, kernel)] = run_spmv_experiment(kernel, case)
+    return out
+
+
+def test_vector_beats_scalar_everywhere(benchmark, results):
+    def speedups():
+        return {
+            case: results[(case, "scalar_csr")].time_s
+            / results[(case, "single")].time_s
+            for case in ("Liver 1", "Prostate 1")
+        }
+
+    ratio = benchmark.pedantic(speedups, rounds=1, iterations=1)
+    print()
+    for case, s in ratio.items():
+        print(f"  {case}: warp-per-row is {s:.1f}x faster than thread-per-row")
+    for case, s in ratio.items():
+        assert s > 1.5, case
+
+
+def test_scalar_penalty_is_l2_or_divergence(results):
+    row = results[("Liver 1", "scalar_csr")]
+    assert row.limiter in ("l2", "dram")
+    # Divergence waste: executed lane-slots far exceed nnz.
+    vec = results[("Liver 1", "single")]
+    assert (
+        row.operational_intensity <= vec.operational_intensity * 1.05
+    )

@@ -1,0 +1,58 @@
+"""Section V-B / VII — CPU-to-GPU speedups.
+
+"the GPU port of the RayStation code already shows a 17x speedup when
+compared to the CPU implementation" and "with our modified CSR kernel,
+the performance improvement is even larger at 46x".
+"""
+
+import pytest
+
+from repro.bench.harness import run_spmv_experiment
+from repro.plans.cases import case_names
+
+
+@pytest.fixture(scope="module")
+def times():
+    out = {}
+    for case in case_names():
+        for kernel in ("cpu_raystation", "gpu_baseline", "half_double"):
+            out[(case, kernel)] = run_spmv_experiment(kernel, case).time_s
+    return out
+
+
+def test_cpu_speedups(benchmark, times):
+    def ratios():
+        baseline = [
+            times[(c, "cpu_raystation")] / times[(c, "gpu_baseline")]
+            for c in case_names()
+        ]
+        ours = [
+            times[(c, "cpu_raystation")] / times[(c, "half_double")]
+            for c in case_names()
+        ]
+        return baseline, ours
+
+    baseline, ours = benchmark.pedantic(ratios, rounds=1, iterations=1)
+    print()
+    for c, b, o in zip(case_names(), baseline, ours):
+        print(f"  {c:11s} baseline {b:5.1f}x  half/double {o:5.1f}x over CPU")
+    # Paper: 17x for the port; our bands allow 13-21x per case.
+    for b in baseline:
+        assert 13 <= b <= 21
+    # Paper: 46x for the contributed kernel; bands 38-70x per case.
+    for o in ours:
+        assert 38 <= o <= 70
+
+
+def test_speedup_consistency(benchmark, times):
+    # half_double/cpu must equal (baseline/cpu) x (half_double speedup).
+    def check():
+        for c in case_names():
+            lhs = times[(c, "cpu_raystation")] / times[(c, "half_double")]
+            rhs = (
+                times[(c, "cpu_raystation")] / times[(c, "gpu_baseline")]
+            ) * (times[(c, "gpu_baseline")] / times[(c, "half_double")])
+            assert lhs == pytest.approx(rhs)
+        return True
+
+    assert benchmark.pedantic(check, rounds=1, iterations=1)

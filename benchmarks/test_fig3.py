@@ -1,0 +1,56 @@
+"""Figure 3 — roofline analysis on the A100.
+
+Regenerates the roofline placement of Half/Double, Single, cuSPARSE and
+Ginkgo on liver 1/4 and prostate 1, asserting:
+
+* the analytic OI upper bound for liver beam 1 is the paper's 0.332;
+* the simulator's measured OI agrees with the analytic bound within 5 %
+  (the paper's observation that the infinite-cache model is accurate);
+* the Half/Double points sit at higher OI than every single-precision
+  kernel.
+"""
+
+import pytest
+
+from benchmarks.conftest import assert_paper_bands
+from repro.bench.experiments import exp_fig3
+
+
+@pytest.fixture(scope="module")
+def report():
+    return exp_fig3()
+
+
+def test_fig3_regenerate(benchmark):
+    rep = benchmark.pedantic(exp_fig3, rounds=1, iterations=1)
+    print()
+    print(rep.render())
+    assert_paper_bands(rep)
+
+
+def test_fig3_oi_bound_is_0332(report):
+    assert report.claims["analytic_oi_liver1_half_double"] == pytest.approx(
+        0.332, abs=0.002
+    )
+
+
+def test_fig3_measured_tracks_analytic(report):
+    assert report.claims["oi_model_error_liver1"] < 0.05
+
+
+def test_fig3_half_double_highest_oi(report):
+    by_kernel = {}
+    for row in report.rows:
+        by_kernel.setdefault(row.kernel, []).append(row.operational_intensity)
+    hd_min = min(by_kernel["half_double"])
+    for kernel in ("single", "cusparse", "ginkgo"):
+        assert hd_min > max(by_kernel[kernel])
+
+
+def test_fig3_all_memory_bound(report):
+    from repro.gpu.device import A100
+    from repro.roofline.model import Roofline
+
+    roof = Roofline.for_device(A100)
+    for row in report.rows:
+        assert roof.is_memory_bound(row.operational_intensity)

@@ -1,0 +1,56 @@
+"""Figure 4 — execution-configuration sweep on liver beam 1.
+
+The paper sweeps 32..1024 threads per block and picks 512 for the
+Half/Double and Single kernels (128 for the Baseline).  We assert the
+same sweep shape: 512 within 3 % of the sweep optimum for our kernels,
+tiny blocks clearly worse, and the baseline's spread small.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import assert_paper_bands
+from repro.bench.experiments import FIG4_BLOCK_SIZES, exp_fig4
+
+
+@pytest.fixture(scope="module")
+def report():
+    return exp_fig4()
+
+
+def test_fig4_regenerate(benchmark):
+    rep = benchmark.pedantic(exp_fig4, rounds=1, iterations=1)
+    print()
+    print(rep.render())
+    assert_paper_bands(rep)
+
+
+def _series(report, kernel):
+    rows = [r for r in report.rows if r.kernel == kernel]
+    return {r.threads_per_block: r.gflops for r in rows}
+
+
+def test_fig4_512_near_optimal_for_our_kernels(report):
+    for kernel in ("half_double", "single"):
+        series = _series(report, kernel)
+        assert series[512] >= 0.97 * max(series.values()), kernel
+
+
+def test_fig4_tiny_blocks_clearly_worse(report):
+    series = _series(report, "half_double")
+    assert series[32] <= 0.92 * max(series.values())
+
+
+def test_fig4_monotone_ramp_from_32(report):
+    series = _series(report, "half_double")
+    gf = [series[b] for b in FIG4_BLOCK_SIZES]
+    # Rising through the small sizes (the occupancy/turnover regime).
+    assert gf[0] < gf[1] < gf[2]
+
+
+def test_fig4_baseline_insensitive(report):
+    # "the performance is also similar for different execution
+    # configurations" (the baseline is atomic-bound).
+    series = _series(report, "gpu_baseline")
+    values = np.array(list(series.values()))
+    assert values.max() / values.min() < 1.15

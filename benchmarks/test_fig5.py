@@ -1,0 +1,83 @@
+"""Figure 5 — performance of the three GPU implementations on the A100.
+
+Regenerates the paper's central result on all six beams and asserts the
+headline claims:
+
+* Half/Double beats the GPU Baseline by up to ~4x (average ~3x);
+* peak ~420 GFLOP/s for Half/Double on the liver cases;
+* 80-87 % of peak bandwidth on liver, ~68 % on prostate;
+* liver cases ~30 % faster than prostate cases;
+* Half/Double faster than Single everywhere (the OI argument);
+* the GPU port is ~17x faster than the clinical CPU implementation.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import assert_paper_bands
+from repro.bench.experiments import exp_fig5
+from repro.plans.cases import case_names
+
+
+@pytest.fixture(scope="module")
+def report():
+    return exp_fig5()
+
+
+def test_fig5_regenerate(benchmark):
+    rep = benchmark.pedantic(exp_fig5, rounds=1, iterations=1)
+    print()
+    print(rep.render())
+    assert_paper_bands(rep)
+
+
+def _by(report, kernel, field="gflops"):
+    return {
+        r.case: getattr(r, field) for r in report.rows if r.kernel == kernel
+    }
+
+
+def test_fig5_speedup_bands(report):
+    assert 3.2 <= report.claims["max_speedup_vs_baseline"] <= 4.6
+    assert 2.5 <= report.claims["avg_speedup_vs_baseline"] <= 3.8
+
+
+def test_fig5_peak_gflops(report):
+    assert report.claims["peak_gflops_half_double"] == pytest.approx(
+        420.0, rel=0.15
+    )
+
+
+def test_fig5_kernel_ordering_every_case(report):
+    hd = _by(report, "half_double", "time_s")
+    sg = _by(report, "single", "time_s")
+    bl = _by(report, "gpu_baseline", "time_s")
+    for case in case_names():
+        assert hd[case] < sg[case] < bl[case], case
+
+
+def test_fig5_liver_faster_than_prostate(report):
+    hd = _by(report, "half_double")
+    liver = np.mean([hd[c] for c in case_names() if c.startswith("Liver")])
+    prostate = np.mean([hd[c] for c in case_names() if c.startswith("Prostate")])
+    # "the liver use-cases often experience a 30% improvement".
+    assert 1.15 <= liver / prostate <= 1.6
+
+
+def test_fig5_bandwidth_fractions(report):
+    assert 0.75 <= report.claims["liver_bw_fraction_mean"] <= 0.90
+    assert 0.55 <= report.claims["prostate_bw_fraction_mean"] <= 0.78
+
+
+def test_fig5_cpu_speedups(report):
+    assert 13 <= report.claims["baseline_over_cpu_liver1"] <= 21
+    assert 38 <= report.claims["half_double_over_cpu_liver1"] <= 70
+
+
+def test_fig5_baseline_dram_bandwidth_low(report):
+    # The atomic traffic lives in L2, so the baseline's *DRAM* bandwidth
+    # is far below the streaming kernels' (the Figure 5 curves).
+    bl = _by(report, "gpu_baseline", "bandwidth_fraction")
+    hd = _by(report, "half_double", "bandwidth_fraction")
+    for case in case_names():
+        assert bl[case] < 0.5 * hd[case], case

@@ -1,0 +1,55 @@
+"""Wall-clock micro-benchmarks of the simulator's functional execution.
+
+These time the actual NumPy execution of each kernel at bench scale —
+useful for tracking the performance of this library itself (the modelled
+GPU times are what the figure benches report).
+"""
+
+import numpy as np
+import pytest
+
+from repro.gpu.device import A100
+from repro.kernels.baseline import GPUBaselineKernel
+from repro.kernels.cpu_raystation import CPURayStationKernel
+from repro.kernels.csr_vector import HalfDoubleKernel, SingleKernel, warp_csr_spmv_exact
+from repro.kernels.cusparse_model import CuSparseLikeKernel
+
+
+def test_wallclock_reference_matvec(benchmark, liver1, liver1_weights):
+    benchmark(liver1.matrix.matvec, liver1_weights)
+
+
+def test_wallclock_half_double_functional(benchmark, liver1_half, liver1_weights):
+    benchmark(warp_csr_spmv_exact, liver1_half, liver1_weights, np.float64)
+
+
+def test_wallclock_half_double_full_run(benchmark, liver1_half, liver1_weights):
+    kernel = HalfDoubleKernel()
+    result = benchmark(kernel.run, liver1_half, liver1_weights, A100)
+    assert result.gflops > 0
+
+
+def test_wallclock_single_full_run(benchmark, liver1_single, liver1_weights):
+    kernel = SingleKernel()
+    benchmark(kernel.run, liver1_single, liver1_weights, A100)
+
+
+def test_wallclock_cusparse_model(benchmark, liver1_single, liver1_weights):
+    kernel = CuSparseLikeKernel()
+    benchmark(kernel.run, liver1_single, liver1_weights, A100)
+
+
+def test_wallclock_baseline_atomics(benchmark, liver1_rscf, liver1_weights):
+    kernel = GPUBaselineKernel()
+    benchmark.pedantic(
+        lambda: kernel.run(liver1_rscf, liver1_weights, rng=0),
+        rounds=3, iterations=1,
+    )
+
+
+def test_wallclock_cpu_raystation(benchmark, liver1_rscf, liver1_weights):
+    kernel = CPURayStationKernel()
+    benchmark.pedantic(
+        lambda: kernel.run(liver1_rscf, liver1_weights),
+        rounds=3, iterations=1,
+    )

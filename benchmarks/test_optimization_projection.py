@@ -1,0 +1,77 @@
+"""Plan-optimization time projection — the paper's bottom line.
+
+"In practice, this can mean a significant speedup in optimization times
+and time-to-treatment for radiation therapy treatment planning"
+(Section VII).  This bench projects the dose-calculation time of a full
+4-beam liver optimization (300 iterations, forward + gradient products)
+for the CPU implementation, the GPU baseline and the contributed kernel —
+at paper scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import run_spmv_experiment
+from repro.plans.cases import case_names
+
+
+LIVER_BEAMS = ["Liver 1", "Liver 2", "Liver 3", "Liver 4"]
+N_ITERATIONS = 300
+
+
+@pytest.fixture(scope="module")
+def per_beam_times():
+    out = {}
+    for kernel in ("cpu_raystation", "gpu_baseline", "half_double"):
+        out[kernel] = sum(
+            run_spmv_experiment(kernel, case).time_s for case in LIVER_BEAMS
+        )
+    return out
+
+
+def test_optimization_time_projection(benchmark, per_beam_times):
+    def project():
+        # forward + transpose products per iteration.
+        return {
+            kernel: 2.0 * t * N_ITERATIONS
+            for kernel, t in per_beam_times.items()
+        }
+
+    totals = benchmark.pedantic(project, rounds=1, iterations=1)
+    print()
+    print(f"  projected dose-calculation time, 4-beam liver plan, "
+          f"{N_ITERATIONS} iterations:")
+    for kernel, t in totals.items():
+        print(f"    {kernel:15s} {t / 60:6.1f} minutes")
+    # The clinical story: ~tens of minutes of SpMV on CPU shrinks to
+    # seconds-to-a-minute on the A100.
+    assert totals["cpu_raystation"] > 10 * 60  # > 10 minutes
+    assert totals["half_double"] < 60          # < 1 minute
+    assert totals["cpu_raystation"] / totals["half_double"] > 38
+    assert totals["cpu_raystation"] / totals["gpu_baseline"] > 13
+
+
+def test_batched_launch_amortization(benchmark):
+    from repro.bench.harness import case_weights, prepare_input_matrix
+    from repro.kernels.batched import project_optimization, run_plan_spmv
+    from repro.kernels.csr_vector import HalfDoubleKernel
+
+    def run():
+        kernel = HalfDoubleKernel()
+        mats, ws = [], []
+        # Two prostate beams share a grid -> a valid batched plan.
+        for case in ("Prostate 1", "Prostate 2"):
+            m = prepare_input_matrix("half_double", case, "bench")
+            mats.append(m)
+            ws.append(case_weights(case, m.n_cols))
+        return run_plan_spmv(kernel, mats, ws)
+
+    plan = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert plan.batched_time_s < plan.unbatched_time_s
+    assert plan.launch_overhead_saved_s > 0
+    assert plan.total_dose.shape == plan.per_beam[0].y.shape
+
+    projection = project_optimization(plan, "half_double", "A100")
+    assert projection.total_time_s == pytest.approx(
+        2 * 300 * plan.batched_time_s
+    )

@@ -1,0 +1,63 @@
+"""Section II-D — the bitwise-reproducibility requirement.
+
+RayStation requires the dose calculation to produce exactly the same bits
+on repeated runs of the same system.  This bench verifies both sides at
+bench scale:
+
+* our Half/Double kernel: bit-identical across repeated runs;
+* the GPU Baseline: different low-order bits between runs (atomic commit
+  order), numerically harmless but clinically disqualifying.
+"""
+
+import numpy as np
+
+from repro.kernels.baseline import GPUBaselineKernel
+from repro.kernels.csr_vector import HalfDoubleKernel
+from repro.precision.reproducibility import ReproducibilityChecker
+
+
+RUNS = 5
+
+
+def test_half_double_bitwise_reproducible(
+    benchmark, liver1_half, liver1_weights
+):
+    kernel = HalfDoubleKernel()
+
+    def run_many():
+        checker = ReproducibilityChecker(n_runs=RUNS)
+        return checker.check(lambda i: kernel.run(liver1_half, liver1_weights).y)
+
+    report = benchmark.pedantic(run_many, rounds=1, iterations=1)
+    assert report.bitwise_identical
+    assert report.max_ulp_spread == 0
+
+
+def test_baseline_not_reproducible(benchmark, liver1_rscf, liver1_weights):
+    kernel = GPUBaselineKernel()
+
+    def run_many():
+        checker = ReproducibilityChecker(n_runs=RUNS)
+        return checker.check(
+            lambda i: kernel.run(liver1_rscf, liver1_weights, rng=100 + i).y
+        )
+
+    report = benchmark.pedantic(run_many, rounds=1, iterations=1)
+    assert not report.bitwise_identical
+    # The spread is non-associativity noise, not a numerical error:
+    assert report.max_abs_spread < 1e-9
+
+
+def test_baseline_numerically_equivalent(benchmark, liver1, liver1_rscf,
+                                         liver1_weights):
+    # Non-reproducibility does not mean wrong: every run agrees with the
+    # reference to quantization accuracy.
+    kernel = GPUBaselineKernel()
+    ref = liver1.matrix.matvec(liver1_weights)
+
+    def run():
+        return kernel.run(liver1_rscf, liver1_weights, rng=7).y
+
+    y = benchmark.pedantic(run, rounds=1, iterations=1)
+    err = np.linalg.norm(y - ref) / np.linalg.norm(ref)
+    assert err < 1e-3

@@ -1,0 +1,53 @@
+"""Size-scaling sweep — testing the paper's small-matrix hypothesis.
+
+Section V-B speculates that the prostate cases' lower bandwidth "could be
+caused by the relatively smaller size of the prostate cases".  Sweeping
+one matrix's size over two orders of magnitude (structure held fixed via
+row subsampling) shows the efficiency falloff directly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.sweeps import size_sweep, subsample_rows
+
+
+def test_size_sweep_efficiency_falls_at_small_sizes(benchmark, liver1):
+    points = benchmark.pedantic(
+        lambda: size_sweep(liver1.matrix), rounds=1, iterations=1
+    )
+    print()
+    for p in points:
+        print(f"  {p.fraction:5.2f} of rows ({p.n_rows:6d}): "
+              f"{p.gflops:6.1f} GFLOP/s, {100 * p.bandwidth_fraction:4.0f}% BW")
+    # Efficiency is monotone-ish in size and collapses at 1 % scale.
+    assert points[-1].bandwidth_fraction > points[0].bandwidth_fraction
+    assert points[0].bandwidth_fraction < 0.5 * points[-1].bandwidth_fraction
+
+
+def test_subsample_preserves_structure(benchmark, liver1):
+    sub = benchmark.pedantic(
+        lambda: subsample_rows(liver1.matrix, 0.25, seed=1),
+        rounds=1, iterations=1,
+    )
+    full = liver1.matrix
+    assert sub.n_cols == full.n_cols
+    assert sub.n_rows == pytest.approx(0.25 * full.n_rows, rel=0.01)
+    # Density preserved within sampling noise.
+    assert sub.density == pytest.approx(full.density, rel=0.1)
+    # Row-length distribution statistically preserved.
+    full_mean = full.row_lengths()[full.row_lengths() > 0].mean()
+    sub_lengths = sub.row_lengths()
+    sub_mean = sub_lengths[sub_lengths > 0].mean()
+    assert sub_mean == pytest.approx(full_mean, rel=0.15)
+
+
+def test_subsample_validates_fraction(liver1):
+    with pytest.raises(ValueError):
+        subsample_rows(liver1.matrix, 0.0)
+    with pytest.raises(ValueError):
+        subsample_rows(liver1.matrix, 1.5)
+
+
+def test_full_fraction_is_identity(liver1):
+    assert subsample_rows(liver1.matrix, 1.0) is liver1.matrix

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Monte Carlo vs analytic pencil beam — where the matrix's noise comes from.
+
+The paper's deposition matrices come from RayStation's Monte Carlo engine
+and carry statistical noise that "can lead to an artificial increase of
+the non-zero values" (Section II-A).  This script compares our two dose
+engines on a single spot:
+
+1. the analytic pencil-beam kernel (smooth, compact support);
+2. the stochastic Monte Carlo transport at increasing particle counts —
+   converging to the analytic answer while scattering a tail of tiny
+   deposits into extra voxels (the nnz inflation).
+
+Run:  python examples/monte_carlo_vs_pencilbeam.py
+"""
+
+import numpy as np
+
+from repro import Beam, build_liver_phantom
+from repro.dose import (
+    MCConfig,
+    bragg_curve,
+    compute_beam_geometry,
+    mc_spot_dose,
+    spot_dose,
+)
+
+
+def main() -> None:
+    phantom = build_liver_phantom(shape=(24, 24, 16), spacing=(11.0, 11.0, 15.0))
+    iso = phantom.grid.voxel_centers()[phantom.target.voxel_indices].mean(axis=0)
+    beam = Beam("demo", gantry_angle_deg=0.0, isocenter_mm=tuple(iso))
+    geometry = compute_beam_geometry(phantom, beam)
+
+    # One mid-target energy layer.
+    target_wed = geometry.wed_mm[phantom.target.voxel_indices]
+    from repro.dose import energy_from_range_mm
+    energy = float(energy_from_range_mm(float(np.median(target_wed))))
+    curve = bragg_curve(energy)
+    print(f"spot energy {energy:.1f} MeV, range {curve.range_mm:.0f} mm water, "
+          f"Bragg peak at {curve.peak_depth_mm:.0f} mm")
+
+    analytic = spot_dose(geometry, curve, 0.0, 0.0, relative_cutoff=1e-4)
+    a_dense = np.zeros(phantom.grid.n_voxels)
+    a_dense[analytic.voxel_indices] = analytic.dose
+    print(f"\nanalytic pencil beam: {analytic.voxel_indices.size} voxels receive dose")
+
+    print(f"\n{'particles':>10s} {'voxels':>7s} {'extra nnz':>9s} "
+          f"{'rel L2 error':>12s}")
+    for n in (200, 1000, 5000, 20000):
+        mc = mc_spot_dose(
+            phantom, geometry, curve, 0.0, 0.0,
+            config=MCConfig(n_particles=n), rng=7,
+        )
+        m_dense = np.zeros(phantom.grid.n_voxels)
+        m_dense[mc.voxel_indices] = mc.dose
+        # Compare on the analytic support; normalize scales (the two
+        # engines use different per-particle normalizations).
+        scale = a_dense[analytic.voxel_indices].sum() / max(
+            m_dense[analytic.voxel_indices].sum(), 1e-300
+        )
+        err = np.linalg.norm(m_dense * scale - a_dense) / np.linalg.norm(a_dense)
+        extra = np.setdiff1d(mc.voxel_indices, analytic.voxel_indices).size
+        print(f"{n:>10d} {mc.voxel_indices.size:>7d} {extra:>9d} {err:>12.3f}")
+
+    print("\nThe statistical part of the MC error falls like 1/sqrt(N); the "
+          "remaining plateau is the methodological gap between point "
+          "sampling (analytic kernel at voxel centers) and path "
+          "integration (MC deposits along 2 mm steps) on these coarse "
+          "demo voxels.  Meanwhile the MC column keeps growing a halo of "
+          "extra non-zeros — the matrix-inflating noise the paper "
+          "attributes to its Monte Carlo dose engine.")
+
+
+if __name__ == "__main__":
+    main()

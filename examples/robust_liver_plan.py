@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Robust optimization under setup errors — why dose calculation speed matters.
+
+Section II-A of the paper motivates GPU-fast SpMV with "robust
+optimization, where uncertainties in treatment delivery ... can be taken
+into account".  This script shows exactly that trade:
+
+1. optimize a nominal liver plan (1 scenario);
+2. optimize a minimax-robust plan over 7 setup-error scenarios
+   (nominal +- 6 axis shifts) — 7x the dose calculations per iteration;
+3. evaluate BOTH plans under every scenario: the nominal plan's target
+   coverage collapses under shifts, the robust plan holds.
+
+Run:  python examples/robust_liver_plan.py
+"""
+
+import numpy as np
+
+from repro import (
+    Beam,
+    CompositeObjective,
+    MaxDoseObjective,
+    UniformDoseObjective,
+    build_liver_phantom,
+    compute_dvh,
+)
+from repro.opt import solve_projected_gradient
+from repro.opt.robust import (
+    RobustPlanProblem,
+    build_scenario_matrices,
+    setup_error_scenarios,
+)
+from repro.plans.cases import LIVER_GANTRY_DEG
+
+PRESCRIPTION_GY = 60.0
+SHIFT_MM = 12.0
+
+
+def main() -> None:
+    phantom = build_liver_phantom(shape=(22, 22, 14), spacing=(12.0, 12.0, 17.0))
+    iso = phantom.grid.voxel_centers()[phantom.target.voxel_indices].mean(axis=0)
+    beams = [
+        Beam(name, gantry_angle_deg=g, isocenter_mm=tuple(iso))
+        for name, g in LIVER_GANTRY_DEG.items()
+    ]
+    scenarios = setup_error_scenarios(SHIFT_MM)
+    print(f"building {len(scenarios)} scenarios x {len(beams)} beams "
+          f"of deposition matrices...")
+    scenario_beams = build_scenario_matrices(phantom, beams, scenarios)
+
+    objective = CompositeObjective(
+        [
+            UniformDoseObjective(phantom.target, PRESCRIPTION_GY, weight=100.0),
+            MaxDoseObjective(phantom.structures["spinal_cord"], 20.0, weight=20.0),
+            MaxDoseObjective(phantom.structures["body"], 70.0, weight=1.0),
+        ]
+    )
+
+    # Nominal problem: only the nominal scenario participates.
+    nominal_problem = RobustPlanProblem(
+        {"nominal": scenario_beams["nominal"]},
+        [s for s in scenarios if s.name == "nominal"],
+        objective,
+        aggregation="expected",
+    )
+    robust_problem = RobustPlanProblem(
+        scenario_beams, scenarios, objective, aggregation="worst_case"
+    )
+
+    w0 = np.ones(nominal_problem.n_weights)
+    d0 = nominal_problem.dose(w0)
+    w0 *= PRESCRIPTION_GY / max(d0[phantom.target.voxel_indices].mean(), 1e-9)
+
+    print("optimizing nominal plan...")
+    nominal = solve_projected_gradient(nominal_problem, w0=w0, max_iterations=50)
+    print("optimizing robust plan (7 scenarios per iteration)...")
+    robust = solve_projected_gradient(robust_problem, w0=w0, max_iterations=50)
+
+    print(f"\ndose calculations: nominal plan "
+          f"{nominal_problem.accounting.n_forward}, robust plan "
+          f"{robust_problem.accounting.n_forward} "
+          f"(~{robust_problem.accounting.n_forward / max(nominal_problem.accounting.n_forward, 1):.0f}x)")
+
+    print(f"\ntarget D95 (Gy) under each scenario   [prescription "
+          f"{PRESCRIPTION_GY:.0f} Gy, shifts {SHIFT_MM:.0f} mm]:")
+    print(f"  {'scenario':10s} {'nominal plan':>13s} {'robust plan':>12s}")
+    worst = {"nominal-plan": np.inf, "robust-plan": np.inf}
+    for s in scenarios:
+        row = []
+        for label, weights in (("nominal-plan", nominal.weights),
+                               ("robust-plan", robust.weights)):
+            dose = robust_problem.scenario_dose(s.name, weights)
+            d95 = compute_dvh(dose, phantom.target).d_at(0.95)
+            worst[label] = min(worst[label], d95)
+            row.append(d95)
+        print(f"  {s.name:10s} {row[0]:13.1f} {row[1]:12.1f}")
+    print(f"\nworst-case target D95: nominal plan {worst['nominal-plan']:.1f} Gy,"
+          f" robust plan {worst['robust-plan']:.1f} Gy")
+    if worst["robust-plan"] > worst["nominal-plan"]:
+        print("-> the robust plan protects coverage under setup errors, at "
+              "the price of many more dose calculations per iteration — "
+              "the workload the paper's GPU kernel accelerates.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,129 @@
+"""repro — reproduction of "Accelerating Radiation Therapy Dose Calculation
+with Nvidia GPUs" (Liu, Jansson, Podobas, Fredriksson, Markidis, 2021).
+
+The package implements the paper's full stack on a simulated-GPU substrate:
+
+* :mod:`repro.sparse` — sparse formats from scratch (CSR, COO, ELLPACK,
+  SELL-C-sigma, the RayStation-like RSCF) with conversions and statistics;
+* :mod:`repro.precision` — mixed half/double precision and reduction-order
+  reproducibility tooling;
+* :mod:`repro.gpu` — the GPU execution simulator (A100/V100/P100 device
+  models, coalescing/L2 traffic accounting, cooperative-groups emulation,
+  atomics, analytical timing);
+* :mod:`repro.kernels` — the contributed warp-per-row mixed-precision CSR
+  kernel plus every comparator the paper evaluates;
+* :mod:`repro.dose` — the radiotherapy substrate (phantoms, proton pencil
+  beam scanning, Monte Carlo noise, deposition matrices, DVH);
+* :mod:`repro.plans` — the six Table I cases at configurable scale;
+* :mod:`repro.opt` — the spot-weight plan optimization that motivates it all;
+* :mod:`repro.roofline` — roofline analysis and the paper's traffic model;
+* :mod:`repro.bench` — the harness regenerating every table and figure.
+
+Quickstart::
+
+    from repro import HalfDoubleKernel, build_case_matrix
+    import numpy as np
+
+    dep = build_case_matrix("Liver 1", preset="tiny")
+    w = np.ones(dep.n_spots)
+    result = HalfDoubleKernel().run(dep.as_half(), w)
+    print(result.gflops, result.timing.limiter)
+"""
+
+from repro.bench import run_spmv_experiment
+from repro.dose import (
+    Beam,
+    DoseGrid,
+    build_deposition_matrix,
+    build_liver_phantom,
+    build_prostate_phantom,
+    compute_dvh,
+)
+from repro.gpu import A100, CPU_I9_7940X, P100, V100, DeviceSpec, get_device
+from repro.kernels import (
+    CPURayStationKernel,
+    CuSparseLikeKernel,
+    GinkgoLikeKernel,
+    GPUBaselineKernel,
+    HalfDoubleKernel,
+    KernelResult,
+    ScalarCSRKernel,
+    SingleKernel,
+    SpMVKernel,
+    VectorCSRKernel,
+    kernel_names,
+    make_kernel,
+)
+from repro.opt import (
+    CompositeObjective,
+    MaxDoseObjective,
+    MinDoseObjective,
+    PlanOptimizationProblem,
+    UniformDoseObjective,
+    solve_projected_gradient,
+)
+from repro.plans import build_all_cases, build_case_matrix, case_names
+from repro.precision import HALF_DOUBLE, SINGLE, MixedPrecision, Precision
+from repro.roofline import Roofline, spmv_traffic_model
+from repro.sparse import (
+    COOMatrix,
+    CSRMatrix,
+    ELLMatrix,
+    RSCFMatrix,
+    SellCSigmaMatrix,
+    csr_to_rscf,
+    rscf_to_csr,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "run_spmv_experiment",
+    "Beam",
+    "DoseGrid",
+    "build_deposition_matrix",
+    "build_liver_phantom",
+    "build_prostate_phantom",
+    "compute_dvh",
+    "A100",
+    "CPU_I9_7940X",
+    "P100",
+    "V100",
+    "DeviceSpec",
+    "get_device",
+    "CPURayStationKernel",
+    "CuSparseLikeKernel",
+    "GinkgoLikeKernel",
+    "GPUBaselineKernel",
+    "HalfDoubleKernel",
+    "KernelResult",
+    "ScalarCSRKernel",
+    "SingleKernel",
+    "SpMVKernel",
+    "VectorCSRKernel",
+    "kernel_names",
+    "make_kernel",
+    "CompositeObjective",
+    "MaxDoseObjective",
+    "MinDoseObjective",
+    "PlanOptimizationProblem",
+    "UniformDoseObjective",
+    "solve_projected_gradient",
+    "build_all_cases",
+    "build_case_matrix",
+    "case_names",
+    "HALF_DOUBLE",
+    "SINGLE",
+    "MixedPrecision",
+    "Precision",
+    "Roofline",
+    "spmv_traffic_model",
+    "COOMatrix",
+    "CSRMatrix",
+    "ELLMatrix",
+    "RSCFMatrix",
+    "SellCSigmaMatrix",
+    "csr_to_rscf",
+    "rscf_to_csr",
+    "__version__",
+]

@@ -1,0 +1,64 @@
+"""Benchmark harness: experiment runner, per-figure drivers, paper bands."""
+
+from repro.bench.experiments import (
+    ALL_EXPERIMENTS,
+    ExperimentReport,
+    exp_fig2,
+    exp_fig3,
+    exp_fig4,
+    exp_fig5,
+    exp_fig6,
+    exp_fig7,
+    exp_table1,
+)
+from repro.bench.harness import (
+    ExperimentRow,
+    case_weights,
+    clear_caches,
+    paper_scale_timing,
+    prepare_input_matrix,
+    run_spmv_experiment,
+)
+from repro.bench.figures import grouped_bar_chart, sweep_line_chart
+from repro.bench.measurement import (
+    MeasurementStats,
+    repeat_measurement,
+)
+from repro.bench.sweeps import SweepPoint, size_sweep, subsample_rows
+from repro.bench.recording import (
+    PAPER_EXPECTATIONS,
+    ClaimCheck,
+    check_claims,
+    failed_claims,
+    rows_to_csv,
+)
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "ExperimentReport",
+    "exp_fig2",
+    "exp_fig3",
+    "exp_fig4",
+    "exp_fig5",
+    "exp_fig6",
+    "exp_fig7",
+    "exp_table1",
+    "ExperimentRow",
+    "case_weights",
+    "clear_caches",
+    "paper_scale_timing",
+    "prepare_input_matrix",
+    "run_spmv_experiment",
+    "PAPER_EXPECTATIONS",
+    "ClaimCheck",
+    "check_claims",
+    "failed_claims",
+    "rows_to_csv",
+    "grouped_bar_chart",
+    "sweep_line_chart",
+    "MeasurementStats",
+    "repeat_measurement",
+    "SweepPoint",
+    "size_sweep",
+    "subsample_rows",
+]

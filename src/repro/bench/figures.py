@@ -1,0 +1,83 @@
+"""ASCII rendering of the paper's dual-axis figures.
+
+Figures 5-7 plot GFLOP/s as grouped bars with achieved bandwidth as an
+overlaid line.  For a terminal-first reproduction we render the same
+information as horizontal bar charts with an inline bandwidth annotation —
+one glance gives the same reading (who wins, by how much, and whether
+bandwidth tracks performance).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.bench.harness import ExperimentRow
+
+
+def _bar(value: float, maximum: float, width: int) -> str:
+    filled = int(round(width * value / maximum)) if maximum else 0
+    return "#" * filled + "." * (width - filled)
+
+
+def grouped_bar_chart(
+    rows: Sequence[ExperimentRow],
+    group_by: str = "case",
+    series_by: str = "kernel",
+    width: int = 40,
+    show_bandwidth: bool = True,
+) -> str:
+    """Render experiment rows as grouped horizontal bars.
+
+    ``group_by``/``series_by`` name ExperimentRow attributes; each group
+    (e.g. a case) holds one bar per series (e.g. a kernel), scaled to the
+    global GFLOP/s maximum.
+    """
+    rows = list(rows)
+    if not rows:
+        return "(no data)"
+    maximum = max(r.gflops for r in rows)
+    groups: Dict[str, List[ExperimentRow]] = {}
+    for row in rows:
+        groups.setdefault(getattr(row, group_by), []).append(row)
+    label_width = max(len(str(getattr(r, series_by))) for r in rows)
+    lines: List[str] = []
+    for group, members in groups.items():
+        lines.append(f"{group}")
+        for row in members:
+            label = str(getattr(row, series_by)).ljust(label_width)
+            bar = _bar(row.gflops, maximum, width)
+            suffix = f"{row.gflops:7.1f} GFLOP/s"
+            if show_bandwidth:
+                suffix += f"  | BW {100 * row.bandwidth_fraction:3.0f}%"
+            lines.append(f"  {label} {bar} {suffix}")
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def sweep_line_chart(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    x_label: str = "x",
+    y_label: str = "y",
+    width: int = 56,
+    height: int = 12,
+) -> str:
+    """A minimal scatter/line chart for sweeps (Figure 4 style)."""
+    xs = list(xs)
+    ys = list(ys)
+    if not xs or len(xs) != len(ys):
+        return "(no data)"
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = 0.0, max(ys) * 1.05
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        cx = (
+            int((x - x_lo) / (x_hi - x_lo) * (width - 1)) if x_hi > x_lo else 0
+        )
+        cy = int((y - y_lo) / (y_hi - y_lo) * (height - 1)) if y_hi > y_lo else 0
+        grid[height - 1 - cy][cx] = "*"
+    lines = [f"{y_label} (max {max(ys):.3g})"]
+    lines += ["|" + "".join(row) for row in grid]
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}: {x_lo:g} .. {x_hi:g}")
+    return "\n".join(lines)

@@ -1,0 +1,95 @@
+"""Parameter sweeps beyond the paper's figures.
+
+The paper observes that the (smaller) prostate matrices run at lower
+bandwidth than the liver ones and attributes it to size ("possibly due to
+smaller matrix sizes").  :func:`size_sweep` tests that hypothesis directly
+on the simulator: one matrix's structure, scaled down by row subsampling,
+swept over two orders of magnitude of size — efficiency falls off once
+the grid can no longer fill the device and fixed launch overheads stop
+amortizing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.gpu.device import A100, DeviceSpec
+from repro.kernels.dispatch import make_kernel
+from repro.sparse.csr import CSRMatrix
+from repro.util.rng import make_rng
+
+
+def subsample_rows(matrix: CSRMatrix, fraction: float, seed: int = 0) -> CSRMatrix:
+    """Keep a random ``fraction`` of rows (structure-preserving shrink).
+
+    Row-length distribution, density and column space are preserved; only
+    the row count (and proportionally nnz) shrinks — isolating the *size*
+    variable the paper speculates about.
+    """
+    if not 0 < fraction <= 1:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    if fraction == 1.0:
+        return matrix
+    rng = make_rng(seed)
+    n_keep = max(int(round(matrix.n_rows * fraction)), 1)
+    keep = np.sort(rng.choice(matrix.n_rows, size=n_keep, replace=False))
+    lengths = matrix.row_lengths()[keep]
+    indptr = np.zeros(n_keep + 1, dtype=np.int64)
+    np.cumsum(lengths, out=indptr[1:])
+    nnz = int(indptr[-1])
+    data = np.empty(nnz, dtype=matrix.value_dtype)
+    indices = np.empty(nnz, dtype=matrix.index_dtype)
+    for out_i, row in enumerate(keep):
+        s, e = int(matrix.indptr[row]), int(matrix.indptr[row + 1])
+        data[indptr[out_i] : indptr[out_i + 1]] = matrix.data[s:e]
+        indices[indptr[out_i] : indptr[out_i + 1]] = matrix.indices[s:e]
+    return CSRMatrix((n_keep, matrix.n_cols), data, indices, indptr)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One size-sweep measurement."""
+
+    fraction: float
+    n_rows: int
+    nnz: int
+    time_s: float
+    gflops: float
+    bandwidth_fraction: float
+
+
+def size_sweep(
+    matrix: CSRMatrix,
+    fractions: Sequence[float] = (0.01, 0.03, 0.1, 0.3, 1.0),
+    kernel_name: str = "half_double",
+    device: DeviceSpec = A100,
+    seed: int = 0,
+) -> List[SweepPoint]:
+    """Run a kernel over row-subsampled copies of one matrix.
+
+    Timing is at the *measured* scale (no paper extrapolation): the point
+    is precisely the absolute-size effect.
+    """
+    kernel = make_kernel(kernel_name)
+    rng = make_rng(seed)
+    points: List[SweepPoint] = []
+    for fraction in fractions:
+        sub = subsample_rows(matrix, fraction, seed=seed)
+        if kernel_name.startswith("half_double"):
+            sub = sub.astype(np.float16)
+        x = 0.5 + rng.random(sub.n_cols)
+        result = kernel.run(sub, x, device=device)
+        points.append(
+            SweepPoint(
+                fraction=fraction,
+                n_rows=sub.n_rows,
+                nnz=sub.nnz,
+                time_s=result.timing.time_s,
+                gflops=result.timing.gflops,
+                bandwidth_fraction=result.timing.bandwidth_fraction(device),
+            )
+        )
+    return points

@@ -1,0 +1,233 @@
+"""Command-line interface: regenerate the paper's tables and figures.
+
+Usage::
+
+    repro-rtdose info                  # device catalogue + case inventory
+    repro-rtdose table1                # Table I
+    repro-rtdose fig2 ... fig7         # one figure
+    repro-rtdose all                   # everything, with paper-band checks
+    repro-rtdose spmv --kernel half_double --case "Liver 1" --device a100
+    repro-rtdose all --csv results/    # also dump raw rows as CSV
+
+(or ``python -m repro.cli ...``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.bench.experiments import ALL_EXPERIMENTS
+from repro.bench.harness import run_spmv_experiment
+from repro.bench.recording import check_claims, rows_to_csv
+from repro.gpu.device import get_device, list_devices
+from repro.kernels.dispatch import kernel_names
+from repro.plans.cases import PAPER_TABLE1, case_names
+from repro.util.tables import Table
+
+
+def _cmd_info(_: argparse.Namespace) -> int:
+    devices = Table(
+        ["device", "kind", "SMs/cores", "peak BW (GB/s)", "FP64 (TFLOP/s)",
+         "L2 (MiB)"],
+        title="Device catalogue",
+    )
+    for spec in list_devices().values():
+        devices.add_row(
+            [
+                spec.name,
+                spec.kind.value,
+                spec.sm_count,
+                spec.peak_bw / 1e9,
+                spec.peak_flops_fp64 / 1e12,
+                spec.l2_bytes / 2**20,
+            ]
+        )
+    print(devices.render())
+    print()
+    cases = Table(
+        ["case", "paper rows", "paper cols", "paper nnz", "paper density"],
+        title="Evaluation cases (Table I metadata)",
+    )
+    for name in case_names():
+        p = PAPER_TABLE1[name]
+        cases.add_row([name, p.rows, p.cols, p.nnz, f"{100 * p.density:.2f}%"])
+    print(cases.render())
+    print()
+    print("Kernels:", ", ".join(kernel_names()))
+    return 0
+
+
+def _run_experiment(name: str, csv_dir: Optional[Path], chart: bool = False) -> bool:
+    report = ALL_EXPERIMENTS[name]()
+    print(report.render())
+    if chart and report.rows:
+        from repro.bench.figures import grouped_bar_chart
+
+        # Series axis: whatever actually varies (device for fig7, block
+        # size for fig4, kernel otherwise).
+        kernels = {r.kernel for r in report.rows}
+        devices = {r.device for r in report.rows}
+        if len(kernels) == 1 and len(devices) > 1:
+            series = "device"
+        elif len(kernels) == 1:
+            series = "threads_per_block"
+        else:
+            series = "kernel"
+        print()
+        print(grouped_bar_chart(report.rows, series_by=series))
+    checks = check_claims(report)
+    ok = True
+    if checks:
+        print()
+        print("Paper-band checks:")
+        for c in checks:
+            verdict = "OK  " if c.in_band else "OUT "
+            paper = f"paper={c.paper_value:g}" if c.paper_value is not None else ""
+            print(
+                f"  {verdict}{c.claim}: measured={c.measured:.4g} "
+                f"band={c.band} {paper} [{c.source}]"
+            )
+            ok = ok and c.in_band
+    if csv_dir is not None and report.rows:
+        csv_dir.mkdir(parents=True, exist_ok=True)
+        path = csv_dir / f"{name}.csv"
+        path.write_text(rows_to_csv(report))
+        print(f"\nraw rows written to {path}")
+    print()
+    return ok
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    csv_dir = Path(args.csv) if args.csv else None
+    names = list(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    all_ok = True
+    for name in names:
+        all_ok = _run_experiment(name, csv_dir, chart=args.chart) and all_ok
+    if not all_ok:
+        print("SOME CLAIMS OUT OF PAPER BANDS", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_spmv(args: argparse.Namespace) -> int:
+    device = get_device(args.device)
+    row = run_spmv_experiment(
+        args.kernel,
+        args.case,
+        device=device,
+        preset=args.preset,
+        threads_per_block=args.threads_per_block,
+        at_paper_scale=not args.bench_scale,
+    )
+    table = Table(
+        ["case", "kernel", "device", "tpb", "time", "GFLOP/s", "BW GB/s",
+         "BW frac", "OI", "limiter"],
+        title="SpMV experiment" + (" (bench scale)" if args.bench_scale else
+                                   " (paper scale)"),
+    )
+    table.add_row(row.as_list())
+    print(table.render())
+    print(f"relative error vs reference: {row.relative_error:.2e}")
+    print(f"bitwise reproducible: {row.reproducible}")
+    return 0
+
+
+def _cmd_fig1(args: argparse.Namespace) -> int:
+    from repro.dose import Beam, compute_beam_geometry, generate_spot_map
+    from repro.dose.bev_plot import render_beams_eye_view
+    from repro.plans.cases import _target_centroid, get_case
+
+    case = get_case(args.case, args.preset)
+    phantom = case.build_phantom()
+    beam = Beam(args.case, case.gantry_deg, _target_centroid(phantom))
+    geometry = compute_beam_geometry(phantom, beam)
+    spot_map = generate_spot_map(
+        phantom, beam, geometry,
+        spot_spacing_mm=case.spot_spacing_mm,
+        layer_spacing_mm=case.layer_spacing_mm,
+    )
+    print(render_beams_eye_view(phantom, geometry, spot_map, layer=args.layer))
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.bench.harness import case_weights, prepare_input_matrix
+    from repro.gpu.nsight import profile_report
+    from repro.kernels.dispatch import make_kernel
+
+    device = get_device(args.device)
+    kernel = make_kernel(args.kernel)
+    matrix = prepare_input_matrix(args.kernel, args.case, args.preset)
+    weights = case_weights(args.case, matrix.n_cols)
+    result = kernel.run(
+        matrix, weights, device=device,
+        threads_per_block=args.threads_per_block, rng=0,
+    )
+    print(profile_report(result))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-rtdose",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="device catalogue and case inventory")
+    p_info.set_defaults(func=_cmd_info)
+
+    for name in list(ALL_EXPERIMENTS) + ["all"]:
+        p = sub.add_parser(name, help=f"regenerate {name}")
+        p.add_argument("--csv", help="directory to dump raw rows as CSV")
+        p.add_argument("--chart", action="store_true",
+                       help="render ASCII bar charts of the series")
+        p.set_defaults(func=_cmd_experiment, experiment=name)
+
+    p_spmv = sub.add_parser("spmv", help="run a single kernel x case point")
+    p_spmv.add_argument("--kernel", default="half_double", choices=kernel_names())
+    p_spmv.add_argument("--case", default="Liver 1", choices=case_names())
+    p_spmv.add_argument("--device", default="a100")
+    p_spmv.add_argument("--preset", default="bench",
+                        choices=["tiny", "bench", "structure"])
+    p_spmv.add_argument("--threads-per-block", type=int, default=None)
+    p_spmv.add_argument(
+        "--bench-scale", action="store_true",
+        help="report at bench scale instead of extrapolating to paper scale",
+    )
+    p_spmv.set_defaults(func=_cmd_spmv)
+
+    p_fig1 = sub.add_parser(
+        "fig1", help="beam's-eye-view spot-scanning illustration (Figure 1)"
+    )
+    p_fig1.add_argument("--case", default="Liver 1", choices=case_names())
+    p_fig1.add_argument("--preset", default="tiny",
+                        choices=["tiny", "bench", "structure"])
+    p_fig1.add_argument("--layer", type=int, default=0)
+    p_fig1.set_defaults(func=_cmd_fig1)
+
+    p_prof = sub.add_parser(
+        "profile", help="Nsight-Compute-style report for one kernel run"
+    )
+    p_prof.add_argument("--kernel", default="half_double", choices=kernel_names())
+    p_prof.add_argument("--case", default="Liver 1", choices=case_names())
+    p_prof.add_argument("--device", default="a100")
+    p_prof.add_argument("--preset", default="bench",
+                        choices=["tiny", "bench", "structure"])
+    p_prof.add_argument("--threads-per-block", type=int, default=None)
+    p_prof.set_defaults(func=_cmd_profile)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,84 @@
+"""Radiotherapy substrate: phantoms, beams, proton physics, dose engines,
+deposition matrices and DVH evaluation."""
+
+from repro.dose.beam import Beam
+from repro.dose.bev_plot import render_beams_eye_view
+from repro.dose.bragg import (
+    BraggCurve,
+    bragg_curve,
+    energy_from_range_mm,
+    lateral_sigma_mm,
+    range_from_energy_mm,
+    straggling_sigma_mm,
+)
+from repro.dose.deposition import (
+    DepositionConfig,
+    DoseDepositionMatrix,
+    build_deposition_matrix,
+)
+from repro.dose.ct import (
+    CTImage,
+    density_to_hu,
+    hu_to_density,
+    phantom_from_ct,
+    synthesize_ct,
+)
+from repro.dose.dvh import DVH, compute_dvh, homogeneity_index
+from repro.dose.gamma import GammaResult, gamma_index
+from repro.dose.grid import DoseGrid
+from repro.dose.montecarlo import MCConfig, mc_spot_dose
+from repro.dose.pencilbeam import (
+    BeamGeometryCache,
+    SpotDose,
+    beam_chord_mm,
+    compute_beam_geometry,
+    spot_dose,
+)
+from repro.dose.phantom import (
+    Phantom,
+    build_liver_phantom,
+    build_prostate_phantom,
+)
+from repro.dose.spots import SpotMap, generate_spot_map
+from repro.dose.structures import ROIMask, box_mask, ellipsoid_mask, sphere_mask
+
+__all__ = [
+    "Beam",
+    "BraggCurve",
+    "bragg_curve",
+    "energy_from_range_mm",
+    "lateral_sigma_mm",
+    "range_from_energy_mm",
+    "straggling_sigma_mm",
+    "DepositionConfig",
+    "DoseDepositionMatrix",
+    "build_deposition_matrix",
+    "CTImage",
+    "density_to_hu",
+    "hu_to_density",
+    "phantom_from_ct",
+    "synthesize_ct",
+    "DVH",
+    "compute_dvh",
+    "homogeneity_index",
+    "GammaResult",
+    "gamma_index",
+    "beam_chord_mm",
+    "render_beams_eye_view",
+    "DoseGrid",
+    "MCConfig",
+    "mc_spot_dose",
+    "BeamGeometryCache",
+    "SpotDose",
+    "compute_beam_geometry",
+    "spot_dose",
+    "Phantom",
+    "build_liver_phantom",
+    "build_prostate_phantom",
+    "SpotMap",
+    "generate_spot_map",
+    "ROIMask",
+    "box_mask",
+    "ellipsoid_mask",
+    "sphere_mask",
+]

@@ -1,0 +1,95 @@
+"""Treatment beams: gantry geometry and the beam's-eye-view (BEV) frame.
+
+A pencil-beam-scanning beam is described by its gantry angle (rotation in
+the axial x-y plane, IEC-style), an isocenter, and a virtual source
+distance.  Spots are laid out in the BEV plane — the 2-D coordinate system
+(u, v) orthogonal to the beam axis, the view Figure 1 of the paper shows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.util.errors import GeometryError
+
+
+@dataclass(frozen=True)
+class Beam:
+    """One treatment beam.
+
+    Attributes
+    ----------
+    name:
+        label ("Liver 1", ...).
+    gantry_angle_deg:
+        0 means the beam travels along +y (entering from anterior);
+        angles rotate in the axial (x-y) plane, couch fixed.
+    isocenter_mm:
+        world coordinate the beam axis passes through (usually the target
+        center).
+    source_distance_mm:
+        distance from the virtual source to the isocenter.
+    """
+
+    name: str
+    gantry_angle_deg: float
+    isocenter_mm: Tuple[float, float, float]
+    source_distance_mm: float = 2000.0
+
+    def __post_init__(self) -> None:
+        if self.source_distance_mm <= 0:
+            raise GeometryError(
+                f"source distance must be positive, got {self.source_distance_mm}"
+            )
+        object.__setattr__(
+            self, "isocenter_mm", tuple(float(c) for c in self.isocenter_mm)
+        )
+
+    @property
+    def direction(self) -> np.ndarray:
+        """Unit vector of beam travel (source -> isocenter)."""
+        theta = np.deg2rad(self.gantry_angle_deg)
+        # gantry 0: +y; gantry 90: +x; rotation in the axial plane.
+        return np.array([np.sin(theta), np.cos(theta), 0.0])
+
+    @property
+    def bev_axes(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Orthonormal (u, v) axes spanning the BEV plane.
+
+        ``u`` lies in the axial plane (perpendicular to the beam),
+        ``v`` is the patient's longitudinal axis (z).
+        """
+        d = self.direction
+        u = np.array([d[1], -d[0], 0.0])  # rotate direction by -90 deg
+        v = np.array([0.0, 0.0, 1.0])
+        return u, v
+
+    @property
+    def source_mm(self) -> np.ndarray:
+        """World position of the virtual source."""
+        return np.asarray(self.isocenter_mm) - self.direction * self.source_distance_mm
+
+    def bev_to_world(self, u_mm: np.ndarray, v_mm: np.ndarray) -> np.ndarray:
+        """Map BEV offsets (at the isocenter plane) to world coordinates."""
+        u_axis, v_axis = self.bev_axes
+        u_mm = np.atleast_1d(np.asarray(u_mm, dtype=np.float64))
+        v_mm = np.atleast_1d(np.asarray(v_mm, dtype=np.float64))
+        iso = np.asarray(self.isocenter_mm)
+        return iso[None, :] + u_mm[:, None] * u_axis[None, :] + v_mm[:, None] * v_axis[None, :]
+
+    def world_to_bev(self, points: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Project world points into (u, v, depth-along-axis) coordinates.
+
+        Depth is measured from the isocenter plane, positive down-beam.
+        """
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        rel = points - np.asarray(self.isocenter_mm)[None, :]
+        u_axis, v_axis = self.bev_axes
+        return rel @ u_axis, rel @ v_axis, rel @ self.direction
+
+    def entry_depth_offset(self) -> float:
+        """Distance from isocenter plane back to the source (positive)."""
+        return self.source_distance_mm

@@ -1,0 +1,86 @@
+"""Beam's-eye-view rendering — the paper's Figure 1 as ASCII.
+
+Figure 1 illustrates spot scanning "from the perspective of the treatment
+beam": the target outline with the spot positions and the serpentine scan
+direction.  :func:`render_beams_eye_view` reproduces that view for any
+beam/spot-map pair, so the CLI can regenerate Figure 1 alongside the
+evaluation figures.
+
+Legend: ``#`` target projection, ``o`` spot, ``>``/``<`` scan direction
+of each row (serpentine), ``.`` empty BEV cells.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.dose.pencilbeam import BeamGeometryCache
+from repro.dose.phantom import Phantom
+from repro.dose.spots import SpotMap
+
+
+def render_beams_eye_view(
+    phantom: Phantom,
+    geometry: BeamGeometryCache,
+    spot_map: SpotMap,
+    layer: int = 0,
+    width: int = 58,
+    height: int = 24,
+) -> str:
+    """Render one energy layer's spot map over the target projection."""
+    if not 0 <= layer < spot_map.n_layers:
+        raise IndexError(
+            f"layer {layer} out of range [0, {spot_map.n_layers})"
+        )
+    target_idx = phantom.target.voxel_indices
+    tu = geometry.u_mm[target_idx]
+    tv = geometry.v_mm[target_idx]
+    spots = spot_map.spots_in_layer(layer)
+    su = spot_map.u_mm[spots]
+    sv = spot_map.v_mm[spots]
+
+    pad = 10.0
+    u_lo = min(float(tu.min()), float(su.min())) - pad
+    u_hi = max(float(tu.max()), float(su.max())) + pad
+    v_lo = min(float(tv.min()), float(sv.min())) - pad
+    v_hi = max(float(tv.max()), float(sv.max())) + pad
+
+    def to_col(u: np.ndarray) -> np.ndarray:
+        return np.clip(
+            ((u - u_lo) / (u_hi - u_lo) * (width - 1)).astype(int), 0, width - 1
+        )
+
+    def to_row(v: np.ndarray) -> np.ndarray:
+        return np.clip(
+            ((v_hi - v) / (v_hi - v_lo) * (height - 1)).astype(int), 0, height - 1
+        )
+
+    grid = [["."] * width for _ in range(height)]
+    for r, c in zip(to_row(tv), to_col(tu)):
+        grid[r][c] = "#"
+    # Scan-direction arrows between consecutive spots of the serpentine.
+    cols, rows = to_col(su), to_row(sv)
+    for k in range(len(spots) - 1):
+        if rows[k] == rows[k + 1]:
+            arrow = ">" if cols[k + 1] > cols[k] else "<"
+            lo, hi = sorted((cols[k], cols[k + 1]))
+            for c in range(lo + 1, hi):
+                if grid[rows[k]][c] in (".", "#"):
+                    grid[rows[k]][c] = arrow
+    for r, c in zip(rows, cols):
+        grid[r][c] = "o"
+
+    lines = [
+        f"Beam's eye view: {spot_map.beam.name} "
+        f"(gantry {spot_map.beam.gantry_angle_deg:g} deg), "
+        f"layer {layer + 1}/{spot_map.n_layers} "
+        f"at {spot_map.layer_depths_mm[layer]:.0f} mm WED, "
+        f"{len(spots)} spots",
+        "+" + "-" * width + "+",
+    ]
+    lines += ["|" + "".join(row) + "|" for row in grid]
+    lines.append("+" + "-" * width + "+")
+    lines.append("legend: # target projection   o spot   >/< scan direction")
+    return "\n".join(lines)

@@ -1,0 +1,147 @@
+"""CT images and Hounsfield-unit calibration.
+
+The paper's workflow begins with "contours ... delineated on computed
+tomography (CT) images"; dose engines do not consume densities directly
+but CT numbers (Hounsfield units) converted through a scanner-specific
+calibration curve.  This module supplies that step for the synthetic
+pipeline:
+
+* :func:`density_to_hu` / :func:`hu_to_density` — a piecewise-linear
+  stoichiometric-style calibration (air / lung / adipose / soft tissue /
+  bone anchor points);
+* :class:`CTImage` — an HU volume on a grid, possibly at a different
+  resolution than the dose grid, with resampling;
+* :func:`synthesize_ct` — a CT of a phantom with realistic acquisition
+  noise, so the round trip (phantom -> CT -> densities -> dose) exercises
+  the same lossy path a clinic's data takes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import ndimage
+
+from repro.dose.grid import DoseGrid
+from repro.dose.phantom import Phantom
+from repro.util.errors import GeometryError
+from repro.util.rng import RngLike, make_rng
+
+#: Calibration anchor points: (mass density g/cc, Hounsfield units).
+#: Air, lung, adipose, water/soft tissue, dense bone.
+_CALIBRATION = np.array(
+    [
+        (0.001, -1000.0),
+        (0.30, -700.0),
+        (0.92, -80.0),
+        (1.00, 0.0),
+        (1.10, 80.0),
+        (1.60, 1000.0),
+        (2.20, 2000.0),
+    ]
+)
+
+
+def density_to_hu(density: np.ndarray) -> np.ndarray:
+    """Mass density (g/cc) -> Hounsfield units via the calibration curve."""
+    density = np.asarray(density, dtype=np.float64)
+    if np.any(density < 0):
+        raise GeometryError("densities must be non-negative")
+    return np.interp(density, _CALIBRATION[:, 0], _CALIBRATION[:, 1])
+
+
+def hu_to_density(hu: np.ndarray) -> np.ndarray:
+    """Hounsfield units -> mass density (g/cc); clamps outside the curve."""
+    hu = np.asarray(hu, dtype=np.float64)
+    return np.interp(hu, _CALIBRATION[:, 1], _CALIBRATION[:, 0])
+
+
+@dataclass(frozen=True)
+class CTImage:
+    """An HU volume on its acquisition grid."""
+
+    grid: DoseGrid
+    #: HU values shaped ``(nz, ny, nx)``, conventionally int16-ranged.
+    hu: np.ndarray
+
+    def __post_init__(self) -> None:
+        nx, ny, nz = self.grid.shape
+        hu = np.asarray(self.hu, dtype=np.float64)
+        if hu.shape != (nz, ny, nx):
+            raise GeometryError(
+                f"HU volume shape {hu.shape} does not match grid {(nz, ny, nx)}"
+            )
+        hu.setflags(write=False)
+        object.__setattr__(self, "hu", hu)
+
+    def density(self) -> np.ndarray:
+        """Converted density volume (the dose engine's input)."""
+        return hu_to_density(self.hu)
+
+    def resampled_to(self, dose_grid: DoseGrid) -> "CTImage":
+        """Trilinear resample onto a dose grid (CT is usually finer)."""
+        centers = dose_grid.voxel_centers()
+        frac = self.grid.world_to_index(centers)
+        coords = np.stack([frac[:, 2], frac[:, 1], frac[:, 0]])
+        values = ndimage.map_coordinates(
+            self.hu, coords, order=1, mode="nearest"
+        )
+        nx, ny, nz = dose_grid.shape
+        return CTImage(dose_grid, values.reshape(nz, ny, nx))
+
+
+def synthesize_ct(
+    phantom: Phantom,
+    noise_hu: float = 20.0,
+    upsample: int = 1,
+    rng: RngLike = None,
+) -> CTImage:
+    """Acquire a synthetic CT of a phantom.
+
+    ``noise_hu`` is the Gaussian acquisition-noise sigma (clinical
+    abdominal CTs sit around 10-30 HU); ``upsample`` acquires at a finer
+    in-plane resolution than the dose grid, as real scanners do.
+    """
+    if noise_hu < 0:
+        raise GeometryError("noise must be non-negative")
+    if upsample < 1:
+        raise GeometryError("upsample must be >= 1")
+    rng = make_rng(rng)
+    grid = phantom.grid
+    if upsample == 1:
+        ct_grid = grid
+        density = phantom.density
+    else:
+        nx, ny, nz = grid.shape
+        dx, dy, dz = grid.spacing
+        ct_grid = DoseGrid(
+            (nx * upsample, ny * upsample, nz),
+            (dx / upsample, dy / upsample, dz),
+            origin=grid.origin,
+        )
+        density = np.repeat(
+            np.repeat(phantom.density, upsample, axis=1), upsample, axis=2
+        )
+    hu = density_to_hu(density)
+    hu = hu + rng.normal(0.0, noise_hu, size=hu.shape)
+    return CTImage(ct_grid, hu)
+
+
+def phantom_from_ct(
+    ct: CTImage, reference: Phantom, dose_grid: DoseGrid = None
+) -> Phantom:
+    """Rebuild a dose-engine phantom from a CT (the clinical direction).
+
+    Densities come from the CT through the calibration curve; contours are
+    carried over from the reference phantom (re-gridded if needed).
+    """
+    dose_grid = dose_grid or reference.grid
+    resampled = ct if ct.grid.shape == dose_grid.shape else ct.resampled_to(dose_grid)
+    density = hu_to_density(resampled.hu)
+    return Phantom(
+        name=f"{reference.name}-from-ct",
+        grid=dose_grid,
+        density=density,
+        structures=dict(reference.structures),
+    )

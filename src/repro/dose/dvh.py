@@ -1,0 +1,96 @@
+"""Dose-volume histograms (DVH) — the clinical plan-quality readout.
+
+A cumulative DVH for a structure gives, for every dose level ``d``, the
+fraction of the structure's volume receiving at least ``d`` Gray.  Plan
+objectives ("95 % of the target gets the prescription"; "no rectum voxel
+above 50 Gy") read directly off these curves, and the optimization example
+prints them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.dose.structures import ROIMask
+from repro.util.errors import ShapeError
+
+
+@dataclass(frozen=True)
+class DVH:
+    """A cumulative dose-volume histogram for one structure."""
+
+    structure: str
+    #: dose bin edges (Gy), ascending.
+    dose_gy: np.ndarray
+    #: fraction of structure volume receiving >= the corresponding dose.
+    volume_fraction: np.ndarray
+
+    def v_at(self, dose_gy: float) -> float:
+        """V(d): volume fraction receiving at least ``dose_gy``."""
+        return float(
+            np.interp(dose_gy, self.dose_gy, self.volume_fraction)
+        )
+
+    def d_at(self, volume_fraction: float) -> float:
+        """D(v): highest dose received by at least ``volume_fraction``."""
+        if not 0.0 <= volume_fraction <= 1.0:
+            raise ValueError(f"volume fraction must be in [0, 1], got {volume_fraction}")
+        # volume_fraction decreases with dose; search from the high end.
+        idx = np.searchsorted(-self.volume_fraction, -volume_fraction, side="left")
+        idx = min(int(idx), self.dose_gy.shape[0] - 1)
+        return float(self.dose_gy[idx])
+
+    @property
+    def mean_dose(self) -> float:
+        """Mean structure dose (from the differential histogram)."""
+        if self.dose_gy.size < 2:
+            return float(self.dose_gy[0]) if self.dose_gy.size else 0.0
+        diff = -np.diff(self.volume_fraction)
+        mid = (self.dose_gy[1:] + self.dose_gy[:-1]) / 2.0
+        tail = self.volume_fraction[-1] * self.dose_gy[-1]
+        return float((diff * mid).sum() + tail)
+
+    @property
+    def max_dose(self) -> float:
+        """Highest dose with non-zero volume."""
+        nonzero = np.flatnonzero(self.volume_fraction > 0)
+        if nonzero.size == 0:
+            return 0.0
+        return float(self.dose_gy[nonzero[-1]])
+
+
+def compute_dvh(
+    dose: np.ndarray,
+    roi: ROIMask,
+    n_bins: int = 200,
+    max_dose_gy: Optional[float] = None,
+) -> DVH:
+    """Compute the cumulative DVH of ``roi`` under a flat dose vector."""
+    dose = np.asarray(dose, dtype=np.float64)
+    if dose.shape != (roi.grid.n_voxels,):
+        raise ShapeError(
+            f"dose has shape {dose.shape}, expected ({roi.grid.n_voxels},)"
+        )
+    inside = dose[roi.flat]
+    if max_dose_gy is None:
+        max_dose_gy = float(inside.max(initial=0.0)) or 1.0
+    edges = np.linspace(0.0, max_dose_gy, n_bins)
+    if inside.size == 0:
+        return DVH(roi.name, edges, np.zeros(n_bins))
+    sorted_doses = np.sort(inside)
+    # volume fraction with dose >= edge
+    counts_below = np.searchsorted(sorted_doses, edges, side="left")
+    frac = 1.0 - counts_below / inside.size
+    return DVH(roi.name, edges, frac)
+
+
+def homogeneity_index(dose: np.ndarray, target: ROIMask) -> float:
+    """(D2% - D98%) / D50% — lower is more uniform target coverage."""
+    dvh = compute_dvh(dose, target, n_bins=500)
+    d2 = dvh.d_at(0.02)
+    d98 = dvh.d_at(0.98)
+    d50 = dvh.d_at(0.50)
+    return (d2 - d98) / d50 if d50 else float("inf")

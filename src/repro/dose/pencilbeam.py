@@ -1,0 +1,202 @@
+"""Analytic pencil-beam dose engine.
+
+The standard factorization (Ahnesjö-style): a spot's dose at a voxel is a
+*depth* factor — the straggled Bragg curve evaluated at the voxel's
+radiological (water-equivalent) depth — times a *lateral* factor — a
+Gaussian in the distance from the spot axis, widening with depth through
+multiple Coulomb scattering.
+
+Radiological depth is computed properly through the heterogeneous phantom:
+density is resampled onto a beam-aligned grid, integrated cumulatively
+along the beam axis, and sampled back at voxel centers.  A
+:class:`BeamGeometryCache` holds the per-voxel (u, v, depth) coordinates so
+the per-spot work is just a Gaussian evaluation over a culled voxel set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+from scipy import ndimage
+
+from repro.dose.beam import Beam
+from repro.dose.bragg import BraggCurve, lateral_sigma_mm
+from repro.dose.phantom import Phantom
+from repro.util.errors import GeometryError
+
+
+@dataclass(frozen=True)
+class BeamGeometryCache:
+    """Per-voxel beam-frame coordinates for one (phantom, beam) pair.
+
+    Attributes
+    ----------
+    u_mm / v_mm:
+        BEV coordinates of each voxel center (flat, lexicographic).
+    wed_mm:
+        radiological depth (water-equivalent mm) of each voxel along the
+        beam, measured from the patient entry surface.
+    """
+
+    beam: Beam
+    u_mm: np.ndarray
+    v_mm: np.ndarray
+    wed_mm: np.ndarray
+
+    @property
+    def n_voxels(self) -> int:
+        return int(self.u_mm.shape[0])
+
+
+def compute_beam_geometry(
+    phantom: Phantom, beam: Beam, step_mm: float = 2.0
+) -> BeamGeometryCache:
+    """Build the geometry cache: project voxels and integrate density.
+
+    The density volume is resampled on a beam-aligned (s, v, u) grid with
+    trilinear interpolation, cumulatively integrated along ``s`` and
+    sampled back at voxel centers.
+    """
+    if step_mm <= 0:
+        raise GeometryError(f"step must be positive, got {step_mm}")
+    grid = phantom.grid
+    centers = grid.voxel_centers()
+    u, v, s = beam.world_to_bev(centers)
+
+    # Beam-aligned bounding box of the whole grid.
+    pad = step_mm
+    u_lo, u_hi = float(u.min()) - pad, float(u.max()) + pad
+    v_lo, v_hi = float(v.min()) - pad, float(v.max()) + pad
+    s_lo, s_hi = float(s.min()) - pad, float(s.max()) + pad
+    bev_spacing = min(grid.spacing)
+    nu = max(int(np.ceil((u_hi - u_lo) / bev_spacing)) + 1, 2)
+    nv = max(int(np.ceil((v_hi - v_lo) / bev_spacing)) + 1, 2)
+    ns = max(int(np.ceil((s_hi - s_lo) / step_mm)) + 1, 2)
+
+    us = u_lo + np.arange(nu) * bev_spacing
+    vs = v_lo + np.arange(nv) * bev_spacing
+    ss = s_lo + np.arange(ns) * step_mm
+
+    u_axis, v_axis = beam.bev_axes
+    direction = beam.direction
+    iso = np.asarray(beam.isocenter_mm)
+
+    # World coordinates of the beam-aligned grid points, then their
+    # fractional voxel indices for interpolation.
+    gs, gv, gu = np.meshgrid(ss, vs, us, indexing="ij")
+    world = (
+        iso[None, :]
+        + gu.reshape(-1, 1) * u_axis[None, :]
+        + gv.reshape(-1, 1) * v_axis[None, :]
+        + gs.reshape(-1, 1) * direction[None, :]
+    )
+    frac = grid.world_to_index(world)  # (N, 3) in (x, y, z) order
+    coords = np.stack([frac[:, 2], frac[:, 1], frac[:, 0]])  # (z, y, x)
+    density_bev = ndimage.map_coordinates(
+        phantom.density, coords, order=1, mode="constant", cval=0.0
+    ).reshape(ns, nv, nu)
+
+    # Cumulative water-equivalent depth along the beam axis (midpoint rule).
+    wed_bev = np.cumsum(density_bev, axis=0) * step_mm
+    wed_bev -= density_bev * (step_mm / 2.0)
+
+    # Sample WED back at voxel centers.
+    iu = (u - u_lo) / bev_spacing
+    iv = (v - v_lo) / bev_spacing
+    is_ = (s - s_lo) / step_mm
+    wed = ndimage.map_coordinates(
+        wed_bev, np.stack([is_, iv, iu]), order=1, mode="nearest"
+    )
+    return BeamGeometryCache(beam=beam, u_mm=u, v_mm=v, wed_mm=wed)
+
+
+@dataclass(frozen=True)
+class SpotDose:
+    """Sparse dose of a single spot: voxel indices and Gy-per-weight values."""
+
+    voxel_indices: np.ndarray
+    dose: np.ndarray
+
+
+def beam_chord_mm(grid, beam: Beam) -> float:
+    """Mean chord a beam traverses inside one voxel (L1 projection).
+
+    Used as the depth-averaging window for the Bragg curve: with
+    millimetre Bragg falloffs and centimetre voxels, the voxel dose is
+    the chord *average* of the depth dose, not a center-point sample.
+    """
+    direction = np.abs(beam.direction)
+    return float(direction @ np.asarray(grid.spacing))
+
+
+def spot_dose(
+    geometry: BeamGeometryCache,
+    curve: BraggCurve,
+    spot_u_mm: float,
+    spot_v_mm: float,
+    sigma0_mm: float = 5.0,
+    cutoff_sigma: float = 3.5,
+    relative_cutoff: float = 2e-3,
+    dose_per_weight: float = 1.0,
+    depth_averaging_mm: float = 0.0,
+) -> SpotDose:
+    """Dose deposited by one spot (one deposition-matrix column).
+
+    Parameters
+    ----------
+    geometry:
+        beam geometry cache for the phantom.
+    curve:
+        Bragg curve of the spot's energy layer.
+    spot_u_mm / spot_v_mm:
+        spot position in the BEV plane.
+    sigma0_mm:
+        in-air lateral spot width.
+    cutoff_sigma:
+        lateral truncation radius in units of the local sigma.
+    relative_cutoff:
+        values below this fraction of the spot's maximum are dropped
+        (RayStation applies a similar cutoff; what survives *below* a
+        clinically meaningful level is the Monte Carlo noise the paper
+        says inflates nnz).
+    dose_per_weight:
+        scaling to Gy per unit spot weight.
+    depth_averaging_mm:
+        average the depth-dose over this window (the voxel chord from
+        :func:`beam_chord_mm`); 0 means center-point sampling.
+    """
+    wed = geometry.wed_mm
+    # Depth cull: nothing beyond the distal falloff.
+    depth_limit = curve.range_mm + 4.0 * (curve.range_mm * 0.012 + 1.0)
+    sigma_max = float(lateral_sigma_mm(curve.range_mm, curve.range_mm, sigma0_mm))
+    lateral_limit = cutoff_sigma * sigma_max
+
+    du = geometry.u_mm - spot_u_mm
+    dv = geometry.v_mm - spot_v_mm
+    candidates = np.flatnonzero(
+        (np.abs(du) <= lateral_limit)
+        & (np.abs(dv) <= lateral_limit)
+        & (wed <= depth_limit)
+        & (wed > 0.0)
+    )
+    if candidates.size == 0:
+        return SpotDose(np.empty(0, np.int64), np.empty(0, np.float64))
+
+    wed_c = wed[candidates]
+    if depth_averaging_mm > 0:
+        half = depth_averaging_mm / 2.0
+        depth_factor = curve.mean_dose_between(wed_c - half, wed_c + half)
+    else:
+        depth_factor = curve.dose_at(wed_c)
+    sigma = lateral_sigma_mm(wed_c, curve.range_mm, sigma0_mm)
+    r2 = du[candidates] ** 2 + dv[candidates] ** 2
+    lateral = np.exp(-0.5 * r2 / sigma**2) / (2.0 * np.pi * sigma**2)
+    dose = depth_factor * lateral * dose_per_weight
+
+    peak = float(dose.max(initial=0.0))
+    if peak <= 0:
+        return SpotDose(np.empty(0, np.int64), np.empty(0, np.float64))
+    keep = dose >= relative_cutoff * peak
+    return SpotDose(candidates[keep].astype(np.int64), dose[keep])

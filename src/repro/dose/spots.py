@@ -1,0 +1,155 @@
+"""Pencil-beam-scanning spot placement.
+
+Spots are laid out on a regular (u, v) grid in the beam's-eye view,
+covering the target projection plus a lateral margin, one map per energy
+layer.  Layers are spaced in water-equivalent depth across the target's
+radiological extent.  Within a layer, spots are ordered in the serpentine
+scanline pattern of Figure 1 — which is also why consecutive deposition-
+matrix columns overlap spatially, the property the RSCF format's row runs
+exploit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.dose.beam import Beam
+from repro.dose.bragg import energy_from_range_mm
+from repro.dose.pencilbeam import BeamGeometryCache
+from repro.dose.phantom import Phantom
+from repro.util.errors import GeometryError
+
+
+@dataclass(frozen=True)
+class SpotMap:
+    """All spots of one beam, in delivery (scanline) order.
+
+    Parallel arrays: position ``(u, v)`` in the BEV plane, the energy-layer
+    index and the beam energy of each spot.  The spot index is the
+    deposition-matrix *column* index.
+    """
+
+    beam: Beam
+    u_mm: np.ndarray
+    v_mm: np.ndarray
+    layer: np.ndarray
+    energy_mev: np.ndarray
+    #: water-equivalent depth each layer is aimed at.
+    layer_depths_mm: np.ndarray
+
+    @property
+    def n_spots(self) -> int:
+        """Number of spots — the deposition matrix's column count."""
+        return int(self.u_mm.shape[0])
+
+    @property
+    def n_layers(self) -> int:
+        return int(self.layer_depths_mm.shape[0])
+
+    def spots_in_layer(self, layer_index: int) -> np.ndarray:
+        """Column indices belonging to one energy layer."""
+        return np.flatnonzero(self.layer == layer_index)
+
+
+def _serpentine_order(u: np.ndarray, v: np.ndarray, spacing: float) -> np.ndarray:
+    """Scanline ordering: rows of constant v, alternating u direction."""
+    v_key = np.round(v / spacing).astype(np.int64)
+    order = np.lexsort((u, v_key))
+    # Flip u direction on every other v row.
+    u_sorted = u[order]
+    v_rows = v_key[order]
+    out = order.copy()
+    for row_id in np.unique(v_rows):
+        sel = np.flatnonzero(v_rows == row_id)
+        if row_id % 2 != 0:
+            out[sel] = order[sel[np.argsort(-u_sorted[sel], kind="stable")]]
+    return out
+
+
+def generate_spot_map(
+    phantom: Phantom,
+    beam: Beam,
+    geometry: BeamGeometryCache,
+    spot_spacing_mm: float = 6.0,
+    layer_spacing_mm: float = 8.0,
+    lateral_margin_mm: float = 8.0,
+    depth_margin_mm: float = 4.0,
+) -> SpotMap:
+    """Place spots covering the target for one beam.
+
+    The target's voxels are projected into the BEV through ``geometry``;
+    the (u, v) hull plus margin defines the per-layer spot grid, and the
+    target's water-equivalent depth span defines the energy layers.
+    """
+    if spot_spacing_mm <= 0 or layer_spacing_mm <= 0:
+        raise GeometryError("spot and layer spacings must be positive")
+    target_idx = phantom.target.voxel_indices
+    if target_idx.size == 0:
+        raise GeometryError("phantom target is empty")
+    tu = geometry.u_mm[target_idx]
+    tv = geometry.v_mm[target_idx]
+    twed = geometry.wed_mm[target_idx]
+
+    u_lo, u_hi = float(tu.min()) - lateral_margin_mm, float(tu.max()) + lateral_margin_mm
+    v_lo, v_hi = float(tv.min()) - lateral_margin_mm, float(tv.max()) + lateral_margin_mm
+    wed_lo = max(float(twed.min()) - depth_margin_mm, layer_spacing_mm)
+    wed_hi = float(twed.max()) + depth_margin_mm
+    if wed_hi <= wed_lo:
+        wed_hi = wed_lo + layer_spacing_mm
+
+    layer_depths = np.arange(wed_lo, wed_hi + 1e-9, layer_spacing_mm)
+    if layer_depths.size == 0:
+        layer_depths = np.array([wed_lo])
+
+    us = np.arange(u_lo, u_hi + 1e-9, spot_spacing_mm)
+    vs = np.arange(v_lo, v_hi + 1e-9, spot_spacing_mm)
+    gu, gv = np.meshgrid(us, vs, indexing="xy")
+    grid_u = gu.ravel()
+    grid_v = gv.ravel()
+
+    # Keep spots whose (u, v) is near the target projection: within the
+    # margin of any target voxel (cheap distance check against the hull
+    # rectangle already applied; refine with a coarse occupancy map).
+    cell = max(spot_spacing_mm, 1.0)
+    occ_u = np.round(tu / cell).astype(np.int64)
+    occ_v = np.round(tv / cell).astype(np.int64)
+    occupied = set(zip(occ_u.tolist(), occ_v.tolist()))
+    reach = int(np.ceil(lateral_margin_mm / cell))
+    keep = np.zeros(grid_u.shape[0], dtype=bool)
+    cand_u = np.round(grid_u / cell).astype(np.int64)
+    cand_v = np.round(grid_v / cell).astype(np.int64)
+    for k in range(grid_u.shape[0]):
+        cu, cv = int(cand_u[k]), int(cand_v[k])
+        for du in range(-reach, reach + 1):
+            if (cu + du, cv) in occupied or any(
+                (cu + du, cv + dv) in occupied for dv in range(-reach, reach + 1)
+            ):
+                keep[k] = True
+                break
+    grid_u = grid_u[keep]
+    grid_v = grid_v[keep]
+    if grid_u.size == 0:
+        raise GeometryError("no spots cover the target projection")
+
+    order = _serpentine_order(grid_u, grid_v, spot_spacing_mm)
+    layer_u: List[np.ndarray] = []
+    layer_v: List[np.ndarray] = []
+    layer_id: List[np.ndarray] = []
+    energies: List[np.ndarray] = []
+    for li, depth in enumerate(layer_depths):
+        energy = float(energy_from_range_mm(depth))
+        layer_u.append(grid_u[order])
+        layer_v.append(grid_v[order])
+        layer_id.append(np.full(order.shape[0], li, dtype=np.int64))
+        energies.append(np.full(order.shape[0], energy))
+    return SpotMap(
+        beam=beam,
+        u_mm=np.concatenate(layer_u),
+        v_mm=np.concatenate(layer_v),
+        layer=np.concatenate(layer_id),
+        energy_mev=np.concatenate(energies),
+        layer_depths_mm=layer_depths,
+    )

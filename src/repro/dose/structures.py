@@ -1,0 +1,148 @@
+"""Regions of interest: targets and organs at risk as voxel masks.
+
+The oncologist's contours from the paper's workflow become boolean masks
+over the dose grid here; the optimizer's objectives and the DVH module
+consume them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+import numpy as np
+from scipy import ndimage
+
+from repro.dose.grid import DoseGrid
+from repro.util.errors import GeometryError
+
+
+@dataclass(frozen=True)
+class ROIMask:
+    """A named region of interest on a dose grid."""
+
+    name: str
+    grid: DoseGrid
+    #: boolean volume shaped ``(nz, ny, nx)``.
+    mask: np.ndarray
+
+    def __post_init__(self) -> None:
+        nx, ny, nz = self.grid.shape
+        mask = np.asarray(self.mask, dtype=bool)
+        if mask.shape != (nz, ny, nx):
+            raise GeometryError(
+                f"ROI {self.name!r}: mask shape {mask.shape} does not match "
+                f"grid volume shape {(nz, ny, nx)}"
+            )
+        mask.setflags(write=False)
+        object.__setattr__(self, "mask", mask)
+
+    @property
+    def flat(self) -> np.ndarray:
+        """Flat boolean vector over voxels (lexicographic, x fastest)."""
+        return self.mask.ravel()
+
+    @property
+    def voxel_indices(self) -> np.ndarray:
+        """Flat indices of voxels inside the ROI."""
+        return np.flatnonzero(self.flat)
+
+    @property
+    def n_voxels(self) -> int:
+        return int(np.count_nonzero(self.mask))
+
+    @property
+    def volume_cc(self) -> float:
+        """ROI volume in cubic centimetres."""
+        return self.n_voxels * self.grid.voxel_volume_cc
+
+    def union(self, other: "ROIMask", name: str = "") -> "ROIMask":
+        """Voxel-wise union (same grid required)."""
+        self._check_same_grid(other)
+        return ROIMask(name or f"{self.name}|{other.name}", self.grid,
+                       self.mask | other.mask)
+
+    def intersection(self, other: "ROIMask", name: str = "") -> "ROIMask":
+        """Voxel-wise intersection (same grid required)."""
+        self._check_same_grid(other)
+        return ROIMask(name or f"{self.name}&{other.name}", self.grid,
+                       self.mask & other.mask)
+
+    def minus(self, other: "ROIMask", name: str = "") -> "ROIMask":
+        """Voxels in this ROI but not in ``other``."""
+        self._check_same_grid(other)
+        return ROIMask(name or f"{self.name}-{other.name}", self.grid,
+                       self.mask & ~other.mask)
+
+    def expanded(self, margin_mm: float, name: str = "") -> "ROIMask":
+        """Isotropic margin expansion (PTV-style), in millimetres."""
+        if margin_mm < 0:
+            raise GeometryError(f"margin must be non-negative, got {margin_mm}")
+        if margin_mm == 0:
+            return ROIMask(name or self.name, self.grid, self.mask.copy())
+        dx, dy, dz = self.grid.spacing
+        radii = [max(1, int(round(margin_mm / s))) for s in (dz, dy, dx)]
+        grown = ndimage.binary_dilation(
+            self.mask,
+            structure=np.ones(
+                (2 * radii[0] + 1, 2 * radii[1] + 1, 2 * radii[2] + 1), bool
+            ),
+        )
+        return ROIMask(name or f"{self.name}+{margin_mm}mm", self.grid, grown)
+
+    def _check_same_grid(self, other: "ROIMask") -> None:
+        if other.grid.shape != self.grid.shape:
+            raise GeometryError(
+                f"ROIs {self.name!r} and {other.name!r} live on different grids"
+            )
+
+
+def sphere_mask(
+    grid: DoseGrid, center_mm: Iterable[float], radius_mm: float, name: str
+) -> ROIMask:
+    """A spherical ROI centered at a world coordinate."""
+    if radius_mm <= 0:
+        raise GeometryError(f"radius must be positive, got {radius_mm}")
+    return ellipsoid_mask(grid, center_mm, (radius_mm,) * 3, name)
+
+
+def ellipsoid_mask(
+    grid: DoseGrid,
+    center_mm: Iterable[float],
+    radii_mm: Tuple[float, float, float],
+    name: str,
+) -> ROIMask:
+    """An axis-aligned ellipsoidal ROI."""
+    center = np.asarray(tuple(center_mm), dtype=np.float64)
+    radii = np.asarray(radii_mm, dtype=np.float64)
+    if np.any(radii <= 0):
+        raise GeometryError(f"radii must be positive, got {radii_mm}")
+    xs, ys, zs = grid.axes()
+    gz, gy, gx = np.meshgrid(zs, ys, xs, indexing="ij")
+    d2 = (
+        ((gx - center[0]) / radii[0]) ** 2
+        + ((gy - center[1]) / radii[1]) ** 2
+        + ((gz - center[2]) / radii[2]) ** 2
+    )
+    return ROIMask(name, grid, d2 <= 1.0)
+
+
+def box_mask(
+    grid: DoseGrid,
+    lo_mm: Iterable[float],
+    hi_mm: Iterable[float],
+    name: str,
+) -> ROIMask:
+    """An axis-aligned box ROI given world-coordinate corners."""
+    lo = np.asarray(tuple(lo_mm), dtype=np.float64)
+    hi = np.asarray(tuple(hi_mm), dtype=np.float64)
+    if np.any(hi <= lo):
+        raise GeometryError("box upper corner must exceed lower corner")
+    xs, ys, zs = grid.axes()
+    gz, gy, gx = np.meshgrid(zs, ys, xs, indexing="ij")
+    inside = (
+        (gx >= lo[0]) & (gx <= hi[0])
+        & (gy >= lo[1]) & (gy <= hi[1])
+        & (gz >= lo[2]) & (gz <= hi[2])
+    )
+    return ROIMask(name, grid, inside)

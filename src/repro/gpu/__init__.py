@@ -1,0 +1,113 @@
+"""GPU execution-simulator substrate.
+
+A warp-level simulator standing in for the CUDA hardware the paper runs on:
+device catalogue (A100/V100/P100 + the evaluation CPU), launch/occupancy
+rules, a memory-transaction and L2 model, cooperative-groups emulation with
+hardware-exact reduction ordering, an atomics model with randomized commit
+order, and an analytical timing model (see DESIGN.md for the substitution
+argument).
+"""
+
+from repro.gpu.atomics import (
+    atomic_conflict_degree,
+    atomic_scatter_add,
+    expected_ulp_nondeterminism,
+)
+from repro.gpu.coop import WarpTile, thread_rank_linear
+from repro.gpu.counters import PerfCounters
+from repro.gpu.device import (
+    A100,
+    CPU_I9_7940X,
+    GPU_DEVICES,
+    P100,
+    V100,
+    DeviceKind,
+    DeviceSpec,
+    get_device,
+    list_devices,
+)
+from repro.gpu.executor import WarpWork, attach_launch_counts, warp_work, workload_profile
+from repro.gpu.launch import (
+    LaunchConfig,
+    Occupancy,
+    occupancy,
+    thread_per_item_launch,
+    warp_per_row_launch,
+)
+from repro.gpu.memory_planner import (
+    ChunkPlan,
+    MatrixFootprint,
+    paper_case_footprint,
+    plan_beams,
+    plan_execution,
+    usable_bytes,
+)
+from repro.gpu.cache import CacheStats, SetAssociativeCache, gather_trace_stats
+from repro.gpu.nsight import profile_report
+from repro.gpu.memory import (
+    GatherTraffic,
+    ScatterTraffic,
+    contiguous_stream_bytes,
+    gather_traffic,
+    output_write_bytes,
+    scatter_traffic,
+    segmented_stream_bytes,
+)
+from repro.gpu.timing import (
+    KernelTraits,
+    TimingEstimate,
+    WorkloadProfile,
+    effective_bandwidth,
+    estimate_cpu_time,
+    estimate_gpu_time,
+)
+
+__all__ = [
+    "atomic_conflict_degree",
+    "atomic_scatter_add",
+    "expected_ulp_nondeterminism",
+    "WarpTile",
+    "thread_rank_linear",
+    "PerfCounters",
+    "A100",
+    "CPU_I9_7940X",
+    "GPU_DEVICES",
+    "P100",
+    "V100",
+    "DeviceKind",
+    "DeviceSpec",
+    "get_device",
+    "list_devices",
+    "WarpWork",
+    "attach_launch_counts",
+    "warp_work",
+    "workload_profile",
+    "LaunchConfig",
+    "Occupancy",
+    "occupancy",
+    "thread_per_item_launch",
+    "warp_per_row_launch",
+    "GatherTraffic",
+    "ScatterTraffic",
+    "contiguous_stream_bytes",
+    "gather_traffic",
+    "output_write_bytes",
+    "scatter_traffic",
+    "segmented_stream_bytes",
+    "KernelTraits",
+    "TimingEstimate",
+    "WorkloadProfile",
+    "effective_bandwidth",
+    "estimate_cpu_time",
+    "estimate_gpu_time",
+    "ChunkPlan",
+    "MatrixFootprint",
+    "paper_case_footprint",
+    "plan_beams",
+    "plan_execution",
+    "usable_bytes",
+    "profile_report",
+    "CacheStats",
+    "SetAssociativeCache",
+    "gather_trace_stats",
+]

@@ -1,0 +1,90 @@
+"""Global-memory atomicAdd model with randomized commit order.
+
+CUDA guarantees each ``atomicAdd`` is applied exactly once, but the *order*
+in which concurrent atomics to the same address commit depends on warp
+scheduling and is not fixed between runs.  Because floating-point addition
+is not associative, a kernel that reduces through atomics (the paper's GPU
+Baseline) produces results whose low-order bits vary run to run — the
+property that disqualifies it from clinical use in RayStation.
+
+:func:`atomic_scatter_add` reproduces exactly that: contributions to each
+output element are applied in a per-run random order.  Two calls with
+different RNGs give results differing in the last bits; the same RNG seed
+gives identical results (useful for regression tests of the model itself).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.util.rng import RngLike, make_rng
+
+
+def atomic_scatter_add(
+    out: np.ndarray,
+    indices: np.ndarray,
+    values: np.ndarray,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Apply ``out[indices[k]] += values[k]`` in a randomized commit order.
+
+    Parameters
+    ----------
+    out:
+        accumulation target, modified in place and returned.
+    indices:
+        target index of each contribution.
+    values:
+        contribution values (same length as ``indices``); they are added in
+        ``out.dtype`` precision, like a hardware atomicAdd of that width.
+    rng:
+        randomness source for the commit order.  ``None`` models a real
+        run (non-deterministic across calls); a fixed seed pins the order.
+    """
+    indices = np.asarray(indices)
+    values = np.asarray(values)
+    if indices.shape != values.shape:
+        raise ValueError(
+            f"indices {indices.shape} and values {values.shape} length mismatch"
+        )
+    if indices.size == 0:
+        return out
+    rng = make_rng(rng)
+    order = rng.permutation(indices.size)
+    perm_idx = indices[order].astype(np.int64)
+    perm_val = values[order].astype(out.dtype)
+    # np.add.at applies contributions sequentially in argument order, which
+    # after the permutation is exactly "random commit order".
+    np.add.at(out, perm_idx, perm_val)
+    return out
+
+
+def atomic_conflict_degree(indices: np.ndarray) -> float:
+    """Average number of atomics landing on the same address.
+
+    1.0 means conflict-free; large values mean heavy serialization.  The
+    timing model multiplies the base atomic cost by a function of this.
+    """
+    indices = np.asarray(indices)
+    if indices.size == 0:
+        return 1.0
+    _, counts = np.unique(indices, return_counts=True)
+    # Expected queue length seen by a random atomic = E[count of its bucket]
+    # weighted by bucket size.
+    return float((counts.astype(np.float64) ** 2).sum() / indices.size)
+
+
+def expected_ulp_nondeterminism(
+    values: np.ndarray, dtype: np.dtype = np.float64
+) -> float:
+    """Crude upper estimate of the result spread different orders can cause.
+
+    Summing ``n`` values of magnitude ``m`` in different orders perturbs the
+    result by at most ``O(n * eps * sum|values|)``; returned in absolute
+    terms so tests can assert the observed atomics spread stays below it.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    eps = float(np.finfo(dtype).eps)
+    return values.size * eps * float(np.abs(values).sum())

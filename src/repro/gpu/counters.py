@@ -1,0 +1,132 @@
+"""Performance counters collected by the simulated kernels.
+
+The counters mirror what the paper measures with Nvidia Nsight Compute
+(``dram_bytes`` between L2 and DRAM, L2 transaction volume) plus the
+structural quantities the timing model needs (warp iterations, per-row
+overhead, atomic operations).
+
+DRAM traffic is kept split by *origin* — per-non-zero, per-row and
+per-column — because the benchmark harness measures counters on scaled
+matrices and extrapolates them to the paper's full-size matrices; each
+component scales with a different structural dimension (this is exactly the
+paper's analytic model ``6*nnz + 12*nr + 8*nc`` with the three terms kept
+separate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass
+class PerfCounters:
+    """Counter set for one simulated kernel launch.
+
+    All byte quantities are DRAM<->L2 traffic unless prefixed ``l2_``.
+    """
+
+    #: floating point operations (2 per stored non-zero for SpMV).
+    flops: float = 0.0
+    #: DRAM bytes that scale with nnz (matrix values + column indices).
+    dram_bytes_nnz: float = 0.0
+    #: DRAM bytes that scale with the row count (indptr + output vector).
+    dram_bytes_rows: float = 0.0
+    #: DRAM bytes that scale with the column count (input-vector footprint).
+    dram_bytes_cols: float = 0.0
+    #: extra DRAM bytes from cache misses when the input vector exceeds L2.
+    dram_bytes_refetch: float = 0.0
+    #: L2 transaction bytes that scale with nnz (matrix streams, gathers,
+    #: atomic bounces).
+    l2_bytes: float = 0.0
+    #: L2 transaction bytes that scale with the row count (row pointers,
+    #: output-vector writes).
+    l2_bytes_rows: float = 0.0
+    #: global atomic read-modify-write operations issued.
+    atomic_ops: float = 0.0
+    #: total warp-level inner-loop iterations, sum over rows of ceil(len/32).
+    warp_iterations: float = 0.0
+    #: wasted lane-slots x bytes from partially filled final iterations.
+    partial_waste_bytes: float = 0.0
+    #: warps launched (one per row for the vector kernel).
+    n_warps: float = 0.0
+    #: rows the kernel iterated over (including empty rows).
+    rows_processed: float = 0.0
+    #: thread blocks launched.
+    n_blocks: float = 0.0
+    #: integer/bookkeeping instructions that scale with nnz (address
+    #: arithmetic, loads); used by the compute-side roofline term.
+    aux_instructions: float = 0.0
+    #: bookkeeping instructions that scale with the row count (the 5-round
+    #: warp reduction, pointer reads, result writes).
+    aux_instructions_rows: float = 0.0
+
+    @property
+    def dram_bytes(self) -> float:
+        """Total DRAM<->L2 traffic, the paper's ``dram_bytes`` metric."""
+        return (
+            self.dram_bytes_nnz
+            + self.dram_bytes_rows
+            + self.dram_bytes_cols
+            + self.dram_bytes_refetch
+        )
+
+    @property
+    def l2_bytes_total(self) -> float:
+        """Total L2 transaction volume."""
+        return self.l2_bytes + self.l2_bytes_rows
+
+    @property
+    def operational_intensity(self) -> float:
+        """Flops per DRAM byte — the x-axis of the paper's roofline plot."""
+        total = self.dram_bytes
+        return self.flops / total if total else 0.0
+
+    def merged(self, other: "PerfCounters") -> "PerfCounters":
+        """Element-wise sum of two counter sets (multi-launch aggregation)."""
+        return PerfCounters(
+            **{
+                name: getattr(self, name) + getattr(other, name)
+                for name in self.__dataclass_fields__
+            }
+        )
+
+    def scaled(
+        self,
+        nnz_factor: float,
+        rows_factor: float,
+        cols_factor: float,
+        grid_factor: float = None,
+    ) -> "PerfCounters":
+        """Extrapolate counters to a matrix scaled by the given factors.
+
+        ``nnz_factor`` multiplies everything that scales with non-zeros,
+        ``rows_factor`` the per-row quantities and ``cols_factor`` the
+        input-vector footprint.  ``grid_factor`` scales the launch geometry
+        (warps/blocks) — it follows the axis the kernel parallelizes over
+        (rows for warp-per-row kernels, nnz for the entry-parallel
+        baseline); defaults to ``rows_factor``.  Used to report paper-scale
+        performance from bench-scale measurements.
+        """
+        if grid_factor is None:
+            grid_factor = rows_factor
+        return PerfCounters(
+            flops=self.flops * nnz_factor,
+            dram_bytes_nnz=self.dram_bytes_nnz * nnz_factor,
+            dram_bytes_rows=self.dram_bytes_rows * rows_factor,
+            dram_bytes_cols=self.dram_bytes_cols * cols_factor,
+            dram_bytes_refetch=self.dram_bytes_refetch * nnz_factor,
+            l2_bytes=self.l2_bytes * nnz_factor,
+            l2_bytes_rows=self.l2_bytes_rows * rows_factor,
+            atomic_ops=self.atomic_ops * nnz_factor,
+            warp_iterations=self.warp_iterations * nnz_factor,
+            partial_waste_bytes=self.partial_waste_bytes * rows_factor,
+            n_warps=self.n_warps * grid_factor,
+            rows_processed=self.rows_processed * rows_factor,
+            n_blocks=self.n_blocks * grid_factor,
+            aux_instructions=self.aux_instructions * nnz_factor,
+            aux_instructions_rows=self.aux_instructions_rows * rows_factor,
+        )
+
+    def copy(self) -> "PerfCounters":
+        """Shallow copy (all fields are scalars)."""
+        return replace(self)

@@ -1,0 +1,215 @@
+"""Device catalogue: the GPUs and the CPU the paper evaluates on.
+
+Each :class:`DeviceSpec` carries the published hardware characteristics
+(SM count, peak bandwidth, peak FLOP rates, L2 size) plus a small set of
+microarchitectural parameters the timing model uses (memory latency,
+outstanding memory sectors per warp, atomic throughput).  The
+microarchitectural values are set from public microbenchmark literature;
+the P100's low ``sectors_per_warp`` encodes that pre-Volta parts lack
+independent thread scheduling and hardware-accelerated cooperative-group
+reductions, which is what limits this kernel family to ~41 % of peak
+bandwidth there (Section V of the paper).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.util.errors import DeviceError
+
+
+class DeviceKind(enum.Enum):
+    """Processor family a device belongs to."""
+
+    GPU = "gpu"
+    CPU = "cpu"
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Hardware description used by the execution and timing models."""
+
+    name: str
+    kind: DeviceKind
+    #: streaming multiprocessors (GPU) or physical cores (CPU).
+    sm_count: int
+    #: SIMT width (32 on all Nvidia parts; SIMD doubles per core for CPU).
+    warp_size: int
+    clock_ghz: float
+    #: peak DRAM (HBM2/DDR4) bandwidth in bytes/s.
+    peak_bw: float
+    #: peak double-precision FLOP/s.
+    peak_flops_fp64: float
+    #: peak single-precision FLOP/s.
+    peak_flops_fp32: float
+    #: last-level (L2) cache capacity in bytes.
+    l2_bytes: int
+    #: aggregate L2 bandwidth in bytes/s.
+    l2_bw: float
+    #: device memory capacity in bytes.
+    dram_bytes: int
+    #: memory sector (minimum DRAM transaction) size in bytes.
+    sector_bytes: int = 32
+    #: average DRAM load latency in seconds.
+    mem_latency_s: float = 450e-9
+    #: outstanding memory sectors a single warp keeps in flight; encodes
+    #: scheduler/MSHR capability differences between generations.
+    sectors_per_warp: float = 6.0
+    #: fraction of peak DRAM bandwidth reachable by a perfectly streaming
+    #: kernel (DRAM efficiency ceiling; ~0.85-0.9 for HBM2).
+    dram_efficiency_ceiling: float = 0.88
+    #: FP64 atomicAdd operations per second at L2 (conflict-free).
+    atomic_fp64_rate: float = 50e9
+    #: max resident threads per SM.
+    max_threads_per_sm: int = 2048
+    #: max threads per block the launch validator accepts.
+    max_threads_per_block: int = 1024
+    #: max resident blocks per SM.
+    max_blocks_per_sm: int = 32
+    #: cycles to schedule/retire one thread block (turnover overhead).
+    block_turnover_cycles: float = 250.0
+    #: whether cooperative groups reductions run in hardware (Volta+).
+    coop_groups_hw: bool = True
+
+    def __post_init__(self) -> None:
+        if self.sm_count <= 0 or self.warp_size <= 0:
+            raise DeviceError(f"{self.name}: non-positive SM/warp configuration")
+        if self.peak_bw <= 0 or self.peak_flops_fp64 <= 0:
+            raise DeviceError(f"{self.name}: non-positive peak rates")
+
+    @property
+    def is_gpu(self) -> bool:
+        return self.kind is DeviceKind.GPU
+
+    def peak_flops(self, precision_bytes: int) -> float:
+        """Peak FLOP/s for a value width (8 -> FP64, else FP32 path)."""
+        return self.peak_flops_fp64 if precision_bytes >= 8 else self.peak_flops_fp32
+
+    def max_resident_warps(self, threads_per_block: int) -> int:
+        """Resident warps per SM for a block size (occupancy numerator)."""
+        if threads_per_block <= 0:
+            return 0
+        blocks = min(
+            self.max_threads_per_sm // threads_per_block, self.max_blocks_per_sm
+        )
+        return blocks * threads_per_block // self.warp_size
+
+
+#: Nvidia A100-SXM4-40GB (Ampere GA100) — the paper's primary platform.
+A100 = DeviceSpec(
+    name="A100",
+    kind=DeviceKind.GPU,
+    sm_count=108,
+    warp_size=32,
+    clock_ghz=1.41,
+    peak_bw=1555e9,
+    peak_flops_fp64=9.7e12,
+    peak_flops_fp32=19.5e12,
+    l2_bytes=40 * 2**20,
+    l2_bw=4500e9,
+    dram_bytes=40 * 2**30,
+    mem_latency_s=470e-9,
+    sectors_per_warp=6.0,
+    dram_efficiency_ceiling=0.88,
+    atomic_fp64_rate=66e9,
+    coop_groups_hw=True,
+)
+
+#: Nvidia V100-SXM2-16GB (Volta GV100) — Kebnekaise GPU nodes.
+V100 = DeviceSpec(
+    name="V100",
+    kind=DeviceKind.GPU,
+    sm_count=80,
+    warp_size=32,
+    clock_ghz=1.53,
+    peak_bw=897e9,
+    peak_flops_fp64=7.8e12,
+    peak_flops_fp32=15.7e12,
+    l2_bytes=6 * 2**20,
+    l2_bw=2500e9,
+    dram_bytes=16 * 2**30,
+    mem_latency_s=425e-9,
+    sectors_per_warp=4.0,
+    dram_efficiency_ceiling=0.87,
+    atomic_fp64_rate=30e9,
+    coop_groups_hw=True,
+)
+
+#: Nvidia P100-SXM2-16GB (Pascal GP100) on the POWER8 system.
+#: Pre-Volta: cooperative groups are software-emulated and the scheduler
+#: keeps far fewer memory requests in flight per warp for this kernel
+#: family, which is what caps it at ~41 % of peak bandwidth.
+P100 = DeviceSpec(
+    name="P100",
+    kind=DeviceKind.GPU,
+    sm_count=56,
+    warp_size=32,
+    clock_ghz=1.48,
+    peak_bw=732e9,
+    peak_flops_fp64=4.7e12,
+    peak_flops_fp32=9.3e12,
+    l2_bytes=4 * 2**20,
+    l2_bw=1600e9,
+    dram_bytes=16 * 2**30,
+    mem_latency_s=560e-9,
+    sectors_per_warp=1.5,
+    dram_efficiency_ceiling=0.85,
+    atomic_fp64_rate=12e9,
+    coop_groups_hw=False,
+)
+
+#: Intel i9-7940X (Skylake-X, 14C/28T) running the RayStation CPU code.
+#: ``warp_size`` models the 8-wide AVX-512 double lanes; ``sm_count`` is
+#: physical cores.  The efficiency parameters reflect a scratch-array
+#: reduction algorithm rather than a perfectly tuned stream kernel.
+CPU_I9_7940X = DeviceSpec(
+    name="i9-7940X",
+    kind=DeviceKind.CPU,
+    sm_count=14,
+    warp_size=8,
+    clock_ghz=3.1,
+    peak_bw=85e9,
+    peak_flops_fp64=1.39e12,
+    peak_flops_fp32=2.78e12,
+    l2_bytes=19 * 2**20,  # L3 (LLC) capacity
+    l2_bw=400e9,
+    dram_bytes=64 * 2**30,
+    sector_bytes=64,
+    mem_latency_s=90e-9,
+    sectors_per_warp=10.0,
+    dram_efficiency_ceiling=0.75,
+    atomic_fp64_rate=1e9,
+    max_threads_per_sm=2,
+    max_threads_per_block=2,
+    max_blocks_per_sm=1,
+    block_turnover_cycles=0.0,
+    coop_groups_hw=False,
+)
+
+_CATALOGUE: Dict[str, DeviceSpec] = {
+    spec.name.lower(): spec for spec in (A100, V100, P100, CPU_I9_7940X)
+}
+
+#: Devices evaluated in Figure 7, in the paper's order.
+GPU_DEVICES = (A100, V100, P100)
+
+
+def get_device(name: str) -> DeviceSpec:
+    """Look up a device by (case-insensitive) name.
+
+    >>> get_device("a100").peak_bw
+    1555000000000.0
+    """
+    try:
+        return _CATALOGUE[name.lower()]
+    except KeyError:
+        raise DeviceError(
+            f"unknown device {name!r}; available: {sorted(_CATALOGUE)}"
+        ) from None
+
+
+def list_devices() -> Dict[str, DeviceSpec]:
+    """All known devices keyed by lower-case name."""
+    return dict(_CATALOGUE)

@@ -1,0 +1,110 @@
+"""Kernel launch configuration and occupancy calculation.
+
+Mirrors the CUDA execution-configuration rules the paper sweeps in
+Figure 4: the vector-CSR kernel launches ``32 * n_rows`` total threads, the
+block size varies between 32 and 1024, and the grid is sized so the product
+matches the total.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.device import DeviceSpec
+from repro.util.errors import LaunchConfigError
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """A CUDA-style ``<<<grid, block>>>`` configuration."""
+
+    grid_blocks: int
+    threads_per_block: int
+
+    def __post_init__(self) -> None:
+        if self.grid_blocks <= 0:
+            raise LaunchConfigError(f"grid must be positive, got {self.grid_blocks}")
+        if self.threads_per_block <= 0:
+            raise LaunchConfigError(
+                f"block size must be positive, got {self.threads_per_block}"
+            )
+
+    @property
+    def total_threads(self) -> int:
+        """Threads launched across the whole grid."""
+        return self.grid_blocks * self.threads_per_block
+
+    def validate(self, device: DeviceSpec) -> "LaunchConfig":
+        """Raise :class:`LaunchConfigError` if illegal on ``device``."""
+        if self.threads_per_block > device.max_threads_per_block:
+            raise LaunchConfigError(
+                f"block size {self.threads_per_block} exceeds device limit "
+                f"{device.max_threads_per_block}"
+            )
+        if device.is_gpu and self.threads_per_block % device.warp_size != 0:
+            raise LaunchConfigError(
+                f"block size {self.threads_per_block} is not a multiple of the "
+                f"warp size {device.warp_size}"
+            )
+        return self
+
+
+def warp_per_row_launch(
+    n_rows: int, threads_per_block: int = 512, warp_size: int = 32
+) -> LaunchConfig:
+    """The paper's execution configuration for the vector-CSR kernel.
+
+    Total threads are fixed at ``warp_size * n_rows`` (one warp per matrix
+    row); the grid is the smallest one covering that with the requested
+    block size.
+    """
+    if n_rows <= 0:
+        raise LaunchConfigError(f"n_rows must be positive, got {n_rows}")
+    total = warp_size * n_rows
+    grid = (total + threads_per_block - 1) // threads_per_block
+    return LaunchConfig(grid, threads_per_block)
+
+
+def thread_per_item_launch(n_items: int, threads_per_block: int = 128) -> LaunchConfig:
+    """One thread per work item (scalar-CSR and the atomics baseline)."""
+    if n_items <= 0:
+        raise LaunchConfigError(f"n_items must be positive, got {n_items}")
+    grid = (n_items + threads_per_block - 1) // threads_per_block
+    return LaunchConfig(grid, threads_per_block)
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Achieved occupancy of a launch on a device."""
+
+    resident_warps_per_sm: int
+    max_warps_per_sm: int
+    resident_blocks_per_sm: int
+
+    @property
+    def fraction(self) -> float:
+        """Resident / maximum warps — the classic occupancy metric."""
+        if self.max_warps_per_sm == 0:
+            return 0.0
+        return self.resident_warps_per_sm / self.max_warps_per_sm
+
+
+def occupancy(device: DeviceSpec, config: LaunchConfig) -> Occupancy:
+    """Compute resident warps per SM for a launch (register/smem ignored;
+    the paper's kernels are limited by thread count, not registers)."""
+    config.validate(device)
+    warp = device.warp_size
+    blocks = min(
+        device.max_threads_per_sm // config.threads_per_block,
+        device.max_blocks_per_sm,
+    )
+    blocks = max(blocks, 0)
+    # Cannot keep more blocks resident than the grid provides.
+    grid_limit = (config.grid_blocks + device.sm_count - 1) // device.sm_count
+    blocks = min(blocks, max(grid_limit, 1)) if config.grid_blocks else blocks
+    resident_warps = blocks * (config.threads_per_block // warp)
+    return Occupancy(
+        resident_warps_per_sm=resident_warps,
+        max_warps_per_sm=device.max_threads_per_sm // warp,
+        resident_blocks_per_sm=blocks,
+    )

@@ -1,0 +1,161 @@
+"""Device-memory planning and chunked SpMV execution plans.
+
+Table I's matrices push GPU memory: liver beam 4 is 11 GB in the paper's
+half+int32 accounting, and a 4-beam liver plan totals ~36 GB — fine on the
+A100-40GB the paper uses, impossible on the 16 GB V100/P100.  This module
+answers the deployment questions the paper leaves to the reader:
+
+* does a case (or a whole plan) fit a device, with working-set overheads?
+* if not, how many *row chunks* must the SpMV be split into, and what does
+  the chunking cost (the input vector is re-read once per chunk)?
+
+Chunking by rows preserves bitwise reproducibility (each row is still
+reduced by exactly one warp in the same order); only the launch count and
+the input-vector re-reads change — both accounted for in the estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.gpu.device import DeviceSpec
+from repro.precision.types import HALF_DOUBLE, MixedPrecision
+from repro.util.errors import ReproError
+
+#: Fraction of device memory usable for data (the rest: CUDA context,
+#: allocator slack, workspace).
+USABLE_FRACTION = 0.92
+
+
+@dataclass(frozen=True)
+class MatrixFootprint:
+    """Device-resident bytes of one deposition matrix + its vectors."""
+
+    name: str
+    n_rows: float
+    n_cols: float
+    nnz: float
+    precision: MixedPrecision = HALF_DOUBLE
+
+    @property
+    def matrix_bytes(self) -> float:
+        """Values + column indices + row pointers."""
+        return (
+            self.nnz * (self.precision.matrix.nbytes + self.precision.index_bytes)
+            + (self.n_rows + 1) * 4
+        )
+
+    @property
+    def vector_bytes(self) -> float:
+        """Input + output vectors at the vector precision."""
+        return (self.n_rows + self.n_cols) * self.precision.vector.nbytes
+
+    @property
+    def total_bytes(self) -> float:
+        return self.matrix_bytes + self.vector_bytes
+
+
+@dataclass(frozen=True)
+class ChunkPlan:
+    """How one matrix executes on one device."""
+
+    footprint: MatrixFootprint
+    device: str
+    fits_resident: bool
+    n_chunks: int
+    chunk_rows: int
+    #: extra input-vector traffic from re-reading x once per chunk.
+    extra_x_bytes: float
+
+    @property
+    def resident_bytes(self) -> float:
+        """Peak device memory during execution."""
+        if self.fits_resident:
+            return self.footprint.total_bytes
+        return (
+            self.footprint.matrix_bytes / self.n_chunks
+            + self.footprint.vector_bytes
+        )
+
+    @property
+    def traffic_overhead_fraction(self) -> float:
+        """Extra DRAM traffic vs the resident plan (host transfers aside)."""
+        base = self.footprint.matrix_bytes + self.footprint.vector_bytes
+        return self.extra_x_bytes / base if base else 0.0
+
+
+def usable_bytes(device: DeviceSpec) -> float:
+    """Device memory available for matrix data."""
+    return device.dram_bytes * USABLE_FRACTION
+
+
+def plan_execution(
+    footprint: MatrixFootprint, device: DeviceSpec
+) -> ChunkPlan:
+    """Fit a matrix on a device, chunking rows if needed.
+
+    Chunks are sized so (chunk matrix + both vectors) fits in usable
+    memory; the input vector is (re-)read once per chunk.
+    """
+    budget = usable_bytes(device)
+    if footprint.vector_bytes >= budget:
+        raise ReproError(
+            f"{footprint.name}: even the dense vectors "
+            f"({footprint.vector_bytes / 1e9:.2f} GB) exceed {device.name}'s "
+            f"usable memory"
+        )
+    if footprint.total_bytes <= budget:
+        return ChunkPlan(
+            footprint=footprint,
+            device=device.name,
+            fits_resident=True,
+            n_chunks=1,
+            chunk_rows=int(footprint.n_rows),
+            extra_x_bytes=0.0,
+        )
+    matrix_budget = budget - footprint.vector_bytes
+    n_chunks = int(-(-footprint.matrix_bytes // matrix_budget))
+    chunk_rows = int(-(-footprint.n_rows // n_chunks))
+    extra_x = (
+        (n_chunks - 1) * footprint.n_cols * footprint.precision.vector.nbytes
+    )
+    return ChunkPlan(
+        footprint=footprint,
+        device=device.name,
+        fits_resident=False,
+        n_chunks=n_chunks,
+        chunk_rows=chunk_rows,
+        extra_x_bytes=extra_x,
+    )
+
+
+def plan_beams(
+    footprints: Sequence[MatrixFootprint], device: DeviceSpec
+) -> List[ChunkPlan]:
+    """Plan a multi-beam treatment plan: can all beams stay resident?
+
+    If the sum fits, everything is resident (the optimizer touches every
+    beam each iteration, so keeping all resident avoids PCIe churn);
+    otherwise each beam is planned independently (streamed one at a time).
+    """
+    total = sum(f.total_bytes for f in footprints)
+    if total <= usable_bytes(device):
+        return [plan_execution(f, device) for f in footprints]
+    return [plan_execution(f, device) for f in footprints]
+
+
+def paper_case_footprint(
+    name: str, precision: MixedPrecision = HALF_DOUBLE
+) -> MatrixFootprint:
+    """Footprint of a Table I case at full paper scale."""
+    from repro.plans.cases import PAPER_TABLE1
+
+    scale = PAPER_TABLE1[name]
+    return MatrixFootprint(
+        name=name,
+        n_rows=scale.rows,
+        n_cols=scale.cols,
+        nnz=scale.nnz,
+        precision=precision,
+    )

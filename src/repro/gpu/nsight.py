@@ -1,0 +1,137 @@
+"""Nsight-Compute-style profiler reports from simulated kernel runs.
+
+The paper's measurements come from Nvidia Nsight Compute ("We use Nvidia's
+Nsight Compute to measure the total size of all memory transactions from
+DRAM to the caches", Section IV).  This module renders the simulator's
+counters and timing breakdown in the familiar ncu section layout —
+Speed Of Light, Memory Workload Analysis, Occupancy, Launch Statistics —
+so a reader used to ncu output can audit the model the same way the
+authors audited the hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.gpu.launch import occupancy
+from repro.kernels.base import KernelResult
+from repro.util.units import format_bandwidth, format_bytes, format_time
+
+
+@dataclass(frozen=True)
+class ProfileSection:
+    """One ncu-style report section."""
+
+    title: str
+    metrics: List[tuple]  # (name, value, unit)
+
+    def render(self, width: int = 70) -> str:
+        bar = "-" * width
+        lines = [bar, f"  {self.title}", bar]
+        for name, value, unit in self.metrics:
+            lines.append(f"    {name:<44s} {str(value):>16s} {unit}")
+        return "\n".join(lines)
+
+
+def speed_of_light(result: KernelResult) -> ProfileSection:
+    """SOL section: how close to device limits the kernel runs."""
+    device = result.device
+    timing = result.timing
+    mem_pct = 100.0 * timing.bandwidth_fraction(device)
+    compute_pct = (
+        100.0
+        * result.counters.flops
+        / max(timing.time_s, 1e-30)
+        / device.peak_flops(result.accum_bytes)
+    )
+    return ProfileSection(
+        "GPU Speed Of Light Throughput",
+        [
+            ("Memory Throughput", f"{mem_pct:.1f}", "% of peak"),
+            ("Compute (FP) Throughput", f"{compute_pct:.1f}", "% of peak"),
+            ("Duration", format_time(timing.time_s), ""),
+            ("Limiting Resource", timing.limiter, ""),
+        ],
+    )
+
+
+def memory_workload(result: KernelResult) -> ProfileSection:
+    """Memory section: the dram_bytes breakdown the paper's model predicts."""
+    c = result.counters
+    timing = result.timing
+    return ProfileSection(
+        "Memory Workload Analysis",
+        [
+            ("DRAM <-> L2 Traffic (dram_bytes)", format_bytes(c.dram_bytes), ""),
+            ("  matrix values + indices", format_bytes(c.dram_bytes_nnz), ""),
+            ("  row pointers + output vector", format_bytes(c.dram_bytes_rows), ""),
+            ("  input-vector footprint", format_bytes(c.dram_bytes_cols), ""),
+            ("  capacity-miss refetch", format_bytes(c.dram_bytes_refetch), ""),
+            ("L2 Transaction Volume", format_bytes(c.l2_bytes_total), ""),
+            ("Achieved DRAM Bandwidth",
+             format_bandwidth(timing.achieved_dram_bw), ""),
+            ("Operational Intensity",
+             f"{c.operational_intensity:.3f}", "flop/byte"),
+            ("Global Atomics", f"{c.atomic_ops:.3g}", "ops"),
+        ],
+    )
+
+
+def occupancy_section(result: KernelResult) -> ProfileSection:
+    """Occupancy section (launch-bounds driven, as in the paper's sweep)."""
+    if result.launch is None:
+        return ProfileSection("Occupancy", [("Host execution", "n/a", "")])
+    occ = occupancy(result.device, result.launch)
+    return ProfileSection(
+        "Occupancy",
+        [
+            ("Block Size", result.launch.threads_per_block, "threads"),
+            ("Resident Blocks / SM", occ.resident_blocks_per_sm, ""),
+            ("Resident Warps / SM", occ.resident_warps_per_sm, ""),
+            ("Theoretical Occupancy", f"{100 * occ.fraction:.0f}", "%"),
+        ],
+    )
+
+
+def launch_statistics(result: KernelResult) -> ProfileSection:
+    """Launch geometry section."""
+    if result.launch is None:
+        return ProfileSection("Launch Statistics", [("Host execution", "n/a", "")])
+    return ProfileSection(
+        "Launch Statistics",
+        [
+            ("Grid Size", result.launch.grid_blocks, "blocks"),
+            ("Total Threads", result.launch.total_threads, ""),
+            ("Warps Launched", f"{result.counters.n_warps:.3g}", ""),
+            ("Warp Iterations", f"{result.counters.warp_iterations:.3g}", ""),
+        ],
+    )
+
+
+def timing_breakdown(result: KernelResult) -> ProfileSection:
+    """The analytical model's component times (not an ncu section, but the
+    piece a model audit needs)."""
+    rows = [
+        (f"t[{name}]", format_time(value), "")
+        for name, value in sorted(
+            result.timing.components.items(), key=lambda kv: -kv[1]
+        )
+    ]
+    return ProfileSection("Timing Model Breakdown", rows)
+
+
+def profile_report(result: KernelResult) -> str:
+    """Full ncu-style report for one kernel execution."""
+    header = (
+        f"== PROF == {result.kernel} on {result.device.name}, "
+        f"modelled duration {format_time(result.timing.time_s)}"
+    )
+    sections = [
+        speed_of_light(result),
+        memory_workload(result),
+        occupancy_section(result),
+        launch_statistics(result),
+        timing_breakdown(result),
+    ]
+    return "\n".join([header] + [s.render() for s in sections])

@@ -1,0 +1,68 @@
+"""Dose-calculation SpMV kernels.
+
+* :func:`HalfDoubleKernel` — the paper's contribution (warp-per-row CSR,
+  cooperative-group reductions, half-stored matrix, double vectors).
+* :func:`SingleKernel` — same kernel in single precision (library
+  comparison configuration).
+* :class:`GPUBaselineKernel` — the RayStation algorithm ported to GPU with
+  atomics (non-reproducible; the paper's performance baseline).
+* :class:`CPURayStationKernel` — the clinical CPU implementation.
+* :class:`CuSparseLikeKernel` / :class:`GinkgoLikeKernel` — behavioural
+  models of the state-of-the-art libraries (single precision).
+* :class:`ScalarCSRKernel` — one-thread-per-row contrast for ablation.
+"""
+
+from repro.kernels.base import KernelResult, MatrixLike, SpMVKernel
+from repro.kernels.baseline import GPUBaselineKernel
+from repro.kernels.cpu_raystation import CPURayStationKernel
+from repro.kernels.csr_scalar import ScalarCSRKernel, scalar_csr_spmv_exact
+from repro.kernels.csr_vector import (
+    HalfDoubleKernel,
+    SingleKernel,
+    VectorCSRKernel,
+    warp_csr_spmv_exact,
+)
+from repro.kernels.cusparse_model import CuSparseLikeKernel
+from repro.kernels.format_kernels import (
+    ELLPACKKernel,
+    SellCSigmaKernel,
+    ellpack_spmv_exact,
+    sellcs_spmv_exact,
+)
+from repro.kernels.batched import (
+    OptimizationProjection,
+    PlanSpMVResult,
+    project_optimization,
+    run_plan_spmv,
+)
+from repro.kernels.cuda_source import generate_cuda_kernel
+from repro.kernels.dispatch import kernel_names, make_kernel
+from repro.kernels.ginkgo_model import GinkgoLikeKernel, ginkgo_subwarp_size
+
+__all__ = [
+    "KernelResult",
+    "MatrixLike",
+    "SpMVKernel",
+    "GPUBaselineKernel",
+    "CPURayStationKernel",
+    "ScalarCSRKernel",
+    "scalar_csr_spmv_exact",
+    "HalfDoubleKernel",
+    "SingleKernel",
+    "VectorCSRKernel",
+    "warp_csr_spmv_exact",
+    "CuSparseLikeKernel",
+    "ELLPACKKernel",
+    "SellCSigmaKernel",
+    "ellpack_spmv_exact",
+    "sellcs_spmv_exact",
+    "kernel_names",
+    "make_kernel",
+    "OptimizationProjection",
+    "PlanSpMVResult",
+    "project_optimization",
+    "run_plan_spmv",
+    "generate_cuda_kernel",
+    "GinkgoLikeKernel",
+    "ginkgo_subwarp_size",
+]

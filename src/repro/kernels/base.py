@@ -1,0 +1,105 @@
+"""Kernel interface shared by every SpMV implementation.
+
+A kernel bundles a *functional* execution (exact arithmetic with the exact
+reduction order of its hardware counterpart, vectorized with NumPy) with a
+*performance* execution (counter collection + analytical timing on a target
+device).  ``run`` performs both and returns a :class:`KernelResult`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.gpu.counters import PerfCounters
+from repro.gpu.device import A100, DeviceSpec
+from repro.gpu.launch import LaunchConfig
+from repro.gpu.timing import KernelTraits, TimingEstimate, WorkloadProfile
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.rscf import RSCFMatrix
+from repro.util.rng import RngLike
+
+MatrixLike = Union[CSRMatrix, RSCFMatrix]
+
+
+@dataclass(frozen=True)
+class KernelResult:
+    """Outcome of one simulated kernel execution."""
+
+    #: kernel registry name (e.g. ``"half_double"``).
+    kernel: str
+    #: device the execution was modelled on.
+    device: DeviceSpec
+    #: launch configuration used.
+    launch: Optional[LaunchConfig]
+    #: the computed output vector (always float64 for reporting).
+    y: np.ndarray
+    #: collected performance counters.
+    counters: PerfCounters
+    #: analytical timing estimate.
+    timing: TimingEstimate
+    #: modelling traits the estimate used (for paper-scale re-estimation).
+    traits: Optional[KernelTraits] = None
+    #: workload profile the estimate used.
+    profile: Optional[WorkloadProfile] = None
+    #: accumulation width in bytes (8 for double, 4 for single paths).
+    accum_bytes: int = 8
+
+    @property
+    def gflops(self) -> float:
+        """Modelled GFLOP/s."""
+        return self.timing.gflops
+
+    @property
+    def dram_bandwidth(self) -> float:
+        """Modelled achieved DRAM bandwidth in bytes/s."""
+        return self.timing.achieved_dram_bw
+
+    @property
+    def operational_intensity(self) -> float:
+        """Flops per DRAM byte (roofline x-coordinate)."""
+        return self.counters.operational_intensity
+
+
+class SpMVKernel(abc.ABC):
+    """Abstract SpMV kernel.
+
+    Subclasses set :attr:`name`, declare whether their result is bitwise
+    reproducible across runs, and implement :meth:`run`.
+    """
+
+    #: registry name; subclasses override.
+    name: str = "abstract"
+    #: True if repeated runs on the same input are bit-identical.
+    reproducible: bool = True
+
+    @abc.abstractmethod
+    def run(
+        self,
+        matrix: MatrixLike,
+        x: np.ndarray,
+        device: DeviceSpec = A100,
+        threads_per_block: Optional[int] = None,
+        rng: RngLike = None,
+    ) -> KernelResult:
+        """Execute ``y = A @ x`` functionally and model its performance.
+
+        ``rng`` only affects kernels with nondeterministic reduction order
+        (the atomics baseline); deterministic kernels ignore it.
+        """
+
+    def traits_for(self, profile: WorkloadProfile) -> KernelTraits:
+        """Modelling traits for a workload profile.
+
+        The default returns the kernel's static ``traits``; library
+        comparator models override this because their efficiency depends
+        on the matrix's row-length profile — which changes when the
+        harness re-estimates timing at paper scale.
+        """
+        return self.traits
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} name={self.name!r}>"

@@ -1,0 +1,115 @@
+"""The RayStation CPU implementation: scratch-array column accumulation.
+
+This is the algorithm used clinically at the time of the paper (run on an
+Intel i9-7940X there).  Columns (spots) are partitioned over threads; each
+thread decodes its columns' run-length segments, dequantizes the 16-bit
+values and accumulates into a *private* full-length scratch vector; a final
+deterministic reduction sums the scratch vectors in thread order.
+
+Properties modelled:
+
+* deterministic (fixed partition, fixed reduction order) -> reproducible,
+  which is why the clinic can use it;
+* compute bound: branchy segment decoding + uint16 dequantization cost
+  ~13 scalar cycles per stored value, which at 14 cores dominates memory
+  time — this is the 17x gap to the GPU port the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.gpu.counters import PerfCounters
+from repro.gpu.device import CPU_I9_7940X, DeviceSpec
+from repro.gpu.timing import KernelTraits, estimate_cpu_time
+from repro.kernels.base import KernelResult, SpMVKernel
+from repro.sparse.convert import _expand_segments
+from repro.sparse.rscf import RSCFMatrix
+from repro.util.errors import DTypeError, ShapeError
+from repro.util.rng import RngLike
+
+
+class CPURayStationKernel(SpMVKernel):
+    """Clinical CPU dose-calculation algorithm (scratch arrays)."""
+
+    name = "cpu_raystation"
+    reproducible = True
+
+    def __init__(self, n_threads: int = 14) -> None:
+        if n_threads <= 0:
+            raise ValueError(f"n_threads must be positive, got {n_threads}")
+        self.n_threads = n_threads
+        self.traits = KernelTraits(cpu_cycles_per_value=13.0)
+
+    def _counters(self, matrix: RSCFMatrix, device: DeviceSpec) -> PerfCounters:
+        c = PerfCounters()
+        c.flops = 2.0 * matrix.nnz
+        # Stream the compressed matrix once...
+        c.dram_bytes_nnz = float(
+            matrix.nnz * matrix.values.dtype.itemsize
+            # ...and write each contribution into a scratch vector; scratch
+            # vectors exceed the LLC, so writes cost allocate + writeback.
+            + matrix.nnz * 8 * 2
+        )
+        c.dram_bytes_cols = float(matrix.n_cols * (8 + 4) + 16 * matrix.n_segments)
+        # Final reduction: read all scratch vectors, write the result.
+        c.dram_bytes_rows = float((self.n_threads + 1) * matrix.n_rows * 8)
+        c.l2_bytes = c.dram_bytes_nnz
+        c.rows_processed = matrix.n_rows
+        c.aux_instructions = 13.0 * matrix.nnz
+        return c
+
+    def run(
+        self,
+        matrix: RSCFMatrix,
+        x: np.ndarray,
+        device: DeviceSpec = CPU_I9_7940X,
+        threads_per_block: Optional[int] = None,
+        rng: RngLike = None,
+    ) -> KernelResult:
+        if not isinstance(matrix, RSCFMatrix):
+            raise DTypeError(
+                f"{self.name} operates on the RayStation compressed format, "
+                f"got {type(matrix).__name__}"
+            )
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (matrix.n_cols,):
+            raise ShapeError(f"x has shape {x.shape}, expected ({matrix.n_cols},)")
+
+        # Functional half: fixed column partition over threads, private
+        # scratch accumulation, deterministic thread-order reduction.
+        n_threads = self.n_threads
+        boundaries = np.linspace(0, matrix.n_cols, n_threads + 1).astype(np.int64)
+        col_counts = np.diff(matrix.val_ptr.astype(np.int64))
+        entry_cols = np.repeat(np.arange(matrix.n_cols, dtype=np.int64), col_counts)
+        rows_touched = _expand_segments(matrix.seg_start, matrix.seg_len)
+        scales = np.repeat(matrix.col_scale.astype(np.float64), col_counts)
+        contributions = matrix.values.astype(np.float64) * scales * x[entry_cols]
+
+        y = np.zeros(matrix.n_rows, dtype=np.float64)
+        for t in range(n_threads):
+            lo, hi = int(boundaries[t]), int(boundaries[t + 1])
+            sel = (entry_cols >= lo) & (entry_cols < hi)
+            scratch = np.zeros(matrix.n_rows, dtype=np.float64)
+            # Columns in ascending order, runs in ascending row order:
+            # np.add.at applies sequentially in that fixed order.
+            np.add.at(scratch, rows_touched[sel], contributions[sel])
+            y += scratch  # reduction in thread order 0..T-1
+
+        counters = self._counters(matrix, device)
+        timing = estimate_cpu_time(
+            device, counters, self.traits, n_threads=n_threads
+        )
+        return KernelResult(
+            kernel=self.name,
+            device=device,
+            launch=None,
+            y=y,
+            counters=counters,
+            timing=timing,
+            traits=self.traits,
+            profile=None,
+            accum_bytes=8,
+        )

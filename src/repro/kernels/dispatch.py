@@ -1,0 +1,58 @@
+"""Kernel registry: look up SpMV implementations by name.
+
+The benchmark harness, CLI and examples refer to kernels by the short
+names used throughout the paper's figures: ``half_double``, ``single``,
+``gpu_baseline``, ``cpu_raystation``, ``cusparse``, ``ginkgo`` (plus the
+ablation kernels).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.kernels.base import SpMVKernel
+from repro.kernels.baseline import GPUBaselineKernel
+from repro.kernels.cpu_raystation import CPURayStationKernel
+from repro.kernels.csr_scalar import ScalarCSRKernel
+from repro.kernels.csr_vector import HalfDoubleKernel, SingleKernel, VectorCSRKernel
+from repro.kernels.format_kernels import ELLPACKKernel, SellCSigmaKernel
+from repro.kernels.cusparse_model import CuSparseLikeKernel
+from repro.kernels.ginkgo_model import GinkgoLikeKernel
+from repro.precision.types import DOUBLE, HALF_DOUBLE_SHORT_INDEX
+from repro.util.errors import ReproError
+
+_FACTORIES: Dict[str, Callable[[], SpMVKernel]] = {
+    "half_double": HalfDoubleKernel,
+    "single": SingleKernel,
+    "double": lambda: VectorCSRKernel(DOUBLE, name="double"),
+    "half_double_u16": lambda: VectorCSRKernel(
+        HALF_DOUBLE_SHORT_INDEX, name="half_double_u16"
+    ),
+    "scalar_csr": ScalarCSRKernel,
+    "gpu_baseline": GPUBaselineKernel,
+    "cpu_raystation": CPURayStationKernel,
+    "cusparse": CuSparseLikeKernel,
+    "ginkgo": GinkgoLikeKernel,
+    "ellpack_half_double": ELLPACKKernel,
+    "sellcs_half_double": SellCSigmaKernel,
+}
+
+
+def make_kernel(name: str) -> SpMVKernel:
+    """Instantiate a kernel by registry name.
+
+    >>> make_kernel("half_double").name
+    'half_double'
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown kernel {name!r}; available: {sorted(_FACTORIES)}"
+        ) from None
+    return factory()
+
+
+def kernel_names() -> List[str]:
+    """All registered kernel names, sorted."""
+    return sorted(_FACTORIES)

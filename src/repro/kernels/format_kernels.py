@@ -1,0 +1,269 @@
+"""SpMV kernels for ELLPACK and SELL-C-sigma — the paper's future work.
+
+Section II-C: "Investigating other storage formats, such as ELLPACK, and
+SELL-C-sigma, will be a topic of future work."  These kernels implement
+that investigation on the simulator, with the same mixed half/double
+precision discipline as the contributed CSR kernel:
+
+* **ELLPACK** (thread per row over the padded column-major layout):
+  perfectly coalesced and with no per-row pointer reads, but every padded
+  slot costs real traffic — on the dose matrices' heavy-tailed rows the
+  padding factor is ruinous (see the format ablation bench).
+* **SELL-C-sigma** (warp per 32-row chunk): rows sorted by length within
+  sigma-windows, chunks padded only to their own maximum.  Padding traffic
+  shrinks to a few percent, row pointers are per-chunk instead of per-row,
+  and lane utilization within a chunk is near-perfect — the format's
+  published advantage, visible here against the same baseline.
+
+Both kernels use fixed summation orders (sequential per thread for
+ELLPACK, lane-sequential + butterfly per chunk for SELL-C-sigma), so both
+are bitwise reproducible and RayStation-eligible.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.gpu.coop import WarpTile
+from repro.gpu.counters import PerfCounters
+from repro.gpu.device import A100, DeviceSpec
+from repro.gpu.executor import attach_launch_counts
+from repro.gpu.launch import thread_per_item_launch, warp_per_row_launch
+from repro.gpu.memory import contiguous_stream_bytes, gather_traffic
+from repro.gpu.timing import KernelTraits, WorkloadProfile, estimate_gpu_time
+from repro.kernels.base import KernelResult, SpMVKernel
+from repro.precision.types import HALF_DOUBLE, MixedPrecision
+from repro.sparse.ellpack import ELLMatrix
+from repro.sparse.sellcs import SellCSigmaMatrix
+from repro.util.errors import DTypeError, ShapeError
+from repro.util.rng import RngLike
+
+WARP = 32
+
+
+def ellpack_spmv_exact(
+    matrix: ELLMatrix, x: np.ndarray, accum_dtype: np.dtype
+) -> np.ndarray:
+    """One thread per row, slots accumulated left to right (fixed order)."""
+    accum_dtype = np.dtype(accum_dtype)
+    x = np.asarray(x)
+    if x.shape != (matrix.n_cols,):
+        raise ShapeError(f"x has shape {x.shape}, expected ({matrix.n_cols},)")
+    xa = x.astype(accum_dtype, copy=False)
+    acc = np.zeros(matrix.n_rows, dtype=accum_dtype)
+    for k in range(matrix.width):
+        cols = matrix.col_indices[:, k]
+        valid = cols >= 0
+        safe = np.where(valid, cols, 0)
+        contrib = matrix.values[:, k].astype(accum_dtype) * xa[safe]
+        acc = acc + np.where(valid, contrib, accum_dtype.type(0))
+    return acc
+
+
+def sellcs_spmv_exact(
+    matrix: SellCSigmaMatrix, x: np.ndarray, accum_dtype: np.dtype
+) -> np.ndarray:
+    """Warp per chunk-row: strided lane accumulation + butterfly reduce.
+
+    Matches the CSR vector kernel's per-row order exactly, applied within
+    each chunk's padded rows, so results are bit-identical to the CSR
+    kernel for the same stored values.
+    """
+    accum_dtype = np.dtype(accum_dtype)
+    x = np.asarray(x)
+    if x.shape != (matrix.n_cols,):
+        raise ShapeError(f"x has shape {x.shape}, expected ({matrix.n_cols},)")
+    xa = x.astype(accum_dtype, copy=False)
+    tile = WarpTile(WARP)
+    y = np.zeros(matrix.n_rows, dtype=accum_dtype)
+    for j, (vals, cols) in enumerate(zip(matrix.chunk_values, matrix.chunk_cols)):
+        if vals.size == 0:
+            continue
+        rows_in_chunk, width = vals.shape
+        lane_acc = np.zeros((rows_in_chunk, WARP), dtype=accum_dtype)
+        for start in range(0, width, WARP):
+            v = vals[:, start : start + WARP].astype(accum_dtype)
+            c = cols[:, start : start + WARP]
+            valid = c >= 0
+            safe = np.where(valid, c, 0)
+            contrib = np.where(valid, v * xa[safe], accum_dtype.type(0))
+            lane_acc[:, : contrib.shape[1]] += contrib
+        partial = tile.reduce_add(lane_acc)
+        slots = np.arange(j * matrix.chunk_size, j * matrix.chunk_size + rows_in_chunk)
+        y[matrix.perm[slots]] = partial
+    return y
+
+
+class ELLPACKKernel(SpMVKernel):
+    """Thread-per-row SpMV over the padded ELLPACK layout."""
+
+    name = "ellpack_half_double"
+    reproducible = True
+    default_threads_per_block = 256
+
+    def __init__(self, precision: MixedPrecision = HALF_DOUBLE):
+        self.precision = precision
+        self.traits = KernelTraits(
+            row_overhead_bytes=16.0,  # no pointers; just the result write
+            warp_per_row=False,
+            uses_atomics=False,
+        )
+
+    def _counters(self, matrix: ELLMatrix, device: DeviceSpec) -> PerfCounters:
+        prec = self.precision
+        slots = matrix.n_rows * matrix.width
+        c = PerfCounters()
+        c.flops = 2.0 * matrix.nnz
+        # EVERY padded slot streams through DRAM: the format's cost.
+        c.dram_bytes_nnz = contiguous_stream_bytes(
+            slots, prec.matrix.nbytes, device.sector_bytes
+        ) + contiguous_stream_bytes(slots, prec.index_bytes, device.sector_bytes)
+        c.dram_bytes_rows = contiguous_stream_bytes(
+            matrix.n_rows, prec.vector.nbytes, device.sector_bytes
+        )
+        flat_cols = matrix.col_indices[matrix.col_indices >= 0]
+        gather = gather_traffic(flat_cols, prec.vector.nbytes, matrix.n_cols, device)
+        c.dram_bytes_cols = gather.compulsory_dram_bytes
+        c.dram_bytes_refetch = gather.refetch_dram_bytes
+        c.l2_bytes = c.dram_bytes_nnz + gather.l2_bytes
+        c.l2_bytes_rows = c.dram_bytes_rows
+        c.warp_iterations = matrix.width * ((matrix.n_rows + WARP - 1) // WARP)
+        c.partial_waste_bytes = 0.0  # padding is charged as real traffic above
+        c.n_warps = (matrix.n_rows + WARP - 1) // WARP
+        c.rows_processed = matrix.n_rows
+        c.aux_instructions = 2.0 * slots
+        return c
+
+    def run(
+        self,
+        matrix: ELLMatrix,
+        x: np.ndarray,
+        device: DeviceSpec = A100,
+        threads_per_block: Optional[int] = None,
+        rng: RngLike = None,
+    ) -> KernelResult:
+        if not isinstance(matrix, ELLMatrix):
+            raise DTypeError(
+                f"{self.name} operates on ELLPACK matrices, got "
+                f"{type(matrix).__name__}"
+            )
+        if matrix.values.dtype != self.precision.matrix.dtype:
+            raise DTypeError(
+                f"{self.name} expects {self.precision.matrix.dtype} values, "
+                f"got {matrix.values.dtype}"
+            )
+        tpb = threads_per_block or self.default_threads_per_block
+        launch = thread_per_item_launch(matrix.n_rows, tpb).validate(device)
+        y = ellpack_spmv_exact(matrix, x, self.precision.accumulate.dtype)
+        counters = attach_launch_counts(
+            self._counters(matrix, device), launch, device.warp_size
+        )
+        profile = WorkloadProfile(avg_row_len=float(matrix.width), rowlen_cv=0.0)
+        timing = estimate_gpu_time(
+            device, launch, counters, self.traits, profile,
+            accum_bytes=self.precision.accumulate.nbytes,
+        )
+        return KernelResult(
+            kernel=self.name, device=device, launch=launch,
+            y=y.astype(np.float64), counters=counters, timing=timing,
+            traits=self.traits, profile=profile,
+            accum_bytes=self.precision.accumulate.nbytes,
+        )
+
+
+class SellCSigmaKernel(SpMVKernel):
+    """Warp-per-chunk-row SpMV over SELL-C-sigma."""
+
+    name = "sellcs_half_double"
+    reproducible = True
+    default_threads_per_block = 512
+
+    def __init__(self, precision: MixedPrecision = HALF_DOUBLE):
+        self.precision = precision
+        self.traits = KernelTraits(
+            # Chunk bookkeeping amortizes over 32 rows; result writes are
+            # permuted (scattered) which costs a little extra.
+            row_overhead_bytes=24.0,
+            warp_per_row=True,
+            uses_atomics=False,
+        )
+
+    def _counters(
+        self, matrix: SellCSigmaMatrix, device: DeviceSpec
+    ) -> PerfCounters:
+        prec = self.precision
+        slots = matrix.padded_slots
+        c = PerfCounters()
+        c.flops = 2.0 * matrix.nnz
+        c.dram_bytes_nnz = contiguous_stream_bytes(
+            slots, prec.matrix.nbytes, device.sector_bytes
+        ) + contiguous_stream_bytes(slots, prec.index_bytes, device.sector_bytes)
+        # Permutation array + scattered result writes (8 B each, but a
+        # scattered store touches a full sector).
+        c.dram_bytes_rows = contiguous_stream_bytes(
+            matrix.n_rows, 4, device.sector_bytes
+        ) + matrix.n_rows * prec.vector.nbytes * 2
+        all_cols = (
+            np.concatenate([ch.ravel() for ch in matrix.chunk_cols])
+            if matrix.chunk_cols
+            else np.empty(0, np.int64)
+        )
+        all_cols = all_cols[all_cols >= 0]
+        gather = gather_traffic(all_cols, prec.vector.nbytes, matrix.n_cols, device)
+        c.dram_bytes_cols = gather.compulsory_dram_bytes
+        c.dram_bytes_refetch = gather.refetch_dram_bytes
+        c.l2_bytes = c.dram_bytes_nnz + gather.l2_bytes
+        c.l2_bytes_rows = c.dram_bytes_rows
+        c.warp_iterations = sum(
+            -(-ch.shape[1] // WARP) * ch.shape[0]
+            for ch in matrix.chunk_values
+        )
+        c.partial_waste_bytes = 0.0  # padding charged as traffic
+        c.n_warps = matrix.n_rows  # one warp pass per (chunk) row
+        c.rows_processed = matrix.n_rows
+        c.aux_instructions = 2.0 * slots
+        c.aux_instructions_rows = 5.0 * WARP * matrix.n_rows / matrix.chunk_size
+        return c
+
+    def run(
+        self,
+        matrix: SellCSigmaMatrix,
+        x: np.ndarray,
+        device: DeviceSpec = A100,
+        threads_per_block: Optional[int] = None,
+        rng: RngLike = None,
+    ) -> KernelResult:
+        if not isinstance(matrix, SellCSigmaMatrix):
+            raise DTypeError(
+                f"{self.name} operates on SELL-C-sigma matrices, got "
+                f"{type(matrix).__name__}"
+            )
+        tpb = threads_per_block or self.default_threads_per_block
+        launch = warp_per_row_launch(
+            max(matrix.n_rows, 1), tpb, device.warp_size
+        ).validate(device)
+        y = sellcs_spmv_exact(matrix, x, self.precision.accumulate.dtype)
+        counters = attach_launch_counts(
+            self._counters(matrix, device), launch, device.warp_size
+        )
+        lengths = matrix.row_lengths.astype(np.float64)
+        nonempty = lengths[lengths > 0]
+        mean = float(nonempty.mean()) if nonempty.size else 0.0
+        profile = WorkloadProfile(
+            avg_row_len=mean,
+            # Sigma-sorting removes intra-block length variance: chunks are
+            # length-homogeneous, so the straggler channel all but closes.
+            rowlen_cv=0.1,
+        )
+        timing = estimate_gpu_time(
+            device, launch, counters, self.traits, profile,
+            accum_bytes=self.precision.accumulate.nbytes,
+        )
+        return KernelResult(
+            kernel=self.name, device=device, launch=launch,
+            y=y.astype(np.float64), counters=counters, timing=timing,
+            traits=self.traits, profile=profile,
+            accum_bytes=self.precision.accumulate.nbytes,
+        )

@@ -1,0 +1,111 @@
+"""DVH-based objectives — the clinical constraint language.
+
+Protocols are written in dose-volume terms ("V20Gy of the lung <= 30 %",
+"D95 of the target >= prescription"), not quadratic penalties.  These
+objectives penalize DVH violations directly, using the standard smooth
+relaxation: a max-DVH constraint ``V(d_limit) <= v_limit`` penalizes the
+*hottest excess voxels beyond the allowed volume*, which keeps the
+gradient sparse and well-behaved (this is the formulation treatment
+planning systems, including RayStation, expose).
+
+They plug into :class:`~repro.opt.objectives.CompositeObjective` like the
+quadratic terms — every evaluation still rides on the same ``A w`` SpMV
+the paper accelerates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dose.structures import ROIMask
+from repro.opt.objectives import DoseObjective
+from repro.util.validation import check_nonnegative, check_positive
+
+
+class MaxDVHObjective(DoseObjective):
+    """Penalize ``V(dose_gy) > volume_fraction`` (an upper DVH point).
+
+    Only the voxels that (a) exceed ``dose_gy`` and (b) lie beyond the
+    allowed volume fraction when voxels are ranked by dose contribute —
+    the coldest of the offending voxels are pushed down first, which is
+    the minimal-perturbation way to restore the constraint.
+    """
+
+    def __init__(
+        self,
+        roi: ROIMask,
+        dose_gy: float,
+        volume_fraction: float,
+        weight: float = 1.0,
+    ):
+        super().__init__(roi, weight)
+        self.dose_gy = check_positive(dose_gy, "dose_gy")
+        if not 0.0 <= volume_fraction < 1.0:
+            raise ValueError(
+                f"volume_fraction must be in [0, 1), got {volume_fraction}"
+            )
+        self.volume_fraction = volume_fraction
+
+    def _value_and_grad_inside(self, dose_inside):
+        n = max(dose_inside.shape[0], 1)
+        allowed = int(np.floor(self.volume_fraction * n))
+        over = dose_inside > self.dose_gy
+        n_over = int(np.count_nonzero(over))
+        grad = np.zeros_like(dose_inside)
+        if n_over <= allowed:
+            return 0.0, grad
+        # Rank offending voxels by dose ascending; the coldest
+        # (n_over - allowed) of them must come down to dose_gy.
+        offender_idx = np.flatnonzero(over)
+        order = np.argsort(dose_inside[offender_idx])
+        victims = offender_idx[order[: n_over - allowed]]
+        excess = dose_inside[victims] - self.dose_gy
+        value = float(excess @ excess) / n
+        grad[victims] = (2.0 / n) * excess
+        return value, grad
+
+
+class MinDVHObjective(DoseObjective):
+    """Penalize ``V(dose_gy) < volume_fraction`` (a coverage DVH point).
+
+    E.g. "95 % of the target must receive the prescription": the warmest
+    of the under-dosed voxels are pulled up first.
+    """
+
+    def __init__(
+        self,
+        roi: ROIMask,
+        dose_gy: float,
+        volume_fraction: float,
+        weight: float = 1.0,
+    ):
+        super().__init__(roi, weight)
+        self.dose_gy = check_positive(dose_gy, "dose_gy")
+        if not 0.0 < volume_fraction <= 1.0:
+            raise ValueError(
+                f"volume_fraction must be in (0, 1], got {volume_fraction}"
+            )
+        self.volume_fraction = volume_fraction
+
+    def _value_and_grad_inside(self, dose_inside):
+        n = max(dose_inside.shape[0], 1)
+        required = int(np.ceil(self.volume_fraction * n))
+        covered = dose_inside >= self.dose_gy
+        n_covered = int(np.count_nonzero(covered))
+        grad = np.zeros_like(dose_inside)
+        if n_covered >= required:
+            return 0.0, grad
+        under_idx = np.flatnonzero(~covered)
+        order = np.argsort(-dose_inside[under_idx])  # warmest first
+        victims = under_idx[order[: required - n_covered]]
+        deficit = self.dose_gy - dose_inside[victims]
+        value = float(deficit @ deficit) / n
+        grad[victims] = (-2.0 / n) * deficit
+        return value, grad
+
+
+def dvh_objective_satisfied(
+    dose: np.ndarray, objective: DoseObjective, tolerance: float = 1e-12
+) -> bool:
+    """Whether a DVH objective's constraint holds at a dose (value == 0)."""
+    return objective.value(np.asarray(dose, dtype=np.float64)) <= tolerance

@@ -1,0 +1,154 @@
+"""Plan-optimization objective functions.
+
+The paper's setting: an iterative optimizer adjusts spot weights ``w`` and
+evaluates the dose ``d = A w`` in *every iteration* — which is why the SpMV
+is the bottleneck worth porting to GPU.  These are the standard quadratic
+penalty objectives treatment planning systems use:
+
+* uniform-dose: ``||d - p||^2`` over the target (prescription ``p``);
+* max-dose: one-sided ``||max(d - limit, 0)||^2`` over an OAR;
+* min-dose: one-sided ``||max(floor - d, 0)||^2`` over the target.
+
+All objectives expose value and gradient *with respect to the dose*; the
+problem layer chains them through ``A^T`` to get spot-weight gradients.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dose.structures import ROIMask
+from repro.util.errors import ShapeError
+from repro.util.validation import check_nonnegative, check_positive
+
+
+class DoseObjective(abc.ABC):
+    """A weighted objective term evaluated on the dose vector."""
+
+    def __init__(self, roi: ROIMask, weight: float = 1.0):
+        self.roi = roi
+        self.weight = check_nonnegative(weight, "weight")
+        self._indices = roi.voxel_indices
+
+    @abc.abstractmethod
+    def _value_and_grad_inside(
+        self, dose_inside: np.ndarray
+    ) -> "tuple[float, np.ndarray]":
+        """Value and d(value)/d(dose) restricted to the ROI's voxels."""
+
+    def value(self, dose: np.ndarray) -> float:
+        """Weighted objective value."""
+        v, _ = self._eval(dose)
+        return v
+
+    def gradient(self, dose: np.ndarray) -> np.ndarray:
+        """Weighted gradient w.r.t. the full dose vector (sparse support)."""
+        _, g = self._eval(dose)
+        return g
+
+    def _eval(self, dose: np.ndarray) -> "tuple[float, np.ndarray]":
+        dose = np.asarray(dose, dtype=np.float64)
+        if dose.shape != (self.roi.grid.n_voxels,):
+            raise ShapeError(
+                f"dose has shape {dose.shape}, expected "
+                f"({self.roi.grid.n_voxels},)"
+            )
+        inside = dose[self._indices]
+        v, g_inside = self._value_and_grad_inside(inside)
+        grad = np.zeros_like(dose)
+        grad[self._indices] = self.weight * g_inside
+        return self.weight * v, grad
+
+    @property
+    def n_voxels(self) -> int:
+        return self._indices.shape[0]
+
+
+@dataclass(frozen=True)
+class _Normalization:
+    """Objectives are normalized by ROI voxel count so weights are
+    comparable across differently sized structures."""
+
+
+class UniformDoseObjective(DoseObjective):
+    """``(1/n) * sum((d_i - prescription)^2)`` over the target."""
+
+    def __init__(self, roi: ROIMask, prescription_gy: float, weight: float = 1.0):
+        super().__init__(roi, weight)
+        self.prescription_gy = check_positive(prescription_gy, "prescription_gy")
+
+    def _value_and_grad_inside(self, dose_inside):
+        n = max(dose_inside.shape[0], 1)
+        diff = dose_inside - self.prescription_gy
+        return float(diff @ diff) / n, (2.0 / n) * diff
+
+
+class MaxDoseObjective(DoseObjective):
+    """One-sided ``(1/n) * sum(max(d_i - limit, 0)^2)`` over an OAR."""
+
+    def __init__(self, roi: ROIMask, limit_gy: float, weight: float = 1.0):
+        super().__init__(roi, weight)
+        self.limit_gy = check_nonnegative(limit_gy, "limit_gy")
+
+    def _value_and_grad_inside(self, dose_inside):
+        n = max(dose_inside.shape[0], 1)
+        excess = np.maximum(dose_inside - self.limit_gy, 0.0)
+        return float(excess @ excess) / n, (2.0 / n) * excess
+
+
+class MinDoseObjective(DoseObjective):
+    """One-sided ``(1/n) * sum(max(floor - d_i, 0)^2)`` over the target."""
+
+    def __init__(self, roi: ROIMask, floor_gy: float, weight: float = 1.0):
+        super().__init__(roi, weight)
+        self.floor_gy = check_positive(floor_gy, "floor_gy")
+
+    def _value_and_grad_inside(self, dose_inside):
+        n = max(dose_inside.shape[0], 1)
+        deficit = np.maximum(self.floor_gy - dose_inside, 0.0)
+        return float(deficit @ deficit) / n, (-2.0 / n) * deficit
+
+
+class MeanDoseObjective(DoseObjective):
+    """``(mean(d) - goal)^2`` — soft mean-dose control for large OARs."""
+
+    def __init__(self, roi: ROIMask, goal_gy: float, weight: float = 1.0):
+        super().__init__(roi, weight)
+        self.goal_gy = check_nonnegative(goal_gy, "goal_gy")
+
+    def _value_and_grad_inside(self, dose_inside):
+        n = max(dose_inside.shape[0], 1)
+        mean = float(dose_inside.mean()) if dose_inside.size else 0.0
+        diff = mean - self.goal_gy
+        grad = np.full(dose_inside.shape[0], 2.0 * diff / n)
+        return diff * diff, grad
+
+
+class CompositeObjective:
+    """Weighted sum of objective terms with a combined gradient."""
+
+    def __init__(self, terms: "list[DoseObjective]"):
+        if not terms:
+            raise ValueError("need at least one objective term")
+        self.terms = list(terms)
+
+    def value(self, dose: np.ndarray) -> float:
+        return float(sum(t.value(dose) for t in self.terms))
+
+    def gradient(self, dose: np.ndarray) -> np.ndarray:
+        grad = self.terms[0].gradient(dose)
+        for t in self.terms[1:]:
+            grad = grad + t.gradient(dose)
+        return grad
+
+    def value_and_gradient(self, dose: np.ndarray) -> "tuple[float, np.ndarray]":
+        v = 0.0
+        grad = np.zeros_like(np.asarray(dose, dtype=np.float64))
+        for t in self.terms:
+            tv, tg = t._eval(np.asarray(dose, dtype=np.float64))
+            v += tv
+            grad += tg
+        return v, grad

@@ -1,0 +1,27 @@
+"""The paper's evaluation cases (Table I) at configurable scales."""
+
+from repro.plans.cases import (
+    LIVER_GANTRY_DEG,
+    PAPER_TABLE1,
+    PROSTATE_GANTRY_DEG,
+    CaseDefinition,
+    PaperScale,
+    build_all_cases,
+    build_case_matrix,
+    case_names,
+    get_case,
+    scale_factors,
+)
+
+__all__ = [
+    "LIVER_GANTRY_DEG",
+    "PAPER_TABLE1",
+    "PROSTATE_GANTRY_DEG",
+    "CaseDefinition",
+    "PaperScale",
+    "build_all_cases",
+    "build_case_matrix",
+    "case_names",
+    "get_case",
+    "scale_factors",
+]

@@ -1,0 +1,58 @@
+"""Precision substrate: mixed-precision descriptors, half-precision storage
+emulation, and reduction-order reproducibility tooling."""
+
+from repro.precision.types import (
+    DOUBLE,
+    HALF_DOUBLE,
+    HALF_DOUBLE_SHORT_INDEX,
+    SINGLE,
+    MixedPrecision,
+    Precision,
+)
+from repro.precision.halfsim import (
+    HALF_EPS,
+    HALF_MAX,
+    HALF_MIN_NORMAL,
+    QuantizationReport,
+    analyze_quantization,
+    dose_scale_for_half,
+    half_roundtrip,
+    quantize_half,
+    spmv_error_bound,
+    widen_half,
+)
+from repro.precision.reproducibility import (
+    ReproducibilityChecker,
+    ReproducibilityReport,
+    pairwise_reduce,
+    permuted_reduce,
+    sequential_reduce,
+    tree_reduce,
+    tree_reduce_rows,
+)
+
+__all__ = [
+    "DOUBLE",
+    "HALF_DOUBLE",
+    "HALF_DOUBLE_SHORT_INDEX",
+    "SINGLE",
+    "MixedPrecision",
+    "Precision",
+    "HALF_EPS",
+    "HALF_MAX",
+    "HALF_MIN_NORMAL",
+    "QuantizationReport",
+    "analyze_quantization",
+    "dose_scale_for_half",
+    "half_roundtrip",
+    "quantize_half",
+    "spmv_error_bound",
+    "widen_half",
+    "ReproducibilityChecker",
+    "ReproducibilityReport",
+    "pairwise_reduce",
+    "permuted_reduce",
+    "sequential_reduce",
+    "tree_reduce",
+    "tree_reduce_rows",
+]

@@ -1,0 +1,124 @@
+"""IEEE-754 half-precision storage emulation and error analysis.
+
+NumPy's ``float16`` *is* IEEE-754 binary16, so "emulation" here means making
+the store/widen round trip explicit and providing the error diagnostics the
+RayStation requirement is based on: matrix entries may be half, but the
+optimizer's vectors must stay double because half-precision *vectors* lose
+too much accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+#: Largest finite half-precision value.
+HALF_MAX = float(np.finfo(np.float16).max)
+
+#: Smallest positive normal half-precision value.
+HALF_MIN_NORMAL = float(np.finfo(np.float16).tiny)
+
+#: Unit roundoff of binary16 (2**-11).
+HALF_EPS = float(np.finfo(np.float16).eps) / 2
+
+
+def quantize_half(values: np.ndarray) -> np.ndarray:
+    """Round values to the nearest representable half (stored as float16).
+
+    Values above ``HALF_MAX`` overflow to ``inf`` exactly as a CUDA
+    ``__float2half`` conversion would; callers that must avoid overflow
+    should scale first (dose deposition values are Gy-per-unit-weight and
+    stay far below 65504 in practice).
+    """
+    with np.errstate(over="ignore"):  # overflow to inf is the modelled behaviour
+        return np.asarray(values).astype(np.float16)
+
+
+def widen_half(values: np.ndarray, dtype: np.dtype = np.float64) -> np.ndarray:
+    """Widen stored half values for computation (exact, no rounding)."""
+    return np.asarray(values, dtype=np.float16).astype(dtype)
+
+
+def half_roundtrip(values: np.ndarray) -> np.ndarray:
+    """``float64 -> float16 -> float64`` round trip (storage error applied)."""
+    return widen_half(quantize_half(values))
+
+
+@dataclass(frozen=True)
+class QuantizationReport:
+    """Error statistics of a half-precision storage pass."""
+
+    max_abs_error: float
+    max_rel_error: float
+    mean_rel_error: float
+    overflow_count: int
+    underflow_count: int
+
+    @property
+    def within_half_ulp(self) -> bool:
+        """True if the worst relative error is within half an ULP of binary16.
+
+        Round-to-nearest guarantees rel. error <= eps/2 = 2**-11 for normal
+        values; subnormals may exceed this, which the report flags via
+        ``underflow_count``.
+        """
+        return self.max_rel_error <= HALF_EPS * (1 + 1e-12)
+
+
+def analyze_quantization(values: np.ndarray) -> QuantizationReport:
+    """Quantify the error of storing ``values`` in half precision."""
+    values = np.asarray(values, dtype=np.float64)
+    stored = half_roundtrip(values)
+    abs_err = np.abs(stored - values)
+    overflow = int(np.count_nonzero(np.isinf(stored) & np.isfinite(values)))
+    nonzero = values != 0
+    finite = np.isfinite(stored)
+    rel_mask = nonzero & finite
+    rel_err = np.zeros_like(values)
+    rel_err[rel_mask] = abs_err[rel_mask] / np.abs(values[rel_mask])
+    underflow = int(
+        np.count_nonzero(
+            nonzero & (np.abs(values) < HALF_MIN_NORMAL) & np.isfinite(values)
+        )
+    )
+    finite_abs = abs_err[np.isfinite(abs_err)]
+    return QuantizationReport(
+        max_abs_error=float(finite_abs.max(initial=0.0)),
+        max_rel_error=float(rel_err.max(initial=0.0)),
+        mean_rel_error=float(rel_err[rel_mask].mean()) if rel_mask.any() else 0.0,
+        overflow_count=overflow,
+        underflow_count=underflow,
+    )
+
+
+def spmv_error_bound(
+    row_length: int, accum_eps: float = float(np.finfo(np.float64).eps)
+) -> float:
+    """A-priori relative error bound for one mixed-precision dot product.
+
+    Storing matrix entries in half contributes at most ``HALF_EPS`` relative
+    error per entry (independent of row length); the double accumulation
+    contributes the classic ``n * u`` term.  The bound shows why the
+    half/double mix is safe for RayStation: the storage term dominates and
+    is length-independent, whereas half *accumulation* would grow linearly
+    with row length (up to 16000 in the liver cases).
+    """
+    if row_length < 0:
+        raise ValueError(f"row_length must be non-negative, got {row_length}")
+    return HALF_EPS + row_length * accum_eps
+
+
+def dose_scale_for_half(max_value: float, headroom: float = 8.0) -> float:
+    """Scale factor bringing dose values safely inside half's range.
+
+    Returns ``s`` such that ``max_value * s <= HALF_MAX / headroom``; 1.0 if
+    already safe.  Used by the deposition-matrix builder before half storage.
+    """
+    if max_value <= 0:
+        return 1.0
+    limit = HALF_MAX / headroom
+    if max_value <= limit:
+        return 1.0
+    return limit / max_value

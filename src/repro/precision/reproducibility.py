@@ -1,0 +1,201 @@
+"""Reduction orderings and bitwise-reproducibility checking.
+
+RayStation requires the dose calculation to be *bitwise reproducible* on the
+same system (Section II-D of the paper).  Floating-point addition is not
+associative, so reproducibility is a property of the *reduction order*:
+
+* :func:`tree_reduce` — the fixed binary-tree order a warp-level
+  ``cg::reduce`` performs.  Deterministic: same inputs → same bits, always.
+* :func:`sequential_reduce` — strict left-to-right order (the CPU scratch
+  array algorithm).  Also deterministic, but generally *different bits* than
+  the tree order for the same inputs.
+* :func:`permuted_reduce` — accumulation in a randomized order, modelling
+  GPU ``atomicAdd`` commit order.  NOT reproducible across runs; this is the
+  property that disqualifies the GPU Baseline from clinical use.
+
+:class:`ReproducibilityChecker` runs a computation repeatedly and reports
+whether results are bit-identical, which the tests and the reproducibility
+bench use to verify both the positive claim (our kernel) and the negative
+claim (the atomics baseline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.util.rng import RngLike, make_rng
+
+
+def tree_reduce(values: np.ndarray, width: Optional[int] = None) -> np.floating:
+    """Reduce with the fixed binary-tree order of a warp ``cg::reduce``.
+
+    ``values`` are summed pairwise in log2 rounds exactly like a 32-lane
+    shuffle reduction: round ``r`` adds lane ``i`` and lane ``i + 2**r``.
+    ``width`` pads the input to the given lane count (default: next power of
+    two), with zeros in inactive lanes — matching hardware where inactive
+    lanes contribute the identity.
+
+    The result is a NumPy scalar of the input dtype; bit-stable across calls.
+    """
+    values = np.asarray(values)
+    n = values.shape[0]
+    if n == 0:
+        return values.dtype.type(0)
+    if width is None:
+        width = 1
+        while width < n:
+            width *= 2
+    if width < n:
+        raise ValueError(f"width {width} smaller than input length {n}")
+    lanes = np.zeros(width, dtype=values.dtype)
+    lanes[:n] = values
+    stride = width // 2
+    while stride >= 1:
+        # One shuffle-down round: lane i accumulates lane i + stride.
+        lanes[:stride] = lanes[:stride] + lanes[stride : 2 * stride]
+        stride //= 2
+    return lanes[0]
+
+
+def tree_reduce_rows(
+    contrib: np.ndarray, warp_width: int = 32
+) -> np.floating:
+    """Reduce an arbitrary-length row the way the vector-CSR kernel does.
+
+    The warp strides through the row in chunks of ``warp_width``; each lane
+    keeps a private accumulator over its strided elements (in increasing
+    index order), then one tree reduction combines the 32 lane accumulators.
+    This is the exact summation order of Listing 1 in the paper, so the
+    simulated kernel and this helper agree bit-for-bit.
+    """
+    contrib = np.asarray(contrib)
+    n = contrib.shape[0]
+    if n == 0:
+        return contrib.dtype.type(0)
+    lane_acc = np.zeros(warp_width, dtype=contrib.dtype)
+    for start in range(0, n, warp_width):
+        chunk = contrib[start : start + warp_width]
+        lane_acc[: chunk.shape[0]] = lane_acc[: chunk.shape[0]] + chunk
+    return tree_reduce(lane_acc, width=warp_width)
+
+
+def sequential_reduce(values: np.ndarray) -> np.floating:
+    """Strict left-to-right summation (CPU algorithm order)."""
+    values = np.asarray(values)
+    acc = np.zeros((), dtype=values.dtype)
+    for v in values:
+        acc = acc + v
+    return values.dtype.type(acc)
+
+
+def permuted_reduce(values: np.ndarray, rng: RngLike = None) -> np.floating:
+    """Summation in a random order — the ``atomicAdd`` commit-order model.
+
+    Each call with a fresh RNG may produce different low-order bits; this is
+    what makes the GPU Baseline non-reproducible.
+    """
+    values = np.asarray(values)
+    rng = make_rng(rng)
+    order = rng.permutation(values.shape[0])
+    return sequential_reduce(values[order])
+
+
+def pairwise_reduce(values: np.ndarray) -> np.floating:
+    """Recursive pairwise summation (NumPy's internal strategy).
+
+    Included for error-analysis comparisons: pairwise and tree orders have
+    the same O(log n) error growth, sequential grows O(n).
+    """
+    values = np.asarray(values)
+    n = values.shape[0]
+    if n == 0:
+        return values.dtype.type(0)
+    if n == 1:
+        return values.dtype.type(values[0])
+    mid = n // 2
+    return values.dtype.type(
+        pairwise_reduce(values[:mid]) + pairwise_reduce(values[mid:])
+    )
+
+
+@dataclass
+class ReproducibilityReport:
+    """Outcome of repeated runs of one computation."""
+
+    n_runs: int
+    bitwise_identical: bool
+    max_ulp_spread: int
+    max_abs_spread: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        verdict = "REPRODUCIBLE" if self.bitwise_identical else "NON-REPRODUCIBLE"
+        return (
+            f"{verdict} over {self.n_runs} runs "
+            f"(max ULP spread {self.max_ulp_spread}, "
+            f"max abs spread {self.max_abs_spread:.3e})"
+        )
+
+
+def _ulp_distance(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Element-wise ULP distance between two same-dtype float arrays."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    int_type = {2: np.int16, 4: np.int32, 8: np.int64}[a.dtype.itemsize]
+    ai = a.view(int_type).astype(np.int64)
+    bi = b.view(int_type).astype(np.int64)
+    # Map the sign-magnitude float ordering onto a monotone integer ordering.
+    ai = np.where(ai < 0, np.int64(-(2**62)) - ai, ai)
+    bi = np.where(bi < 0, np.int64(-(2**62)) - bi, bi)
+    return np.abs(ai - bi)
+
+
+@dataclass
+class ReproducibilityChecker:
+    """Runs a computation several times and compares results bit-for-bit.
+
+    Parameters
+    ----------
+    n_runs:
+        how many times to invoke the computation (>= 2).
+    """
+
+    n_runs: int = 5
+    _results: List[np.ndarray] = field(default_factory=list, repr=False)
+
+    def check(self, compute: Callable[[int], np.ndarray]) -> ReproducibilityReport:
+        """Invoke ``compute(run_index)`` ``n_runs`` times and compare.
+
+        The run index lets callers thread a *fresh* RNG into stochastic
+        computations (the atomics baseline) while deterministic kernels
+        simply ignore it.
+        """
+        if self.n_runs < 2:
+            raise ValueError("need at least 2 runs to compare")
+        self._results = [np.asarray(compute(i)) for i in range(self.n_runs)]
+        first = self._results[0]
+        identical = all(
+            r.dtype == first.dtype
+            and r.shape == first.shape
+            and np.array_equal(r.view(np.uint8), first.view(np.uint8))
+            for r in self._results[1:]
+        )
+        max_ulp = 0
+        max_abs = 0.0
+        for r in self._results[1:]:
+            if r.shape == first.shape and r.dtype == first.dtype:
+                max_ulp = max(max_ulp, int(_ulp_distance(r, first).max(initial=0)))
+                max_abs = max(
+                    max_abs,
+                    float(np.abs(r.astype(np.float64) - first.astype(np.float64)).max(
+                        initial=0.0
+                    )),
+                )
+        return ReproducibilityReport(
+            n_runs=self.n_runs,
+            bitwise_identical=bool(identical),
+            max_ulp_spread=max_ulp,
+            max_abs_spread=max_abs,
+        )

@@ -1,0 +1,32 @@
+"""Roofline analysis: device rooflines, the paper's analytic traffic model,
+and Figure-3-style reports."""
+
+from repro.roofline.analytic import (
+    TrafficEstimate,
+    column_index_traffic_share,
+    spmv_traffic_model,
+)
+from repro.roofline.model import (
+    Roofline,
+    RooflinePoint,
+    ascii_roofline,
+)
+from repro.roofline.report import (
+    RooflineEntry,
+    roofline_chart,
+    roofline_entry,
+    roofline_table,
+)
+
+__all__ = [
+    "TrafficEstimate",
+    "column_index_traffic_share",
+    "spmv_traffic_model",
+    "Roofline",
+    "RooflinePoint",
+    "ascii_roofline",
+    "RooflineEntry",
+    "roofline_chart",
+    "roofline_entry",
+    "roofline_table",
+]

@@ -1,0 +1,116 @@
+"""The roofline model (Williams, Waterman & Patterson, CACM 2009).
+
+Attainable performance is ``min(peak_flops, OI * peak_bandwidth)``; a
+kernel is memory bound left of the ridge point and compute bound right of
+it.  SpMV's OI (~0.2-0.35 flop/byte here) sits far left of any GPU ridge,
+which is the paper's framing for why bandwidth utilization — not FLOP
+throughput — decides the contest between kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.gpu.device import DeviceSpec
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One measured kernel placed on the roofline plot."""
+
+    label: str
+    operational_intensity: float
+    gflops: float
+
+    def attainable_fraction(self, roof: "Roofline") -> float:
+        """Achieved / attainable at this OI (1.0 == touching the roof)."""
+        attainable = roof.attainable_gflops(self.operational_intensity)
+        return self.gflops / attainable if attainable else 0.0
+
+
+@dataclass(frozen=True)
+class Roofline:
+    """A device's roofline: bandwidth slope + compute ceiling."""
+
+    device_name: str
+    peak_gflops: float
+    peak_bandwidth_gbs: float
+
+    @staticmethod
+    def for_device(device: DeviceSpec, precision_bytes: int = 8) -> "Roofline":
+        """Build from a device spec (FP64 ceiling by default)."""
+        return Roofline(
+            device_name=device.name,
+            peak_gflops=device.peak_flops(precision_bytes) / 1e9,
+            peak_bandwidth_gbs=device.peak_bw / 1e9,
+        )
+
+    @property
+    def ridge_point(self) -> float:
+        """OI (flop/byte) where the bandwidth slope meets the ceiling."""
+        return self.peak_gflops / self.peak_bandwidth_gbs
+
+    def attainable_gflops(self, operational_intensity: float) -> float:
+        """Roof height at a given OI."""
+        if operational_intensity < 0:
+            raise ValueError("operational intensity must be non-negative")
+        return min(
+            self.peak_gflops, operational_intensity * self.peak_bandwidth_gbs
+        )
+
+    def is_memory_bound(self, operational_intensity: float) -> bool:
+        """True left of the ridge point."""
+        return operational_intensity < self.ridge_point
+
+    def curve(
+        self, oi_range: Sequence[float] = (2**-6, 2**6), n_points: int = 64
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """(OI, attainable GFLOP/s) samples for plotting/reporting."""
+        ois = np.geomspace(oi_range[0], oi_range[1], n_points)
+        return ois, np.minimum(self.peak_gflops, ois * self.peak_bandwidth_gbs)
+
+
+def ascii_roofline(
+    roof: Roofline, points: List[RooflinePoint], width: int = 68, height: int = 18
+) -> str:
+    """Render a log-log roofline chart as ASCII art for terminal reports."""
+    if not points:
+        return f"(no points) roofline of {roof.device_name}"
+    oi_vals = [p.operational_intensity for p in points]
+    lo = min(min(oi_vals) / 4, roof.ridge_point / 8)
+    hi = max(max(oi_vals) * 4, roof.ridge_point * 4)
+    gf_hi = roof.peak_gflops * 2
+    gf_lo = min(p.gflops for p in points) / 8
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def to_xy(oi: float, gf: float) -> "tuple[int, int]":
+        x = int((np.log(oi) - np.log(lo)) / (np.log(hi) - np.log(lo)) * (width - 1))
+        y = int(
+            (np.log(gf) - np.log(gf_lo)) / (np.log(gf_hi) - np.log(gf_lo)) * (height - 1)
+        )
+        return min(max(x, 0), width - 1), min(max(y, 0), height - 1)
+
+    for oi in np.geomspace(lo, hi, width * 2):
+        x, y = to_xy(oi, roof.attainable_gflops(oi))
+        grid[height - 1 - y][x] = "-" if oi >= roof.ridge_point else "/"
+    markers = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    legend = []
+    for i, p in enumerate(points):
+        m = markers[i % len(markers)]
+        x, y = to_xy(max(p.operational_intensity, lo), max(p.gflops, gf_lo))
+        grid[height - 1 - y][x] = m
+        legend.append(
+            f"  {m}: {p.label}  OI={p.operational_intensity:.3f} "
+            f"{p.gflops:.0f} GFLOP/s ({100 * p.attainable_fraction(roof):.0f}% of roof)"
+        )
+    lines = [
+        f"Roofline {roof.device_name}: peak {roof.peak_gflops:.0f} GFLOP/s, "
+        f"{roof.peak_bandwidth_gbs:.0f} GB/s, ridge at {roof.ridge_point:.2f} F/B"
+    ]
+    lines += ["".join(row) for row in grid]
+    lines += legend
+    return "\n".join(lines)

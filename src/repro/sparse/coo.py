@@ -1,0 +1,110 @@
+"""Coordinate-list (COO) sparse matrices.
+
+COO stores three parallel arrays: row index, column index and value for each
+non-zero.  It is the natural output format of the Monte Carlo dose engine
+(each energy deposition event lands at an arbitrary voxel/spot pair) and is
+converted to CSR before any SpMV is run, mirroring the paper's
+RayStation-export → CSR pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.util.errors import FormatError, ShapeError
+from repro.util.validation import check_1d, check_index_range
+
+
+@dataclass(frozen=True)
+class COOMatrix:
+    """An immutable COO sparse matrix with possibly duplicate entries.
+
+    Duplicates are legal (Monte Carlo scoring hits the same voxel/spot pair
+    many times) and are summed by :meth:`sum_duplicates` or during
+    conversion to CSR.
+    """
+
+    shape: Tuple[int, int]
+    rows: np.ndarray
+    cols: np.ndarray
+    data: np.ndarray
+
+    def __post_init__(self) -> None:
+        n_rows, n_cols = self.shape
+        rows = check_1d(np.asarray(self.rows), "rows")
+        cols = check_1d(np.asarray(self.cols), "cols")
+        data = check_1d(np.asarray(self.data), "data")
+        if not (rows.shape == cols.shape == data.shape):
+            raise FormatError(
+                f"rows/cols/data length mismatch: {rows.shape[0]}, "
+                f"{cols.shape[0]}, {data.shape[0]}"
+            )
+        check_index_range(rows, n_rows, "rows")
+        check_index_range(cols, n_cols, "cols")
+        for arr in (rows, cols, data):
+            arr.setflags(write=False)
+        object.__setattr__(self, "rows", rows)
+        object.__setattr__(self, "cols", cols)
+        object.__setattr__(self, "data", data)
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries (duplicates counted individually)."""
+        return int(self.data.shape[0])
+
+    @property
+    def n_rows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def n_cols(self) -> int:
+        return self.shape[1]
+
+    def sum_duplicates(self) -> "COOMatrix":
+        """Return a COO matrix with duplicate (row, col) entries summed.
+
+        Entries are ordered row-major afterwards.  Accumulation happens in
+        float64 regardless of storage dtype, then is cast back — the same
+        policy the dose engine uses when scoring half-stored deposits.
+        """
+        if self.nnz == 0:
+            return self
+        keys = self.rows.astype(np.int64) * self.n_cols + self.cols.astype(np.int64)
+        order = np.argsort(keys, kind="stable")
+        keys_sorted = keys[order]
+        data_sorted = self.data[order].astype(np.float64)
+        boundaries = np.flatnonzero(np.diff(keys_sorted)) + 1
+        starts = np.concatenate(([0], boundaries))
+        summed = np.add.reduceat(data_sorted, starts)
+        unique_keys = keys_sorted[starts]
+        rows = (unique_keys // self.n_cols).astype(self.rows.dtype)
+        cols = (unique_keys % self.n_cols).astype(self.cols.dtype)
+        return COOMatrix(self.shape, rows, cols, summed.astype(self.data.dtype))
+
+    def matvec(self, x: np.ndarray, accum_dtype: np.dtype = np.float64) -> np.ndarray:
+        """Reference SpMV for COO (duplicates contribute additively)."""
+        x = np.asarray(x)
+        if x.shape != (self.n_cols,):
+            raise ShapeError(f"x has shape {x.shape}, expected ({self.n_cols},)")
+        y = np.zeros(self.n_rows, dtype=accum_dtype)
+        contrib = self.data.astype(accum_dtype) * x.astype(accum_dtype)[
+            self.cols.astype(np.int64)
+        ]
+        np.add.at(y, self.rows.astype(np.int64), contrib)
+        return y
+
+    def to_dense(self, dtype: np.dtype = np.float64) -> np.ndarray:
+        """Materialize as dense (tests only); duplicates are summed."""
+        out = np.zeros(self.shape, dtype=dtype)
+        np.add.at(
+            out,
+            (self.rows.astype(np.int64), self.cols.astype(np.int64)),
+            self.data.astype(dtype),
+        )
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"COOMatrix(shape={self.shape}, nnz={self.nnz})"

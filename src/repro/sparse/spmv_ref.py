@@ -1,0 +1,74 @@
+"""Reference SpMV implementations and FLOP accounting.
+
+Every simulated kernel is validated against :func:`spmv_reference`.  The
+module also centralizes the paper's FLOP convention — SpMV performs exactly
+``2 * nnz`` floating-point operations (one multiply + one add per stored
+value) — so all GFLOP/s numbers across benches use the same numerator.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ellpack import ELLMatrix
+from repro.sparse.rscf import RSCFMatrix
+from repro.sparse.sellcs import SellCSigmaMatrix
+
+AnySparse = Union[CSRMatrix, COOMatrix, ELLMatrix, SellCSigmaMatrix, RSCFMatrix]
+
+
+def spmv_flops(matrix: AnySparse) -> int:
+    """Floating-point operations for one SpMV: ``2 * nnz``.
+
+    This is the convention the paper uses to convert measured time into
+    GFLOP/s and to compute operational intensity.
+    """
+    return 2 * matrix.nnz
+
+
+def spmv_reference(
+    matrix: AnySparse, x: np.ndarray, accum_dtype: np.dtype = np.float64
+) -> np.ndarray:
+    """Format-dispatching reference SpMV ``y = A @ x``.
+
+    Accumulation happens in ``accum_dtype`` (double by default — the
+    RayStation requirement for the input/output vectors).
+    """
+    return matrix.matvec(x, accum_dtype=accum_dtype)
+
+
+def spmv_rowwise_python(
+    matrix: CSRMatrix, x: np.ndarray, accum_dtype: np.dtype = np.float64
+) -> np.ndarray:
+    """A deliberately simple scalar row loop (oracle for the oracle).
+
+    Slow and only used in tests to cross-check the vectorized
+    :meth:`CSRMatrix.matvec` on small matrices; accumulates strictly
+    left-to-right per row, which is also the ordering the fixed-order warp
+    reduction must be equivalent to in exact arithmetic.
+    """
+    x = np.asarray(x, dtype=accum_dtype)
+    y = np.zeros(matrix.n_rows, dtype=accum_dtype)
+    for i in range(matrix.n_rows):
+        start, end = int(matrix.indptr[i]), int(matrix.indptr[i + 1])
+        acc = np.zeros((), dtype=accum_dtype)
+        for k in range(start, end):
+            acc = acc + np.asarray(
+                matrix.data[k], dtype=accum_dtype
+            ) * x[int(matrix.indices[k])]
+        y[i] = acc
+    return y
+
+
+def relative_error(y: np.ndarray, y_ref: np.ndarray) -> float:
+    """Relative L2 error ``||y - y_ref|| / ||y_ref||`` (0 if ref is zero)."""
+    y = np.asarray(y, dtype=np.float64)
+    y_ref = np.asarray(y_ref, dtype=np.float64)
+    denom = float(np.linalg.norm(y_ref))
+    if denom == 0.0:
+        return float(np.linalg.norm(y))
+    return float(np.linalg.norm(y - y_ref)) / denom

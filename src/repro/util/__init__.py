@@ -1,0 +1,70 @@
+"""Shared utilities: units, RNG plumbing, validation, table rendering.
+
+These helpers are deliberately dependency-free (NumPy only) so that every
+other subpackage can import them without cycles.
+"""
+
+from repro.util.errors import (
+    ReproError,
+    ShapeError,
+    DTypeError,
+    FormatError,
+    LaunchConfigError,
+    ConvergenceError,
+)
+from repro.util.units import (
+    GIB,
+    GB,
+    MIB,
+    MB,
+    KIB,
+    KB,
+    bytes_to_gb,
+    bytes_to_gib,
+    format_bytes,
+    format_flops,
+    format_bandwidth,
+    format_si,
+    format_time,
+)
+from repro.util.rng import make_rng, spawn_rngs, stable_seed
+from repro.util.tables import Table, render_table
+from repro.util.validation import (
+    check_1d,
+    check_dtype,
+    check_nonnegative,
+    check_positive,
+    check_shape_match,
+)
+
+__all__ = [
+    "ReproError",
+    "ShapeError",
+    "DTypeError",
+    "FormatError",
+    "LaunchConfigError",
+    "ConvergenceError",
+    "GIB",
+    "GB",
+    "MIB",
+    "MB",
+    "KIB",
+    "KB",
+    "bytes_to_gb",
+    "bytes_to_gib",
+    "format_bytes",
+    "format_flops",
+    "format_bandwidth",
+    "format_si",
+    "format_time",
+    "make_rng",
+    "spawn_rngs",
+    "stable_seed",
+    "Table",
+    "render_table",
+    "check_1d",
+    "check_dtype",
+    "check_nonnegative",
+    "check_positive",
+    "check_shape_match",
+]

@@ -1,0 +1,103 @@
+"""Plain-text table rendering for benches, the CLI and EXPERIMENTS.md.
+
+The benchmark harness regenerates the paper's tables and figure series as
+text; this module provides one small, dependency-free renderer used by all
+of them (GitHub-flavoured markdown or aligned ASCII).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, List, Optional, Sequence
+
+
+def _fmt(value: Any) -> str:
+    """Format one table cell."""
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        mag = abs(value)
+        if mag >= 1e5 or mag < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A small column-typed table with append-row semantics.
+
+    >>> t = Table(["beam", "rows"])
+    >>> t.add_row(["Liver 1", 2.97e6])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    columns: Sequence[str]
+    rows: List[List[Any]] = field(default_factory=list)
+    title: Optional[str] = None
+
+    def add_row(self, row: Sequence[Any]) -> None:
+        """Append a row; must match the column count."""
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(list(row))
+
+    def add_rows(self, rows: Iterable[Sequence[Any]]) -> None:
+        """Append many rows."""
+        for row in rows:
+            self.add_row(row)
+
+    def column(self, name: str) -> List[Any]:
+        """Return one column's cells by column name."""
+        try:
+            idx = list(self.columns).index(name)
+        except ValueError:
+            raise KeyError(f"no column named {name!r}; have {list(self.columns)}")
+        return [row[idx] for row in self.rows]
+
+    def render(self, markdown: bool = False) -> str:
+        """Render as aligned ASCII (default) or GitHub markdown."""
+        return render_table(self.columns, self.rows, title=self.title, markdown=markdown)
+
+    def to_markdown(self) -> str:
+        """Render as a GitHub-flavoured markdown table."""
+        return self.render(markdown=True)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def render_table(
+    columns: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    title: Optional[str] = None,
+    markdown: bool = False,
+) -> str:
+    """Render ``rows`` under ``columns`` as a text table."""
+    header = [str(c) for c in columns]
+    body = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in header]
+    for row in body:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str], pad: str = " ") -> str:
+        joined = " | ".join(c.ljust(w, pad) for c, w in zip(cells, widths))
+        return f"| {joined} |" if markdown else joined
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+        out.append("")
+    out.append(line(header))
+    if markdown:
+        out.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+    else:
+        out.append("-+-".join("-" * w for w in widths))
+    for row in body:
+        out.append(line(row))
+    return "\n".join(out)

@@ -1,0 +1,103 @@
+"""Unit constants and human-readable formatting helpers.
+
+The paper reports matrix sizes in (decimal) GB, bandwidth in GB/s and
+performance in GFLOP/s; we keep both decimal (GB) and binary (GiB) constants
+and are explicit about which is used where.
+"""
+
+from __future__ import annotations
+
+import math
+
+# Decimal units -- used for bandwidth and the paper's "size (GB)" column.
+KB = 10**3
+MB = 10**6
+GB = 10**9
+TB = 10**12
+
+# Binary units -- used when talking about cache and RAM capacities.
+KIB = 2**10
+MIB = 2**20
+GIB = 2**30
+
+
+def bytes_to_gb(n_bytes: float) -> float:
+    """Convert a byte count to decimal gigabytes (1 GB = 1e9 bytes)."""
+    return float(n_bytes) / GB
+
+
+def bytes_to_gib(n_bytes: float) -> float:
+    """Convert a byte count to binary gibibytes (1 GiB = 2**30 bytes)."""
+    return float(n_bytes) / GIB
+
+
+def format_si(value: float, unit: str = "", digits: int = 3) -> str:
+    """Format ``value`` with an SI prefix: ``format_si(1.48e9) == '1.48G'``.
+
+    Negative values keep their sign; zero formats as ``'0<unit>'``.
+    """
+    if value == 0:
+        return f"0{unit}"
+    sign = "-" if value < 0 else ""
+    value = abs(value)
+    prefixes = [
+        (1e12, "T"),
+        (1e9, "G"),
+        (1e6, "M"),
+        (1e3, "k"),
+        (1.0, ""),
+        (1e-3, "m"),
+        (1e-6, "u"),
+        (1e-9, "n"),
+    ]
+    for factor, prefix in prefixes:
+        if value >= factor:
+            scaled = value / factor
+            return f"{sign}{scaled:.{digits}g}{prefix}{unit}"
+    return f"{sign}{value:.{digits}g}{unit}"
+
+
+def format_bytes(n_bytes: float, digits: int = 4) -> str:
+    """Format a byte count in decimal units, matching the paper's GB column."""
+    if n_bytes >= GB:
+        return f"{n_bytes / GB:.{digits}g} GB"
+    if n_bytes >= MB:
+        return f"{n_bytes / MB:.{digits}g} MB"
+    if n_bytes >= KB:
+        return f"{n_bytes / KB:.{digits}g} kB"
+    return f"{n_bytes:.0f} B"
+
+
+def format_flops(flops_per_s: float) -> str:
+    """Format a FLOP/s rate (e.g. ``'420 GFLOP/s'``)."""
+    return _format_rate(flops_per_s, "FLOP/s")
+
+
+def format_bandwidth(bytes_per_s: float) -> str:
+    """Format a bandwidth (e.g. ``'1350 GB/s'``)."""
+    return _format_rate(bytes_per_s, "B/s")
+
+
+def _format_rate(value: float, unit: str) -> str:
+    if value >= 1e12:
+        return f"{value / 1e12:.4g} T{unit}"
+    if value >= 1e9:
+        return f"{value / 1e9:.4g} G{unit}"
+    if value >= 1e6:
+        return f"{value / 1e6:.4g} M{unit}"
+    if value >= 1e3:
+        return f"{value / 1e3:.4g} k{unit}"
+    return f"{value:.4g} {unit}"
+
+
+def format_time(seconds: float) -> str:
+    """Format a duration with an appropriate sub-second unit."""
+    if seconds != seconds or math.isinf(seconds):  # NaN / inf guard
+        return str(seconds)
+    if seconds >= 1.0:
+        return f"{seconds:.3g} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.3g} ms"
+    if seconds >= 1e-6:
+        return f"{seconds * 1e6:.3g} us"
+    return f"{seconds * 1e9:.3g} ns"

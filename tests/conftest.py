@@ -1,0 +1,84 @@
+"""Shared fixtures: small deterministic matrices and tiny-scale cases.
+
+Unit tests run on the 'tiny' case preset (seconds to build, cached on
+disk and per-session in memory); the full-fidelity bench preset is
+exercised by the benchmark suite in benchmarks/.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dose.beam import Beam
+from repro.dose.phantom import build_liver_phantom
+from repro.plans.cases import build_case_matrix
+from repro.sparse.csr import CSRMatrix
+
+
+@pytest.fixture(scope="session")
+def rng():
+    """Session RNG for test-local randomness (fixed seed)."""
+    return np.random.default_rng(20210419)
+
+
+def make_random_csr(
+    rng: np.random.Generator,
+    n_rows: int = 60,
+    n_cols: int = 25,
+    density: float = 0.25,
+    value_dtype=np.float32,
+    empty_row_fraction: float = 0.2,
+) -> CSRMatrix:
+    """A random CSR matrix with some empty rows (helper, not a fixture)."""
+    dense = rng.random((n_rows, n_cols))
+    dense *= rng.random((n_rows, n_cols)) < density
+    kill = rng.random(n_rows) < empty_row_fraction
+    dense[kill, :] = 0.0
+    return CSRMatrix.from_dense(dense, value_dtype=value_dtype)
+
+
+@pytest.fixture()
+def small_csr(rng) -> CSRMatrix:
+    """A 60 x 25 random float32 CSR matrix with empty rows."""
+    return make_random_csr(rng)
+
+
+@pytest.fixture()
+def heavy_tail_csr(rng) -> CSRMatrix:
+    """A matrix with the dose-deposition row-length skew (runs + tails)."""
+    n_rows, n_cols = 400, 120
+    dense = np.zeros((n_rows, n_cols))
+    for i in range(n_rows):
+        if rng.random() < 0.6:
+            continue
+        length = min(n_cols, max(1, int(rng.lognormal(2.5, 1.3))))
+        start = int(rng.integers(0, n_cols - length + 1))
+        dense[i, start : start + length] = 0.1 + rng.random(length)
+    return CSRMatrix.from_dense(dense, value_dtype=np.float32)
+
+
+@pytest.fixture(scope="session")
+def tiny_liver_case():
+    """The Liver 1 case at the 'tiny' preset (cached across the session)."""
+    return build_case_matrix("Liver 1", preset="tiny")
+
+
+@pytest.fixture(scope="session")
+def tiny_prostate_case():
+    """The Prostate 1 case at the 'tiny' preset."""
+    return build_case_matrix("Prostate 1", preset="tiny")
+
+
+@pytest.fixture(scope="session")
+def small_phantom():
+    """A coarse liver phantom for geometry tests."""
+    return build_liver_phantom(shape=(20, 20, 12), spacing=(13.0, 13.0, 18.0))
+
+
+@pytest.fixture(scope="session")
+def small_beam(small_phantom):
+    """An anterior beam aimed at the small phantom's target centroid."""
+    centers = small_phantom.grid.voxel_centers()
+    iso = centers[small_phantom.target.voxel_indices].mean(axis=0)
+    return Beam("test-beam", gantry_angle_deg=0.0, isocenter_mm=tuple(iso))

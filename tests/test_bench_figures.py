@@ -1,0 +1,74 @@
+"""ASCII figure rendering."""
+
+import pytest
+
+from repro.bench.figures import grouped_bar_chart, sweep_line_chart
+from repro.bench.harness import ExperimentRow
+
+
+def make_row(case="Liver 1", kernel="half_double", gflops=400.0, bw=0.8,
+             device="A100", tpb=512):
+    return ExperimentRow(
+        case=case, kernel=kernel, device=device, threads_per_block=tpb,
+        time_s=1e-3, gflops=gflops, bandwidth_gbs=1200.0,
+        bandwidth_fraction=bw, operational_intensity=0.33, limiter="dram",
+        relative_error=1e-5, reproducible=True,
+    )
+
+
+class TestGroupedBarChart:
+    def test_groups_and_series(self):
+        rows = [
+            make_row(kernel="half_double", gflops=400),
+            make_row(kernel="single", gflops=300),
+            make_row(case="Prostate 1", kernel="half_double", gflops=320),
+        ]
+        chart = grouped_bar_chart(rows)
+        assert "Liver 1" in chart and "Prostate 1" in chart
+        assert "half_double" in chart and "single" in chart
+
+    def test_bar_lengths_proportional(self):
+        rows = [make_row(gflops=400), make_row(kernel="x", gflops=200)]
+        chart = grouped_bar_chart(rows, width=20)
+        lines = [l for l in chart.splitlines() if "#" in l]
+        assert lines[0].count("#") == 20
+        assert lines[1].count("#") == 10
+
+    def test_bandwidth_annotation(self):
+        chart = grouped_bar_chart([make_row(bw=0.82)])
+        assert "BW  82%" in chart
+
+    def test_bandwidth_optional(self):
+        chart = grouped_bar_chart([make_row()], show_bandwidth=False)
+        assert "BW" not in chart
+
+    def test_series_by_device(self):
+        rows = [make_row(device="A100"), make_row(device="P100", gflops=90)]
+        chart = grouped_bar_chart(rows, series_by="device")
+        assert "A100" in chart and "P100" in chart
+
+    def test_integer_series_labels(self):
+        rows = [make_row(tpb=32, gflops=300), make_row(tpb=512, gflops=400)]
+        chart = grouped_bar_chart(rows, series_by="threads_per_block")
+        assert "32" in chart and "512" in chart
+
+    def test_empty(self):
+        assert grouped_bar_chart([]) == "(no data)"
+
+
+class TestSweepLineChart:
+    def test_renders_points(self):
+        chart = sweep_line_chart([32, 64, 128], [300, 350, 400],
+                                 x_label="tpb", y_label="GFLOP/s")
+        assert chart.count("*") == 3
+        assert "tpb" in chart and "GFLOP/s" in chart
+
+    def test_empty(self):
+        assert sweep_line_chart([], []) == "(no data)"
+
+    def test_mismatched_lengths(self):
+        assert sweep_line_chart([1, 2], [1]) == "(no data)"
+
+    def test_max_annotated(self):
+        chart = sweep_line_chart([1, 2], [5.0, 10.0])
+        assert "10" in chart

@@ -1,0 +1,172 @@
+"""Benchmark harness: experiment rows, paper-scale extrapolation, CLI."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import (
+    case_weights,
+    paper_scale_timing,
+    prepare_input_matrix,
+    run_spmv_experiment,
+)
+from repro.bench.recording import (
+    PAPER_EXPECTATIONS,
+    check_claims,
+    rows_to_csv,
+)
+from repro.gpu.device import A100, V100
+from repro.kernels.csr_vector import HalfDoubleKernel
+from repro.plans.cases import build_case_matrix
+from repro.sparse.rscf import RSCFMatrix
+
+
+class TestPrepareInput:
+    def test_half_double_gets_float16(self):
+        m = prepare_input_matrix("half_double", "Liver 1", "tiny")
+        assert m.value_dtype == np.float16
+
+    def test_single_gets_float32(self):
+        m = prepare_input_matrix("single", "Liver 1", "tiny")
+        assert m.value_dtype == np.float32
+
+    def test_u16_variant_gets_short_indices(self):
+        m = prepare_input_matrix("half_double_u16", "Liver 1", "tiny")
+        assert m.index_dtype == np.uint16
+
+    def test_baseline_gets_rscf(self):
+        m = prepare_input_matrix("gpu_baseline", "Liver 1", "tiny")
+        assert isinstance(m, RSCFMatrix)
+
+    def test_cached(self):
+        a = prepare_input_matrix("half_double", "Liver 1", "tiny")
+        b = prepare_input_matrix("half_double", "Liver 1", "tiny")
+        assert a is b
+
+
+class TestCaseWeights:
+    def test_deterministic(self):
+        np.testing.assert_array_equal(
+            case_weights("Liver 1", 100), case_weights("Liver 1", 100)
+        )
+
+    def test_positive(self):
+        assert case_weights("Prostate 1", 50).min() > 0
+
+    def test_case_specific(self):
+        assert not np.array_equal(
+            case_weights("Liver 1", 100), case_weights("Liver 2", 100)
+        )
+
+
+class TestRunExperiment:
+    def test_row_fields(self):
+        row = run_spmv_experiment("half_double", "Liver 1", preset="tiny")
+        assert row.case == "Liver 1"
+        assert row.kernel == "half_double"
+        assert row.device == "A100"
+        assert row.time_s > 0
+        assert row.gflops > 0
+        assert row.relative_error < 1e-3
+        assert row.reproducible
+
+    def test_bench_scale_flag(self):
+        paper = run_spmv_experiment("half_double", "Liver 1", preset="tiny")
+        bench = run_spmv_experiment(
+            "half_double", "Liver 1", preset="tiny", at_paper_scale=False
+        )
+        # Paper-scale time must be much longer than tiny-scale time.
+        assert paper.time_s > 10 * bench.time_s
+
+    def test_cpu_kernel_forces_cpu_device(self):
+        row = run_spmv_experiment("cpu_raystation", "Liver 1", preset="tiny")
+        assert row.device == "i9-7940X"
+
+    def test_device_selection(self):
+        row = run_spmv_experiment(
+            "half_double", "Liver 1", device=V100, preset="tiny"
+        )
+        assert row.device == "V100"
+
+    def test_paper_scale_gflops_band(self):
+        # Even extrapolated from the tiny preset, Liver 1 lands in the
+        # paper's performance neighbourhood.
+        row = run_spmv_experiment("half_double", "Liver 1", preset="tiny")
+        assert 250 < row.gflops < 520
+
+    def test_baseline_nondeterminism_visible(self):
+        a = run_spmv_experiment("gpu_baseline", "Liver 1", preset="tiny", rng=1)
+        assert not a.reproducible
+
+
+class TestPaperScaleTiming:
+    def test_scaled_counters_used(self):
+        dep = build_case_matrix("Liver 1", "tiny")
+        res = HalfDoubleKernel().run(dep.as_half(), np.ones(dep.n_spots))
+        est = paper_scale_timing(res, "Liver 1", dep.matrix, A100)
+        assert est.counters.flops == pytest.approx(2 * 1.48e9, rel=1e-6)
+
+    def test_oi_approaches_paper_value(self):
+        dep = build_case_matrix("Liver 1", "tiny")
+        res = HalfDoubleKernel().run(dep.as_half(), np.ones(dep.n_spots))
+        est = paper_scale_timing(res, "Liver 1", dep.matrix, A100)
+        assert est.counters.operational_intensity == pytest.approx(0.33, abs=0.02)
+
+
+class TestRecording:
+    def test_expectations_have_bands(self):
+        for claim, (paper, band, source) in PAPER_EXPECTATIONS.items():
+            lo, hi = band
+            assert lo < hi, claim
+            if paper is not None:
+                assert lo <= paper <= hi or claim.startswith("gflops_512"), claim
+
+    def test_check_claims_matches_known(self):
+        from repro.bench.experiments import ExperimentReport
+        from repro.util.tables import Table
+
+        rep = ExperimentReport(
+            "x", Table(["a"]), claims={"max_speedup_vs_baseline": 3.7}
+        )
+        checks = check_claims(rep)
+        assert len(checks) == 1
+        assert checks[0].in_band
+
+    def test_out_of_band_detected(self):
+        from repro.bench.experiments import ExperimentReport
+        from repro.util.tables import Table
+
+        rep = ExperimentReport(
+            "x", Table(["a"]), claims={"max_speedup_vs_baseline": 99.0}
+        )
+        assert not check_claims(rep)[0].in_band
+
+    def test_rows_to_csv(self):
+        from repro.bench.experiments import ExperimentReport
+        from repro.util.tables import Table
+
+        row = run_spmv_experiment("half_double", "Liver 1", preset="tiny")
+        rep = ExperimentReport("x", Table(["a"]), rows=[row])
+        csv_text = rows_to_csv(rep)
+        assert "half_double" in csv_text
+        assert csv_text.count("\n") == 2  # header + one row
+
+
+class TestCLI:
+    def test_info_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "A100" in out and "Liver 1" in out
+
+    def test_spmv_command(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["spmv", "--kernel", "half_double", "--case", "Liver 1",
+             "--preset", "tiny"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "half_double" in out
+        assert "reproducible: True" in out

@@ -1,0 +1,75 @@
+"""Repeated-measurement statistics (the paper's 10000-run methodology)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import case_weights
+from repro.bench.measurement import (
+    ERRORBAR_THRESHOLD,
+    MeasurementStats,
+    repeat_measurement,
+)
+from repro.kernels import GPUBaselineKernel, HalfDoubleKernel
+from repro.sparse.convert import csr_to_rscf
+
+
+@pytest.fixture(scope="module")
+def hd_timing(tiny_liver_case):
+    weights = case_weights("Liver 1", tiny_liver_case.n_spots)
+    return HalfDoubleKernel().run(tiny_liver_case.as_half(), weights).timing
+
+
+@pytest.fixture(scope="module")
+def baseline_timing(tiny_liver_case):
+    rscf = csr_to_rscf(tiny_liver_case.matrix)
+    weights = case_weights("Liver 1", tiny_liver_case.n_spots)
+    return GPUBaselineKernel().run(rscf, weights, rng=0).timing
+
+
+class TestRepeatMeasurement:
+    def test_mean_near_deterministic_time(self, hd_timing):
+        stats = repeat_measurement(hd_timing, n_runs=10000)
+        assert stats.mean_s == pytest.approx(hd_timing.time_s, rel=0.02)
+
+    def test_streaming_kernel_errorbars_omitted(self, hd_timing):
+        # The paper omits most error bars; the memory-jitter channel's
+        # ~1 % sigma sits far below the 5 % rule.
+        stats = repeat_measurement(hd_timing, n_runs=10000)
+        assert stats.errorbar_omitted
+        assert stats.relative_std < 0.03
+
+    def test_atomics_kernel_noisier(self, hd_timing, baseline_timing):
+        hd = repeat_measurement(hd_timing, n_runs=5000, rng=1)
+        bl = repeat_measurement(
+            baseline_timing, n_runs=5000, atomics_bound=True, rng=1
+        )
+        assert bl.relative_std > hd.relative_std
+
+    def test_deterministic_given_seed(self, hd_timing):
+        a = repeat_measurement(hd_timing, n_runs=100, rng=3)
+        b = repeat_measurement(hd_timing, n_runs=100, rng=3)
+        assert a == b
+
+    def test_extremes_bracket_mean(self, hd_timing):
+        stats = repeat_measurement(hd_timing, n_runs=1000)
+        assert stats.min_s < stats.mean_s < stats.max_s
+
+    def test_run_count_validated(self, hd_timing):
+        with pytest.raises(ValueError):
+            repeat_measurement(hd_timing, n_runs=1)
+
+
+class TestStatsDataclass:
+    def test_relative_std(self):
+        s = MeasurementStats(10, 1.0, 0.04, 0.9, 1.1)
+        assert s.relative_std == pytest.approx(0.04)
+        assert s.errorbar_omitted
+
+    def test_threshold_boundary(self):
+        s = MeasurementStats(10, 1.0, ERRORBAR_THRESHOLD, 0.9, 1.1)
+        assert not s.errorbar_omitted
+
+    def test_zero_mean_guard(self):
+        s = MeasurementStats(10, 0.0, 0.0, 0.0, 0.0)
+        assert s.relative_std == 0.0
+        assert s.mean_gflops_factor == 0.0

@@ -1,0 +1,137 @@
+"""Proton physics (Bragg curves) and beam geometry."""
+
+import numpy as np
+import pytest
+
+from repro.dose.beam import Beam
+from repro.dose.bragg import (
+    bragg_curve,
+    energy_from_range_mm,
+    lateral_sigma_mm,
+    range_from_energy_mm,
+    straggling_sigma_mm,
+)
+from repro.util.errors import GeometryError
+
+
+class TestRangeEnergy:
+    def test_clinical_anchor_points(self):
+        # ~150 MeV protons have ~16 cm range in water.
+        assert range_from_energy_mm(150.0) == pytest.approx(160, rel=0.1)
+
+    def test_inverse_roundtrip(self):
+        for e in (70.0, 120.0, 220.0):
+            assert energy_from_range_mm(range_from_energy_mm(e)) == pytest.approx(e)
+
+    def test_monotone(self):
+        energies = np.linspace(60, 230, 20)
+        ranges = range_from_energy_mm(energies)
+        assert np.all(np.diff(ranges) > 0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(GeometryError):
+            range_from_energy_mm(0.0)
+        with pytest.raises(GeometryError):
+            energy_from_range_mm(-5.0)
+
+    def test_straggling_grows_with_range(self):
+        assert straggling_sigma_mm(300.0) > straggling_sigma_mm(100.0)
+
+
+class TestBraggCurve:
+    @pytest.fixture(scope="class")
+    def curve(self):
+        return bragg_curve(150.0)
+
+    def test_peak_near_range(self, curve):
+        # The defining feature: maximum dose just proximal of the range.
+        assert curve.peak_depth_mm == pytest.approx(curve.range_mm, rel=0.05)
+
+    def test_entrance_plateau_low(self, curve):
+        # Clinical pristine peaks have ~25-40 % entrance dose.
+        assert 0.1 < curve.dose_at(0.0) < 0.5
+
+    def test_normalized_to_peak_one(self, curve):
+        assert curve.dose.max() == pytest.approx(1.0)
+
+    def test_sharp_distal_falloff(self, curve):
+        # Falloff to 10 % within a few straggling widths.
+        assert curve.distal_falloff_mm < 6 * straggling_sigma_mm(curve.range_mm) + 1
+
+    def test_zero_beyond_table(self, curve):
+        assert curve.dose_at(curve.range_mm * 2) == 0.0
+
+    def test_rising_trend_up_to_peak_region(self, curve):
+        depths = np.linspace(0, curve.peak_depth_mm * 0.9, 50)
+        doses = curve.dose_at(depths)
+        # Rising trend; the power-law approximation allows a ~1 % mid-range
+        # sag, never more.
+        assert doses[-1] > doses[0]
+        assert np.min(np.diff(doses)) > -0.005
+
+    def test_higher_energy_deeper_peak(self):
+        assert bragg_curve(200.0).peak_depth_mm > bragg_curve(100.0).peak_depth_mm
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(GeometryError):
+            bragg_curve(-1.0)
+        with pytest.raises(GeometryError):
+            bragg_curve(100.0, depth_step_mm=0.0)
+
+
+class TestLateralSigma:
+    def test_grows_with_depth(self):
+        assert lateral_sigma_mm(150.0, 160.0, 5.0) > lateral_sigma_mm(
+            10.0, 160.0, 5.0
+        )
+
+    def test_sigma0_at_surface(self):
+        assert lateral_sigma_mm(0.0, 160.0, 5.0) == pytest.approx(5.0)
+
+    def test_end_of_range_mcs(self):
+        # ~3.5 % of range at the end of range, in quadrature with sigma0.
+        sigma = lateral_sigma_mm(160.0, 160.0, 0.001)
+        assert sigma == pytest.approx(0.035 * 160.0, rel=0.05)
+
+
+class TestBeam:
+    def test_gantry_0_travels_plus_y(self):
+        b = Beam("b", 0.0, (0, 0, 0))
+        np.testing.assert_allclose(b.direction, [0, 1, 0], atol=1e-12)
+
+    def test_gantry_90_travels_plus_x(self):
+        b = Beam("b", 90.0, (0, 0, 0))
+        np.testing.assert_allclose(b.direction, [1, 0, 0], atol=1e-12)
+
+    def test_opposed_beams_antiparallel(self):
+        b90 = Beam("a", 90.0, (0, 0, 0))
+        b270 = Beam("b", 270.0, (0, 0, 0))
+        assert float(b90.direction @ b270.direction) == pytest.approx(-1.0)
+
+    def test_bev_axes_orthonormal(self):
+        for angle in (0.0, 37.0, 120.0, 301.0):
+            b = Beam("b", angle, (1, 2, 3))
+            u, v = b.bev_axes
+            assert float(u @ v) == pytest.approx(0.0, abs=1e-12)
+            assert float(u @ b.direction) == pytest.approx(0.0, abs=1e-12)
+            assert np.linalg.norm(u) == pytest.approx(1.0)
+            assert np.linalg.norm(v) == pytest.approx(1.0)
+
+    def test_bev_world_roundtrip(self, rng):
+        b = Beam("b", 73.0, (5, -3, 11))
+        u = rng.random(10) * 50 - 25
+        v = rng.random(10) * 50 - 25
+        world = b.bev_to_world(u, v)
+        u2, v2, depth = b.world_to_bev(world)
+        np.testing.assert_allclose(u2, u, atol=1e-9)
+        np.testing.assert_allclose(v2, v, atol=1e-9)
+        np.testing.assert_allclose(depth, 0.0, atol=1e-9)
+
+    def test_source_upstream_of_isocenter(self):
+        b = Beam("b", 45.0, (0, 0, 0), source_distance_mm=1500.0)
+        _, _, depth = b.world_to_bev(b.source_mm[None, :])
+        assert depth[0] == pytest.approx(-1500.0)
+
+    def test_rejects_nonpositive_sad(self):
+        with pytest.raises(GeometryError):
+            Beam("b", 0.0, (0, 0, 0), source_distance_mm=0.0)

@@ -1,0 +1,116 @@
+"""CT images and HU calibration."""
+
+import numpy as np
+import pytest
+
+from repro.dose.beam import Beam
+from repro.dose.ct import (
+    CTImage,
+    density_to_hu,
+    hu_to_density,
+    phantom_from_ct,
+    synthesize_ct,
+)
+from repro.dose.grid import DoseGrid
+from repro.util.errors import GeometryError
+
+
+class TestCalibration:
+    def test_water_is_zero_hu(self):
+        assert density_to_hu(1.0) == pytest.approx(0.0)
+
+    def test_air_is_minus_1000(self):
+        assert density_to_hu(0.001) == pytest.approx(-1000.0)
+
+    def test_bone_is_1000(self):
+        assert density_to_hu(1.60) == pytest.approx(1000.0)
+
+    def test_roundtrip_on_curve(self):
+        densities = np.array([0.3, 0.92, 1.0, 1.1, 1.6])
+        np.testing.assert_allclose(
+            hu_to_density(density_to_hu(densities)), densities, rtol=1e-9
+        )
+
+    def test_monotone(self):
+        d = np.linspace(0.01, 2.0, 50)
+        hu = density_to_hu(d)
+        assert np.all(np.diff(hu) >= 0)
+
+    def test_negative_density_rejected(self):
+        with pytest.raises(GeometryError):
+            density_to_hu(np.array([-0.1]))
+
+    def test_extreme_hu_clamped(self):
+        assert hu_to_density(-5000.0) == pytest.approx(0.001)
+        assert hu_to_density(9000.0) == pytest.approx(2.2)
+
+
+class TestSynthesizeCT:
+    def test_noiseless_roundtrip(self, small_phantom):
+        ct = synthesize_ct(small_phantom, noise_hu=0.0, rng=0)
+        recovered = ct.density()
+        soft = small_phantom.density > 0.5
+        np.testing.assert_allclose(
+            recovered[soft], small_phantom.density[soft], rtol=0.02
+        )
+
+    def test_noise_magnitude(self, small_phantom):
+        ct = synthesize_ct(small_phantom, noise_hu=25.0, rng=1)
+        clean = synthesize_ct(small_phantom, noise_hu=0.0, rng=1)
+        resid = ct.hu - clean.hu
+        assert np.std(resid) == pytest.approx(25.0, rel=0.1)
+
+    def test_upsampled_grid(self, small_phantom):
+        ct = synthesize_ct(small_phantom, upsample=2, rng=0)
+        assert ct.grid.shape[0] == 2 * small_phantom.grid.shape[0]
+        assert ct.grid.spacing[0] == small_phantom.grid.spacing[0] / 2
+
+    def test_resample_back(self, small_phantom):
+        ct = synthesize_ct(small_phantom, noise_hu=0.0, upsample=2, rng=0)
+        back = ct.resampled_to(small_phantom.grid)
+        assert back.grid.shape == small_phantom.grid.shape
+        soft = small_phantom.density > 0.5
+        np.testing.assert_allclose(
+            back.density()[soft], small_phantom.density[soft], rtol=0.05
+        )
+
+    def test_invalid_args(self, small_phantom):
+        with pytest.raises(GeometryError):
+            synthesize_ct(small_phantom, noise_hu=-1.0)
+        with pytest.raises(GeometryError):
+            synthesize_ct(small_phantom, upsample=0)
+
+    def test_shape_mismatch_rejected(self, small_phantom):
+        with pytest.raises(GeometryError):
+            CTImage(small_phantom.grid, np.zeros((2, 2, 2)))
+
+
+class TestClinicalRoundTrip:
+    def test_dose_through_ct_close_to_direct(self, small_phantom, small_beam):
+        """phantom -> CT -> phantom' -> dose agrees with direct dose.
+
+        The whole point of the calibration: the lossy CT path must not
+        change the dose materially (low noise here).
+        """
+        from repro.dose.deposition import build_deposition_matrix
+
+        ct = synthesize_ct(small_phantom, noise_hu=5.0, rng=3)
+        rebuilt = phantom_from_ct(ct, small_phantom)
+        direct = build_deposition_matrix(
+            small_phantom, small_beam, spot_spacing_mm=14.0,
+            layer_spacing_mm=18.0,
+        )
+        via_ct = build_deposition_matrix(
+            rebuilt, small_beam, spot_spacing_mm=14.0, layer_spacing_mm=18.0,
+        )
+        w = np.ones(direct.n_spots)
+        if via_ct.n_spots == direct.n_spots:
+            d1, d2 = direct.dose(w), via_ct.dose(np.ones(via_ct.n_spots))
+            err = np.linalg.norm(d1 - d2) / np.linalg.norm(d1)
+            assert err < 0.2
+        else:
+            # Spot maps may differ by a handful of edge spots; compare
+            # total integral dose instead.
+            d1 = direct.dose(w).sum()
+            d2 = via_ct.dose(np.ones(via_ct.n_spots)).sum()
+            assert d2 == pytest.approx(d1, rel=0.2)

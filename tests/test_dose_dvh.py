@@ -1,0 +1,95 @@
+"""Dose-volume histograms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dose.dvh import DVH, compute_dvh, homogeneity_index
+from repro.dose.grid import DoseGrid
+from repro.dose.structures import sphere_mask
+from repro.util.errors import ShapeError
+
+
+@pytest.fixture()
+def grid_and_roi():
+    grid = DoseGrid((10, 10, 6), (5.0, 5.0, 8.0))
+    roi = sphere_mask(grid, grid.center_mm, 15.0, "t")
+    return grid, roi
+
+
+class TestComputeDVH:
+    def test_uniform_dose_step_function(self, grid_and_roi):
+        grid, roi = grid_and_roi
+        dose = np.full(grid.n_voxels, 60.0)
+        dvh = compute_dvh(dose, roi, max_dose_gy=100.0)
+        assert dvh.v_at(30.0) == pytest.approx(1.0, abs=0.02)
+        assert dvh.v_at(70.0) == pytest.approx(0.0, abs=0.02)
+
+    def test_monotone_decreasing(self, grid_and_roi, rng):
+        grid, roi = grid_and_roi
+        dose = rng.random(grid.n_voxels) * 70
+        dvh = compute_dvh(dose, roi)
+        assert np.all(np.diff(dvh.volume_fraction) <= 1e-12)
+
+    def test_starts_at_one(self, grid_and_roi, rng):
+        grid, roi = grid_and_roi
+        dose = 1.0 + rng.random(grid.n_voxels)
+        dvh = compute_dvh(dose, roi)
+        assert dvh.volume_fraction[0] == pytest.approx(1.0)
+
+    def test_shape_check(self, grid_and_roi):
+        _, roi = grid_and_roi
+        with pytest.raises(ShapeError):
+            compute_dvh(np.zeros(3), roi)
+
+    def test_mean_dose_matches_numpy(self, grid_and_roi, rng):
+        grid, roi = grid_and_roi
+        dose = rng.random(grid.n_voxels) * 50
+        dvh = compute_dvh(dose, roi, n_bins=2000)
+        true_mean = dose[roi.flat].mean()
+        assert dvh.mean_dose == pytest.approx(true_mean, rel=0.02)
+
+    def test_max_dose(self, grid_and_roi, rng):
+        grid, roi = grid_and_roi
+        dose = rng.random(grid.n_voxels) * 50
+        dvh = compute_dvh(dose, roi, n_bins=1000)
+        assert dvh.max_dose == pytest.approx(dose[roi.flat].max(), rel=0.01)
+
+    def test_d_at_v_at_consistency(self, grid_and_roi, rng):
+        grid, roi = grid_and_roi
+        dose = rng.random(grid.n_voxels) * 50
+        dvh = compute_dvh(dose, roi, n_bins=1000)
+        d95 = dvh.d_at(0.95)
+        assert dvh.v_at(d95) == pytest.approx(0.95, abs=0.05)
+
+    def test_d_at_validates_fraction(self, grid_and_roi, rng):
+        grid, roi = grid_and_roi
+        dvh = compute_dvh(np.zeros(grid.n_voxels), roi)
+        with pytest.raises(ValueError):
+            dvh.d_at(1.5)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 2**31 - 1), st.floats(1.0, 80.0))
+def test_property_scaling_dose_scales_dvh(seed, scale):
+    """DVH(k*d) at dose k*x equals DVH(d) at x."""
+    grid = DoseGrid((6, 6, 4), (10.0, 10.0, 10.0))
+    roi = sphere_mask(grid, grid.center_mm, 25.0, "t")
+    dose = np.random.default_rng(seed).random(grid.n_voxels) * 10
+    a = compute_dvh(dose, roi, n_bins=400, max_dose_gy=12.0)
+    b = compute_dvh(dose * scale, roi, n_bins=400, max_dose_gy=12.0 * scale)
+    np.testing.assert_allclose(a.volume_fraction, b.volume_fraction, atol=0.02)
+
+
+class TestHomogeneityIndex:
+    def test_uniform_is_zero(self, grid_and_roi):
+        grid, roi = grid_and_roi
+        hi = homogeneity_index(np.full(grid.n_voxels, 60.0), roi)
+        assert hi == pytest.approx(0.0, abs=0.05)
+
+    def test_spread_increases_index(self, grid_and_roi, rng):
+        grid, roi = grid_and_roi
+        uniform = np.full(grid.n_voxels, 60.0)
+        spread = 60.0 + 30.0 * (rng.random(grid.n_voxels) - 0.5)
+        assert homogeneity_index(spread, roi) > homogeneity_index(uniform, roi)

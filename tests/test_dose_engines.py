@@ -1,0 +1,189 @@
+"""Dose engines: geometry cache, analytic pencil beam, Monte Carlo."""
+
+import numpy as np
+import pytest
+
+from repro.dose.beam import Beam
+from repro.dose.bragg import bragg_curve, energy_from_range_mm
+from repro.dose.grid import DoseGrid
+from repro.dose.montecarlo import MCConfig, mc_spot_dose
+from repro.dose.pencilbeam import compute_beam_geometry, spot_dose
+from repro.dose.phantom import Phantom
+from repro.dose.structures import sphere_mask
+
+
+@pytest.fixture(scope="module")
+def water_box():
+    """A homogeneous water phantom: analytic ground truth is exact."""
+    grid = DoseGrid((21, 40, 13), (6.0, 6.0, 8.0))
+    density = np.ones((13, 40, 21))
+    target = sphere_mask(grid, grid.center_mm, 25.0, "target")
+    return Phantom("water", grid, density, {"target": target})
+
+
+@pytest.fixture(scope="module")
+def water_geometry(water_box):
+    return compute_beam_geometry(
+        water_box, Beam("b", 0.0, tuple(water_box.grid.center_mm))
+    )
+
+
+class TestBeamGeometry:
+    def test_wed_zero_at_entry_face(self, water_box, water_geometry):
+        # Voxels on the upstream face (min y for gantry 0) have WED of at
+        # most one voxel.
+        wed_vol = water_box.grid.flat_to_volume(water_geometry.wed_mm)
+        front = wed_vol[:, 0, :]
+        assert float(front.max()) < 2 * water_box.grid.spacing[1]
+
+    def test_wed_grows_along_beam(self, water_box, water_geometry):
+        wed_vol = water_box.grid.flat_to_volume(water_geometry.wed_mm)
+        profile = wed_vol[6, :, 10]
+        assert np.all(np.diff(profile) > 0)
+
+    def test_wed_water_equals_geometric_depth(self, water_box, water_geometry):
+        # In unit-density water, WED == geometric depth from the surface.
+        grid = water_box.grid
+        wed_vol = grid.flat_to_volume(water_geometry.wed_mm)
+        j = 20
+        expected = (j + 0.5) * grid.spacing[1]
+        assert wed_vol[6, j, 10] == pytest.approx(expected, rel=0.08)
+
+    def test_heterogeneity_shortens_range(self, small_phantom, small_beam):
+        # WED behind lung (rho 0.3) is smaller than through soft tissue.
+        geo = compute_beam_geometry(small_phantom, small_beam)
+        dens = small_phantom.density_flat()
+        behind = geo.wed_mm[dens > 0.5]
+        assert behind.max() > 0
+
+    def test_u_v_projections_match_beam(self, water_box, water_geometry):
+        beam = water_geometry.beam
+        centers = water_box.grid.voxel_centers()
+        u, v, _ = beam.world_to_bev(centers)
+        np.testing.assert_allclose(water_geometry.u_mm, u, atol=1e-9)
+        np.testing.assert_allclose(water_geometry.v_mm, v, atol=1e-9)
+
+
+class TestAnalyticSpotDose:
+    def test_dose_concentrated_near_axis(self, water_box, water_geometry):
+        curve = bragg_curve(120.0)
+        sd = spot_dose(water_geometry, curve, 0.0, 0.0)
+        assert sd.voxel_indices.size > 0
+        u = water_geometry.u_mm[sd.voxel_indices]
+        assert np.abs(u).max() < 60.0  # within a few sigma of the axis
+
+    def test_no_dose_beyond_range(self, water_box, water_geometry):
+        curve = bragg_curve(120.0)
+        sd = spot_dose(water_geometry, curve, 0.0, 0.0)
+        wed = water_geometry.wed_mm[sd.voxel_indices]
+        assert wed.max() <= curve.range_mm + 20.0
+
+    def test_bragg_peak_visible_in_depth_profile(self, water_box, water_geometry):
+        curve = bragg_curve(120.0)
+        sd = spot_dose(water_geometry, curve, 0.0, 0.0, relative_cutoff=1e-5)
+        dose = np.zeros(water_box.grid.n_voxels)
+        dose[sd.voxel_indices] = sd.dose
+        vol = water_box.grid.flat_to_volume(dose)
+        profile = vol.sum(axis=(0, 2))  # integrate laterally -> depth profile
+        peak_j = int(np.argmax(profile))
+        expected_j = curve.peak_depth_mm / water_box.grid.spacing[1]
+        assert abs(peak_j - expected_j) <= 2
+
+    def test_cutoff_trims_entries(self, water_geometry):
+        curve = bragg_curve(120.0)
+        loose = spot_dose(water_geometry, curve, 0.0, 0.0, relative_cutoff=1e-5)
+        tight = spot_dose(water_geometry, curve, 0.0, 0.0, relative_cutoff=1e-2)
+        assert tight.voxel_indices.size < loose.voxel_indices.size
+
+    def test_offset_spot_moves_dose(self, water_geometry):
+        curve = bragg_curve(120.0)
+        centered = spot_dose(water_geometry, curve, 0.0, 0.0)
+        offset = spot_dose(water_geometry, curve, 30.0, 0.0)
+        u_c = water_geometry.u_mm[centered.voxel_indices].mean()
+        u_o = water_geometry.u_mm[offset.voxel_indices].mean()
+        assert u_o - u_c == pytest.approx(30.0, abs=6.0)
+
+    def test_off_target_spot_empty(self, water_geometry):
+        curve = bragg_curve(120.0)
+        sd = spot_dose(water_geometry, curve, 1e5, 1e5)
+        assert sd.voxel_indices.size == 0
+
+
+class TestMonteCarlo:
+    def test_total_dose_converges_to_analytic(self, water_box, water_geometry):
+        """Laterally-integrated MC depth profile matches the Bragg curve."""
+        curve = bragg_curve(110.0)
+        analytic = spot_dose(
+            water_geometry, curve, 0.0, 0.0, relative_cutoff=1e-6
+        )
+        a_dose = np.zeros(water_box.grid.n_voxels)
+        a_dose[analytic.voxel_indices] = analytic.dose
+        a_profile = water_box.grid.flat_to_volume(a_dose).sum(axis=(0, 2))
+
+        mc = mc_spot_dose(
+            water_box, water_geometry, curve, 0.0, 0.0,
+            config=MCConfig(n_particles=4000), rng=11,
+        )
+        m_dose = np.zeros(water_box.grid.n_voxels)
+        m_dose[mc.voxel_indices] = mc.dose
+        m_profile = water_box.grid.flat_to_volume(m_dose).sum(axis=(0, 2))
+
+        # Compare normalized depth profiles where the analytic one is
+        # significant.
+        sel = a_profile > 0.05 * a_profile.max()
+        a_n = a_profile[sel] / a_profile[sel].sum()
+        m_n = m_profile[sel] / max(m_profile[sel].sum(), 1e-300)
+        assert np.abs(a_n - m_n).max() < 0.08
+
+    def test_statistical_error_decreases(self, water_box, water_geometry):
+        curve = bragg_curve(110.0)
+
+        def profile(n, seed):
+            mc = mc_spot_dose(
+                water_box, water_geometry, curve, 0.0, 0.0,
+                config=MCConfig(n_particles=n), rng=seed,
+            )
+            dose = np.zeros(water_box.grid.n_voxels)
+            dose[mc.voxel_indices] = mc.dose
+            return water_box.grid.flat_to_volume(dose).sum(axis=(0, 2))
+
+        # Spread between independent runs shrinks with particle count.
+        small = [profile(150, s) for s in range(4)]
+        large = [profile(2400, s) for s in range(4)]
+        spread_small = np.std(np.stack(small), axis=0).sum() / np.mean(
+            np.stack(small).sum(axis=1)
+        )
+        spread_large = np.std(np.stack(large), axis=0).sum() / np.mean(
+            np.stack(large).sum(axis=1)
+        )
+        assert spread_large < spread_small
+
+    def test_noise_adds_extra_voxels(self, water_box, water_geometry):
+        # The nnz-inflation property from Section II-A.
+        curve = bragg_curve(110.0)
+        analytic = spot_dose(water_geometry, curve, 0.0, 0.0)
+        mc = mc_spot_dose(
+            water_box, water_geometry, curve, 0.0, 0.0,
+            config=MCConfig(n_particles=3000), rng=2,
+        )
+        extra = np.setdiff1d(mc.voxel_indices, analytic.voxel_indices)
+        assert extra.size > 0
+
+    def test_seeded_determinism(self, water_box, water_geometry):
+        curve = bragg_curve(110.0)
+        a = mc_spot_dose(water_box, water_geometry, curve, 0.0, 0.0,
+                         config=MCConfig(n_particles=200), rng=9)
+        b = mc_spot_dose(water_box, water_geometry, curve, 0.0, 0.0,
+                         config=MCConfig(n_particles=200), rng=9)
+        np.testing.assert_array_equal(a.voxel_indices, b.voxel_indices)
+        np.testing.assert_array_equal(a.dose, b.dose)
+
+    def test_relative_cutoff_truncates(self, water_box, water_geometry):
+        curve = bragg_curve(110.0)
+        full = mc_spot_dose(water_box, water_geometry, curve, 0.0, 0.0,
+                            config=MCConfig(n_particles=1000), rng=3)
+        cut = mc_spot_dose(
+            water_box, water_geometry, curve, 0.0, 0.0,
+            config=MCConfig(n_particles=1000, relative_cutoff=0.01), rng=3,
+        )
+        assert cut.voxel_indices.size < full.voxel_indices.size

@@ -1,0 +1,97 @@
+"""Gamma-index plan QA."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import case_weights
+from repro.dose.gamma import gamma_index
+from repro.dose.grid import DoseGrid
+from repro.plans.cases import get_case
+from repro.util.errors import ShapeError
+
+
+@pytest.fixture()
+def grid():
+    return DoseGrid((12, 12, 8), (4.0, 4.0, 5.0))
+
+
+@pytest.fixture()
+def dose(grid, rng):
+    # Smooth blob: a realistic dose-like field.
+    xs, ys, zs = grid.axes()
+    gz, gy, gx = np.meshgrid(zs, ys, xs, indexing="ij")
+    c = grid.center_mm
+    blob = 60.0 * np.exp(
+        -(((gx - c[0]) / 18) ** 2 + ((gy - c[1]) / 18) ** 2 + ((gz - c[2]) / 15) ** 2)
+    )
+    return blob.ravel()
+
+
+class TestIdentityAndScaling:
+    def test_identical_distributions_all_pass(self, grid, dose):
+        result = gamma_index(dose, dose, grid)
+        assert result.pass_rate == 1.0
+        assert result.mean_gamma == pytest.approx(0.0)
+        assert result.accepted
+
+    def test_within_criterion_scaling_passes(self, grid, dose):
+        # A uniform 2 % dose scaling is inside the 3 % criterion.
+        result = gamma_index(dose, dose * 1.02, grid)
+        assert result.pass_rate == 1.0
+
+    def test_large_scaling_fails(self, grid, dose):
+        result = gamma_index(dose, dose * 1.30, grid)
+        assert result.pass_rate < 0.8
+        assert not result.accepted
+
+
+class TestSpatialTolerance:
+    def test_one_voxel_shift_within_dta_passes(self, grid, dose):
+        # Shift by one 4 mm voxel with dta 5 mm: every point finds its
+        # reference neighbour.
+        vol = grid.flat_to_volume(dose)
+        shifted = np.roll(vol, 1, axis=2).ravel()
+        result = gamma_index(dose, shifted, grid, dta_mm=5.0)
+        assert result.pass_rate > 0.97
+
+    def test_shift_beyond_dta_fails_in_gradient(self, grid, dose):
+        vol = grid.flat_to_volume(dose)
+        shifted = np.roll(vol, 3, axis=2).ravel()  # 12 mm shift, 3 mm dta
+        result = gamma_index(dose, shifted, grid, dta_mm=3.0)
+        assert result.pass_rate < 0.9
+
+
+class TestMechanics:
+    def test_threshold_excludes_low_dose(self, grid, dose):
+        result = gamma_index(dose, dose, grid, dose_threshold_fraction=0.5)
+        assert result.n_evaluated < np.count_nonzero(dose > 0)
+        assert np.isnan(result.gamma[dose < 0.5 * dose.max()]).all()
+
+    def test_shape_check(self, grid, dose):
+        with pytest.raises(ShapeError):
+            gamma_index(dose, dose[:-1], grid)
+
+    def test_zero_reference_rejected(self, grid):
+        with pytest.raises(ShapeError):
+            gamma_index(
+                np.zeros(grid.n_voxels), np.zeros(grid.n_voxels), grid
+            )
+
+    def test_tighter_criteria_lower_pass_rate(self, grid, dose, rng):
+        noisy = dose * (1.0 + 0.035 * rng.standard_normal(dose.shape))
+        loose = gamma_index(dose, noisy, grid, dd_fraction=0.05)
+        tight = gamma_index(dose, noisy, grid, dd_fraction=0.01, dta_mm=1.0)
+        assert tight.pass_rate <= loose.pass_rate
+
+
+class TestEngineEquivalence:
+    def test_half_vs_double_dose_passes_gamma(self, tiny_liver_case):
+        # The clinical acceptance argument for the paper's half storage:
+        # the half-stored dose is gamma-equivalent to the exact one.
+        case = get_case("Liver 1", "tiny")
+        grid = DoseGrid(case.phantom_shape, case.phantom_spacing)
+        w = case_weights("Liver 1", tiny_liver_case.n_spots)
+        exact = tiny_liver_case.matrix.matvec(w)
+        half = tiny_liver_case.as_half().matvec(w)
+        result = gamma_index(exact, half, grid, dd_fraction=0.01, dta_mm=1.0)
+        assert result.pass_rate == 1.0  # passes even at 1 %/1 mm

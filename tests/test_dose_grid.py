@@ -1,0 +1,86 @@
+"""DoseGrid geometry."""
+
+import numpy as np
+import pytest
+
+from repro.dose.grid import DoseGrid
+from repro.util.errors import GeometryError
+
+
+@pytest.fixture()
+def grid():
+    return DoseGrid((4, 3, 2), (2.0, 3.0, 5.0), origin=(10.0, 20.0, 30.0))
+
+
+class TestConstruction:
+    def test_n_voxels(self, grid):
+        assert grid.n_voxels == 24
+
+    def test_rejects_zero_dim(self):
+        with pytest.raises(GeometryError):
+            DoseGrid((0, 3, 2), (1, 1, 1))
+
+    def test_rejects_negative_spacing(self):
+        with pytest.raises(GeometryError):
+            DoseGrid((2, 2, 2), (1, -1, 1))
+
+    def test_voxel_volume_cc(self, grid):
+        assert grid.voxel_volume_cc == pytest.approx(2 * 3 * 5 / 1000)
+
+    def test_extent(self, grid):
+        assert grid.extent_mm == (8.0, 9.0, 10.0)
+
+    def test_center(self, grid):
+        np.testing.assert_allclose(
+            grid.center_mm, [10 + 3.0, 20 + 3.0, 30 + 2.5]
+        )
+
+
+class TestIndexing:
+    def test_flatten_unflatten_roundtrip(self, grid):
+        ix, iy, iz = np.meshgrid(
+            np.arange(4), np.arange(3), np.arange(2), indexing="ij"
+        )
+        flat = grid.flatten_index(ix.ravel(), iy.ravel(), iz.ravel())
+        bx, by, bz = grid.unflatten_index(flat)
+        np.testing.assert_array_equal(bx, ix.ravel())
+        np.testing.assert_array_equal(by, iy.ravel())
+        np.testing.assert_array_equal(bz, iz.ravel())
+
+    def test_flat_index_x_fastest(self, grid):
+        assert grid.flatten_index(1, 0, 0) == 1
+        assert grid.flatten_index(0, 1, 0) == 4
+        assert grid.flatten_index(0, 0, 1) == 12
+
+    def test_voxel_centers_order_matches_flatten(self, grid):
+        centers = grid.voxel_centers()
+        # voxel (1, 2, 1): flat index 1 + 2*4 + 1*12 = 21
+        expected = [10 + 1 * 2.0, 20 + 2 * 3.0, 30 + 1 * 5.0]
+        np.testing.assert_allclose(centers[21], expected)
+
+    def test_world_to_index_inverts_centers(self, grid):
+        centers = grid.voxel_centers()
+        frac = grid.world_to_index(centers)
+        ix, iy, iz = grid.unflatten_index(np.arange(grid.n_voxels))
+        np.testing.assert_allclose(frac[:, 0], ix)
+        np.testing.assert_allclose(frac[:, 1], iy)
+        np.testing.assert_allclose(frac[:, 2], iz)
+
+    def test_contains_index(self, grid):
+        assert grid.contains_index(0, 0, 0)
+        assert not grid.contains_index(4, 0, 0)
+        assert not grid.contains_index(0, -1, 0)
+
+
+class TestVolumes:
+    def test_empty_volume_shape(self, grid):
+        assert grid.empty_volume().shape == (2, 3, 4)
+
+    def test_flat_to_volume_roundtrip(self, grid, rng):
+        flat = rng.random(grid.n_voxels)
+        vol = grid.flat_to_volume(flat)
+        np.testing.assert_array_equal(vol.ravel(), flat)
+
+    def test_flat_to_volume_shape_check(self, grid):
+        with pytest.raises(GeometryError):
+            grid.flat_to_volume(np.zeros(5))

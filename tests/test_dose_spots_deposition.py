@@ -1,0 +1,144 @@
+"""Spot maps and deposition-matrix assembly."""
+
+import numpy as np
+import pytest
+
+from repro.dose.deposition import DepositionConfig, build_deposition_matrix
+from repro.dose.pencilbeam import compute_beam_geometry
+from repro.dose.spots import generate_spot_map
+from repro.precision.halfsim import HALF_MAX
+from repro.util.errors import GeometryError
+
+
+@pytest.fixture(scope="module")
+def geometry(small_phantom, small_beam):
+    return compute_beam_geometry(small_phantom, small_beam)
+
+
+@pytest.fixture(scope="module")
+def spot_map(small_phantom, small_beam, geometry):
+    return generate_spot_map(
+        small_phantom, small_beam, geometry,
+        spot_spacing_mm=12.0, layer_spacing_mm=15.0,
+    )
+
+
+class TestSpotMap:
+    def test_has_spots_and_layers(self, spot_map):
+        assert spot_map.n_spots > 0
+        assert spot_map.n_layers >= 2
+
+    def test_layers_partition_spots(self, spot_map):
+        total = sum(
+            spot_map.spots_in_layer(li).size for li in range(spot_map.n_layers)
+        )
+        assert total == spot_map.n_spots
+
+    def test_layer_energies_increase_with_depth(self, spot_map):
+        energies = [
+            float(spot_map.energy_mev[spot_map.spots_in_layer(li)[0]])
+            for li in range(spot_map.n_layers)
+        ]
+        assert np.all(np.diff(energies) > 0)
+
+    def test_spots_cover_target_projection(self, small_phantom, geometry, spot_map):
+        tu = geometry.u_mm[small_phantom.target.voxel_indices]
+        # Every target voxel has a spot within ~2 spot spacings laterally.
+        for u in (tu.min(), tu.max(), tu.mean()):
+            assert np.abs(spot_map.u_mm - u).min() < 24.0
+
+    def test_serpentine_adjacency(self, spot_map):
+        # Consecutive spots within a layer are spatially adjacent (the
+        # scanline property that makes consecutive matrix columns overlap).
+        layer0 = spot_map.spots_in_layer(0)
+        du = np.abs(np.diff(spot_map.u_mm[layer0]))
+        dv = np.abs(np.diff(spot_map.v_mm[layer0]))
+        step = np.maximum(du, dv)
+        assert np.median(step) <= 12.0 + 1e-9
+
+    def test_invalid_spacing(self, small_phantom, small_beam, geometry):
+        with pytest.raises(GeometryError):
+            generate_spot_map(
+                small_phantom, small_beam, geometry, spot_spacing_mm=0.0
+            )
+
+
+class TestDepositionMatrix:
+    @pytest.fixture(scope="class")
+    def dep(self, small_phantom, small_beam):
+        return build_deposition_matrix(
+            small_phantom, small_beam,
+            spot_spacing_mm=12.0, layer_spacing_mm=15.0,
+        )
+
+    def test_shape(self, dep, small_phantom):
+        assert dep.n_voxels == small_phantom.grid.n_voxels
+        assert dep.matrix.shape == (dep.n_voxels, dep.n_spots)
+
+    def test_sparse(self, dep):
+        assert dep.matrix.density < 0.05
+
+    def test_nonnegative_dose(self, dep):
+        assert float(dep.matrix.data.min()) >= 0.0
+
+    def test_half_safe_values(self, dep):
+        assert float(dep.matrix.data.max()) < HALF_MAX / 4
+
+    def test_deterministic_rebuild(self, small_phantom, small_beam):
+        a = build_deposition_matrix(
+            small_phantom, small_beam, spot_spacing_mm=12.0,
+            layer_spacing_mm=15.0,
+        )
+        b = build_deposition_matrix(
+            small_phantom, small_beam, spot_spacing_mm=12.0,
+            layer_spacing_mm=15.0,
+        )
+        np.testing.assert_array_equal(a.matrix.data, b.matrix.data)
+        np.testing.assert_array_equal(a.matrix.indices, b.matrix.indices)
+
+    def test_target_receives_dose_from_uniform_weights(self, dep, small_phantom):
+        dose = dep.dose(np.ones(dep.n_spots))
+        target_dose = dose[small_phantom.target.voxel_indices]
+        body = small_phantom.structures["body"]
+        assert target_dose.min() > 0
+        # Target mean dose well above body mean (the beam aims there).
+        assert target_dose.mean() > 3 * dose[body.flat].mean()
+
+    def test_noise_inflates_nnz(self, small_phantom, small_beam):
+        clean = build_deposition_matrix(
+            small_phantom, small_beam, spot_spacing_mm=12.0,
+            layer_spacing_mm=15.0,
+            config=DepositionConfig(mc_noise_fraction=0.0),
+        )
+        noisy = build_deposition_matrix(
+            small_phantom, small_beam, spot_spacing_mm=12.0,
+            layer_spacing_mm=15.0,
+            config=DepositionConfig(mc_noise_fraction=0.2),
+        )
+        assert noisy.matrix.nnz > clean.matrix.nnz
+        # Inflation is roughly the configured fraction.
+        ratio = noisy.matrix.nnz / clean.matrix.nnz
+        assert 1.05 < ratio < 1.35
+
+    def test_half_cast_roundtrip_close(self, dep, rng):
+        x = rng.random(dep.n_spots)
+        y64 = dep.dose(x)
+        y16 = dep.as_half().matvec(x)
+        err = np.linalg.norm(y16 - y64) / np.linalg.norm(y64)
+        assert err < 1e-3
+
+    def test_mc_engine_variant_builds(self, small_phantom, small_beam):
+        from repro.dose.montecarlo import MCConfig
+
+        dep = build_deposition_matrix(
+            small_phantom, small_beam,
+            spot_spacing_mm=16.0, layer_spacing_mm=25.0,
+            config=DepositionConfig(
+                engine="montecarlo", mc=MCConfig(n_particles=60)
+            ),
+        )
+        assert dep.matrix.nnz > 0
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(GeometryError):
+            DepositionConfig(engine="magic")

@@ -1,0 +1,149 @@
+"""ROI masks and the liver/prostate phantoms."""
+
+import numpy as np
+import pytest
+
+from repro.dose.grid import DoseGrid
+from repro.dose.phantom import (
+    DENSITY_BONE,
+    DENSITY_LUNG,
+    DENSITY_SOFT,
+    build_liver_phantom,
+    build_prostate_phantom,
+)
+from repro.dose.structures import ROIMask, box_mask, ellipsoid_mask, sphere_mask
+from repro.util.errors import GeometryError
+
+
+@pytest.fixture()
+def grid():
+    return DoseGrid((16, 16, 10), (5.0, 5.0, 8.0))
+
+
+class TestMaskBuilders:
+    def test_sphere_volume_reasonable(self, grid):
+        roi = sphere_mask(grid, grid.center_mm, 20.0, "s")
+        analytic_cc = 4 / 3 * np.pi * 20**3 / 1000
+        assert roi.volume_cc == pytest.approx(analytic_cc, rel=0.4)
+
+    def test_sphere_rejects_nonpositive_radius(self, grid):
+        with pytest.raises(GeometryError):
+            sphere_mask(grid, grid.center_mm, 0.0, "s")
+
+    def test_ellipsoid_anisotropy(self, grid):
+        roi = ellipsoid_mask(grid, grid.center_mm, (30.0, 10.0, 10.0), "e")
+        vol = roi.mask
+        # x extent must exceed y extent.
+        xs = np.any(vol, axis=(0, 1))
+        ys = np.any(vol, axis=(0, 2))
+        assert xs.sum() > ys.sum()
+
+    def test_box(self, grid):
+        c = grid.center_mm
+        roi = box_mask(grid, c - 10, c + 10, "b")
+        assert roi.n_voxels > 0
+
+    def test_box_rejects_inverted(self, grid):
+        c = grid.center_mm
+        with pytest.raises(GeometryError):
+            box_mask(grid, c + 10, c - 10, "b")
+
+
+class TestMaskOps:
+    def test_union_intersection_minus(self, grid):
+        a = sphere_mask(grid, grid.center_mm, 20.0, "a")
+        b = sphere_mask(grid, grid.center_mm + np.array([15, 0, 0]), 20.0, "b")
+        union = a.union(b)
+        inter = a.intersection(b)
+        diff = a.minus(b)
+        assert union.n_voxels >= max(a.n_voxels, b.n_voxels)
+        assert inter.n_voxels <= min(a.n_voxels, b.n_voxels)
+        assert diff.n_voxels == a.n_voxels - inter.n_voxels
+
+    def test_expansion_grows(self, grid):
+        a = sphere_mask(grid, grid.center_mm, 15.0, "a")
+        grown = a.expanded(10.0)
+        assert grown.n_voxels > a.n_voxels
+        assert np.all(grown.mask[a.mask])  # superset
+
+    def test_expansion_zero_is_copy(self, grid):
+        a = sphere_mask(grid, grid.center_mm, 15.0, "a")
+        same = a.expanded(0.0)
+        np.testing.assert_array_equal(same.mask, a.mask)
+
+    def test_expansion_negative_raises(self, grid):
+        a = sphere_mask(grid, grid.center_mm, 15.0, "a")
+        with pytest.raises(GeometryError):
+            a.expanded(-1.0)
+
+    def test_flat_indices_consistent(self, grid):
+        a = sphere_mask(grid, grid.center_mm, 15.0, "a")
+        assert a.voxel_indices.size == a.n_voxels
+        assert a.flat[a.voxel_indices].all()
+
+    def test_wrong_shape_mask_rejected(self, grid):
+        with pytest.raises(GeometryError):
+            ROIMask("bad", grid, np.zeros((2, 2, 2), bool))
+
+
+class TestLiverPhantom:
+    def test_paper_scale_default_voxels(self):
+        # Default bench grid: 59 400 voxels = 1/50 of the paper's 2.97e6.
+        ph = build_liver_phantom()
+        assert ph.grid.n_voxels == 59400
+
+    def test_has_target_and_oars(self, small_phantom):
+        assert "target" in small_phantom.structures
+        assert {"liver", "lung", "spinal_cord"} <= set(small_phantom.structures)
+
+    def test_target_inside_body(self, small_phantom):
+        body = small_phantom.structures["body"]
+        assert np.all(body.mask[small_phantom.target.mask])
+
+    def test_densities_physical(self, small_phantom):
+        d = small_phantom.density
+        assert d.min() >= 0
+        assert d.max() == pytest.approx(DENSITY_BONE)
+        lung = small_phantom.structures["lung"]
+        assert np.median(d[lung.mask]) == pytest.approx(DENSITY_LUNG)
+
+    def test_target_does_not_touch_cord(self, small_phantom):
+        overlap = (
+            small_phantom.target.mask
+            & small_phantom.structures["spinal_cord"].mask
+        )
+        assert not overlap.any()
+
+    def test_oar_names(self, small_phantom):
+        assert "target" not in small_phantom.oar_names()
+        assert "body" not in small_phantom.oar_names()
+
+
+class TestProstatePhantom:
+    def test_paper_rows_ratio(self):
+        ph = build_prostate_phantom()
+        # ~1/50 of 1.03e6 voxels.
+        assert 15000 < ph.grid.n_voxels < 30000
+
+    def test_structures_present(self):
+        ph = build_prostate_phantom(shape=(18, 16, 8), spacing=(14, 14, 20))
+        assert {"target", "bladder", "rectum",
+                "femoral_head_r", "femoral_head_l"} <= set(ph.structures)
+
+    def test_femoral_heads_are_bone(self):
+        ph = build_prostate_phantom(shape=(18, 16, 8), spacing=(14, 14, 20))
+        femur = ph.structures["femoral_head_r"]
+        assert np.median(ph.density[femur.mask]) == pytest.approx(DENSITY_BONE)
+
+    def test_laterality(self):
+        ph = build_prostate_phantom(shape=(18, 16, 8), spacing=(14, 14, 20))
+        right = ph.structures["femoral_head_r"].voxel_indices
+        left = ph.structures["femoral_head_l"].voxel_indices
+        centers = ph.grid.voxel_centers()
+        assert centers[right, 0].mean() > centers[left, 0].mean()
+
+    def test_missing_target_rejected(self, grid):
+        from repro.dose.phantom import Phantom
+
+        with pytest.raises(GeometryError, match="target"):
+            Phantom("bad", grid, np.ones((10, 16, 16)), structures={})

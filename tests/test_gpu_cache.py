@@ -1,0 +1,104 @@
+"""Set-associative cache simulator, and validation of the traffic
+heuristic against it."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.cache import CacheStats, SetAssociativeCache, gather_trace_stats
+from repro.gpu.device import A100
+from repro.gpu.memory import gather_traffic
+from repro.util.errors import ReproError
+
+
+@pytest.fixture()
+def tiny_cache():
+    # 1 KiB, 32 B lines, 4-way -> 8 sets.
+    return SetAssociativeCache(1024, line_bytes=32, ways=4)
+
+
+class TestMechanics:
+    def test_geometry(self, tiny_cache):
+        assert tiny_cache.n_sets == 8
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ReproError):
+            SetAssociativeCache(100, line_bytes=32, ways=4)
+        with pytest.raises(ReproError):
+            SetAssociativeCache(0)
+
+    def test_cold_miss_then_hit(self, tiny_cache):
+        stats = tiny_cache.access(np.array([0, 0, 0]))
+        assert stats.misses == 1 and stats.hits == 2
+
+    def test_spatial_locality_within_line(self, tiny_cache):
+        # Four 8-byte elements share one 32-byte line.
+        stats = tiny_cache.access(np.array([0, 8, 16, 24]))
+        assert stats.misses == 1 and stats.hits == 3
+
+    def test_working_set_within_capacity_all_hits_second_pass(self, tiny_cache):
+        trace = np.arange(0, 1024, 32)  # exactly fills the cache
+        tiny_cache.access(trace)
+        stats = tiny_cache.access(trace)
+        assert stats.hit_rate == 1.0
+
+    def test_working_set_beyond_capacity_thrashes(self, tiny_cache):
+        trace = np.arange(0, 4096, 32)  # 4x capacity, streaming
+        tiny_cache.access(trace)
+        stats = tiny_cache.access(trace)
+        # LRU + streaming = everything evicted before reuse.
+        assert stats.hit_rate == 0.0
+
+    def test_lru_eviction_order(self, tiny_cache):
+        # Fill one set (4 ways): lines mapping to set 0 are 0, 8, 16, ...
+        set0_lines = np.array([0, 8, 16, 24]) * 32  # stride n_sets lines
+        tiny_cache.access(set0_lines)
+        # Touch line 0 again (now MRU), then add a 5th line -> evicts line 8.
+        tiny_cache.access(np.array([0]))
+        tiny_cache.access(np.array([32 * 32]))
+        assert tiny_cache.access(np.array([0])).hits == 1
+        assert tiny_cache.access(np.array([8 * 32])).misses == 1
+
+    def test_reset(self, tiny_cache):
+        tiny_cache.access(np.array([0]))
+        tiny_cache.reset()
+        assert tiny_cache.access(np.array([0])).misses == 1
+
+    def test_miss_bytes(self, tiny_cache):
+        stats = tiny_cache.access(np.array([0, 64, 128]))
+        assert stats.miss_bytes == 3 * 32
+
+
+class TestHeuristicValidation:
+    def test_fitting_vector_compulsory_only(self, tiny_liver_case):
+        """The module's purpose: the analytic gather model's DRAM count
+        matches a real LRU cache when the vector fits in L2."""
+        matrix = tiny_liver_case.matrix
+        cache = SetAssociativeCache(A100.l2_bytes, A100.sector_bytes, ways=16)
+        stats = gather_trace_stats(matrix.indices, 8, cache)
+        heuristic = gather_traffic(matrix.indices, 8, matrix.n_cols, A100)
+        # Real cache: only compulsory misses; heuristic: footprint once.
+        assert stats.miss_bytes == pytest.approx(
+            heuristic.compulsory_dram_bytes, rel=0.05
+        )
+        assert heuristic.refetch_dram_bytes == 0
+
+    def test_oversized_vector_thrash_detected(self):
+        """When the footprint exceeds capacity, both the heuristic and
+        the real cache report substantial refetch traffic."""
+        rng = np.random.default_rng(0)
+        cache = SetAssociativeCache(64 * 1024, 32, ways=16)
+        n_elements = 64 * 1024  # 512 KiB of doubles >> 64 KiB cache
+        indices = rng.integers(0, n_elements, size=200_000)
+        stats = gather_trace_stats(indices, 8, cache)
+        assert stats.hit_rate < 0.6
+        # Matching heuristic on a synthetic 64 KiB device-like cache:
+        from repro.gpu.device import DeviceSpec, DeviceKind
+
+        small_dev = DeviceSpec(
+            name="small", kind=DeviceKind.GPU, sm_count=1, warp_size=32,
+            clock_ghz=1.0, peak_bw=1e12, peak_flops_fp64=1e12,
+            peak_flops_fp32=1e12, l2_bytes=64 * 1024, l2_bw=1e12,
+            dram_bytes=2**30,
+        )
+        heuristic = gather_traffic(indices, 8, n_elements, small_dev)
+        assert heuristic.refetch_dram_bytes > 0

@@ -1,0 +1,214 @@
+"""Counters and the analytical timing model."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.counters import PerfCounters
+from repro.gpu.device import A100, CPU_I9_7940X, P100, V100
+from repro.gpu.launch import warp_per_row_launch
+from repro.gpu.timing import (
+    KernelTraits,
+    WorkloadProfile,
+    effective_bandwidth,
+    estimate_cpu_time,
+    estimate_gpu_time,
+)
+from repro.gpu.launch import occupancy
+
+
+def make_counters(
+    nnz=1.48e9, rows=2.97e6, cols=6.8e4, value_bytes=2
+) -> PerfCounters:
+    """Paper-scale liver-beam-1-like counters for the half/double kernel."""
+    c = PerfCounters()
+    c.flops = 2 * nnz
+    c.dram_bytes_nnz = (value_bytes + 4) * nnz
+    c.dram_bytes_rows = 12 * rows
+    c.dram_bytes_cols = 8 * cols
+    c.l2_bytes = c.dram_bytes + 8 * nnz
+    c.warp_iterations = nnz / 32
+    c.partial_waste_bytes = 16 * rows * 0.3 * 6
+    c.n_warps = rows
+    c.rows_processed = rows
+    c.n_blocks = rows * 32 / 512
+    c.aux_instructions = 2 * nnz
+    return c
+
+
+class TestPerfCounters:
+    def test_dram_total(self):
+        c = make_counters()
+        assert c.dram_bytes == pytest.approx(
+            6 * 1.48e9 + 12 * 2.97e6 + 8 * 6.8e4
+        )
+
+    def test_paper_oi(self):
+        # The famous 0.332 flop/byte for liver beam 1.
+        assert make_counters().operational_intensity == pytest.approx(
+            0.332, abs=0.002
+        )
+
+    def test_merged_adds(self):
+        c = make_counters()
+        double = c.merged(c)
+        assert double.flops == 2 * c.flops
+        assert double.dram_bytes == pytest.approx(2 * c.dram_bytes)
+
+    def test_scaled_components(self):
+        c = make_counters()
+        s = c.scaled(10.0, 2.0, 3.0)
+        assert s.flops == 10 * c.flops
+        assert s.dram_bytes_nnz == 10 * c.dram_bytes_nnz
+        assert s.dram_bytes_rows == 2 * c.dram_bytes_rows
+        assert s.dram_bytes_cols == 3 * c.dram_bytes_cols
+
+    def test_scaled_grid_factor(self):
+        c = make_counters()
+        s = c.scaled(10.0, 2.0, 3.0, grid_factor=7.0)
+        assert s.n_blocks == 7 * c.n_blocks
+        assert s.n_warps == 7 * c.n_warps
+
+    def test_scaled_preserves_oi_when_uniform(self):
+        c = make_counters()
+        s = c.scaled(5.0, 5.0, 5.0)
+        assert s.operational_intensity == pytest.approx(c.operational_intensity)
+
+    def test_copy_independent(self):
+        c = make_counters()
+        d = c.copy()
+        d.flops = 0
+        assert c.flops > 0
+
+
+class TestEffectiveBandwidth:
+    def test_a100_hits_dram_ceiling(self):
+        occ = occupancy(A100, warp_per_row_launch(10**6, 512))
+        bw = effective_bandwidth(A100, occ, total_warps=10**6)
+        assert bw == pytest.approx(A100.peak_bw * A100.dram_efficiency_ceiling)
+
+    def test_p100_concurrency_limited(self):
+        # The paper's ~41 %-of-peak P100 observation: concurrency, not
+        # the DRAM ceiling, binds.
+        occ = occupancy(P100, warp_per_row_launch(10**6, 512))
+        bw = effective_bandwidth(P100, occ, total_warps=10**6)
+        assert bw < 0.5 * P100.peak_bw
+
+    def test_tiny_grid_limits_concurrency(self):
+        occ = occupancy(A100, warp_per_row_launch(64, 512))
+        bw_small = effective_bandwidth(A100, occ, total_warps=64)
+        occ_big = occupancy(A100, warp_per_row_launch(10**6, 512))
+        bw_big = effective_bandwidth(A100, occ_big, total_warps=10**6)
+        assert bw_small < bw_big
+
+
+HD_TRAITS = KernelTraits(row_overhead_bytes=128.0, warp_per_row=True)
+LIVER_PROFILE = WorkloadProfile(avg_row_len=1660.0, rowlen_cv=2.0)
+
+
+class TestGpuTiming:
+    def test_liver1_paper_band(self):
+        est = estimate_gpu_time(
+            A100,
+            warp_per_row_launch(int(2.97e6), 512),
+            make_counters(),
+            HD_TRAITS,
+            LIVER_PROFILE,
+        )
+        assert 350 <= est.gflops <= 480  # paper: up to ~420
+        assert 0.75 <= est.bandwidth_fraction(A100) <= 0.90  # paper: 80-87 %
+        assert est.limiter == "dram"
+
+    def test_device_ordering(self):
+        times = {}
+        for dev in (A100, V100, P100):
+            est = estimate_gpu_time(
+                dev,
+                warp_per_row_launch(int(2.97e6), 512),
+                make_counters(),
+                HD_TRAITS,
+                LIVER_PROFILE,
+            )
+            times[dev.name] = est.time_s
+        assert times["A100"] < times["V100"] < times["P100"]
+        assert 1.5 <= times["V100"] / times["A100"] <= 2.0
+        assert 2.0 <= times["P100"] / times["V100"] <= 3.3
+
+    def test_atomics_term(self):
+        c = make_counters()
+        c.atomic_ops = 1.48e9
+        traits = KernelTraits(uses_atomics=True, warp_per_row=False)
+        est = estimate_gpu_time(
+            A100, warp_per_row_launch(int(2.97e6), 128), c, traits,
+            WorkloadProfile(),
+        )
+        assert est.limiter == "atomics"
+        assert est.components["atomics"] > est.components["dram"]
+
+    def test_half_vs_single_traffic_ordering(self):
+        # More bytes per nnz -> more time: the mixed-precision win.
+        half = estimate_gpu_time(
+            A100, warp_per_row_launch(int(2.97e6), 512),
+            make_counters(value_bytes=2), HD_TRAITS, LIVER_PROFILE,
+        )
+        single = estimate_gpu_time(
+            A100, warp_per_row_launch(int(2.97e6), 512),
+            make_counters(value_bytes=4), HD_TRAITS, LIVER_PROFILE,
+            accum_bytes=4,
+        )
+        assert half.time_s < single.time_s
+
+    def test_bandwidth_scale_slows_kernel(self):
+        slowed = KernelTraits(
+            row_overhead_bytes=128.0, warp_per_row=True, bandwidth_scale=0.8
+        )
+        base = estimate_gpu_time(
+            A100, warp_per_row_launch(int(2.97e6), 512), make_counters(),
+            HD_TRAITS, LIVER_PROFILE,
+        )
+        slow = estimate_gpu_time(
+            A100, warp_per_row_launch(int(2.97e6), 512), make_counters(),
+            slowed, LIVER_PROFILE,
+        )
+        assert slow.time_s > base.time_s
+
+    def test_sw_coop_penalty_on_p100(self):
+        est_hw = estimate_gpu_time(
+            V100, warp_per_row_launch(int(2.97e6), 512), make_counters(),
+            HD_TRAITS, LIVER_PROFILE,
+        )
+        # Same counters on P100: row overhead multiplied.
+        est_sw = estimate_gpu_time(
+            P100, warp_per_row_launch(int(2.97e6), 512), make_counters(),
+            HD_TRAITS, LIVER_PROFILE,
+        )
+        assert est_sw.components["dram"] > est_hw.components["dram"]
+
+    def test_components_reported(self):
+        est = estimate_gpu_time(
+            A100, warp_per_row_launch(1000, 512), make_counters(1e6, 1000, 100),
+            HD_TRAITS, LIVER_PROFILE,
+        )
+        for key in ("dram", "l2", "compute", "atomics", "block_turnover"):
+            assert key in est.components
+
+
+class TestCpuTiming:
+    def test_compute_bound(self):
+        c = make_counters()
+        est = estimate_cpu_time(CPU_I9_7940X, c, KernelTraits())
+        assert est.limiter == "compute"
+
+    def test_paper_scale_liver1_seconds(self):
+        # ~0.4-0.5 s per SpMV on the i9 at 13 cycles/value.
+        est = estimate_cpu_time(CPU_I9_7940X, make_counters(), KernelTraits())
+        assert 0.3 <= est.time_s <= 0.6
+
+    def test_more_threads_faster(self):
+        c = make_counters()
+        t14 = estimate_cpu_time(CPU_I9_7940X, c, KernelTraits(), n_threads=14)
+        t1 = estimate_cpu_time(CPU_I9_7940X, c, KernelTraits(), n_threads=1)
+        assert t1.time_s > 5 * t14.time_s
+
+    def test_rejects_gpu_device(self):
+        with pytest.raises(ValueError):
+            estimate_cpu_time(A100, make_counters(), KernelTraits())

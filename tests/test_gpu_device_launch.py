@@ -1,0 +1,137 @@
+"""Device catalogue and launch/occupancy rules."""
+
+import pytest
+
+from repro.gpu.device import (
+    A100,
+    CPU_I9_7940X,
+    GPU_DEVICES,
+    P100,
+    V100,
+    DeviceKind,
+    get_device,
+    list_devices,
+)
+from repro.gpu.launch import (
+    LaunchConfig,
+    occupancy,
+    thread_per_item_launch,
+    warp_per_row_launch,
+)
+from repro.util.errors import DeviceError, LaunchConfigError
+
+
+class TestCatalogue:
+    def test_paper_peak_bandwidths(self):
+        # Section V quotes these three peaks explicitly.
+        assert A100.peak_bw == 1555e9
+        assert V100.peak_bw == 897e9
+        assert P100.peak_bw == 732e9
+
+    def test_paper_l2_sizes(self):
+        assert A100.l2_bytes == 40 * 2**20
+        assert V100.l2_bytes == 6 * 2**20
+        assert P100.l2_bytes == 4 * 2**20
+
+    def test_a100_fp64_peak_order(self):
+        # ~9.4-9.7 TFLOP/s FP64 quoted in the introduction.
+        assert 9e12 <= A100.peak_flops_fp64 <= 10e12
+
+    def test_lookup_case_insensitive(self):
+        assert get_device("A100") is A100
+        assert get_device("a100") is A100
+
+    def test_unknown_device(self):
+        with pytest.raises(DeviceError):
+            get_device("h100")
+
+    def test_gpu_devices_paper_order(self):
+        assert [d.name for d in GPU_DEVICES] == ["A100", "V100", "P100"]
+
+    def test_cpu_is_cpu_kind(self):
+        assert CPU_I9_7940X.kind is DeviceKind.CPU
+        assert not CPU_I9_7940X.is_gpu
+
+    def test_list_devices_contains_all(self):
+        assert set(list_devices()) >= {"a100", "v100", "p100", "i9-7940x"}
+
+    def test_coop_groups_hw_flags(self):
+        # Pre-Volta parts emulate cooperative groups in software.
+        assert A100.coop_groups_hw and V100.coop_groups_hw
+        assert not P100.coop_groups_hw
+
+    def test_peak_flops_by_precision(self):
+        assert A100.peak_flops(8) == A100.peak_flops_fp64
+        assert A100.peak_flops(4) == A100.peak_flops_fp32
+
+
+class TestLaunchConfig:
+    def test_total_threads(self):
+        assert LaunchConfig(10, 256).total_threads == 2560
+
+    def test_rejects_zero_grid(self):
+        with pytest.raises(LaunchConfigError):
+            LaunchConfig(0, 128)
+
+    def test_rejects_zero_block(self):
+        with pytest.raises(LaunchConfigError):
+            LaunchConfig(1, 0)
+
+    def test_validate_block_limit(self):
+        with pytest.raises(LaunchConfigError):
+            LaunchConfig(1, 2048).validate(A100)
+
+    def test_validate_warp_multiple(self):
+        with pytest.raises(LaunchConfigError):
+            LaunchConfig(1, 48).validate(A100)
+
+    def test_valid_passes(self):
+        assert LaunchConfig(4, 512).validate(A100).grid_blocks == 4
+
+
+class TestWarpPerRowLaunch:
+    def test_paper_thread_count(self):
+        # "the total number of threads ... is 32 times the number of rows".
+        cfg = warp_per_row_launch(1000, threads_per_block=512)
+        assert cfg.total_threads >= 32 * 1000
+        assert cfg.total_threads - 32 * 1000 < 512
+
+    def test_block_size_respected(self):
+        assert warp_per_row_launch(100, 128).threads_per_block == 128
+
+    def test_rejects_zero_rows(self):
+        with pytest.raises(LaunchConfigError):
+            warp_per_row_launch(0)
+
+
+class TestThreadPerItemLaunch:
+    def test_covers_items(self):
+        cfg = thread_per_item_launch(1000, 128)
+        assert cfg.total_threads >= 1000
+
+    def test_rejects_zero_items(self):
+        with pytest.raises(LaunchConfigError):
+            thread_per_item_launch(0)
+
+
+class TestOccupancy:
+    def test_full_occupancy_at_512(self):
+        # 4 blocks x 512 threads = 2048 = max threads/SM on A100.
+        occ = occupancy(A100, warp_per_row_launch(10**6, 512))
+        assert occ.resident_warps_per_sm == 64
+        assert occ.fraction == pytest.approx(1.0)
+
+    def test_tiny_blocks_limited_by_block_slots(self):
+        # 32-thread blocks: capped at 32 blocks/SM -> 32 warps, half occ.
+        occ = occupancy(A100, warp_per_row_launch(10**6, 32))
+        assert occ.resident_warps_per_sm == 32
+        assert occ.fraction == pytest.approx(0.5)
+
+    def test_small_grid_limits_blocks(self):
+        occ = occupancy(A100, LaunchConfig(grid_blocks=108, threads_per_block=512))
+        assert occ.resident_blocks_per_sm == 1
+
+    def test_1024_blocks(self):
+        occ = occupancy(A100, warp_per_row_launch(10**6, 1024))
+        assert occ.resident_blocks_per_sm == 2
+        assert occ.resident_warps_per_sm == 64

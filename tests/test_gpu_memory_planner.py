@@ -1,0 +1,92 @@
+"""Device-memory planning for the paper-scale matrices."""
+
+import pytest
+
+from repro.gpu.device import A100, P100, V100
+from repro.gpu.memory_planner import (
+    MatrixFootprint,
+    paper_case_footprint,
+    plan_beams,
+    plan_execution,
+    usable_bytes,
+)
+from repro.precision.types import DOUBLE, HALF_DOUBLE
+from repro.util.errors import ReproError
+
+
+class TestFootprints:
+    def test_liver4_is_11gb_class(self):
+        # Table I: 11.04 GB at (2 B value + 4 B index) per nnz.
+        fp = paper_case_footprint("Liver 4")
+        assert fp.matrix_bytes == pytest.approx(11.04e9, rel=0.01)
+
+    def test_vectors_are_small(self):
+        fp = paper_case_footprint("Liver 1")
+        assert fp.vector_bytes < 0.01 * fp.matrix_bytes
+
+    def test_double_storage_doubles(self):
+        half = paper_case_footprint("Liver 1", HALF_DOUBLE)
+        full = paper_case_footprint("Liver 1", DOUBLE)
+        assert full.matrix_bytes == pytest.approx(2 * half.matrix_bytes, rel=0.01)
+
+
+class TestSingleBeamPlans:
+    def test_every_paper_case_fits_a100(self):
+        for name in ("Liver 1", "Liver 2", "Liver 3", "Liver 4",
+                     "Prostate 1", "Prostate 2"):
+            plan = plan_execution(paper_case_footprint(name), A100)
+            assert plan.fits_resident, name
+
+    def test_liver4_fits_v100_16gb(self):
+        plan = plan_execution(paper_case_footprint("Liver 4"), V100)
+        assert plan.fits_resident  # 11 GB of 14.7 usable
+
+    def test_double_liver4_needs_chunking_on_v100(self):
+        fp = paper_case_footprint("Liver 4", DOUBLE)
+        plan = plan_execution(fp, V100)
+        assert not plan.fits_resident
+        assert plan.n_chunks >= 2
+        assert plan.resident_bytes <= usable_bytes(V100)
+
+    def test_chunking_overhead_is_tiny(self):
+        # Re-reading x per chunk is negligible: nc << nnz.
+        fp = paper_case_footprint("Liver 4", DOUBLE)
+        plan = plan_execution(fp, P100)
+        assert plan.traffic_overhead_fraction < 0.01
+
+    def test_chunk_rows_cover_matrix(self):
+        fp = paper_case_footprint("Liver 4", DOUBLE)
+        plan = plan_execution(fp, V100)
+        assert plan.n_chunks * plan.chunk_rows >= fp.n_rows
+
+    def test_impossible_vectors_raise(self):
+        monster = MatrixFootprint("huge", 1e12, 1e10, 1e13)
+        with pytest.raises(ReproError):
+            plan_execution(monster, P100)
+
+
+class TestPlanLevel:
+    def test_four_beam_liver_plan_fits_a100(self):
+        # The paper's actual working set: all four liver matrices
+        # (~36 GB half-precision) resident on the 40 GB A100.
+        plans = plan_beams(
+            [paper_case_footprint(f"Liver {i}") for i in range(1, 5)], A100
+        )
+        assert all(p.fits_resident for p in plans)
+        total = sum(p.footprint.total_bytes for p in plans)
+        assert total <= usable_bytes(A100)
+
+    def test_four_beam_plan_does_not_fit_v100(self):
+        total = sum(
+            paper_case_footprint(f"Liver {i}").total_bytes for i in range(1, 5)
+        )
+        assert total > usable_bytes(V100)
+
+    def test_prostate_plan_fits_everywhere(self):
+        for device in (A100, V100, P100):
+            plans = plan_beams(
+                [paper_case_footprint("Prostate 1"),
+                 paper_case_footprint("Prostate 2")],
+                device,
+            )
+            assert all(p.fits_resident for p in plans), device.name

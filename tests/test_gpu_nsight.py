@@ -1,0 +1,92 @@
+"""Nsight-style profiler reports."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import case_weights
+from repro.gpu.nsight import (
+    launch_statistics,
+    memory_workload,
+    occupancy_section,
+    profile_report,
+    speed_of_light,
+    timing_breakdown,
+)
+from repro.kernels import CPURayStationKernel, GPUBaselineKernel, HalfDoubleKernel
+from repro.sparse.convert import csr_to_rscf
+
+
+@pytest.fixture(scope="module")
+def result(tiny_liver_case):
+    weights = case_weights("Liver 1", tiny_liver_case.n_spots)
+    return HalfDoubleKernel().run(tiny_liver_case.as_half(), weights)
+
+
+class TestSections:
+    def test_speed_of_light_fields(self, result):
+        text = speed_of_light(result).render()
+        assert "Memory Throughput" in text
+        assert "Limiting Resource" in text
+
+    def test_memory_workload_breakdown_sums(self, result):
+        section = memory_workload(result)
+        text = section.render()
+        assert "dram_bytes" in text
+        assert "Operational Intensity" in text
+
+    def test_occupancy_matches_launch(self, result):
+        text = occupancy_section(result).render()
+        assert "512" in text  # default block size
+        assert "100 %" in text or "100" in text
+
+    def test_launch_statistics(self, result):
+        text = launch_statistics(result).render()
+        assert "Grid Size" in text
+
+    def test_timing_breakdown_sorted(self, result):
+        section = timing_breakdown(result)
+        values = [m[0] for m in section.metrics]
+        assert values[0].startswith("t[")
+        # largest component first
+        comp = result.timing.components
+        biggest = max(comp, key=comp.get)
+        assert values[0] == f"t[{biggest}]"
+
+
+class TestFullReport:
+    def test_contains_all_sections(self, result):
+        report = profile_report(result)
+        for title in (
+            "Speed Of Light",
+            "Memory Workload",
+            "Occupancy",
+            "Launch Statistics",
+            "Timing Model",
+        ):
+            assert title in report
+
+    def test_cpu_kernel_host_sections(self, tiny_liver_case):
+        rscf = csr_to_rscf(tiny_liver_case.matrix)
+        weights = case_weights("Liver 1", tiny_liver_case.n_spots)
+        result = CPURayStationKernel().run(rscf, weights)
+        report = profile_report(result)
+        assert "Host execution" in report
+
+    def test_baseline_shows_atomics(self, tiny_liver_case):
+        rscf = csr_to_rscf(tiny_liver_case.matrix)
+        weights = case_weights("Liver 1", tiny_liver_case.n_spots)
+        result = GPUBaselineKernel().run(rscf, weights, rng=0)
+        report = profile_report(result)
+        assert "Global Atomics" in report
+        # nnz atomics reported
+        assert f"{float(rscf.nnz):.3g}" in report
+
+    def test_cli_profile_command(self, capsys):
+        from repro.cli import main
+
+        assert main(
+            ["profile", "--kernel", "half_double", "--case", "Liver 1",
+             "--preset", "tiny"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Speed Of Light" in out

@@ -1,0 +1,107 @@
+"""Property-based tests on the timing model.
+
+The model must behave like physics, not a lookup table: more traffic never
+makes a kernel faster, a strictly better device never makes it slower, and
+the achieved bandwidth never exceeds the device peak.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.counters import PerfCounters
+from repro.gpu.device import A100, P100, V100
+from repro.gpu.launch import warp_per_row_launch
+from repro.gpu.timing import KernelTraits, WorkloadProfile, estimate_gpu_time
+
+TRAITS = KernelTraits(row_overhead_bytes=128.0, warp_per_row=True)
+
+
+def counters_from(nnz: float, rows: float, cols: float) -> PerfCounters:
+    c = PerfCounters()
+    c.flops = 2 * nnz
+    c.dram_bytes_nnz = 6 * nnz
+    c.dram_bytes_rows = 12 * rows
+    c.dram_bytes_cols = 8 * cols
+    c.l2_bytes = 14 * nnz
+    c.l2_bytes_rows = 12 * rows
+    c.n_warps = rows
+    c.rows_processed = rows
+    c.n_blocks = max(rows * 32 / 512, 1)
+    c.aux_instructions = 2 * nnz
+    c.aux_instructions_rows = 160 * rows
+    return c
+
+
+def estimate(nnz, rows, cols, device=A100, tpb=512, profile=None):
+    return estimate_gpu_time(
+        device,
+        warp_per_row_launch(max(int(rows), 1), tpb),
+        counters_from(nnz, rows, cols),
+        TRAITS,
+        profile or WorkloadProfile(avg_row_len=nnz / max(rows, 1), rowlen_cv=1.0),
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.floats(1e4, 1e9),
+    st.floats(1e3, 1e6),
+    st.floats(1e2, 1e5),
+)
+def test_bandwidth_never_exceeds_peak(nnz, rows, cols):
+    est = estimate(nnz, rows, cols)
+    assert est.achieved_dram_bw <= A100.peak_bw * (1 + 1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.floats(1e5, 1e8), st.floats(1e3, 1e5), st.floats(1.1, 10.0))
+def test_more_nnz_never_faster(nnz, rows, factor):
+    small = estimate(nnz, rows, 1e3)
+    large = estimate(nnz * factor, rows, 1e3)
+    assert large.time_s >= small.time_s
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.floats(1e6, 1e9), st.floats(1e4, 1e6))
+def test_device_generation_ordering(nnz, rows):
+    t = {
+        dev.name: estimate(nnz, rows, 1e3, device=dev).time_s
+        for dev in (A100, V100, P100)
+    }
+    assert t["A100"] <= t["V100"] <= t["P100"]
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.floats(1e6, 1e9), st.floats(1e4, 1e6), st.floats(0.0, 4.0))
+def test_irregularity_never_helps(nnz, rows, cv):
+    smooth = estimate(nnz, rows, 1e3,
+                      profile=WorkloadProfile(nnz / rows, 0.0))
+    rough = estimate(nnz, rows, 1e3,
+                     profile=WorkloadProfile(nnz / rows, cv))
+    assert rough.time_s >= smooth.time_s - 1e-15
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.floats(1e6, 1e9), st.floats(1e4, 1e6))
+def test_components_sum_consistency(nnz, rows):
+    est = estimate(nnz, rows, 1e3)
+    # Total time is at least the limiting component and no more than the
+    # limiter plus the additive overheads.
+    limiter_t = est.components[est.limiter]
+    overheads = (
+        est.components["stragglers"]
+        + est.components["block_turnover"]
+        + est.components["launch"]
+    )
+    assert est.time_s >= limiter_t
+    assert est.time_s <= limiter_t + overheads + 1e-12
+
+
+def test_flops_scale_invariance_of_gflops():
+    # Doubling every structural dimension leaves GFLOP/s ~unchanged once
+    # the device is saturated (the extrapolation-soundness property).
+    a = estimate(1e8, 1e5, 1e4)
+    b = estimate(2e8, 2e5, 2e4)
+    assert b.gflops == pytest.approx(a.gflops, rel=0.05)

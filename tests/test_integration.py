@@ -1,0 +1,126 @@
+"""End-to-end integration: the paper's full pipeline on one tiny case.
+
+phantom -> beam geometry -> spots -> deposition matrix -> RSCF export ->
+CSR conversion -> every kernel -> dose agreement -> plan optimization ->
+DVH -> performance extrapolation.  If this passes, the pieces compose.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import case_weights, run_spmv_experiment
+from repro.dose.dvh import compute_dvh
+from repro.kernels.dispatch import kernel_names, make_kernel
+from repro.plans.cases import build_case_matrix, get_case
+from repro.sparse.convert import csr_to_ellpack, csr_to_rscf, csr_to_sellcs, rscf_to_csr
+from repro.sparse.spmv_ref import relative_error
+
+
+@pytest.fixture(scope="module")
+def pipeline(tiny_liver_case):
+    dep = tiny_liver_case
+    weights = case_weights("Liver 1", dep.n_spots)
+    reference = dep.matrix.matvec(weights)
+    return dep, weights, reference
+
+
+class TestCrossKernelAgreement:
+    def test_every_kernel_agrees_with_reference(self, pipeline):
+        dep, weights, reference = pipeline
+        rscf = csr_to_rscf(dep.matrix)
+        inputs = {
+            "half_double": dep.as_half(),
+            "half_double_u16": dep.as_half().with_index_dtype(np.uint16),
+            "single": dep.as_single(),
+            "double": dep.as_double(),
+            "scalar_csr": dep.as_single(),
+            "cusparse": dep.as_single(),
+            "ginkgo": dep.as_single(),
+            "gpu_baseline": rscf,
+            "cpu_raystation": rscf,
+            "ellpack_half_double": csr_to_ellpack(dep.as_half()),
+            "sellcs_half_double": csr_to_sellcs(dep.as_half(), 32, 4096),
+        }
+        assert set(inputs) == set(kernel_names())
+        for name, matrix in inputs.items():
+            result = make_kernel(name).run(matrix, weights, rng=0)
+            err = relative_error(result.y, reference)
+            assert err < 2e-3, f"{name}: {err}"
+
+    def test_reproducible_kernels_bit_stable(self, pipeline):
+        dep, weights, _ = pipeline
+        for name in ("half_double", "single", "scalar_csr"):
+            kernel = make_kernel(name)
+            matrix = (
+                dep.as_half() if name == "half_double" else dep.as_single()
+            )
+            a = kernel.run(matrix, weights).y
+            b = kernel.run(matrix, weights).y
+            assert a.tobytes() == b.tobytes(), name
+
+
+class TestExportPipeline:
+    def test_rscf_export_roundtrip_like_paper(self, pipeline):
+        # Engine output (CSR master) -> in-house format -> exported CSR,
+        # the paper's Section IV pipeline.
+        dep, weights, reference = pipeline
+        rscf = csr_to_rscf(dep.matrix)
+        exported = rscf_to_csr(rscf, value_dtype=np.float16)
+        err = relative_error(
+            exported.matvec(weights.astype(np.float64)), reference
+        )
+        assert err < 2e-3
+        assert exported.value_dtype == np.float16
+
+
+class TestOptimizationLoop:
+    def test_plan_improves_and_reports_dvh(self, pipeline, tiny_liver_case):
+        from repro.dose.grid import DoseGrid
+        from repro.dose.structures import ROIMask
+        from repro.opt import (
+            CompositeObjective,
+            PlanOptimizationProblem,
+            UniformDoseObjective,
+            solve_projected_gradient,
+        )
+
+        dep, weights, _ = pipeline
+        case = get_case("Liver 1", "tiny")
+        grid = DoseGrid(case.phantom_shape, case.phantom_spacing)
+        dose0 = dep.dose(np.ones(dep.n_spots))
+        hot = np.argsort(dose0)[-200:]
+        flat = np.zeros(dep.n_voxels, dtype=bool)
+        flat[hot] = True
+        nx, ny, nz = grid.shape
+        target = ROIMask("target", grid, flat.reshape(nz, ny, nx))
+
+        problem = PlanOptimizationProblem(
+            [dep], CompositeObjective([UniformDoseObjective(target, 60.0)])
+        )
+        w0 = np.ones(problem.n_weights)
+        w0 *= 60.0 / max(dose0[hot].mean(), 1e-9)
+        v0, _ = problem.value_and_gradient(w0)
+        result = solve_projected_gradient(problem, w0=w0, max_iterations=25)
+        assert result.objective < v0
+
+        dvh = compute_dvh(problem.dose(result.weights), target)
+        assert 45.0 < dvh.mean_dose < 75.0
+        assert problem.accounting.n_forward > 25
+
+
+class TestPerformancePipeline:
+    def test_tiny_and_bench_extrapolations_agree(self):
+        # The paper-scale numbers must not depend on which reduced scale
+        # they were measured at (within model tolerance).
+        tiny = run_spmv_experiment("half_double", "Liver 1", preset="tiny")
+        bench = run_spmv_experiment("half_double", "Liver 1", preset="bench")
+        assert tiny.gflops == pytest.approx(bench.gflops, rel=0.15)
+        assert tiny.operational_intensity == pytest.approx(
+            bench.operational_intensity, abs=0.02
+        )
+
+    def test_case_rebuild_is_deterministic(self):
+        a = build_case_matrix("Prostate 1", "tiny", use_cache=False)
+        b = build_case_matrix("Prostate 1", "tiny", use_cache=False)
+        np.testing.assert_array_equal(a.matrix.data, b.matrix.data)
+        np.testing.assert_array_equal(a.matrix.indices, b.matrix.indices)

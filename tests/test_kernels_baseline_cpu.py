@@ -1,0 +1,131 @@
+"""GPU Baseline (atomics) and the CPU RayStation kernel."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.device import A100, CPU_I9_7940X
+from repro.kernels.baseline import GPUBaselineKernel
+from repro.kernels.cpu_raystation import CPURayStationKernel
+from repro.kernels.csr_vector import HalfDoubleKernel
+from repro.sparse.convert import csr_to_rscf
+from repro.util.errors import DTypeError, ShapeError
+
+
+@pytest.fixture()
+def rscf_and_ref(tiny_liver_case, rng):
+    matrix = tiny_liver_case.matrix
+    rscf = csr_to_rscf(matrix)
+    x = 0.5 + rng.random(matrix.n_cols)
+    return rscf, x, matrix.matvec(x)
+
+
+class TestGPUBaseline:
+    def test_correct_within_quantization(self, rscf_and_ref):
+        rscf, x, ref = rscf_and_ref
+        res = GPUBaselineKernel().run(rscf, x, rng=0)
+        err = np.linalg.norm(res.y - ref) / np.linalg.norm(ref)
+        assert err < 1e-3
+
+    def test_rejects_csr_input(self, tiny_liver_case, rng):
+        with pytest.raises(DTypeError):
+            GPUBaselineKernel().run(
+                tiny_liver_case.matrix, rng.random(tiny_liver_case.n_spots)
+            )
+
+    def test_shape_check(self, rscf_and_ref):
+        rscf, _, _ = rscf_and_ref
+        with pytest.raises(ShapeError):
+            GPUBaselineKernel().run(rscf, np.zeros(rscf.n_cols + 1))
+
+    def test_not_flagged_reproducible(self):
+        assert not GPUBaselineKernel().reproducible
+
+    def test_commit_order_changes_bits(self, rscf_and_ref):
+        rscf, x, _ = rscf_and_ref
+        k = GPUBaselineKernel()
+        results = {k.run(rscf, x, rng=s).y.tobytes() for s in range(8)}
+        # Different runs (different commit orders) differ at the bit level.
+        assert len(results) > 1
+
+    def test_same_seed_same_bits(self, rscf_and_ref):
+        rscf, x, _ = rscf_and_ref
+        k = GPUBaselineKernel()
+        assert k.run(rscf, x, rng=3).y.tobytes() == k.run(rscf, x, rng=3).y.tobytes()
+
+    def test_atomic_ops_counted(self, rscf_and_ref):
+        rscf, x, _ = rscf_and_ref
+        res = GPUBaselineKernel().run(rscf, x, rng=0)
+        assert res.counters.atomic_ops == rscf.nnz
+
+    def test_atomics_is_limiter_at_paper_scale(self):
+        # Extrapolated to full Liver 1 size, atomics dominate — the
+        # paper's diagnosis of why the port underperforms.
+        from repro.bench.harness import run_spmv_experiment
+
+        row = run_spmv_experiment("gpu_baseline", "Liver 1", preset="tiny", rng=0)
+        assert row.limiter == "atomics"
+
+    def test_atomics_exceed_compute(self, rscf_and_ref):
+        rscf, x, _ = rscf_and_ref
+        res = GPUBaselineKernel().run(rscf, x, rng=0)
+        assert res.timing.components["atomics"] > res.timing.components["compute"]
+
+    def test_slower_than_half_double(self, tiny_liver_case, rscf_and_ref, rng):
+        rscf, x, _ = rscf_and_ref
+        hd = HalfDoubleKernel().run(tiny_liver_case.as_half(), x)
+        bl = GPUBaselineKernel().run(rscf, x, rng=0)
+        assert bl.timing.time_s > hd.timing.time_s
+
+    def test_grid_scales_with_nnz(self):
+        assert GPUBaselineKernel().traits.grid_scales_with == "nnz"
+
+
+class TestCPURayStation:
+    def test_correct_within_quantization(self, rscf_and_ref):
+        rscf, x, ref = rscf_and_ref
+        res = CPURayStationKernel().run(rscf, x)
+        err = np.linalg.norm(res.y - ref) / np.linalg.norm(ref)
+        assert err < 1e-3
+
+    def test_deterministic(self, rscf_and_ref):
+        rscf, x, _ = rscf_and_ref
+        k = CPURayStationKernel()
+        assert k.run(rscf, x).y.tobytes() == k.run(rscf, x).y.tobytes()
+        assert k.reproducible
+
+    def test_thread_count_does_not_change_totals(self, rscf_and_ref):
+        # Different partitions reorder additions; totals stay numerically
+        # equal (tolerances) even if bits may differ.
+        rscf, x, _ = rscf_and_ref
+        y4 = CPURayStationKernel(n_threads=4).run(rscf, x).y
+        y14 = CPURayStationKernel(n_threads=14).run(rscf, x).y
+        np.testing.assert_allclose(y4, y14, rtol=1e-12, atol=1e-15)
+
+    def test_invalid_thread_count(self):
+        with pytest.raises(ValueError):
+            CPURayStationKernel(n_threads=0)
+
+    def test_runs_on_cpu_device(self, rscf_and_ref):
+        rscf, x, _ = rscf_and_ref
+        res = CPURayStationKernel().run(rscf, x)
+        assert res.device is CPU_I9_7940X
+        assert res.launch is None
+
+    def test_compute_bound_at_paper_scale(self):
+        # Branchy segment decoding dominates memory time at full size.
+        from repro.bench.harness import run_spmv_experiment
+
+        row = run_spmv_experiment("cpu_raystation", "Liver 1", preset="tiny")
+        assert row.limiter == "compute"
+
+    def test_much_slower_than_gpu(self, tiny_liver_case, rscf_and_ref):
+        rscf, x, _ = rscf_and_ref
+        cpu = CPURayStationKernel().run(rscf, x)
+        gpu = GPUBaselineKernel().run(rscf, x, rng=0)
+        assert cpu.timing.time_s > gpu.timing.time_s
+
+    def test_rejects_csr_input(self, tiny_liver_case, rng):
+        with pytest.raises(DTypeError):
+            CPURayStationKernel().run(
+                tiny_liver_case.matrix, rng.random(tiny_liver_case.n_spots)
+            )

@@ -1,0 +1,78 @@
+"""Batched plan SpMV and optimization projection."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import case_weights
+from repro.kernels.batched import (
+    OptimizationProjection,
+    project_optimization,
+    run_plan_spmv,
+)
+from repro.kernels.csr_vector import HalfDoubleKernel
+from repro.util.errors import ShapeError
+
+
+@pytest.fixture(scope="module")
+def plan(tiny_liver_case):
+    kernel = HalfDoubleKernel()
+    m = tiny_liver_case.as_half()
+    w = case_weights("Liver 1", m.n_cols)
+    # Two "beams" sharing the grid (same matrix twice is a valid batch).
+    return run_plan_spmv(kernel, [m, m], [w, 2.0 * w])
+
+
+class TestRunPlanSpMV:
+    def test_per_beam_results(self, plan):
+        assert len(plan.per_beam) == 2
+
+    def test_total_dose_is_sum(self, plan):
+        np.testing.assert_allclose(
+            plan.total_dose, plan.per_beam[0].y + plan.per_beam[1].y
+        )
+
+    def test_linearity_across_beams(self, plan):
+        # Beam 2 used doubled weights of beam 1.
+        np.testing.assert_allclose(
+            plan.per_beam[1].y, 2.0 * plan.per_beam[0].y, rtol=1e-12
+        )
+
+    def test_batching_saves_launch_overhead(self, plan):
+        assert plan.batched_time_s < plan.unbatched_time_s
+        assert plan.launch_overhead_saved_s == pytest.approx(
+            plan.unbatched_time_s - plan.batched_time_s
+        )
+
+    def test_mismatched_weights_rejected(self, tiny_liver_case):
+        kernel = HalfDoubleKernel()
+        m = tiny_liver_case.as_half()
+        with pytest.raises(ShapeError):
+            run_plan_spmv(kernel, [m, m], [np.ones(m.n_cols)])
+
+    def test_empty_plan_rejected(self):
+        with pytest.raises(ShapeError):
+            run_plan_spmv(HalfDoubleKernel(), [], [])
+
+
+class TestProjection:
+    def test_totals(self, plan):
+        proj = project_optimization(plan, "half_double", "A100",
+                                    n_iterations=100)
+        assert proj.total_time_s == pytest.approx(
+            100 * 2 * plan.batched_time_s
+        )
+        assert proj.n_beams == 2
+
+    def test_without_gradients_halves(self, plan):
+        with_g = project_optimization(plan, "k", "d", include_gradients=True)
+        without = project_optimization(plan, "k", "d", include_gradients=False)
+        assert with_g.total_time_s == pytest.approx(2 * without.total_time_s)
+
+    def test_speedup_vs(self, plan):
+        fast = project_optimization(plan, "k", "d", n_iterations=10)
+        slow = project_optimization(plan, "k", "d", n_iterations=100)
+        assert fast.speedup_vs(slow) == pytest.approx(10.0)
+
+    def test_invalid_iterations(self, plan):
+        with pytest.raises(ValueError):
+            project_optimization(plan, "k", "d", n_iterations=0)

@@ -1,0 +1,69 @@
+"""CUDA source emission (Listing 1)."""
+
+import pytest
+
+from repro.kernels.cuda_source import generate_cuda_kernel
+from repro.precision.types import (
+    DOUBLE,
+    HALF_DOUBLE,
+    HALF_DOUBLE_SHORT_INDEX,
+    SINGLE,
+)
+
+
+class TestHalfDoubleSource:
+    @pytest.fixture(scope="class")
+    def src(self):
+        return generate_cuda_kernel(HALF_DOUBLE)
+
+    def test_paper_listing_ingredients(self, src):
+        # Listing 1's structure: tiled_partition, warp reduce, one warp
+        # per row, start/end row pointers.
+        assert "cg::tiled_partition<WARP_SIZE>" in src
+        assert "cg::reduce(warp, sum, cg::plus<double>())" in src
+        assert "row_ptr[warp_id]" in src and "row_ptr[warp_id + 1]" in src
+
+    def test_mixed_precision_types(self, src):
+        assert "const __half *__restrict__ values" in src
+        assert "const double *__restrict__ x" in src
+        assert "#include <cuda_fp16.h>" in src
+        assert "__half2float" in src
+
+    def test_no_atomics(self, src):
+        # The reproducibility requirement: no atomic reductions.
+        for op in ("atomicAdd", "atomicCAS", "atomicExch"):
+            assert op not in src
+
+    def test_launch_config_is_papers(self, src):
+        assert "THREADS_PER_BLOCK = 512" in src
+        assert "WARP_SIZE * n_rows" in src
+
+    def test_int32_indices(self, src):
+        assert "const int *__restrict__ col_idx" in src
+
+    def test_braces_balanced(self, src):
+        assert src.count("{") == src.count("}")
+
+
+class TestVariants:
+    def test_single_precision(self):
+        src = generate_cuda_kernel(SINGLE)
+        assert "const float *__restrict__ values" in src
+        assert "cuda_fp16" not in src
+        assert "cg::plus<float>" in src
+
+    def test_double_precision(self):
+        src = generate_cuda_kernel(DOUBLE)
+        assert "const double *__restrict__ values" in src
+
+    def test_u16_indices_future_work(self):
+        src = generate_cuda_kernel(HALF_DOUBLE_SHORT_INDEX)
+        assert "const unsigned short *__restrict__ col_idx" in src
+
+    def test_custom_block_size(self):
+        src = generate_cuda_kernel(HALF_DOUBLE, threads_per_block=256)
+        assert "THREADS_PER_BLOCK = 256" in src
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            generate_cuda_kernel(HALF_DOUBLE, threads_per_block=100)

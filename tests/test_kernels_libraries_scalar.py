@@ -1,0 +1,150 @@
+"""Library comparator models (cuSPARSE/Ginkgo) and the scalar-CSR kernel."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.timing import WorkloadProfile
+from repro.kernels.csr_scalar import ScalarCSRKernel, scalar_csr_spmv_exact
+from repro.kernels.csr_vector import SingleKernel
+from repro.kernels.cusparse_model import CuSparseLikeKernel, _cusparse_bandwidth_scale
+from repro.kernels.dispatch import kernel_names, make_kernel
+from repro.kernels.ginkgo_model import GinkgoLikeKernel, ginkgo_subwarp_size
+from repro.util.errors import DTypeError, ReproError
+
+
+class TestScalarCSR:
+    def test_functional_correct(self, heavy_tail_csr, rng):
+        x = rng.random(heavy_tail_csr.n_cols)
+        y = scalar_csr_spmv_exact(heavy_tail_csr, x, np.float64)
+        np.testing.assert_allclose(y, heavy_tail_csr.matvec(x), rtol=1e-6)
+
+    def test_kernel_result(self, heavy_tail_csr, rng):
+        x = rng.random(heavy_tail_csr.n_cols)
+        res = ScalarCSRKernel().run(heavy_tail_csr, x)
+        ref = heavy_tail_csr.matvec(x)
+        assert np.linalg.norm(res.y - ref) / np.linalg.norm(ref) < 1e-5
+
+    def test_slower_than_vector_kernel(self, tiny_liver_case, rng):
+        # The Bell & Garland result the paper builds on: warp-per-row
+        # beats thread-per-row on these matrices.
+        x = rng.random(tiny_liver_case.n_spots)
+        sc = ScalarCSRKernel().run(tiny_liver_case.as_single(), x)
+        vec = SingleKernel().run(tiny_liver_case.as_single(), x)
+        assert sc.timing.time_s > vec.timing.time_s
+
+    def test_divergence_waste_counted(self, heavy_tail_csr, rng):
+        res = ScalarCSRKernel().run(
+            heavy_tail_csr, rng.random(heavy_tail_csr.n_cols)
+        )
+        assert res.counters.partial_waste_bytes > 0
+
+    def test_uncoalesced_l2_traffic(self, heavy_tail_csr, rng):
+        sc = ScalarCSRKernel().run(
+            heavy_tail_csr, rng.random(heavy_tail_csr.n_cols)
+        )
+        vec = SingleKernel().run(
+            heavy_tail_csr, rng.random(heavy_tail_csr.n_cols)
+        )
+        assert sc.counters.l2_bytes > vec.counters.l2_bytes
+
+    def test_deterministic(self, heavy_tail_csr, rng):
+        x = rng.random(heavy_tail_csr.n_cols)
+        k = ScalarCSRKernel()
+        assert k.run(heavy_tail_csr, x).y.tobytes() == k.run(
+            heavy_tail_csr, x
+        ).y.tobytes()
+
+
+class TestCuSparseModel:
+    def test_numerically_correct(self, heavy_tail_csr, rng):
+        x = rng.random(heavy_tail_csr.n_cols)
+        res = CuSparseLikeKernel().run(heavy_tail_csr, x)
+        ref = heavy_tail_csr.matvec(x)
+        assert np.linalg.norm(res.y - ref) / np.linalg.norm(ref) < 1e-5
+
+    def test_single_precision_only(self, heavy_tail_csr, rng):
+        # The paper's point: the half/double mix is NOT supported.
+        with pytest.raises(DTypeError, match="float32"):
+            CuSparseLikeKernel().run(
+                heavy_tail_csr.astype(np.float16),
+                rng.random(heavy_tail_csr.n_cols),
+            )
+
+    def test_efficiency_profile_monotone(self):
+        assert _cusparse_bandwidth_scale(64) == pytest.approx(0.80)
+        assert _cusparse_bandwidth_scale(4096) == pytest.approx(0.96)
+        assert (
+            _cusparse_bandwidth_scale(256)
+            <= _cusparse_bandwidth_scale(512)
+            <= _cusparse_bandwidth_scale(1024)
+        )
+
+    def test_traits_for_uses_profile(self):
+        k = CuSparseLikeKernel()
+        long_rows = k.traits_for(WorkloadProfile(avg_row_len=2000))
+        short_rows = k.traits_for(WorkloadProfile(avg_row_len=50))
+        assert long_rows.bandwidth_scale > short_rows.bandwidth_scale
+
+
+class TestGinkgoModel:
+    def test_numerically_correct(self, heavy_tail_csr, rng):
+        x = rng.random(heavy_tail_csr.n_cols)
+        res = GinkgoLikeKernel().run(heavy_tail_csr, x)
+        ref = heavy_tail_csr.matvec(x)
+        assert np.linalg.norm(res.y - ref) / np.linalg.norm(ref) < 1e-5
+
+    def test_single_precision_only(self, heavy_tail_csr, rng):
+        with pytest.raises(DTypeError, match="float32"):
+            GinkgoLikeKernel().run(
+                heavy_tail_csr.astype(np.float64),
+                rng.random(heavy_tail_csr.n_cols),
+            )
+
+    def test_subwarp_size_heuristic(self):
+        assert ginkgo_subwarp_size(1.0) == 1
+        assert ginkgo_subwarp_size(3.0) == 4
+        assert ginkgo_subwarp_size(20.0) == 32
+        assert ginkgo_subwarp_size(10_000.0) == 32
+
+    def test_short_row_overhead_smaller(self):
+        k = GinkgoLikeKernel()
+        short = k.traits_for(WorkloadProfile(avg_row_len=4))
+        long = k.traits_for(WorkloadProfile(avg_row_len=1000))
+        assert short.row_overhead_bytes < long.row_overhead_bytes
+
+
+class TestDispatch:
+    def test_all_names_instantiate(self):
+        for name in kernel_names():
+            kernel = make_kernel(name)
+            assert kernel.name == name or kernel.name.startswith(name)
+
+    def test_expected_registry(self):
+        assert {
+            "half_double", "single", "double", "half_double_u16",
+            "scalar_csr", "gpu_baseline", "cpu_raystation",
+            "cusparse", "ginkgo", "ellpack_half_double", "sellcs_half_double",
+        } == set(kernel_names())
+
+    def test_unknown_kernel(self):
+        with pytest.raises(ReproError, match="unknown kernel"):
+            make_kernel("nope")
+
+    def test_fresh_instances(self):
+        assert make_kernel("half_double") is not make_kernel("half_double")
+
+    def test_u16_variant_runs(self, tiny_liver_case, rng):
+        m = tiny_liver_case.as_half().with_index_dtype(np.uint16)
+        x = rng.random(m.n_cols)
+        res = make_kernel("half_double_u16").run(m, x)
+        ref = tiny_liver_case.matrix.matvec(x)
+        assert np.linalg.norm(res.y - ref) / np.linalg.norm(ref) < 1e-3
+
+    def test_u16_higher_oi_than_u32(self, tiny_liver_case, rng):
+        # The paper's future-work claim: 16-bit indices raise OI.
+        x = rng.random(tiny_liver_case.n_spots)
+        u16 = make_kernel("half_double_u16").run(
+            tiny_liver_case.as_half().with_index_dtype(np.uint16), x
+        )
+        u32 = make_kernel("half_double").run(tiny_liver_case.as_half(), x)
+        assert u16.operational_intensity > u32.operational_intensity

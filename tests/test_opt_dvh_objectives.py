@@ -1,0 +1,146 @@
+"""DVH-point objectives."""
+
+import numpy as np
+import pytest
+
+from repro.dose.grid import DoseGrid
+from repro.dose.structures import sphere_mask
+from repro.opt.dvh_objectives import (
+    MaxDVHObjective,
+    MinDVHObjective,
+    dvh_objective_satisfied,
+)
+
+
+@pytest.fixture(scope="module")
+def roi():
+    grid = DoseGrid((8, 8, 5), (8.0, 8.0, 10.0))
+    return sphere_mask(grid, grid.center_mm, 18.0, "roi")
+
+
+def dose_with(roi, inside_values, background=0.0):
+    dose = np.full(roi.grid.n_voxels, background)
+    idx = roi.voxel_indices
+    vals = np.asarray(inside_values, dtype=np.float64)
+    dose[idx] = np.resize(vals, idx.size)
+    return dose
+
+
+class TestMaxDVH:
+    def test_satisfied_when_volume_within_limit(self, roi):
+        # 30 % of voxels above 20 Gy allowed; give ~20 % hot voxels.
+        n = roi.n_voxels
+        vals = np.zeros(n)
+        vals[: int(0.2 * n)] = 30.0
+        obj = MaxDVHObjective(roi, 20.0, 0.30)
+        assert dvh_objective_satisfied(dose_with(roi, vals), obj)
+
+    def test_violated_when_volume_exceeds_limit(self, roi):
+        n = roi.n_voxels
+        vals = np.zeros(n)
+        vals[: int(0.6 * n)] = 30.0
+        obj = MaxDVHObjective(roi, 20.0, 0.30)
+        assert obj.value(dose_with(roi, vals)) > 0
+
+    def test_gradient_targets_coldest_offenders(self, roi):
+        n = roi.n_voxels
+        vals = np.zeros(n)
+        half = int(0.5 * n)
+        vals[:half] = np.linspace(21.0, 60.0, half)  # all offend 20 Gy
+        obj = MaxDVHObjective(roi, 20.0, 0.25)
+        grad = obj.gradient(dose_with(roi, vals))
+        g_in = grad[roi.voxel_indices]
+        # Hottest offenders (the allowed fraction) must be untouched.
+        hottest = np.argsort(vals)[-int(0.2 * n):]
+        assert not g_in[hottest].any()
+        # Some of the coldest offenders are pushed down (positive grad).
+        assert (g_in > 0).any()
+
+    def test_zero_gradient_when_satisfied(self, roi):
+        obj = MaxDVHObjective(roi, 50.0, 0.5)
+        assert not obj.gradient(dose_with(roi, 10.0)).any()
+
+    def test_invalid_volume_fraction(self, roi):
+        with pytest.raises(ValueError):
+            MaxDVHObjective(roi, 20.0, 1.0)
+
+
+class TestMinDVH:
+    def test_satisfied_at_full_coverage(self, roi):
+        obj = MinDVHObjective(roi, 60.0, 0.95)
+        assert dvh_objective_satisfied(dose_with(roi, 62.0), obj)
+
+    def test_violated_at_partial_coverage(self, roi):
+        n = roi.n_voxels
+        vals = np.full(n, 62.0)
+        vals[: int(0.4 * n)] = 30.0  # only ~60 % covered
+        obj = MinDVHObjective(roi, 60.0, 0.95)
+        assert obj.value(dose_with(roi, vals)) > 0
+
+    def test_gradient_pulls_warmest_underdosed_up(self, roi):
+        n = roi.n_voxels
+        vals = np.full(n, 62.0)
+        cold = int(0.4 * n)
+        vals[:cold] = np.linspace(10.0, 59.0, cold)
+        obj = MinDVHObjective(roi, 60.0, 0.80)
+        grad = obj.gradient(dose_with(roi, vals))
+        g_in = grad[roi.voxel_indices]
+        # Gradient is negative (push dose up) exactly on some under-dosed
+        # voxels, preferring the warmest ones.
+        pushed = np.flatnonzero(g_in < 0)
+        assert pushed.size > 0
+        assert vals[pushed].min() >= vals[:cold].min()
+
+    def test_invalid_volume_fraction(self, roi):
+        with pytest.raises(ValueError):
+            MinDVHObjective(roi, 20.0, 0.0)
+
+
+class TestOptimizationIntegration:
+    def test_dvh_terms_drive_optimizer(self, tiny_liver_case):
+        """A plan optimized with DVH terms restores the DVH point."""
+        from repro.dose.grid import DoseGrid
+        from repro.dose.structures import ROIMask
+        from repro.opt import CompositeObjective, PlanOptimizationProblem
+        from repro.opt.objectives import UniformDoseObjective
+        from repro.opt.solver import solve_projected_gradient
+        from repro.plans.cases import get_case
+
+        dep = tiny_liver_case
+        case = get_case("Liver 1", "tiny")
+        grid = DoseGrid(case.phantom_shape, case.phantom_spacing)
+        dose0 = dep.dose(np.ones(dep.n_spots))
+        hot = np.argsort(dose0)[-200:]
+        flat = np.zeros(dep.n_voxels, dtype=bool)
+        flat[hot] = True
+        nx, ny, nz = grid.shape
+        target = ROIMask("target", grid, flat.reshape(nz, ny, nx))
+
+        # An "OAR": the mid-dose shell around the target (ranks 200-600).
+        shell = np.argsort(dose0)[-600:-200]
+        shell_flat = np.zeros(dep.n_voxels, dtype=bool)
+        shell_flat[shell] = True
+        oar = ROIMask("oar", grid, shell_flat.reshape(nz, ny, nx))
+
+        dvh_dose, dvh_volume = 15.0, 0.05
+        w0 = np.ones(dep.n_spots) * 60.0 / max(dose0[hot].mean(), 1e-9)
+
+        def optimize(with_dvh: bool):
+            terms = [UniformDoseObjective(target, 60.0, weight=1.0)]
+            if with_dvh:
+                terms.append(
+                    MaxDVHObjective(oar, dvh_dose, dvh_volume, weight=100.0)
+                )
+            problem = PlanOptimizationProblem([dep], CompositeObjective(terms))
+            result = solve_projected_gradient(
+                problem, w0=w0.copy(), max_iterations=60
+            )
+            return problem.dose(result.weights)
+
+        dose_plain = optimize(with_dvh=False)
+        dose_dvh = optimize(with_dvh=True)
+        v_plain = np.count_nonzero(dose_plain[shell] > dvh_dose) / shell.size
+        v_dvh = np.count_nonzero(dose_dvh[shell] > dvh_dose) / shell.size
+        # The Max-DVH term is the only force on the shell: it must cut the
+        # shell's hot volume relative to the unconstrained plan.
+        assert v_dvh < v_plain

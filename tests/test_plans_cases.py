@@ -1,0 +1,104 @@
+"""The six paper cases: definitions, structure, caching."""
+
+import numpy as np
+import pytest
+
+from repro.plans.cases import (
+    PAPER_TABLE1,
+    build_case_matrix,
+    case_names,
+    get_case,
+    scale_factors,
+)
+from repro.sparse.stats import row_length_profile
+from repro.util.errors import ReproError
+
+
+class TestTableMetadata:
+    def test_six_cases_in_order(self):
+        assert case_names() == [
+            "Liver 1", "Liver 2", "Liver 3", "Liver 4",
+            "Prostate 1", "Prostate 2",
+        ]
+
+    def test_paper_densities(self):
+        # Table I column "non-zero ratio".
+        expected = {
+            "Liver 1": 0.0073, "Liver 2": 0.0064, "Liver 3": 0.0067,
+            "Liver 4": 0.0098, "Prostate 1": 0.0181, "Prostate 2": 0.0186,
+        }
+        for name, dens in expected.items():
+            assert PAPER_TABLE1[name].density == pytest.approx(dens, rel=0.05)
+
+    def test_paper_sizes_gb(self):
+        assert PAPER_TABLE1["Liver 1"].size_gb_half == pytest.approx(8.88)
+        assert PAPER_TABLE1["Prostate 1"].size_gb_half == pytest.approx(
+            0.57, abs=0.01
+        )
+
+    def test_row_skew_band(self):
+        # "the number of rows is 40-200x the number of columns".
+        for name, scale in PAPER_TABLE1.items():
+            assert 40 <= scale.rows / scale.cols <= 210
+
+
+class TestCaseDefinitions:
+    def test_unknown_case(self):
+        with pytest.raises(ReproError):
+            get_case("Lung 1")
+
+    def test_unknown_preset(self):
+        with pytest.raises(ReproError):
+            get_case("Liver 1", preset="huge")
+
+    def test_liver_beams_distinct_angles(self):
+        angles = {get_case(f"Liver {i}").gantry_deg for i in range(1, 5)}
+        assert len(angles) == 4
+
+    def test_prostate_beams_opposed(self):
+        a = get_case("Prostate 1").gantry_deg
+        b = get_case("Prostate 2").gantry_deg
+        assert abs(a - b) == pytest.approx(180.0)
+
+    def test_presets_scale_down(self):
+        bench = get_case("Liver 1", "bench")
+        tiny = get_case("Liver 1", "tiny")
+        assert np.prod(tiny.phantom_shape) < np.prod(bench.phantom_shape)
+
+
+class TestTinyMatrices:
+    def test_structure_bands(self, tiny_liver_case):
+        m = tiny_liver_case.matrix
+        prof = row_length_profile(m)
+        assert 0.3 < prof.empty_fraction < 0.95
+        assert m.n_rows > 10 * m.n_cols  # skew direction preserved
+
+    def test_density_order_of_magnitude(self, tiny_liver_case):
+        # Tiny preset keeps density within ~3x of the paper's 0.73 %.
+        assert 0.002 < tiny_liver_case.matrix.density < 0.03
+
+    def test_prostate_denser_than_liver(self, tiny_liver_case, tiny_prostate_case):
+        assert (
+            tiny_prostate_case.matrix.density > tiny_liver_case.matrix.density
+        )
+
+    def test_memory_cache_hit(self):
+        a = build_case_matrix("Liver 1", "tiny")
+        b = build_case_matrix("Liver 1", "tiny")
+        assert a is b
+
+    def test_disk_cache_roundtrip(self):
+        import repro.plans.cases as cases_mod
+
+        cases_mod._MEMORY_CACHE.pop(("Liver 1", "tiny"), None)
+        rebuilt = build_case_matrix("Liver 1", "tiny")
+        again = build_case_matrix("Liver 1", "tiny", use_cache=False)
+        np.testing.assert_array_equal(
+            rebuilt.matrix.indptr, again.matrix.indptr
+        )
+
+    def test_scale_factors(self, tiny_liver_case):
+        fn, fr, fc = scale_factors("Liver 1", tiny_liver_case.matrix)
+        assert fn == pytest.approx(1.48e9 / tiny_liver_case.matrix.nnz)
+        assert fr == pytest.approx(2.97e6 / tiny_liver_case.matrix.n_rows)
+        assert fc == pytest.approx(6.8e4 / tiny_liver_case.matrix.n_cols)

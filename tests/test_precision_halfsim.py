@@ -1,0 +1,93 @@
+"""Half-precision storage emulation and error analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.precision.halfsim import (
+    HALF_EPS,
+    HALF_MAX,
+    HALF_MIN_NORMAL,
+    analyze_quantization,
+    dose_scale_for_half,
+    half_roundtrip,
+    quantize_half,
+    spmv_error_bound,
+    widen_half,
+)
+
+
+class TestRoundTrip:
+    def test_exact_for_representable(self):
+        vals = np.array([0.5, 1.0, 2.0, 0.25])
+        np.testing.assert_array_equal(half_roundtrip(vals), vals)
+
+    def test_widen_is_exact(self):
+        stored = quantize_half(np.array([0.1, 0.2, 0.3]))
+        widened = widen_half(stored)
+        np.testing.assert_array_equal(widened.astype(np.float16), stored)
+
+    def test_overflow_to_inf(self):
+        assert np.isinf(half_roundtrip(np.array([1e6]))[0])
+
+    def test_half_max_value(self):
+        assert HALF_MAX == pytest.approx(65504.0)
+
+
+class TestAnalyzeQuantization:
+    def test_normal_values_within_half_ulp(self, rng):
+        report = analyze_quantization(0.1 + rng.random(1000))
+        assert report.within_half_ulp
+        assert report.overflow_count == 0
+        assert report.underflow_count == 0
+
+    def test_overflow_counted(self):
+        report = analyze_quantization(np.array([1.0, 1e9]))
+        assert report.overflow_count == 1
+
+    def test_subnormal_counted(self):
+        report = analyze_quantization(np.array([HALF_MIN_NORMAL / 4]))
+        assert report.underflow_count == 1
+
+    def test_zero_error_for_zero(self):
+        report = analyze_quantization(np.zeros(4))
+        assert report.max_abs_error == 0.0
+        assert report.mean_rel_error == 0.0
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.floats(min_value=1e-3, max_value=6e4))
+def test_half_storage_relative_error_bounded(value):
+    """Property: storing any normal-range value in half errs <= eps/2."""
+    stored = float(half_roundtrip(np.array([value]))[0])
+    assert abs(stored - value) / value <= HALF_EPS * (1 + 1e-12)
+
+
+class TestErrorBound:
+    def test_grows_with_row_length(self):
+        assert spmv_error_bound(16000) > spmv_error_bound(32)
+
+    def test_storage_term_dominates(self):
+        # For paper-size rows, half-storage error >> double-accumulation
+        # error: the reason half/double is safe.
+        bound = spmv_error_bound(16000)
+        accum_part = 16000 * np.finfo(np.float64).eps
+        assert bound - accum_part == pytest.approx(HALF_EPS)
+        assert accum_part < 0.01 * HALF_EPS
+
+    def test_negative_length_raises(self):
+        with pytest.raises(ValueError):
+            spmv_error_bound(-1)
+
+
+class TestDoseScale:
+    def test_no_scale_needed(self):
+        assert dose_scale_for_half(10.0) == 1.0
+
+    def test_scales_large_values(self):
+        s = dose_scale_for_half(1e6, headroom=8.0)
+        assert 1e6 * s <= HALF_MAX / 8.0 * (1 + 1e-12)
+
+    def test_zero_max(self):
+        assert dose_scale_for_half(0.0) == 1.0

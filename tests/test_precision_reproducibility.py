@@ -1,0 +1,167 @@
+"""Reduction orders and the bitwise-reproducibility checker."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.precision.reproducibility import (
+    ReproducibilityChecker,
+    pairwise_reduce,
+    permuted_reduce,
+    sequential_reduce,
+    tree_reduce,
+    tree_reduce_rows,
+)
+
+
+class TestTreeReduce:
+    def test_exact_on_integers(self):
+        # With integer-valued floats the order cannot matter; checks the
+        # tree wiring itself.
+        vals = np.arange(37, dtype=np.float64)
+        assert float(tree_reduce(vals)) == float(vals.sum())
+
+    def test_deterministic(self, rng):
+        vals = rng.random(100)
+        assert tree_reduce(vals) == tree_reduce(vals)
+
+    def test_empty(self):
+        assert float(tree_reduce(np.array([], dtype=np.float64))) == 0.0
+
+    def test_single(self):
+        assert float(tree_reduce(np.array([3.5]))) == 3.5
+
+    def test_explicit_width_padding(self):
+        vals = np.array([1.0, 2.0, 3.0])
+        assert float(tree_reduce(vals, width=8)) == 6.0
+
+    def test_width_too_small(self):
+        with pytest.raises(ValueError):
+            tree_reduce(np.arange(5.0), width=4)
+
+    def test_differs_from_sequential_in_bits(self):
+        # Non-associativity: the orders genuinely differ for adversarial
+        # inputs (this is the point of fixing ONE order).
+        vals = np.array([1e16, 1.0, -1e16, 1.0] * 8)
+        tree = float(tree_reduce(vals))
+        seq = float(sequential_reduce(vals))
+        assert tree != seq  # 2.0 vs 0.0 for this classic case
+
+
+class TestTreeReduceRows:
+    def test_matches_kernel_for_short_row(self):
+        vals = np.arange(7, dtype=np.float64)
+        assert float(tree_reduce_rows(vals)) == float(vals.sum())
+
+    def test_strided_lane_order(self, rng):
+        # Must equal: lane k accumulates elements k, k+32, ... in order,
+        # then a 32-wide butterfly.
+        vals = rng.random(100)
+        lanes = np.zeros(32)
+        for k in range(vals.shape[0]):
+            lanes[k % 32] += 0  # placeholder to show intent
+        lane_acc = np.zeros(32)
+        for start in range(0, 100, 32):
+            chunk = vals[start : start + 32]
+            lane_acc[: chunk.shape[0]] += chunk
+        expected = tree_reduce(lane_acc, width=32)
+        assert float(tree_reduce_rows(vals)) == float(expected)
+
+    def test_empty(self):
+        assert float(tree_reduce_rows(np.array([], dtype=np.float64))) == 0.0
+
+
+class TestPermutedReduce:
+    def test_same_seed_same_result(self, rng):
+        vals = rng.random(200)
+        assert permuted_reduce(vals, rng=5) == permuted_reduce(vals, rng=5)
+
+    def test_different_seeds_can_differ_in_bits(self):
+        # Catastrophic-cancellation values make order visible.
+        rng = np.random.default_rng(0)
+        vals = rng.random(500) * 10.0 ** rng.integers(-8, 8, size=500)
+        results = {float(permuted_reduce(vals, rng=s)) for s in range(20)}
+        assert len(results) > 1
+
+    def test_sum_close_to_exact(self, rng):
+        vals = rng.random(100)
+        assert float(permuted_reduce(vals, rng=1)) == pytest.approx(vals.sum())
+
+
+class TestPairwiseReduce:
+    def test_exact_on_integers(self):
+        vals = np.arange(33, dtype=np.float64)
+        assert float(pairwise_reduce(vals)) == float(vals.sum())
+
+    def test_empty_and_single(self):
+        assert float(pairwise_reduce(np.array([], dtype=np.float64))) == 0.0
+        assert float(pairwise_reduce(np.array([2.0]))) == 2.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    arrays(
+        np.float64,
+        st.integers(0, 70),
+        elements=st.floats(-1e6, 1e6, allow_nan=False, width=32),
+    )
+)
+def test_property_all_orders_agree_within_error_bound(vals):
+    """All reduction orders give the same sum within n*eps*sum|v|."""
+    orders = [
+        float(tree_reduce(vals)),
+        float(sequential_reduce(vals)),
+        float(pairwise_reduce(vals)),
+        float(permuted_reduce(vals, rng=3)),
+    ]
+    tol = max(vals.shape[0], 1) * np.finfo(np.float64).eps * (
+        np.abs(vals).sum() + 1.0
+    )
+    assert max(orders) - min(orders) <= tol
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    arrays(
+        np.float64,
+        st.integers(1, 200),
+        elements=st.floats(-1e8, 1e8, allow_nan=False, width=32),
+    )
+)
+def test_property_tree_reduce_rows_deterministic(vals):
+    """Kernel-order reduction is bit-stable across invocations."""
+    a = tree_reduce_rows(vals)
+    b = tree_reduce_rows(vals)
+    assert np.array(a).tobytes() == np.array(b).tobytes()
+
+
+class TestChecker:
+    def test_deterministic_computation_reproducible(self, rng):
+        vals = rng.random(64)
+        checker = ReproducibilityChecker(n_runs=4)
+        report = checker.check(lambda i: np.array([tree_reduce(vals)]))
+        assert report.bitwise_identical
+        assert report.max_ulp_spread == 0
+
+    def test_randomized_computation_flagged(self):
+        rng = np.random.default_rng(0)
+        vals = rng.random(500) * 10.0 ** rng.integers(-8, 8, size=500)
+        checker = ReproducibilityChecker(n_runs=10)
+        report = checker.check(
+            lambda i: np.array([permuted_reduce(vals, rng=i)])
+        )
+        assert not report.bitwise_identical
+        assert report.max_ulp_spread >= 1
+        # ...but the spread is numerically tiny.
+        assert report.max_abs_spread < 1e-6 * np.abs(vals).sum()
+
+    def test_requires_two_runs(self):
+        with pytest.raises(ValueError):
+            ReproducibilityChecker(n_runs=1).check(lambda i: np.zeros(1))
+
+    def test_str_verdicts(self):
+        checker = ReproducibilityChecker(n_runs=2)
+        report = checker.check(lambda i: np.zeros(3))
+        assert "REPRODUCIBLE" in str(report)

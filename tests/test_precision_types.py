@@ -1,0 +1,65 @@
+"""Precision descriptors."""
+
+import numpy as np
+import pytest
+
+from repro.precision.types import (
+    DOUBLE,
+    HALF_DOUBLE,
+    HALF_DOUBLE_SHORT_INDEX,
+    SINGLE,
+    MixedPrecision,
+    Precision,
+)
+
+
+class TestPrecision:
+    @pytest.mark.parametrize(
+        "prec,dtype,nbytes",
+        [
+            (Precision.HALF, np.float16, 2),
+            (Precision.SINGLE, np.float32, 4),
+            (Precision.DOUBLE, np.float64, 8),
+        ],
+    )
+    def test_dtype_and_width(self, prec, dtype, nbytes):
+        assert prec.dtype == np.dtype(dtype)
+        assert prec.nbytes == nbytes
+
+    def test_from_dtype_roundtrip(self):
+        for p in Precision:
+            assert Precision.from_dtype(p.dtype) is p
+
+    def test_from_dtype_unknown(self):
+        with pytest.raises(ValueError):
+            Precision.from_dtype(np.int32)
+
+
+class TestMixedPrecision:
+    def test_half_double_name(self):
+        assert HALF_DOUBLE.name == "half/double"
+
+    def test_single_name(self):
+        assert SINGLE.name == "single"
+
+    def test_paper_bytes_per_nonzero(self):
+        # The analytic model's 6 bytes/nnz: 2-byte half value + 4-byte index.
+        assert HALF_DOUBLE.bytes_per_nonzero() == 6
+
+    def test_single_bytes_per_nonzero(self):
+        assert SINGLE.bytes_per_nonzero() == 8
+
+    def test_short_index_variant(self):
+        assert HALF_DOUBLE_SHORT_INDEX.bytes_per_nonzero() == 4
+        assert HALF_DOUBLE_SHORT_INDEX.index_dtype == np.uint16
+
+    def test_double_everything(self):
+        assert DOUBLE.bytes_per_nonzero() == 12
+
+    def test_invalid_index_width(self):
+        with pytest.raises(ValueError):
+            MixedPrecision(Precision.HALF, Precision.DOUBLE, Precision.DOUBLE,
+                           index_bytes=3)
+
+    def test_index_dtype_default(self):
+        assert HALF_DOUBLE.index_dtype == np.int32

@@ -1,0 +1,115 @@
+"""Roofline model and the paper's analytic traffic model."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.device import A100, P100
+from repro.precision.types import DOUBLE, HALF_DOUBLE, HALF_DOUBLE_SHORT_INDEX, SINGLE
+from repro.roofline.analytic import column_index_traffic_share, spmv_traffic_model
+from repro.roofline.model import Roofline, RooflinePoint, ascii_roofline
+from repro.roofline.report import RooflineEntry, roofline_table
+
+
+LIVER1 = dict(nnz=1.48e9, n_rows=2.97e6, n_cols=6.8e4)
+
+
+class TestAnalyticTrafficModel:
+    def test_paper_formula_half_double(self):
+        # 6*nnz + 12*nr + 8*nc, Section V.
+        t = spmv_traffic_model(**LIVER1, precision=HALF_DOUBLE)
+        expected = 6 * 1.48e9 + 12 * 2.97e6 + 8 * 6.8e4
+        assert t.total_bytes == pytest.approx(expected)
+
+    def test_paper_oi_0332(self):
+        # "an approximation of the upper bound ... of 0.332".
+        t = spmv_traffic_model(**LIVER1, precision=HALF_DOUBLE)
+        assert t.operational_intensity == pytest.approx(0.332, abs=0.0015)
+
+    def test_flop_convention(self):
+        t = spmv_traffic_model(**LIVER1)
+        assert t.flops == 2 * 1.48e9
+
+    def test_precision_ordering(self):
+        # Narrower storage -> higher OI (the paper's core mechanism).
+        oi = {
+            p.name: spmv_traffic_model(**LIVER1, precision=p).operational_intensity
+            for p in (HALF_DOUBLE, SINGLE, DOUBLE)
+        }
+        assert oi["half/double"] > oi["single"] > oi["double"]
+
+    def test_u16_indices_raise_oi(self):
+        base = spmv_traffic_model(**LIVER1, precision=HALF_DOUBLE)
+        short = spmv_traffic_model(**LIVER1, precision=HALF_DOUBLE_SHORT_INDEX)
+        assert short.operational_intensity > base.operational_intensity
+        # 4 bytes/nnz vs 6 bytes/nnz -> OI ratio ~1.5 for nnz-dominated.
+        ratio = short.operational_intensity / base.operational_intensity
+        assert ratio == pytest.approx(1.5, abs=0.03)
+
+    def test_column_index_share_dominant(self):
+        # Section V: index traffic is a large share (4 of 6 bytes/nnz).
+        share = column_index_traffic_share(**LIVER1)
+        assert share == pytest.approx(4 / 6, abs=0.01)
+
+    def test_zero_matrix(self):
+        t = spmv_traffic_model(0, 0, 0)
+        assert t.operational_intensity == 0.0
+
+
+class TestRoofline:
+    def test_a100_ridge_point(self):
+        roof = Roofline.for_device(A100)
+        assert roof.ridge_point == pytest.approx(9.7e3 / 1555, rel=1e-3)
+
+    def test_spmv_memory_bound_everywhere(self):
+        # All evaluated kernels have OI < 0.5 << any GPU ridge point.
+        for dev in (A100, P100):
+            roof = Roofline.for_device(dev)
+            assert roof.is_memory_bound(0.332)
+
+    def test_attainable_below_ridge(self):
+        roof = Roofline.for_device(A100)
+        assert roof.attainable_gflops(0.332) == pytest.approx(
+            0.332 * 1555, rel=1e-3
+        )
+
+    def test_attainable_capped_at_peak(self):
+        roof = Roofline.for_device(A100)
+        assert roof.attainable_gflops(100.0) == roof.peak_gflops
+
+    def test_attainable_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Roofline.for_device(A100).attainable_gflops(-1.0)
+
+    def test_curve_monotone(self):
+        roof = Roofline.for_device(A100)
+        _, gf = roof.curve()
+        assert np.all(np.diff(gf) >= 0)
+
+    def test_point_attainable_fraction(self):
+        roof = Roofline.for_device(A100)
+        p = RooflinePoint("hd", 0.332, 420.0)
+        # 420 of 516 attainable ~ 81 %.
+        assert p.attainable_fraction(roof) == pytest.approx(0.81, abs=0.03)
+
+
+class TestReports:
+    def test_table_includes_claims(self):
+        entries = [
+            RooflineEntry("half_double", "Liver 1", 0.331, 0.332, 420.0, 0.84)
+        ]
+        text = roofline_table(entries).render()
+        assert "half_double" in text and "Liver 1" in text
+
+    def test_oi_model_error(self):
+        e = RooflineEntry("k", "c", 0.33, 0.332, 400.0, 0.8)
+        assert e.oi_model_error == pytest.approx(0.002 / 0.332)
+
+    def test_ascii_chart_renders(self):
+        roof = Roofline.for_device(A100)
+        points = [RooflinePoint("a", 0.33, 420.0), RooflinePoint("b", 0.25, 320.0)]
+        art = ascii_roofline(roof, points)
+        assert "A:" in art and "B:" in art
+        assert "ridge" in art
+
+    def test_ascii_chart_empty(self):
+        assert "no points" in ascii_roofline(Roofline.for_device(A100), [])

@@ -1,0 +1,133 @@
+"""Property-based tests (hypothesis) on format conversions and SpMV.
+
+Invariants: every format round trip preserves the matrix (exactly for
+lossless formats, within quantization for RSCF), and every format's
+matvec agrees with CSR's.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.sparse.convert import (
+    coo_to_csr,
+    csr_to_coo,
+    csr_to_ellpack,
+    csr_to_rscf,
+    csr_to_sellcs,
+    ellpack_to_csr,
+    rscf_to_csr,
+    sellcs_to_csr,
+)
+from repro.sparse.csr import CSRMatrix
+
+
+@st.composite
+def sparse_dense_arrays(draw, max_rows=18, max_cols=12):
+    """Small random dense arrays with controllable sparsity."""
+    n_rows = draw(st.integers(1, max_rows))
+    n_cols = draw(st.integers(1, max_cols))
+    dense = draw(
+        arrays(
+            np.float64,
+            (n_rows, n_cols),
+            elements=st.floats(0.0, 100.0, width=32),
+        )
+    )
+    # Sparsify: zero out a draw-dependent fraction.
+    mask_seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(mask_seed)
+    dense = dense * (rng.random(dense.shape) < 0.4)
+    return dense
+
+
+@st.composite
+def csr_matrices(draw):
+    dense = draw(sparse_dense_arrays())
+    return CSRMatrix.from_dense(dense, value_dtype=np.float64), dense
+
+
+@settings(max_examples=60, deadline=None)
+@given(csr_matrices())
+def test_csr_dense_roundtrip(mat_dense):
+    csr, dense = mat_dense
+    np.testing.assert_array_equal(csr.to_dense(), dense)
+
+
+@settings(max_examples=60, deadline=None)
+@given(csr_matrices())
+def test_coo_roundtrip_exact(mat_dense):
+    csr, dense = mat_dense
+    back = coo_to_csr(csr_to_coo(csr), value_dtype=np.float64)
+    np.testing.assert_array_equal(back.to_dense(), dense)
+
+
+@settings(max_examples=40, deadline=None)
+@given(csr_matrices())
+def test_ellpack_roundtrip_exact(mat_dense):
+    csr, dense = mat_dense
+    back = ellpack_to_csr(csr_to_ellpack(csr))
+    np.testing.assert_array_equal(back.to_dense(), dense)
+
+
+@settings(max_examples=40, deadline=None)
+@given(csr_matrices(), st.integers(1, 8), st.integers(1, 64))
+def test_sellcs_roundtrip_exact(mat_dense, chunk, sigma):
+    csr, dense = mat_dense
+    back = sellcs_to_csr(csr_to_sellcs(csr, chunk_size=chunk, sigma=sigma))
+    np.testing.assert_array_equal(back.to_dense(), dense)
+
+
+@settings(max_examples=40, deadline=None)
+@given(csr_matrices())
+def test_rscf_roundtrip_within_quantization(mat_dense):
+    csr, dense = mat_dense
+    back = rscf_to_csr(csr_to_rscf(csr), value_dtype=np.float64)
+    col_peak = np.abs(dense).max(axis=0)
+    tol = col_peak / (2**16 - 1) * 1.01 + 1e-12
+    assert np.all(np.abs(back.to_dense() - dense) <= tol[None, :])
+
+
+@settings(max_examples=40, deadline=None)
+@given(csr_matrices(), st.integers(0, 2**31 - 1))
+def test_all_formats_agree_on_matvec(mat_dense, x_seed):
+    csr, dense = mat_dense
+    x = np.random.default_rng(x_seed).random(csr.n_cols)
+    ref = dense @ x
+    np.testing.assert_allclose(csr.matvec(x), ref, rtol=1e-10, atol=1e-10)
+    np.testing.assert_allclose(
+        csr_to_ellpack(csr).matvec(x), ref, rtol=1e-10, atol=1e-10
+    )
+    np.testing.assert_allclose(
+        csr_to_sellcs(csr, 4, 16).matvec(x), ref, rtol=1e-10, atol=1e-10
+    )
+    np.testing.assert_allclose(
+        csr_to_coo(csr).matvec(x), ref, rtol=1e-10, atol=1e-10
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(csr_matrices(), st.integers(0, 2**31 - 1), st.integers(0, 2**31 - 1))
+def test_matvec_linearity(mat_dense, seed_a, seed_b):
+    """SpMV is linear: A(ax + by) == a Ax + b Ay."""
+    csr, _ = mat_dense
+    ra, rb = np.random.default_rng(seed_a), np.random.default_rng(seed_b)
+    x = ra.random(csr.n_cols)
+    y = rb.random(csr.n_cols)
+    lhs = csr.matvec(2.0 * x + 3.0 * y)
+    rhs = 2.0 * csr.matvec(x) + 3.0 * csr.matvec(y)
+    np.testing.assert_allclose(lhs, rhs, rtol=1e-9, atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(csr_matrices(), st.integers(0, 2**31 - 1))
+def test_transpose_matvec_adjoint_identity(mat_dense, seed):
+    """<Ax, y> == <x, A^T y> — the adjoint identity the optimizer needs."""
+    csr, _ = mat_dense
+    rng = np.random.default_rng(seed)
+    x = rng.random(csr.n_cols)
+    y = rng.random(csr.n_rows)
+    lhs = float(csr.matvec(x) @ y)
+    rhs = float(x @ csr.transpose_matvec(y))
+    assert abs(lhs - rhs) <= 1e-8 * (1.0 + abs(lhs))

@@ -1,0 +1,87 @@
+"""COOMatrix: duplicates, reduction to dense, matvec."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.coo import COOMatrix
+from repro.util.errors import FormatError, ShapeError
+
+
+@pytest.fixture()
+def coo_with_duplicates():
+    # (0,1) appears twice: 1.0 + 3.0 = 4.0
+    return COOMatrix(
+        (3, 2),
+        np.array([0, 0, 2, 0]),
+        np.array([1, 0, 1, 1]),
+        np.array([1.0, 2.0, 5.0, 3.0]),
+    )
+
+
+class TestConstruction:
+    def test_valid(self, coo_with_duplicates):
+        assert coo_with_duplicates.nnz == 4
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(FormatError):
+            COOMatrix((2, 2), np.array([0]), np.array([0, 1]), np.array([1.0]))
+
+    def test_rejects_row_out_of_range(self):
+        with pytest.raises(ShapeError):
+            COOMatrix((2, 2), np.array([2]), np.array([0]), np.array([1.0]))
+
+    def test_rejects_col_out_of_range(self):
+        with pytest.raises(ShapeError):
+            COOMatrix((2, 2), np.array([0]), np.array([5]), np.array([1.0]))
+
+
+class TestSumDuplicates:
+    def test_sums(self, coo_with_duplicates):
+        dedup = coo_with_duplicates.sum_duplicates()
+        assert dedup.nnz == 3
+        assert dedup.to_dense()[0, 1] == pytest.approx(4.0)
+
+    def test_row_major_order_after(self, coo_with_duplicates):
+        dedup = coo_with_duplicates.sum_duplicates()
+        keys = dedup.rows * dedup.n_cols + dedup.cols
+        assert np.all(np.diff(keys) > 0)
+
+    def test_idempotent_shape(self, coo_with_duplicates):
+        dedup = coo_with_duplicates.sum_duplicates()
+        again = dedup.sum_duplicates()
+        np.testing.assert_allclose(again.to_dense(), dedup.to_dense())
+
+    def test_empty(self):
+        empty = COOMatrix((2, 2), np.array([], np.int64),
+                          np.array([], np.int64), np.array([]))
+        assert empty.sum_duplicates().nnz == 0
+
+    def test_preserves_total(self, coo_with_duplicates):
+        dedup = coo_with_duplicates.sum_duplicates()
+        assert dedup.data.sum() == pytest.approx(
+            coo_with_duplicates.data.sum()
+        )
+
+
+class TestMatvec:
+    def test_duplicates_contribute_additively(self, coo_with_duplicates):
+        x = np.array([10.0, 100.0])
+        y = coo_with_duplicates.matvec(x)
+        np.testing.assert_allclose(y, [420.0, 0.0, 500.0])
+
+    def test_matches_dense(self, coo_with_duplicates, rng):
+        x = rng.random(2)
+        np.testing.assert_allclose(
+            coo_with_duplicates.matvec(x),
+            coo_with_duplicates.to_dense() @ x,
+        )
+
+    def test_shape_check(self, coo_with_duplicates):
+        with pytest.raises(ShapeError):
+            coo_with_duplicates.matvec(np.zeros(3))
+
+
+class TestImmutability:
+    def test_buffers_frozen(self, coo_with_duplicates):
+        with pytest.raises(ValueError):
+            coo_with_duplicates.data[0] = 0.0

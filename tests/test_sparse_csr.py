@@ -1,0 +1,242 @@
+"""CSRMatrix: construction, invariants, arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.csr import CSRMatrix
+from repro.util.errors import DTypeError, FormatError, ShapeError
+from tests.conftest import make_random_csr
+
+
+@pytest.fixture()
+def dense_and_csr(rng):
+    dense = rng.random((12, 7))
+    dense *= dense > 0.5
+    return dense, CSRMatrix.from_dense(dense, value_dtype=np.float64)
+
+
+class TestConstruction:
+    def test_from_dense_roundtrip(self, dense_and_csr):
+        dense, csr = dense_and_csr
+        np.testing.assert_allclose(csr.to_dense(), dense)
+
+    def test_from_dense_rejects_1d(self):
+        with pytest.raises(ShapeError):
+            CSRMatrix.from_dense(np.zeros(4))
+
+    def test_from_arrays(self):
+        m = CSRMatrix.from_arrays(
+            np.array([1.0, 2.0], np.float32),
+            np.array([0, 2], np.int32),
+            np.array([0, 1, 2]),
+            (2, 3),
+        )
+        assert m.nnz == 2
+        assert m.to_dense()[1, 2] == 2.0
+
+    def test_empty_matrix(self):
+        m = CSRMatrix(
+            (3, 4),
+            np.array([], np.float32),
+            np.array([], np.int32),
+            np.zeros(4, np.int64),
+        )
+        assert m.nnz == 0
+        assert m.density == 0.0
+
+    def test_rejects_bad_indptr_length(self):
+        with pytest.raises(FormatError):
+            CSRMatrix(
+                (2, 2),
+                np.array([1.0], np.float32),
+                np.array([0], np.int32),
+                np.array([0, 1], np.int64),  # should be length 3
+            )
+
+    def test_rejects_decreasing_indptr(self):
+        with pytest.raises(FormatError):
+            CSRMatrix(
+                (2, 2),
+                np.array([1.0, 2.0], np.float32),
+                np.array([0, 1], np.int32),
+                np.array([0, 2, 1], np.int64),
+            )
+
+    def test_rejects_indptr_end_mismatch(self):
+        with pytest.raises(FormatError):
+            CSRMatrix(
+                (1, 2),
+                np.array([1.0], np.float32),
+                np.array([0], np.int32),
+                np.array([0, 2], np.int64),
+            )
+
+    def test_rejects_column_out_of_range(self):
+        with pytest.raises(ShapeError):
+            CSRMatrix(
+                (1, 2),
+                np.array([1.0], np.float32),
+                np.array([5], np.int32),
+                np.array([0, 1], np.int64),
+            )
+
+    def test_rejects_data_indices_mismatch(self):
+        with pytest.raises(FormatError):
+            CSRMatrix(
+                (1, 3),
+                np.array([1.0, 2.0], np.float32),
+                np.array([0], np.int32),
+                np.array([0, 2], np.int64),
+            )
+
+    def test_rejects_unsupported_value_dtype(self):
+        with pytest.raises(DTypeError):
+            CSRMatrix(
+                (1, 1),
+                np.array([1], np.int32),
+                np.array([0], np.int32),
+                np.array([0, 1], np.int64),
+            )
+
+    def test_buffers_frozen(self, dense_and_csr):
+        _, csr = dense_and_csr
+        with pytest.raises(ValueError):
+            csr.data[0] = 99.0
+
+
+class TestProperties:
+    def test_shape_accessors(self, dense_and_csr):
+        _, csr = dense_and_csr
+        assert (csr.n_rows, csr.n_cols) == csr.shape
+
+    def test_density(self, dense_and_csr):
+        dense, csr = dense_and_csr
+        assert csr.density == pytest.approx(np.count_nonzero(dense) / dense.size)
+
+    def test_row_lengths_sum_is_nnz(self, dense_and_csr):
+        _, csr = dense_and_csr
+        assert int(csr.row_lengths().sum()) == csr.nnz
+
+    def test_size_bytes_paper_half(self, rng):
+        csr = make_random_csr(rng, value_dtype=np.float16)
+        assert csr.size_bytes_paper() == csr.nnz * 6  # 2B value + 4B index
+
+    def test_nbytes_counts_all_arrays(self, dense_and_csr):
+        _, csr = dense_and_csr
+        expected = csr.data.nbytes + csr.indices.nbytes + csr.indptr.nbytes
+        assert csr.nbytes() == expected
+
+
+class TestRowAccess:
+    def test_row_contents(self, dense_and_csr):
+        dense, csr = dense_and_csr
+        for i in range(csr.n_rows):
+            cols, vals = csr.row(i)
+            np.testing.assert_array_equal(cols, np.nonzero(dense[i])[0])
+            np.testing.assert_allclose(vals, dense[i][dense[i] != 0])
+
+    def test_row_out_of_range(self, dense_and_csr):
+        _, csr = dense_and_csr
+        with pytest.raises(IndexError):
+            csr.row(csr.n_rows)
+
+
+class TestMatvec:
+    def test_matches_dense(self, dense_and_csr, rng):
+        dense, csr = dense_and_csr
+        x = rng.random(csr.n_cols)
+        np.testing.assert_allclose(csr.matvec(x), dense @ x, rtol=1e-12)
+
+    def test_shape_check(self, dense_and_csr):
+        _, csr = dense_and_csr
+        with pytest.raises(ShapeError):
+            csr.matvec(np.zeros(csr.n_cols + 1))
+
+    def test_empty_rows_give_zero(self):
+        m = CSRMatrix(
+            (3, 2),
+            np.array([1.0], np.float32),
+            np.array([1], np.int32),
+            np.array([0, 0, 1, 1], np.int64),
+        )
+        y = m.matvec(np.array([2.0, 3.0]))
+        np.testing.assert_allclose(y, [0.0, 3.0, 0.0])
+
+    def test_accum_dtype_controls_output(self, dense_and_csr, rng):
+        _, csr = dense_and_csr
+        x = rng.random(csr.n_cols)
+        assert csr.matvec(x, accum_dtype=np.float32).dtype == np.float32
+
+    def test_half_storage_double_accum(self, rng):
+        csr16 = make_random_csr(rng, value_dtype=np.float16)
+        x = rng.random(csr16.n_cols)
+        y = csr16.matvec(x, accum_dtype=np.float64)
+        # Widened values must match the float16-stored entries exactly.
+        ref = csr16.to_dense(np.float64) @ x
+        np.testing.assert_allclose(y, ref, rtol=1e-12)
+
+
+class TestTransposeMatvec:
+    def test_matches_dense(self, dense_and_csr, rng):
+        dense, csr = dense_and_csr
+        y = rng.random(csr.n_rows)
+        np.testing.assert_allclose(
+            csr.transpose_matvec(y), dense.T @ y, rtol=1e-12
+        )
+
+    def test_shape_check(self, dense_and_csr):
+        _, csr = dense_and_csr
+        with pytest.raises(ShapeError):
+            csr.transpose_matvec(np.zeros(csr.n_rows + 1))
+
+
+class TestCasting:
+    def test_astype_half(self, dense_and_csr):
+        _, csr = dense_and_csr
+        half = csr.astype(np.float16)
+        assert half.value_dtype == np.float16
+        assert half.nnz == csr.nnz
+
+    def test_with_index_dtype_uint16(self, dense_and_csr):
+        _, csr = dense_and_csr
+        m = csr.with_index_dtype(np.uint16)
+        assert m.index_dtype == np.uint16
+        np.testing.assert_allclose(m.to_dense(), csr.to_dense())
+
+    def test_with_index_dtype_overflow_raises(self):
+        # A column index beyond uint16 range must be rejected — the check
+        # the paper describes for the liver cases (cols up to ~70000).
+        m = CSRMatrix(
+            (1, 70000),
+            np.array([1.0], np.float32),
+            np.array([68000], np.int32),
+            np.array([0, 1], np.int64),
+        )
+        with pytest.raises(FormatError, match="do not fit"):
+            m.with_index_dtype(np.uint16)
+
+
+class TestSortedIndices:
+    def test_detects_unsorted(self):
+        m = CSRMatrix(
+            (1, 4),
+            np.array([1.0, 2.0], np.float32),
+            np.array([2, 0], np.int32),
+            np.array([0, 2], np.int64),
+        )
+        assert not m.has_sorted_indices()
+        assert m.sorted_indices().has_sorted_indices()
+
+    def test_sorting_preserves_values(self):
+        m = CSRMatrix(
+            (1, 4),
+            np.array([1.0, 2.0], np.float32),
+            np.array([2, 0], np.int32),
+            np.array([0, 2], np.int64),
+        )
+        s = m.sorted_indices()
+        np.testing.assert_allclose(s.to_dense(), m.to_dense())
+
+    def test_from_dense_is_sorted(self, dense_and_csr):
+        _, csr = dense_and_csr
+        assert csr.has_sorted_indices()

@@ -1,0 +1,117 @@
+"""ELLPACK and SELL-C-sigma: padding, invariants, matvec equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.convert import (
+    csr_to_ellpack,
+    csr_to_sellcs,
+    ellpack_to_csr,
+    sellcs_to_csr,
+)
+from repro.sparse.ellpack import ELLMatrix
+from repro.util.errors import FormatError
+from tests.conftest import make_random_csr
+
+
+class TestELLPACK:
+    def test_roundtrip_dense(self, small_csr):
+        ell = csr_to_ellpack(small_csr)
+        np.testing.assert_allclose(
+            ell.to_dense(), small_csr.to_dense(), rtol=1e-6
+        )
+
+    def test_matvec_matches_csr(self, small_csr, rng):
+        ell = csr_to_ellpack(small_csr)
+        x = rng.random(small_csr.n_cols)
+        np.testing.assert_allclose(
+            ell.matvec(x), small_csr.matvec(x), rtol=1e-6
+        )
+
+    def test_width_is_max_row(self, heavy_tail_csr):
+        ell = csr_to_ellpack(heavy_tail_csr)
+        assert ell.width == int(heavy_tail_csr.row_lengths().max())
+
+    def test_padding_ratio_large_for_heavy_tail(self, heavy_tail_csr):
+        # Exactly why the paper's matrices would punish plain ELLPACK.
+        ell = csr_to_ellpack(heavy_tail_csr)
+        assert ell.padding_ratio > 3.0
+
+    def test_nnz_excludes_padding(self, small_csr):
+        ell = csr_to_ellpack(small_csr)
+        assert ell.nnz == small_csr.nnz
+
+    def test_back_to_csr(self, small_csr, rng):
+        back = ellpack_to_csr(csr_to_ellpack(small_csr))
+        x = rng.random(small_csr.n_cols)
+        np.testing.assert_allclose(back.matvec(x), small_csr.matvec(x), rtol=1e-6)
+
+    def test_width_cap_violation_raises(self, heavy_tail_csr):
+        with pytest.raises(FormatError):
+            csr_to_ellpack(heavy_tail_csr, max_width=1)
+
+    def test_rejects_col_out_of_range(self):
+        with pytest.raises(FormatError):
+            ELLMatrix(
+                (1, 2),
+                np.array([[1.0]], np.float32),
+                np.array([[7]], np.int64),
+                np.array([1], np.int64),
+            )
+
+    def test_rejects_length_above_width(self):
+        with pytest.raises(FormatError):
+            ELLMatrix(
+                (1, 4),
+                np.array([[1.0]], np.float32),
+                np.array([[0]], np.int64),
+                np.array([3], np.int64),
+            )
+
+
+class TestSellCSigma:
+    @pytest.mark.parametrize("chunk,sigma", [(4, 1), (8, 16), (32, 1024)])
+    def test_matvec_matches_csr(self, heavy_tail_csr, rng, chunk, sigma):
+        sell = csr_to_sellcs(heavy_tail_csr, chunk_size=chunk, sigma=sigma)
+        x = rng.random(heavy_tail_csr.n_cols)
+        np.testing.assert_allclose(
+            sell.matvec(x), heavy_tail_csr.matvec(x), rtol=1e-5
+        )
+
+    def test_roundtrip_to_csr(self, heavy_tail_csr, rng):
+        back = sellcs_to_csr(csr_to_sellcs(heavy_tail_csr, 8, 64))
+        x = rng.random(heavy_tail_csr.n_cols)
+        np.testing.assert_allclose(
+            back.matvec(x), heavy_tail_csr.matvec(x), rtol=1e-5
+        )
+
+    def test_sorting_reduces_padding(self, heavy_tail_csr):
+        # The whole point of the sigma window: sorted chunks pad less.
+        unsorted = csr_to_sellcs(heavy_tail_csr, chunk_size=32, sigma=1)
+        sorted_ = csr_to_sellcs(heavy_tail_csr, chunk_size=32, sigma=1024)
+        assert sorted_.padding_ratio < unsorted.padding_ratio
+
+    def test_padding_beats_ellpack(self, heavy_tail_csr):
+        from repro.sparse.convert import csr_to_ellpack
+
+        sell = csr_to_sellcs(heavy_tail_csr, chunk_size=32, sigma=1024)
+        ell = csr_to_ellpack(heavy_tail_csr)
+        assert sell.padding_ratio < ell.padding_ratio
+
+    def test_perm_is_permutation(self, heavy_tail_csr):
+        sell = csr_to_sellcs(heavy_tail_csr, 16, 64)
+        np.testing.assert_array_equal(
+            np.sort(sell.perm), np.arange(heavy_tail_csr.n_rows)
+        )
+
+    def test_nnz_preserved(self, heavy_tail_csr):
+        sell = csr_to_sellcs(heavy_tail_csr, 16, 64)
+        assert sell.nnz == heavy_tail_csr.nnz
+
+    def test_chunk_count(self, small_csr):
+        sell = csr_to_sellcs(small_csr, chunk_size=7)
+        assert sell.n_chunks == -(-small_csr.n_rows // 7)
+
+    def test_invalid_chunk_size(self, small_csr):
+        with pytest.raises(FormatError):
+            csr_to_sellcs(small_csr, chunk_size=8, sigma=0)

@@ -1,0 +1,49 @@
+"""Persistence: npz save/load round trips."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.convert import csr_to_rscf
+from repro.sparse.io import load_csr, load_rscf, save_csr, save_rscf
+from repro.util.errors import FormatError
+
+
+class TestCSRPersistence:
+    def test_roundtrip(self, tmp_path, small_csr):
+        path = tmp_path / "m.npz"
+        save_csr(path, small_csr)
+        loaded = load_csr(path)
+        assert loaded.shape == small_csr.shape
+        np.testing.assert_array_equal(loaded.data, small_csr.data)
+        np.testing.assert_array_equal(loaded.indices, small_csr.indices)
+        np.testing.assert_array_equal(loaded.indptr, small_csr.indptr)
+
+    def test_preserves_dtypes(self, tmp_path, small_csr):
+        half = small_csr.astype(np.float16).with_index_dtype(np.uint16)
+        path = tmp_path / "half.npz"
+        save_csr(path, half)
+        loaded = load_csr(path)
+        assert loaded.value_dtype == np.float16
+        assert loaded.index_dtype == np.uint16
+
+    def test_wrong_kind_raises(self, tmp_path, small_csr):
+        path = tmp_path / "r.npz"
+        save_rscf(path, csr_to_rscf(small_csr))
+        with pytest.raises(FormatError, match="expected CSR"):
+            load_csr(path)
+
+
+class TestRSCFPersistence:
+    def test_roundtrip(self, tmp_path, small_csr, rng):
+        rscf = csr_to_rscf(small_csr)
+        path = tmp_path / "r.npz"
+        save_rscf(path, rscf)
+        loaded = load_rscf(path)
+        x = rng.random(rscf.n_cols)
+        np.testing.assert_array_equal(loaded.matvec(x), rscf.matvec(x))
+
+    def test_wrong_kind_raises(self, tmp_path, small_csr):
+        path = tmp_path / "c.npz"
+        save_csr(path, small_csr)
+        with pytest.raises(FormatError, match="expected RSCF"):
+            load_rscf(path)

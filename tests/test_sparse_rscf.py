@@ -1,0 +1,151 @@
+"""RSCF (RayStation-like column-compressed format)."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.convert import csr_to_rscf, rscf_to_csr
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.rscf import QUANT_MAX, RSCFMatrix, quantize_block
+from repro.util.errors import FormatError, ShapeError
+from tests.conftest import make_random_csr
+
+
+@pytest.fixture()
+def rscf(heavy_tail_csr):
+    return csr_to_rscf(heavy_tail_csr)
+
+
+class TestQuantizeBlock:
+    def test_roundtrip_accuracy(self, rng):
+        vals = rng.random(100) * 3.0
+        codes, scale = quantize_block(vals)
+        np.testing.assert_allclose(codes * scale, vals, atol=scale)
+
+    def test_full_scale_code_used(self):
+        codes, scale = quantize_block(np.array([0.5, 1.0]))
+        assert codes.max() == QUANT_MAX
+
+    def test_zero_block(self):
+        codes, scale = quantize_block(np.zeros(5))
+        assert scale == 0.0
+        assert codes.dtype == np.uint16
+        assert not codes.any()
+
+    def test_16_bit_storage(self, rng):
+        codes, _ = quantize_block(rng.random(10))
+        assert codes.dtype == np.uint16
+
+
+class TestStructure:
+    def test_nnz_preserved(self, heavy_tail_csr, rscf):
+        assert rscf.nnz == heavy_tail_csr.nnz
+
+    def test_segments_are_runs(self, rscf):
+        # Fewer segments than values means run-length compression works.
+        assert rscf.n_segments < rscf.nnz
+
+    def test_compression_beats_csr_on_dose_matrix(self, tiny_liver_case):
+        # The format's raison d'etre: 16-bit values + per-run metadata is
+        # smaller than CSR with float32 + int32 per non-zero.  A spot's
+        # dose blob covers contiguous x-spans of voxels, so real
+        # deposition columns compress into long runs.
+        matrix = tiny_liver_case.matrix
+        rscf = csr_to_rscf(matrix)
+        assert rscf.n_segments < 0.5 * rscf.nnz
+        assert rscf.nbytes() < matrix.nbytes()
+
+    def test_column_entries_sorted(self, rscf):
+        rows, _ = rscf.column_entries(0)
+        assert np.all(np.diff(rows) > 0) or rows.size <= 1
+
+    def test_rejects_overlapping_segments(self):
+        with pytest.raises(FormatError):
+            RSCFMatrix(
+                (4, 1),
+                col_ptr=np.array([0, 2]),
+                seg_start=np.array([0, 1]),
+                seg_len=np.array([2, 2]),
+                val_ptr=np.array([0, 4]),
+                values=np.zeros(4, np.uint16),
+                col_scale=np.zeros(1, np.float32),
+            )
+
+    def test_rejects_segment_value_count_mismatch(self):
+        with pytest.raises(FormatError):
+            RSCFMatrix(
+                (4, 1),
+                col_ptr=np.array([0, 1]),
+                seg_start=np.array([0]),
+                seg_len=np.array([2]),
+                val_ptr=np.array([0, 3]),
+                values=np.zeros(3, np.uint16),
+                col_scale=np.zeros(1, np.float32),
+            )
+
+    def test_rejects_non_uint16_values(self):
+        with pytest.raises(FormatError):
+            RSCFMatrix(
+                (2, 1),
+                col_ptr=np.array([0, 1]),
+                seg_start=np.array([0]),
+                seg_len=np.array([1]),
+                val_ptr=np.array([0, 1]),
+                values=np.zeros(1, np.float32),
+                col_scale=np.zeros(1, np.float32),
+            )
+
+
+class TestNumerics:
+    def test_dense_roundtrip_within_quantization(self, heavy_tail_csr, rscf):
+        a = heavy_tail_csr.to_dense(np.float64)
+        b = rscf.to_dense()
+        # Per-column scale: error bounded by scale/2 per entry.
+        col_max = np.abs(a).max(axis=0)
+        tol = col_max / QUANT_MAX + 1e-12
+        assert np.all(np.abs(a - b) <= tol[None, :] * 1.01)
+
+    def test_matvec_close_to_csr(self, heavy_tail_csr, rscf, rng):
+        x = rng.random(heavy_tail_csr.n_cols)
+        y_ref = heavy_tail_csr.matvec(x)
+        y = rscf.matvec(x)
+        err = np.linalg.norm(y - y_ref) / np.linalg.norm(y_ref)
+        assert err < 1e-4
+
+    def test_matvec_shape_check(self, rscf):
+        with pytest.raises(ShapeError):
+            rscf.matvec(np.zeros(rscf.n_cols + 1))
+
+    def test_column_dense_matches_entries(self, rscf):
+        j = rscf.n_cols // 2
+        rows, vals = rscf.column_entries(j)
+        dense = rscf.column_dense(j)
+        np.testing.assert_allclose(dense[rows], vals)
+        assert dense.sum() == pytest.approx(vals.sum())
+
+
+class TestCSRRoundTrip:
+    def test_rscf_to_csr_half_default(self, rscf):
+        back = rscf_to_csr(rscf)
+        assert back.value_dtype == np.float16
+
+    def test_roundtrip_matvec(self, heavy_tail_csr, rng):
+        rscf = csr_to_rscf(heavy_tail_csr)
+        back = rscf_to_csr(rscf, value_dtype=np.float32)
+        x = rng.random(heavy_tail_csr.n_cols)
+        err = np.linalg.norm(back.matvec(x) - heavy_tail_csr.matvec(x))
+        assert err / np.linalg.norm(heavy_tail_csr.matvec(x)) < 1e-4
+
+    def test_roundtrip_structure(self, heavy_tail_csr):
+        back = rscf_to_csr(csr_to_rscf(heavy_tail_csr), value_dtype=np.float32)
+        assert back.shape == heavy_tail_csr.shape
+        assert back.nnz == heavy_tail_csr.nnz
+        np.testing.assert_array_equal(back.indptr, heavy_tail_csr.indptr)
+        np.testing.assert_array_equal(back.indices, heavy_tail_csr.indices)
+
+    def test_empty_columns_survive(self):
+        dense = np.zeros((4, 3))
+        dense[1, 0] = 2.0  # columns 1, 2 empty
+        csr = CSRMatrix.from_dense(dense, value_dtype=np.float32)
+        rscf = csr_to_rscf(csr)
+        back = rscf_to_csr(rscf, value_dtype=np.float32)
+        np.testing.assert_allclose(back.to_dense(), dense, rtol=1e-3)

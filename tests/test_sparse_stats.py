@@ -1,0 +1,108 @@
+"""Matrix statistics: Table I columns and Figure 2 profiles."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.stats import (
+    MatrixStats,
+    RowLengthProfile,
+    gini_coefficient,
+    matrix_stats,
+    row_length_profile,
+)
+
+
+@pytest.fixture()
+def profile():
+    # 10 rows: 4 empty, lengths 1..6 among the rest.
+    lengths = np.array([0, 3, 0, 1, 50, 0, 6, 2, 0, 40], dtype=np.int64)
+    return RowLengthProfile(lengths)
+
+
+class TestMatrixStats:
+    def test_table1_liver1_numbers(self):
+        stats = MatrixStats("Liver 1", int(2.97e6), int(6.80e4), int(1.48e9), 2)
+        assert stats.density * 100 == pytest.approx(0.73, abs=0.01)
+        assert stats.size_gb == pytest.approx(8.88, rel=1e-3)
+        assert 40 < stats.row_skew < 50
+
+    def test_table1_prostate1_numbers(self):
+        stats = MatrixStats("Prostate 1", int(1.03e6), 5090, int(9.50e7), 2)
+        assert stats.density * 100 == pytest.approx(1.81, abs=0.03)
+        assert stats.size_gb == pytest.approx(0.57, abs=0.01)
+        assert 190 < stats.row_skew < 215
+
+    def test_from_matrix(self, small_csr):
+        stats = matrix_stats("test", small_csr)
+        assert stats.nnz == small_csr.nnz
+        assert stats.value_bytes == 4  # float32 storage
+
+    def test_value_bytes_override(self, small_csr):
+        stats = matrix_stats("test", small_csr, value_bytes=2)
+        assert stats.size_bytes == small_csr.nnz * 6
+
+    def test_table_row_has_6_cells(self, small_csr):
+        assert len(matrix_stats("t", small_csr).table_row()) == 6
+
+
+class TestRowLengthProfile:
+    def test_empty_fraction(self, profile):
+        assert profile.empty_fraction == pytest.approx(0.4)
+
+    def test_mean_excludes_empty(self, profile):
+        assert profile.mean_nonempty == pytest.approx((3 + 1 + 50 + 6 + 2 + 40) / 6)
+
+    def test_max(self, profile):
+        assert profile.max_length == 50
+
+    def test_fraction_below_32(self, profile):
+        # 4 of 6 non-empty rows are < 32.
+        assert profile.fraction_below(32) == pytest.approx(4 / 6)
+
+    def test_fraction_below_1_is_zero(self, profile):
+        assert profile.fraction_below(1) == 0.0
+
+    def test_cumulative_monotone(self, profile):
+        edges, frac = profile.cumulative()
+        assert np.all(np.diff(frac) >= 0)
+        assert frac[-1] == pytest.approx(1.0)
+
+    def test_cumulative_custom_bins(self, profile):
+        edges, frac = profile.cumulative(bins=[1, 10, 100])
+        np.testing.assert_array_equal(edges, [1, 10, 100])
+        assert frac[0] == pytest.approx(1 / 6)  # only the length-1 row
+        assert frac[2] == pytest.approx(1.0)
+
+    def test_percentile(self, profile):
+        assert profile.percentile(0) == 1.0
+        assert profile.percentile(100) == 50.0
+
+    def test_all_empty(self):
+        p = RowLengthProfile(np.zeros(5, dtype=np.int64))
+        assert p.empty_fraction == 1.0
+        assert p.mean_nonempty == 0.0
+        assert p.fraction_below(32) == 0.0
+
+    def test_from_matrix(self, small_csr):
+        p = row_length_profile(small_csr)
+        assert p.n_rows == small_csr.n_rows
+        assert int(p.lengths.sum()) == small_csr.nnz
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini_coefficient(np.full(10, 7.0)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_concentrated_is_high(self):
+        lengths = np.zeros(100)
+        lengths[0] = 1000
+        assert gini_coefficient(lengths) > 0.9
+
+    def test_empty_input(self):
+        assert gini_coefficient(np.array([])) == 0.0
+
+    def test_heavy_tail_matrix_is_irregular(self, heavy_tail_csr):
+        # The paper's "high level of irregularity" claim, quantified.
+        g = gini_coefficient(heavy_tail_csr.row_lengths())
+        assert g > 0.5

@@ -1,0 +1,131 @@
+"""Synthetic workload generators and the Figure 1 BEV rendering."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.stats import row_length_profile
+from repro.sparse.synth import banded, dose_like, lognormal_rows, uniform_random
+from repro.util.errors import ShapeError
+
+
+class TestUniformRandom:
+    def test_density(self):
+        m = uniform_random(200, 100, 0.05, rng=0)
+        assert m.density == pytest.approx(0.05, rel=0.15)
+
+    def test_deterministic(self):
+        a = uniform_random(50, 30, 0.1, rng=7)
+        b = uniform_random(50, 30, 0.1, rng=7)
+        np.testing.assert_array_equal(a.data, b.data)
+
+    def test_invalid_density(self):
+        with pytest.raises(ShapeError):
+            uniform_random(10, 10, 0.0)
+
+
+class TestBanded:
+    def test_band_structure(self):
+        m = banded(40, 40, bandwidth=2, rng=0)
+        for i in range(m.n_rows):
+            cols, _ = m.row(i)
+            assert np.all(np.abs(cols.astype(int) - i) <= 2)
+
+    def test_regular_row_lengths(self):
+        m = banded(60, 60, bandwidth=3, rng=0)
+        prof = row_length_profile(m)
+        assert prof.max_length <= 7
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ShapeError):
+            banded(10, 10, 0)
+
+
+class TestLognormalRows:
+    def test_mean_row_length(self):
+        m = lognormal_rows(3000, 500, mean_row_length=40.0, rng=0)
+        prof = row_length_profile(m)
+        assert prof.mean_nonempty == pytest.approx(40.0, rel=0.2)
+
+    def test_empty_fraction(self):
+        m = lognormal_rows(2000, 200, 20.0, empty_fraction=0.6, rng=1)
+        prof = row_length_profile(m)
+        assert prof.empty_fraction == pytest.approx(0.6, abs=0.05)
+
+    def test_contiguous_runs(self):
+        m = lognormal_rows(100, 300, 25.0, rng=2)
+        for i in range(m.n_rows):
+            cols, _ = m.row(i)
+            if cols.size > 1:
+                assert np.all(np.diff(cols.astype(np.int64)) == 1)
+
+    def test_heavy_tail(self):
+        m = lognormal_rows(5000, 5000, 30.0, sigma=1.3, rng=3)
+        prof = row_length_profile(m)
+        assert prof.max_length > 8 * prof.mean_nonempty
+
+
+class TestDoseLike:
+    def test_table1_signature(self):
+        m = dose_like(20000, 1500, density=0.0073, empty_fraction=0.70, rng=4)
+        prof = row_length_profile(m)
+        assert m.density == pytest.approx(0.0073, rel=0.3)
+        assert prof.empty_fraction == pytest.approx(0.70, abs=0.05)
+
+    def test_kernel_runs_on_synthetic(self, rng):
+        from repro.kernels import HalfDoubleKernel
+
+        m = dose_like(3000, 300, density=0.01, rng=5).astype(np.float16)
+        x = rng.random(m.n_cols)
+        res = HalfDoubleKernel().run(m, x)
+        ref = m.matvec(x)
+        assert np.linalg.norm(res.y - ref) < 1e-6 * max(np.linalg.norm(ref), 1)
+
+
+class TestBEVRendering:
+    @pytest.fixture(scope="class")
+    def rendered(self):
+        from repro.dose import Beam, compute_beam_geometry, generate_spot_map
+        from repro.dose.bev_plot import render_beams_eye_view
+        from repro.plans.cases import _target_centroid, get_case
+
+        case = get_case("Liver 1", "tiny")
+        phantom = case.build_phantom()
+        beam = Beam("Liver 1", case.gantry_deg, _target_centroid(phantom))
+        geometry = compute_beam_geometry(phantom, beam)
+        spot_map = generate_spot_map(
+            phantom, beam, geometry,
+            spot_spacing_mm=case.spot_spacing_mm,
+            layer_spacing_mm=case.layer_spacing_mm,
+        )
+        return phantom, geometry, spot_map, render_beams_eye_view(
+            phantom, geometry, spot_map, layer=0
+        )
+
+    def test_contains_legend_elements(self, rendered):
+        _, _, _, art = rendered
+        assert "o" in art and "#" in art
+        assert ">" in art or "<" in art  # serpentine arrows
+
+    def test_header_mentions_beam(self, rendered):
+        _, _, _, art = rendered
+        assert "Liver 1" in art and "layer 1/" in art
+
+    def test_spot_count_in_header(self, rendered):
+        _, _, spot_map, art = rendered
+        n = spot_map.spots_in_layer(0).size
+        assert f"{n} spots" in art
+
+    def test_invalid_layer(self, rendered):
+        from repro.dose.bev_plot import render_beams_eye_view
+
+        phantom, geometry, spot_map, _ = rendered
+        with pytest.raises(IndexError):
+            render_beams_eye_view(phantom, geometry, spot_map,
+                                  layer=spot_map.n_layers)
+
+    def test_cli_fig1(self, capsys):
+        from repro.cli import main
+
+        assert main(["fig1", "--case", "Liver 1", "--preset", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "Beam's eye view" in out

@@ -1,0 +1,93 @@
+"""Explicit CSR transpose and gradient-kernel routing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels.csr_vector import HalfDoubleKernel
+from tests.conftest import make_random_csr
+
+
+class TestTransposed:
+    def test_dense_agreement(self, heavy_tail_csr):
+        t = heavy_tail_csr.transposed()
+        np.testing.assert_array_equal(
+            t.to_dense(), heavy_tail_csr.to_dense().T
+        )
+
+    def test_shape_swapped(self, heavy_tail_csr):
+        t = heavy_tail_csr.transposed()
+        assert t.shape == (heavy_tail_csr.n_cols, heavy_tail_csr.n_rows)
+        assert t.nnz == heavy_tail_csr.nnz
+
+    def test_sorted_indices(self, heavy_tail_csr):
+        assert heavy_tail_csr.transposed().has_sorted_indices()
+
+    def test_double_transpose_identity(self, small_csr):
+        tt = small_csr.transposed().transposed()
+        np.testing.assert_array_equal(tt.to_dense(), small_csr.to_dense())
+        np.testing.assert_array_equal(tt.indptr, small_csr.indptr)
+
+    def test_matvec_equals_transpose_matvec(self, heavy_tail_csr, rng):
+        y = rng.random(heavy_tail_csr.n_rows)
+        via_explicit = heavy_tail_csr.transposed().matvec(y)
+        via_implicit = heavy_tail_csr.transpose_matvec(y)
+        np.testing.assert_allclose(via_explicit, via_implicit, rtol=1e-10)
+
+    def test_kernel_runs_on_transpose(self, tiny_liver_case, rng):
+        # The gradient product A^T g through the paper's kernel.
+        t = tiny_liver_case.as_half().transposed()
+        g = rng.random(t.n_cols)
+        res = HalfDoubleKernel().run(t, g)
+        ref = tiny_liver_case.matrix.transpose_matvec(g)
+        err = np.linalg.norm(res.y - ref) / max(np.linalg.norm(ref), 1e-300)
+        assert err < 1e-3
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_property_transpose_adjoint(seed):
+    rng = np.random.default_rng(seed)
+    m = make_random_csr(rng, n_rows=25, n_cols=12, value_dtype=np.float64)
+    x = rng.random(m.n_cols)
+    y = rng.random(m.n_rows)
+    lhs = float(m.matvec(x) @ y)
+    rhs = float(x @ m.transposed().matvec(y))
+    assert lhs == pytest.approx(rhs, rel=1e-9, abs=1e-9)
+
+
+class TestGradientModelling:
+    def test_model_gradients_accrues_time(self, tiny_liver_case):
+        from repro.dose.grid import DoseGrid
+        from repro.dose.structures import ROIMask
+        from repro.opt import (
+            CompositeObjective,
+            PlanOptimizationProblem,
+            UniformDoseObjective,
+        )
+        from repro.plans.cases import get_case
+
+        dep = tiny_liver_case
+        case = get_case("Liver 1", "tiny")
+        grid = DoseGrid(case.phantom_shape, case.phantom_spacing)
+        dose0 = dep.dose(np.ones(dep.n_spots))
+        flat = np.zeros(dep.n_voxels, dtype=bool)
+        flat[np.argsort(dose0)[-100:]] = True
+        nx, ny, nz = grid.shape
+        target = ROIMask("t", grid, flat.reshape(nz, ny, nx))
+        objective = CompositeObjective([UniformDoseObjective(target, 60.0)])
+
+        fwd_only = PlanOptimizationProblem(
+            [dep], objective, kernel=HalfDoubleKernel()
+        )
+        both = PlanOptimizationProblem(
+            [dep], objective, kernel=HalfDoubleKernel(), model_gradients=True
+        )
+        w = np.ones(dep.n_spots)
+        fwd_only.value_and_gradient(w)
+        both.value_and_gradient(w)
+        assert (
+            both.accounting.modelled_spmv_seconds
+            > fwd_only.accounting.modelled_spmv_seconds
+        )

@@ -1,0 +1,73 @@
+"""Table rendering."""
+
+import pytest
+
+from repro.util.tables import Table, render_table
+
+
+class TestTable:
+    def test_add_row_and_render(self):
+        t = Table(["a", "b"])
+        t.add_row(["x", 1.5])
+        out = t.render()
+        assert "a" in out and "x" in out and "1.5" in out
+
+    def test_row_length_mismatch_raises(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(["only-one"])
+
+    def test_add_rows(self):
+        t = Table(["a"])
+        t.add_rows([[1], [2], [3]])
+        assert len(t.rows) == 3
+
+    def test_column_access(self):
+        t = Table(["a", "b"])
+        t.add_rows([[1, 2], [3, 4]])
+        assert t.column("b") == [2, 4]
+
+    def test_column_missing_raises(self):
+        t = Table(["a"])
+        with pytest.raises(KeyError):
+            t.column("zzz")
+
+    def test_title_rendered(self):
+        t = Table(["a"], title="My Title")
+        t.add_row([1])
+        assert t.render().startswith("My Title")
+
+    def test_markdown_pipes(self):
+        t = Table(["col"])
+        t.add_row(["v"])
+        md = t.to_markdown()
+        assert md.count("|") >= 4
+        assert "---" in md
+
+    def test_str_is_render(self):
+        t = Table(["a"])
+        t.add_row([1])
+        assert str(t) == t.render()
+
+
+class TestCellFormatting:
+    def test_none_is_dash(self):
+        out = render_table(["a"], [[None]])
+        assert "-" in out.splitlines()[-1]
+
+    def test_large_float_scientific(self):
+        out = render_table(["a"], [[2.97e6]])
+        assert "e+06" in out
+
+    def test_small_float_plain(self):
+        out = render_table(["a"], [[0.73]])
+        assert "0.73" in out
+
+    def test_zero(self):
+        out = render_table(["a"], [[0.0]])
+        assert out.splitlines()[-1].strip() == "0"
+
+    def test_alignment_consistent_width(self):
+        out = render_table(["col"], [["short"], ["a-much-longer-cell"]])
+        lines = out.splitlines()
+        assert len(lines[-1]) == len(lines[-2])

@@ -1,0 +1,96 @@
+"""Units and formatting helpers."""
+
+import math
+
+import pytest
+
+from repro.util.units import (
+    GB,
+    GIB,
+    bytes_to_gb,
+    bytes_to_gib,
+    format_bandwidth,
+    format_bytes,
+    format_flops,
+    format_si,
+    format_time,
+)
+
+
+class TestConstants:
+    def test_gb_is_decimal(self):
+        assert GB == 10**9
+
+    def test_gib_is_binary(self):
+        assert GIB == 2**30
+
+    def test_gib_larger_than_gb(self):
+        assert GIB > GB
+
+
+class TestConversions:
+    def test_bytes_to_gb_liver1_size(self):
+        # Table I: liver beam 1 at 6 bytes/nnz is 8.88 GB.
+        assert bytes_to_gb(1.48e9 * 6) == pytest.approx(8.88)
+
+    def test_bytes_to_gib(self):
+        assert bytes_to_gib(2**31) == pytest.approx(2.0)
+
+    def test_zero(self):
+        assert bytes_to_gb(0) == 0.0
+
+
+class TestFormatSi:
+    def test_giga(self):
+        assert format_si(1.48e9) == "1.48G"
+
+    def test_zero(self):
+        assert format_si(0, "B") == "0B"
+
+    def test_negative(self):
+        assert format_si(-2e6).startswith("-2")
+
+    def test_small(self):
+        assert "m" in format_si(5e-3)
+
+
+class TestFormatRates:
+    def test_bandwidth_gbs(self):
+        assert format_bandwidth(897e9) == "897 GB/s"
+
+    def test_bandwidth_tbs(self):
+        assert format_bandwidth(1555e9) == "1.555 TB/s"
+
+    def test_flops_gflops(self):
+        assert format_flops(420e9) == "420 GFLOP/s"
+
+    def test_flops_tflops(self):
+        assert format_flops(9.7e12) == "9.7 TFLOP/s"
+
+
+class TestFormatBytes:
+    def test_gb(self):
+        assert format_bytes(8.88e9) == "8.88 GB"
+
+    def test_small(self):
+        assert format_bytes(12) == "12 B"
+
+
+class TestFormatTime:
+    def test_seconds(self):
+        assert format_time(2.0) == "2 s"
+
+    def test_milliseconds(self):
+        assert format_time(6.7e-3) == "6.7 ms"
+
+    def test_microseconds(self):
+        assert format_time(5e-6) == "5 us"
+
+    def test_nanoseconds(self):
+        assert format_time(3e-9) == "3 ns"
+
+    def test_nan_passthrough(self):
+        assert format_time(float("nan")) == "nan"
+
+    def test_inf_passthrough(self):
+        assert format_time(math.inf) == "inf"

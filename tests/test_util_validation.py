@@ -1,0 +1,96 @@
+"""Argument validators and the exception hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro.util.errors import (
+    ConvergenceError,
+    DTypeError,
+    FormatError,
+    LaunchConfigError,
+    ReproError,
+    ShapeError,
+)
+from repro.util.validation import (
+    check_1d,
+    check_dtype,
+    check_index_range,
+    check_nonnegative,
+    check_positive,
+    check_shape_match,
+)
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "exc", [ShapeError, DTypeError, FormatError, LaunchConfigError,
+                ConvergenceError]
+    )
+    def test_derives_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_shape_error_is_value_error(self):
+        assert issubclass(ShapeError, ValueError)
+
+    def test_dtype_error_is_type_error(self):
+        assert issubclass(DTypeError, TypeError)
+
+
+class TestCheck1D:
+    def test_passes_1d(self):
+        arr = np.arange(3)
+        assert check_1d(arr, "x") is not None
+
+    def test_rejects_2d(self):
+        with pytest.raises(ShapeError, match="x must be 1-D"):
+            check_1d(np.zeros((2, 2)), "x")
+
+
+class TestCheckDtype:
+    def test_accepts_listed(self):
+        check_dtype(np.zeros(2, np.float32), [np.float32, np.float64], "v")
+
+    def test_rejects_unlisted(self):
+        with pytest.raises(DTypeError, match="v has dtype"):
+            check_dtype(np.zeros(2, np.int8), [np.float32], "v")
+
+
+class TestCheckShapeMatch:
+    def test_match(self):
+        check_shape_match((2, 3), (2, 3), "m")
+
+    def test_mismatch(self):
+        with pytest.raises(ShapeError):
+            check_shape_match((2, 3), (3, 2), "m")
+
+
+class TestScalarChecks:
+    def test_positive_ok(self):
+        assert check_positive(2, "p") == 2.0
+
+    def test_positive_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_positive(0, "p")
+
+    def test_nonnegative_ok_zero(self):
+        assert check_nonnegative(0, "n") == 0.0
+
+    def test_nonnegative_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_nonnegative(-1, "n")
+
+
+class TestCheckIndexRange:
+    def test_in_range(self):
+        check_index_range(np.array([0, 4]), 5, "idx")
+
+    def test_too_large(self):
+        with pytest.raises(ShapeError):
+            check_index_range(np.array([5]), 5, "idx")
+
+    def test_negative(self):
+        with pytest.raises(ShapeError):
+            check_index_range(np.array([-1]), 5, "idx")
+
+    def test_empty_ok(self):
+        check_index_range(np.array([], dtype=np.int64), 0, "idx")
