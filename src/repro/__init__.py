@@ -17,7 +17,9 @@ The package implements the paper's full stack on a simulated-GPU substrate:
 * :mod:`repro.plans` — the six Table I cases at configurable scale;
 * :mod:`repro.opt` — the spot-weight plan optimization that motivates it all;
 * :mod:`repro.roofline` — roofline analysis and the paper's traffic model;
-* :mod:`repro.bench` — the harness regenerating every table and figure.
+* :mod:`repro.bench` — the harness regenerating every table and figure;
+* :mod:`repro.obs` — observability: span tracing, metrics, Chrome-trace
+  export, run provenance, structured logging.
 
 Quickstart::
 

@@ -8,12 +8,16 @@ qualitative claims (who wins, by what factor, where the crossovers are).
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.bench.harness import ExperimentRow, run_spmv_experiment
+from repro.obs import metrics
+from repro.obs.logging import get_logger, kv
+from repro.obs.trace import span as trace_span
 from repro.gpu.device import A100, GPU_DEVICES, DeviceSpec
 from repro.plans.cases import PAPER_TABLE1, build_case_matrix, case_names
 from repro.precision.types import HALF_DOUBLE, SINGLE
@@ -374,13 +378,37 @@ def exp_fig7(preset: str = "bench") -> ExperimentReport:
     return ExperimentReport("Figure 7", table, rows=rows, claims=claims)
 
 
-#: All experiments keyed by CLI name.
+_log = get_logger(__name__)
+
+
+def _observed_experiment(name, fn):
+    """Wrap an ``exp_*`` entry point in a per-figure phase span."""
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        with trace_span(f"experiment.{name}", figure=name) as sp:
+            _log.info(kv("experiment start", figure=name))
+            report = fn(*args, **kwargs)
+            metrics.counter("experiment.runs").inc()
+            metrics.counter("experiment.rows_produced").inc(len(report.rows))
+            sp.set_attrs(rows=len(report.rows), claims=len(report.claims))
+            _log.info(kv("experiment done", figure=name,
+                         rows=len(report.rows)))
+            return report
+
+    return wrapper
+
+
+#: All experiments keyed by CLI name (each wrapped in a phase span).
 ALL_EXPERIMENTS = {
-    "table1": exp_table1,
-    "fig2": exp_fig2,
-    "fig3": exp_fig3,
-    "fig4": exp_fig4,
-    "fig5": exp_fig5,
-    "fig6": exp_fig6,
-    "fig7": exp_fig7,
+    name: _observed_experiment(name, fn)
+    for name, fn in {
+        "table1": exp_table1,
+        "fig2": exp_fig2,
+        "fig3": exp_fig3,
+        "fig4": exp_fig4,
+        "fig5": exp_fig5,
+        "fig6": exp_fig6,
+        "fig7": exp_fig7,
+    }.items()
 }

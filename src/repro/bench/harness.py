@@ -20,8 +20,10 @@ table.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Generic, Optional, Tuple, TypeVar
 
 import numpy as np
 
@@ -35,6 +37,9 @@ from repro.gpu.timing import (
 )
 from repro.kernels.base import KernelResult
 from repro.kernels.dispatch import make_kernel
+from repro.obs import metrics
+from repro.obs.logging import get_logger, kv
+from repro.obs.trace import span as trace_span
 from repro.plans.cases import build_case_matrix, scale_factors
 from repro.sparse.convert import csr_to_ellpack, csr_to_rscf, csr_to_sellcs
 from repro.sparse.csr import CSRMatrix
@@ -73,11 +78,73 @@ class ExperimentRow:
             f"{100 * self.bandwidth_fraction:.0f}%",
             self.operational_intensity,
             self.limiter,
+            f"{self.relative_error:.1e}",
+            "yes" if self.reproducible else "NO",
         ]
 
 
-_RSCF_CACHE: Dict[Tuple[str, str], RSCFMatrix] = {}
-_HALF_CACHE: Dict[Tuple[str, str, str], CSRMatrix] = {}
+_K = TypeVar("_K")
+_V = TypeVar("_V")
+
+_log = get_logger(__name__)
+
+
+class _LRUCache(Generic[_K, _V]):
+    """Size-capped LRU cache reporting hit/miss/eviction metrics.
+
+    The previous module-level dicts grew without bound: a sweep over
+    every (case, preset, kernel) combination holds every derived matrix
+    alive for the life of the process.  The cap keeps the working set of
+    a figure regeneration resident while letting cross-figure leftovers
+    age out.
+    """
+
+    def __init__(self, name: str, capacity: int):
+        if capacity <= 0:
+            raise ValueError(f"cache capacity must be positive, got {capacity}")
+        self.name = name
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._data: "OrderedDict[_K, _V]" = OrderedDict()
+
+    def get(self, key: _K) -> Optional[_V]:
+        with self._lock:
+            try:
+                value = self._data[key]
+            except KeyError:
+                metrics.counter(f"harness.{self.name}.miss").inc()
+                return None
+            self._data.move_to_end(key)
+            metrics.counter(f"harness.{self.name}.hit").inc()
+            return value
+
+    def put(self, key: _K, value: _V) -> None:
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.capacity:
+                evicted_key, _ = self._data.popitem(last=False)
+                metrics.counter(f"harness.{self.name}.evictions").inc()
+                _log.debug(kv("cache eviction", cache=self.name,
+                              key=str(evicted_key)))
+            metrics.gauge(f"harness.{self.name}.size").set(len(self._data))
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+            metrics.gauge(f"harness.{self.name}.size").set(0)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+
+#: 6 cases x 3 presets fit; RSCF conversions are the largest objects.
+_RSCF_CACHE: _LRUCache[Tuple[str, str], RSCFMatrix] = _LRUCache("rscf_cache", 18)
+#: One figure sweep touches <= 6 cases x ~4 kernels at one preset.
+_HALF_CACHE: _LRUCache[Tuple[str, str, str], CSRMatrix] = _LRUCache(
+    "half_cache", 48
+)
 
 
 def clear_caches() -> None:
@@ -90,29 +157,39 @@ def prepare_input_matrix(
     kernel_name: str, case_name: str, preset: str = "bench"
 ):
     """Materialize the storage format/precision a kernel consumes."""
-    dep = build_case_matrix(case_name, preset)
+    with trace_span("harness.matrix_build", case=case_name, preset=preset):
+        dep = build_case_matrix(case_name, preset)
     master = dep.matrix  # float32 CSR
     if kernel_name in ("gpu_baseline", "cpu_raystation"):
         key = (case_name, preset)
-        if key not in _RSCF_CACHE:
-            _RSCF_CACHE[key] = csr_to_rscf(master)
-        return _RSCF_CACHE[key]
+        cached = _RSCF_CACHE.get(key)
+        if cached is None:
+            with trace_span("harness.format_convert", kernel=kernel_name,
+                            case=case_name, format="rscf"):
+                cached = csr_to_rscf(master)
+            _RSCF_CACHE.put(key, cached)
+        return cached
     cache_key = (case_name, preset, kernel_name)
-    if cache_key in _HALF_CACHE:
-        return _HALF_CACHE[cache_key]
-    if kernel_name == "ellpack_half_double":
-        mat = csr_to_ellpack(master.astype(np.float16))
-    elif kernel_name == "sellcs_half_double":
-        mat = csr_to_sellcs(master.astype(np.float16), chunk_size=32, sigma=4096)
-    elif kernel_name in ("half_double",):
-        mat = master.astype(np.float16)
-    elif kernel_name == "half_double_u16":
-        mat = master.astype(np.float16).with_index_dtype(np.uint16)
-    elif kernel_name == "double":
-        mat = master.astype(np.float64)
-    else:  # single, scalar_csr, cusparse, ginkgo
-        mat = master
-    _HALF_CACHE[cache_key] = mat
+    cached = _HALF_CACHE.get(cache_key)
+    if cached is not None:
+        return cached
+    with trace_span("harness.format_convert", kernel=kernel_name,
+                    case=case_name):
+        if kernel_name == "ellpack_half_double":
+            mat = csr_to_ellpack(master.astype(np.float16))
+        elif kernel_name == "sellcs_half_double":
+            mat = csr_to_sellcs(
+                master.astype(np.float16), chunk_size=32, sigma=4096
+            )
+        elif kernel_name in ("half_double",):
+            mat = master.astype(np.float16)
+        elif kernel_name == "half_double_u16":
+            mat = master.astype(np.float16).with_index_dtype(np.uint16)
+        elif kernel_name == "double":
+            mat = master.astype(np.float64)
+        else:  # single, scalar_csr, cusparse, ginkgo
+            mat = master
+    _HALF_CACHE.put(cache_key, mat)
     return mat
 
 
@@ -166,6 +243,23 @@ def run_spmv_experiment(
     rng=None,
 ) -> ExperimentRow:
     """Measure one (kernel, case, device, block-size) point."""
+    with trace_span(
+        "harness.experiment",
+        kernel=kernel_name,
+        case=case_name,
+        device=device.name,
+        preset=preset,
+    ) as sp:
+        return _run_spmv_experiment(
+            kernel_name, case_name, device, preset, threads_per_block,
+            at_paper_scale, rng, sp,
+        )
+
+
+def _run_spmv_experiment(
+    kernel_name, case_name, device, preset, threads_per_block,
+    at_paper_scale, rng, sp,
+) -> ExperimentRow:
     kernel = make_kernel(kernel_name)
     if kernel_name == "cpu_raystation":
         device = CPU_I9_7940X
@@ -173,23 +267,36 @@ def run_spmv_experiment(
     dep = build_case_matrix(case_name, preset)
     x = case_weights(case_name, matrix.n_cols)
     result = kernel.run(matrix, x, device=device, threads_per_block=threads_per_block, rng=rng)
-    y_ref = dep.matrix.matvec(x)
-    err = relative_error(result.y, y_ref)
+    with trace_span("harness.validate", kernel=kernel_name, case=case_name):
+        y_ref = dep.matrix.matvec(x)
+        err = relative_error(result.y, y_ref)
+    metrics.counter("harness.validations").inc()
+    if err > 1e-2:
+        metrics.counter("harness.validation_errors").inc()
+        _log.warning(kv("large validation error", kernel=kernel_name,
+                        case=case_name, relative_error=err))
 
     # Re-estimate at paper scale; traits must use the paper-scale profile
     # for profile-dependent kernels (cuSPARSE's long-row bonus).
     if at_paper_scale:
-        if result.profile is not None:
-            fn, fr, _ = scale_factors(case_name, dep.matrix)
-            profile_scaled = WorkloadProfile(
-                avg_row_len=result.profile.avg_row_len * fn / fr,
-                rowlen_cv=result.profile.rowlen_cv,
-            )
-            result = _with_traits(result, kernel.traits_for(profile_scaled))
-        timing = paper_scale_timing(result, case_name, dep.matrix, device)
+        with trace_span("harness.extrapolate", kernel=kernel_name,
+                        case=case_name):
+            if result.profile is not None:
+                fn, fr, _ = scale_factors(case_name, dep.matrix)
+                profile_scaled = WorkloadProfile(
+                    avg_row_len=result.profile.avg_row_len * fn / fr,
+                    rowlen_cv=result.profile.rowlen_cv,
+                )
+                result = _with_traits(result, kernel.traits_for(profile_scaled))
+            timing = paper_scale_timing(result, case_name, dep.matrix, device)
     else:
         timing = result.timing
 
+    sp.set_attrs(
+        gflops=round(timing.gflops, 3),
+        time_s=timing.time_s,
+        relative_error=err,
+    )
     return ExperimentRow(
         case=case_name,
         kernel=kernel_name,

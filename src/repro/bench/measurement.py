@@ -20,6 +20,8 @@ from typing import Optional
 import numpy as np
 
 from repro.gpu.timing import TimingEstimate
+from repro.obs import metrics
+from repro.obs.trace import span as trace_span
 from repro.util.rng import RngLike, make_rng
 
 #: Relative run-to-run sigma of memory-bound execution time.
@@ -71,15 +73,22 @@ def repeat_measurement(
     """
     if n_runs < 2:
         raise ValueError(f"need at least 2 runs, got {n_runs}")
-    rng = make_rng(rng)
-    if atomics_bound is None:
-        atomics_bound = timing.limiter == "atomics"
-    sigma = MEMORY_JITTER_SIGMA + (ATOMICS_JITTER_SIGMA if atomics_bound else 0.0)
-    samples = timing.time_s * rng.lognormal(0.0, sigma, size=n_runs)
-    return MeasurementStats(
-        n_runs=n_runs,
-        mean_s=float(samples.mean()),
-        std_s=float(samples.std()),
-        min_s=float(samples.min()),
-        max_s=float(samples.max()),
-    )
+    with trace_span("measurement.repeat", n_runs=n_runs,
+                    limiter=timing.limiter) as sp:
+        rng = make_rng(rng)
+        if atomics_bound is None:
+            atomics_bound = timing.limiter == "atomics"
+        sigma = MEMORY_JITTER_SIGMA + (
+            ATOMICS_JITTER_SIGMA if atomics_bound else 0.0
+        )
+        samples = timing.time_s * rng.lognormal(0.0, sigma, size=n_runs)
+        metrics.counter("measurement.samples").inc(n_runs)
+        stats = MeasurementStats(
+            n_runs=n_runs,
+            mean_s=float(samples.mean()),
+            std_s=float(samples.std()),
+            min_s=float(samples.min()),
+            max_s=float(samples.max()),
+        )
+        sp.set_attrs(mean_s=stats.mean_s, relative_std=stats.relative_std)
+        return stats

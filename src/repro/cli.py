@@ -7,15 +7,25 @@ Usage::
     repro-rtdose fig2 ... fig7         # one figure
     repro-rtdose all                   # everything, with paper-band checks
     repro-rtdose spmv --kernel half_double --case "Liver 1" --device a100
-    repro-rtdose all --csv results/    # also dump raw rows as CSV
+    repro-rtdose all --csv results/    # also dump raw rows + manifest.json
+    repro-rtdose fig5 --trace t.json   # Chrome-trace spans (Perfetto)
+    repro-rtdose trace fig4            # run under tracing, print span report
 
 (or ``python -m repro.cli ...``).
+
+Observability flags (every subcommand):
+
+``--trace PATH``   record spans, write Chrome-trace JSON to PATH, print a
+                   span summary and the metrics table afterwards;
+``--metrics``      print the metrics registry summary after the command;
+``-v`` / ``-vv``   INFO / DEBUG logging; ``-q`` errors only.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 from typing import List, Optional
 
@@ -24,8 +34,20 @@ from repro.bench.harness import run_spmv_experiment
 from repro.bench.recording import check_claims, rows_to_csv
 from repro.gpu.device import get_device, list_devices
 from repro.kernels.dispatch import kernel_names
+from repro.obs.export import span_summary_table, write_chrome_trace, write_jsonl
+from repro.obs.logging import get_logger, kv, setup_logging
+from repro.obs.metrics import get_registry
+from repro.obs.provenance import collect_manifest, write_manifest
+from repro.obs.trace import (
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    set_tracer,
+)
 from repro.plans.cases import PAPER_TABLE1, case_names
 from repro.util.tables import Table
+
+_log = get_logger(__name__)
 
 
 def _cmd_info(_: argparse.Namespace) -> int:
@@ -60,8 +82,15 @@ def _cmd_info(_: argparse.Namespace) -> int:
     return 0
 
 
-def _run_experiment(name: str, csv_dir: Optional[Path], chart: bool = False) -> bool:
-    report = ALL_EXPERIMENTS[name]()
+def _run_experiment(
+    name: str,
+    csv_dir: Optional[Path],
+    chart: bool = False,
+    preset: Optional[str] = None,
+):
+    """Run one experiment; returns (all claims in band, report)."""
+    fn = ALL_EXPERIMENTS[name]
+    report = fn(preset=preset) if preset else fn()
     print(report.render())
     if chart and report.rows:
         from repro.bench.figures import grouped_bar_chart
@@ -97,15 +126,32 @@ def _run_experiment(name: str, csv_dir: Optional[Path], chart: bool = False) -> 
         path.write_text(rows_to_csv(report))
         print(f"\nraw rows written to {path}")
     print()
-    return ok
+    return ok, report
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     csv_dir = Path(args.csv) if args.csv else None
     names = list(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     all_ok = True
+    all_rows = []
+    phases = {}
     for name in names:
-        all_ok = _run_experiment(name, csv_dir, chart=args.chart) and all_ok
+        t0 = time.perf_counter()
+        ok, report = _run_experiment(
+            name, csv_dir, chart=args.chart, preset=args.preset
+        )
+        phases[name] = round(time.perf_counter() - t0, 6)
+        all_ok = ok and all_ok
+        all_rows.extend(report.rows)
+    if csv_dir is not None:
+        manifest = collect_manifest(
+            experiments=names,
+            rows=all_rows,
+            phases=phases,
+            preset=args.preset or "per-experiment default",
+        )
+        path = write_manifest(manifest, csv_dir)
+        print(f"run manifest written to {path}")
     if not all_ok:
         print("SOME CLAIMS OUT OF PAPER BANDS", file=sys.stderr)
         return 1
@@ -124,14 +170,12 @@ def _cmd_spmv(args: argparse.Namespace) -> int:
     )
     table = Table(
         ["case", "kernel", "device", "tpb", "time", "GFLOP/s", "BW GB/s",
-         "BW frac", "OI", "limiter"],
+         "BW frac", "OI", "limiter", "rel err", "bitwise"],
         title="SpMV experiment" + (" (bench scale)" if args.bench_scale else
                                    " (paper scale)"),
     )
     table.add_row(row.as_list())
     print(table.render())
-    print(f"relative error vs reference: {row.relative_error:.2e}")
-    print(f"bitwise reproducible: {row.reproducible}")
     return 0
 
 
@@ -170,25 +214,80 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """``repro-rtdose trace <subcmd> ...``: run under tracing + report."""
+    rest = [a for a in args.rest if a != "--"]
+    if not rest or rest[0] == "trace":
+        print("usage: repro-rtdose trace [--out PATH] <subcommand> ...",
+              file=sys.stderr)
+        return 2
+    sub_args = build_parser().parse_args(rest)
+    previous = get_tracer()
+    tracer = enable_tracing()
+    try:
+        rc = sub_args.func(sub_args)
+    finally:
+        set_tracer(previous)
+    print(span_summary_table(tracer).render())
+    print()
+    print(get_registry().render_table())
+    if args.out:
+        path = write_chrome_trace(tracer, args.out)
+        print(f"\nChrome trace written to {path} "
+              "(load in https://ui.perfetto.dev)")
+    return rc
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-rtdose",
         description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
+    # Observability flags shared by every subcommand.
+    obs_flags = argparse.ArgumentParser(add_help=False)
+    obs_flags.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="record spans and write Chrome-trace JSON (Perfetto-loadable)",
+    )
+    obs_flags.add_argument(
+        "--trace-jsonl", metavar="PATH", default=None,
+        help="also write spans as newline-delimited JSON (implies tracing)",
+    )
+    obs_flags.add_argument(
+        "--metrics", action="store_true",
+        help="print the metrics registry summary after the command",
+    )
+    obs_flags.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="-v: INFO logging, -vv: DEBUG",
+    )
+    obs_flags.add_argument(
+        "-q", "--quiet", action="store_true", help="errors only",
+    )
+
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_info = sub.add_parser("info", help="device catalogue and case inventory")
+    p_info = sub.add_parser(
+        "info", parents=[obs_flags],
+        help="device catalogue and case inventory",
+    )
     p_info.set_defaults(func=_cmd_info)
 
     for name in list(ALL_EXPERIMENTS) + ["all"]:
-        p = sub.add_parser(name, help=f"regenerate {name}")
-        p.add_argument("--csv", help="directory to dump raw rows as CSV")
+        p = sub.add_parser(name, parents=[obs_flags], help=f"regenerate {name}")
+        p.add_argument("--csv",
+                       help="directory for raw-row CSVs + run manifest")
         p.add_argument("--chart", action="store_true",
                        help="render ASCII bar charts of the series")
+        p.add_argument("--preset", default=None,
+                       choices=["tiny", "bench", "structure"],
+                       help="override the experiment's matrix-scale preset")
         p.set_defaults(func=_cmd_experiment, experiment=name)
 
-    p_spmv = sub.add_parser("spmv", help="run a single kernel x case point")
+    p_spmv = sub.add_parser(
+        "spmv", parents=[obs_flags], help="run a single kernel x case point"
+    )
     p_spmv.add_argument("--kernel", default="half_double", choices=kernel_names())
     p_spmv.add_argument("--case", default="Liver 1", choices=case_names())
     p_spmv.add_argument("--device", default="a100")
@@ -202,7 +301,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_spmv.set_defaults(func=_cmd_spmv)
 
     p_fig1 = sub.add_parser(
-        "fig1", help="beam's-eye-view spot-scanning illustration (Figure 1)"
+        "fig1", parents=[obs_flags],
+        help="beam's-eye-view spot-scanning illustration (Figure 1)",
     )
     p_fig1.add_argument("--case", default="Liver 1", choices=case_names())
     p_fig1.add_argument("--preset", default="tiny",
@@ -211,7 +311,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig1.set_defaults(func=_cmd_fig1)
 
     p_prof = sub.add_parser(
-        "profile", help="Nsight-Compute-style report for one kernel run"
+        "profile", parents=[obs_flags],
+        help="Nsight-Compute-style report for one kernel run",
     )
     p_prof.add_argument("--kernel", default="half_double", choices=kernel_names())
     p_prof.add_argument("--case", default="Liver 1", choices=case_names())
@@ -220,13 +321,44 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=["tiny", "bench", "structure"])
     p_prof.add_argument("--threads-per-block", type=int, default=None)
     p_prof.set_defaults(func=_cmd_profile)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run any subcommand under tracing and print a span report",
+    )
+    p_trace.add_argument("--out", metavar="PATH", default=None,
+                         help="also write Chrome-trace JSON here")
+    p_trace.add_argument("rest", nargs=argparse.REMAINDER,
+                         help="subcommand (with its flags) to trace")
+    p_trace.set_defaults(func=_cmd_trace)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    verbosity = -1 if getattr(args, "quiet", False) else getattr(args, "verbose", 0)
+    setup_logging(verbosity)
+    trace_path = getattr(args, "trace", None)
+    jsonl_path = getattr(args, "trace_jsonl", None)
+    tracer = None
+    if trace_path or jsonl_path:
+        tracer = enable_tracing()
+        _log.info(kv("tracing enabled", out=trace_path, jsonl=jsonl_path))
+    rc = args.func(args)
+    if tracer is not None:
+        disable_tracing()
+        print(span_summary_table(tracer).render())
+        if trace_path:
+            path = write_chrome_trace(tracer, trace_path)
+            print(f"\nChrome trace written to {path} "
+                  "(load in https://ui.perfetto.dev)")
+        if jsonl_path:
+            print(f"span JSONL written to {write_jsonl(tracer, jsonl_path)}")
+    if tracer is not None or getattr(args, "metrics", False):
+        print()
+        print(get_registry().render_table())
+    return rc
 
 
 if __name__ == "__main__":

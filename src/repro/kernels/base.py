@@ -9,12 +9,15 @@ device).  ``run`` performs both and returns a :class:`KernelResult`.
 from __future__ import annotations
 
 import abc
+import functools
 from dataclasses import dataclass
 from typing import Optional, Union
 
 import numpy as np
 
 from repro.gpu.counters import PerfCounters
+from repro.obs import metrics
+from repro.obs.trace import span as _trace_span
 from repro.gpu.device import A100, DeviceSpec
 from repro.gpu.launch import LaunchConfig
 from repro.gpu.timing import KernelTraits, TimingEstimate, WorkloadProfile
@@ -64,17 +67,64 @@ class KernelResult:
         return self.counters.operational_intensity
 
 
+def _instrumented_run(run):
+    """Wrap a kernel ``run`` with one span + launch/work metrics.
+
+    The span is a no-op unless tracing is enabled; the three counter
+    increments are always on (they feed the CLI metrics summary and the
+    run manifest).
+    """
+
+    @functools.wraps(run)
+    def wrapper(self, matrix, x, *args, **kwargs):
+        device = kwargs.get("device", args[0] if args else None)
+        with _trace_span(
+            "kernel.run",
+            kernel=self.name,
+            device=getattr(device, "name", None),
+            rows=getattr(matrix, "n_rows", None),
+            nnz=getattr(matrix, "nnz", None),
+        ) as sp:
+            result = run(self, matrix, x, *args, **kwargs)
+            metrics.counter("kernel.launches").inc()
+            metrics.counter("kernel.flops_modeled").inc(result.counters.flops)
+            metrics.counter("kernel.bytes_modeled").inc(
+                result.counters.dram_bytes
+            )
+            metrics.histogram("kernel.modeled_time_s").observe(
+                result.timing.time_s
+            )
+            sp.set_attrs(
+                device=result.device.name,
+                gflops=round(result.timing.gflops, 3),
+                modeled_time_s=result.timing.time_s,
+                limiter=result.timing.limiter,
+            )
+            return result
+
+    wrapper._obs_instrumented = True
+    return wrapper
+
+
 class SpMVKernel(abc.ABC):
     """Abstract SpMV kernel.
 
     Subclasses set :attr:`name`, declare whether their result is bitwise
-    reproducible across runs, and implement :meth:`run`.
+    reproducible across runs, and implement :meth:`run`.  Every concrete
+    ``run`` is transparently instrumented (one ``kernel.run`` span plus
+    launch/flops/bytes counters) via :meth:`__init_subclass__`.
     """
 
     #: registry name; subclasses override.
     name: str = "abstract"
     #: True if repeated runs on the same input are bit-identical.
     reproducible: bool = True
+
+    def __init_subclass__(cls, **kwargs):
+        super().__init_subclass__(**kwargs)
+        run = cls.__dict__.get("run")
+        if run is not None and not getattr(run, "_obs_instrumented", False):
+            cls.run = _instrumented_run(run)
 
     @abc.abstractmethod
     def run(

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List
 
 from repro.kernels.base import SpMVKernel
+from repro.obs import metrics
 from repro.kernels.baseline import GPUBaselineKernel
 from repro.kernels.cpu_raystation import CPURayStationKernel
 from repro.kernels.csr_scalar import ScalarCSRKernel
@@ -47,9 +48,11 @@ def make_kernel(name: str) -> SpMVKernel:
     try:
         factory = _FACTORIES[name]
     except KeyError:
+        metrics.counter("kernel.lookup_errors").inc()
         raise ReproError(
             f"unknown kernel {name!r}; available: {sorted(_FACTORIES)}"
         ) from None
+    metrics.counter(f"kernel.instantiated.{name}").inc()
     return factory()
 
 

@@ -1,0 +1,90 @@
+"""repro.obs — observability: span tracing, metrics, provenance, logging.
+
+The paper's evaluation *is* observability (Nsight counters, 10000-run
+timing statistics, roofline placement); this package gives the
+reproduction the same auditability:
+
+* :mod:`repro.obs.trace` — zero-dependency nested span tracer,
+  no-op by default;
+* :mod:`repro.obs.metrics` — process-wide counters/gauges/histograms;
+* :mod:`repro.obs.export` — Chrome-trace JSON (Perfetto-loadable),
+  JSONL span logs, span summary tables;
+* :mod:`repro.obs.provenance` — run manifests written next to CSV output;
+* :mod:`repro.obs.logging` — structured logging with the CLI's
+  ``-v``/``-q`` story.
+"""
+
+from repro.obs.export import (
+    chrome_trace_events,
+    span_summary_table,
+    spans_to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.logging import get_logger, kv, setup_logging
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    gauge,
+    get_registry,
+    histogram,
+)
+from repro.obs.provenance import (
+    RunManifest,
+    collect_manifest,
+    read_manifest,
+    write_manifest,
+)
+from repro.obs.trace import (
+    NullTracer,
+    RecordingTracer,
+    Span,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    set_tracer,
+    span,
+    traced,
+    tracing_enabled,
+)
+
+__all__ = [
+    # trace
+    "Span",
+    "NullTracer",
+    "RecordingTracer",
+    "span",
+    "traced",
+    "get_tracer",
+    "set_tracer",
+    "enable_tracing",
+    "disable_tracing",
+    "tracing_enabled",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "counter",
+    "gauge",
+    "histogram",
+    "get_registry",
+    # export
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "spans_to_jsonl",
+    "write_jsonl",
+    "span_summary_table",
+    # provenance
+    "RunManifest",
+    "collect_manifest",
+    "write_manifest",
+    "read_manifest",
+    # logging
+    "setup_logging",
+    "get_logger",
+    "kv",
+]

@@ -1,0 +1,136 @@
+"""Trace/metrics exporters: Chrome-trace JSON, JSONL, summary tables.
+
+Chrome trace event format reference (the subset we emit):
+each span becomes one *complete* event (``"ph": "X"``) with microsecond
+``ts``/``dur`` relative to the tracer's start; load the file in Perfetto
+(https://ui.perfetto.dev) or ``chrome://tracing``.  Span attributes ride
+along in ``args`` so every kernel/case/device point is inspectable in
+the viewer.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from repro.obs.trace import RecordingTracer, Span
+from repro.util.tables import Table
+
+__all__ = [
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "spans_to_jsonl",
+    "write_jsonl",
+    "span_summary_table",
+]
+
+
+def _json_safe(value: Any) -> Any:
+    """Coerce an attribute value to something JSON-serializable."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return str(value)
+
+
+def chrome_trace_events(tracer: RecordingTracer) -> Dict[str, Any]:
+    """The tracer's spans as a Chrome-trace-event JSON object."""
+    events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "args": {"name": "repro-rtdose"},
+        }
+    ]
+    for s in tracer.finished_spans():
+        events.append(
+            {
+                "name": s.name,
+                "cat": s.name.split(".", 1)[0],
+                "ph": "X",
+                "pid": 1,
+                "tid": s.thread_id,
+                "ts": (s.start_ns - tracer.origin_ns) / 1e3,
+                "dur": s.duration_ns / 1e3,
+                "args": {k: _json_safe(v) for k, v in s.attrs.items()},
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(tracer: RecordingTracer, path: Union[str, Path]) -> Path:
+    """Write the Chrome-trace JSON to ``path`` and return it."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(chrome_trace_events(tracer), indent=1))
+    return path
+
+
+def _span_record(tracer: RecordingTracer, s: Span) -> Dict[str, Any]:
+    return {
+        "name": s.name,
+        "span_id": s.span_id,
+        "parent_id": s.parent_id,
+        "thread_id": s.thread_id,
+        "depth": s.depth,
+        "start_us": (s.start_ns - tracer.origin_ns) / 1e3,
+        "duration_us": s.duration_ns / 1e3,
+        "attrs": {k: _json_safe(v) for k, v in s.attrs.items()},
+    }
+
+
+def spans_to_jsonl(tracer: RecordingTracer) -> str:
+    """One JSON object per finished span, newline-delimited."""
+    return "\n".join(
+        json.dumps(_span_record(tracer, s)) for s in tracer.finished_spans()
+    )
+
+
+def write_jsonl(tracer: RecordingTracer, path: Union[str, Path]) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    text = spans_to_jsonl(tracer)
+    path.write_text(text + ("\n" if text else ""))
+    return path
+
+
+def span_summary_table(tracer: RecordingTracer) -> Table:
+    """Aggregate spans by name: count, total/self/mean/max time.
+
+    *Self* time subtracts direct children, so a parent that only
+    orchestrates shows near-zero self time — the profiler's way of
+    pointing at leaves.
+    """
+    spans = tracer.finished_spans()
+    child_total_ns: Dict[int, int] = {}
+    for s in spans:
+        if s.parent_id is not None:
+            child_total_ns[s.parent_id] = (
+                child_total_ns.get(s.parent_id, 0) + s.duration_ns
+            )
+    agg: Dict[str, Dict[str, float]] = {}
+    for s in spans:
+        a = agg.setdefault(
+            s.name, {"count": 0, "total_ns": 0, "self_ns": 0, "max_ns": 0}
+        )
+        a["count"] += 1
+        a["total_ns"] += s.duration_ns
+        a["self_ns"] += s.duration_ns - child_total_ns.get(s.span_id, 0)
+        a["max_ns"] = max(a["max_ns"], s.duration_ns)
+    table = Table(
+        ["span", "count", "total (ms)", "self (ms)", "mean (ms)", "max (ms)"],
+        title="Span summary",
+    )
+    for name, a in sorted(agg.items(), key=lambda kv: -kv[1]["total_ns"]):
+        table.add_row(
+            [
+                name,
+                int(a["count"]),
+                a["total_ns"] / 1e6,
+                a["self_ns"] / 1e6,
+                a["total_ns"] / 1e6 / a["count"],
+                a["max_ns"] / 1e6,
+            ]
+        )
+    return table

@@ -1,0 +1,83 @@
+"""Structured logging setup for the ``repro`` package.
+
+Every module logs through ``get_logger(__name__)``; nothing is emitted
+until :func:`setup_logging` installs a handler, so library users who
+never touch the CLI keep silent imports.  The CLI maps ``-v/-vv`` and
+``-q`` onto verbosity levels:
+
+========  =========  ====================================
+flag      verbosity  level
+========  =========  ====================================
+``-q``    -1         ERROR only
+(none)    0          WARNING (library default)
+``-v``    1          INFO — phase starts, cache behaviour
+``-vv``   2          DEBUG — per-point detail
+========  =========  ====================================
+
+Log lines are structured ``key=value`` appended by :func:`kv` so they
+stay grep-able alongside the span/metrics exports.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Any, Optional
+
+__all__ = ["setup_logging", "get_logger", "kv", "verbosity_to_level"]
+
+ROOT_LOGGER = "repro"
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s :: %(message)s"
+_DATEFMT = "%H:%M:%S"
+
+
+def verbosity_to_level(verbosity: int) -> int:
+    """Map a CLI verbosity count to a ``logging`` level."""
+    if verbosity <= -1:
+        return logging.ERROR
+    if verbosity == 0:
+        return logging.WARNING
+    if verbosity == 1:
+        return logging.INFO
+    return logging.DEBUG
+
+
+def setup_logging(verbosity: int = 0, stream: Any = None) -> logging.Logger:
+    """Configure the ``repro`` logger tree; idempotent.
+
+    Returns the root ``repro`` logger.  Re-invoking replaces the handler
+    (so tests can redirect the stream) rather than stacking duplicates.
+    """
+    root = logging.getLogger(ROOT_LOGGER)
+    root.setLevel(verbosity_to_level(verbosity))
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(logging.Formatter(_FORMAT, datefmt=_DATEFMT))
+    for old in [h for h in root.handlers if getattr(h, "_repro_handler", False)]:
+        root.removeHandler(old)
+    handler._repro_handler = True  # type: ignore[attr-defined]
+    root.addHandler(handler)
+    root.propagate = False
+    return root
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """A logger under the ``repro`` tree (``repro.bench.harness`` etc.)."""
+    if not name:
+        return logging.getLogger(ROOT_LOGGER)
+    if not name.startswith(ROOT_LOGGER):
+        name = f"{ROOT_LOGGER}.{name}"
+    return logging.getLogger(name)
+
+
+def kv(message: str, **fields: Any) -> str:
+    """Append ``key=value`` pairs to a log message, stably ordered.
+
+    >>> kv("cache", hit=True, key="Liver 1")
+    "cache hit=True key='Liver 1'"
+    """
+    if not fields:
+        return message
+    tail = " ".join(f"{k}={v!r}" if isinstance(v, str) else f"{k}={v}"
+                    for k, v in fields.items())
+    return f"{message} {tail}"

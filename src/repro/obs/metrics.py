@@ -1,0 +1,236 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+The registry is the numeric complement to :mod:`repro.obs.trace`: spans
+say *where time went*, metrics say *how much work happened* — kernel
+launches, bytes/flops modelled, cache hits and misses, validation
+errors.  Unlike tracing, metrics are always on: an increment is one dict
+lookup and one float add, cheap enough for every hot path.
+
+Naming convention: dotted lowercase paths, ``<layer>.<object>.<event>``
+(``harness.half_cache.hit``, ``kernel.launches``, ``opt.objective_evals``).
+
+Usage::
+
+    from repro.obs import metrics
+
+    metrics.counter("kernel.launches").inc()
+    metrics.histogram("kernel.modeled_time_s").observe(1.3e-3)
+    print(metrics.get_registry().render_table())
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "counter",
+    "gauge",
+    "histogram",
+    "reset",
+]
+
+
+class Counter:
+    """Monotonically increasing count (events, bytes, flops)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease ({amount})")
+        self.value += amount
+
+
+class Gauge:
+    """Last-write-wins instantaneous value (cache size, queue depth)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Streaming distribution: count/sum/min/max plus bounded samples.
+
+    Keeps at most ``max_samples`` observations for percentile queries
+    (systematic thinning: once full, every other sample is kept), so
+    memory stays bounded on 10000-run sweeps while count/sum/min/max
+    remain exact.
+    """
+
+    __slots__ = ("name", "count", "sum", "min", "max", "_samples", "_keep_every",
+                 "_skip", "max_samples")
+
+    def __init__(self, name: str, max_samples: int = 2048):
+        self.name = name
+        self.max_samples = max_samples
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._samples: List[float] = []
+        self._keep_every = 1
+        self._skip = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        self._skip += 1
+        if self._skip >= self._keep_every:
+            self._skip = 0
+            self._samples.append(value)
+            if len(self._samples) >= self.max_samples:
+                self._samples = self._samples[::2]
+                self._keep_every *= 2
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Approximate ``q``-th percentile (0-100) of the observations."""
+        if not self._samples:
+            return 0.0
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        ordered = sorted(self._samples)
+        idx = min(len(ordered) - 1, int(round(q / 100.0 * (len(ordered) - 1))))
+        return ordered[idx]
+
+
+class MetricsRegistry:
+    """Get-or-create store of named metrics (thread-safe)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, Any] = {}
+
+    def _get_or_create(self, name: str, cls, **kwargs):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = cls(name, **kwargs)
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(metric).__name__}, requested {cls.__name__}"
+                )
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str, max_samples: int = 2048) -> Histogram:
+        return self._get_or_create(name, Histogram, max_samples=max_samples)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def get(self, name: str):
+        """Look up an existing metric (KeyError if absent)."""
+        with self._lock:
+            return self._metrics[name]
+
+    def reset(self) -> None:
+        """Drop every metric (tests and fresh CLI runs use this)."""
+        with self._lock:
+            self._metrics.clear()
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready view of every metric's current state."""
+        out: Dict[str, Any] = {}
+        with self._lock:
+            items = list(self._metrics.items())
+        for name, m in items:
+            if isinstance(m, Counter):
+                out[name] = {"type": "counter", "value": m.value}
+            elif isinstance(m, Gauge):
+                out[name] = {"type": "gauge", "value": m.value}
+            else:
+                out[name] = {
+                    "type": "histogram",
+                    "count": m.count,
+                    "sum": m.sum,
+                    "min": m.min,
+                    "max": m.max,
+                    "mean": m.mean,
+                    "p50": m.percentile(50),
+                    "p99": m.percentile(99),
+                }
+        return out
+
+    def render_table(self, prefixes: Optional[Sequence[str]] = None) -> str:
+        """Rendered metrics summary (optionally filtered by name prefix)."""
+        from repro.util.tables import Table
+
+        table = Table(
+            ["metric", "type", "value / count", "mean", "min", "max"],
+            title="Metrics summary",
+        )
+        for name, state in sorted(self.snapshot().items()):
+            if prefixes and not any(name.startswith(p) for p in prefixes):
+                continue
+            if state["type"] == "histogram":
+                table.add_row(
+                    [name, "hist", state["count"], state["mean"],
+                     state["min"], state["max"]]
+                )
+            else:
+                table.add_row(
+                    [name, state["type"], state["value"], None, None, None]
+                )
+        return table.render()
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide registry."""
+    return _REGISTRY
+
+
+def counter(name: str) -> Counter:
+    """Shorthand for ``get_registry().counter(name)``."""
+    return _REGISTRY.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    return _REGISTRY.gauge(name)
+
+
+def histogram(name: str) -> Histogram:
+    return _REGISTRY.histogram(name)
+
+
+def reset() -> None:
+    """Reset the process-wide registry."""
+    _REGISTRY.reset()

@@ -1,0 +1,147 @@
+"""Run provenance: a machine-readable manifest of what actually executed.
+
+The paper's methodology section records testbed, software versions and
+repetition counts; our equivalent is a ``manifest.json`` written next to
+the CSV output of every experiment run.  It answers, months later, *which
+code, on which inputs, produced these numbers*: package/Python/NumPy
+versions, the exact command line, the RNG seed policy, the kernel x case
+x device points executed, per-phase wall-clock, and a metrics snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.obs.metrics import get_registry
+from repro.obs.trace import get_tracer
+
+__all__ = ["RunManifest", "collect_manifest", "write_manifest", "read_manifest"]
+
+MANIFEST_SCHEMA = "repro.run-manifest/v1"
+
+
+@dataclass
+class RunManifest:
+    """Everything needed to audit one CLI/harness run."""
+
+    schema: str
+    created_unix: float
+    created_iso: str
+    command: List[str]
+    package_version: str
+    python_version: str
+    platform: str
+    numpy_version: str
+    scipy_version: Optional[str]
+    #: seed derivation policy — all library randomness flows through
+    #: :func:`repro.util.rng.stable_seed` on these namespaces.
+    seed_policy: str
+    experiments: List[str] = field(default_factory=list)
+    cases: List[str] = field(default_factory=list)
+    kernels: List[str] = field(default_factory=list)
+    devices: List[str] = field(default_factory=list)
+    presets: List[str] = field(default_factory=list)
+    #: wall-clock seconds per phase (experiment name -> seconds).
+    phases: Dict[str, float] = field(default_factory=dict)
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), indent=2, sort_keys=False)
+
+
+def _package_version() -> str:
+    try:
+        from repro import __version__
+
+        return __version__
+    except Exception:  # pragma: no cover - broken partial install
+        return "unknown"
+
+
+def _scipy_version() -> Optional[str]:
+    try:
+        import scipy
+
+        return scipy.__version__
+    except Exception:  # pragma: no cover - scipy is a hard dep today
+        return None
+
+
+def collect_manifest(
+    command: Optional[List[str]] = None,
+    experiments: Optional[List[str]] = None,
+    rows: Optional[List[Any]] = None,
+    phases: Optional[Dict[str, float]] = None,
+    **extra: Any,
+) -> RunManifest:
+    """Assemble a manifest from the current process state.
+
+    ``rows`` (ExperimentRow-like: ``.case``/``.kernel``/``.device``)
+    populate the executed-point inventory; ``phases`` defaults to the
+    active tracer's top-level span totals.
+    """
+    import numpy as np
+
+    now = time.time()
+    tracer = get_tracer()
+    if phases is None and tracer.enabled:
+        phases = {
+            s.name: round(s.duration_s, 6)
+            for s in tracer.finished_spans()
+            if s.depth == 0
+        }
+    rows = rows or []
+    manifest = RunManifest(
+        schema=MANIFEST_SCHEMA,
+        created_unix=now,
+        created_iso=time.strftime("%Y-%m-%dT%H:%M:%S%z", time.localtime(now)),
+        command=list(command if command is not None else sys.argv),
+        package_version=_package_version(),
+        python_version=sys.version.split()[0],
+        platform=platform.platform(),
+        numpy_version=np.__version__,
+        scipy_version=_scipy_version(),
+        seed_policy=(
+            "stable_seed(namespace, *parts): SHA-256 of the repr'd parts, "
+            "63-bit; namespaces: 'weights', case geometry, MC noise, atomics"
+        ),
+        experiments=list(experiments or []),
+        cases=sorted({r.case for r in rows}),
+        kernels=sorted({r.kernel for r in rows}),
+        devices=sorted({r.device for r in rows}),
+        presets=sorted({p for p in (getattr(r, "preset", None) for r in rows) if p}),
+        phases=dict(phases or {}),
+        metrics=get_registry().snapshot(),
+        extra=dict(extra),
+    )
+    return manifest
+
+
+def write_manifest(
+    manifest: RunManifest, directory: Union[str, Path],
+    filename: str = "manifest.json",
+) -> Path:
+    """Write ``manifest`` into ``directory`` and return the path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / filename
+    path.write_text(manifest.to_json() + "\n")
+    return path
+
+
+def read_manifest(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load a manifest back as a plain dict (schema-checked)."""
+    data = json.loads(Path(path).read_text())
+    if data.get("schema") != MANIFEST_SCHEMA:
+        raise ValueError(
+            f"{path} is not a {MANIFEST_SCHEMA} manifest "
+            f"(schema={data.get('schema')!r})"
+        )
+    return data

@@ -1,0 +1,287 @@
+"""Zero-dependency span tracer.
+
+The tracer answers "where does the time go inside ``repro-rtdose all``"
+the way Nsight Systems answers it for real GPU code: every instrumented
+region opens a *span* (name + attributes + monotonic start/end), spans
+nest, and the finished list can be exported as Chrome-trace JSON
+(:mod:`repro.obs.export`) or aggregated into a summary table.
+
+Design constraints, in priority order:
+
+1. **no-op by default** — the hot layers (kernel runs, optimizer
+   iterations) are instrumented unconditionally, so the disabled path
+   must cost one global read and one method call, nothing else;
+2. **thread-safe** — the harness may fan experiments out across threads;
+   the span stack is thread-local, the finished list lock-guarded;
+3. **monotonic** — timestamps come from :func:`time.perf_counter_ns`,
+   never the wall clock, so nested spans always satisfy
+   ``parent.start <= child.start <= child.end <= parent.end``.
+
+Usage::
+
+    from repro.obs import trace
+
+    tracer = trace.enable_tracing()
+    with trace.span("harness.experiment", kernel="half_double"):
+        ...
+    for s in tracer.finished_spans():
+        print(s.name, s.duration_ms)
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+__all__ = [
+    "Span",
+    "NullTracer",
+    "RecordingTracer",
+    "span",
+    "traced",
+    "get_tracer",
+    "set_tracer",
+    "enable_tracing",
+    "disable_tracing",
+    "tracing_enabled",
+]
+
+
+@dataclass
+class Span:
+    """One finished (or in-flight) traced region."""
+
+    name: str
+    span_id: int
+    parent_id: Optional[int]
+    thread_id: int
+    depth: int
+    start_ns: int
+    end_ns: Optional[int] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration_ns(self) -> int:
+        """Span duration in nanoseconds (0 while still open)."""
+        return 0 if self.end_ns is None else self.end_ns - self.start_ns
+
+    @property
+    def duration_ms(self) -> float:
+        return self.duration_ns / 1e6
+
+    @property
+    def duration_s(self) -> float:
+        return self.duration_ns / 1e9
+
+
+class _ActiveSpan:
+    """Context manager handed out by :meth:`RecordingTracer.span`."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "RecordingTracer", span_: Span):
+        self._tracer = tracer
+        self._span = span_
+
+    def set_attr(self, key: str, value: Any) -> "_ActiveSpan":
+        """Attach one attribute to the span (chainable)."""
+        self._span.attrs[key] = value
+        return self
+
+    def set_attrs(self, **attrs: Any) -> "_ActiveSpan":
+        self._span.attrs.update(attrs)
+        return self
+
+    @property
+    def name(self) -> str:
+        return self._span.name
+
+    def __enter__(self) -> "_ActiveSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self._span.attrs["error"] = exc_type.__name__
+        self._tracer._finish(self._span)
+        return None
+
+
+class _NoopSpan:
+    """Shared do-nothing span: the entire cost of disabled tracing."""
+
+    __slots__ = ()
+
+    def set_attr(self, key: str, value: Any) -> "_NoopSpan":
+        return self
+
+    def set_attrs(self, **attrs: Any) -> "_NoopSpan":
+        return self
+
+    @property
+    def name(self) -> str:
+        return ""
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class NullTracer:
+    """Default tracer: records nothing, allocates nothing."""
+
+    enabled = False
+
+    def span(self, name: str, **attrs: Any) -> _NoopSpan:
+        return _NOOP_SPAN
+
+    def finished_spans(self) -> List[Span]:
+        return []
+
+    def clear(self) -> None:
+        pass
+
+
+class RecordingTracer:
+    """Collects nested spans with monotonic timestamps.
+
+    The span *stack* is thread-local (nesting is a per-thread notion);
+    the *finished* list is shared and lock-guarded so one export sees
+    every thread's spans.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        #: wall-clock epoch paired with the monotonic origin, for exports
+        #: that want absolute times (the run manifest).
+        self.created_unix = time.time()
+        self.origin_ns = time.perf_counter_ns()
+        self._lock = threading.Lock()
+        self._finished: List[Span] = []
+        self._local = threading.local()
+        self._next_id = 0
+
+    # ------------------------------------------------------------------ #
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def span(self, name: str, **attrs: Any) -> _ActiveSpan:
+        """Open a span; close it by exiting the returned context manager."""
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        s = Span(
+            name=name,
+            span_id=span_id,
+            parent_id=None if parent is None else parent.span_id,
+            thread_id=threading.get_ident(),
+            depth=len(stack),
+            start_ns=time.perf_counter_ns(),
+            attrs=dict(attrs),
+        )
+        stack.append(s)
+        return _ActiveSpan(self, s)
+
+    def _finish(self, s: Span) -> None:
+        s.end_ns = time.perf_counter_ns()
+        stack = self._stack()
+        # Tolerate out-of-order exits (generators, leaked spans): pop to s.
+        while stack and stack[-1] is not s:
+            stack.pop()
+        if stack:
+            stack.pop()
+        with self._lock:
+            self._finished.append(s)
+
+    # ------------------------------------------------------------------ #
+
+    def finished_spans(self) -> List[Span]:
+        """All closed spans, ordered by start time."""
+        with self._lock:
+            return sorted(self._finished, key=lambda s: s.start_ns)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._finished.clear()
+
+    def total_by_name(self) -> Dict[str, float]:
+        """Summed duration (seconds) per span name."""
+        totals: Dict[str, float] = {}
+        for s in self.finished_spans():
+            totals[s.name] = totals.get(s.name, 0.0) + s.duration_s
+        return totals
+
+
+# --------------------------------------------------------------------- #
+# Module-level tracer: one per process, swapped atomically.
+# --------------------------------------------------------------------- #
+
+_tracer: "NullTracer | RecordingTracer" = NullTracer()
+
+
+def get_tracer() -> "NullTracer | RecordingTracer":
+    """The process-wide tracer (a :class:`NullTracer` unless enabled)."""
+    return _tracer
+
+
+def set_tracer(tracer: "NullTracer | RecordingTracer") -> "NullTracer | RecordingTracer":
+    """Install ``tracer`` as the process tracer; returns the previous one."""
+    global _tracer
+    previous = _tracer
+    _tracer = tracer
+    return previous
+
+
+def enable_tracing() -> RecordingTracer:
+    """Install (and return) a fresh :class:`RecordingTracer`."""
+    tracer = RecordingTracer()
+    set_tracer(tracer)
+    return tracer
+
+
+def disable_tracing() -> "NullTracer | RecordingTracer":
+    """Restore the no-op tracer; returns the tracer that was active."""
+    return set_tracer(NullTracer())
+
+
+def tracing_enabled() -> bool:
+    return _tracer.enabled
+
+
+def span(name: str, **attrs: Any):
+    """Open a span on the current process tracer (no-op when disabled)."""
+    return _tracer.span(name, **attrs)
+
+
+def traced(name: Optional[str] = None, **attrs: Any) -> Callable:
+    """Decorator form of :func:`span`.
+
+    >>> @traced("opt.solve", solver="pgd")
+    ... def solve(): ...
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        span_name = name or fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any):
+            with _tracer.span(span_name, **attrs):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate

@@ -15,8 +15,18 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.obs import metrics
+from repro.obs.trace import span as trace_span, traced
 from repro.opt.problem import PlanOptimizationProblem
 from repro.util.errors import ConvergenceError
+
+
+def _eval(problem: PlanOptimizationProblem, w: np.ndarray):
+    """Objective/gradient evaluation, counted: each one is a dose
+    calculation (SpMV + adjoint) — the quantity the paper's GPU port
+    accelerates."""
+    metrics.counter("opt.objective_evals").inc()
+    return problem.value_and_gradient(w)
 
 
 @dataclass
@@ -49,6 +59,7 @@ def project_nonnegative(w: np.ndarray) -> np.ndarray:
     return np.maximum(w, 0.0)
 
 
+@traced("opt.solve", solver="projected_gradient")
 def solve_projected_gradient(
     problem: PlanOptimizationProblem,
     w0: Optional[np.ndarray] = None,
@@ -69,7 +80,7 @@ def solve_projected_gradient(
         if w0 is None
         else project_nonnegative(np.asarray(w0, dtype=np.float64).copy())
     )
-    value, grad = problem.value_and_gradient(w)
+    value, grad = _eval(problem, w)
     step = initial_step
     history: List[IterationRecord] = []
     initial_norm = _projected_gradient_norm(w, grad)
@@ -78,29 +89,34 @@ def solve_projected_gradient(
     prev_w = None
     prev_grad = None
     for it in range(1, max_iterations + 1):
-        w_new = project_nonnegative(w - step * grad)
-        value_new, grad_new = problem.value_and_gradient(w_new)
-        # Backtrack if the step increased the objective.
-        backtracks = 0
-        while value_new > value and backtracks < 20:
-            step *= 0.5
+        with trace_span("opt.iteration", solver="projected_gradient",
+                        iteration=it) as sp:
             w_new = project_nonnegative(w - step * grad)
-            value_new, grad_new = problem.value_and_gradient(w_new)
-            backtracks += 1
-        prev_w, prev_grad = w, grad
-        w, value, grad = w_new, value_new, grad_new
-        pg_norm = _projected_gradient_norm(w, grad)
-        history.append(IterationRecord(it, value, pg_norm, step))
-        if pg_norm <= tolerance * initial_norm:
-            return OptimizationResult(w, value, it, True, history)
-        # Barzilai-Borwein step for the next iteration.
-        s = w - prev_w
-        g = grad - prev_grad
-        sg = float(s @ g)
-        if sg > 1e-30:
-            step = float(s @ s) / sg
-        else:
-            step = initial_step
+            value_new, grad_new = _eval(problem, w_new)
+            # Backtrack if the step increased the objective.
+            backtracks = 0
+            while value_new > value and backtracks < 20:
+                step *= 0.5
+                w_new = project_nonnegative(w - step * grad)
+                value_new, grad_new = _eval(problem, w_new)
+                backtracks += 1
+            prev_w, prev_grad = w, grad
+            w, value, grad = w_new, value_new, grad_new
+            pg_norm = _projected_gradient_norm(w, grad)
+            history.append(IterationRecord(it, value, pg_norm, step))
+            metrics.counter("opt.iterations").inc()
+            sp.set_attrs(objective=value, gradient_norm=pg_norm,
+                         backtracks=backtracks)
+            if pg_norm <= tolerance * initial_norm:
+                return OptimizationResult(w, value, it, True, history)
+            # Barzilai-Borwein step for the next iteration.
+            s = w - prev_w
+            g = grad - prev_grad
+            sg = float(s @ g)
+            if sg > 1e-30:
+                step = float(s @ s) / sg
+            else:
+                step = initial_step
     if raise_on_failure:
         raise ConvergenceError(
             f"projected gradient did not converge in {max_iterations} iterations "
@@ -109,6 +125,7 @@ def solve_projected_gradient(
     return OptimizationResult(w, value, max_iterations, False, history)
 
 
+@traced("opt.solve", solver="lbfgs")
 def solve_lbfgs(
     problem: PlanOptimizationProblem,
     w0: Optional[np.ndarray] = None,
@@ -122,7 +139,7 @@ def solve_lbfgs(
         if w0 is None
         else project_nonnegative(np.asarray(w0, dtype=np.float64).copy())
     )
-    value, grad = problem.value_and_gradient(w)
+    value, grad = _eval(problem, w)
     s_list: List[np.ndarray] = []
     y_list: List[np.ndarray] = []
     history: List[IterationRecord] = []
@@ -130,29 +147,33 @@ def solve_lbfgs(
     if initial_norm == 0.0:
         return OptimizationResult(w, value, 0, True, history)
     for it in range(1, max_iterations + 1):
-        direction = -_two_loop(grad, s_list, y_list)
-        step = 1.0 if s_list else min(1.0, 1.0 / max(initial_norm, 1e-12))
-        w_new = project_nonnegative(w + step * direction)
-        value_new, grad_new = problem.value_and_gradient(w_new)
-        backtracks = 0
-        while value_new > value - 1e-12 and backtracks < 25:
-            step *= 0.5
+        with trace_span("opt.iteration", solver="lbfgs", iteration=it) as sp:
+            direction = -_two_loop(grad, s_list, y_list)
+            step = 1.0 if s_list else min(1.0, 1.0 / max(initial_norm, 1e-12))
             w_new = project_nonnegative(w + step * direction)
-            value_new, grad_new = problem.value_and_gradient(w_new)
-            backtracks += 1
-        s = w_new - w
-        y = grad_new - grad
-        if float(s @ y) > 1e-12:
-            s_list.append(s)
-            y_list.append(y)
-            if len(s_list) > memory:
-                s_list.pop(0)
-                y_list.pop(0)
-        w, value, grad = w_new, value_new, grad_new
-        pg_norm = _projected_gradient_norm(w, grad)
-        history.append(IterationRecord(it, value, pg_norm, step))
-        if pg_norm <= tolerance * initial_norm:
-            return OptimizationResult(w, value, it, True, history)
+            value_new, grad_new = _eval(problem, w_new)
+            backtracks = 0
+            while value_new > value - 1e-12 and backtracks < 25:
+                step *= 0.5
+                w_new = project_nonnegative(w + step * direction)
+                value_new, grad_new = _eval(problem, w_new)
+                backtracks += 1
+            s = w_new - w
+            y = grad_new - grad
+            if float(s @ y) > 1e-12:
+                s_list.append(s)
+                y_list.append(y)
+                if len(s_list) > memory:
+                    s_list.pop(0)
+                    y_list.pop(0)
+            w, value, grad = w_new, value_new, grad_new
+            pg_norm = _projected_gradient_norm(w, grad)
+            history.append(IterationRecord(it, value, pg_norm, step))
+            metrics.counter("opt.iterations").inc()
+            sp.set_attrs(objective=value, gradient_norm=pg_norm,
+                         backtracks=backtracks)
+            if pg_norm <= tolerance * initial_norm:
+                return OptimizationResult(w, value, it, True, history)
     return OptimizationResult(w, value, max_iterations, False, history)
 
 

@@ -10,10 +10,28 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.bench.harness import clear_caches
 from repro.dose.beam import Beam
 from repro.dose.phantom import build_liver_phantom
+from repro.obs.metrics import get_registry
 from repro.plans.cases import build_case_matrix
 from repro.sparse.csr import CSRMatrix
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _fresh_process_state():
+    """Start and end the session with empty harness caches and metrics.
+
+    The harness's matrix caches and the metrics registry are process
+    globals; without this, a test run inherits whatever an earlier
+    in-process run (e.g. pytest-xdist reuse, a REPL) left behind, and
+    leaves its own state for whoever imports repro next.
+    """
+    clear_caches()
+    get_registry().reset()
+    yield
+    clear_caches()
+    get_registry().reset()
 
 
 @pytest.fixture(scope="session")

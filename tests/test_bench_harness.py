@@ -169,4 +169,6 @@ class TestCLI:
         assert code == 0
         out = capsys.readouterr().out
         assert "half_double" in out
-        assert "reproducible: True" in out
+        # Reproducibility and validation error are table columns now.
+        assert "bitwise" in out and "yes" in out
+        assert "rel err" in out

@@ -1,0 +1,85 @@
+"""CLI observability: --trace writes valid Chrome JSON, --metrics prints
+the registry, --csv writes a run manifest, spmv table shows repro columns."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import trace
+from repro.obs.provenance import read_manifest
+
+
+@pytest.fixture(autouse=True)
+def _restore_tracer():
+    previous = trace.get_tracer()
+    yield
+    trace.set_tracer(previous)
+
+
+def test_fig4_trace_writes_valid_chrome_json(tmp_path, capsys):
+    out = tmp_path / "out.json"
+    rc = main(["fig4", "--preset", "tiny", "--trace", str(out)])
+    assert rc in (0, 1)  # tiny preset may land outside paper bands
+    data = json.loads(out.read_text())
+    events = [e for e in data["traceEvents"] if e.get("ph") == "X"]
+    assert events, "trace must contain at least one complete span"
+    names = {e["name"] for e in events}
+    assert "experiment.fig4" in names
+    assert "kernel.run" in names
+    assert "harness.experiment" in names
+    for e in events:
+        assert e["ts"] >= 0 and e["dur"] >= 0
+    captured = capsys.readouterr().out
+    assert "Span summary" in captured
+    assert "Metrics summary" in captured
+    # Tracing was torn down after the command.
+    assert not trace.tracing_enabled()
+
+
+def test_csv_dir_gets_run_manifest(tmp_path, capsys):
+    csv_dir = tmp_path / "out"
+    rc = main(["fig4", "--preset", "tiny", "--csv", str(csv_dir)])
+    assert rc in (0, 1)
+    assert (csv_dir / "fig4.csv").exists()
+    data = read_manifest(csv_dir / "manifest.json")
+    assert data["experiments"] == ["fig4"]
+    assert data["cases"] == ["Liver 1"]
+    assert "half_double" in data["kernels"]
+    assert data["phases"]["fig4"] > 0
+    assert any(k.startswith("harness.") for k in data["metrics"])
+
+
+def test_metrics_flag_prints_cache_counters(capsys):
+    rc = main(["spmv", "--preset", "tiny", "--metrics"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Metrics summary" in out
+    assert "kernel.launches" in out
+    assert "harness.half_cache" in out  # hit or miss counter present
+
+
+def test_spmv_table_shows_reproducibility_columns(capsys):
+    rc = main(["spmv", "--preset", "tiny"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "rel err" in out
+    assert "bitwise" in out
+    assert "yes" in out
+
+
+def test_trace_subcommand_reports(capsys, tmp_path):
+    out = tmp_path / "t.json"
+    rc = main(["trace", "--out", str(out), "info"])
+    assert rc == 0
+    printed = capsys.readouterr().out
+    assert "Span summary" in printed
+    assert "Metrics summary" in printed
+    assert out.exists()
+    json.loads(out.read_text())
+    assert not trace.tracing_enabled()
+
+
+def test_trace_subcommand_requires_target(capsys):
+    rc = main(["trace"])
+    assert rc == 2

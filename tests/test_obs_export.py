@@ -1,0 +1,131 @@
+"""Exporters: Chrome-trace JSON schema round-trip, JSONL, summary table,
+run-manifest round-trip."""
+
+import json
+
+import pytest
+
+from repro.obs import trace
+from repro.obs.export import (
+    chrome_trace_events,
+    span_summary_table,
+    spans_to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.provenance import collect_manifest, read_manifest, write_manifest
+
+
+@pytest.fixture()
+def tracer():
+    previous = trace.get_tracer()
+    t = trace.enable_tracing()
+    with trace.span("phase.outer", figure="fig4"):
+        with trace.span("kernel.run", kernel="half_double", device=None):
+            pass
+        with trace.span("kernel.run", kernel="single"):
+            pass
+    yield t
+    trace.set_tracer(previous)
+
+
+def test_chrome_trace_schema_round_trip(tracer, tmp_path):
+    path = write_chrome_trace(tracer, tmp_path / "trace.json")
+    data = json.loads(path.read_text())
+    assert set(data) == {"traceEvents", "displayTimeUnit"}
+    events = data["traceEvents"]
+    complete = [e for e in events if e["ph"] == "X"]
+    assert len(complete) == 3
+    for e in complete:
+        # The fields Perfetto/chrome://tracing require.
+        assert set(e) >= {"name", "ph", "pid", "tid", "ts", "dur", "args"}
+        assert e["ts"] >= 0.0
+        assert e["dur"] >= 0.0
+        assert isinstance(e["args"], dict)
+        json.dumps(e["args"])  # all attribute values serializable
+    names = {e["name"] for e in complete}
+    assert names == {"phase.outer", "kernel.run"}
+    # Metadata event naming the process.
+    assert any(e.get("ph") == "M" for e in events)
+
+
+def test_chrome_trace_events_equal_export(tracer):
+    direct = chrome_trace_events(tracer)
+    assert json.loads(json.dumps(direct)) == direct
+
+
+def test_jsonl_one_object_per_span(tracer, tmp_path):
+    path = write_jsonl(tracer, tmp_path / "spans.jsonl")
+    lines = path.read_text().strip().splitlines()
+    assert len(lines) == 3
+    records = [json.loads(line) for line in lines]
+    outer = next(r for r in records if r["name"] == "phase.outer")
+    kids = [r for r in records if r["name"] == "kernel.run"]
+    assert all(k["parent_id"] == outer["span_id"] for k in kids)
+    assert all(k["duration_us"] >= 0 for k in records)
+
+
+def test_jsonl_empty_tracer(tmp_path):
+    t = trace.RecordingTracer()
+    assert spans_to_jsonl(t) == ""
+    path = write_jsonl(t, tmp_path / "empty.jsonl")
+    assert path.read_text() == ""
+
+
+def test_span_summary_aggregates_and_self_time(tracer):
+    table = span_summary_table(tracer)
+    by_name = {row[0]: row for row in table.rows}
+    assert by_name["kernel.run"][1] == 2  # count
+    outer = by_name["phase.outer"]
+    # Parent self-time excludes the two children.
+    assert outer[3] <= outer[2]
+    text = table.render()
+    assert "Span summary" in text and "kernel.run" in text
+
+
+# --------------------------------------------------------------------- #
+# provenance
+# --------------------------------------------------------------------- #
+
+
+class _Row:
+    def __init__(self, case, kernel, device):
+        self.case, self.kernel, self.device = case, kernel, device
+
+
+def test_manifest_round_trip(tmp_path):
+    manifest = collect_manifest(
+        command=["repro-rtdose", "fig5", "--csv", "out/"],
+        experiments=["fig5"],
+        rows=[_Row("Liver 1", "half_double", "A100"),
+              _Row("Liver 1", "single", "A100")],
+        phases={"fig5": 1.25},
+        note="unit test",
+    )
+    path = write_manifest(manifest, tmp_path)
+    assert path.name == "manifest.json"
+    data = read_manifest(path)
+    assert data["schema"] == "repro.run-manifest/v1"
+    assert data["command"][1] == "fig5"
+    assert data["cases"] == ["Liver 1"]
+    assert data["kernels"] == ["half_double", "single"]
+    assert data["devices"] == ["A100"]
+    assert data["phases"] == {"fig5": 1.25}
+    assert data["extra"] == {"note": "unit test"}
+    for key in ("package_version", "python_version", "numpy_version",
+                "platform", "created_iso", "seed_policy", "metrics"):
+        assert key in data
+
+
+def test_manifest_rejects_foreign_json(tmp_path):
+    p = tmp_path / "other.json"
+    p.write_text(json.dumps({"schema": "something-else"}))
+    with pytest.raises(ValueError):
+        read_manifest(p)
+
+
+def test_manifest_phases_default_from_tracer(tracer):
+    manifest = collect_manifest(command=["x"])
+    assert "phase.outer" in manifest.phases
+    # Only depth-0 spans count as phases.
+    assert "kernel.run" not in manifest.phases

@@ -1,0 +1,214 @@
+"""Instrumentation wiring: kernels, harness caches, optimizer, logging."""
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import (
+    _HALF_CACHE,
+    _LRUCache,
+    clear_caches,
+    prepare_input_matrix,
+    run_spmv_experiment,
+)
+from repro.kernels.dispatch import make_kernel
+from repro.obs import trace
+from repro.obs.logging import get_logger, kv, setup_logging, verbosity_to_level
+from repro.obs.metrics import counter, get_registry
+
+
+@pytest.fixture()
+def tracer():
+    previous = trace.get_tracer()
+    t = trace.enable_tracing()
+    yield t
+    trace.set_tracer(previous)
+
+
+def _counter_value(name):
+    try:
+        return get_registry().get(name).value
+    except KeyError:
+        return 0.0
+
+
+# --------------------------------------------------------------------- #
+# kernel layer
+# --------------------------------------------------------------------- #
+
+
+def test_kernel_run_emits_span_and_metrics(tracer, tiny_liver_case):
+    launches_before = _counter_value("kernel.launches")
+    flops_before = _counter_value("kernel.flops_modeled")
+    kernel = make_kernel("half_double")
+    matrix = tiny_liver_case.matrix.astype(np.float16)
+    x = np.ones(matrix.n_cols)
+    result = kernel.run(matrix, x)
+    spans = [s for s in tracer.finished_spans() if s.name == "kernel.run"]
+    assert len(spans) == 1
+    s = spans[0]
+    assert s.attrs["kernel"] == "half_double"
+    assert s.attrs["device"] == "A100"
+    assert s.attrs["nnz"] == matrix.nnz
+    assert s.attrs["limiter"] == result.timing.limiter
+    assert _counter_value("kernel.launches") == launches_before + 1
+    assert _counter_value("kernel.flops_modeled") == pytest.approx(
+        flops_before + result.counters.flops
+    )
+
+
+def test_kernel_run_without_tracing_records_no_spans(tiny_liver_case):
+    assert not trace.tracing_enabled()
+    kernel = make_kernel("single")
+    matrix = tiny_liver_case.matrix
+    kernel.run(matrix, np.ones(matrix.n_cols))
+    assert trace.get_tracer().finished_spans() == []
+
+
+def test_make_kernel_counts_instantiations():
+    before = _counter_value("kernel.instantiated.double")
+    make_kernel("double")
+    assert _counter_value("kernel.instantiated.double") == before + 1
+
+
+# --------------------------------------------------------------------- #
+# harness caches (LRU bound + hit/miss metrics)
+# --------------------------------------------------------------------- #
+
+
+def test_lru_cache_bounds_size_and_counts():
+    cache = _LRUCache("test_cache", capacity=2)
+    assert cache.get("a") is None  # miss
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.get("a") == 1  # hit; 'a' becomes most recent
+    cache.put("c", 3)  # evicts 'b'
+    assert len(cache) == 2
+    assert cache.get("b") is None
+    assert cache.get("a") == 1 and cache.get("c") == 3
+    reg = get_registry()
+    assert reg.get("harness.test_cache.hit").value == 3
+    assert reg.get("harness.test_cache.miss").value == 2
+    assert reg.get("harness.test_cache.evictions").value == 1
+    assert reg.get("harness.test_cache.size").value == 2
+    cache.clear()
+    assert len(cache) == 0
+    assert reg.get("harness.test_cache.size").value == 0
+
+
+def test_lru_cache_rejects_bad_capacity():
+    with pytest.raises(ValueError):
+        _LRUCache("x", 0)
+
+
+def test_prepare_input_matrix_reports_hit_and_miss(tiny_liver_case):
+    clear_caches()
+    misses0 = _counter_value("harness.half_cache.miss")
+    hits0 = _counter_value("harness.half_cache.hit")
+    m1 = prepare_input_matrix("half_double", "Liver 1", "tiny")
+    m2 = prepare_input_matrix("half_double", "Liver 1", "tiny")
+    assert m1 is m2  # second call served from cache
+    assert _counter_value("harness.half_cache.miss") == misses0 + 1
+    assert _counter_value("harness.half_cache.hit") == hits0 + 1
+    clear_caches()
+    assert len(_HALF_CACHE) == 0
+
+
+def test_experiment_span_tree(tracer):
+    row = run_spmv_experiment(
+        "half_double", "Liver 1", preset="tiny", at_paper_scale=True
+    )
+    assert row.relative_error < 1e-2
+    spans = tracer.finished_spans()
+    names = [s.name for s in spans]
+    assert "harness.experiment" in names
+    assert "harness.matrix_build" in names
+    assert "kernel.run" in names
+    assert "harness.extrapolate" in names
+    experiment = next(s for s in spans if s.name == "harness.experiment")
+    kernel_run = next(s for s in spans if s.name == "kernel.run")
+    assert kernel_run.parent_id == experiment.span_id
+    assert experiment.attrs["kernel"] == "half_double"
+    assert "gflops" in experiment.attrs
+
+
+def test_experiment_row_as_list_surfaces_reproducibility():
+    row = run_spmv_experiment("half_double", "Liver 1", preset="tiny")
+    cells = row.as_list()
+    assert len(cells) == 12
+    assert cells[-1] == "yes"
+    assert cells[-2] == f"{row.relative_error:.1e}"
+    atomics = run_spmv_experiment("gpu_baseline", "Liver 1", preset="tiny",
+                                  rng=0)
+    assert atomics.as_list()[-1] == "NO"
+
+
+# --------------------------------------------------------------------- #
+# optimizer
+# --------------------------------------------------------------------- #
+
+
+def test_optimizer_iteration_spans(tracer, tiny_liver_case):
+    from repro.dose.grid import DoseGrid
+    from repro.dose.structures import ROIMask
+    from repro.opt import (
+        CompositeObjective,
+        PlanOptimizationProblem,
+        UniformDoseObjective,
+        solve_projected_gradient,
+    )
+    from repro.plans.cases import get_case
+
+    dep = tiny_liver_case
+    dose = dep.dose(np.ones(dep.n_spots))
+    flat = np.zeros(dep.n_voxels, dtype=bool)
+    flat[np.argsort(dose)[-300:]] = True
+    case = get_case("Liver 1", "tiny")
+    grid = DoseGrid(case.phantom_shape, case.phantom_spacing)
+    nx, ny, nz = grid.shape
+    roi = ROIMask("target", grid, flat.reshape(nz, ny, nx))
+    problem = PlanOptimizationProblem(
+        [dep], CompositeObjective([UniformDoseObjective(roi, 60.0)])
+    )
+    evals0 = _counter_value("opt.objective_evals")
+    result = solve_projected_gradient(problem, max_iterations=5)
+    iteration_spans = [
+        s for s in tracer.finished_spans() if s.name == "opt.iteration"
+    ]
+    solve_spans = [s for s in tracer.finished_spans() if s.name == "opt.solve"]
+    assert len(iteration_spans) == result.iterations
+    assert len(solve_spans) == 1
+    assert iteration_spans[0].attrs["solver"] == "projected_gradient"
+    assert "objective" in iteration_spans[0].attrs
+    assert all(s.parent_id == solve_spans[0].span_id for s in iteration_spans)
+    # At least 1 eval per iteration plus the initial one.
+    assert _counter_value("opt.objective_evals") >= evals0 + result.iterations + 1
+
+
+# --------------------------------------------------------------------- #
+# logging
+# --------------------------------------------------------------------- #
+
+
+def test_verbosity_mapping():
+    assert verbosity_to_level(-1) == logging.ERROR
+    assert verbosity_to_level(0) == logging.WARNING
+    assert verbosity_to_level(1) == logging.INFO
+    assert verbosity_to_level(2) == logging.DEBUG
+    assert verbosity_to_level(5) == logging.DEBUG
+
+
+def test_setup_logging_idempotent():
+    root = setup_logging(1)
+    setup_logging(2)
+    handlers = [h for h in root.handlers if getattr(h, "_repro_handler", False)]
+    assert len(handlers) == 1
+    assert root.level == logging.DEBUG
+    assert get_logger("bench.harness").name == "repro.bench.harness"
+    assert get_logger("repro.cli").name == "repro.cli"
+
+
+def test_kv_formatting():
+    assert kv("msg") == "msg"
+    assert kv("cache", hit=True, key="Liver 1") == "cache hit=True key='Liver 1'"

@@ -1,0 +1,95 @@
+"""Metrics registry: counter/gauge/histogram semantics, reset, rendering."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+def test_counter_accumulates(registry):
+    c = registry.counter("k.launches")
+    c.inc()
+    c.inc(2.5)
+    assert registry.counter("k.launches").value == 3.5
+    assert registry.counter("k.launches") is c
+
+
+def test_counter_rejects_negative(registry):
+    with pytest.raises(ValueError):
+        registry.counter("c").inc(-1)
+
+
+def test_gauge_last_write_wins(registry):
+    g = registry.gauge("cache.size")
+    g.set(4)
+    g.inc()
+    g.dec(2)
+    assert g.value == 3
+
+
+def test_type_conflict_raises(registry):
+    registry.counter("x")
+    with pytest.raises(TypeError):
+        registry.gauge("x")
+
+
+def test_histogram_statistics(registry):
+    h = registry.histogram("t")
+    for v in [1.0, 2.0, 3.0, 4.0]:
+        h.observe(v)
+    assert h.count == 4
+    assert h.sum == 10.0
+    assert h.min == 1.0
+    assert h.max == 4.0
+    assert h.mean == 2.5
+    assert h.percentile(0) == 1.0
+    assert h.percentile(100) == 4.0
+    assert 2.0 <= h.percentile(50) <= 3.0
+
+
+def test_histogram_bounded_memory_exact_aggregates(registry):
+    h = registry.histogram("big", )
+    n = 10_000
+    for i in range(n):
+        h.observe(float(i))
+    assert h.count == n
+    assert h.sum == float(sum(range(n)))
+    assert h.min == 0.0 and h.max == float(n - 1)
+    assert len(h._samples) < h.max_samples
+    # Thinned percentiles stay in the right neighbourhood.
+    assert abs(h.percentile(50) - n / 2) / n < 0.1
+
+
+def test_histogram_percentile_validates(registry):
+    h = registry.histogram("h")
+    h.observe(1.0)
+    with pytest.raises(ValueError):
+        h.percentile(101)
+
+
+def test_snapshot_and_reset(registry):
+    registry.counter("a").inc(2)
+    registry.gauge("b").set(7)
+    registry.histogram("c").observe(1.5)
+    snap = registry.snapshot()
+    assert snap["a"] == {"type": "counter", "value": 2}
+    assert snap["b"] == {"type": "gauge", "value": 7}
+    assert snap["c"]["type"] == "histogram"
+    assert snap["c"]["count"] == 1
+    registry.reset()
+    assert registry.snapshot() == {}
+    assert registry.names() == []
+
+
+def test_render_table_filters_by_prefix(registry):
+    registry.counter("harness.half_cache.hit").inc(3)
+    registry.counter("kernel.launches").inc(1)
+    text = registry.render_table(prefixes=["harness."])
+    assert "harness.half_cache.hit" in text
+    assert "kernel.launches" not in text
+    full = registry.render_table()
+    assert "kernel.launches" in full

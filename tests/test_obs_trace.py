@@ -1,0 +1,122 @@
+"""Span tracer: nesting, timing monotonicity, no-op semantics, threads."""
+
+import threading
+
+import pytest
+
+from repro.obs import trace
+
+
+@pytest.fixture()
+def tracer():
+    """A fresh recording tracer, uninstalled afterwards."""
+    previous = trace.get_tracer()
+    t = trace.enable_tracing()
+    yield t
+    trace.set_tracer(previous)
+
+
+def test_span_records_name_and_attrs(tracer):
+    with trace.span("unit.work", case="Liver 1") as sp:
+        sp.set_attr("extra", 7)
+    (s,) = tracer.finished_spans()
+    assert s.name == "unit.work"
+    assert s.attrs == {"case": "Liver 1", "extra": 7}
+    assert s.parent_id is None
+    assert s.depth == 0
+
+
+def test_timing_is_monotonic_and_nested(tracer):
+    with trace.span("outer"):
+        with trace.span("inner"):
+            pass
+        with trace.span("inner"):
+            pass
+    spans = tracer.finished_spans()
+    outer = next(s for s in spans if s.name == "outer")
+    inners = [s for s in spans if s.name == "inner"]
+    assert len(inners) == 2
+    for child in inners:
+        assert child.parent_id == outer.span_id
+        assert child.depth == outer.depth + 1
+        # Monotonic clock: child entirely inside parent, end >= start.
+        assert outer.start_ns <= child.start_ns <= child.end_ns <= outer.end_ns
+    assert inners[0].end_ns <= inners[1].start_ns
+
+
+def test_exception_marks_span_and_closes_it(tracer):
+    with pytest.raises(ValueError):
+        with trace.span("boom"):
+            raise ValueError("x")
+    (s,) = tracer.finished_spans()
+    assert s.attrs["error"] == "ValueError"
+    assert s.end_ns is not None
+    # Stack unwound: a new span is top-level again.
+    with trace.span("after"):
+        pass
+    after = [s for s in tracer.finished_spans() if s.name == "after"][0]
+    assert after.parent_id is None
+
+
+def test_traced_decorator(tracer):
+    @trace.traced("decorated.fn", layer="test")
+    def fn(a, b):
+        return a + b
+
+    assert fn(2, 3) == 5
+    (s,) = tracer.finished_spans()
+    assert s.name == "decorated.fn"
+    assert s.attrs == {"layer": "test"}
+
+
+def test_noop_tracer_records_nothing():
+    previous = trace.get_tracer()
+    trace.set_tracer(trace.NullTracer())
+    try:
+        assert not trace.tracing_enabled()
+        with trace.span("invisible", k=1) as sp:
+            sp.set_attr("x", 2).set_attrs(y=3)
+        assert trace.get_tracer().finished_spans() == []
+    finally:
+        trace.set_tracer(previous)
+
+
+def test_noop_span_is_shared_singleton():
+    t = trace.NullTracer()
+    assert t.span("a") is t.span("b")
+
+
+def test_thread_safety_stacks_are_independent(tracer):
+    errors = []
+
+    def worker(tag):
+        try:
+            for i in range(50):
+                with trace.span(f"thread.{tag}", i=i):
+                    with trace.span(f"thread.{tag}.child"):
+                        pass
+        except Exception as e:  # pragma: no cover - only on failure
+            errors.append(e)
+
+    threads = [threading.Thread(target=worker, args=(k,)) for k in range(4)]
+    for th in threads:
+        th.start()
+    for th in threads:
+        th.join()
+    assert not errors
+    spans = tracer.finished_spans()
+    assert len(spans) == 4 * 50 * 2
+    # Every child's parent lives on the same thread.
+    by_id = {s.span_id: s for s in spans}
+    for s in spans:
+        if s.parent_id is not None:
+            assert by_id[s.parent_id].thread_id == s.thread_id
+
+
+def test_total_by_name(tracer):
+    for _ in range(3):
+        with trace.span("repeated"):
+            pass
+    totals = tracer.total_by_name()
+    assert set(totals) == {"repeated"}
+    assert totals["repeated"] >= 0.0
