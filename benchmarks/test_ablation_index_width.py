@@ -12,8 +12,8 @@ import pytest
 
 from repro.bench.harness import run_spmv_experiment
 from repro.plans.cases import PAPER_TABLE1
-from repro.roofline.analytic import spmv_traffic_model
 from repro.precision.types import HALF_DOUBLE, HALF_DOUBLE_SHORT_INDEX
+from repro.roofline.analytic import spmv_traffic_model
 
 
 def test_u16_speedup_on_prostate(benchmark):

@@ -1,0 +1,53 @@
+"""repro.analyze — static contract checking for the paper's invariants.
+
+The kernel this repository reproduces is clinically acceptable only
+because of properties the code can silently lose in a refactor: bitwise
+reproducibility (fixed tree-order reduction, atomics forbidden), the
+exact half/double precision combination, and byte traffic that follows
+the analytic model ``6*nnz + 12*nr + 8*nc``.  This package turns those
+paper-level contracts into machine-checked gates:
+
+* :mod:`repro.analyze.source_lint` — AST reproducibility lint
+  (RA101–RA104: atomics imports, unseeded ``numpy.random``, wall-clock
+  reads, mutable module state);
+* :mod:`repro.analyze.cuda_check` — emitted CUDA source checks
+  (RC201–RC203: atomic intrinsics, cooperative-groups idiom, C types vs
+  the declared precision triple);
+* :mod:`repro.analyze.contracts` — precision-contract checks
+  (RP301–RP304: dtype enforcement, accumulation width, reproducibility
+  claims verified by execution);
+* :mod:`repro.analyze.traffic_check` — traffic-model consistency
+  (RT401–RT402: model coefficients and kernel counters vs the analytic
+  model).
+
+Run via ``repro-rtdose analyze [--strict] [--format json] [--suppress
+RULE]``; suppress single lines with ``# analyze: allow[RULE]``.
+"""
+
+from repro.analyze.engine import (
+    AnalysisContext,
+    default_package_root,
+    run_analysis,
+)
+from repro.analyze.findings import AnalysisReport, Finding, Severity
+from repro.analyze.rules import (
+    Checker,
+    Rule,
+    RuleRegistry,
+    get_registry,
+    reset_registry,
+)
+
+__all__ = [
+    "AnalysisContext",
+    "AnalysisReport",
+    "Checker",
+    "Finding",
+    "Rule",
+    "RuleRegistry",
+    "Severity",
+    "default_package_root",
+    "get_registry",
+    "reset_registry",
+    "run_analysis",
+]

@@ -1,0 +1,241 @@
+"""Precision-contract checker (rules RP301–RP304).
+
+Every registered kernel declares a :class:`~repro.kernels.base.KernelContract`
+(reproducibility flag, precision triple, atomics usage).  Docstrings stating
+"half matrix values, double accumulation" enforce nothing; this checker
+*executes* each kernel's functional path on a small deterministic probe
+matrix and verifies the declaration against observed behaviour:
+
+* **RP301** — a kernel must *reject* a matrix stored in the wrong value
+  dtype (a silent float16<->float64 up/downcast changes both results and
+  the traffic model without anyone noticing);
+* **RP302** — the executed result must honour the declared accumulation
+  width (``KernelResult.accum_bytes``) and the float64 reporting contract
+  for ``y``;
+* **RP303** — a declared precision triple must keep accumulation at least
+  as wide as the vectors (the paper's "double accumulation" discipline);
+* **RP304** — a kernel declared ``reproducible=True`` must produce
+  bit-identical outputs across repeated runs with fresh RNGs, and a
+  kernel whose traits use atomics must not claim reproducibility.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, FrozenSet, List, Optional
+
+import numpy as np
+
+from repro.analyze.findings import Finding, Severity
+from repro.analyze.rules import Rule, RuleRegistry
+from repro.util.errors import DTypeError
+from repro.util.rng import make_rng, stable_seed
+
+RP301 = Rule(
+    "RP301",
+    "storage-dtype-not-enforced",
+    Severity.ERROR,
+    "A kernel silently accepts matrices stored in a dtype other than its "
+    "declared storage precision.",
+    "Validate the matrix value dtype in run() and raise DTypeError on "
+    "mismatch (convert explicitly with astype at the call site).",
+)
+RP302 = Rule(
+    "RP302",
+    "accumulation-width-mismatch",
+    Severity.ERROR,
+    "The executed result does not honour the declared accumulation "
+    "precision or the float64 reporting contract.",
+    "Accumulate in the declared dtype and report y as float64.",
+)
+RP303 = Rule(
+    "RP303",
+    "accumulation-narrower-than-vector",
+    Severity.ERROR,
+    "A declared precision triple accumulates narrower than its vectors, "
+    "silently downcasting every partial sum.",
+    "Declare accumulate at least as wide as vector (the paper uses "
+    "double for both).",
+)
+RP304 = Rule(
+    "RP304",
+    "reproducibility-claim-violated",
+    Severity.ERROR,
+    "A kernel declared reproducible produced run-to-run bit differences "
+    "(or claims reproducibility while reducing through atomics).",
+    "Fix the reduction order to be run-invariant, or declare "
+    "reproducible=False and keep the kernel out of clinical paths.",
+)
+
+#: probe matrix geometry: small enough to run in milliseconds, wide
+#: enough to exercise multi-chunk warp iterations (rows of ~17 nnz).
+_PROBE_ROWS, _PROBE_COLS, _PROBE_BAND = 48, 192, 8
+
+
+def _probe_csr(name: str, value_dtype: np.dtype) -> object:
+    from repro.sparse.synth import banded
+
+    return banded(
+        _PROBE_ROWS,
+        _PROBE_COLS,
+        bandwidth=_PROBE_BAND,
+        value_dtype=value_dtype,
+        rng=make_rng(stable_seed("analyze.probe", name)),
+    )
+
+
+def _probe_for_kernel(
+    name: str, kernel: object, value_dtype: np.dtype
+) -> object:
+    """Build the probe matrix in the storage format ``kernel`` consumes."""
+    from repro.sparse.convert import csr_to_ellpack, csr_to_rscf, csr_to_sellcs
+
+    csr = _probe_csr(name, value_dtype)
+    kernel_name = getattr(kernel, "name", name)
+    if "ellpack" in kernel_name:
+        return csr_to_ellpack(csr)
+    if "sellcs" in kernel_name:
+        return csr_to_sellcs(csr, chunk_size=32, sigma=64)
+    if name in ("gpu_baseline", "cpu_raystation"):
+        return csr_to_rscf(csr)
+    contract = kernel.contract()  # type: ignore[attr-defined]
+    if (
+        contract.precision is not None
+        and contract.precision.index_bytes != 4
+    ):
+        return csr.with_index_dtype(contract.precision.index_dtype)
+    return csr
+
+
+def _probe_x(name: str) -> np.ndarray:
+    rng = make_rng(stable_seed("analyze.weights", name))
+    return 0.5 + rng.random(_PROBE_COLS)
+
+
+KernelFactory = Callable[[str], object]
+
+
+def _wrong_dtype(declared: np.dtype) -> np.dtype:
+    return np.dtype(np.float64 if declared != np.float64 else np.float32)
+
+
+def check_kernel_contract(name: str, kernel: object) -> List[Finding]:
+    """Verify one kernel's declared contract against observed behaviour."""
+    findings: List[Finding] = []
+    contract = kernel.contract()  # type: ignore[attr-defined]
+    location = f"kernel[{name}]"
+
+    # --- RP304 (static half): atomics imply non-reproducibility -------- #
+    if contract.uses_atomics and contract.reproducible:
+        findings.append(
+            RP304.finding(
+                location,
+                "declared reproducible=True while traits.uses_atomics=True",
+            )
+        )
+
+    precision = contract.precision
+    if precision is not None:
+        # --- RP303: triple sanity -------------------------------------- #
+        if precision.accumulate.nbytes < precision.vector.nbytes:
+            findings.append(
+                RP303.finding(
+                    location,
+                    f"accumulate={precision.accumulate.value} is narrower "
+                    f"than vector={precision.vector.value}",
+                )
+            )
+        # --- RP301: wrong-dtype probe must be rejected ----------------- #
+        declared = precision.matrix.dtype
+        wrong = _probe_for_kernel(name, kernel, _wrong_dtype(declared))
+        x = _probe_x(name)
+        try:
+            kernel.run(wrong, x)  # type: ignore[attr-defined]
+        except DTypeError:
+            pass
+        else:
+            findings.append(
+                RP301.finding(
+                    location,
+                    f"accepted a matrix stored in "
+                    f"{_wrong_dtype(declared)} despite declaring "
+                    f"{declared} storage",
+                )
+            )
+
+    # --- RP302 + RP304 (dynamic): run the functional path -------------- #
+    value_dtype = (
+        precision.matrix.dtype if precision is not None else np.dtype(np.float32)
+    )
+    matrix = _probe_for_kernel(name, kernel, value_dtype)
+    x = _probe_x(name)
+    result = kernel.run(matrix, x)  # type: ignore[attr-defined]
+    if precision is not None:
+        if result.accum_bytes != precision.accumulate.nbytes:
+            findings.append(
+                RP302.finding(
+                    location,
+                    f"result.accum_bytes={result.accum_bytes} but declared "
+                    f"accumulate={precision.accumulate.value} "
+                    f"({precision.accumulate.nbytes} bytes)",
+                )
+            )
+    if result.y.dtype != np.float64:
+        findings.append(
+            RP302.finding(
+                location,
+                f"y reported as {result.y.dtype}, reporting contract is "
+                "float64",
+            )
+        )
+    if contract.reproducible:
+        rerun = kernel.run(matrix, x)  # type: ignore[attr-defined]
+        identical = (
+            rerun.y.shape == result.y.shape
+            and rerun.y.dtype == result.y.dtype
+            and np.array_equal(
+                rerun.y.view(np.uint8), result.y.view(np.uint8)
+            )
+        )
+        if not identical:
+            findings.append(
+                RP304.finding(
+                    location,
+                    "declared reproducible=True but repeated runs differ "
+                    "bitwise",
+                )
+            )
+    return findings
+
+
+def check_all_contracts(
+    kernel_factory: Optional[KernelFactory] = None,
+    kernel_list: Optional[List[str]] = None,
+) -> List[Finding]:
+    """Run the precision-contract checks over every registered kernel."""
+    from repro.kernels.dispatch import kernel_names, make_kernel
+
+    factory: KernelFactory = kernel_factory or make_kernel
+    names = kernel_list if kernel_list is not None else kernel_names()
+    findings: List[Finding] = []
+    for name in names:
+        findings.extend(check_kernel_contract(name, factory(name)))
+    return findings
+
+
+def _check_contracts(context: object) -> List[Finding]:
+    factory = getattr(context, "kernel_factory", None)
+    return check_all_contracts(kernel_factory=factory)
+
+
+CONTRACT_RULES: FrozenSet[str] = frozenset(
+    {"RP301", "RP302", "RP303", "RP304"}
+)
+
+
+def register(registry: RuleRegistry) -> None:
+    """Register the precision-contract rules and checker."""
+    for rule in (RP301, RP302, RP303, RP304):
+        registry.add_rule(rule)
+    registry.add_checker(
+        "precision-contracts", CONTRACT_RULES, _check_contracts
+    )

@@ -1,0 +1,207 @@
+"""CUDA source checker (rules RC201–RC203).
+
+:mod:`repro.kernels.cuda_source` emits the real CUDA C++ kernel of the
+paper's Listing 1 for users with hardware.  That source carries the same
+clinical contract as the simulator: *no atomics* (bitwise-reproducible
+cooperative-groups reduction only) and the exact storage/vector/
+accumulation C types the :class:`~repro.precision.types.MixedPrecision`
+declares.  This checker regenerates the source for **every** precision
+configuration the kernel registry uses (plus the named paper
+configurations) and rejects:
+
+* **RC201** — any ``atomic*`` intrinsic in the emitted source;
+* **RC202** — a missing cooperative-groups reduction idiom (the
+  ``cg::reduce`` butterfly over a ``tiled_partition<WARP_SIZE>``);
+* **RC203** — emitted C types that do not match the declared precision
+  triple (value/index/vector/accumulator).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, FrozenSet, List, Optional, Sequence
+
+from repro.analyze.findings import Finding, Severity
+from repro.analyze.rules import Rule, RuleRegistry
+from repro.precision.types import (
+    DOUBLE,
+    HALF_DOUBLE,
+    HALF_DOUBLE_SHORT_INDEX,
+    SINGLE,
+    MixedPrecision,
+)
+
+RC201 = Rule(
+    "RC201",
+    "cuda-atomics-forbidden",
+    Severity.ERROR,
+    "The emitted CUDA kernel contains an atomic intrinsic; atomics have "
+    "run-dependent commit order and break bitwise reproducibility.",
+    "Reduce through cooperative groups (cg::reduce) instead of atomics.",
+)
+RC202 = Rule(
+    "RC202",
+    "cuda-coop-reduction-missing",
+    Severity.ERROR,
+    "The emitted CUDA kernel lacks the cooperative-groups tree-reduction "
+    "idiom that guarantees a fixed summation order.",
+    "Keep the cg::tiled_partition<WARP_SIZE> + cg::reduce butterfly of "
+    "Listing 1.",
+)
+RC203 = Rule(
+    "RC203",
+    "cuda-type-mismatch",
+    Severity.ERROR,
+    "The emitted C types do not match the declared MixedPrecision "
+    "(storage/index/vector/accumulation).",
+    "Regenerate via repro.kernels.cuda_source.expected_cuda_types and fix "
+    "the template parameterization.",
+)
+
+#: the four named paper configurations, always checked.
+NAMED_CONFIGS: Sequence[MixedPrecision] = (
+    HALF_DOUBLE,
+    SINGLE,
+    DOUBLE,
+    HALF_DOUBLE_SHORT_INDEX,
+)
+
+_ATOMIC_RE = re.compile(
+    r"\batomic(?:Add|Sub|Exch|Min|Max|Inc|Dec|CAS|And|Or|Xor)\b"
+)
+
+_COOP_IDIOMS = (
+    "#include <cooperative_groups.h>",
+    "tiled_partition<WARP_SIZE>",
+    "cg::reduce(",
+)
+
+SourceProvider = Callable[[MixedPrecision], str]
+
+
+def _default_provider(precision: MixedPrecision) -> str:
+    from repro.kernels.cuda_source import generate_cuda_kernel
+
+    return generate_cuda_kernel(precision)
+
+
+def _line_of(source: str, needle_match: "re.Match[str]") -> int:
+    return source.count("\n", 0, needle_match.start()) + 1
+
+
+def _config_location(precision: MixedPrecision) -> str:
+    return (
+        f"cuda_source[{precision.name}"
+        f"/idx{precision.index_bytes * 8}]"
+    )
+
+
+def check_cuda_config(
+    precision: MixedPrecision,
+    source: Optional[str] = None,
+    provider: Optional[SourceProvider] = None,
+) -> List[Finding]:
+    """Check the emitted CUDA source for one precision configuration."""
+    if source is None:
+        source = (provider or _default_provider)(precision)
+    location = _config_location(precision)
+    findings: List[Finding] = []
+
+    for match in _ATOMIC_RE.finditer(source):
+        findings.append(
+            RC201.finding(
+                location,
+                f"forbidden intrinsic {match.group(0)} in emitted kernel",
+                line=_line_of(source, match),
+            )
+        )
+
+    for idiom in _COOP_IDIOMS:
+        if idiom not in source:
+            findings.append(
+                RC202.finding(
+                    location,
+                    f"cooperative-groups idiom {idiom!r} missing from "
+                    "emitted kernel",
+                )
+            )
+
+    findings.extend(_check_types(precision, source, location))
+    return findings
+
+
+def _check_types(
+    precision: MixedPrecision, source: str, location: str
+) -> List[Finding]:
+    """Cross-check emitted C types against the declared precision triple."""
+    from repro.kernels.cuda_source import expected_cuda_types
+
+    expected = expected_cuda_types(precision)
+    observed = {}
+    patterns = {
+        "value": r"const\s+([\w ]+?)\s*\*__restrict__\s+values",
+        "index": r"const\s+([\w ]+?)\s*\*__restrict__\s+col_idx",
+        "vector": r"const\s+([\w ]+?)\s*\*__restrict__\s+x",
+        "accum": r"^\s*([\w ]+?)\s+sum\s*=",
+    }
+    findings: List[Finding] = []
+    for role, pattern in patterns.items():
+        match = re.search(pattern, source, flags=re.MULTILINE)
+        if match is None:
+            findings.append(
+                RC203.finding(
+                    location,
+                    f"could not locate the {role} declaration in the "
+                    "emitted kernel",
+                )
+            )
+            continue
+        observed[role] = match.group(1).strip()
+        if observed[role] != expected[role]:
+            findings.append(
+                RC203.finding(
+                    location,
+                    f"{role} type is {observed[role]!r}, declared "
+                    f"precision requires {expected[role]!r}",
+                    line=_line_of(source, match),
+                )
+            )
+    return findings
+
+
+def registry_precisions() -> List[MixedPrecision]:
+    """Every distinct precision configuration the kernel registry declares,
+    plus the named paper configurations."""
+    from repro.kernels.dispatch import kernel_names, make_kernel
+
+    configs: List[MixedPrecision] = list(NAMED_CONFIGS)
+    for name in kernel_names():
+        precision = getattr(make_kernel(name), "precision", None)
+        if precision is not None and precision not in configs:
+            configs.append(precision)
+    return configs
+
+
+def check_all_configs(
+    provider: Optional[SourceProvider] = None,
+) -> List[Finding]:
+    """Run the CUDA checks over every known precision configuration."""
+    findings: List[Finding] = []
+    for precision in registry_precisions():
+        findings.extend(check_cuda_config(precision, provider=provider))
+    return findings
+
+
+def _check_cuda(context: object) -> List[Finding]:
+    provider = getattr(context, "cuda_source_provider", None)
+    return check_all_configs(provider=provider)
+
+
+CUDA_RULES: FrozenSet[str] = frozenset({"RC201", "RC202", "RC203"})
+
+
+def register(registry: RuleRegistry) -> None:
+    """Register the CUDA rules and checker."""
+    for rule in (RC201, RC202, RC203):
+        registry.add_rule(rule)
+    registry.add_checker("cuda-source", CUDA_RULES, _check_cuda)

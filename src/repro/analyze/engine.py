@@ -1,0 +1,92 @@
+"""Analysis engine: run every registered checker and collect findings.
+
+The engine owns run orchestration and policy (suppression, metrics,
+exit codes); checkers own detection.  ``repro-rtdose analyze`` and the CI
+gate are thin wrappers over :func:`run_analysis`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence
+
+from repro.analyze.findings import AnalysisReport, Finding
+from repro.analyze.rules import get_registry, validate_suppressions
+from repro.obs import metrics
+from repro.obs.trace import span as _trace_span
+
+
+def default_package_root() -> Path:
+    """The installed ``repro`` package directory (lint target)."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+@dataclass
+class AnalysisContext:
+    """Shared inputs the checkers read.
+
+    ``cuda_source_provider`` and ``kernel_factory`` exist so tests can
+    seed violations (e.g. inject an ``atomicAdd`` into the emitted CUDA
+    source) without touching the real modules.
+    """
+
+    #: root directory of the ``repro`` package to lint.
+    package_root: Path = field(default_factory=default_package_root)
+    #: override for CUDA source generation, ``f(precision) -> source``.
+    cuda_source_provider: Optional[Callable[[object], str]] = None
+    #: override for kernel instantiation, ``f(name) -> kernel``.
+    kernel_factory: Optional[Callable[[str], object]] = None
+
+
+def run_analysis(
+    context: Optional[AnalysisContext] = None,
+    suppress: Sequence[str] = (),
+    checkers: Optional[Sequence[str]] = None,
+) -> AnalysisReport:
+    """Run all (or the named) checkers and return the combined report.
+
+    ``suppress`` drops findings of the given rule ids (counted, not
+    silently discarded); unknown ids raise so typos cannot disable
+    nothing.  Results are mirrored into the process metrics registry
+    under ``analyze.*``.
+    """
+    context = context or AnalysisContext()
+    suppressed_ids = set(validate_suppressions(suppress))
+    registry = get_registry()
+    report = AnalysisReport()
+    selected = registry.checkers()
+    if checkers is not None:
+        wanted = set(checkers)
+        unknown = wanted - {c.name for c in selected}
+        if unknown:
+            raise KeyError(
+                f"unknown checkers {sorted(unknown)}; available: "
+                f"{[c.name for c in selected]}"
+            )
+        selected = [c for c in selected if c.name in wanted]
+
+    with _trace_span("analyze.run", checkers=len(selected)):
+        for checker in selected:
+            with _trace_span("analyze.checker", checker=checker.name):
+                findings: List[Finding] = list(checker.fn(context))
+            report.checkers_run.append(checker.name)
+            report.rules_run.extend(
+                sorted(checker.rule_ids - suppressed_ids)
+            )
+            for finding in findings:
+                if finding.rule_id in suppressed_ids:
+                    report.suppressed += 1
+                    continue
+                report.findings.append(finding)
+            metrics.counter("analyze.checkers_run").inc()
+
+    for finding in report.findings:
+        metrics.counter(
+            f"analyze.findings.{finding.severity.value}"
+        ).inc()
+    metrics.counter("analyze.suppressed").inc(report.suppressed)
+    metrics.counter("analyze.runs").inc()
+    return report

@@ -1,0 +1,136 @@
+"""Structured findings: what a checker reports and how it is rendered.
+
+A :class:`Finding` pins one contract violation to a rule, a severity and a
+location (``file:line`` where the violation is textual; the kernel or
+precision-configuration name where it is behavioural).  Checkers never
+print — they return findings, and :class:`AnalysisReport` owns rendering
+(terminal table or machine-readable JSON) and the exit-code policy.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.util.tables import Table
+
+
+class Severity(enum.Enum):
+    """How bad a finding is; the ordering drives the exit-code policy."""
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+    @property
+    def rank(self) -> int:
+        return {"info": 0, "warning": 1, "error": 2}[self.value]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One contract violation (or advisory note) from one rule."""
+
+    #: rule identifier, e.g. ``"RA102"``.
+    rule_id: str
+    #: severity the rule assigns (may be overridden at registration).
+    severity: Severity
+    #: where: a repo-relative path, a kernel name, or a config name.
+    location: str
+    #: 1-based source line when the finding is textual; None otherwise.
+    line: Optional[int]
+    #: what went wrong, in one sentence.
+    message: str
+    #: how to fix it (or how to suppress it if intentional).
+    remediation: str = ""
+
+    def render_location(self) -> str:
+        if self.line is not None:
+            return f"{self.location}:{self.line}"
+        return self.location
+
+    def to_dict(self) -> Dict[str, object]:
+        d = asdict(self)
+        d["severity"] = self.severity.value
+        return d
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one ``repro-rtdose analyze`` run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    #: rule ids that actually executed (suppressed rules are skipped).
+    rules_run: List[str] = field(default_factory=list)
+    #: count of findings dropped by CLI/inline suppression.
+    suppressed: int = 0
+    #: checker names that ran.
+    checkers_run: List[str] = field(default_factory=list)
+
+    def by_severity(self, severity: Severity) -> List[Finding]:
+        return [f for f in self.findings if f.severity is severity]
+
+    @property
+    def errors(self) -> List[Finding]:
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return self.by_severity(Severity.WARNING)
+
+    def exit_code(self, strict: bool = False) -> int:
+        """0 when clean; 1 when errors (or, under ``strict``, warnings)."""
+        if self.errors:
+            return 1
+        if strict and self.warnings:
+            return 1
+        return 0
+
+    def sorted_findings(self) -> List[Finding]:
+        return sorted(
+            self.findings,
+            key=lambda f: (-f.severity.rank, f.rule_id, f.location, f.line or 0),
+        )
+
+    def render_table(self) -> str:
+        """Terminal rendering: one row per finding plus a summary line."""
+        table = Table(
+            ["rule", "severity", "location", "message", "remediation"],
+            title="Static analysis findings",
+        )
+        for f in self.sorted_findings():
+            table.add_row(
+                [f.rule_id, f.severity.value, f.render_location(),
+                 f.message, f.remediation]
+            )
+        lines = [table.render()] if self.findings else []
+        lines.append(self.summary_line())
+        return "\n".join(lines)
+
+    def summary_line(self) -> str:
+        return (
+            f"analyze: {len(self.checkers_run)} checkers, "
+            f"{len(self.rules_run)} rules, "
+            f"{len(self.errors)} errors, {len(self.warnings)} warnings, "
+            f"{len(self.by_severity(Severity.INFO))} notes, "
+            f"{self.suppressed} suppressed"
+        )
+
+    def to_json(self, strict: bool = False, indent: Optional[int] = 2) -> str:
+        payload = {
+            "schema": "repro.analyze-report/v1",
+            "checkers_run": list(self.checkers_run),
+            "rules_run": list(self.rules_run),
+            "suppressed": self.suppressed,
+            "counts": {
+                sev.value: len(self.by_severity(sev)) for sev in Severity
+            },
+            "exit_code": self.exit_code(strict),
+            "findings": [f.to_dict() for f in self.sorted_findings()],
+        }
+        return json.dumps(payload, indent=indent)
+
+    def extend(self, findings: Sequence[Finding]) -> None:
+        self.findings.extend(findings)

@@ -1,0 +1,211 @@
+"""Rule catalogue and checker registry for ``repro.analyze``.
+
+A *rule* is one named invariant (``RA102: unseeded numpy.random use``)
+with a default severity and a remediation hint; a *checker* is a function
+that inspects the tree and may emit findings for one or more rules.  The
+registry is process-global so the CLI, CI and tests see one catalogue —
+and resettable (:func:`reset_registry`) so test runs stay
+order-independent; built-in rules re-register lazily on next use.
+
+Suppression comes in two layers:
+
+* per-rule, via ``repro-rtdose analyze --suppress RULE`` (the rule's
+  findings are dropped and counted);
+* per-line, via an inline ``# analyze: allow[RULE]`` comment on the
+  flagged source line (multiple rules comma-separated).
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional
+
+from repro.analyze.findings import Finding, Severity
+
+#: matches ``# analyze: allow[RA102]`` / ``# analyze: allow[RA102, RC201]``.
+_ALLOW_RE = re.compile(r"#\s*analyze:\s*allow\[([A-Z0-9,\s]+)\]")
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One checkable invariant."""
+
+    rule_id: str
+    name: str
+    severity: Severity
+    description: str
+    remediation: str = ""
+
+    def finding(
+        self,
+        location: str,
+        message: str,
+        line: Optional[int] = None,
+        remediation: Optional[str] = None,
+    ) -> Finding:
+        """Build a finding carrying this rule's defaults."""
+        return Finding(
+            rule_id=self.rule_id,
+            severity=self.severity,
+            location=location,
+            line=line,
+            message=message,
+            remediation=self.remediation if remediation is None else remediation,
+        )
+
+
+#: A checker takes the analysis context and returns findings.  The context
+#: type lives in :mod:`repro.analyze.engine`; ``object`` here avoids the
+#: import cycle.
+CheckerFn = Callable[[object], List[Finding]]
+
+
+@dataclass(frozen=True)
+class Checker:
+    """A registered checker and the rules it may emit."""
+
+    name: str
+    rule_ids: FrozenSet[str]
+    fn: CheckerFn
+
+
+@dataclass
+class RuleRegistry:
+    """Thread-safe store of rules and checkers."""
+
+    _rules: Dict[str, Rule] = field(default_factory=dict)
+    _checkers: Dict[str, Checker] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def add_rule(self, rule: Rule, replace: bool = False) -> Rule:
+        with self._lock:
+            existing = self._rules.get(rule.rule_id)
+            if existing is not None and not replace:
+                if existing != rule:
+                    raise ValueError(
+                        f"rule {rule.rule_id!r} already registered with a "
+                        "different definition"
+                    )
+                return existing
+            self._rules[rule.rule_id] = rule
+            return rule
+
+    def add_checker(
+        self,
+        name: str,
+        rule_ids: Iterable[str],
+        fn: CheckerFn,
+        replace: bool = False,
+    ) -> Checker:
+        ids = frozenset(rule_ids)
+        with self._lock:
+            missing = sorted(i for i in ids if i not in self._rules)
+            if missing:
+                raise ValueError(
+                    f"checker {name!r} references unregistered rules {missing}"
+                )
+            if name in self._checkers and not replace:
+                raise ValueError(f"checker {name!r} already registered")
+            checker = Checker(name=name, rule_ids=ids, fn=fn)
+            self._checkers[name] = checker
+            return checker
+
+    def rule(self, rule_id: str) -> Rule:
+        with self._lock:
+            try:
+                return self._rules[rule_id]
+            except KeyError:
+                raise KeyError(
+                    f"unknown rule {rule_id!r}; known: {sorted(self._rules)}"
+                ) from None
+
+    def rules(self) -> List[Rule]:
+        with self._lock:
+            return [self._rules[k] for k in sorted(self._rules)]
+
+    def checkers(self) -> List[Checker]:
+        with self._lock:
+            return [self._checkers[k] for k in sorted(self._checkers)]
+
+    def rule_ids(self) -> List[str]:
+        with self._lock:
+            return sorted(self._rules)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._rules.clear()
+            self._checkers.clear()
+
+
+_REGISTRY = RuleRegistry()
+_BUILTINS_LOADED = False
+
+
+def get_registry() -> RuleRegistry:
+    """The process-wide registry, with built-in rules loaded."""
+    ensure_builtin_rules()
+    return _REGISTRY
+
+
+def raw_registry() -> RuleRegistry:
+    """The registry without triggering built-in registration (internal)."""
+    return _REGISTRY
+
+
+def reset_registry() -> None:
+    """Drop every rule and checker (tests use this between runs).
+
+    Built-in rules re-register on the next :func:`get_registry` call, so a
+    reset restores the stock catalogue while discarding anything a test
+    added.
+    """
+    global _BUILTINS_LOADED
+    _REGISTRY.clear()
+    _BUILTINS_LOADED = False
+
+
+def ensure_builtin_rules() -> None:
+    """Idempotently register the built-in checkers.
+
+    Imported lazily to avoid cycles (checker modules import this module
+    for the :class:`Rule` type).
+    """
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    _BUILTINS_LOADED = True
+    from repro.analyze import contracts, cuda_check, source_lint, traffic_check
+
+    for mod in (source_lint, cuda_check, contracts, traffic_check):
+        mod.register(_REGISTRY)
+
+
+def inline_allowed_rules(source_line: str) -> FrozenSet[str]:
+    """Rule ids suppressed by an inline ``# analyze: allow[...]`` comment."""
+    match = _ALLOW_RE.search(source_line)
+    if not match:
+        return frozenset()
+    return frozenset(
+        part.strip() for part in match.group(1).split(",") if part.strip()
+    )
+
+
+def validate_suppressions(suppress: Iterable[str]) -> List[str]:
+    """Check ``--suppress`` arguments against the catalogue.
+
+    Returns the normalized list; raises ``KeyError`` on unknown ids so a
+    typo cannot silently disable nothing.
+    """
+    registry = get_registry()
+    known = set(registry.rule_ids())
+    normalized = []
+    for rule_id in suppress:
+        rule_id = rule_id.strip().upper()
+        if rule_id not in known:
+            raise KeyError(
+                f"unknown rule {rule_id!r} in --suppress; known: {sorted(known)}"
+            )
+        normalized.append(rule_id)
+    return normalized

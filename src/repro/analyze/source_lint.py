@@ -1,0 +1,326 @@
+"""AST-based reproducibility lint (rules RA101–RA104).
+
+The paper's kernel is clinically acceptable only because it is bitwise
+reproducible (Section II-D), and reproducibility is a *global* property:
+one unseeded RNG, one wall-clock read or one atomics call anywhere in a
+kernel's functional path silently destroys it.  This lint walks the
+package source and enforces:
+
+* **RA101** — modules that declare reproducible kernels must not import or
+  call :mod:`repro.gpu.atomics` (the non-associative reduction model that
+  defines the *non*-reproducible GPU Baseline);
+* **RA102** — stochastic code must flow through :mod:`repro.util.rng`;
+  direct ``numpy.random`` construction or sampling anywhere else bypasses
+  the single-seed provenance story;
+* **RA103** — functional-path modules (kernels, sparse formats, precision,
+  GPU substrate, dose, optimization, roofline) must not read wall clocks;
+  timing belongs to the harness and :mod:`repro.obs`;
+* **RA104** — modules declaring reproducible kernels must not hold mutable
+  module-level state (dict/list/set literals), which leaks across runs.
+
+All rules honour inline ``# analyze: allow[RULE]`` suppressions on the
+flagged line.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.analyze.findings import Finding, Severity
+from repro.analyze.rules import Rule, RuleRegistry, inline_allowed_rules
+
+RA101 = Rule(
+    "RA101",
+    "atomics-in-reproducible-module",
+    Severity.ERROR,
+    "A module declaring reproducible kernels imports or calls "
+    "repro.gpu.atomics.",
+    "Move the atomics use into a kernel declared reproducible=False, or "
+    "mark the line '# analyze: allow[RA101]' with justification.",
+)
+RA102 = Rule(
+    "RA102",
+    "unseeded-numpy-random",
+    Severity.ERROR,
+    "Direct numpy.random construction/sampling bypasses repro.util.rng.",
+    "Thread an rng through repro.util.rng.make_rng/stable_seed instead of "
+    "calling numpy.random directly.",
+)
+RA103 = Rule(
+    "RA103",
+    "wall-clock-in-functional-path",
+    Severity.ERROR,
+    "A functional-path module reads a wall clock; results could depend on "
+    "when the code runs.",
+    "Move timing into the bench harness or repro.obs; functional code "
+    "must be a pure function of its inputs.",
+)
+RA104 = Rule(
+    "RA104",
+    "mutable-module-state",
+    Severity.WARNING,
+    "Module-level mutable state in a module declaring reproducible "
+    "kernels can carry information between runs.",
+    "Make the value immutable (tuple/frozenset/constant) or move it into "
+    "instance state.",
+)
+
+#: package-relative directories whose modules are the functional path.
+FUNCTIONAL_DIRS: Tuple[str, ...] = (
+    "kernels", "sparse", "precision", "gpu", "dose", "opt", "roofline",
+    "plans",
+)
+
+#: modules exempt from RA102 (the sanctioned RNG plumbing itself).
+RNG_EXEMPT_SUFFIXES: Tuple[str, ...] = ("util/rng.py",)
+
+#: numpy.random attributes that are types/plumbing, not entropy sources.
+_NUMPY_RANDOM_ALLOWED = frozenset({
+    "numpy.random.Generator",
+    "numpy.random.BitGenerator",
+    "numpy.random.SeedSequence",
+})
+
+_WALL_CLOCK_CALLS = frozenset({
+    "time.time",
+    "time.time_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.process_time",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+})
+
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
+                     ast.SetComp)
+
+
+@dataclass
+class ModuleFacts:
+    """What one parsed module declares."""
+
+    #: names of kernel classes found, with their reproducible flag.
+    kernel_classes: Dict[str, bool] = field(default_factory=dict)
+
+    @property
+    def declares_reproducible(self) -> bool:
+        """True when every kernel class in the module is reproducible
+        (and there is at least one)."""
+        return bool(self.kernel_classes) and all(
+            self.kernel_classes.values()
+        )
+
+
+class _ImportMap(ast.NodeVisitor):
+    """Map local names to the dotted path they were imported from."""
+
+    def __init__(self) -> None:
+        self.names: Dict[str, str] = {}
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            target = alias.name if alias.asname else alias.name.split(".")[0]
+            self.names[local] = target
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module is None or node.level:
+            return  # relative imports unused in this package
+        for alias in node.names:
+            local = alias.asname or alias.name
+            self.names[local] = f"{node.module}.{alias.name}"
+
+
+def _dotted_path(node: ast.AST, imports: Dict[str, str]) -> Optional[str]:
+    """Resolve an attribute chain to a dotted path through the imports."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    root = imports.get(node.id, node.id)
+    parts.append(root)
+    return ".".join(reversed(parts))
+
+
+def _collect_module_facts(tree: ast.Module) -> ModuleFacts:
+    facts = ModuleFacts()
+    for node in tree.body:
+        if not isinstance(node, ast.ClassDef):
+            continue
+        base_names = []
+        for base in node.bases:
+            path = _dotted_path(base, {})
+            if path:
+                base_names.append(path.split(".")[-1])
+        if not any("Kernel" in b for b in base_names):
+            continue
+        reproducible = True  # SpMVKernel's default
+        for stmt in node.body:
+            if (
+                isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+                and stmt.targets[0].id == "reproducible"
+                and isinstance(stmt.value, ast.Constant)
+            ):
+                reproducible = bool(stmt.value.value)
+        facts.kernel_classes[node.name] = reproducible
+    return facts
+
+
+def _is_functional_path(rel_path: str) -> bool:
+    parts = Path(rel_path).parts
+    return len(parts) >= 2 and parts[0] in FUNCTIONAL_DIRS
+
+
+def _line_allows(source_lines: List[str], lineno: int, rule_id: str) -> bool:
+    if 1 <= lineno <= len(source_lines):
+        return rule_id in inline_allowed_rules(source_lines[lineno - 1])
+    return False
+
+
+def lint_source(
+    source: str, rel_path: str, location: Optional[str] = None
+) -> List[Finding]:
+    """Lint one module's source text.
+
+    ``rel_path`` is the path relative to the ``repro`` package root (it
+    selects which rules apply); ``location`` overrides the path used in
+    findings (defaults to ``rel_path``).
+    """
+    location = location or rel_path
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:  # pragma: no cover - repo parses
+        return [
+            RA101.finding(
+                location, f"cannot parse module: {exc}", line=exc.lineno,
+                remediation="Fix the syntax error.",
+            )
+        ]
+    lines = source.splitlines()
+    imports = _ImportMap()
+    imports.visit(tree)
+    facts = _collect_module_facts(tree)
+    findings: List[Finding] = []
+
+    def emit(rule: Rule, lineno: int, message: str) -> None:
+        if not _line_allows(lines, lineno, rule.rule_id):
+            findings.append(rule.finding(location, message, line=lineno))
+
+    # --- RA101: atomics imports in reproducible modules ---------------- #
+    if facts.declares_reproducible:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module and (
+                node.module == "repro.gpu.atomics"
+                or (node.module == "repro.gpu"
+                    and any(a.name == "atomics" for a in node.names))
+            ):
+                emit(
+                    RA101, node.lineno,
+                    "import of repro.gpu.atomics in a module whose kernels "
+                    "are all declared reproducible",
+                )
+            elif isinstance(node, ast.Import) and any(
+                a.name.startswith("repro.gpu.atomics") for a in node.names
+            ):
+                emit(
+                    RA101, node.lineno,
+                    "import of repro.gpu.atomics in a module whose kernels "
+                    "are all declared reproducible",
+                )
+
+    is_rng_exempt = any(rel_path.endswith(s) for s in RNG_EXEMPT_SUFFIXES)
+    functional = _is_functional_path(rel_path)
+
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        path = _dotted_path(node.func, imports.names)
+        if path is None:
+            continue
+        # --- RA101: calls into the atomics model ----------------------- #
+        if facts.declares_reproducible and path.startswith(
+            "repro.gpu.atomics."
+        ):
+            emit(
+                RA101, node.lineno,
+                f"call to {path} in a module whose kernels are all "
+                "declared reproducible",
+            )
+        # --- RA102: direct numpy.random use ---------------------------- #
+        if (
+            not is_rng_exempt
+            and path.startswith("numpy.random.")
+            and path not in _NUMPY_RANDOM_ALLOWED
+        ):
+            emit(
+                RA102, node.lineno,
+                f"direct call to {path} bypasses repro.util.rng",
+            )
+        # --- RA103: wall-clock reads in the functional path ------------ #
+        if functional and path in _WALL_CLOCK_CALLS:
+            emit(
+                RA103, node.lineno,
+                f"wall-clock read {path}() in functional-path module",
+            )
+
+    # --- RA104: module-level mutable state ----------------------------- #
+    if facts.declares_reproducible:
+        for node in tree.body:
+            targets: List[ast.expr] = []
+            value: Optional[ast.expr] = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            if value is None or not isinstance(value, _MUTABLE_LITERALS):
+                continue
+            names = ", ".join(
+                t.id for t in targets if isinstance(t, ast.Name)
+            ) or "<target>"
+            emit(
+                RA104, node.lineno,
+                f"module-level mutable value bound to {names} in a module "
+                "declaring reproducible kernels",
+            )
+    return findings
+
+
+def lint_package(package_root: Path) -> List[Finding]:
+    """Lint every module under the ``repro`` package root."""
+    findings: List[Finding] = []
+    for path in sorted(package_root.rglob("*.py")):
+        rel = path.relative_to(package_root).as_posix()
+        source = path.read_text(encoding="utf-8")
+        findings.extend(
+            lint_source(source, rel, location=f"src/repro/{rel}")
+        )
+    return findings
+
+
+def _check_repro_lint(context: object) -> List[Finding]:
+    root = getattr(context, "package_root")
+    return lint_package(Path(root))
+
+
+#: rule ids this checker may emit (shared with tests).
+SOURCE_LINT_RULES: FrozenSet[str] = frozenset(
+    {"RA101", "RA102", "RA103", "RA104"}
+)
+
+
+def register(registry: RuleRegistry) -> None:
+    """Register the lint rules and checker."""
+    for rule in (RA101, RA102, RA103, RA104):
+        registry.add_rule(rule)
+    registry.add_checker("repro-lint", SOURCE_LINT_RULES, _check_repro_lint)

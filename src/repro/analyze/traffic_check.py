@@ -1,0 +1,182 @@
+"""Traffic-model consistency checker (rules RT401–RT402).
+
+The paper's Section V derives the analytic minimum DRAM traffic of one
+SpMV — ``6*nnz + 12*nr + 8*nc`` for the Half/Double configuration — and
+every performance claim downstream (roofline placement, bandwidth
+fractions, the 16-bit-index projection) leans on it.  Two invariants keep
+the code honest:
+
+* **RT401** — :func:`repro.roofline.analytic.spmv_traffic_model` must
+  derive its per-nnz/per-row/per-column coefficients from the declared
+  :class:`~repro.precision.types.MixedPrecision` exactly (and reproduce
+  the literal ``(6, 12, 8)`` for Half/Double);
+* **RT402** — each CSR-family kernel's simulated DRAM counters
+  (``dram_bytes_nnz + dram_bytes_rows + dram_bytes_cols``) must agree
+  with the analytic model on a long-row probe matrix to within a small
+  sector-alignment tolerance.  A refactor that books traffic against the
+  wrong structural dimension — or silently changes a stored width —
+  diverges immediately.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, FrozenSet, List, Optional
+
+import numpy as np
+
+from repro.analyze.findings import Finding, Severity
+from repro.analyze.rules import Rule, RuleRegistry
+from repro.roofline.analytic import spmv_traffic_model
+from repro.util.rng import make_rng, stable_seed
+
+RT401 = Rule(
+    "RT401",
+    "traffic-coefficients-diverged",
+    Severity.ERROR,
+    "The analytic traffic model's coefficients no longer follow from the "
+    "declared precision configuration.",
+    "Keep spmv_traffic_model deriving bytes/nnz, bytes/row and bytes/col "
+    "from MixedPrecision (value+index, 4+vector, vector).",
+)
+RT402 = Rule(
+    "RT402",
+    "kernel-counters-diverge-from-model",
+    Severity.ERROR,
+    "A CSR-family kernel's simulated DRAM counters diverge from the "
+    "analytic traffic model beyond the alignment tolerance.",
+    "Re-derive the kernel's _counters accounting from the analytic model "
+    "(or set traffic_model_exact=False with justification).",
+)
+
+#: the paper's Half/Double coefficients (Section V).
+PAPER_HALF_DOUBLE_COEFFS = (6.0, 12.0, 8.0)
+
+#: relative divergence allowed between counters and the analytic model on
+#: the long-row probe (sector rounding + per-row alignment slack).
+TRAFFIC_TOLERANCE = 0.03
+
+#: probe geometry: long contiguous rows so per-row slack is amortized the
+#: way it is on the paper-scale matrices.
+_TRAFFIC_ROWS, _TRAFFIC_COLS, _TRAFFIC_BAND = 96, 2048, 480
+
+
+def check_model_coefficients() -> List[Finding]:
+    """RT401 over every precision configuration the registry declares."""
+    from repro.analyze.cuda_check import registry_precisions
+
+    findings: List[Finding] = []
+    for precision in registry_precisions():
+        location = f"traffic[{precision.name}/idx{precision.index_bytes * 8}]"
+        estimate = spmv_traffic_model(1.0, 1.0, 1.0, precision)
+        expected = (
+            float(precision.bytes_per_nonzero()),
+            4.0 + float(precision.vector.nbytes),
+            float(precision.vector.nbytes),
+        )
+        observed = (
+            estimate.bytes_per_nnz,
+            estimate.bytes_per_row,
+            estimate.bytes_per_col,
+        )
+        if observed != expected:
+            findings.append(
+                RT401.finding(
+                    location,
+                    f"model coefficients {observed} != {expected} derived "
+                    "from the precision declaration",
+                )
+            )
+        if (
+            precision.matrix.value == "half"
+            and precision.vector.value == "double"
+            and precision.index_bytes == 4
+            and observed != PAPER_HALF_DOUBLE_COEFFS
+        ):
+            findings.append(
+                RT401.finding(
+                    location,
+                    f"Half/Double coefficients {observed} != the paper's "
+                    f"{PAPER_HALF_DOUBLE_COEFFS}",
+                )
+            )
+    return findings
+
+
+def _traffic_probe(name: str, value_dtype: np.dtype) -> object:
+    from repro.sparse.synth import banded
+
+    return banded(
+        _TRAFFIC_ROWS,
+        _TRAFFIC_COLS,
+        bandwidth=_TRAFFIC_BAND,
+        value_dtype=value_dtype,
+        rng=make_rng(stable_seed("analyze.traffic", name)),
+    )
+
+
+KernelFactory = Callable[[str], object]
+
+
+def check_kernel_traffic(name: str, kernel: object) -> List[Finding]:
+    """RT402 for one kernel (no-op unless it declares model exactness)."""
+    contract = kernel.contract()  # type: ignore[attr-defined]
+    if not contract.matches_traffic_model or contract.precision is None:
+        return []
+    precision = contract.precision
+    matrix = _traffic_probe(name, precision.matrix.dtype)
+    if precision.index_bytes != 4:
+        matrix = matrix.with_index_dtype(precision.index_dtype)
+    x = 0.5 + make_rng(stable_seed("analyze.traffic.x", name)).random(
+        _TRAFFIC_COLS
+    )
+    result = kernel.run(matrix, x)  # type: ignore[attr-defined]
+    counters = result.counters
+    measured = (
+        counters.dram_bytes_nnz
+        + counters.dram_bytes_rows
+        + counters.dram_bytes_cols
+    )
+    analytic = spmv_traffic_model(
+        matrix.nnz, matrix.n_rows, matrix.n_cols, precision
+    ).total_bytes
+    divergence = abs(measured - analytic) / analytic
+    if divergence > TRAFFIC_TOLERANCE:
+        return [
+            RT402.finding(
+                f"kernel[{name}]",
+                f"DRAM counters {measured:.0f} B diverge from the analytic "
+                f"model {analytic:.0f} B by {100 * divergence:.1f}% "
+                f"(tolerance {100 * TRAFFIC_TOLERANCE:.0f}%)",
+            )
+        ]
+    return []
+
+
+def check_all_traffic(
+    kernel_factory: Optional[KernelFactory] = None,
+    kernel_list: Optional[List[str]] = None,
+) -> List[Finding]:
+    """RT401 + RT402 over the whole registry."""
+    from repro.kernels.dispatch import kernel_names, make_kernel
+
+    factory: KernelFactory = kernel_factory or make_kernel
+    names = kernel_list if kernel_list is not None else kernel_names()
+    findings = check_model_coefficients()
+    for name in names:
+        findings.extend(check_kernel_traffic(name, factory(name)))
+    return findings
+
+
+def _check_traffic(context: object) -> List[Finding]:
+    factory = getattr(context, "kernel_factory", None)
+    return check_all_traffic(kernel_factory=factory)
+
+
+TRAFFIC_RULES: FrozenSet[str] = frozenset({"RT401", "RT402"})
+
+
+def register(registry: RuleRegistry) -> None:
+    """Register the traffic rules and checker."""
+    for rule in (RT401, RT402):
+        registry.add_rule(rule)
+    registry.add_checker("traffic-model", TRAFFIC_RULES, _check_traffic)

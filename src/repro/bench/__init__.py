@@ -11,6 +11,7 @@ from repro.bench.experiments import (
     exp_fig7,
     exp_table1,
 )
+from repro.bench.figures import grouped_bar_chart, sweep_line_chart
 from repro.bench.harness import (
     ExperimentRow,
     case_weights,
@@ -19,12 +20,10 @@ from repro.bench.harness import (
     prepare_input_matrix,
     run_spmv_experiment,
 )
-from repro.bench.figures import grouped_bar_chart, sweep_line_chart
 from repro.bench.measurement import (
     MeasurementStats,
     repeat_measurement,
 )
-from repro.bench.sweeps import SweepPoint, size_sweep, subsample_rows
 from repro.bench.recording import (
     PAPER_EXPECTATIONS,
     ClaimCheck,
@@ -32,6 +31,7 @@ from repro.bench.recording import (
     failed_claims,
     rows_to_csv,
 )
+from repro.bench.sweeps import SweepPoint, size_sweep, subsample_rows
 
 __all__ = [
     "ALL_EXPERIMENTS",

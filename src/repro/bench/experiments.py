@@ -10,15 +10,15 @@ from __future__ import annotations
 
 import functools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List
 
 import numpy as np
 
 from repro.bench.harness import ExperimentRow, run_spmv_experiment
+from repro.gpu.device import A100, GPU_DEVICES
 from repro.obs import metrics
 from repro.obs.logging import get_logger, kv
 from repro.obs.trace import span as trace_span
-from repro.gpu.device import A100, GPU_DEVICES, DeviceSpec
 from repro.plans.cases import PAPER_TABLE1, build_case_matrix, case_names
 from repro.precision.types import HALF_DOUBLE, SINGLE
 from repro.roofline.analytic import spmv_traffic_model

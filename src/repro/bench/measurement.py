@@ -17,8 +17,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-import numpy as np
-
 from repro.gpu.timing import TimingEstimate
 from repro.obs import metrics
 from repro.obs.trace import span as trace_span

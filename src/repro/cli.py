@@ -214,6 +214,35 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    """``repro-rtdose analyze``: run the static contract checkers."""
+    from repro.analyze import get_registry as get_rule_registry
+    from repro.analyze import run_analysis
+
+    if args.list_rules:
+        table = Table(
+            ["rule", "name", "severity", "description"],
+            title="Static analysis rules",
+        )
+        for rule in get_rule_registry().rules():
+            table.add_row(
+                [rule.rule_id, rule.name, rule.severity.value,
+                 rule.description]
+            )
+        print(table.render())
+        return 0
+    try:
+        report = run_analysis(suppress=args.suppress)
+    except KeyError as exc:
+        print(f"analyze: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(report.to_json(strict=args.strict))
+    else:
+        print(report.render_table())
+    return report.exit_code(strict=args.strict)
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     """``repro-rtdose trace <subcmd> ...``: run under tracing + report."""
     rest = [a for a in args.rest if a != "--"]
@@ -321,6 +350,30 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=["tiny", "bench", "structure"])
     p_prof.add_argument("--threads-per-block", type=int, default=None)
     p_prof.set_defaults(func=_cmd_profile)
+
+    p_analyze = sub.add_parser(
+        "analyze", parents=[obs_flags],
+        help="run the static contract checkers (reproducibility, "
+             "precision, traffic model)",
+    )
+    p_analyze.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero on warnings as well as errors",
+    )
+    p_analyze.add_argument(
+        "--format", default="table", choices=["table", "json"],
+        help="output format (json emits the repro.analyze-report/v1 schema)",
+    )
+    p_analyze.add_argument(
+        "--suppress", action="append", default=[], metavar="RULE",
+        help="drop findings of this rule id (repeatable); unknown ids "
+             "are rejected",
+    )
+    p_analyze.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    p_analyze.set_defaults(func=_cmd_analyze)
 
     p_trace = sub.add_parser(
         "trace",

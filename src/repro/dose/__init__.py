@@ -11,17 +11,17 @@ from repro.dose.bragg import (
     range_from_energy_mm,
     straggling_sigma_mm,
 )
-from repro.dose.deposition import (
-    DepositionConfig,
-    DoseDepositionMatrix,
-    build_deposition_matrix,
-)
 from repro.dose.ct import (
     CTImage,
     density_to_hu,
     hu_to_density,
     phantom_from_ct,
     synthesize_ct,
+)
+from repro.dose.deposition import (
+    DepositionConfig,
+    DoseDepositionMatrix,
+    build_deposition_matrix,
 )
 from repro.dose.dvh import DVH, compute_dvh, homogeneity_index
 from repro.dose.gamma import GammaResult, gamma_index

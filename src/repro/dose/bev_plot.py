@@ -12,8 +12,6 @@ of each row (serpentine), ``.`` empty BEV cells.
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 from repro.dose.pencilbeam import BeamGeometryCache

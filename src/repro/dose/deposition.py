@@ -26,16 +26,16 @@ from repro.dose.pencilbeam import (
 from repro.dose.phantom import Phantom
 from repro.dose.spots import SpotMap, generate_spot_map
 from repro.precision.halfsim import dose_scale_for_half
+from repro.sparse.convert import coo_to_csr
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+from repro.util.errors import GeometryError
+from repro.util.rng import RngLike, make_rng, stable_seed
 
 #: Calibrated peak matrix value (Gy per unit spot weight).  Chosen so the
 #: per-column cutoff tail (~1e-3 of a column peak) stays far above
 #: float16's smallest normal value (6.1e-5).
 HALF_CALIBRATION_PEAK = 32.0
-from repro.sparse.coo import COOMatrix
-from repro.sparse.convert import coo_to_csr
-from repro.sparse.csr import CSRMatrix
-from repro.util.errors import GeometryError
-from repro.util.rng import RngLike, make_rng, stable_seed
 
 
 @dataclass(frozen=True)

@@ -16,7 +16,6 @@ the per-spot work is just a Gaussian evaluation over a culled voxel set.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
 
 import numpy as np
 from scipy import ndimage

@@ -15,7 +15,7 @@ from typing import Dict, Tuple
 import numpy as np
 
 from repro.dose.grid import DoseGrid
-from repro.dose.structures import ROIMask, box_mask, ellipsoid_mask, sphere_mask
+from repro.dose.structures import ROIMask, ellipsoid_mask, sphere_mask
 from repro.util.errors import GeometryError
 
 #: Mass densities in g/cc.

@@ -13,6 +13,7 @@ from repro.gpu.atomics import (
     atomic_scatter_add,
     expected_ulp_nondeterminism,
 )
+from repro.gpu.cache import CacheStats, SetAssociativeCache, gather_trace_stats
 from repro.gpu.coop import WarpTile, thread_rank_linear
 from repro.gpu.counters import PerfCounters
 from repro.gpu.device import (
@@ -34,16 +35,6 @@ from repro.gpu.launch import (
     thread_per_item_launch,
     warp_per_row_launch,
 )
-from repro.gpu.memory_planner import (
-    ChunkPlan,
-    MatrixFootprint,
-    paper_case_footprint,
-    plan_beams,
-    plan_execution,
-    usable_bytes,
-)
-from repro.gpu.cache import CacheStats, SetAssociativeCache, gather_trace_stats
-from repro.gpu.nsight import profile_report
 from repro.gpu.memory import (
     GatherTraffic,
     ScatterTraffic,
@@ -53,6 +44,15 @@ from repro.gpu.memory import (
     scatter_traffic,
     segmented_stream_bytes,
 )
+from repro.gpu.memory_planner import (
+    ChunkPlan,
+    MatrixFootprint,
+    paper_case_footprint,
+    plan_beams,
+    plan_execution,
+    usable_bytes,
+)
+from repro.gpu.nsight import profile_report
 from repro.gpu.timing import (
     KernelTraits,
     TimingEstimate,

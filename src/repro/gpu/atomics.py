@@ -15,8 +15,6 @@ gives identical results (useful for regression tests of the model itself).
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 from repro.util.rng import RngLike, make_rng

@@ -17,7 +17,7 @@ the input-vector re-reads change — both accounted for in the estimate.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.gpu.device import DeviceSpec
 from repro.precision.types import HALF_DOUBLE, MixedPrecision

@@ -31,7 +31,7 @@ demonstrate matter for dose-deposition SpMV:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.gpu.counters import PerfCounters

@@ -14,6 +14,12 @@
 
 from repro.kernels.base import KernelResult, MatrixLike, SpMVKernel
 from repro.kernels.baseline import GPUBaselineKernel
+from repro.kernels.batched import (
+    OptimizationProjection,
+    PlanSpMVResult,
+    project_optimization,
+    run_plan_spmv,
+)
 from repro.kernels.cpu_raystation import CPURayStationKernel
 from repro.kernels.csr_scalar import ScalarCSRKernel, scalar_csr_spmv_exact
 from repro.kernels.csr_vector import (
@@ -22,21 +28,15 @@ from repro.kernels.csr_vector import (
     VectorCSRKernel,
     warp_csr_spmv_exact,
 )
+from repro.kernels.cuda_source import generate_cuda_kernel
 from repro.kernels.cusparse_model import CuSparseLikeKernel
+from repro.kernels.dispatch import kernel_names, make_kernel
 from repro.kernels.format_kernels import (
     ELLPACKKernel,
     SellCSigmaKernel,
     ellpack_spmv_exact,
     sellcs_spmv_exact,
 )
-from repro.kernels.batched import (
-    OptimizationProjection,
-    PlanSpMVResult,
-    project_optimization,
-    run_plan_spmv,
-)
-from repro.kernels.cuda_source import generate_cuda_kernel
-from repro.kernels.dispatch import kernel_names, make_kernel
 from repro.kernels.ginkgo_model import GinkgoLikeKernel, ginkgo_subwarp_size
 
 __all__ = [

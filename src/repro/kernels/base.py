@@ -16,16 +16,43 @@ from typing import Optional, Union
 import numpy as np
 
 from repro.gpu.counters import PerfCounters
-from repro.obs import metrics
-from repro.obs.trace import span as _trace_span
 from repro.gpu.device import A100, DeviceSpec
 from repro.gpu.launch import LaunchConfig
 from repro.gpu.timing import KernelTraits, TimingEstimate, WorkloadProfile
+from repro.obs import metrics
+from repro.obs.trace import span as _trace_span
+from repro.precision.types import MixedPrecision
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.rscf import RSCFMatrix
 from repro.util.rng import RngLike
 
 MatrixLike = Union[CSRMatrix, RSCFMatrix]
+
+
+@dataclass(frozen=True)
+class KernelContract:
+    """The machine-checkable contract one kernel declares.
+
+    This is what :mod:`repro.analyze` verifies: the reproducibility claim
+    (bit-identical repeated runs), the precision triple the functional
+    path must honour, whether the implementation is allowed to touch
+    atomics, and whether its byte accounting must agree with the paper's
+    analytic traffic model (``6*nnz + 12*nr + 8*nc`` for Half/Double).
+    """
+
+    #: registry/display name of the kernel.
+    name: str
+    #: repeated runs on the same input must be bit-identical.
+    reproducible: bool
+    #: declared storage/vector/accumulation precisions (None for kernels
+    #: without a first-class precision configuration, e.g. RSCF ports).
+    precision: Optional[MixedPrecision]
+    #: the implementation reduces through atomics (must imply
+    #: ``reproducible=False``).
+    uses_atomics: bool
+    #: DRAM byte counters are expected to match the analytic traffic
+    #: model (padding formats intentionally diverge and opt out).
+    matches_traffic_model: bool
 
 
 @dataclass(frozen=True)
@@ -119,6 +146,10 @@ class SpMVKernel(abc.ABC):
     name: str = "abstract"
     #: True if repeated runs on the same input are bit-identical.
     reproducible: bool = True
+    #: True when the kernel's DRAM counters must agree with the analytic
+    #: traffic model of :mod:`repro.roofline.analytic` (CSR-family
+    #: kernels set this; padding formats like ELLPACK opt out).
+    traffic_model_exact: bool = False
 
     def __init_subclass__(cls, **kwargs):
         super().__init_subclass__(**kwargs)
@@ -140,6 +171,23 @@ class SpMVKernel(abc.ABC):
         ``rng`` only affects kernels with nondeterministic reduction order
         (the atomics baseline); deterministic kernels ignore it.
         """
+
+    def contract(self) -> KernelContract:
+        """The contract this kernel declares (checked by ``repro.analyze``).
+
+        Assembled from the class-level reproducibility flag, the
+        ``precision`` attribute kernels with a first-class
+        :class:`~repro.precision.types.MixedPrecision` set in their
+        constructor, and the atomics flag of the kernel's traits.
+        """
+        traits = getattr(self, "traits", None)
+        return KernelContract(
+            name=self.name,
+            reproducible=self.reproducible,
+            precision=getattr(self, "precision", None),
+            uses_atomics=bool(traits.uses_atomics) if traits else False,
+            matches_traffic_model=self.traffic_model_exact,
+        )
 
     def traits_for(self, profile: WorkloadProfile) -> KernelTraits:
         """Modelling traits for a workload profile.

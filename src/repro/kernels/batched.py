@@ -16,7 +16,7 @@ about — "a significant speedup in optimization times and time-to-treatment".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
 import numpy as np
 

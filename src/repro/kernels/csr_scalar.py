@@ -72,6 +72,7 @@ class ScalarCSRKernel(SpMVKernel):
     """One-thread-per-row CSR SpMV (the uncoalesced contrast kernel)."""
 
     reproducible = True
+    traffic_model_exact = True
     default_threads_per_block = 128
 
     def __init__(self, precision: MixedPrecision = SINGLE):

@@ -97,6 +97,8 @@ class VectorCSRKernel(SpMVKernel):
     """
 
     reproducible = True
+    #: streams CSR exactly once — counters must match the analytic model.
+    traffic_model_exact = True
     #: default block size: the Figure 4 sweep found 512 best for this kernel.
     default_threads_per_block = 512
 

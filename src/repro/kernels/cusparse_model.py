@@ -58,6 +58,7 @@ class CuSparseLikeKernel(SpMVKernel):
 
     name = "cusparse"
     reproducible = True  # cusparseSpMV default algorithm is deterministic
+    traffic_model_exact = True
     default_threads_per_block = 256
 
     def __init__(self) -> None:

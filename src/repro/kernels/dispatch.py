@@ -11,14 +11,14 @@ from __future__ import annotations
 from typing import Callable, Dict, List
 
 from repro.kernels.base import SpMVKernel
-from repro.obs import metrics
 from repro.kernels.baseline import GPUBaselineKernel
 from repro.kernels.cpu_raystation import CPURayStationKernel
 from repro.kernels.csr_scalar import ScalarCSRKernel
 from repro.kernels.csr_vector import HalfDoubleKernel, SingleKernel, VectorCSRKernel
-from repro.kernels.format_kernels import ELLPACKKernel, SellCSigmaKernel
 from repro.kernels.cusparse_model import CuSparseLikeKernel
+from repro.kernels.format_kernels import ELLPACKKernel, SellCSigmaKernel
 from repro.kernels.ginkgo_model import GinkgoLikeKernel
+from repro.obs import metrics
 from repro.precision.types import DOUBLE, HALF_DOUBLE_SHORT_INDEX
 from repro.util.errors import ReproError
 
@@ -59,3 +59,31 @@ def make_kernel(name: str) -> SpMVKernel:
 def kernel_names() -> List[str]:
     """All registered kernel names, sorted."""
     return sorted(_FACTORIES)
+
+
+def register_kernel(
+    name: str, factory: Callable[[], SpMVKernel], replace: bool = False
+) -> None:
+    """Register an additional kernel factory under ``name``.
+
+    Refuses to shadow an existing registration unless ``replace=True`` —
+    a silent overwrite would reroute every harness run that refers to
+    the name.
+    """
+    if name in _FACTORIES and not replace:
+        metrics.counter("kernel.register_conflicts").inc()
+        raise ReproError(
+            f"kernel {name!r} is already registered; pass replace=True "
+            "to override it deliberately"
+        )
+    _FACTORIES[name] = factory
+    metrics.counter("kernel.registered").inc()
+
+
+def unregister_kernel(name: str) -> None:
+    """Remove a kernel registration (raises ReproError if absent)."""
+    if name not in _FACTORIES:
+        raise ReproError(
+            f"unknown kernel {name!r}; available: {sorted(_FACTORIES)}"
+        )
+    del _FACTORIES[name]

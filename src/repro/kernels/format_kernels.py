@@ -240,6 +240,13 @@ class SellCSigmaKernel(SpMVKernel):
                 f"{self.name} operates on SELL-C-sigma matrices, got "
                 f"{type(matrix).__name__}"
             )
+        chunk_dtypes = {ch.dtype for ch in matrix.chunk_values if ch.size}
+        if chunk_dtypes - {self.precision.matrix.dtype}:
+            raise DTypeError(
+                f"{self.name} expects {self.precision.matrix.dtype} values, "
+                f"got {sorted(str(d) for d in chunk_dtypes)}; convert the "
+                "CSR source with astype before csr_to_sellcs"
+            )
         tpb = threads_per_block or self.default_threads_per_block
         launch = warp_per_row_launch(
             max(matrix.n_rows, 1), tpb, device.warp_size

@@ -46,6 +46,7 @@ class GinkgoLikeKernel(SpMVKernel):
 
     name = "ginkgo"
     reproducible = True
+    traffic_model_exact = True
     default_threads_per_block = 256
 
     def __init__(self) -> None:

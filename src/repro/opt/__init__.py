@@ -1,5 +1,10 @@
 """Plan-optimization application layer: objectives, problem, solvers."""
 
+from repro.opt.dvh_objectives import (
+    MaxDVHObjective,
+    MinDVHObjective,
+    dvh_objective_satisfied,
+)
 from repro.opt.objectives import (
     CompositeObjective,
     DoseObjective,
@@ -7,11 +12,6 @@ from repro.opt.objectives import (
     MeanDoseObjective,
     MinDoseObjective,
     UniformDoseObjective,
-)
-from repro.opt.dvh_objectives import (
-    MaxDVHObjective,
-    MinDVHObjective,
-    dvh_objective_satisfied,
 )
 from repro.opt.problem import PlanOptimizationProblem, SpMVAccounting
 from repro.opt.robust import (

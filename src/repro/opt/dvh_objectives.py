@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.dose.structures import ROIMask
 from repro.opt.objectives import DoseObjective
-from repro.util.validation import check_nonnegative, check_positive
+from repro.util.validation import check_positive
 
 
 class MaxDVHObjective(DoseObjective):

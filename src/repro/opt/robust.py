@@ -36,7 +36,6 @@ from repro.dose.phantom import Phantom
 from repro.opt.objectives import CompositeObjective
 from repro.opt.problem import SpMVAccounting
 from repro.util.errors import ReproError, ShapeError
-from repro.util.rng import RngLike, make_rng
 
 
 @dataclass(frozen=True)

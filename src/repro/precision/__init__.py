@@ -1,14 +1,6 @@
 """Precision substrate: mixed-precision descriptors, half-precision storage
 emulation, and reduction-order reproducibility tooling."""
 
-from repro.precision.types import (
-    DOUBLE,
-    HALF_DOUBLE,
-    HALF_DOUBLE_SHORT_INDEX,
-    SINGLE,
-    MixedPrecision,
-    Precision,
-)
 from repro.precision.halfsim import (
     HALF_EPS,
     HALF_MAX,
@@ -29,6 +21,14 @@ from repro.precision.reproducibility import (
     sequential_reduce,
     tree_reduce,
     tree_reduce_rows,
+)
+from repro.precision.types import (
+    DOUBLE,
+    HALF_DOUBLE,
+    HALF_DOUBLE_SHORT_INDEX,
+    SINGLE,
+    MixedPrecision,
+    Precision,
 )
 
 __all__ = [

@@ -5,11 +5,6 @@ double), index width (16/32-bit) and raw array layout are fully controlled —
 the knobs the paper's kernels and ablations turn.
 """
 
-from repro.sparse.coo import COOMatrix
-from repro.sparse.csr import CSRMatrix
-from repro.sparse.ellpack import ELLMatrix
-from repro.sparse.rscf import RSCFMatrix, quantize_block
-from repro.sparse.sellcs import SellCSigmaMatrix
 from repro.sparse.convert import (
     coo_to_csr,
     csr_to_coo,
@@ -20,19 +15,9 @@ from repro.sparse.convert import (
     rscf_to_csr,
     sellcs_to_csr,
 )
-from repro.sparse.stats import (
-    MatrixStats,
-    RowLengthProfile,
-    gini_coefficient,
-    matrix_stats,
-    row_length_profile,
-)
-from repro.sparse.spmv_ref import (
-    relative_error,
-    spmv_flops,
-    spmv_reference,
-    spmv_rowwise_python,
-)
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ellpack import ELLMatrix
 from repro.sparse.io import load_csr, load_rscf, save_csr, save_rscf
 from repro.sparse.partition import (
     RowPartition,
@@ -40,6 +25,21 @@ from repro.sparse.partition import (
     partition_quality,
     partition_rows_balanced,
     partition_rows_equal,
+)
+from repro.sparse.rscf import RSCFMatrix, quantize_block
+from repro.sparse.sellcs import SellCSigmaMatrix
+from repro.sparse.spmv_ref import (
+    relative_error,
+    spmv_flops,
+    spmv_reference,
+    spmv_rowwise_python,
+)
+from repro.sparse.stats import (
+    MatrixStats,
+    RowLengthProfile,
+    gini_coefficient,
+    matrix_stats,
+    row_length_profile,
 )
 from repro.sparse.synth import banded, dose_like, lognormal_rows, uniform_random
 

@@ -17,7 +17,7 @@ column of each value, ``indptr`` with the start of each row) rather than using
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple, Union
+from typing import Tuple
 
 import numpy as np
 

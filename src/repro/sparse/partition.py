@@ -15,7 +15,7 @@ so benches can show the equal-rows vs equal-nnz difference.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Tuple
 
 import numpy as np
 

@@ -14,12 +14,10 @@ want SpMV workloads shaped like theirs:
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
-from repro.sparse.coo import COOMatrix
 from repro.sparse.convert import coo_to_csr
+from repro.sparse.coo import COOMatrix
 from repro.sparse.csr import CSRMatrix
 from repro.util.errors import ShapeError
 from repro.util.rng import RngLike, make_rng

@@ -12,6 +12,8 @@ from repro.util.errors import (
     LaunchConfigError,
     ConvergenceError,
 )
+from repro.util.rng import make_rng, spawn_rngs, stable_seed
+from repro.util.tables import Table, render_table
 from repro.util.units import (
     GIB,
     GB,
@@ -27,8 +29,6 @@ from repro.util.units import (
     format_si,
     format_time,
 )
-from repro.util.rng import make_rng, spawn_rngs, stable_seed
-from repro.util.tables import Table, render_table
 from repro.util.validation import (
     check_1d,
     check_dtype,

@@ -8,7 +8,7 @@ so that experiments are reproducible end to end from a single seed.
 from __future__ import annotations
 
 import hashlib
-from typing import Iterable, List, Optional, Union
+from typing import Iterable, List, Union
 
 import numpy as np
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.analyze.rules import reset_registry as reset_analyze_registry
 from repro.bench.harness import clear_caches
 from repro.dose.beam import Beam
 from repro.dose.phantom import build_liver_phantom
@@ -29,9 +30,11 @@ def _fresh_process_state():
     """
     clear_caches()
     get_registry().reset()
+    reset_analyze_registry()
     yield
     clear_caches()
     get_registry().reset()
+    reset_analyze_registry()
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,113 @@
+"""The ``repro-rtdose analyze`` subcommand and the engine around it."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analyze import AnalysisContext, run_analysis
+from repro.cli import main
+from repro.obs.metrics import get_registry as get_metrics_registry
+from repro.precision.types import HALF_DOUBLE
+
+
+def _seed_cuda_violation(monkeypatch):
+    """Make every emitted CUDA kernel carry an atomicAdd."""
+    import repro.kernels.cuda_source as cuda_source
+
+    original = cuda_source.generate_cuda_kernel
+
+    def sabotaged(precision=HALF_DOUBLE):
+        return original(precision) + "\natomicAdd(&y[row], sum);\n"
+
+    monkeypatch.setattr(cuda_source, "generate_cuda_kernel", sabotaged)
+
+
+class TestEngine:
+    def test_main_tree_is_clean_under_strict(self):
+        report = run_analysis()
+        assert report.exit_code(strict=True) == 0
+        assert sorted(report.checkers_run) == [
+            "cuda-source", "precision-contracts", "repro-lint",
+            "traffic-model",
+        ]
+        assert len(report.rules_run) == 13
+
+    def test_checker_filter(self):
+        report = run_analysis(checkers=["cuda-source"])
+        assert report.checkers_run == ["cuda-source"]
+        with pytest.raises(KeyError, match="unknown checkers"):
+            run_analysis(checkers=["nope"])
+
+    def test_context_provider_seeds_a_violation(self):
+        context = AnalysisContext(
+            cuda_source_provider=lambda p: "atomicAdd(&y[0], v);"
+        )
+        report = run_analysis(context=context, checkers=["cuda-source"])
+        assert report.exit_code() == 1
+        assert {f.rule_id for f in report.findings} >= {"RC201", "RC202"}
+
+    def test_suppression_counts_instead_of_dropping_silently(self):
+        context = AnalysisContext(
+            cuda_source_provider=lambda p: "atomicAdd(&y[0], v);"
+        )
+        report = run_analysis(
+            context=context, checkers=["cuda-source"],
+            suppress=["RC201", "RC202", "RC203"],
+        )
+        assert report.findings == []
+        assert report.suppressed > 0
+        assert report.exit_code(strict=True) == 0
+
+    def test_findings_reach_the_metrics_registry(self):
+        context = AnalysisContext(
+            cuda_source_provider=lambda p: "atomicAdd(&y[0], v);"
+        )
+        registry = get_metrics_registry()
+        before = registry.counter("analyze.findings.error").value
+        run_analysis(context=context, checkers=["cuda-source"])
+        assert registry.counter("analyze.findings.error").value > before
+
+
+class TestCli:
+    def test_analyze_exits_zero_on_main(self, capsys):
+        assert main(["analyze", "--strict"]) == 0
+        assert "0 errors" in capsys.readouterr().out
+
+    def test_json_format_emits_the_schema(self, capsys):
+        assert main(["analyze", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro.analyze-report/v1"
+        assert payload["counts"]["error"] == 0
+
+    def test_list_rules_prints_catalogue(self, capsys):
+        assert main(["analyze", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("RA101", "RC201", "RP301", "RT401"):
+            assert rule_id in out
+
+    def test_unknown_suppression_is_usage_error(self, capsys):
+        assert main(["analyze", "--suppress", "BOGUS"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_seeded_violation_fails_strict(self, monkeypatch, capsys):
+        _seed_cuda_violation(monkeypatch)
+        assert main(["analyze", "--strict"]) == 1
+        assert "RC201" in capsys.readouterr().out
+
+    def test_seeded_violation_visible_in_json(self, monkeypatch, capsys):
+        _seed_cuda_violation(monkeypatch)
+        assert main(["analyze", "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["exit_code"] == 1
+        assert any(
+            f["rule_id"] == "RC201" for f in payload["findings"]
+        )
+
+    def test_suppressing_the_seeded_rule_restores_green(
+        self, monkeypatch, capsys
+    ):
+        _seed_cuda_violation(monkeypatch)
+        assert main(["analyze", "--suppress", "RC201"]) == 0
+        assert "suppressed" in capsys.readouterr().out

@@ -1,0 +1,91 @@
+"""Precision-contract checker (RP301–RP304) against real and fake kernels."""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import numpy as np
+
+from repro.analyze.contracts import (
+    check_all_contracts,
+    check_kernel_contract,
+)
+from repro.kernels.base import KernelContract
+from repro.precision.types import MixedPrecision, Precision
+
+
+def _ids(findings):
+    return sorted({f.rule_id for f in findings})
+
+
+class TestRealKernels:
+    def test_every_registered_kernel_honours_its_contract(self):
+        findings = check_all_contracts()
+        assert findings == [], [
+            f"{f.rule_id} {f.location} {f.message}" for f in findings
+        ]
+
+    def test_kernel_factory_override_is_used(self):
+        calls = []
+
+        def factory(name):
+            from repro.kernels.dispatch import make_kernel
+
+            calls.append(name)
+            return make_kernel(name)
+
+        check_all_contracts(kernel_factory=factory, kernel_list=["single"])
+        assert calls == ["single"]
+
+
+class _ViolatingKernel:
+    """Breaks every contract at once: claims reproducibility while using
+    atomics, accumulates narrower than its vectors, accepts any dtype,
+    reports float32, and drifts between runs."""
+
+    name = "fake_bad"
+    reproducible = True
+
+    def __init__(self):
+        self.runs = 0
+        self.precision = MixedPrecision(
+            Precision.HALF, Precision.DOUBLE, Precision.SINGLE
+        )
+
+    def contract(self):
+        return KernelContract(
+            name=self.name,
+            reproducible=True,
+            precision=self.precision,
+            uses_atomics=True,
+            matches_traffic_model=False,
+        )
+
+    def run(self, matrix, x, **kwargs):
+        self.runs += 1
+        return SimpleNamespace(
+            accum_bytes=8,  # declared single (4), reports 8
+            y=np.full(matrix.n_rows, float(self.runs), dtype=np.float32),
+        )
+
+
+class TestSeededViolations:
+    def test_violating_kernel_trips_all_four_rules(self):
+        findings = check_kernel_contract("fake_bad", _ViolatingKernel())
+        assert _ids(findings) == ["RP301", "RP302", "RP303", "RP304"]
+
+    def test_rp304_static_half_fires_without_execution(self):
+        findings = check_kernel_contract("fake_bad", _ViolatingKernel())
+        static = [
+            f for f in findings
+            if f.rule_id == "RP304" and "uses_atomics" in f.message
+        ]
+        dynamic = [
+            f for f in findings
+            if f.rule_id == "RP304" and "bitwise" in f.message
+        ]
+        assert static and dynamic
+
+    def test_locations_name_the_kernel(self):
+        findings = check_kernel_contract("fake_bad", _ViolatingKernel())
+        assert all(f.location == "kernel[fake_bad]" for f in findings)

@@ -1,0 +1,84 @@
+"""CUDA source checker (RC201–RC203) over every precision config."""
+
+from __future__ import annotations
+
+from repro.analyze.cuda_check import (
+    NAMED_CONFIGS,
+    check_all_configs,
+    check_cuda_config,
+    registry_precisions,
+)
+from repro.kernels.cuda_source import generate_cuda_kernel
+from repro.precision.types import HALF_DOUBLE, SINGLE
+
+
+def _ids(findings):
+    return [f.rule_id for f in findings]
+
+
+class TestCleanSource:
+    def test_every_registry_precision_passes(self):
+        assert check_all_configs() == []
+
+    def test_registry_precisions_include_named_paper_configs(self):
+        configs = registry_precisions()
+        for named in NAMED_CONFIGS:
+            assert named in configs
+
+    def test_registry_precisions_cover_all_registered_kernels(self):
+        from repro.kernels.dispatch import kernel_names, make_kernel
+
+        configs = registry_precisions()
+        for name in kernel_names():
+            precision = getattr(make_kernel(name), "precision", None)
+            if precision is not None:
+                assert precision in configs
+
+
+class TestSeededViolations:
+    def test_injected_atomic_add_is_rc201(self):
+        source = generate_cuda_kernel(HALF_DOUBLE).replace(
+            "sum = cg::reduce(warp, sum, cg::plus<double>());",
+            "atomicAdd(&y[warp_id], sum);",
+        )
+        findings = check_cuda_config(HALF_DOUBLE, source=source)
+        assert "RC201" in _ids(findings)
+        rc201 = [f for f in findings if f.rule_id == "RC201"]
+        assert all(f.line is not None for f in rc201)
+        # Dropping cg::reduce also loses the reduction idiom.
+        assert "RC202" in _ids(findings)
+
+    def test_atomic_cas_is_rc201(self):
+        source = generate_cuda_kernel(SINGLE) + "\n// atomicCAS(p, a, b);\n"
+        assert "RC201" in _ids(check_cuda_config(SINGLE, source=source))
+
+    def test_missing_coop_include_is_rc202(self):
+        source = generate_cuda_kernel(HALF_DOUBLE).replace(
+            "#include <cooperative_groups.h>", ""
+        )
+        assert "RC202" in _ids(check_cuda_config(HALF_DOUBLE, source=source))
+
+    def test_wrong_vector_type_is_rc203(self):
+        source = generate_cuda_kernel(HALF_DOUBLE).replace(
+            "const double *__restrict__ x", "const float *__restrict__ x"
+        )
+        findings = check_cuda_config(HALF_DOUBLE, source=source)
+        assert _ids(findings) == ["RC203"]
+        assert "vector" in findings[0].message
+
+    def test_missing_declaration_is_rc203(self):
+        source = generate_cuda_kernel(HALF_DOUBLE).replace(
+            "col_idx", "columns"
+        )
+        findings = check_cuda_config(HALF_DOUBLE, source=source)
+        assert "RC203" in _ids(findings)
+
+    def test_provider_override_feeds_every_config(self):
+        seen = []
+
+        def provider(precision):
+            seen.append(precision)
+            return generate_cuda_kernel(precision)
+
+        assert check_all_configs(provider=provider) == []
+        assert set(registry_precisions()) == set(seen)

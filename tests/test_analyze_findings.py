@@ -1,0 +1,142 @@
+"""Findings, report policy, and the rule registry."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analyze.findings import AnalysisReport, Finding, Severity
+from repro.analyze.rules import (
+    Rule,
+    RuleRegistry,
+    get_registry,
+    inline_allowed_rules,
+    reset_registry,
+    validate_suppressions,
+)
+
+
+def _finding(rule_id="RX001", severity=Severity.ERROR, location="a.py",
+             line=3, message="boom"):
+    return Finding(
+        rule_id=rule_id, severity=severity, location=location, line=line,
+        message=message, remediation="fix it",
+    )
+
+
+class TestFinding:
+    def test_render_location_with_and_without_line(self):
+        assert _finding(line=7).render_location() == "a.py:7"
+        assert _finding(line=None).render_location() == "a.py"
+
+    def test_to_dict_serializes_severity_as_string(self):
+        d = _finding().to_dict()
+        assert d["severity"] == "error"
+        assert d["rule_id"] == "RX001"
+
+
+class TestReportPolicy:
+    def test_clean_report_exits_zero_even_strict(self):
+        report = AnalysisReport()
+        assert report.exit_code() == 0
+        assert report.exit_code(strict=True) == 0
+
+    def test_errors_always_fail(self):
+        report = AnalysisReport(findings=[_finding()])
+        assert report.exit_code() == 1
+        assert report.exit_code(strict=True) == 1
+
+    def test_warnings_fail_only_under_strict(self):
+        report = AnalysisReport(
+            findings=[_finding(severity=Severity.WARNING)]
+        )
+        assert report.exit_code() == 0
+        assert report.exit_code(strict=True) == 1
+
+    def test_sorted_findings_puts_errors_first(self):
+        warn = _finding(rule_id="RW001", severity=Severity.WARNING)
+        err = _finding(rule_id="RX002", severity=Severity.ERROR)
+        report = AnalysisReport(findings=[warn, err])
+        assert [f.rule_id for f in report.sorted_findings()] == [
+            "RX002", "RW001"
+        ]
+
+    def test_to_json_schema_and_counts(self):
+        report = AnalysisReport(
+            findings=[_finding(), _finding(severity=Severity.WARNING)],
+            checkers_run=["c1"],
+            rules_run=["RX001"],
+            suppressed=2,
+        )
+        payload = json.loads(report.to_json(strict=True))
+        assert payload["schema"] == "repro.analyze-report/v1"
+        assert payload["counts"] == {"info": 0, "warning": 1, "error": 1}
+        assert payload["exit_code"] == 1
+        assert payload["suppressed"] == 2
+        assert len(payload["findings"]) == 2
+
+    def test_render_table_includes_summary(self):
+        report = AnalysisReport(findings=[_finding()])
+        rendered = report.render_table()
+        assert "RX001" in rendered
+        assert "1 errors" in rendered
+
+    def test_empty_report_renders_summary_only(self):
+        assert AnalysisReport().render_table().startswith("analyze:")
+
+
+class TestRuleRegistry:
+    def test_duplicate_rule_same_definition_is_idempotent(self):
+        reg = RuleRegistry()
+        rule = Rule("RX001", "x", Severity.ERROR, "d")
+        reg.add_rule(rule)
+        reg.add_rule(rule)
+        assert reg.rule_ids() == ["RX001"]
+
+    def test_duplicate_rule_different_definition_raises(self):
+        reg = RuleRegistry()
+        reg.add_rule(Rule("RX001", "x", Severity.ERROR, "d"))
+        with pytest.raises(ValueError, match="different definition"):
+            reg.add_rule(Rule("RX001", "y", Severity.WARNING, "other"))
+
+    def test_checker_referencing_unknown_rule_raises(self):
+        reg = RuleRegistry()
+        with pytest.raises(ValueError, match="unregistered rules"):
+            reg.add_checker("c", {"RX999"}, lambda ctx: [])
+
+    def test_duplicate_checker_raises(self):
+        reg = RuleRegistry()
+        reg.add_rule(Rule("RX001", "x", Severity.ERROR, "d"))
+        reg.add_checker("c", {"RX001"}, lambda ctx: [])
+        with pytest.raises(ValueError, match="already registered"):
+            reg.add_checker("c", {"RX001"}, lambda ctx: [])
+
+    def test_unknown_rule_lookup_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            RuleRegistry().rule("RX404")
+
+    def test_reset_restores_builtin_catalogue(self):
+        registry = get_registry()
+        before = registry.rule_ids()
+        assert "RA101" in before and "RT402" in before
+        reset_registry()
+        assert get_registry().rule_ids() == before
+
+
+class TestSuppression:
+    def test_inline_allow_parsing(self):
+        assert inline_allowed_rules("x = 1  # analyze: allow[RA102]") == {
+            "RA102"
+        }
+        assert inline_allowed_rules(
+            "y  # analyze: allow[RA102, RC201]"
+        ) == {"RA102", "RC201"}
+        assert inline_allowed_rules("plain line") == frozenset()
+
+    def test_validate_suppressions_normalizes_case(self):
+        assert validate_suppressions(["ra104"]) == ["RA104"]
+
+    def test_validate_suppressions_rejects_unknown(self):
+        with pytest.raises(KeyError, match="BOGUS"):
+            validate_suppressions(["BOGUS"])

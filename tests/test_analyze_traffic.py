@@ -1,0 +1,69 @@
+"""Traffic-model consistency checker (RT401–RT402)."""
+
+from __future__ import annotations
+
+from repro.analyze.traffic_check import (
+    PAPER_HALF_DOUBLE_COEFFS,
+    check_all_traffic,
+    check_kernel_traffic,
+    check_model_coefficients,
+)
+from repro.kernels.dispatch import make_kernel
+from repro.precision.types import DOUBLE, HALF_DOUBLE
+from repro.roofline.analytic import spmv_traffic_model
+
+
+class TestCoefficients:
+    def test_model_matches_every_declared_precision(self):
+        assert check_model_coefficients() == []
+
+    def test_half_double_reproduces_the_papers_6_12_8(self):
+        estimate = spmv_traffic_model(1.0, 1.0, 1.0, HALF_DOUBLE)
+        assert (
+            estimate.bytes_per_nnz,
+            estimate.bytes_per_row,
+            estimate.bytes_per_col,
+        ) == PAPER_HALF_DOUBLE_COEFFS == (6.0, 12.0, 8.0)
+
+    def test_double_coefficients_follow_the_declaration(self):
+        estimate = spmv_traffic_model(1.0, 1.0, 1.0, DOUBLE)
+        assert (
+            estimate.bytes_per_nnz,
+            estimate.bytes_per_row,
+            estimate.bytes_per_col,
+        ) == (12.0, 12.0, 8.0)
+
+
+class TestKernelCounters:
+    def test_all_registered_kernels_within_tolerance(self):
+        findings = check_all_traffic()
+        assert findings == [], [
+            f"{f.rule_id} {f.location} {f.message}" for f in findings
+        ]
+
+    def test_format_kernels_are_exempt(self):
+        # ELLPACK/SELL-C-sigma traffic includes padding by design; they
+        # opt out via traffic_model_exact=False rather than passing.
+        for name in ("ellpack_half_double", "sellcs_half_double"):
+            kernel = make_kernel(name)
+            assert not kernel.contract().matches_traffic_model
+            assert check_kernel_traffic(name, kernel) == []
+
+    def test_csr_family_opts_in(self):
+        for name in ("half_double", "single", "double", "half_double_u16",
+                     "scalar_csr", "cusparse", "ginkgo"):
+            assert make_kernel(name).contract().matches_traffic_model
+
+    def test_inflated_counters_diverge(self):
+        kernel = make_kernel("half_double")
+        original = kernel.run
+
+        def inflated(matrix, x, **kwargs):
+            result = original(matrix, x, **kwargs)
+            result.counters.dram_bytes_nnz *= 2.0
+            return result
+
+        kernel.run = inflated
+        findings = check_kernel_traffic("half_double", kernel)
+        assert [f.rule_id for f in findings] == ["RT402"]
+        assert "diverge" in findings[0].message

@@ -1,6 +1,5 @@
 """ASCII figure rendering."""
 
-import pytest
 
 from repro.bench.figures import grouped_bar_chart, sweep_line_chart
 from repro.bench.harness import ExperimentRow

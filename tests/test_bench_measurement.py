@@ -1,6 +1,5 @@
 """Repeated-measurement statistics (the paper's 10000-run methodology)."""
 
-import numpy as np
 import pytest
 
 from repro.bench.harness import case_weights

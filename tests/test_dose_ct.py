@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.dose.beam import Beam
 from repro.dose.ct import (
     CTImage,
     density_to_hu,
@@ -11,7 +10,6 @@ from repro.dose.ct import (
     phantom_from_ct,
     synthesize_ct,
 )
-from repro.dose.grid import DoseGrid
 from repro.util.errors import GeometryError
 
 

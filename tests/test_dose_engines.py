@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.dose.beam import Beam
-from repro.dose.bragg import bragg_curve, energy_from_range_mm
+from repro.dose.bragg import bragg_curve
 from repro.dose.grid import DoseGrid
 from repro.dose.montecarlo import MCConfig, mc_spot_dose
 from repro.dose.pencilbeam import compute_beam_geometry, spot_dose

@@ -7,7 +7,6 @@ from repro.dose.grid import DoseGrid
 from repro.dose.phantom import (
     DENSITY_BONE,
     DENSITY_LUNG,
-    DENSITY_SOFT,
     build_liver_phantom,
     build_prostate_phantom,
 )

@@ -4,7 +4,7 @@ heuristic against it."""
 import numpy as np
 import pytest
 
-from repro.gpu.cache import CacheStats, SetAssociativeCache, gather_trace_stats
+from repro.gpu.cache import SetAssociativeCache, gather_trace_stats
 from repro.gpu.device import A100
 from repro.gpu.memory import gather_traffic
 from repro.util.errors import ReproError

@@ -1,11 +1,11 @@
 """Counters and the analytical timing model."""
 
-import numpy as np
 import pytest
 
 from repro.gpu.counters import PerfCounters
 from repro.gpu.device import A100, CPU_I9_7940X, P100, V100
 from repro.gpu.launch import warp_per_row_launch
+from repro.gpu.launch import occupancy
 from repro.gpu.timing import (
     KernelTraits,
     WorkloadProfile,
@@ -13,7 +13,6 @@ from repro.gpu.timing import (
     estimate_cpu_time,
     estimate_gpu_time,
 )
-from repro.gpu.launch import occupancy
 
 
 def make_counters(

@@ -1,6 +1,5 @@
 """Nsight-style profiler reports."""
 
-import numpy as np
 import pytest
 
 from repro.bench.harness import case_weights

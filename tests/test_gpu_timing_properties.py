@@ -5,7 +5,6 @@ makes a kernel faster, a strictly better device never makes it slower, and
 the achieved bandwidth never exceeds the device peak.
 """
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.gpu.device import A100, CPU_I9_7940X
+from repro.gpu.device import CPU_I9_7940X
 from repro.kernels.baseline import GPUBaselineKernel
 from repro.kernels.cpu_raystation import CPURayStationKernel
 from repro.kernels.csr_vector import HalfDoubleKernel

@@ -4,11 +4,7 @@ import numpy as np
 import pytest
 
 from repro.bench.harness import case_weights
-from repro.kernels.batched import (
-    OptimizationProjection,
-    project_optimization,
-    run_plan_spmv,
-)
+from repro.kernels.batched import project_optimization, run_plan_spmv
 from repro.kernels.csr_vector import HalfDoubleKernel
 from repro.util.errors import ShapeError
 

@@ -11,7 +11,7 @@ from repro.kernels.csr_vector import (
     warp_csr_spmv_exact,
 )
 from repro.precision.reproducibility import tree_reduce_rows
-from repro.precision.types import DOUBLE, HALF_DOUBLE
+from repro.precision.types import DOUBLE
 from repro.util.errors import DTypeError, LaunchConfigError
 from tests.conftest import make_random_csr
 

@@ -1,0 +1,60 @@
+"""Kernel registry error paths: lookup, registration, unregistration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernels.csr_vector import HalfDoubleKernel
+from repro.kernels.dispatch import (
+    kernel_names,
+    make_kernel,
+    register_kernel,
+    unregister_kernel,
+)
+from repro.util.errors import ReproError
+
+
+class TestLookup:
+    def test_unknown_name_raises_repro_error_listing_available(self):
+        with pytest.raises(ReproError, match="half_double"):
+            make_kernel("definitely_not_a_kernel")
+
+    def test_known_names_all_instantiate(self):
+        for name in kernel_names():
+            assert make_kernel(name).name
+
+    def test_lookup_error_counted(self):
+        from repro.obs.metrics import get_registry
+
+        before = get_registry().counter("kernel.lookup_errors").value
+        with pytest.raises(ReproError):
+            make_kernel("nope")
+        assert (
+            get_registry().counter("kernel.lookup_errors").value == before + 1
+        )
+
+
+class TestRegistration:
+    def test_register_and_make(self):
+        register_kernel("test_custom", HalfDoubleKernel)
+        try:
+            assert "test_custom" in kernel_names()
+            assert make_kernel("test_custom").name == "half_double"
+        finally:
+            unregister_kernel("test_custom")
+        assert "test_custom" not in kernel_names()
+
+    def test_duplicate_registration_raises(self):
+        with pytest.raises(ReproError, match="already registered"):
+            register_kernel("half_double", HalfDoubleKernel)
+
+    def test_replace_true_allows_override(self):
+        register_kernel("test_replace", HalfDoubleKernel)
+        try:
+            register_kernel("test_replace", HalfDoubleKernel, replace=True)
+        finally:
+            unregister_kernel("test_replace")
+
+    def test_unregister_unknown_raises(self):
+        with pytest.raises(ReproError, match="unknown kernel"):
+            unregister_kernel("never_registered")

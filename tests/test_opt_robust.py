@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.dose.beam import Beam
 from repro.opt.objectives import CompositeObjective, UniformDoseObjective
 from repro.opt.robust import (
     RobustPlanProblem,

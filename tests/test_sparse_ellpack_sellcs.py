@@ -11,7 +11,6 @@ from repro.sparse.convert import (
 )
 from repro.sparse.ellpack import ELLMatrix
 from repro.util.errors import FormatError
-from tests.conftest import make_random_csr
 
 
 class TestELLPACK:

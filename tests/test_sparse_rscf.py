@@ -7,7 +7,6 @@ from repro.sparse.convert import csr_to_rscf, rscf_to_csr
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.rscf import QUANT_MAX, RSCFMatrix, quantize_block
 from repro.util.errors import FormatError, ShapeError
-from tests.conftest import make_random_csr
 
 
 @pytest.fixture()

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.sparse.csr import CSRMatrix
 from repro.sparse.stats import (
     MatrixStats,
     RowLengthProfile,
