@@ -69,9 +69,12 @@ RA104 = Rule(
 )
 
 #: package-relative directories whose modules are the functional path.
+#: ``serve`` is functional-path too: a served dose must be a pure
+#: function of (plan, precision, weights) — scheduling time flows only
+#: through the injectable :mod:`repro.obs.clock`, never wall clocks.
 FUNCTIONAL_DIRS: Tuple[str, ...] = (
     "kernels", "sparse", "precision", "gpu", "dose", "opt", "roofline",
-    "plans",
+    "plans", "serve",
 )
 
 #: modules exempt from RA102 (the sanctioned RNG plumbing itself).

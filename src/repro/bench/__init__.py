@@ -14,8 +14,10 @@ from repro.bench.experiments import (
 from repro.bench.figures import grouped_bar_chart, sweep_line_chart
 from repro.bench.harness import (
     ExperimentRow,
+    LRUCache,
     case_weights,
     clear_caches,
+    convert_for_kernel,
     paper_scale_timing,
     prepare_input_matrix,
     run_spmv_experiment,
@@ -25,10 +27,13 @@ from repro.bench.measurement import (
     repeat_measurement,
 )
 from repro.bench.recording import (
+    LOADTEST_EXPECTATIONS,
     PAPER_EXPECTATIONS,
     ClaimCheck,
     check_claims,
+    check_loadtest_claims,
     failed_claims,
+    loadtest_rows_to_csv,
     rows_to_csv,
 )
 from repro.bench.sweeps import SweepPoint, size_sweep, subsample_rows
@@ -44,16 +49,21 @@ __all__ = [
     "exp_fig7",
     "exp_table1",
     "ExperimentRow",
+    "LRUCache",
     "case_weights",
     "clear_caches",
+    "convert_for_kernel",
     "paper_scale_timing",
     "prepare_input_matrix",
     "run_spmv_experiment",
     "PAPER_EXPECTATIONS",
+    "LOADTEST_EXPECTATIONS",
     "ClaimCheck",
     "check_claims",
+    "check_loadtest_claims",
     "failed_claims",
     "rows_to_csv",
+    "loadtest_rows_to_csv",
     "grouped_bar_chart",
     "sweep_line_chart",
     "MeasurementStats",

@@ -23,7 +23,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Generic, Optional, Tuple, TypeVar
+from typing import Callable, Dict, Generic, Optional, Tuple, TypeVar
 
 import numpy as np
 
@@ -89,60 +89,111 @@ _V = TypeVar("_V")
 _log = get_logger(__name__)
 
 
-class _LRUCache(Generic[_K, _V]):
-    """Size-capped LRU cache reporting hit/miss/eviction metrics.
+class LRUCache(Generic[_K, _V]):
+    """Thread-safe, size-capped LRU cache reporting hit/miss/eviction
+    metrics.
 
     The previous module-level dicts grew without bound: a sweep over
     every (case, preset, kernel) combination holds every derived matrix
     alive for the life of the process.  The cap keeps the working set of
     a figure regeneration resident while letting cross-figure leftovers
     age out.
+
+    Every operation (``get``/``put``/``clear``/``len``) holds one lock,
+    and :meth:`get_or_create` additionally *single-flights* builders:
+    when N threads miss the same key at once, exactly one runs the
+    factory and the rest wait for its value.  The serving layer hits
+    this from a pool of worker threads, where the naive
+    get-miss-build-put pattern would convert the same plan matrix N
+    times over.
     """
 
-    def __init__(self, name: str, capacity: int):
+    def __init__(self, name: str, capacity: int, metric_prefix: str = "harness"):
         if capacity <= 0:
             raise ValueError(f"cache capacity must be positive, got {capacity}")
         self.name = name
         self.capacity = capacity
+        self._metric_root = f"{metric_prefix}.{name}"
         self._lock = threading.Lock()
         self._data: "OrderedDict[_K, _V]" = OrderedDict()
+        #: key -> Event set when the in-flight builder for key finishes.
+        self._building: Dict[_K, threading.Event] = {}
 
     def get(self, key: _K) -> Optional[_V]:
         with self._lock:
             try:
                 value = self._data[key]
             except KeyError:
-                metrics.counter(f"harness.{self.name}.miss").inc()
+                metrics.counter(f"{self._metric_root}.miss").inc()
                 return None
             self._data.move_to_end(key)
-            metrics.counter(f"harness.{self.name}.hit").inc()
+            metrics.counter(f"{self._metric_root}.hit").inc()
             return value
 
     def put(self, key: _K, value: _V) -> None:
         with self._lock:
-            self._data[key] = value
-            self._data.move_to_end(key)
-            while len(self._data) > self.capacity:
-                evicted_key, _ = self._data.popitem(last=False)
-                metrics.counter(f"harness.{self.name}.evictions").inc()
-                _log.debug(kv("cache eviction", cache=self.name,
-                              key=str(evicted_key)))
-            metrics.gauge(f"harness.{self.name}.size").set(len(self._data))
+            self._put_locked(key, value)
+
+    def _put_locked(self, key: _K, value: _V) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.capacity:
+            evicted_key, _ = self._data.popitem(last=False)
+            metrics.counter(f"{self._metric_root}.evictions").inc()
+            _log.debug(kv("cache eviction", cache=self.name,
+                          key=str(evicted_key)))
+        metrics.gauge(f"{self._metric_root}.size").set(len(self._data))
+
+    def get_or_create(self, key: _K, factory: Callable[[], _V]) -> _V:
+        """Return the cached value, building it via ``factory`` on a miss.
+
+        Concurrent misses on one key run ``factory`` exactly once; the
+        other callers block until the builder finishes and then read the
+        cached value (counted as hits — they were served from cache).
+        A failing factory releases the key so the next caller retries.
+        """
+        while True:
+            with self._lock:
+                if key in self._data:
+                    self._data.move_to_end(key)
+                    metrics.counter(f"{self._metric_root}.hit").inc()
+                    return self._data[key]
+                done = self._building.get(key)
+                if done is None:
+                    done = self._building[key] = threading.Event()
+                    break
+            done.wait()
+        try:
+            value = factory()
+        except BaseException:
+            with self._lock:
+                self._building.pop(key, None)
+            done.set()
+            raise
+        with self._lock:
+            metrics.counter(f"{self._metric_root}.miss").inc()
+            self._put_locked(key, value)
+            self._building.pop(key, None)
+        done.set()
+        return value
 
     def clear(self) -> None:
         with self._lock:
             self._data.clear()
-            metrics.gauge(f"harness.{self.name}.size").set(0)
+            metrics.gauge(f"{self._metric_root}.size").set(0)
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._data)
 
 
+#: back-compat alias (pre-serving name).
+_LRUCache = LRUCache
+
 #: 6 cases x 3 presets fit; RSCF conversions are the largest objects.
-_RSCF_CACHE: _LRUCache[Tuple[str, str], RSCFMatrix] = _LRUCache("rscf_cache", 18)
+_RSCF_CACHE: LRUCache[Tuple[str, str], RSCFMatrix] = LRUCache("rscf_cache", 18)
 #: One figure sweep touches <= 6 cases x ~4 kernels at one preset.
-_HALF_CACHE: _LRUCache[Tuple[str, str, str], CSRMatrix] = _LRUCache(
+_HALF_CACHE: LRUCache[Tuple[str, str, str], CSRMatrix] = LRUCache(
     "half_cache", 48
 )
 
@@ -153,6 +204,31 @@ def clear_caches() -> None:
     _HALF_CACHE.clear()
 
 
+def convert_for_kernel(master: CSRMatrix, kernel_name: str):
+    """Convert a float32 CSR master copy to the format a kernel consumes.
+
+    This is the single mapping from registry name to storage
+    format/precision, shared by the bench harness and the serving
+    layer's plan-matrix cache.
+    """
+    if kernel_name in ("gpu_baseline", "cpu_raystation"):
+        return csr_to_rscf(master)
+    if kernel_name == "ellpack_half_double":
+        return csr_to_ellpack(master.astype(np.float16))
+    if kernel_name == "sellcs_half_double":
+        return csr_to_sellcs(
+            master.astype(np.float16), chunk_size=32, sigma=4096
+        )
+    if kernel_name == "half_double":
+        return master.astype(np.float16)
+    if kernel_name == "half_double_u16":
+        return master.astype(np.float16).with_index_dtype(np.uint16)
+    if kernel_name == "double":
+        return master.astype(np.float64)
+    # single, scalar_csr, cusparse, ginkgo consume the float32 master.
+    return master
+
+
 def prepare_input_matrix(
     kernel_name: str, case_name: str, preset: str = "bench"
 ):
@@ -160,37 +236,15 @@ def prepare_input_matrix(
     with trace_span("harness.matrix_build", case=case_name, preset=preset):
         dep = build_case_matrix(case_name, preset)
     master = dep.matrix  # float32 CSR
+
+    def build():
+        with trace_span("harness.format_convert", kernel=kernel_name,
+                        case=case_name):
+            return convert_for_kernel(master, kernel_name)
+
     if kernel_name in ("gpu_baseline", "cpu_raystation"):
-        key = (case_name, preset)
-        cached = _RSCF_CACHE.get(key)
-        if cached is None:
-            with trace_span("harness.format_convert", kernel=kernel_name,
-                            case=case_name, format="rscf"):
-                cached = csr_to_rscf(master)
-            _RSCF_CACHE.put(key, cached)
-        return cached
-    cache_key = (case_name, preset, kernel_name)
-    cached = _HALF_CACHE.get(cache_key)
-    if cached is not None:
-        return cached
-    with trace_span("harness.format_convert", kernel=kernel_name,
-                    case=case_name):
-        if kernel_name == "ellpack_half_double":
-            mat = csr_to_ellpack(master.astype(np.float16))
-        elif kernel_name == "sellcs_half_double":
-            mat = csr_to_sellcs(
-                master.astype(np.float16), chunk_size=32, sigma=4096
-            )
-        elif kernel_name in ("half_double",):
-            mat = master.astype(np.float16)
-        elif kernel_name == "half_double_u16":
-            mat = master.astype(np.float16).with_index_dtype(np.uint16)
-        elif kernel_name == "double":
-            mat = master.astype(np.float64)
-        else:  # single, scalar_csr, cusparse, ginkgo
-            mat = master
-    _HALF_CACHE.put(cache_key, mat)
-    return mat
+        return _RSCF_CACHE.get_or_create((case_name, preset), build)
+    return _HALF_CACHE.get_or_create((case_name, preset, kernel_name), build)
 
 
 def case_weights(case_name: str, n_spots: int) -> np.ndarray:

@@ -99,6 +99,53 @@ def failed_claims(report: ExperimentReport) -> List[ClaimCheck]:
     return [c for c in check_claims(report) if not c.in_band]
 
 
+#: serving-layer claims: batching must strictly beat sequential launch
+#: accounting, every served dose must be bitwise identical to a
+#: stand-alone evaluation, and a non-overloaded closed loop completes
+#: everything it submits.
+LOADTEST_EXPECTATIONS: Dict[str, Tuple[Optional[float], Tuple[float, float], str]] = {
+    "loadtest_amortization": (None, (1.0 + 1e-9, 1e6), "serve scheduler"),
+    "loadtest_bitwise_fraction": (1.0, (1.0, 1.0), "Sec. II-D at service layer"),
+    "loadtest_completed_fraction": (1.0, (1.0, 1.0), "closed-loop loadgen"),
+}
+
+
+def check_loadtest_claims(report) -> List[ClaimCheck]:
+    """Compare a :class:`~repro.serve.loadgen.LoadTestReport`'s claims
+    against the serving-layer expectations."""
+    checks = []
+    for claim, measured in report.claims().items():
+        if claim in LOADTEST_EXPECTATIONS:
+            paper_value, band, source = LOADTEST_EXPECTATIONS[claim]
+            checks.append(
+                ClaimCheck(claim, float(measured), paper_value, band, source)
+            )
+    return checks
+
+
+def loadtest_rows_to_csv(report) -> str:
+    """Serialize a loadtest's per-request records as CSV."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(
+        [
+            "request_id", "client_id", "plan_id", "precision", "status",
+            "latency_ms", "queue_wait_ms", "batch_id", "batch_size",
+            "modeled_time_s", "cache_hit", "bitwise",
+        ]
+    )
+    for r in report.records:
+        writer.writerow(
+            [
+                r.request_id, r.client_id, r.plan_id, r.precision, r.status,
+                r.latency_ms, r.queue_wait_ms, r.batch_id, r.batch_size,
+                r.modeled_time_s, r.cache_hit,
+                "" if r.bitwise is None else ("yes" if r.bitwise else "NO"),
+            ]
+        )
+    return buf.getvalue()
+
+
 def rows_to_csv(report: ExperimentReport) -> str:
     """Serialize an experiment's raw rows as CSV."""
     buf = io.StringIO()

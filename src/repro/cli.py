@@ -243,6 +243,117 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return report.exit_code(strict=args.strict)
 
 
+def _loadtest_config(args: argparse.Namespace):
+    from repro.serve.loadgen import LoadTestConfig
+
+    return LoadTestConfig(
+        n_requests=args.requests,
+        n_clients=args.clients,
+        burst=args.burst,
+        n_plans=args.plans,
+        precision=args.precision,
+        n_workers=args.workers,
+        max_batch_size=args.batch_size,
+        batch_window_s=args.batch_window_ms / 1e3,
+        deadline_s=(args.deadline_ms / 1e3 if args.deadline_ms else None),
+        seed=args.seed,
+        case_names=args.case or None,
+        preset=args.preset,
+    )
+
+
+def _cmd_serve_loadtest(args: argparse.Namespace) -> int:
+    """``repro-rtdose serve loadtest``: closed-loop latency/throughput run."""
+    from repro.bench.recording import check_loadtest_claims, loadtest_rows_to_csv
+    from repro.serve.loadgen import run_loadtest
+
+    report = run_loadtest(_loadtest_config(args))
+    print(report.render())
+    print()
+    print("Serving-layer checks:")
+    ok = True
+    for c in check_loadtest_claims(report):
+        verdict = "OK  " if c.in_band else "OUT "
+        print(
+            f"  {verdict}{c.claim}: measured={c.measured:.6g} "
+            f"band={c.band} [{c.source}]"
+        )
+        ok = ok and c.in_band
+    if args.csv:
+        path = Path(args.csv)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(loadtest_rows_to_csv(report))
+        print(f"\nper-request records written to {path}")
+    if not ok:
+        print("SERVING-LAYER CLAIMS OUT OF BAND", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_serve_run(args: argparse.Namespace) -> int:
+    """``repro-rtdose serve run``: start a service, serve a demo stream."""
+    import numpy as np
+
+    from repro.serve.loadgen import build_synthetic_plans, request_weights
+    from repro.serve.request import EvaluationRequest, Rejected
+    from repro.serve.scheduler import BatchingPolicy
+    from repro.serve.service import DoseEvaluationService, ServiceConfig
+
+    config = _loadtest_config(args)
+    service = DoseEvaluationService(ServiceConfig(
+        n_workers=config.n_workers,
+        batching=BatchingPolicy(
+            max_batch_size=config.max_batch_size,
+            max_wait_s=config.batch_window_s,
+        ),
+    ))
+    masters = {}
+    if config.case_names:
+        for i, case in enumerate(config.case_names):
+            record = service.plans.register_case(
+                f"plan-{i}", case, preset=config.preset
+            )
+            masters[record.plan_id] = record.matrix
+    else:
+        for plan_id, matrix in build_synthetic_plans(config).items():
+            service.plans.register(plan_id, matrix, source="synthetic")
+            masters[plan_id] = matrix
+    plan_ids = sorted(masters)
+    completed = rejected = 0
+    total_dose = 0.0
+    with service:
+        for i in range(config.n_requests):
+            plan_id = plan_ids[i % len(plan_ids)]
+            outcome = service.submit(EvaluationRequest(
+                request_id=f"run-{i}",
+                plan_id=plan_id,
+                weights=request_weights(
+                    config, 0, i, masters[plan_id].n_cols
+                ),
+                precision=config.precision,
+            ))
+            if isinstance(outcome, Rejected):
+                rejected += 1
+                _log.warning(kv("request rejected", request=f"run-{i}",
+                                reason=outcome.reason.value))
+                continue
+            result = outcome.outcome(timeout=30.0)
+            if isinstance(result, Rejected):
+                rejected += 1
+                continue
+            completed += 1
+            total_dose += float(np.sum(result.dose))
+        stats = service.stats()
+    table = Table(["stat", "value"], title="Service run")
+    table.add_row(["requests completed", completed])
+    table.add_row(["requests rejected", rejected])
+    table.add_row(["total dose (sum over voxels)", f"{total_dose:.6e}"])
+    for name in sorted(stats):
+        table.add_row([name, round(stats[name], 6)])
+    print(table.render())
+    return 0 if rejected == 0 else 1
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     """``repro-rtdose trace <subcmd> ...``: run under tracing + report."""
     rest = [a for a in args.rest if a != "--"]
@@ -374,6 +485,56 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the rule catalogue and exit",
     )
     p_analyze.set_defaults(func=_cmd_analyze)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="dose-evaluation service: demo run and closed-loop loadtest",
+    )
+    serve_sub = p_serve.add_subparsers(dest="serve_command", required=True)
+    serve_flags = argparse.ArgumentParser(add_help=False)
+    serve_flags.add_argument("--requests", type=int, default=200,
+                             help="total evaluation requests")
+    serve_flags.add_argument("--clients", type=int, default=4,
+                             help="concurrent closed-loop clients")
+    serve_flags.add_argument("--burst", type=int, default=4,
+                             help="same-plan requests per client burst")
+    serve_flags.add_argument("--workers", type=int, default=2,
+                             help="evaluation worker threads")
+    serve_flags.add_argument("--plans", type=int, default=3,
+                             help="number of synthetic plans")
+    serve_flags.add_argument("--batch-size", type=int, default=8,
+                             help="micro-batch size cap")
+    serve_flags.add_argument("--batch-window-ms", type=float, default=2.0,
+                             help="coalescing window in milliseconds")
+    serve_flags.add_argument("--precision", default="half_double",
+                             choices=kernel_names(),
+                             help="kernel/precision to serve with")
+    serve_flags.add_argument("--deadline-ms", type=float, default=None,
+                             help="per-request queueing deadline")
+    serve_flags.add_argument("--seed", type=int, default=20210419,
+                             help="workload seed (plans + weights)")
+    serve_flags.add_argument("--case", action="append", default=[],
+                             choices=case_names(), metavar="CASE",
+                             help="serve Table I cases instead of synthetic "
+                                  "plans (repeatable)")
+    serve_flags.add_argument("--preset", default="tiny",
+                             choices=["tiny", "bench", "structure"],
+                             help="matrix-scale preset for --case plans")
+
+    p_serve_run = serve_sub.add_parser(
+        "run", parents=[obs_flags, serve_flags],
+        help="start a service and serve a sequential demo stream",
+    )
+    p_serve_run.set_defaults(func=_cmd_serve_run)
+
+    p_serve_lt = serve_sub.add_parser(
+        "loadtest", parents=[obs_flags, serve_flags],
+        help="closed-loop load test: latency percentiles, amortization, "
+             "bitwise audit",
+    )
+    p_serve_lt.add_argument("--csv", default=None,
+                            help="write per-request records to this CSV path")
+    p_serve_lt.set_defaults(func=_cmd_serve_loadtest)
 
     p_trace = sub.add_parser(
         "trace",

@@ -71,6 +71,13 @@ def run_plan_spmv(
         )
     if not matrices:
         raise ShapeError("need at least one beam")
+    for i, (matrix, w) in enumerate(zip(matrices, weights)):
+        w = np.asarray(w)
+        if w.ndim != 1 or matrix.n_cols != w.shape[0]:
+            raise ShapeError(
+                f"beam {i}: matrix has {matrix.n_cols} columns but weight "
+                f"vector has shape {w.shape}"
+            )
     results = [
         kernel.run(matrix, w, device=device)
         for matrix, w in zip(matrices, weights)
@@ -82,6 +89,75 @@ def run_plan_spmv(
     batched = unbatched - (len(results) - 1) * KERNEL_LAUNCH_OVERHEAD_S
     return PlanSpMVResult(
         per_beam=results,
+        batched_time_s=batched,
+        unbatched_time_s=unbatched,
+    )
+
+
+@dataclass(frozen=True)
+class MultiVectorSpMVResult:
+    """Outcome of one micro-batched multi-vector dose calculation.
+
+    One matrix, many weight vectors — the SpMM view ``D = A @ W`` the
+    serving layer's micro-batcher produces when it coalesces same-plan
+    evaluation requests.  Each column is evaluated with the kernel's
+    exact per-vector reduction order, so every per-request dose is
+    bitwise identical to a stand-alone ``A @ w`` evaluation: batching
+    changes *when* work runs and what launch overhead costs, never a
+    single result bit.
+    """
+
+    per_vector: List[KernelResult]
+    #: modelled time with launch overhead paid once for the whole batch.
+    batched_time_s: float
+    #: sum of stand-alone kernel times (the sequential comparison).
+    unbatched_time_s: float
+
+    @property
+    def doses(self) -> List[np.ndarray]:
+        return [r.y for r in self.per_vector]
+
+    @property
+    def batch_size(self) -> int:
+        return len(self.per_vector)
+
+    @property
+    def launch_overhead_saved_s(self) -> float:
+        return self.unbatched_time_s - self.batched_time_s
+
+    @property
+    def amortization(self) -> float:
+        """Sequential time over batched time (>= 1; == 1 for one vector)."""
+        return self.unbatched_time_s / self.batched_time_s
+
+
+def run_multi_spmv(
+    kernel: SpMVKernel,
+    matrix,
+    weight_vectors: Sequence[np.ndarray],
+    device: DeviceSpec = A100,
+) -> MultiVectorSpMVResult:
+    """Evaluate ``A @ w`` for many weight vectors against one matrix.
+
+    The batch pays the fixed kernel-launch overhead once (back-to-back
+    launches on one stream); each vector's compute/memory time is
+    unchanged.  This is the execution primitive behind the serving
+    layer's request coalescing.
+    """
+    if not weight_vectors:
+        raise ShapeError("need at least one weight vector")
+    for i, w in enumerate(weight_vectors):
+        w = np.asarray(w)
+        if w.ndim != 1 or matrix.n_cols != w.shape[0]:
+            raise ShapeError(
+                f"vector {i}: matrix has {matrix.n_cols} columns but weight "
+                f"vector has shape {w.shape}"
+            )
+    results = [kernel.run(matrix, w, device=device) for w in weight_vectors]
+    unbatched = sum(r.timing.time_s for r in results)
+    batched = unbatched - (len(results) - 1) * KERNEL_LAUNCH_OVERHEAD_S
+    return MultiVectorSpMVResult(
+        per_vector=results,
         batched_time_s=batched,
         unbatched_time_s=unbatched,
     )

@@ -11,9 +11,19 @@ reproduction the same auditability:
   JSONL span logs, span summary tables;
 * :mod:`repro.obs.provenance` — run manifests written next to CSV output;
 * :mod:`repro.obs.logging` — structured logging with the CLI's
-  ``-v``/``-q`` story.
+  ``-v``/``-q`` story;
+* :mod:`repro.obs.clock` — injectable monotonic clock (the serving
+  layer's sanctioned time source; RA103 bans direct wall-clock reads).
 """
 
+from repro.obs.clock import (
+    Clock,
+    FakeClock,
+    SystemClock,
+    get_clock,
+    monotonic,
+    set_clock,
+)
 from repro.obs.export import (
     chrome_trace_events,
     span_summary_table,
@@ -87,4 +97,11 @@ __all__ = [
     "setup_logging",
     "get_logger",
     "kv",
+    # clock
+    "Clock",
+    "SystemClock",
+    "FakeClock",
+    "get_clock",
+    "set_clock",
+    "monotonic",
 ]

@@ -1,0 +1,86 @@
+"""Injectable monotonic clock for the serving layer.
+
+The reproducibility lint (RA103) bans wall-clock reads from
+functional-path modules — results must be pure functions of their
+inputs.  The serving layer, however, legitimately needs *scheduling*
+time: batch windows, deadlines, and latency measurement.  This module is
+the sanctioned indirection: serving code calls :func:`monotonic` (or
+holds a :class:`Clock`), and tests swap in a :class:`FakeClock` to make
+window/deadline behaviour deterministic.
+
+Time read through here must only ever influence *scheduling* decisions
+(when a batch closes, whether a deadline passed, how long a request
+waited) — never the numerical result of a dose evaluation.  The
+service-layer determinism test (same requests, different arrival
+timings, bitwise-identical doses) enforces exactly that separation.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = [
+    "Clock",
+    "SystemClock",
+    "FakeClock",
+    "get_clock",
+    "set_clock",
+    "monotonic",
+]
+
+
+class Clock:
+    """Monotonic-time source; subclass to control time in tests."""
+
+    def monotonic(self) -> float:
+        """Seconds on a monotonic axis (origin unspecified)."""
+        raise NotImplementedError
+
+
+class SystemClock(Clock):
+    """The process monotonic clock (``time.perf_counter``)."""
+
+    def monotonic(self) -> float:
+        return time.perf_counter()
+
+
+class FakeClock(Clock):
+    """Manually advanced clock for deterministic scheduling tests."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        self._lock = threading.Lock()
+
+    def monotonic(self) -> float:
+        with self._lock:
+            return self._now
+
+    def advance(self, dt: float) -> float:
+        """Move time forward by ``dt`` seconds; returns the new reading."""
+        if dt < 0:
+            raise ValueError(f"cannot advance a monotonic clock by {dt}")
+        with self._lock:
+            self._now += dt
+            return self._now
+
+
+_clock: Clock = SystemClock()
+
+
+def get_clock() -> Clock:
+    """The process-wide clock (a :class:`SystemClock` unless swapped)."""
+    return _clock
+
+
+def set_clock(clock: Clock) -> Clock:
+    """Install ``clock`` as the process clock; returns the previous one."""
+    global _clock
+    previous = _clock
+    _clock = clock
+    return previous
+
+
+def monotonic() -> float:
+    """Shorthand for ``get_clock().monotonic()``."""
+    return _clock.monotonic()

@@ -4,7 +4,8 @@ The registry is the numeric complement to :mod:`repro.obs.trace`: spans
 say *where time went*, metrics say *how much work happened* — kernel
 launches, bytes/flops modelled, cache hits and misses, validation
 errors.  Unlike tracing, metrics are always on: an increment is one dict
-lookup and one float add, cheap enough for every hot path.
+lookup and one lock-guarded float add, cheap enough for every hot path
+and exact under the serving layer's concurrent workers.
 
 Naming convention: dotted lowercase paths, ``<layer>.<object>.<event>``
 (``harness.half_cache.hit``, ``kernel.launches``, ``opt.objective_evals``).
@@ -37,37 +38,47 @@ __all__ = [
 
 
 class Counter:
-    """Monotonically increasing count (events, bytes, flops)."""
+    """Monotonically increasing count (events, bytes, flops).
 
-    __slots__ = ("name", "value")
+    Increments are lock-guarded: ``value += amount`` is a read-modify-
+    write that spans bytecodes, so unguarded concurrent increments from
+    the serving layer's worker threads would silently drop counts.
+    """
+
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError(f"counter {self.name!r} cannot decrease ({amount})")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Gauge:
     """Last-write-wins instantaneous value (cache size, queue depth)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
         self.value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount: float = 1.0) -> None:
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
 
 
 class Histogram:
@@ -80,7 +91,7 @@ class Histogram:
     """
 
     __slots__ = ("name", "count", "sum", "min", "max", "_samples", "_keep_every",
-                 "_skip", "max_samples")
+                 "_skip", "max_samples", "_lock")
 
     def __init__(self, name: str, max_samples: int = 2048):
         self.name = name
@@ -92,20 +103,22 @@ class Histogram:
         self._samples: List[float] = []
         self._keep_every = 1
         self._skip = 0
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         value = float(value)
-        self.count += 1
-        self.sum += value
-        self.min = value if self.min is None else min(self.min, value)
-        self.max = value if self.max is None else max(self.max, value)
-        self._skip += 1
-        if self._skip >= self._keep_every:
-            self._skip = 0
-            self._samples.append(value)
-            if len(self._samples) >= self.max_samples:
-                self._samples = self._samples[::2]
-                self._keep_every *= 2
+        with self._lock:
+            self.count += 1
+            self.sum += value
+            self.min = value if self.min is None else min(self.min, value)
+            self.max = value if self.max is None else max(self.max, value)
+            self._skip += 1
+            if self._skip >= self._keep_every:
+                self._skip = 0
+                self._samples.append(value)
+                if len(self._samples) >= self.max_samples:
+                    self._samples = self._samples[::2]
+                    self._keep_every *= 2
 
     @property
     def mean(self) -> float:
@@ -113,11 +126,12 @@ class Histogram:
 
     def percentile(self, q: float) -> float:
         """Approximate ``q``-th percentile (0-100) of the observations."""
-        if not self._samples:
-            return 0.0
         if not 0.0 <= q <= 100.0:
             raise ValueError(f"percentile must be in [0, 100], got {q}")
-        ordered = sorted(self._samples)
+        with self._lock:
+            ordered = sorted(self._samples)
+        if not ordered:
+            return 0.0
         idx = min(len(ordered) - 1, int(round(q / 100.0 * (len(ordered) - 1))))
         return ordered[idx]
 

@@ -1,0 +1,76 @@
+"""repro.serve — concurrent dose-evaluation service over the kernel library.
+
+The paper's conclusion projects the kernel speedup onto "optimization
+times and time-to-treatment"; the follow-up work (Liu et al., 2022)
+moves the same ``d = A w`` workload into a multi-client evaluation
+service.  This package is that layer for the reproduction:
+
+* :mod:`repro.serve.request` — typed requests, results, rejections,
+  and the in-flight ticket;
+* :mod:`repro.serve.queue` — bounded FIFO with per-client fairness and
+  non-blocking backpressure;
+* :mod:`repro.serve.scheduler` — micro-batching: same-plan requests
+  coalesce into one multi-vector SpMM launch within a time/size window;
+* :mod:`repro.serve.cache` — plan registry + bounded LRU of
+  kernel-ready matrices (single-flight conversion);
+* :mod:`repro.serve.workers` — worker pool with graceful shutdown and
+  per-batch spans/metrics;
+* :mod:`repro.serve.service` — the facade gluing the above together,
+  guaranteeing bitwise-deterministic per-request doses regardless of
+  arrival order, batch composition, or worker count;
+* :mod:`repro.serve.loadgen` — synthetic closed-loop load generator
+  with a latency/throughput/bitwise-audit report.
+"""
+
+from repro.serve.cache import PlanMatrixCache, PlanRecord, PlanStore
+from repro.serve.loadgen import (
+    LoadTestConfig,
+    LoadTestReport,
+    RequestRecord,
+    run_loadtest,
+)
+from repro.serve.queue import RequestQueue
+from repro.serve.request import (
+    EvaluationRequest,
+    EvaluationResult,
+    Outcome,
+    Rejected,
+    RejectReason,
+    ServeError,
+    Ticket,
+)
+from repro.serve.scheduler import (
+    Batch,
+    BatchingPolicy,
+    BatchKey,
+    MicroBatchScheduler,
+    batch_key,
+)
+from repro.serve.service import DoseEvaluationService, ServiceConfig
+from repro.serve.workers import WorkerPool
+
+__all__ = [
+    "EvaluationRequest",
+    "EvaluationResult",
+    "Rejected",
+    "RejectReason",
+    "Outcome",
+    "ServeError",
+    "Ticket",
+    "RequestQueue",
+    "Batch",
+    "BatchKey",
+    "BatchingPolicy",
+    "MicroBatchScheduler",
+    "batch_key",
+    "PlanStore",
+    "PlanRecord",
+    "PlanMatrixCache",
+    "WorkerPool",
+    "DoseEvaluationService",
+    "ServiceConfig",
+    "LoadTestConfig",
+    "LoadTestReport",
+    "RequestRecord",
+    "run_loadtest",
+]

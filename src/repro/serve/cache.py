@@ -1,0 +1,125 @@
+"""Plan registry and bounded plan-matrix cache.
+
+A *plan* is a registered deposition matrix (float32 CSR master copy).
+Kernels consume derived representations — half-precision CSR, ELLPACK,
+SELL-C-sigma, RSCF — and deriving them is exactly the conversion cost
+the paper's Section VI measures, so the service keeps a bounded LRU of
+``(plan_id, precision) -> prepared matrix`` in front of the kernel pool.
+
+Admission control happens at registration (only registered plans are
+servable) and at the cache boundary (the LRU cap bounds resident
+converted matrices; eviction is reconversion cost, not correctness).
+The cache reuses the bench harness's :class:`~repro.bench.harness.
+LRUCache` — same single-flight semantics, same hit/miss/eviction
+metrics, reported under ``serve.plan_cache.*``.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.bench.harness import LRUCache, convert_for_kernel
+from repro.obs.trace import span as trace_span
+from repro.serve.request import ServeError
+from repro.sparse.csr import CSRMatrix
+
+
+@dataclass(frozen=True)
+class PlanRecord:
+    """One registered plan: the master matrix plus lookup metadata."""
+
+    plan_id: str
+    matrix: CSRMatrix
+    #: where the plan came from (a Table I case name or "custom").
+    source: str
+
+    @property
+    def n_spots(self) -> int:
+        return self.matrix.n_cols
+
+    @property
+    def n_voxels(self) -> int:
+        return self.matrix.n_rows
+
+
+class PlanStore:
+    """Thread-safe registry of servable plans."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._plans: Dict[str, PlanRecord] = {}
+
+    def register(self, plan_id: str, matrix: CSRMatrix,
+                 source: str = "custom", replace: bool = False) -> PlanRecord:
+        """Register a float32 CSR master copy under ``plan_id``."""
+        record = PlanRecord(plan_id=plan_id, matrix=matrix, source=source)
+        with self._lock:
+            if plan_id in self._plans and not replace:
+                raise ServeError(
+                    f"plan {plan_id!r} is already registered; pass "
+                    "replace=True to overwrite it deliberately"
+                )
+            self._plans[plan_id] = record
+        return record
+
+    def register_case(self, plan_id: str, case_name: str,
+                      preset: str = "tiny") -> PlanRecord:
+        """Register one of the paper's Table I cases as a servable plan."""
+        from repro.plans.cases import build_case_matrix
+
+        dep = build_case_matrix(case_name, preset)
+        return self.register(plan_id, dep.matrix,
+                             source=f"{case_name}/{preset}")
+
+    def get(self, plan_id: str) -> Optional[PlanRecord]:
+        with self._lock:
+            return self._plans.get(plan_id)
+
+    def plan_ids(self) -> List[str]:
+        with self._lock:
+            return sorted(self._plans)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plans)
+
+
+class PlanMatrixCache:
+    """Bounded LRU of kernel-ready matrices, keyed (plan_id, precision)."""
+
+    def __init__(self, store: PlanStore, capacity: int = 8):
+        self._store = store
+        self._lru: LRUCache[Tuple[str, str], object] = LRUCache(
+            "plan_cache", capacity, metric_prefix="serve"
+        )
+
+    def materialize(self, plan_id: str, precision: str):
+        """The kernel-ready matrix for one (plan, precision) pair.
+
+        Returns ``(matrix, cache_hit)``.  Conversion is single-flighted:
+        concurrent workers asking for the same pair trigger one
+        conversion.  Raises :class:`ServeError` for unknown plans (the
+        service normally rejects those at submit time; this guards the
+        execution path).
+        """
+        record = self._store.get(plan_id)
+        if record is None:
+            raise ServeError(f"plan {plan_id!r} is not registered")
+        built_here = []
+
+        def build():
+            built_here.append(True)
+            with trace_span("serve.plan_convert", plan=plan_id,
+                            precision=precision):
+                return convert_for_kernel(record.matrix, precision)
+
+        matrix = self._lru.get_or_create((plan_id, precision), build)
+        return matrix, not built_here
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def clear(self) -> None:
+        self._lru.clear()

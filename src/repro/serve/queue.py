@@ -1,0 +1,164 @@
+"""Bounded, thread-safe request queue with per-client fairness.
+
+Backpressure lives here: the queue has a hard capacity (global), a
+per-client in-flight cap (fairness — one greedy optimizer cannot starve
+the others), and a closed state (shutdown).  ``offer`` never blocks; it
+either admits the ticket or returns a typed :class:`~repro.serve.request.
+Rejected` immediately, which is the whole point — a loaded service must
+answer *now*, not after an unbounded wait.
+
+The consuming side is built for the micro-batcher: ``pop`` takes the
+head (FIFO), and ``pop_matching`` waits up to a window for another entry
+with the same batch key, removing the *first match* while leaving
+other-key entries in arrival order.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Callable, Deque, Dict, Hashable, Optional
+
+from repro.obs import metrics
+from repro.obs.clock import Clock, get_clock
+from repro.serve.request import Rejected, RejectReason, Ticket
+
+
+class RequestQueue:
+    """FIFO of :class:`Ticket` with capacity, quota, and close semantics.
+
+    The in-flight count per client covers queued *and* executing
+    requests; the service calls :meth:`release_client` when a ticket
+    resolves, so a client's quota frees up only once its answers arrive.
+    """
+
+    def __init__(self, capacity: int, max_inflight_per_client: int,
+                 clock: Optional[Clock] = None):
+        if capacity <= 0:
+            raise ValueError(f"queue capacity must be positive, got {capacity}")
+        if max_inflight_per_client <= 0:
+            raise ValueError(
+                "max_inflight_per_client must be positive, got "
+                f"{max_inflight_per_client}"
+            )
+        self.capacity = capacity
+        self.max_inflight_per_client = max_inflight_per_client
+        self._clock = clock or get_clock()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._entries: Deque[Ticket] = deque()
+        self._inflight: Dict[str, int] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # producer side
+    # ------------------------------------------------------------------ #
+
+    def offer(self, ticket: Ticket) -> Optional[Rejected]:
+        """Admit ``ticket`` or return a typed rejection (never blocks)."""
+        request = ticket.request
+        with self._lock:
+            if self._closed:
+                return self._reject(
+                    request.request_id, RejectReason.SHUTTING_DOWN,
+                    "service is draining",
+                )
+            if len(self._entries) >= self.capacity:
+                return self._reject(
+                    request.request_id, RejectReason.QUEUE_FULL,
+                    f"queue at capacity ({self.capacity})",
+                )
+            inflight = self._inflight.get(request.client_id, 0)
+            if inflight >= self.max_inflight_per_client:
+                return self._reject(
+                    request.request_id, RejectReason.CLIENT_QUOTA,
+                    f"client {request.client_id!r} has {inflight} requests "
+                    f"in flight (cap {self.max_inflight_per_client})",
+                )
+            self._inflight[request.client_id] = inflight + 1
+            self._entries.append(ticket)
+            metrics.gauge("serve.queue_depth").set(len(self._entries))
+            self._not_empty.notify()
+            return None
+
+    def _reject(self, request_id: str, reason: RejectReason,
+                detail: str) -> Rejected:
+        metrics.counter(f"serve.rejections.{reason.value}").inc()
+        return Rejected(request_id, reason, detail)
+
+    def release_client(self, client_id: str) -> None:
+        """One of ``client_id``'s requests resolved; free quota."""
+        with self._lock:
+            remaining = self._inflight.get(client_id, 0) - 1
+            if remaining > 0:
+                self._inflight[client_id] = remaining
+            else:
+                self._inflight.pop(client_id, None)
+
+    # ------------------------------------------------------------------ #
+    # consumer side (the micro-batch scheduler)
+    # ------------------------------------------------------------------ #
+
+    def pop(self, timeout: float) -> Optional[Ticket]:
+        """Head of the queue; None after ``timeout`` or when drained+closed."""
+        deadline = self._clock.monotonic() + timeout
+        with self._not_empty:
+            while not self._entries:
+                if self._closed:
+                    return None
+                remaining = deadline - self._clock.monotonic()
+                if remaining <= 0 or not self._not_empty.wait(remaining):
+                    return None
+            ticket = self._entries.popleft()
+            metrics.gauge("serve.queue_depth").set(len(self._entries))
+            return ticket
+
+    def pop_matching(
+        self, key_fn: Callable[[Ticket], Hashable], key: Hashable,
+        timeout: float,
+    ) -> Optional[Ticket]:
+        """First queued ticket whose batch key matches, waiting up to
+        ``timeout`` for one to arrive; None when the window closes empty.
+
+        Non-matching entries keep their arrival order — coalescing one
+        plan's burst must not reorder other plans' requests.
+        """
+        deadline = self._clock.monotonic() + timeout
+        with self._not_empty:
+            while True:
+                for i, ticket in enumerate(self._entries):
+                    if key_fn(ticket) == key:
+                        del self._entries[i]
+                        metrics.gauge("serve.queue_depth").set(
+                            len(self._entries)
+                        )
+                        return ticket
+                if self._closed:
+                    return None
+                remaining = deadline - self._clock.monotonic()
+                if remaining <= 0 or not self._not_empty.wait(remaining):
+                    return None
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Stop admissions; consumers drain what's queued, then get None."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def inflight(self, client_id: str) -> int:
+        """Queued + executing requests for one client."""
+        with self._lock:
+            return self._inflight.get(client_id, 0)

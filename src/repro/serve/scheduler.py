@@ -1,0 +1,199 @@
+"""Micro-batching scheduler: coalesce same-plan requests into SpMM batches.
+
+``d = A w`` launched once per request pays the fixed kernel-launch
+overhead once per request.  Requests that share a plan and precision
+share a matrix, so the scheduler holds the head request open for a short
+window (``max_wait_s``) and folds every same-key arrival into one
+multi-vector batch of up to ``max_batch_size`` — the service-layer
+analogue of the per-plan beam batching in :mod:`repro.kernels.batched`.
+
+Determinism is preserved by construction: a batch never mixes plans or
+precisions, and execution evaluates each member's weight vector with the
+kernel's exact per-vector reduction order.  Window length, arrival
+order, and batch composition therefore affect *latency only*; the
+dose bits of every request are those of a stand-alone evaluation.
+
+Deadlines are enforced here, at dispatch: a request whose queueing time
+already exceeds its ``deadline_s`` is rejected (``DEADLINE_EXCEEDED``)
+rather than evaluated stale.
+"""
+
+from __future__ import annotations
+
+import queue as stdlib_queue
+import threading
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.obs import metrics
+from repro.obs.clock import Clock, get_clock
+from repro.obs.logging import get_logger, kv
+from repro.serve.queue import RequestQueue
+from repro.serve.request import Rejected, RejectReason, Ticket
+
+_log = get_logger(__name__)
+
+#: a batch key: requests sharing both may share one SpMM launch.
+BatchKey = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class BatchingPolicy:
+    """Knobs of the coalescing window."""
+
+    #: hard cap on requests per batch (bounds worker latency).
+    max_batch_size: int = 8
+    #: how long the head request waits for same-key company.
+    max_wait_s: float = 0.002
+    #: bound on formed-but-unexecuted batches (backpressure on the
+    #: scheduler when workers fall behind).
+    max_pending_batches: int = 16
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size <= 0:
+            raise ValueError(
+                f"max_batch_size must be positive, got {self.max_batch_size}"
+            )
+        if self.max_wait_s < 0:
+            raise ValueError(
+                f"max_wait_s must be non-negative, got {self.max_wait_s}"
+            )
+        if self.max_pending_batches <= 0:
+            raise ValueError(
+                "max_pending_batches must be positive, got "
+                f"{self.max_pending_batches}"
+            )
+
+
+@dataclass
+class Batch:
+    """One formed micro-batch, ready for a worker."""
+
+    batch_id: int
+    key: BatchKey
+    tickets: List[Ticket] = field(default_factory=list)
+
+    @property
+    def plan_id(self) -> str:
+        return self.key[0]
+
+    @property
+    def precision(self) -> str:
+        return self.key[1]
+
+    def __len__(self) -> int:
+        return len(self.tickets)
+
+
+def batch_key(ticket: Ticket) -> BatchKey:
+    return (ticket.request.plan_id, ticket.request.precision)
+
+
+class MicroBatchScheduler:
+    """Drains the request queue into a bounded queue of batches.
+
+    Runs one daemon thread.  Shutdown contract: once the request queue
+    is closed, the scheduler drains what remains, emits it as batches,
+    then places one ``None`` sentinel per worker and exits.
+    """
+
+    def __init__(
+        self,
+        requests: RequestQueue,
+        policy: BatchingPolicy,
+        n_workers: int,
+        clock: Optional[Clock] = None,
+    ):
+        self._requests = requests
+        self._policy = policy
+        self._n_workers = n_workers
+        self._clock = clock or get_clock()
+        self._batches: "stdlib_queue.Queue[Optional[Batch]]" = (
+            stdlib_queue.Queue(maxsize=policy.max_pending_batches)
+        )
+        self._next_batch_id = 0
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def batches(self) -> "stdlib_queue.Queue[Optional[Batch]]":
+        """The worker-facing queue of formed batches (None = stop)."""
+        return self._batches
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._run, name="serve-scheduler", daemon=True
+        )
+        self._thread.start()
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    # ------------------------------------------------------------------ #
+
+    def _expired(self, ticket: Ticket) -> Optional[Rejected]:
+        """Reject a ticket whose queueing time exceeded its deadline."""
+        deadline = ticket.request.deadline_s
+        if deadline is None:
+            return None
+        waited = self._clock.monotonic() - ticket.submitted_at
+        if waited <= deadline:
+            return None
+        metrics.counter(
+            f"serve.rejections.{RejectReason.DEADLINE_EXCEEDED.value}"
+        ).inc()
+        return Rejected(
+            ticket.request.request_id,
+            RejectReason.DEADLINE_EXCEEDED,
+            f"queued {waited * 1e3:.2f} ms, deadline {deadline * 1e3:.2f} ms",
+        )
+
+    def _admit(self, ticket: Ticket, batch: Batch) -> None:
+        rejection = self._expired(ticket)
+        if rejection is not None:
+            ticket.resolve(rejection)
+            self._requests.release_client(ticket.request.client_id)
+            return
+        batch.tickets.append(ticket)
+
+    def _form_batch(self, head: Ticket) -> Batch:
+        key = batch_key(head)
+        batch = Batch(batch_id=self._next_batch_id, key=key)
+        self._next_batch_id += 1
+        self._admit(head, batch)
+        window_closes = self._clock.monotonic() + self._policy.max_wait_s
+        while len(batch) < self._policy.max_batch_size:
+            remaining = window_closes - self._clock.monotonic()
+            if remaining <= 0:
+                # Window closed; still sweep already-queued same-key
+                # entries (no extra waiting) so a burst that arrived
+                # together is never split by scheduling jitter alone.
+                remaining = 0.0
+            more = self._requests.pop_matching(batch_key, key, remaining)
+            if more is None:
+                break
+            self._admit(more, batch)
+        return batch
+
+    def _run(self) -> None:
+        while True:
+            head = self._requests.pop(timeout=0.05)
+            if head is None:
+                if self._requests.closed and len(self._requests) == 0:
+                    break
+                continue
+            batch = self._form_batch(head)
+            if not batch.tickets:
+                continue  # every member hit its deadline
+            metrics.counter("serve.batches").inc()
+            metrics.histogram("serve.batch_size").observe(len(batch))
+            _log.debug(kv("batch formed", batch=batch.batch_id,
+                          plan=batch.plan_id, precision=batch.precision,
+                          size=len(batch)))
+            self._batches.put(batch)
+        for _ in range(self._n_workers):
+            self._batches.put(None)

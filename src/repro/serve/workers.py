@@ -1,0 +1,102 @@
+"""Worker pool: execute formed batches and resolve their tickets.
+
+Workers are deliberately thin — all evaluation logic (plan cache,
+kernel dispatch, result assembly) lives in the executor callable the
+service provides, so the pool owns exactly three things: thread
+lifecycle, the stop sentinel protocol, and per-worker observability
+(one ``serve.batch`` span per executed batch, execution counters, and
+a crash barrier that converts an executor failure into per-ticket
+``INTERNAL_ERROR`` rejections instead of a dead worker thread).
+"""
+
+from __future__ import annotations
+
+import queue as stdlib_queue
+import threading
+from typing import Callable, List, Optional
+
+from repro.obs import metrics
+from repro.obs.logging import get_logger, kv
+from repro.obs.trace import span as trace_span
+from repro.serve.request import Outcome, Rejected, RejectReason, Ticket
+from repro.serve.scheduler import Batch
+
+_log = get_logger(__name__)
+
+#: executes one batch, resolving every ticket in it.  The worker name is
+#: passed through so results can carry execution provenance.
+BatchExecutor = Callable[[Batch, str], None]
+
+#: resolves one ticket (the service's version also releases client quota).
+TicketResolver = Callable[[Ticket, Outcome], None]
+
+
+def _default_resolver(ticket: Ticket, outcome: Outcome) -> None:
+    ticket.resolve(outcome)
+
+
+class WorkerPool:
+    """N threads draining the scheduler's batch queue."""
+
+    def __init__(
+        self,
+        batches: "stdlib_queue.Queue[Optional[Batch]]",
+        executor: BatchExecutor,
+        n_workers: int = 2,
+        resolver: TicketResolver = _default_resolver,
+    ):
+        if n_workers <= 0:
+            raise ValueError(f"n_workers must be positive, got {n_workers}")
+        self._batches = batches
+        self._executor = executor
+        self._resolver = resolver
+        self.n_workers = n_workers
+        self._threads: List[threading.Thread] = []
+
+    def start(self) -> None:
+        if self._threads:
+            return
+        for i in range(self.n_workers):
+            thread = threading.Thread(
+                target=self._run, name=f"serve-worker-{i}", daemon=True,
+                args=(f"worker-{i}",),
+            )
+            self._threads.append(thread)
+            thread.start()
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        """Wait for every worker to see its stop sentinel and exit."""
+        for thread in self._threads:
+            thread.join(timeout)
+
+    @property
+    def alive(self) -> int:
+        return sum(1 for t in self._threads if t.is_alive())
+
+    # ------------------------------------------------------------------ #
+
+    def _run(self, worker_name: str) -> None:
+        while True:
+            batch = self._batches.get()
+            if batch is None:
+                break
+            with trace_span("serve.batch", worker=worker_name,
+                            batch=batch.batch_id, plan=batch.plan_id,
+                            precision=batch.precision, size=len(batch)):
+                try:
+                    self._executor(batch, worker_name)
+                except BaseException as exc:  # crash barrier
+                    metrics.counter("serve.worker_errors").inc()
+                    _log.warning(kv("batch execution failed",
+                                    worker=worker_name,
+                                    batch=batch.batch_id,
+                                    error=type(exc).__name__))
+                    detail = f"{type(exc).__name__}: {exc}"
+                    for ticket in batch.tickets:
+                        if not ticket.done():
+                            self._resolver(ticket, Rejected(
+                                ticket.request.request_id,
+                                RejectReason.INTERNAL_ERROR,
+                                detail,
+                            ))
+            metrics.counter(f"serve.batches_executed.{worker_name}").inc()

@@ -172,3 +172,142 @@ class TestCLI:
         # Reproducibility and validation error are table columns now.
         assert "bitwise" in out and "yes" in out
         assert "rel err" in out
+
+
+class TestLRUCache:
+    """Thread-safety and single-flight regressions for the shared cache."""
+
+    def _cache(self, capacity=4):
+        from repro.bench.harness import LRUCache
+
+        return LRUCache("test_cache", capacity, metric_prefix="test")
+
+    def test_backcompat_alias(self):
+        from repro.bench.harness import LRUCache, _LRUCache
+
+        assert _LRUCache is LRUCache
+
+    def test_capacity_evicts_lru(self):
+        cache = self._cache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh a; b is now LRU
+        cache.put("c", 3)
+        assert len(cache) == 2
+        assert cache.get("b") is None
+        assert cache.get("a") == 1 and cache.get("c") == 3
+
+    def test_get_or_create_builds_once_sequentially(self):
+        cache = self._cache()
+        calls = []
+        assert cache.get_or_create("k", lambda: calls.append(1) or 7) == 7
+        assert cache.get_or_create("k", lambda: calls.append(1) or 9) == 7
+        assert len(calls) == 1
+
+    def test_get_or_create_failure_releases_key(self):
+        cache = self._cache()
+
+        def boom():
+            raise RuntimeError("builder failed")
+
+        with pytest.raises(RuntimeError):
+            cache.get_or_create("k", boom)
+        # The key is not poisoned: the next builder runs and caches.
+        assert cache.get_or_create("k", lambda: 5) == 5
+
+    def test_concurrent_get_or_create_single_flight(self):
+        import threading
+
+        cache = self._cache()
+        n_threads = 12
+        barrier = threading.Barrier(n_threads)
+        build_count = []
+        build_lock = threading.Lock()
+        results = []
+        results_lock = threading.Lock()
+
+        def factory():
+            with build_lock:
+                build_count.append(1)
+            return object()
+
+        def worker():
+            barrier.wait()
+            value = cache.get_or_create("shared", factory)
+            with results_lock:
+                results.append(value)
+
+        threads = [
+            threading.Thread(target=worker) for _ in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(build_count) == 1
+        assert len({id(v) for v in results}) == 1
+
+    def test_concurrent_mixed_access_stays_bounded(self):
+        import threading
+
+        cache = self._cache(capacity=8)
+        n_threads = 8
+        barrier = threading.Barrier(n_threads)
+
+        def worker(seed):
+            barrier.wait()
+            for i in range(200):
+                key = (seed * 7 + i) % 32
+                if i % 3 == 0:
+                    cache.put(key, i)
+                elif i % 3 == 1:
+                    cache.get(key)
+                else:
+                    cache.get_or_create(key, lambda: i)
+
+        threads = [
+            threading.Thread(target=worker, args=(s,))
+            for s in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(cache) <= 8
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestConvertForKernel:
+    @pytest.fixture(scope="class")
+    def master(self):
+        return build_case_matrix("Liver 1", "tiny").matrix
+
+    def test_half_double_is_fp16_csr(self, master):
+        from repro.bench.harness import convert_for_kernel
+
+        m = convert_for_kernel(master, "half_double")
+        assert m.value_dtype == np.float16
+
+    def test_u16_variant_gets_short_indices(self, master):
+        from repro.bench.harness import convert_for_kernel
+
+        m = convert_for_kernel(master, "half_double_u16")
+        assert m.index_dtype == np.uint16
+
+    def test_baseline_gets_rscf(self, master):
+        from repro.bench.harness import convert_for_kernel
+
+        assert isinstance(
+            convert_for_kernel(master, "gpu_baseline"), RSCFMatrix
+        )
+
+    def test_single_reuses_master(self, master):
+        from repro.bench.harness import convert_for_kernel
+
+        assert convert_for_kernel(master, "single") is master
+
+    def test_double_widens(self, master):
+        from repro.bench.harness import convert_for_kernel
+
+        assert convert_for_kernel(master, "double").value_dtype == np.float64

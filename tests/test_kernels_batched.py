@@ -72,3 +72,105 @@ class TestProjection:
     def test_invalid_iterations(self, plan):
         with pytest.raises(ValueError):
             project_optimization(plan, "k", "d", n_iterations=0)
+
+
+class TestPerBeamValidation:
+    def test_shape_error_names_offending_beam(self, tiny_liver_case):
+        kernel = HalfDoubleKernel()
+        m = tiny_liver_case.as_half()
+        good = np.ones(m.n_cols)
+        bad = np.ones(m.n_cols + 3)
+        with pytest.raises(ShapeError, match="beam 1"):
+            run_plan_spmv(kernel, [m, m, m], [good, bad, good])
+
+    def test_2d_weights_rejected_with_beam_index(self, tiny_liver_case):
+        kernel = HalfDoubleKernel()
+        m = tiny_liver_case.as_half()
+        with pytest.raises(ShapeError, match="beam 0"):
+            run_plan_spmv(kernel, [m], [np.ones((m.n_cols, 1))])
+
+
+class TestRunMultiSpMV:
+    @pytest.fixture(scope="class")
+    def multi(self, tiny_liver_case):
+        from repro.kernels.batched import run_multi_spmv
+
+        m = tiny_liver_case.as_half()
+        w = case_weights("Liver 1", m.n_cols)
+        return m, w, run_multi_spmv(
+            HalfDoubleKernel(), m, [w, 2.0 * w, 0.5 * w]
+        )
+
+    def test_batch_size_and_doses(self, multi):
+        _, _, result = multi
+        assert result.batch_size == 3
+        assert len(result.doses) == 3
+
+    def test_each_vector_bitwise_equals_standalone(self, multi):
+        m, w, result = multi
+        kernel = HalfDoubleKernel()
+        for scale, dose in zip((1.0, 2.0, 0.5), result.doses):
+            standalone = kernel.run(m, scale * w)
+            np.testing.assert_array_equal(dose, standalone.y)
+
+    def test_amortization_strictly_above_one(self, multi):
+        _, _, result = multi
+        assert result.batched_time_s < result.unbatched_time_s
+        assert result.amortization > 1.0
+        assert result.launch_overhead_saved_s == pytest.approx(
+            result.unbatched_time_s - result.batched_time_s
+        )
+
+    def test_single_vector_has_no_amortization(self, tiny_liver_case):
+        from repro.kernels.batched import run_multi_spmv
+
+        m = tiny_liver_case.as_half()
+        result = run_multi_spmv(
+            HalfDoubleKernel(), m, [np.ones(m.n_cols)]
+        )
+        assert result.amortization == 1.0
+        assert result.launch_overhead_saved_s == 0.0
+
+    def test_shape_error_names_offending_vector(self, tiny_liver_case):
+        from repro.kernels.batched import run_multi_spmv
+
+        m = tiny_liver_case.as_half()
+        with pytest.raises(ShapeError, match="vector 1"):
+            run_multi_spmv(
+                HalfDoubleKernel(), m,
+                [np.ones(m.n_cols), np.ones(m.n_cols + 1)],
+            )
+
+    def test_empty_batch_rejected(self, tiny_liver_case):
+        from repro.kernels.batched import run_multi_spmv
+
+        with pytest.raises(ShapeError):
+            run_multi_spmv(HalfDoubleKernel(), tiny_liver_case.as_half(), [])
+
+
+class TestProjectionEdgeCases:
+    def test_zero_iterations_rejected(self, plan):
+        with pytest.raises(ValueError):
+            project_optimization(plan, "k", "d", n_iterations=0)
+
+    def test_negative_iterations_rejected(self, plan):
+        with pytest.raises(ValueError):
+            project_optimization(plan, "k", "d", n_iterations=-5)
+
+    def test_single_beam_plan(self, tiny_liver_case):
+        kernel = HalfDoubleKernel()
+        m = tiny_liver_case.as_half()
+        w = case_weights("Liver 1", m.n_cols)
+        single = run_plan_spmv(kernel, [m], [w])
+        # One beam: nothing to amortize, batched == unbatched.
+        assert single.batched_time_s == pytest.approx(
+            single.unbatched_time_s
+        )
+        proj = project_optimization(single, "k", "d", n_iterations=1,
+                                    include_gradients=False)
+        assert proj.n_beams == 1
+        assert proj.total_time_s == pytest.approx(single.batched_time_s)
+
+    def test_empty_plan_rejected_before_projection(self):
+        with pytest.raises(ShapeError):
+            run_plan_spmv(HalfDoubleKernel(), [], [])

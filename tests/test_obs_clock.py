@@ -1,0 +1,41 @@
+"""Injectable clock: system/fake semantics and process-wide swapping."""
+
+import pytest
+
+from repro.obs.clock import (
+    FakeClock,
+    SystemClock,
+    get_clock,
+    monotonic,
+    set_clock,
+)
+
+
+def test_system_clock_is_monotonic():
+    clock = SystemClock()
+    a = clock.monotonic()
+    b = clock.monotonic()
+    assert b >= a
+
+
+def test_fake_clock_advances_manually():
+    clock = FakeClock(start=5.0)
+    assert clock.monotonic() == 5.0
+    assert clock.advance(1.5) == 6.5
+    assert clock.monotonic() == 6.5
+
+
+def test_fake_clock_rejects_negative_advance():
+    with pytest.raises(ValueError):
+        FakeClock().advance(-0.1)
+
+
+def test_set_clock_swaps_and_restores():
+    fake = FakeClock(start=42.0)
+    previous = set_clock(fake)
+    try:
+        assert get_clock() is fake
+        assert monotonic() == 42.0
+    finally:
+        set_clock(previous)
+    assert get_clock() is previous

@@ -93,3 +93,29 @@ def test_render_table_filters_by_prefix(registry):
     assert "kernel.launches" not in text
     full = registry.render_table()
     assert "kernel.launches" in full
+
+
+def test_concurrent_increments_lose_nothing(registry):
+    # `value += x` on a float is not atomic; the per-metric lock makes
+    # worker-thread increments exact (the serving layer relies on this).
+    import threading
+
+    counter = registry.counter("serve.completed")
+    histogram = registry.histogram("serve.latency_ms")
+    n_threads, n_ops = 8, 500
+    barrier = threading.Barrier(n_threads)
+
+    def hammer():
+        barrier.wait()
+        for _ in range(n_ops):
+            counter.inc()
+            histogram.observe(1.0)
+
+    threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert counter.value == n_threads * n_ops
+    assert histogram.count == n_threads * n_ops
+    assert histogram.sum == float(n_threads * n_ops)

@@ -1,0 +1,110 @@
+"""Plan store and plan-matrix cache: registration, conversion, bounds."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve.cache import PlanMatrixCache, PlanStore
+from repro.serve.request import ServeError
+from repro.sparse.synth import dose_like
+from repro.util.rng import make_rng, stable_seed
+
+
+@pytest.fixture()
+def master():
+    rng = make_rng(stable_seed("serve-cache-test", 0))
+    return dose_like(60, 16, density=0.2, empty_fraction=0.3, rng=rng)
+
+
+@pytest.fixture()
+def store(master):
+    s = PlanStore()
+    s.register("plan-a", master)
+    return s
+
+
+class TestPlanStore:
+    def test_register_and_get(self, store, master):
+        record = store.get("plan-a")
+        assert record is not None
+        assert record.matrix is master
+        assert record.n_spots == master.n_cols
+        assert record.n_voxels == master.n_rows
+
+    def test_duplicate_registration_refused(self, store, master):
+        with pytest.raises(ServeError):
+            store.register("plan-a", master)
+
+    def test_replace_is_explicit(self, store, master):
+        record = store.register("plan-a", master, replace=True)
+        assert store.get("plan-a") is record
+
+    def test_register_case(self):
+        s = PlanStore()
+        record = s.register_case("p", "Liver 1", preset="tiny")
+        assert record.source == "Liver 1/tiny"
+        assert record.n_spots > 0
+
+    def test_plan_ids_sorted(self, store, master):
+        store.register("plan-b", master)
+        assert store.plan_ids() == ["plan-a", "plan-b"]
+        assert len(store) == 2
+
+    def test_unknown_plan_is_none(self, store):
+        assert store.get("nope") is None
+
+
+class TestPlanMatrixCache:
+    def test_miss_then_hit(self, store):
+        cache = PlanMatrixCache(store, capacity=4)
+        m1, hit1 = cache.materialize("plan-a", "half_double")
+        m2, hit2 = cache.materialize("plan-a", "half_double")
+        assert not hit1 and hit2
+        assert m1 is m2
+        assert m1.value_dtype == np.float16
+
+    def test_precisions_cached_separately(self, store):
+        cache = PlanMatrixCache(store, capacity=4)
+        half, _ = cache.materialize("plan-a", "half_double")
+        single, _ = cache.materialize("plan-a", "single")
+        assert half is not single
+        assert len(cache) == 2
+
+    def test_unknown_plan_raises(self, store):
+        cache = PlanMatrixCache(store, capacity=4)
+        with pytest.raises(ServeError):
+            cache.materialize("nope", "half_double")
+
+    def test_capacity_bounds_residency(self, store, master):
+        store.register("plan-b", master)
+        cache = PlanMatrixCache(store, capacity=1)
+        cache.materialize("plan-a", "half_double")
+        cache.materialize("plan-b", "half_double")
+        assert len(cache) == 1
+        # plan-a was evicted: materializing it again is a rebuild.
+        _, hit = cache.materialize("plan-a", "half_double")
+        assert not hit
+
+    def test_concurrent_materialize_single_flight(self, store):
+        cache = PlanMatrixCache(store, capacity=4)
+        n_threads = 8
+        barrier = threading.Barrier(n_threads)
+        results = []
+        results_lock = threading.Lock()
+
+        def worker():
+            barrier.wait()
+            matrix, hit = cache.materialize("plan-a", "half_double")
+            with results_lock:
+                results.append((matrix, hit))
+
+        threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(results) == n_threads
+        # Exactly one thread converted; everyone shares that one object.
+        assert sum(1 for _, hit in results if not hit) == 1
+        assert len({id(m) for m, _ in results}) == 1

@@ -1,0 +1,48 @@
+"""CLI serve verbs: loadtest and run smoke, CSV export, claim gating."""
+
+from repro.cli import main
+
+FAST = ["--requests", "24", "--clients", "2", "--burst", "4",
+        "--plans", "2", "--batch-window-ms", "50"]
+
+
+def test_loadtest_smoke(capsys):
+    rc = main(["serve", "loadtest"] + FAST)
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Loadtest summary" in out
+    assert "launch-overhead amortization" in out
+    assert "Serving-layer checks" in out
+    assert "OK" in out and "OUT" not in out
+
+
+def test_loadtest_csv_export(tmp_path, capsys):
+    target = tmp_path / "serve" / "loadtest.csv"
+    rc = main(["serve", "loadtest", "--csv", str(target)] + FAST)
+    assert rc == 0
+    csv_text = target.read_text()
+    assert csv_text.startswith("request_id,")
+    assert csv_text.count("\n") == 1 + 24
+
+
+def test_loadtest_metrics_flag(capsys):
+    rc = main(["serve", "loadtest", "--metrics"] + FAST)
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "serve.batches" in out
+    assert "serve.latency_ms" in out
+
+
+def test_run_smoke(capsys):
+    rc = main(["serve", "run", "--requests", "6", "--clients", "1",
+               "--plans", "1"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Service run" in out
+
+
+def test_serve_requires_subcommand(capsys):
+    import pytest
+
+    with pytest.raises(SystemExit):
+        main(["serve"])

@@ -1,0 +1,132 @@
+"""Load generator: closed-loop report invariants and the bitwise audit."""
+
+import numpy as np
+import pytest
+
+from repro.bench.recording import (
+    LOADTEST_EXPECTATIONS,
+    check_loadtest_claims,
+    loadtest_rows_to_csv,
+)
+from repro.serve.loadgen import (
+    LoadTestConfig,
+    _parse_request_id,
+    _percentile,
+    _split_requests,
+    build_synthetic_plans,
+    request_weights,
+    run_loadtest,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    """One small loadtest shared by every assertion in this module."""
+    config = LoadTestConfig(
+        n_requests=24, n_clients=2, burst=4, n_plans=2,
+        plan_rows=120, plan_cols=24, n_workers=2,
+        max_batch_size=8, batch_window_s=0.05,
+    )
+    return run_loadtest(config)
+
+
+class TestHelpers:
+    def test_split_requests_covers_total(self):
+        assert _split_requests(10, 3) == [4, 3, 3]
+        assert sum(_split_requests(200, 7)) == 200
+
+    def test_parse_request_id_roundtrip(self):
+        assert _parse_request_id("c3-r41") == (3, 41)
+
+    def test_percentile_nearest_rank(self):
+        assert _percentile([], 50) == 0.0
+        assert _percentile([5.0], 99) == 5.0
+        assert _percentile([1.0, 2.0, 3.0, 4.0], 0) == 1.0
+        assert _percentile([1.0, 2.0, 3.0, 4.0], 100) == 4.0
+
+    def test_request_weights_deterministic_and_distinct(self):
+        config = LoadTestConfig()
+        a = request_weights(config, 0, 1, 16)
+        b = request_weights(config, 0, 1, 16)
+        c = request_weights(config, 0, 2, 16)
+        np.testing.assert_array_equal(a, b)
+        assert not np.array_equal(a, c)
+        assert a.min() > 0
+
+    def test_synthetic_plans_deterministic(self):
+        config = LoadTestConfig(n_plans=2, plan_rows=60, plan_cols=12)
+        first = build_synthetic_plans(config)
+        second = build_synthetic_plans(config)
+        assert sorted(first) == ["plan-0", "plan-1"]
+        for plan_id in first:
+            np.testing.assert_array_equal(
+                first[plan_id].data, second[plan_id].data
+            )
+
+    def test_config_validates(self):
+        with pytest.raises(ValueError):
+            LoadTestConfig(n_requests=0)
+
+
+class TestReport:
+    def test_closed_loop_completes_everything(self, report):
+        assert report.submitted == 24
+        assert report.completed == 24
+        assert report.rejected == 0
+        assert report.rejections == {}
+
+    def test_every_dose_bitwise_identical(self, report):
+        assert report.bitwise_checked == 24
+        assert report.bitwise_ok == 24
+        assert report.bitwise_fraction == 1.0
+        # Doses were dropped after the audit (memory bound).
+        assert all(r.dose is None for r in report.records)
+
+    def test_batching_strictly_beats_sequential(self, report):
+        assert report.modeled_sequential_s > report.modeled_batched_s > 0
+        assert report.amortization > 1.0
+        assert (
+            report.batched_throughput_rps > report.sequential_throughput_rps
+        )
+
+    def test_latency_percentiles_ordered(self, report):
+        assert 0 < report.p50_ms <= report.p95_ms <= report.p99_ms
+
+    def test_bursts_coalesced(self, report):
+        assert report.max_batch_size > 1
+        assert report.mean_batch_size > 1.0
+
+    def test_claims_all_in_band(self, report):
+        checks = check_loadtest_claims(report)
+        assert {c.claim for c in checks} == set(LOADTEST_EXPECTATIONS)
+        for check in checks:
+            assert check.in_band, (check.claim, check.measured)
+
+    def test_render_mentions_key_quantities(self, report):
+        text = report.render()
+        assert "latency p99 (ms)" in text
+        assert "launch-overhead amortization" in text
+        assert "bitwise identical to stand-alone" in text
+        assert "24/24" in text
+
+    def test_csv_rows(self, report):
+        csv_text = loadtest_rows_to_csv(report)
+        lines = csv_text.strip().splitlines()
+        assert len(lines) == 1 + 24
+        assert lines[0].startswith("request_id,client_id,plan_id")
+        assert all(",yes" in line for line in lines[1:])
+
+
+class TestDeadlinePath:
+    def test_impossible_deadline_rejects_not_hangs(self):
+        config = LoadTestConfig(
+            n_requests=8, n_clients=1, burst=4, n_plans=1,
+            plan_rows=60, plan_cols=12, n_workers=1,
+            batch_window_s=0.0, deadline_s=1e-9,
+        )
+        report = run_loadtest(config)
+        assert report.submitted == 8
+        # Every outcome is either served or a typed deadline rejection.
+        assert report.completed + report.rejections.get(
+            "deadline_exceeded", 0
+        ) == 8

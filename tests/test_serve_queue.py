@@ -1,0 +1,151 @@
+"""Request queue: capacity, per-client quota, FIFO, batch-key matching."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.obs.clock import FakeClock
+from repro.obs.metrics import get_registry
+from repro.serve.queue import RequestQueue
+from repro.serve.request import EvaluationRequest, RejectReason, Ticket
+from repro.serve.scheduler import batch_key
+
+
+def _ticket(request_id="r0", plan_id="plan-0", client_id="default",
+            n_cols=4, submitted_at=0.0):
+    request = EvaluationRequest(
+        request_id=request_id, plan_id=plan_id, weights=np.ones(n_cols),
+        client_id=client_id,
+    )
+    return Ticket(request=request, submitted_at=submitted_at)
+
+
+class TestAdmission:
+    def test_offer_admits_below_capacity(self):
+        q = RequestQueue(capacity=2, max_inflight_per_client=8)
+        assert q.offer(_ticket("a")) is None
+        assert len(q) == 1
+
+    def test_queue_full(self):
+        q = RequestQueue(capacity=1, max_inflight_per_client=8)
+        assert q.offer(_ticket("a")) is None
+        rejection = q.offer(_ticket("b"))
+        assert rejection is not None
+        assert rejection.reason is RejectReason.QUEUE_FULL
+        assert rejection.request_id == "b"
+
+    def test_client_quota(self):
+        q = RequestQueue(capacity=10, max_inflight_per_client=2)
+        assert q.offer(_ticket("a", client_id="c1")) is None
+        assert q.offer(_ticket("b", client_id="c1")) is None
+        rejection = q.offer(_ticket("c", client_id="c1"))
+        assert rejection is not None
+        assert rejection.reason is RejectReason.CLIENT_QUOTA
+        # Other clients are unaffected (fairness, not a global cap).
+        assert q.offer(_ticket("d", client_id="c2")) is None
+
+    def test_quota_counts_executing_not_just_queued(self):
+        # Popping does NOT free quota; only release_client does, because
+        # the request is still in flight while a worker evaluates it.
+        q = RequestQueue(capacity=10, max_inflight_per_client=1)
+        assert q.offer(_ticket("a", client_id="c1")) is None
+        assert q.pop(timeout=0.1) is not None
+        rejection = q.offer(_ticket("b", client_id="c1"))
+        assert rejection is not None and (
+            rejection.reason is RejectReason.CLIENT_QUOTA
+        )
+        q.release_client("c1")
+        assert q.offer(_ticket("c", client_id="c1")) is None
+
+    def test_closed_queue_rejects(self):
+        q = RequestQueue(capacity=10, max_inflight_per_client=8)
+        q.close()
+        rejection = q.offer(_ticket("a"))
+        assert rejection is not None
+        assert rejection.reason is RejectReason.SHUTTING_DOWN
+
+    def test_rejections_counted(self):
+        registry = get_registry()
+        registry.reset()
+        try:
+            q = RequestQueue(capacity=1, max_inflight_per_client=8)
+            q.offer(_ticket("a"))
+            q.offer(_ticket("b"))
+            name = f"serve.rejections.{RejectReason.QUEUE_FULL.value}"
+            assert registry.counter(name).value == 1
+        finally:
+            registry.reset()
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            RequestQueue(capacity=0, max_inflight_per_client=1)
+        with pytest.raises(ValueError):
+            RequestQueue(capacity=1, max_inflight_per_client=0)
+
+
+class TestConsumption:
+    def test_pop_is_fifo(self):
+        q = RequestQueue(capacity=10, max_inflight_per_client=8)
+        for rid in ("a", "b", "c"):
+            q.offer(_ticket(rid))
+        popped = [q.pop(timeout=0.1).request.request_id for _ in range(3)]
+        assert popped == ["a", "b", "c"]
+
+    def test_pop_times_out_empty(self):
+        q = RequestQueue(capacity=10, max_inflight_per_client=8)
+        assert q.pop(timeout=0.01) is None
+
+    def test_pop_matching_takes_first_match_only(self):
+        q = RequestQueue(capacity=10, max_inflight_per_client=8)
+        q.offer(_ticket("a", plan_id="p1"))
+        q.offer(_ticket("b", plan_id="p2"))
+        q.offer(_ticket("c", plan_id="p2"))
+        match = q.pop_matching(batch_key, ("p2", "half_double"), timeout=0.01)
+        assert match.request.request_id == "b"
+        # Non-matching entries keep arrival order.
+        assert q.pop(timeout=0.1).request.request_id == "a"
+        assert q.pop(timeout=0.1).request.request_id == "c"
+
+    def test_pop_matching_no_match_times_out(self):
+        q = RequestQueue(capacity=10, max_inflight_per_client=8)
+        q.offer(_ticket("a", plan_id="p1"))
+        assert q.pop_matching(
+            batch_key, ("p2", "half_double"), timeout=0.01
+        ) is None
+        assert len(q) == 1
+
+    def test_pop_matching_zero_timeout_sweeps_queued(self):
+        q = RequestQueue(capacity=10, max_inflight_per_client=8)
+        q.offer(_ticket("a", plan_id="p1"))
+        match = q.pop_matching(batch_key, ("p1", "half_double"), timeout=0.0)
+        assert match is not None and match.request.request_id == "a"
+
+    def test_pop_drains_then_none_after_close(self):
+        q = RequestQueue(capacity=10, max_inflight_per_client=8)
+        q.offer(_ticket("a"))
+        q.close()
+        assert q.pop(timeout=0.1).request.request_id == "a"
+        assert q.pop(timeout=0.1) is None
+
+    def test_close_wakes_blocked_consumer(self):
+        q = RequestQueue(capacity=10, max_inflight_per_client=8)
+        result = []
+
+        def consumer():
+            result.append(q.pop(timeout=30.0))
+
+        t = threading.Thread(target=consumer)
+        t.start()
+        q.close()
+        t.join(timeout=5.0)
+        assert not t.is_alive()
+        assert result == [None]
+
+    def test_fake_clock_bounds_wait_windows(self):
+        # With an injected clock the deadline arithmetic uses it, so a
+        # pre-expired window returns immediately instead of waiting.
+        clock = FakeClock(start=100.0)
+        q = RequestQueue(capacity=10, max_inflight_per_client=8, clock=clock)
+        assert q.pop(timeout=0.0) is None
+        assert q.pop_matching(batch_key, ("p", "x"), timeout=0.0) is None

@@ -1,0 +1,100 @@
+"""Serving vocabulary: request validation, ticket future semantics."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve.request import (
+    EvaluationRequest,
+    Rejected,
+    RejectReason,
+    ServeError,
+    Ticket,
+)
+
+
+def _request(**overrides):
+    defaults = dict(
+        request_id="r0", plan_id="plan-0", weights=np.ones(4),
+    )
+    defaults.update(overrides)
+    return EvaluationRequest(**defaults)
+
+
+class TestEvaluationRequest:
+    def test_defaults(self):
+        r = _request()
+        assert r.precision == "half_double"
+        assert r.deadline_s is None
+        assert r.client_id == "default"
+
+    def test_weights_coerced_to_array(self):
+        r = _request(weights=[1.0, 2.0, 3.0])
+        assert isinstance(r.weights, np.ndarray)
+        assert r.weights.shape == (3,)
+
+    def test_rejects_2d_weights(self):
+        with pytest.raises(ServeError):
+            _request(weights=np.ones((2, 2)))
+
+    def test_rejects_nonpositive_deadline(self):
+        with pytest.raises(ServeError):
+            _request(deadline_s=0.0)
+        with pytest.raises(ServeError):
+            _request(deadline_s=-1.0)
+
+
+class TestTicket:
+    def test_unresolved_initially(self):
+        t = Ticket(request=_request(), submitted_at=0.0)
+        assert not t.done()
+
+    def test_resolve_then_outcome(self):
+        t = Ticket(request=_request(), submitted_at=0.0)
+        rejection = Rejected("r0", RejectReason.QUEUE_FULL)
+        t.resolve(rejection)
+        assert t.done()
+        assert t.outcome(timeout=0) is rejection
+
+    def test_double_resolve_is_an_error(self):
+        t = Ticket(request=_request(), submitted_at=0.0)
+        t.resolve(Rejected("r0", RejectReason.QUEUE_FULL))
+        with pytest.raises(ServeError):
+            t.resolve(Rejected("r0", RejectReason.INTERNAL_ERROR))
+
+    def test_outcome_timeout_raises(self):
+        t = Ticket(request=_request(), submitted_at=0.0)
+        with pytest.raises(ServeError):
+            t.outcome(timeout=0.01)
+
+    def test_outcome_blocks_until_cross_thread_resolve(self):
+        t = Ticket(request=_request(), submitted_at=0.0)
+        rejection = Rejected("r0", RejectReason.SHUTTING_DOWN)
+
+        resolver = threading.Timer(0.02, t.resolve, args=(rejection,))
+        resolver.start()
+        try:
+            assert t.outcome(timeout=5.0) is rejection
+        finally:
+            resolver.join()
+
+    def test_concurrent_resolvers_exactly_one_wins(self):
+        t = Ticket(request=_request(), submitted_at=0.0)
+        errors = []
+        barrier = threading.Barrier(4)
+
+        def racer(i):
+            barrier.wait()
+            try:
+                t.resolve(Rejected("r0", RejectReason.INTERNAL_ERROR, str(i)))
+            except ServeError:
+                errors.append(i)
+
+        threads = [threading.Thread(target=racer, args=(i,)) for i in range(4)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        assert len(errors) == 3
+        assert t.done()

@@ -1,0 +1,175 @@
+"""Micro-batch scheduler: coalescing, deadlines, shutdown sentinels."""
+
+import numpy as np
+import pytest
+
+from repro.obs.clock import FakeClock
+from repro.serve.queue import RequestQueue
+from repro.serve.request import (
+    EvaluationRequest,
+    Rejected,
+    RejectReason,
+    Ticket,
+)
+from repro.serve.scheduler import (
+    BatchingPolicy,
+    MicroBatchScheduler,
+    batch_key,
+)
+
+
+def _ticket(request_id, plan_id="plan-0", precision="half_double",
+            deadline_s=None, submitted_at=0.0):
+    request = EvaluationRequest(
+        request_id=request_id, plan_id=plan_id, weights=np.ones(4),
+        precision=precision, deadline_s=deadline_s,
+    )
+    return Ticket(request=request, submitted_at=submitted_at)
+
+
+def _scheduler(queue, clock=None, **policy_overrides):
+    policy_kwargs = dict(max_batch_size=8, max_wait_s=0.0)
+    policy_kwargs.update(policy_overrides)
+    return MicroBatchScheduler(
+        queue, BatchingPolicy(**policy_kwargs), n_workers=1, clock=clock
+    )
+
+
+class TestBatchingPolicy:
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            BatchingPolicy(max_batch_size=0)
+        with pytest.raises(ValueError):
+            BatchingPolicy(max_wait_s=-1.0)
+        with pytest.raises(ValueError):
+            BatchingPolicy(max_pending_batches=0)
+
+
+class TestBatchKey:
+    def test_same_plan_same_precision_share_key(self):
+        assert batch_key(_ticket("a")) == batch_key(_ticket("b"))
+
+    def test_plan_and_precision_split_keys(self):
+        assert batch_key(_ticket("a", plan_id="p1")) != batch_key(
+            _ticket("b", plan_id="p2")
+        )
+        assert batch_key(_ticket("a", precision="single")) != batch_key(
+            _ticket("b", precision="double")
+        )
+
+
+class TestFormBatch:
+    """_form_batch driven directly (no thread) for determinism."""
+
+    def _queue(self):
+        return RequestQueue(capacity=32, max_inflight_per_client=32)
+
+    def test_coalesces_queued_same_key_burst(self):
+        q = self._queue()
+        for rid in ("a", "b", "c"):
+            q.offer(_ticket(rid))
+        sched = _scheduler(q)
+        head = q.pop(timeout=0.1)
+        batch = sched._form_batch(head)
+        assert [t.request.request_id for t in batch.tickets] == ["a", "b", "c"]
+        assert batch.plan_id == "plan-0"
+        assert batch.precision == "half_double"
+
+    def test_never_mixes_plans(self):
+        q = self._queue()
+        q.offer(_ticket("a", plan_id="p1"))
+        q.offer(_ticket("b", plan_id="p2"))
+        q.offer(_ticket("c", plan_id="p1"))
+        sched = _scheduler(q)
+        batch = sched._form_batch(q.pop(timeout=0.1))
+        assert [t.request.request_id for t in batch.tickets] == ["a", "c"]
+        # p2's request is untouched, still queued.
+        assert len(q) == 1
+
+    def test_never_mixes_precisions(self):
+        q = self._queue()
+        q.offer(_ticket("a", precision="half_double"))
+        q.offer(_ticket("b", precision="single"))
+        sched = _scheduler(q)
+        batch = sched._form_batch(q.pop(timeout=0.1))
+        assert [t.request.request_id for t in batch.tickets] == ["a"]
+
+    def test_max_batch_size_caps_coalescing(self):
+        q = self._queue()
+        for i in range(5):
+            q.offer(_ticket(f"r{i}"))
+        sched = _scheduler(q, max_batch_size=3)
+        batch = sched._form_batch(q.pop(timeout=0.1))
+        assert len(batch) == 3
+        assert len(q) == 2
+
+    def test_batch_ids_increment(self):
+        q = self._queue()
+        q.offer(_ticket("a"))
+        q.offer(_ticket("b", plan_id="p2"))
+        sched = _scheduler(q)
+        first = sched._form_batch(q.pop(timeout=0.1))
+        second = sched._form_batch(q.pop(timeout=0.1))
+        assert second.batch_id == first.batch_id + 1
+
+
+class TestDeadlines:
+    def test_expired_ticket_rejected_at_dispatch(self):
+        clock = FakeClock(start=10.0)
+        q = RequestQueue(capacity=8, max_inflight_per_client=8, clock=clock)
+        sched = _scheduler(q, clock=clock)
+        ticket = _ticket("late", deadline_s=0.5, submitted_at=10.0)
+        q.offer(ticket)
+        clock.advance(1.0)  # queued 1 s > 0.5 s deadline
+        batch = sched._form_batch(q.pop(timeout=0.0))
+        assert len(batch) == 0
+        assert ticket.done()
+        outcome = ticket.outcome(timeout=0)
+        assert isinstance(outcome, Rejected)
+        assert outcome.reason is RejectReason.DEADLINE_EXCEEDED
+
+    def test_fresh_ticket_within_deadline_admitted(self):
+        clock = FakeClock(start=10.0)
+        q = RequestQueue(capacity=8, max_inflight_per_client=8, clock=clock)
+        sched = _scheduler(q, clock=clock)
+        ticket = _ticket("fresh", deadline_s=5.0, submitted_at=10.0)
+        q.offer(ticket)
+        clock.advance(1.0)
+        batch = sched._form_batch(q.pop(timeout=0.0))
+        assert [t.request.request_id for t in batch.tickets] == ["fresh"]
+        assert not ticket.done()
+
+    def test_no_deadline_never_expires(self):
+        clock = FakeClock(start=0.0)
+        q = RequestQueue(capacity=8, max_inflight_per_client=8, clock=clock)
+        sched = _scheduler(q, clock=clock)
+        ticket = _ticket("eternal", submitted_at=0.0)
+        q.offer(ticket)
+        clock.advance(1e6)
+        batch = sched._form_batch(q.pop(timeout=0.0))
+        assert len(batch) == 1
+
+
+class TestLifecycle:
+    def test_drains_then_emits_worker_sentinels(self):
+        q = RequestQueue(capacity=8, max_inflight_per_client=8)
+        for rid in ("a", "b"):
+            q.offer(_ticket(rid))
+        sched = MicroBatchScheduler(
+            q, BatchingPolicy(max_batch_size=8, max_wait_s=0.0), n_workers=3
+        )
+        sched.start()
+        q.close()
+        sched.join(timeout=10.0)
+        batch = sched.batches.get(timeout=1.0)
+        assert len(batch) == 2
+        sentinels = [sched.batches.get(timeout=1.0) for _ in range(3)]
+        assert sentinels == [None, None, None]
+
+    def test_start_is_idempotent(self):
+        q = RequestQueue(capacity=8, max_inflight_per_client=8)
+        sched = _scheduler(q)
+        sched.start()
+        sched.start()  # no second thread, no error
+        q.close()
+        sched.join(timeout=10.0)

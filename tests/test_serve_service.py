@@ -1,0 +1,216 @@
+"""Dose-evaluation service end to end: validation, batching, determinism,
+backpressure, and graceful shutdown."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import convert_for_kernel
+from repro.kernels.dispatch import make_kernel
+from repro.serve.request import (
+    EvaluationRequest,
+    EvaluationResult,
+    Rejected,
+    RejectReason,
+    ServeError,
+    Ticket,
+)
+from repro.serve.scheduler import BatchingPolicy
+from repro.serve.service import DoseEvaluationService, ServiceConfig
+from repro.sparse.synth import dose_like
+from repro.util.rng import make_rng, stable_seed
+
+N_SPOTS = 24
+
+
+@pytest.fixture(scope="module")
+def master():
+    rng = make_rng(stable_seed("serve-service-test", 0))
+    return dose_like(120, N_SPOTS, density=0.15, empty_fraction=0.4, rng=rng)
+
+
+def _weights(tag):
+    rng = make_rng(stable_seed("serve-service-weights", tag))
+    return 0.5 + rng.random(N_SPOTS)
+
+
+def _request(request_id, tag=None, **overrides):
+    defaults = dict(
+        request_id=request_id, plan_id="plan-a",
+        weights=_weights(tag if tag is not None else request_id),
+    )
+    defaults.update(overrides)
+    return EvaluationRequest(**defaults)
+
+
+def _service(master, **config_overrides):
+    service = DoseEvaluationService(ServiceConfig(**config_overrides))
+    service.plans.register("plan-a", master)
+    return service
+
+
+class TestValidation:
+    def test_submit_before_start_is_shutting_down(self, master):
+        service = _service(master)
+        outcome = service.submit(_request("r0"))
+        assert isinstance(outcome, Rejected)
+        assert outcome.reason is RejectReason.SHUTTING_DOWN
+
+    def test_unknown_precision(self, master):
+        with _service(master) as service:
+            outcome = service.submit(_request("r0", precision="float128"))
+            assert isinstance(outcome, Rejected)
+            assert outcome.reason is RejectReason.UNKNOWN_PRECISION
+
+    def test_nonreproducible_kernel_refused_by_default(self, master):
+        with _service(master) as service:
+            outcome = service.submit(_request("r0", precision="gpu_baseline"))
+            assert isinstance(outcome, Rejected)
+            assert outcome.reason is RejectReason.NONREPRODUCIBLE
+
+    def test_nonreproducible_kernel_opt_in(self, master):
+        with _service(master, allow_nonreproducible=True) as service:
+            [outcome] = service.evaluate(
+                [_request("r0", precision="gpu_baseline")]
+            )
+            assert isinstance(outcome, EvaluationResult)
+
+    def test_unknown_plan(self, master):
+        with _service(master) as service:
+            outcome = service.submit(_request("r0", plan_id="nope"))
+            assert isinstance(outcome, Rejected)
+            assert outcome.reason is RejectReason.UNKNOWN_PLAN
+
+    def test_bad_shape(self, master):
+        with _service(master) as service:
+            outcome = service.submit(
+                _request("r0", weights=np.ones(N_SPOTS + 1))
+            )
+            assert isinstance(outcome, Rejected)
+            assert outcome.reason is RejectReason.BAD_SHAPE
+
+    def test_start_twice_raises(self, master):
+        service = _service(master)
+        try:
+            service.start()
+            with pytest.raises(ServeError):
+                service.start()
+        finally:
+            service.stop()
+
+
+class TestEvaluation:
+    def test_served_dose_bitwise_equals_standalone(self, master):
+        with _service(master) as service:
+            [outcome] = service.evaluate([_request("r0")])
+        assert isinstance(outcome, EvaluationResult)
+        reference = make_kernel("half_double").run(
+            convert_for_kernel(master, "half_double"), _weights("r0")
+        )
+        assert np.array_equal(outcome.dose, reference.y)
+
+    def test_burst_coalesces_into_one_batch(self, master):
+        batching = BatchingPolicy(max_batch_size=8, max_wait_s=0.2)
+        with _service(master, batching=batching, n_workers=1) as service:
+            requests = [_request(f"r{i}") for i in range(4)]
+            outcomes = service.evaluate(requests)
+        assert all(isinstance(o, EvaluationResult) for o in outcomes)
+        assert len({o.batch_id for o in outcomes}) == 1
+        assert all(o.batch_size == 4 for o in outcomes)
+
+    def test_result_provenance_fields(self, master):
+        with _service(master) as service:
+            [outcome] = service.evaluate([_request("r0")])
+        assert outcome.plan_id == "plan-a"
+        assert outcome.precision == "half_double"
+        assert outcome.worker.startswith("worker-")
+        assert outcome.modeled_time_s > 0
+        assert outcome.latency_s >= outcome.queue_wait_s >= 0
+        assert outcome.batch_size >= 1
+
+    def test_modeled_time_accounting(self, master):
+        batching = BatchingPolicy(max_batch_size=8, max_wait_s=0.2)
+        with _service(master, batching=batching, n_workers=1) as service:
+            service.evaluate([_request(f"r{i}") for i in range(4)])
+            assert service.modeled_sequential_s > service.modeled_batched_s > 0
+
+    def test_stats_snapshot(self, master):
+        with _service(master) as service:
+            service.evaluate([_request("r0")])
+            stats = service.stats()
+        assert stats["registered_plans"] == 1.0
+        assert stats["serve.submitted"] >= 1.0
+        assert stats["serve.completed"] >= 1.0
+        assert "serve.latency_ms.count" in stats
+
+
+class TestDeterminism:
+    """The tentpole guarantee: scheduling never changes a dose bit."""
+
+    TAGS = [f"t{i}" for i in range(12)]
+
+    def _doses(self, master, order, **config_overrides):
+        with _service(master, **config_overrides) as service:
+            requests = [
+                _request(f"r-{tag}", tag=tag) for tag in order
+            ]
+            outcomes = service.evaluate(requests)
+        assert all(isinstance(o, EvaluationResult) for o in outcomes)
+        return {o.request_id: o.dose for o in outcomes}
+
+    def test_bitwise_identical_across_scheduling_regimes(self, master):
+        # One request per batch, in order.
+        sequential = self._doses(
+            master, self.TAGS, n_workers=1,
+            batching=BatchingPolicy(max_batch_size=1, max_wait_s=0.0),
+        )
+        # Aggressive coalescing, more workers, reversed arrival order.
+        coalesced = self._doses(
+            master, list(reversed(self.TAGS)), n_workers=3,
+            batching=BatchingPolicy(max_batch_size=8, max_wait_s=0.05),
+        )
+        assert set(sequential) == set(coalesced)
+        for request_id, dose in sequential.items():
+            assert np.array_equal(dose, coalesced[request_id]), request_id
+
+
+class TestBackpressureAndShutdown:
+    def test_submit_after_stop_is_shutting_down(self, master):
+        service = _service(master)
+        service.start()
+        service.stop()
+        outcome = service.submit(_request("r0"))
+        assert isinstance(outcome, Rejected)
+        assert outcome.reason is RejectReason.SHUTTING_DOWN
+
+    def test_stop_drains_admitted_requests(self, master):
+        service = _service(master)
+        service.start()
+        handles = [service.submit(_request(f"r{i}")) for i in range(4)]
+        assert all(isinstance(h, Ticket) for h in handles)
+        service.stop()
+        for handle in handles:
+            assert isinstance(handle.outcome(timeout=5.0), EvaluationResult)
+
+    def test_stop_is_idempotent(self, master):
+        service = _service(master)
+        service.start()
+        service.stop()
+        service.stop()
+
+    def test_executor_failure_rejects_with_internal_error(self, master):
+        class ExplodingCache:
+            def materialize(self, plan_id, precision):
+                raise RuntimeError("conversion backend on fire")
+
+            def __len__(self):
+                return 0
+
+        service = _service(master)
+        service._cache = ExplodingCache()
+        with service:
+            [outcome] = service.evaluate([_request("r0")], timeout=10.0)
+        assert isinstance(outcome, Rejected)
+        assert outcome.reason is RejectReason.INTERNAL_ERROR
+        assert "on fire" in outcome.detail
+        # The failure released the client's quota.
+        assert service._queue.inflight("default") == 0
