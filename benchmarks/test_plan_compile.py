@@ -1,0 +1,101 @@
+"""Wall-clock micro-benchmark: compile-once-run-many vs per-call SpMV.
+
+The repeated-evaluation workload (thousands of ``A @ w`` against one
+fixed matrix per optimization) is the paper's whole premise; this
+benchmark measures what precompiled execution plans buy on it.  The
+per-call path re-derives bucketing, gather positions, tail masks and
+the half->double value widening on every evaluation; the cached-plan
+path pays all of that once at compile time.
+
+The CI gate is deliberately coarse (>1.2x) to stay robust on noisy
+shared runners; the measured speedup (recorded into ``BENCH_plan.json``
+at the repo root via :mod:`repro.bench.recording`) is the real number
+and lands well above 2x on the synthetic liver case.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench.recording import plan_bench_record, write_plan_bench
+from repro.kernels.csr_vector import warp_csr_spmv_exact
+from repro.kernels.plan import compile_plan, execute_plan
+from repro.sparse.synth import dose_like
+from repro.util.rng import make_rng, stable_seed
+
+#: coarse CI gate (the measured speedup is recorded, not asserted).
+MIN_SPEEDUP = 1.2
+REPETITIONS = 20
+WARMUP = 3
+
+#: synthetic liver case: dose-like structure (70 % empty rows, lognormal
+#: tail, Table I density) at a size where timings are stable but quick.
+N_ROWS = 24000
+N_COLS = 256
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_plan.json"
+
+
+def _best_of(fn, n: int) -> float:
+    """Best-of-n wall time of one call (robust to scheduler noise)."""
+    best = float("inf")
+    for _ in range(n):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_cached_plan_speedup_and_record():
+    rng = make_rng(stable_seed("plan-bench", N_ROWS, N_COLS))
+    master = dose_like(N_ROWS, N_COLS, rng=rng)
+    matrix = master.astype(np.float16)  # the half_double storage format
+    weights = 0.5 + make_rng(stable_seed("plan-bench-w", 0)).random(N_COLS)
+    accum = np.float64
+
+    # -- per-call path: everything re-derived on each evaluation -------- #
+    for _ in range(WARMUP):
+        warp_csr_spmv_exact(matrix, weights, accum)
+    per_call_s = _best_of(
+        lambda: warp_csr_spmv_exact(matrix, weights, accum), REPETITIONS
+    )
+
+    # -- compile once, run many ----------------------------------------- #
+    t0 = time.perf_counter()
+    plan = compile_plan(matrix, "vector", accum)
+    compile_s = time.perf_counter() - t0
+    for _ in range(WARMUP):
+        execute_plan(plan, weights)
+    cached_plan_s = _best_of(
+        lambda: execute_plan(plan, weights), REPETITIONS
+    )
+
+    # The fast path must not change a single result bit.
+    y_ref = warp_csr_spmv_exact(matrix, weights, accum)
+    y_plan = execute_plan(plan, weights)
+    bitwise = bool(np.array_equal(y_ref, y_plan))
+    assert bitwise
+
+    record = plan_bench_record(
+        case="synthetic-liver",
+        kernel="half_double",
+        n_rows=matrix.n_rows,
+        n_cols=matrix.n_cols,
+        nnz=matrix.nnz,
+        repetitions=REPETITIONS,
+        per_call_s=per_call_s,
+        cached_plan_s=cached_plan_s,
+        compile_s=compile_s,
+        bitwise_identical=bitwise,
+    )
+    write_plan_bench(record, str(BENCH_PATH))
+
+    speedup = per_call_s / cached_plan_s
+    assert speedup > MIN_SPEEDUP, (
+        f"cached-plan evaluation only {speedup:.2f}x faster than per-call "
+        f"({cached_plan_s * 1e3:.3f} ms vs {per_call_s * 1e3:.3f} ms); "
+        f"expected > {MIN_SPEEDUP}x"
+    )

@@ -1,4 +1,4 @@
-"""AST-based reproducibility lint (rules RA101–RA104).
+"""AST-based reproducibility lint (rules RA101–RA105).
 
 The paper's kernel is clinically acceptable only because it is bitwise
 reproducible (Section II-D), and reproducibility is a *global* property:
@@ -16,7 +16,11 @@ package source and enforces:
   GPU substrate, dose, optimization, roofline) must not read wall clocks;
   timing belongs to the harness and :mod:`repro.obs`;
 * **RA104** — modules declaring reproducible kernels must not hold mutable
-  module-level state (dict/list/set literals), which leaks across runs.
+  module-level state (dict/list/set literals), which leaks across runs;
+* **RA105** — plan-compilation modules must not mutate compiled plan
+  arrays: every ndarray field of a plan dataclass is frozen
+  (``writeable=False``) at construction, nothing re-enables writes, and
+  executors never subscript-assign into plan attributes.
 
 All rules honour inline ``# analyze: allow[RULE]`` suppressions on the
 flagged line.
@@ -27,7 +31,7 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
 
 from repro.analyze.findings import Finding, Severity
 from repro.analyze.rules import Rule, RuleRegistry, inline_allowed_rules
@@ -67,6 +71,17 @@ RA104 = Rule(
     "Make the value immutable (tuple/frozenset/constant) or move it into "
     "instance state.",
 )
+RA105 = Rule(
+    "RA105",
+    "mutable-compiled-plan",
+    Severity.ERROR,
+    "A plan-compilation module constructs or mutates compiled-plan arrays "
+    "without freezing them; shared plans must be immutable "
+    "(writeable=False).",
+    "Freeze every ndarray field in __post_init__ (setflags(write=False) "
+    "or a freeze helper), and never subscript-assign into a plan "
+    "attribute — write into fresh local arrays instead.",
+)
 
 #: package-relative directories whose modules are the functional path.
 #: ``serve`` is functional-path too: a served dose must be a pure
@@ -79,6 +94,9 @@ FUNCTIONAL_DIRS: Tuple[str, ...] = (
 
 #: modules exempt from RA102 (the sanctioned RNG plumbing itself).
 RNG_EXEMPT_SUFFIXES: Tuple[str, ...] = ("util/rng.py",)
+
+#: modules holding compiled execution plans; RA105 applies to these.
+PLAN_MODULE_SUFFIXES: Tuple[str, ...] = ("kernels/plan.py",)
 
 #: numpy.random attributes that are types/plumbing, not entropy sources.
 _NUMPY_RANDOM_ALLOWED = frozenset({
@@ -185,6 +203,114 @@ def _is_functional_path(rel_path: str) -> bool:
     return len(parts) >= 2 and parts[0] in FUNCTIONAL_DIRS
 
 
+def _is_dataclass_decorated(node: ast.ClassDef) -> bool:
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        name = target.attr if isinstance(target, ast.Attribute) else (
+            target.id if isinstance(target, ast.Name) else None
+        )
+        if name == "dataclass":
+            return True
+    return False
+
+
+def _ndarray_field_lines(node: ast.ClassDef) -> List[int]:
+    """Line numbers of dataclass fields annotated as ndarrays."""
+    lines: List[int] = []
+    for stmt in node.body:
+        if isinstance(stmt, ast.AnnAssign) and "ndarray" in ast.unparse(
+            stmt.annotation
+        ):
+            lines.append(stmt.lineno)
+    return lines
+
+
+def _call_freezes_arrays(call: ast.Call) -> bool:
+    """True for ``x.setflags(write=False)`` or a ``*freeze*`` helper call."""
+    func = call.func
+    if isinstance(func, ast.Attribute) and func.attr == "setflags":
+        return any(
+            kw.arg == "write"
+            and isinstance(kw.value, ast.Constant)
+            and kw.value.value is False
+            for kw in call.keywords
+        )
+    name = func.attr if isinstance(func, ast.Attribute) else (
+        func.id if isinstance(func, ast.Name) else ""
+    )
+    return "freeze" in name.lower()
+
+
+def _post_init_freezes(node: ast.ClassDef) -> bool:
+    for stmt in node.body:
+        if (
+            isinstance(stmt, ast.FunctionDef)
+            and stmt.name == "__post_init__"
+        ):
+            return any(
+                isinstance(sub, ast.Call) and _call_freezes_arrays(sub)
+                for sub in ast.walk(stmt)
+            )
+    return False
+
+
+def _lint_plan_module(
+    tree: ast.Module, emit: "Callable[[Rule, int, str], None]"
+) -> None:
+    """RA105: compiled-plan arrays must be frozen and never mutated.
+
+    Three construction-site checks: (a) every dataclass with ndarray
+    fields freezes them in ``__post_init__``; (b) nothing re-enables
+    writes via ``setflags(write=True)``; (c) no subscript store targets
+    an attribute (``plan.values[...] = ...``) — executors may only
+    write into fresh local arrays.
+    """
+    for node in tree.body:
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if not _is_dataclass_decorated(node):
+            continue
+        if _ndarray_field_lines(node) and not _post_init_freezes(node):
+            emit(
+                RA105, node.lineno,
+                f"dataclass {node.name} holds ndarray fields but its "
+                "__post_init__ does not freeze them (writeable=False)",
+            )
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "setflags"
+                and any(
+                    kw.arg == "write"
+                    and isinstance(kw.value, ast.Constant)
+                    and kw.value.value is True
+                    for kw in node.keywords
+                )
+            ):
+                emit(
+                    RA105, node.lineno,
+                    "setflags(write=True) re-enables mutation of a plan "
+                    "array",
+                )
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, ast.AugAssign):
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Subscript) and isinstance(
+                target.value, ast.Attribute
+            ):
+                emit(
+                    RA105, node.lineno,
+                    f"subscript store into attribute "
+                    f"'{ast.unparse(target.value)}' mutates compiled plan "
+                    "state; write into a fresh local array instead",
+                )
+
+
 def _line_allows(source_lines: List[str], lineno: int, rule_id: str) -> bool:
     if 1 <= lineno <= len(source_lines):
         return rule_id in inline_allowed_rules(source_lines[lineno - 1])
@@ -244,6 +370,10 @@ def lint_source(
 
     is_rng_exempt = any(rel_path.endswith(s) for s in RNG_EXEMPT_SUFFIXES)
     functional = _is_functional_path(rel_path)
+
+    # --- RA105: compiled-plan immutability ----------------------------- #
+    if any(rel_path.endswith(s) for s in PLAN_MODULE_SUFFIXES):
+        _lint_plan_module(tree, emit)
 
     for node in ast.walk(tree):
         if not isinstance(node, ast.Call):
@@ -318,12 +448,12 @@ def _check_repro_lint(context: object) -> List[Finding]:
 
 #: rule ids this checker may emit (shared with tests).
 SOURCE_LINT_RULES: FrozenSet[str] = frozenset(
-    {"RA101", "RA102", "RA103", "RA104"}
+    {"RA101", "RA102", "RA103", "RA104", "RA105"}
 )
 
 
 def register(registry: RuleRegistry) -> None:
     """Register the lint rules and checker."""
-    for rule in (RA101, RA102, RA103, RA104):
+    for rule in (RA101, RA102, RA103, RA104, RA105):
         registry.add_rule(rule)
     registry.add_checker("repro-lint", SOURCE_LINT_RULES, _check_repro_lint)

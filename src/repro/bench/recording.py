@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import csv
 import io
+import json
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -121,6 +122,65 @@ def check_loadtest_claims(report) -> List[ClaimCheck]:
                 ClaimCheck(claim, float(measured), paper_value, band, source)
             )
     return checks
+
+
+#: schema tag of the plan micro-benchmark record (BENCH_plan.json).
+PLAN_BENCH_SCHEMA = "repro.plan-bench/v1"
+
+
+def plan_bench_record(
+    *,
+    case: str,
+    kernel: str,
+    n_rows: int,
+    n_cols: int,
+    nnz: int,
+    repetitions: int,
+    per_call_s: float,
+    cached_plan_s: float,
+    compile_s: float,
+    bitwise_identical: bool,
+) -> Dict[str, object]:
+    """One wall-clock data point of the compile-once-run-many benchmark.
+
+    ``per_call_s``/``cached_plan_s`` are per-evaluation times of the
+    per-call kernel path versus repeated execution of one precompiled
+    plan; ``compile_s`` is the one-time plan compilation cost the cache
+    amortizes away.
+    """
+    speedup = per_call_s / cached_plan_s if cached_plan_s > 0 else 0.0
+    #: evaluations after which compile cost is paid back by the faster path.
+    saved_per_eval = per_call_s - cached_plan_s
+    breakeven: Optional[float] = (
+        compile_s / saved_per_eval if saved_per_eval > 0 else None
+    )
+    return {
+        "schema": PLAN_BENCH_SCHEMA,
+        "case": case,
+        "kernel": kernel,
+        "n_rows": n_rows,
+        "n_cols": n_cols,
+        "nnz": nnz,
+        "repetitions": repetitions,
+        "per_call_s": per_call_s,
+        "cached_plan_s": cached_plan_s,
+        "compile_s": compile_s,
+        "speedup": speedup,
+        "breakeven_evaluations": breakeven,
+        "bitwise_identical": bitwise_identical,
+    }
+
+
+def write_plan_bench(record: Dict[str, object], path: str) -> None:
+    """Persist a plan-bench record as pretty-printed JSON."""
+    if record.get("schema") != PLAN_BENCH_SCHEMA:
+        raise ValueError(
+            f"record schema {record.get('schema')!r} is not "
+            f"{PLAN_BENCH_SCHEMA!r}"
+        )
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True, default=str)
+        fh.write("\n")
 
 
 def loadtest_rows_to_csv(report) -> str:

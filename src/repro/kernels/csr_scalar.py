@@ -26,6 +26,12 @@ from repro.gpu.memory import (
 )
 from repro.gpu.timing import KernelTraits, estimate_gpu_time
 from repro.kernels.base import KernelResult, SpMVKernel
+from repro.kernels.plan import (
+    SpMVPlan,
+    execute_plan,
+    get_plan_cache,
+    validate_plan_for,
+)
 from repro.precision.types import SINGLE, MixedPrecision
 from repro.sparse.csr import CSRMatrix
 from repro.util.errors import DTypeError
@@ -74,6 +80,8 @@ class ScalarCSRKernel(SpMVKernel):
     reproducible = True
     traffic_model_exact = True
     default_threads_per_block = 128
+    #: which precompiled-plan family this kernel executes.
+    plan_family = "scalar"
 
     def __init__(self, precision: MixedPrecision = SINGLE):
         self.precision = precision
@@ -126,14 +134,7 @@ class ScalarCSRKernel(SpMVKernel):
         c.aux_instructions = 2.0 * matrix.nnz
         return c
 
-    def run(
-        self,
-        matrix: CSRMatrix,
-        x: np.ndarray,
-        device: DeviceSpec = A100,
-        threads_per_block: Optional[int] = None,
-        rng: RngLike = None,
-    ) -> KernelResult:
+    def _check_matrix(self, matrix: CSRMatrix) -> None:
         if not isinstance(matrix, CSRMatrix):
             raise DTypeError(
                 f"{self.name} operates on CSR matrices, got {type(matrix).__name__}"
@@ -143,9 +144,34 @@ class ScalarCSRKernel(SpMVKernel):
                 f"{self.name} expects {self.precision.matrix.dtype} values, "
                 f"got {matrix.value_dtype}"
             )
+
+    def prepare_plan(self, matrix: CSRMatrix) -> SpMVPlan:
+        """Compile (or fetch from the process-global cache) the execution
+        plan this kernel needs for ``matrix``."""
+        self._check_matrix(matrix)
+        return get_plan_cache().get_or_compile(
+            matrix, self.plan_family, self.precision.accumulate.dtype
+        )
+
+    def run(
+        self,
+        matrix: CSRMatrix,
+        x: np.ndarray,
+        device: DeviceSpec = A100,
+        threads_per_block: Optional[int] = None,
+        rng: RngLike = None,
+        plan: Optional[SpMVPlan] = None,
+    ) -> KernelResult:
+        self._check_matrix(matrix)
         tpb = threads_per_block or self.default_threads_per_block
         launch = thread_per_item_launch(matrix.n_rows, tpb).validate(device)
-        y = scalar_csr_spmv_exact(matrix, x, self.precision.accumulate.dtype)
+        if plan is not None:
+            validate_plan_for(
+                plan, matrix, self.plan_family, self.precision.accumulate.dtype
+            )
+            y = execute_plan(plan, x)
+        else:
+            y = scalar_csr_spmv_exact(matrix, x, self.precision.accumulate.dtype)
         counters = attach_launch_counts(
             self._counters(matrix, device), launch, device.warp_size
         )

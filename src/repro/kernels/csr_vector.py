@@ -39,6 +39,12 @@ from repro.gpu.memory import (
 )
 from repro.gpu.timing import KernelTraits, estimate_gpu_time
 from repro.kernels.base import KernelResult, SpMVKernel
+from repro.kernels.plan import (
+    SpMVPlan,
+    execute_plan,
+    get_plan_cache,
+    validate_plan_for,
+)
 from repro.precision.types import HALF_DOUBLE, SINGLE, MixedPrecision
 from repro.sparse.csr import CSRMatrix
 from repro.util.errors import DTypeError, ShapeError
@@ -101,6 +107,8 @@ class VectorCSRKernel(SpMVKernel):
     traffic_model_exact = True
     #: default block size: the Figure 4 sweep found 512 best for this kernel.
     default_threads_per_block = 512
+    #: which precompiled-plan family this kernel executes.
+    plan_family = "vector"
 
     def __init__(self, precision: MixedPrecision, name: Optional[str] = None):
         self.precision = precision
@@ -170,6 +178,53 @@ class VectorCSRKernel(SpMVKernel):
         c.aux_instructions_rows = 5.0 * WARP * matrix.n_rows
         return c
 
+    def multi_counters(
+        self, matrix: CSRMatrix, device: DeviceSpec, batch: int = 1
+    ) -> PerfCounters:
+        """Traffic of the SpMM path evaluating ``batch`` vectors at once.
+
+        The matrix stream (values, indices, row pointers, alignment
+        slack) is paid once for the whole batch; everything proportional
+        to a weight vector — FLOPs, the input-vector gather with its
+        refetch, the output write, the per-row reduce — scales with
+        ``batch``.  At ``batch == 1`` this returns exactly
+        :meth:`_counters`, so a degenerate batch reproduces the
+        single-vector timing bit for bit.
+        """
+        if batch < 1:
+            raise ShapeError(f"batch must be >= 1, got {batch}")
+        c = self._counters(matrix, device)
+        if batch == 1:
+            return c
+        prec = self.precision
+        extra = float(batch - 1)
+        gather = gather_traffic(
+            matrix.indices, prec.vector.nbytes, matrix.n_cols, device
+        )
+        out_bytes = output_write_bytes(
+            matrix.n_rows, prec.vector.nbytes, device.sector_bytes
+        )
+        c.flops += extra * 2.0 * matrix.nnz
+        c.dram_bytes_cols += extra * gather.compulsory_dram_bytes
+        c.dram_bytes_refetch += extra * gather.refetch_dram_bytes
+        c.dram_bytes_rows += extra * out_bytes
+        c.l2_bytes += extra * gather.l2_bytes
+        c.l2_bytes_rows += extra * out_bytes
+        # One extra FMA's addressing per stored value per extra column
+        # (the chunk gather itself is shared), plus one reduce per row
+        # per extra column.
+        c.aux_instructions += extra * matrix.nnz
+        c.aux_instructions_rows += extra * 5.0 * WARP * matrix.n_rows
+        return c
+
+    def prepare_plan(self, matrix: CSRMatrix) -> SpMVPlan:
+        """Compile (or fetch from the process-global cache) the execution
+        plan this kernel needs for ``matrix``."""
+        self._check_matrix(matrix)
+        return get_plan_cache().get_or_compile(
+            matrix, self.plan_family, self.precision.accumulate.dtype
+        )
+
     def run(
         self,
         matrix: CSRMatrix,
@@ -177,13 +232,20 @@ class VectorCSRKernel(SpMVKernel):
         device: DeviceSpec = A100,
         threads_per_block: Optional[int] = None,
         rng: RngLike = None,
+        plan: Optional[SpMVPlan] = None,
     ) -> KernelResult:
         self._check_matrix(matrix)
         tpb = threads_per_block or self.default_threads_per_block
         launch = warp_per_row_launch(matrix.n_rows, tpb, device.warp_size).validate(
             device
         )
-        y = warp_csr_spmv_exact(matrix, x, self.precision.accumulate.dtype)
+        if plan is not None:
+            validate_plan_for(
+                plan, matrix, self.plan_family, self.precision.accumulate.dtype
+            )
+            y = execute_plan(plan, x)
+        else:
+            y = warp_csr_spmv_exact(matrix, x, self.precision.accumulate.dtype)
         counters = attach_launch_counts(
             self._counters(matrix, device), launch, device.warp_size
         )

@@ -21,6 +21,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.bench.harness import LRUCache, convert_for_kernel
+from repro.kernels.dispatch import make_kernel
+from repro.kernels.plan import SpMVPlan
 from repro.obs.trace import span as trace_span
 from repro.serve.request import ServeError
 from repro.sparse.csr import CSRMatrix
@@ -87,12 +89,24 @@ class PlanStore:
 
 
 class PlanMatrixCache:
-    """Bounded LRU of kernel-ready matrices, keyed (plan_id, precision)."""
+    """Bounded LRU of kernel-ready matrices, keyed (plan_id, precision).
 
-    def __init__(self, store: PlanStore, capacity: int = 8):
+    A second LRU with the same single-flight semantics holds *compiled
+    execution plans* (:class:`repro.kernels.plan.SpMVPlan`) next to the
+    converted matrices, so a hot plan pays format conversion **and**
+    plan compilation exactly once across all workers; its metrics are
+    reported under ``serve.exec_plan_cache.*``.
+    """
+
+    def __init__(self, store: PlanStore, capacity: int = 8,
+                 plan_capacity: Optional[int] = None):
         self._store = store
         self._lru: LRUCache[Tuple[str, str], object] = LRUCache(
             "plan_cache", capacity, metric_prefix="serve"
+        )
+        self._exec_plans: LRUCache[Tuple[str, str], SpMVPlan] = LRUCache(
+            "exec_plan_cache", plan_capacity or capacity,
+            metric_prefix="serve",
         )
 
     def materialize(self, plan_id: str, precision: str):
@@ -118,8 +132,43 @@ class PlanMatrixCache:
         matrix = self._lru.get_or_create((plan_id, precision), build)
         return matrix, not built_here
 
+    def materialize_with_plan(self, plan_id: str, precision: str):
+        """Matrix plus compiled execution plan for one (plan, precision).
+
+        Returns ``(matrix, exec_plan, matrix_hit, plan_hit)``.  For
+        kernels without a plan family (libraries, baselines, RSCF
+        formats) ``exec_plan`` and ``plan_hit`` are ``None`` and the
+        caller falls back to the per-call path.  Plan compilation is
+        single-flighted like matrix conversion.
+        """
+        matrix, matrix_hit = self.materialize(plan_id, precision)
+        kernel = make_kernel(precision)
+        if not hasattr(kernel, "prepare_plan"):
+            return matrix, None, matrix_hit, None
+        built_here = []
+
+        def build() -> SpMVPlan:
+            built_here.append(True)
+            with trace_span("serve.plan_compile", plan=plan_id,
+                            precision=precision):
+                return kernel.prepare_plan(matrix)
+
+        key = (plan_id, precision)
+        exec_plan = self._exec_plans.get_or_create(key, build)
+        if not exec_plan.matches(matrix):
+            # The matrix LRU evicted and rebuilt the converted matrix
+            # since this plan was compiled; recompile against the live
+            # object and refresh the entry (counted as a miss).
+            built_here.append(True)
+            with trace_span("serve.plan_compile", plan=plan_id,
+                            precision=precision, recompiled=True):
+                exec_plan = kernel.prepare_plan(matrix)
+            self._exec_plans.put(key, exec_plan)
+        return matrix, exec_plan, matrix_hit, not built_here
+
     def __len__(self) -> int:
         return len(self._lru)
 
     def clear(self) -> None:
         self._lru.clear()
+        self._exec_plans.clear()

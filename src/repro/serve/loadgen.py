@@ -111,6 +111,9 @@ class LoadTestReport:
     modeled_batched_s: float
     modeled_sequential_s: float
     rejections: Dict[str, int] = field(default_factory=dict)
+    #: compiled-execution-plan cache outcomes across all executed batches.
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
 
     # ------------------------------ aggregates ------------------------- #
 
@@ -177,6 +180,16 @@ class LoadTestReport:
         return self.completed / self.modeled_sequential_s
 
     @property
+    def plan_cache_lookups(self) -> int:
+        return self.plan_cache_hits + self.plan_cache_misses
+
+    @property
+    def plan_cache_hit_rate(self) -> float:
+        """Fraction of executed batches served by a cached compiled plan."""
+        lookups = self.plan_cache_lookups
+        return self.plan_cache_hits / lookups if lookups else 0.0
+
+    @property
     def bitwise_checked(self) -> int:
         return sum(1 for r in self.records if r.bitwise is not None)
 
@@ -223,6 +236,9 @@ class LoadTestReport:
             ("sequential throughput (eval/modeled s)",
              round(self.sequential_throughput_rps, 1)),
             ("launch-overhead amortization", round(self.amortization, 4)),
+            ("plan-cache hit rate",
+             f"{self.plan_cache_hits}/{self.plan_cache_lookups} "
+             f"({100 * self.plan_cache_hit_rate:.1f}%)"),
             ("bitwise identical to stand-alone",
              f"{self.bitwise_ok}/{self.bitwise_checked}"),
         ]
@@ -354,10 +370,13 @@ def run_loadtest(
         modeled_batched_s=service.modeled_batched_s,
         modeled_sequential_s=service.modeled_sequential_s,
         rejections=rejections,
+        plan_cache_hits=service.plan_cache_hits,
+        plan_cache_misses=service.plan_cache_misses,
     )
     _log.info(kv("loadtest finished", completed=report.completed,
                  rejected=report.rejected, p99_ms=round(report.p99_ms, 3),
-                 amortization=round(report.amortization, 4)))
+                 amortization=round(report.amortization, 4),
+                 plan_cache_hit_rate=round(report.plan_cache_hit_rate, 4)))
     return report
 
 

@@ -98,6 +98,9 @@ class DoseEvaluationService:
         #: modelled kernel seconds, batched vs sequential (loadtest report).
         self.modeled_batched_s = 0.0
         self.modeled_sequential_s = 0.0
+        #: compiled-execution-plan cache outcomes (loadtest report).
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
 
     @staticmethod
     def _probe_reproducible() -> Dict[str, bool]:
@@ -214,16 +217,26 @@ class DoseEvaluationService:
     def _execute_batch(self, batch: Batch, worker_name: str) -> None:
         started = self._clock.monotonic()
         try:
-            matrix, cache_hit = self._cache.materialize(
-                batch.plan_id, batch.precision
-            )
+            if hasattr(self._cache, "materialize_with_plan"):
+                matrix, exec_plan, cache_hit, plan_hit = (
+                    self._cache.materialize_with_plan(
+                        batch.plan_id, batch.precision
+                    )
+                )
+            else:  # matrix-only cache (tests stub these)
+                matrix, cache_hit = self._cache.materialize(
+                    batch.plan_id, batch.precision
+                )
+                exec_plan, plan_hit = None, None
             kernel = make_kernel(batch.precision)
             with trace_span("serve.spmm", plan=batch.plan_id,
-                            precision=batch.precision, size=len(batch)):
+                            precision=batch.precision, size=len(batch),
+                            plan_cached=plan_hit):
                 result = run_multi_spmv(
                     kernel, matrix,
                     [t.request.weights for t in batch.tickets],
                     device=self.config.device,
+                    plan=exec_plan,
                 )
         except BaseException as exc:
             detail = f"{type(exc).__name__}: {exc}"
@@ -237,6 +250,11 @@ class DoseEvaluationService:
         with self._accounting:
             self.modeled_batched_s += result.batched_time_s
             self.modeled_sequential_s += result.unbatched_time_s
+            if plan_hit is not None:
+                if plan_hit:
+                    self.plan_cache_hits += 1
+                else:
+                    self.plan_cache_misses += 1
         resolved_at = self._clock.monotonic()
         for ticket, kernel_result in zip(batch.tickets, result.per_vector):
             request = ticket.request
@@ -267,6 +285,8 @@ class DoseEvaluationService:
             "registered_plans": float(len(self.plans)),
             "modeled_batched_s": self.modeled_batched_s,
             "modeled_sequential_s": self.modeled_sequential_s,
+            "plan_cache_hits": float(self.plan_cache_hits),
+            "plan_cache_misses": float(self.plan_cache_misses),
         }
         for name, state in registry.snapshot().items():
             if not name.startswith("serve."):

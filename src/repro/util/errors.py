@@ -39,6 +39,14 @@ class DeviceError(ReproError, ValueError):
     """Unknown device name or inconsistent device specification."""
 
 
+class PlanMismatchError(ReproError, ValueError):
+    """A precompiled execution plan does not fit the requested call.
+
+    Raised when a plan's kernel family, accumulation precision, or source
+    matrix identity differs from what the kernel was invoked with.
+    """
+
+
 class ConvergenceError(ReproError, RuntimeError):
     """An iterative solver failed to converge within its iteration budget."""
 

@@ -140,6 +140,111 @@ class TestInlineSuppression:
         assert "RA102" not in _ids(findings)
 
 
+FROZEN_PLAN = """
+import numpy as np
+from dataclasses import dataclass
+
+@dataclass(frozen=True)
+class Group:
+    values: np.ndarray
+
+    def __post_init__(self):
+        self.values.setflags(write=False)
+"""
+
+
+class TestRA105PlanImmutability:
+    def test_unfrozen_ndarray_dataclass_flagged(self):
+        findings = _lint(
+            """
+            import numpy as np
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class Group:
+                values: np.ndarray
+                count: int
+            """,
+            rel_path="kernels/plan.py",
+        )
+        assert "RA105" in _ids(findings)
+
+    def test_post_init_freeze_is_clean(self):
+        findings = _lint(FROZEN_PLAN, rel_path="kernels/plan.py")
+        assert "RA105" not in _ids(findings)
+
+    def test_freeze_helper_call_is_clean(self):
+        findings = _lint(
+            """
+            import numpy as np
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class Group:
+                values: np.ndarray
+
+                def __post_init__(self):
+                    _freeze_arrays(self)
+            """,
+            rel_path="kernels/plan.py",
+        )
+        assert "RA105" not in _ids(findings)
+
+    def test_setflags_write_true_flagged(self):
+        findings = _lint(
+            FROZEN_PLAN
+            + "\ndef thaw(group):\n    group.values.setflags(write=True)\n",
+            rel_path="kernels/plan.py",
+        )
+        assert "RA105" in _ids(findings)
+
+    def test_subscript_store_into_attribute_flagged(self):
+        findings = _lint(
+            FROZEN_PLAN
+            + "\ndef clobber(group):\n    group.values[0] = 1.0\n",
+            rel_path="kernels/plan.py",
+        )
+        assert "RA105" in _ids(findings)
+
+    def test_local_array_writes_are_fine(self):
+        findings = _lint(
+            FROZEN_PLAN
+            + (
+                "\ndef execute(group, x):\n"
+                "    acc = np.zeros(3)\n"
+                "    acc[0] = x\n"
+                "    return acc\n"
+            ),
+            rel_path="kernels/plan.py",
+        )
+        assert "RA105" not in _ids(findings)
+
+    def test_rule_scoped_to_plan_modules(self):
+        findings = _lint(
+            """
+            import numpy as np
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class Group:
+                values: np.ndarray
+            """,
+            rel_path="kernels/other.py",
+        )
+        assert "RA105" not in _ids(findings)
+
+    def test_inline_allow_honoured(self):
+        findings = _lint(
+            FROZEN_PLAN
+            + (
+                "\ndef bookkeep(cache, key, plan):\n"
+                "    cache.plans[key] = plan  # analyze: allow[RA105]\n"
+            ),
+            rel_path="kernels/plan.py",
+        )
+        assert "RA105" not in _ids(findings)
+
+
 class TestPackageLint:
     def test_repo_tree_is_clean(self):
         findings = lint_package(default_package_root())

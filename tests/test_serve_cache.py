@@ -108,3 +108,70 @@ class TestPlanMatrixCache:
         # Exactly one thread converted; everyone shares that one object.
         assert sum(1 for _, hit in results if not hit) == 1
         assert len({id(m) for m, _ in results}) == 1
+
+
+class TestMaterializeWithPlan:
+    def test_plan_compiled_once_then_hit(self, store):
+        cache = PlanMatrixCache(store, capacity=4)
+        m1, p1, mhit1, phit1 = cache.materialize_with_plan(
+            "plan-a", "half_double"
+        )
+        m2, p2, mhit2, phit2 = cache.materialize_with_plan(
+            "plan-a", "half_double"
+        )
+        assert not phit1 and phit2
+        assert p1 is p2
+        assert p1.matches(m1) and m1 is m2
+
+    def test_kernel_without_plan_family_returns_none(self, store):
+        cache = PlanMatrixCache(store, capacity=4)
+        matrix, plan, mhit, phit = cache.materialize_with_plan(
+            "plan-a", "gpu_baseline"
+        )
+        assert plan is None and phit is None
+
+    def test_plan_recompiled_after_matrix_rebuild(self, store, master):
+        store.register("plan-b", master)
+        # Matrix LRU of one entry, plan LRU big enough to go stale.
+        cache = PlanMatrixCache(store, capacity=1, plan_capacity=8)
+        cache.materialize_with_plan("plan-a", "half_double")
+        cache.materialize_with_plan("plan-b", "half_double")  # evicts a
+        # plan-a's matrix is rebuilt as a new object; the cached compiled
+        # plan is stale and must be recompiled against the live matrix.
+        matrix, plan, mhit, phit = cache.materialize_with_plan(
+            "plan-a", "half_double"
+        )
+        assert not mhit and not phit
+        assert plan is not None and plan.matches(matrix)
+
+    def test_concurrent_plan_compile_single_flight(self, store):
+        cache = PlanMatrixCache(store, capacity=4)
+        n_threads = 8
+        barrier = threading.Barrier(n_threads)
+        results = []
+        results_lock = threading.Lock()
+
+        def worker():
+            barrier.wait()
+            _, plan, _, phit = cache.materialize_with_plan(
+                "plan-a", "half_double"
+            )
+            with results_lock:
+                results.append((plan, phit))
+
+        threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sum(1 for _, phit in results if not phit) == 1
+        assert len({id(p) for p, _ in results}) == 1
+
+    def test_clear_drops_plans_too(self, store):
+        cache = PlanMatrixCache(store, capacity=4)
+        cache.materialize_with_plan("plan-a", "half_double")
+        cache.clear()
+        _, _, mhit, phit = cache.materialize_with_plan(
+            "plan-a", "half_double"
+        )
+        assert not mhit and not phit
