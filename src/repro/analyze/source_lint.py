@@ -1,4 +1,4 @@
-"""AST-based reproducibility lint (rules RA101–RA105).
+"""AST-based reproducibility lint (rules RA101–RA106).
 
 The paper's kernel is clinically acceptable only because it is bitwise
 reproducible (Section II-D), and reproducibility is a *global* property:
@@ -20,7 +20,12 @@ package source and enforces:
 * **RA105** — plan-compilation modules must not mutate compiled plan
   arrays: every ndarray field of a plan dataclass is frozen
   (``writeable=False``) at construction, nothing re-enables writes, and
-  executors never subscript-assign into plan attributes.
+  executors never subscript-assign into plan attributes;
+* **RA106** — modules under ``repro/dist/`` must not concatenate shard
+  results in dict/set iteration order: a merge fed from ``.values()`` or
+  a set reconstructs the dose in whatever order the container yields,
+  which is exactly the nondeterminism the explicit shard-index merge
+  exists to exclude.
 
 All rules honour inline ``# analyze: allow[RULE]`` suppressions on the
 flagged line.
@@ -82,6 +87,17 @@ RA105 = Rule(
     "or a freeze helper), and never subscript-assign into a plan "
     "attribute — write into fresh local arrays instead.",
 )
+RA106 = Rule(
+    "RA106",
+    "unordered-shard-merge",
+    Severity.ERROR,
+    "A repro.dist module concatenates shard results in dict/set "
+    "iteration order; the merged dose would depend on container "
+    "ordering, not shard index.",
+    "Collect (shard_index, array) pairs and merge through "
+    "merge_shard_outputs, which sorts by explicit shard index before "
+    "any concatenation.",
+)
 
 #: package-relative directories whose modules are the functional path.
 #: ``serve`` is functional-path too: a served dose must be a pure
@@ -89,7 +105,7 @@ RA105 = Rule(
 #: through the injectable :mod:`repro.obs.clock`, never wall clocks.
 FUNCTIONAL_DIRS: Tuple[str, ...] = (
     "kernels", "sparse", "precision", "gpu", "dose", "opt", "roofline",
-    "plans", "serve",
+    "plans", "serve", "dist",
 )
 
 #: modules exempt from RA102 (the sanctioned RNG plumbing itself).
@@ -121,6 +137,12 @@ _WALL_CLOCK_CALLS = frozenset({
 
 _MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
                      ast.SetComp)
+
+#: calls that assemble shard outputs into one dose vector (RA106).
+_CONCAT_FAMILY = frozenset({
+    "concatenate", "stack", "hstack", "vstack", "column_stack",
+    "tree_merge", "merge_shard_outputs",
+})
 
 
 @dataclass
@@ -311,6 +333,52 @@ def _lint_plan_module(
                 )
 
 
+def _is_dist_module(rel_path: str) -> bool:
+    parts = Path(rel_path).parts
+    return len(parts) >= 2 and parts[0] == "dist"
+
+
+def _yields_container_order(node: ast.expr) -> bool:
+    """True when the expression subtree draws values from a dict/set.
+
+    ``d.values()`` and set displays/comprehensions both yield in
+    container iteration order — never an acceptable merge order for
+    shard outputs.
+    """
+    for sub in ast.walk(node):
+        if isinstance(sub, (ast.Set, ast.SetComp)):
+            return True
+        if (
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Attribute)
+            and sub.func.attr == "values"
+        ):
+            return True
+    return False
+
+
+def _lint_dist_module(
+    tree: ast.Module, emit: "Callable[[Rule, int, str], None]"
+) -> None:
+    """RA106: shard results merge by explicit index, never container order."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None
+        )
+        if name not in _CONCAT_FAMILY:
+            continue
+        args = list(node.args) + [kw.value for kw in node.keywords]
+        if any(_yields_container_order(arg) for arg in args):
+            emit(
+                RA106, node.lineno,
+                f"{name}(...) is fed from dict/set iteration order; "
+                "merge shard outputs by explicit shard index instead",
+            )
+
+
 def _line_allows(source_lines: List[str], lineno: int, rule_id: str) -> bool:
     if 1 <= lineno <= len(source_lines):
         return rule_id in inline_allowed_rules(source_lines[lineno - 1])
@@ -374,6 +442,10 @@ def lint_source(
     # --- RA105: compiled-plan immutability ----------------------------- #
     if any(rel_path.endswith(s) for s in PLAN_MODULE_SUFFIXES):
         _lint_plan_module(tree, emit)
+
+    # --- RA106: ordered shard merges in repro.dist --------------------- #
+    if _is_dist_module(rel_path):
+        _lint_dist_module(tree, emit)
 
     for node in ast.walk(tree):
         if not isinstance(node, ast.Call):
@@ -448,12 +520,12 @@ def _check_repro_lint(context: object) -> List[Finding]:
 
 #: rule ids this checker may emit (shared with tests).
 SOURCE_LINT_RULES: FrozenSet[str] = frozenset(
-    {"RA101", "RA102", "RA103", "RA104", "RA105"}
+    {"RA101", "RA102", "RA103", "RA104", "RA105", "RA106"}
 )
 
 
 def register(registry: RuleRegistry) -> None:
     """Register the lint rules and checker."""
-    for rule in (RA101, RA102, RA103, RA104, RA105):
+    for rule in (RA101, RA102, RA103, RA104, RA105, RA106):
         registry.add_rule(rule)
     registry.add_checker("repro-lint", SOURCE_LINT_RULES, _check_repro_lint)

@@ -183,6 +183,60 @@ def write_plan_bench(record: Dict[str, object], path: str) -> None:
         fh.write("\n")
 
 
+#: schema tag of the strong-scaling sweep record (BENCH_dist.json).
+DIST_BENCH_SCHEMA = "repro.dist-bench/v1"
+
+
+def dist_bench_record(
+    *,
+    case: str,
+    kernel: str,
+    device: str,
+    n_rows: int,
+    n_cols: int,
+    nnz: int,
+    shard_policy: str,
+    placement: str,
+    points: List[Dict[str, object]],
+) -> Dict[str, object]:
+    """The strong-scaling sweep: one sharded evaluation per shard count.
+
+    Each point carries the modeled wall time at that shard count (one
+    device per shard, from the existing analytic timing model), the
+    speedup/efficiency against the single-device reference, the nnz
+    imbalance of the sharding, and whether the sharded dose was bitwise
+    identical to the single-device run — the acceptance criterion this
+    record exists to witness.
+    """
+    return {
+        "schema": DIST_BENCH_SCHEMA,
+        "case": case,
+        "kernel": kernel,
+        "device": device,
+        "n_rows": n_rows,
+        "n_cols": n_cols,
+        "nnz": nnz,
+        "shard_policy": shard_policy,
+        "placement": placement,
+        "all_bitwise_identical": all(
+            bool(p.get("bitwise_identical")) for p in points
+        ),
+        "points": points,
+    }
+
+
+def write_dist_bench(record: Dict[str, object], path: str) -> None:
+    """Persist a dist-bench record as pretty-printed JSON."""
+    if record.get("schema") != DIST_BENCH_SCHEMA:
+        raise ValueError(
+            f"record schema {record.get('schema')!r} is not "
+            f"{DIST_BENCH_SCHEMA!r}"
+        )
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True, default=str)
+        fh.write("\n")
+
+
 def loadtest_rows_to_csv(report) -> str:
     """Serialize a loadtest's per-request records as CSV."""
     buf = io.StringIO()
@@ -191,7 +245,7 @@ def loadtest_rows_to_csv(report) -> str:
         [
             "request_id", "client_id", "plan_id", "precision", "status",
             "latency_ms", "queue_wait_ms", "batch_id", "batch_size",
-            "modeled_time_s", "cache_hit", "bitwise",
+            "modeled_time_s", "cache_hit", "shards", "bitwise",
         ]
     )
     for r in report.records:
@@ -199,7 +253,7 @@ def loadtest_rows_to_csv(report) -> str:
             [
                 r.request_id, r.client_id, r.plan_id, r.precision, r.status,
                 r.latency_ms, r.queue_wait_ms, r.batch_id, r.batch_size,
-                r.modeled_time_s, r.cache_hit,
+                r.modeled_time_s, r.cache_hit, getattr(r, "shards", 1),
                 "" if r.bitwise is None else ("yes" if r.bitwise else "NO"),
             ]
         )

@@ -259,6 +259,9 @@ def _loadtest_config(args: argparse.Namespace):
         seed=args.seed,
         case_names=args.case or None,
         preset=args.preset,
+        shards=args.shards,
+        dist_devices=args.dist_devices,
+        dist_placement=args.dist_placement,
     )
 
 
@@ -306,6 +309,9 @@ def _cmd_serve_run(args: argparse.Namespace) -> int:
             max_batch_size=config.max_batch_size,
             max_wait_s=config.batch_window_s,
         ),
+        shards=config.shards,
+        dist_devices=config.dist_devices,
+        dist_placement=config.dist_placement,
     ))
     masters = {}
     if config.case_names:
@@ -352,6 +358,121 @@ def _cmd_serve_run(args: argparse.Namespace) -> int:
         table.add_row([name, round(stats[name], 6)])
     print(table.render())
     return 0 if rejected == 0 else 1
+
+
+def _cmd_dist_run(args: argparse.Namespace) -> int:
+    """``repro-rtdose dist run``: one sharded evaluation + bitwise check."""
+    import numpy as np
+
+    from repro.bench.harness import convert_for_kernel
+    from repro.dist import (
+        DevicePool,
+        FailureInjector,
+        ShardedEvaluator,
+        ShardExecutionError,
+    )
+    from repro.kernels.dispatch import make_kernel
+    from repro.plans.cases import build_case_matrix
+    from repro.util.rng import make_rng, stable_seed
+
+    kernel = make_kernel(args.kernel)
+    master = build_case_matrix(args.case, args.preset).matrix
+    matrix = convert_for_kernel(master, args.kernel)
+    evaluator = ShardedEvaluator(
+        matrix,
+        kernel,
+        args.shards,
+        pool=DevicePool.of(
+            args.dist_devices or min(args.shards, 4), args.device
+        ),
+        placement=args.dist_placement,
+        retry_budget=args.retry_budget,
+    )
+    injector = (
+        FailureInjector.fail_once(*args.fail_shard)
+        if args.fail_shard else None
+    )
+    rng = make_rng(stable_seed("dist-run", args.case, args.seed))
+    weights = rng.random(matrix.n_cols)
+    try:
+        evaluation = evaluator.evaluate(weights, injector=injector)
+    except ShardExecutionError as exc:
+        print(f"sharded evaluation failed: {exc}", file=sys.stderr)
+        return 1
+    reference = kernel.run(
+        matrix, weights,
+        device=get_device(args.device),
+        plan=kernel.prepare_plan(matrix),
+    )
+    bitwise = bool(np.array_equal(evaluation.doses, reference.y))
+
+    shards = Table(
+        ["shard", "rows", "nnz", "device", "modeled time (ms)"],
+        title=f"Sharded evaluation — {args.case} / {args.kernel}",
+    )
+    for spec, compiled in zip(evaluator.sharded.specs, evaluator.shards):
+        shards.add_row(
+            [
+                spec.index,
+                f"[{spec.row_start}, {spec.row_end})",
+                spec.nnz,
+                compiled.device.name,
+                evaluation.per_shard_time_s[spec.index] * 1e3,
+            ]
+        )
+    print(shards.render())
+    print()
+    summary = Table(["quantity", "value"])
+    summary.add_row(["shards", evaluator.n_shards])
+    summary.add_row(["devices", evaluator.pool.n_devices])
+    summary.add_row(["nnz imbalance", round(evaluator.sharded.imbalance, 4)])
+    summary.add_row(["wall time (ms)", evaluation.wall_time_s * 1e3])
+    summary.add_row(["serial time (ms)", evaluation.serial_time_s * 1e3])
+    summary.add_row(
+        ["single-device time (ms)", reference.timing.time_s * 1e3]
+    )
+    summary.add_row(["retries spent", evaluation.retries])
+    summary.add_row(["bitwise identical", "yes" if bitwise else "NO"])
+    print(summary.render())
+    return 0 if bitwise else 1
+
+
+def _cmd_dist_sweep(args: argparse.Namespace) -> int:
+    """``repro-rtdose dist sweep``: strong scaling over shard counts."""
+    from repro.bench.recording import write_dist_bench
+    from repro.dist import strong_scaling_sweep
+
+    report = strong_scaling_sweep(
+        case=args.case,
+        preset=args.preset,
+        kernel_name=args.kernel,
+        shard_counts=args.shards,
+        shard_policy=args.policy,
+        device_name=args.device,
+        seed=args.seed,
+    )
+    print(report.render())
+    if args.json:
+        Path(args.json).parent.mkdir(parents=True, exist_ok=True)
+        write_dist_bench(report.record(), args.json)
+        print(f"\nsweep record written to {args.json}")
+    if not report.all_bitwise_identical:
+        print("SHARDED RESULTS NOT BITWISE IDENTICAL", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_dist_partition_report(args: argparse.Namespace) -> int:
+    """``repro-rtdose dist partition-report``: equal-rows vs equal-nnz."""
+    from repro.dist.bench import partition_report
+
+    table = partition_report(
+        cases=args.case or None,
+        preset=args.preset,
+        shard_counts=args.shards,
+    )
+    print(table.render())
+    return 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -520,6 +641,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve_flags.add_argument("--preset", default="tiny",
                              choices=["tiny", "bench", "structure"],
                              help="matrix-scale preset for --case plans")
+    serve_flags.add_argument("--shards", type=int, default=1,
+                             help="row shards per evaluation (>1 serves "
+                                  "through the repro.dist sharded backend)")
+    serve_flags.add_argument("--dist-devices", type=int, default=None,
+                             help="simulated devices in the sharded pool "
+                                  "(default: min(shards, 4))")
+    serve_flags.add_argument("--dist-placement", default="memory",
+                             choices=["memory", "round_robin"],
+                             help="shard placement policy")
 
     p_serve_run = serve_sub.add_parser(
         "run", parents=[obs_flags, serve_flags],
@@ -535,6 +665,70 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve_lt.add_argument("--csv", default=None,
                             help="write per-request records to this CSV path")
     p_serve_lt.set_defaults(func=_cmd_serve_loadtest)
+
+    p_dist = sub.add_parser(
+        "dist",
+        help="sharded multi-device evaluation: run, strong-scaling sweep, "
+             "partition report",
+    )
+    dist_sub = p_dist.add_subparsers(dest="dist_command", required=True)
+    dist_flags = argparse.ArgumentParser(add_help=False)
+    dist_flags.add_argument("--case", default="Liver 1", choices=case_names())
+    dist_flags.add_argument("--preset", default="tiny",
+                            choices=["tiny", "bench", "structure"])
+    dist_flags.add_argument("--kernel", default="half_double",
+                            choices=kernel_names())
+    dist_flags.add_argument("--device", default="A100",
+                            help="device type of the simulated pool")
+    dist_flags.add_argument("--seed", type=int, default=20210419)
+
+    p_dist_run = dist_sub.add_parser(
+        "run", parents=[obs_flags, dist_flags],
+        help="one sharded evaluation with a bitwise check against the "
+             "single-device run",
+    )
+    p_dist_run.add_argument("--shards", type=int, default=4)
+    p_dist_run.add_argument("--dist-devices", type=int, default=None,
+                            help="pool size (default: min(shards, 4))")
+    p_dist_run.add_argument("--dist-placement", default="memory",
+                            choices=["memory", "round_robin"])
+    p_dist_run.add_argument("--retry-budget", type=int, default=2,
+                            help="total retries allowed per evaluation")
+    p_dist_run.add_argument("--fail-shard", type=int, action="append",
+                            default=[], metavar="K",
+                            help="inject one device failure on shard K "
+                                 "(repeatable; exercises the retry path)")
+    p_dist_run.set_defaults(func=_cmd_dist_run)
+
+    p_dist_sweep = dist_sub.add_parser(
+        "sweep", parents=[obs_flags, dist_flags],
+        help="strong-scaling sweep (one device per shard), optional "
+             "BENCH_dist.json record",
+    )
+    p_dist_sweep.add_argument("--shards", type=int, nargs="+",
+                              default=[1, 2, 4, 8],
+                              help="shard counts to sweep")
+    p_dist_sweep.add_argument("--policy", default="balanced",
+                              choices=["balanced", "equal_rows"],
+                              help="row partition policy")
+    p_dist_sweep.add_argument("--json", default=None, metavar="PATH",
+                              help="write the repro.dist-bench/v1 record "
+                                   "here")
+    p_dist_sweep.set_defaults(func=_cmd_dist_sweep)
+
+    p_dist_pr = dist_sub.add_parser(
+        "partition-report", parents=[obs_flags],
+        help="equal-rows vs equal-nnz imbalance per test matrix",
+    )
+    p_dist_pr.add_argument("--case", action="append", default=[],
+                           choices=case_names(), metavar="CASE",
+                           help="restrict to these cases (repeatable; "
+                                "default: all six)")
+    p_dist_pr.add_argument("--preset", default="tiny",
+                           choices=["tiny", "bench", "structure"])
+    p_dist_pr.add_argument("--shards", type=int, nargs="+", default=[2, 4, 8],
+                           help="shard counts to tabulate")
+    p_dist_pr.set_defaults(func=_cmd_dist_partition_report)
 
     p_trace = sub.add_parser(
         "trace",

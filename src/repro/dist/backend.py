@@ -1,0 +1,140 @@
+"""Serving-layer adapter: sharded evaluation behind the micro-batcher.
+
+:class:`ShardedServeBackend` slots into
+:class:`~repro.serve.service.DoseEvaluationService` where the
+single-device SpMM call sits today: the scheduler still coalesces
+requests per ``(plan, precision)``, and the backend answers each batch
+with a :class:`~repro.kernels.batched.MultiVectorSpMVResult` whose doses
+are bitwise identical to the single-device path — the service's
+determinism guarantee survives the device-count change untouched.
+
+The backend keeps a bounded LRU of
+``(plan_id, precision) -> ShardedEvaluator`` (sharding + per-shard plan
+compilation are matrix-level work, paid once per resident plan, exactly
+like the serve layer's converted-matrix and exec-plan caches), with the
+same identity re-verification: if the converted matrix was evicted and
+rebuilt, the evaluator is rebuilt against the live object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bench.harness import LRUCache
+from repro.kernels.base import SpMVKernel
+from repro.kernels.batched import MultiVectorSpMVResult
+from repro.kernels.dispatch import make_kernel
+from repro.obs import metrics
+from repro.sparse.csr import CSRMatrix
+from repro.util.errors import ReproError
+
+from repro.dist.evaluator import ShardedEvaluation, ShardedEvaluator
+from repro.dist.executor import FailureInjector
+from repro.dist.pool import DevicePool
+
+
+@dataclass(frozen=True)
+class _ModeledTiming:
+    """Minimal timing carrier (the serve layer reads ``.time_s`` only)."""
+
+    time_s: float
+
+
+@dataclass(frozen=True)
+class ShardedVectorResult:
+    """Per-request view of a sharded batch (duck-types ``KernelResult``
+    where the serving layer consumes it: ``.y`` and ``.timing.time_s``)."""
+
+    y: np.ndarray
+    timing: _ModeledTiming
+
+
+class ShardedServeBackend:
+    """Evaluate serve batches across a simulated device pool."""
+
+    def __init__(
+        self,
+        shards: int,
+        n_devices: Optional[int] = None,
+        placement: str = "memory",
+        retry_budget: int = 2,
+        capacity: int = 8,
+        device_name: str = "A100",
+    ):
+        if shards < 1:
+            raise ReproError(f"shards must be >= 1, got {shards}")
+        self.shards = shards
+        self.placement = placement
+        self.retry_budget = retry_budget
+        self.pool = DevicePool.of(
+            n_devices if n_devices is not None else min(shards, 4),
+            device_name,
+        )
+        self._evaluators: LRUCache[Tuple[str, str], ShardedEvaluator] = (
+            LRUCache("evaluator_cache", capacity, metric_prefix="dist")
+        )
+
+    def evaluator_for(
+        self, plan_id: str, precision: str, matrix: CSRMatrix
+    ) -> ShardedEvaluator:
+        """The (cached) sharded evaluator for one servable plan."""
+        key = (plan_id, precision)
+
+        def build() -> ShardedEvaluator:
+            kernel: SpMVKernel = make_kernel(precision)
+            return ShardedEvaluator(
+                matrix,
+                kernel,
+                self.shards,
+                pool=self.pool,
+                placement=self.placement,
+                retry_budget=self.retry_budget,
+            )
+
+        evaluator = self._evaluators.get_or_create(key, build)
+        if not evaluator.matches(matrix):
+            # The serve matrix cache evicted and rebuilt this converted
+            # matrix since the evaluator was compiled; reshard against
+            # the live object and refresh the entry.
+            metrics.counter("dist.evaluator_rebuilds").inc()
+            evaluator = build()
+            self._evaluators.put(key, evaluator)
+        return evaluator
+
+    def run_batch(
+        self,
+        plan_id: str,
+        precision: str,
+        matrix: CSRMatrix,
+        weight_vectors: Sequence[np.ndarray],
+        injector: Optional[FailureInjector] = None,
+    ) -> MultiVectorSpMVResult:
+        """Evaluate one coalesced batch, sharded.
+
+        Returns the same result shape the single-device
+        :func:`~repro.kernels.batched.run_multi_spmv` produces, so the
+        service's accounting and per-request resolution code run
+        unchanged; ``shards`` records the fan-out for provenance.
+        """
+        evaluator = self.evaluator_for(plan_id, precision, matrix)
+        evaluation: ShardedEvaluation = evaluator.evaluate_multi(
+            weight_vectors, injector=injector
+        )
+        single_s = evaluation.single_vector_wall_s
+        per_vector: List[ShardedVectorResult] = [
+            ShardedVectorResult(
+                y=np.ascontiguousarray(evaluation.doses[:, b]),
+                timing=_ModeledTiming(time_s=single_s),
+            )
+            for b in range(evaluation.batch)
+        ]
+        return MultiVectorSpMVResult(
+            per_vector=per_vector,  # type: ignore[arg-type]
+            batched_time_s=evaluation.wall_time_s,
+            unbatched_time_s=evaluation.batch * single_s,
+            spmm=True,
+            shards=evaluator.n_shards,
+        )

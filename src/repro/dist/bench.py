@@ -1,0 +1,245 @@
+"""Strong-scaling sweep and partition-quality report for ``repro.dist``.
+
+The sweep answers the distributed follow-up work's headline question on
+our simulated substrate: with the matrix fixed, how does the modeled
+evaluation time fall as shards (one device per shard) are added?  Each
+point also re-verifies the subsystem's acceptance criterion — the
+sharded dose must be **bitwise identical** to the single-device compiled
+plan run — so ``BENCH_dist.json`` doubles as a standing witness of the
+cross-device reproducibility contract.
+
+Speedups come from the analytic timing model, like every performance
+number in this repo: per-shard times are priced on each shard's own
+block, shards on one device serialize, devices overlap.  Perfect scaling
+would be ``speedup == shards``; the gap is nnz imbalance (bounded by the
+greedy prefix partitioner) plus the per-launch overhead each extra
+device pays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bench.harness import convert_for_kernel
+from repro.bench.recording import dist_bench_record
+from repro.gpu.device import get_device
+from repro.kernels.dispatch import make_kernel
+from repro.obs.trace import span as trace_span
+from repro.plans.cases import build_case_matrix
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.partition import (
+    partition_quality,
+    partition_rows_balanced,
+    partition_rows_equal,
+)
+from repro.util.rng import make_rng, stable_seed
+from repro.util.tables import Table
+
+from repro.dist.evaluator import ShardedEvaluator
+from repro.dist.pool import DevicePool
+
+#: the sweep's default shard counts (the issue's strong-scaling ladder).
+DEFAULT_SHARD_COUNTS: Tuple[int, ...] = (1, 2, 4, 8)
+
+
+@dataclass(frozen=True)
+class StrongScalingPoint:
+    """One shard count of the strong-scaling sweep."""
+
+    shards: int
+    devices: int
+    #: modeled wall time of the sharded evaluation (slowest device).
+    wall_time_s: float
+    #: all shards serialized on one device (the sharding-overhead view).
+    serial_time_s: float
+    #: the unsharded single-device reference time.
+    single_device_time_s: float
+    #: nnz imbalance of the sharding (max/mean; 1.0 == perfect).
+    imbalance: float
+    #: sharded dose bitwise equal to the single-device dose.
+    bitwise_identical: bool
+    retries: int
+
+    @property
+    def speedup(self) -> float:
+        return self.single_device_time_s / self.wall_time_s
+
+    @property
+    def efficiency(self) -> float:
+        """Speedup per device (1.0 == perfect strong scaling)."""
+        return self.speedup / self.devices
+
+
+@dataclass(frozen=True)
+class StrongScalingReport:
+    """The full sweep over shard counts for one (case, kernel)."""
+
+    case: str
+    kernel: str
+    device: str
+    n_rows: int
+    n_cols: int
+    nnz: int
+    shard_policy: str
+    placement: str
+    points: Tuple[StrongScalingPoint, ...]
+
+    @property
+    def all_bitwise_identical(self) -> bool:
+        return all(p.bitwise_identical for p in self.points)
+
+    def record(self) -> Dict[str, object]:
+        """The ``repro.dist-bench/v1`` JSON record for this sweep."""
+        return dist_bench_record(
+            case=self.case,
+            kernel=self.kernel,
+            device=self.device,
+            n_rows=self.n_rows,
+            n_cols=self.n_cols,
+            nnz=self.nnz,
+            shard_policy=self.shard_policy,
+            placement=self.placement,
+            points=[
+                {
+                    "shards": p.shards,
+                    "devices": p.devices,
+                    "wall_time_s": p.wall_time_s,
+                    "serial_time_s": p.serial_time_s,
+                    "single_device_time_s": p.single_device_time_s,
+                    "speedup": p.speedup,
+                    "efficiency": p.efficiency,
+                    "imbalance": p.imbalance,
+                    "bitwise_identical": p.bitwise_identical,
+                    "retries": p.retries,
+                }
+                for p in self.points
+            ],
+        )
+
+    def render(self) -> str:
+        table = Table(
+            ["shards", "wall_ms", "speedup", "efficiency", "imbalance",
+             "bitwise"],
+            title=(
+                f"Strong scaling — {self.case} / {self.kernel} on "
+                f"{self.device} pools ({self.shard_policy} sharding)"
+            ),
+        )
+        for p in self.points:
+            table.add_row(
+                [
+                    p.shards,
+                    p.wall_time_s * 1e3,
+                    p.speedup,
+                    p.efficiency,
+                    p.imbalance,
+                    "yes" if p.bitwise_identical else "NO",
+                ]
+            )
+        return table.render()
+
+
+def strong_scaling_sweep(
+    case: str = "Liver 1",
+    preset: str = "tiny",
+    kernel_name: str = "half_double",
+    shard_counts: Sequence[int] = DEFAULT_SHARD_COUNTS,
+    shard_policy: str = "balanced",
+    placement: str = "round_robin",
+    device_name: str = "A100",
+    seed: int = 20210419,
+    matrix: Optional[CSRMatrix] = None,
+) -> StrongScalingReport:
+    """Run the strong-scaling sweep (one device per shard).
+
+    The single-device reference is the kernel's own compiled-plan run on
+    the full matrix — the exact path the serve layer executes — and
+    every sweep point asserts bitwise equality against its dose.
+    """
+    kernel = make_kernel(kernel_name)
+    if matrix is None:
+        master = build_case_matrix(case, preset).matrix
+        matrix = convert_for_kernel(master, kernel_name)
+    rng = make_rng(stable_seed("dist-sweep", case, kernel_name, seed))
+    weights = rng.random(matrix.n_cols, dtype=np.float64)
+
+    with trace_span("dist.sweep", case=case, kernel=kernel_name):
+        plan = kernel.prepare_plan(matrix)
+        reference = kernel.run(
+            matrix, weights, device=get_device(device_name), plan=plan
+        )
+        points: List[StrongScalingPoint] = []
+        for n_shards in shard_counts:
+            evaluator = ShardedEvaluator(
+                matrix,
+                kernel,
+                n_shards,
+                pool=DevicePool.of(n_shards, device_name),
+                placement=placement,
+                shard_policy=shard_policy,
+            )
+            evaluation = evaluator.evaluate(weights)
+            points.append(
+                StrongScalingPoint(
+                    shards=n_shards,
+                    devices=n_shards,
+                    wall_time_s=evaluation.wall_time_s,
+                    serial_time_s=evaluation.serial_time_s,
+                    single_device_time_s=reference.timing.time_s,
+                    imbalance=evaluator.sharded.imbalance,
+                    bitwise_identical=bool(
+                        np.array_equal(evaluation.doses, reference.y)
+                    ),
+                    retries=evaluation.retries,
+                )
+            )
+    return StrongScalingReport(
+        case=case,
+        kernel=kernel_name,
+        device=device_name,
+        n_rows=matrix.n_rows,
+        n_cols=matrix.n_cols,
+        nnz=matrix.nnz,
+        shard_policy=shard_policy,
+        placement=placement,
+        points=tuple(points),
+    )
+
+
+def partition_report(
+    cases: Optional[Sequence[str]] = None,
+    preset: str = "tiny",
+    shard_counts: Sequence[int] = (2, 4, 8),
+) -> Table:
+    """Equal-rows vs equal-nnz imbalance per test matrix.
+
+    Surfaces the comparison the partitioner's docstring promises: on the
+    paper's heavy-tailed row-length distributions, splitting rows evenly
+    can put almost all the work on one device, while the nnz-quantile
+    boundaries stay within one row length of perfect balance.
+    """
+    from repro.plans.cases import case_names
+
+    table = Table(
+        ["case", "shards", "equal_rows_imbalance", "balanced_imbalance",
+         "improvement"],
+        title=f"Partition quality (preset={preset})",
+    )
+    for name in cases if cases is not None else case_names():
+        matrix = build_case_matrix(name, preset).matrix
+        for n in shard_counts:
+            equal = partition_quality(partition_rows_equal(matrix, n))
+            balanced = partition_quality(partition_rows_balanced(matrix, n))
+            table.add_row(
+                [
+                    name,
+                    n,
+                    equal["imbalance"],
+                    balanced["imbalance"],
+                    equal["imbalance"] / balanced["imbalance"],
+                ]
+            )
+    return table

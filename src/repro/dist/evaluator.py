@@ -1,0 +1,330 @@
+"""Sharded multi-device dose evaluation with a bitwise-identity contract.
+
+:class:`ShardedEvaluator` is the distribution-layer counterpart of one
+kernel invocation: it shards the deposition matrix
+(:mod:`repro.dist.sharding`), compiles one immutable
+:class:`~repro.kernels.plan.SpMVPlan` *per shard*, places shards on a
+simulated device pool (:mod:`repro.dist.pool`), executes them under the
+retry crash barrier (:mod:`repro.dist.executor`), and merges outputs in
+explicit shard-index order (:mod:`repro.dist.merge`).
+
+The contract, inherited from the paper and extended across device
+boundaries: for every shard count and pool size, the sharded dose is
+**bitwise identical** to the single-device evaluation.  The argument has
+three independently checkable legs:
+
+1. every dose row is reduced by exactly one warp in a fixed order, and
+   that order depends only on the row's own elements — so a row computes
+   the same bits inside a shard block as inside the full matrix;
+2. shards are disjoint contiguous row blocks, so merging involves no
+   floating-point arithmetic at all;
+3. the merge orders parts by explicit shard index, never by completion,
+   container, or device order (rule RA106).
+
+Timing is modeled, like everything in the simulated-GPU substrate: each
+shard's time comes from the analytic model priced on its own block;
+shards on one device serialize, devices run concurrently, so the
+evaluation's wall time is the slowest device's total — which is exactly
+why nnz-balanced sharding matters (see the strong-scaling bench).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.gpu.timing import KERNEL_LAUNCH_OVERHEAD_S
+from repro.kernels.base import KernelResult, SpMVKernel
+from repro.kernels.batched import spmm_batched_time
+from repro.kernels.plan import SpMVPlan, compile_plan, execute_plan_multi
+from repro.obs import metrics
+from repro.obs.trace import span as trace_span
+from repro.precision.types import HALF_DOUBLE
+from repro.sparse.csr import CSRMatrix
+from repro.util.errors import ReproError, ShapeError
+
+from repro.dist.executor import (
+    FailureInjector,
+    RetryBudget,
+    run_shard_with_retry,
+)
+from repro.dist.merge import merge_shard_outputs
+from repro.dist.pool import DevicePool, Placement, SimulatedDevice, place_shards
+from repro.dist.sharding import ShardedMatrix, shard_matrix
+
+
+@dataclass(frozen=True)
+class CompiledShard:
+    """One shard ready to execute: block + compiled plan + device."""
+
+    index: int
+    block: CSRMatrix
+    plan: SpMVPlan
+    device: SimulatedDevice
+
+
+@dataclass(frozen=True)
+class ShardedEvaluation:
+    """Outcome of one sharded dose evaluation.
+
+    ``doses`` has shape ``(n_rows,)`` for a single weight vector or
+    ``(n_rows, B)`` for a batch; per-shard/per-device times are indexed
+    by shard index / device index respectively.
+    """
+
+    doses: np.ndarray
+    batch: int
+    n_shards: int
+    n_devices: int
+    #: modeled kernel time of each shard for the whole batch, by shard
+    #: index (equals the single-vector time when ``batch == 1``).
+    per_shard_time_s: Tuple[float, ...]
+    #: modeled stand-alone single-vector time of each shard, by shard
+    #: index (what one unbatched request would cost).
+    per_shard_single_time_s: Tuple[float, ...]
+    #: each device's serialized total over its shards, by device index.
+    per_device_time_s: Tuple[float, ...]
+    #: wall time of a one-vector sharded run on the same placement (the
+    #: stand-alone cost of one unbatched request).
+    single_vector_wall_s: float
+    #: retries actually spent during this evaluation.
+    retries: int
+
+    @property
+    def wall_time_s(self) -> float:
+        """Devices run concurrently: the slowest device sets the pace."""
+        return max(self.per_device_time_s)
+
+    @property
+    def serial_time_s(self) -> float:
+        """All shards back to back on one device (the 1-device view)."""
+        return sum(self.per_shard_time_s)
+
+
+class ShardedEvaluator:
+    """Evaluate ``d = A @ w`` across a pool of simulated devices.
+
+    ``kernel`` must belong to a compiled-plan family (``plan_family``
+    attribute — the vector and scalar CSR kernels qualify); the matrix
+    must already be stored in the kernel's matrix precision, exactly as
+    for a single-device run.
+    """
+
+    def __init__(
+        self,
+        matrix: CSRMatrix,
+        kernel: SpMVKernel,
+        n_shards: int,
+        pool: Optional[DevicePool] = None,
+        placement: str = "memory",
+        shard_policy: str = "balanced",
+        retry_budget: int = 2,
+    ):
+        if not hasattr(kernel, "plan_family"):
+            raise ReproError(
+                f"kernel {kernel.name!r} has no compiled-plan family; "
+                "sharded evaluation requires a plan-family kernel "
+                "(vector or scalar CSR)"
+            )
+        if retry_budget < 0:
+            raise ShapeError(
+                f"retry_budget must be >= 0, got {retry_budget}"
+            )
+        self.kernel = kernel
+        self.retry_budget = retry_budget
+        self.pool = pool if pool is not None else DevicePool.homogeneous(
+            min(n_shards, 4)
+        )
+        with trace_span(
+            "dist.compile",
+            shards=n_shards,
+            devices=self.pool.n_devices,
+            kernel=kernel.name,
+        ):
+            self.sharded: ShardedMatrix = shard_matrix(
+                matrix, n_shards, policy=shard_policy
+            )
+            self.placement: Placement = place_shards(
+                self.sharded,
+                self.pool,
+                policy=placement,
+                precision=getattr(kernel, "precision", HALF_DOUBLE),
+            )
+            accum = kernel.precision.accumulate.dtype
+            # Plans are compiled directly (not through the process-global
+            # LRU): an 8-shard evaluator would otherwise evict half the
+            # serving cache, and the evaluator owning its plans keeps the
+            # source-identity check stable for its whole lifetime.
+            self.shards: Tuple[CompiledShard, ...] = tuple(
+                CompiledShard(
+                    index=spec.index,
+                    block=block,
+                    plan=compile_plan(block, kernel.plan_family, accum),
+                    device=self.pool.devices[
+                        self.placement.device_of(spec.index)
+                    ],
+                )
+                for spec, block in zip(self.sharded.specs, self.sharded.blocks)
+            )
+        metrics.counter("dist.evaluators_built").inc()
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_shards(self) -> int:
+        return self.sharded.n_shards
+
+    @property
+    def n_rows(self) -> int:
+        return self.sharded.n_rows
+
+    @property
+    def n_cols(self) -> int:
+        return self.sharded.n_cols
+
+    def matches(self, matrix: CSRMatrix) -> bool:
+        """Identity check: was this evaluator built for ``matrix``?"""
+        source = self.sharded.source
+        return (
+            source.data is matrix.data and source.indices is matrix.indices
+        )
+
+    def _execution_order(self) -> List[CompiledShard]:
+        """Interleave shards across devices, simulating concurrency.
+
+        Round ``j`` visits every device's ``j``-th shard, so completion
+        order genuinely differs from shard order whenever more than one
+        device is active — which is what makes the index-sorted merge a
+        load-bearing step rather than a no-op.
+        """
+        per_device = [
+            [self.shards[k] for k in self.placement.shards_on(d)]
+            for d in range(self.pool.n_devices)
+        ]
+        order: List[CompiledShard] = []
+        for step in range(max((len(q) for q in per_device), default=0)):
+            for queue in per_device:
+                if step < len(queue):
+                    order.append(queue[step])
+        return order
+
+    # ------------------------------------------------------------------ #
+
+    def evaluate(
+        self,
+        weights: np.ndarray,
+        injector: Optional[FailureInjector] = None,
+    ) -> ShardedEvaluation:
+        """Evaluate one weight vector across the pool."""
+        return self._evaluate([np.asarray(weights)], injector, batch=False)
+
+    def evaluate_multi(
+        self,
+        weight_vectors: Sequence[np.ndarray],
+        injector: Optional[FailureInjector] = None,
+    ) -> ShardedEvaluation:
+        """Evaluate a batch of weight vectors (the serving SpMM view)."""
+        if not weight_vectors:
+            raise ShapeError("need at least one weight vector")
+        return self._evaluate(
+            [np.asarray(w) for w in weight_vectors], injector, batch=True
+        )
+
+    def _evaluate(
+        self,
+        arrays: List[np.ndarray],
+        injector: Optional[FailureInjector],
+        batch: bool,
+    ) -> ShardedEvaluation:
+        for i, w in enumerate(arrays):
+            if w.ndim != 1 or w.shape[0] != self.n_cols:
+                raise ShapeError(
+                    f"vector {i}: matrix has {self.n_cols} columns but "
+                    f"weight vector has shape {w.shape}"
+                )
+        B = len(arrays)
+        budget = RetryBudget(total=self.retry_budget)
+        with trace_span(
+            "dist.evaluate",
+            shards=self.n_shards,
+            devices=self.pool.n_devices,
+            batch=B,
+            kernel=self.kernel.name,
+        ) as sp:
+            parts: List[Tuple[int, np.ndarray]] = []
+            shard_times = [0.0] * self.n_shards
+            single_times = [0.0] * self.n_shards
+            for shard in self._execution_order():
+                y, time_s, single_s = run_shard_with_retry(
+                    shard.index,
+                    shard.device.name,
+                    lambda s=shard: self._run_shard(s, arrays),
+                    budget,
+                    injector,
+                )
+                parts.append((shard.index, y))
+                shard_times[shard.index] = time_s
+                single_times[shard.index] = single_s
+            doses = merge_shard_outputs(parts)
+            if not batch:
+                doses = doses[:, 0]
+            device_times = tuple(
+                sum(shard_times[k] for k in self.placement.shards_on(d))
+                for d in range(self.pool.n_devices)
+            )
+            single_wall = max(
+                sum(single_times[k] for k in self.placement.shards_on(d))
+                for d in range(self.pool.n_devices)
+            )
+            sp.set_attrs(retries=budget.spent)
+        metrics.counter("dist.evaluations").inc()
+        metrics.counter("dist.shards_executed").inc(self.n_shards)
+        return ShardedEvaluation(
+            doses=doses,
+            batch=B,
+            n_shards=self.n_shards,
+            n_devices=self.pool.n_devices,
+            per_shard_time_s=tuple(shard_times),
+            per_shard_single_time_s=tuple(single_times),
+            per_device_time_s=device_times,
+            single_vector_wall_s=single_wall,
+            retries=budget.spent,
+        )
+
+    def _run_shard(
+        self, shard: CompiledShard, arrays: List[np.ndarray]
+    ) -> Tuple[np.ndarray, float, float]:
+        """One shard's SpMM: ``(rows, B)`` float64 output + modeled times.
+
+        The first vector runs through :meth:`SpMVKernel.run` (yielding
+        the launch/counter state the timing model needs); the remaining
+        columns use the plan's SpMM fast path, each column bitwise
+        identical to a stand-alone evaluation.  Returns
+        ``(doses, batched_time_s, single_vector_time_s)``.
+        """
+        first: KernelResult = self.kernel.run(
+            shard.block, arrays[0], device=shard.device.spec, plan=shard.plan
+        )
+        single_s = first.timing.time_s
+        if len(arrays) == 1:
+            out = first.y[:, None]
+            return out, single_s, single_s
+        multi = execute_plan_multi(shard.plan, arrays)
+        out = multi.astype(np.float64, copy=False)
+        out[:, 0] = first.y
+        if hasattr(self.kernel, "multi_counters"):
+            time_s = spmm_batched_time(
+                self.kernel,
+                shard.block,
+                first,
+                len(arrays),
+                shard.device.spec,
+            )
+        else:
+            time_s = (
+                len(arrays) * single_s
+                - (len(arrays) - 1) * KERNEL_LAUNCH_OVERHEAD_S
+            )
+        return out, time_s, single_s

@@ -1,0 +1,120 @@
+"""Per-shard execution with a crash barrier and bounded retries.
+
+A multi-device run has more ways to fail than a single device: one
+executor can drop out (ECC error, Xid, preempted slot) while the others
+finish.  The serving layer already established the pattern — catch
+everything at the worker boundary, count it, convert it into a typed
+rejection (:mod:`repro.serve.workers`).  This module applies the same
+crash barrier per shard, plus a **bounded retry budget**: transient
+device failures are retried (the shard re-runs and, being deterministic,
+produces the identical bits), but the total number of retries across one
+evaluation is capped so a persistently failing device cannot spin the
+evaluator forever.  When the budget is exhausted the evaluation fails
+loudly with :class:`ShardExecutionError` — a partial dose is never
+returned, because a silently missing shard is a clinical wrong answer.
+
+:class:`FailureInjector` provides deterministic fault drills: it fails
+chosen shards a chosen number of times, so tests can prove the retried
+run is bitwise identical to the failure-free run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, TypeVar
+
+from repro.obs import metrics
+from repro.obs.trace import span as trace_span
+from repro.util.errors import ReproError
+
+T = TypeVar("T")
+
+
+class DeviceFailure(ReproError, RuntimeError):
+    """A (simulated) device executor failed while running a shard."""
+
+
+class ShardExecutionError(ReproError, RuntimeError):
+    """A shard could not be completed within the retry budget."""
+
+
+@dataclass
+class FailureInjector:
+    """Deterministically fail chosen shards a fixed number of times.
+
+    ``failures[k] = n`` makes shard ``k`` raise :class:`DeviceFailure`
+    on its first ``n`` attempts and succeed afterwards.  The injector is
+    stateful (counts decrement as failures fire); build a fresh one per
+    evaluation.
+    """
+
+    failures: Dict[int, int] = field(default_factory=dict)
+
+    @classmethod
+    def fail_once(cls, *shard_indices: int) -> "FailureInjector":
+        """Injector that fails each listed shard exactly once."""
+        return cls(failures={k: 1 for k in shard_indices})
+
+    def maybe_fail(self, shard_index: int) -> None:
+        remaining = self.failures.get(shard_index, 0)
+        if remaining > 0:
+            self.failures[shard_index] = remaining - 1
+            raise DeviceFailure(
+                f"injected device failure on shard {shard_index} "
+                f"({remaining - 1} more queued)"
+            )
+
+
+@dataclass
+class RetryBudget:
+    """Total retries one evaluation may spend across all its shards."""
+
+    total: int
+    spent: int = 0
+
+    @property
+    def remaining(self) -> int:
+        return self.total - self.spent
+
+    def consume(self, shard_index: int, cause: BaseException) -> None:
+        """Spend one retry, or raise if the budget is exhausted."""
+        if self.remaining <= 0:
+            raise ShardExecutionError(
+                f"shard {shard_index} failed and the retry budget "
+                f"({self.total}) is exhausted: {cause}"
+            ) from cause
+        self.spent += 1
+        metrics.counter("dist.retries").inc()
+
+
+def run_shard_with_retry(
+    shard_index: int,
+    device_name: str,
+    fn: Callable[[], T],
+    budget: RetryBudget,
+    injector: Optional[FailureInjector] = None,
+) -> T:
+    """Run one shard's computation under the crash barrier.
+
+    ``fn`` is the deterministic shard kernel (closure over block, plan,
+    weights); any :class:`DeviceFailure` — injected or raised by the
+    executor itself — consumes one unit of the shared ``budget`` and the
+    shard re-runs.  Deterministic kernels make the retry transparent:
+    the successful attempt's bits are identical to a failure-free run.
+    """
+    attempt = 0
+    while True:
+        attempt += 1
+        with trace_span(
+            "dist.shard_exec",
+            shard=shard_index,
+            device=device_name,
+            attempt=attempt,
+        ):
+            try:
+                if injector is not None:
+                    injector.maybe_fail(shard_index)
+                return fn()
+            except DeviceFailure as exc:
+                metrics.counter("dist.shard_failures").inc()
+                budget.consume(shard_index, exc)

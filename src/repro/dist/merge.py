@@ -1,0 +1,75 @@
+"""Deterministic merge of per-shard dose outputs.
+
+Shards are disjoint contiguous row blocks, so merging is pure
+concatenation — no floating-point arithmetic happens here, which is what
+makes the cross-device reproducibility argument airtight: each shard's
+bits are produced by the same fixed-order warp reduction as the
+single-device run, and the merge merely places those bits at their row
+offsets.  The only way to break bitwise equality in this layer is to
+concatenate in the wrong *order* — e.g. in completion order, or by
+iterating a ``dict`` of results.  Rule RA106 statically forbids that;
+this module enforces it dynamically: :func:`merge_shard_outputs` takes
+``(shard_index, array)`` pairs in *any* order, validates the indices
+form an exact permutation of ``range(n_shards)``, sorts by the explicit
+index, and combines with a fixed-topology pairwise tree.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.obs import metrics
+from repro.obs.trace import span as trace_span
+from repro.util.errors import ShapeError
+
+
+def tree_merge(arrays: Sequence[np.ndarray]) -> np.ndarray:
+    """Concatenate row blocks with a fixed pairwise merge tree.
+
+    The tree combines neighbours ``(0,1), (2,3), ...`` level by level —
+    the same topology a multi-device reduction would use — and is
+    order-preserving: ``tree_merge(parts)`` equals a flat
+    ``np.concatenate(parts)`` bit for bit, for every input count.
+    Callers must already have sorted ``arrays`` by shard index.
+    """
+    if not arrays:
+        raise ShapeError("tree_merge needs at least one array")
+    level: List[np.ndarray] = list(arrays)
+    while len(level) > 1:
+        merged: List[np.ndarray] = []
+        for i in range(0, len(level) - 1, 2):
+            merged.append(np.concatenate((level[i], level[i + 1]), axis=0))
+        if len(level) % 2:
+            merged.append(level[-1])
+        level = merged
+    return level[0]
+
+
+def merge_shard_outputs(
+    parts: Sequence[Tuple[int, np.ndarray]]
+) -> np.ndarray:
+    """Merge ``(shard_index, output)`` pairs into the full dose array.
+
+    Pairs may arrive in any order (devices finish when they finish); the
+    merge sorts by the **explicit shard index** carried with each part,
+    validates the indices are exactly ``0..n-1`` with no duplicates or
+    gaps, and tree-concatenates.  Output shape is the row-concatenation
+    of the parts: ``(n_rows,)`` for single-vector evaluation or
+    ``(n_rows, B)`` for batched.
+    """
+    if not parts:
+        raise ShapeError("cannot merge zero shard outputs")
+    n = len(parts)
+    indices = [index for index, _ in parts]
+    if sorted(indices) != list(range(n)):
+        raise ShapeError(
+            f"shard indices {sorted(indices)} are not a permutation of "
+            f"0..{n - 1}; refusing a nondeterministic merge"
+        )
+    with trace_span("dist.merge", shards=n):
+        ordered = sorted(parts, key=lambda item: item[0])
+        result = tree_merge([array for _, array in ordered])
+    metrics.counter("dist.merges").inc()
+    return result

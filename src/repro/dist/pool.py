@@ -1,0 +1,196 @@
+"""Simulated device pools and shard placement policies.
+
+A :class:`DevicePool` models a homogeneous multi-GPU node (the follow-up
+distributed work runs A100 pools); each :class:`SimulatedDevice` wraps a
+:class:`~repro.gpu.device.DeviceSpec` so the existing analytic timing
+model prices every shard's kernel exactly as the single-device path does.
+
+Placement answers "which device runs shard k".  Two policies:
+
+* :func:`place_round_robin` — shard ``k`` to device ``k % n_devices``;
+* :func:`place_memory_aware` — greedy best-fit by remaining usable
+  memory (:mod:`repro.gpu.memory_planner` footprints), so a heavy shard
+  does not land on an already-loaded device.
+
+Placement never affects numerics: each shard computes the same bits on
+any device, and the merge order is the shard index, not the device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.gpu.device import A100, DeviceSpec, get_device
+from repro.gpu.memory_planner import MatrixFootprint, usable_bytes
+from repro.obs import metrics
+from repro.obs.trace import span as trace_span
+from repro.precision.types import HALF_DOUBLE, MixedPrecision
+from repro.util.errors import ShapeError
+
+from repro.dist.sharding import ShardedMatrix
+
+#: placement policies understood by :func:`place_shards`.
+PLACEMENT_POLICIES: Tuple[str, ...] = ("round_robin", "memory")
+
+
+@dataclass(frozen=True)
+class SimulatedDevice:
+    """One device slot in the pool (identity + hardware spec)."""
+
+    device_id: int
+    spec: DeviceSpec
+
+    @property
+    def name(self) -> str:
+        return f"{self.spec.name}:{self.device_id}"
+
+
+@dataclass(frozen=True)
+class DevicePool:
+    """A fixed-size pool of simulated devices (homogeneous by default)."""
+
+    devices: Tuple[SimulatedDevice, ...]
+
+    def __post_init__(self) -> None:
+        if not self.devices:
+            raise ShapeError("device pool must contain at least one device")
+        for i, dev in enumerate(self.devices):
+            if dev.device_id != i:
+                raise ShapeError(
+                    f"device at position {i} carries id {dev.device_id}; "
+                    "pool devices must be ordered by device_id"
+                )
+
+    @property
+    def n_devices(self) -> int:
+        return len(self.devices)
+
+    @classmethod
+    def homogeneous(
+        cls, n_devices: int, spec: DeviceSpec = A100
+    ) -> "DevicePool":
+        if n_devices <= 0:
+            raise ShapeError(f"n_devices must be > 0, got {n_devices}")
+        return cls(
+            devices=tuple(
+                SimulatedDevice(device_id=i, spec=spec)
+                for i in range(n_devices)
+            )
+        )
+
+    @classmethod
+    def of(cls, n_devices: int, device_name: str = "A100") -> "DevicePool":
+        """Pool of ``n_devices`` copies of a catalogue device."""
+        return cls.homogeneous(n_devices, get_device(device_name))
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Shard → device assignment.
+
+    ``assignments[k]`` is the device index executing shard ``k``; the
+    tuple is indexed by shard index, so the mapping is deterministic and
+    independent of any container iteration order.
+    """
+
+    policy: str
+    assignments: Tuple[int, ...]
+    n_devices: int
+
+    def __post_init__(self) -> None:
+        for k, dev in enumerate(self.assignments):
+            if not 0 <= dev < self.n_devices:
+                raise ShapeError(
+                    f"shard {k} assigned to device {dev} outside pool "
+                    f"of {self.n_devices}"
+                )
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.assignments)
+
+    def device_of(self, shard_index: int) -> int:
+        return self.assignments[shard_index]
+
+    def shards_on(self, device_index: int) -> Tuple[int, ...]:
+        """Shard indices on one device, in ascending shard order."""
+        return tuple(
+            k for k, dev in enumerate(self.assignments) if dev == device_index
+        )
+
+
+def place_round_robin(sharded: ShardedMatrix, pool: DevicePool) -> Placement:
+    """Shard ``k`` runs on device ``k % n_devices``."""
+    return Placement(
+        policy="round_robin",
+        assignments=tuple(
+            k % pool.n_devices for k in range(sharded.n_shards)
+        ),
+        n_devices=pool.n_devices,
+    )
+
+
+def place_memory_aware(
+    sharded: ShardedMatrix,
+    pool: DevicePool,
+    precision: MixedPrecision = HALF_DOUBLE,
+) -> Placement:
+    """Greedy best-fit: each shard goes to the emptiest device.
+
+    Shards are considered in ascending shard index (deterministic), and
+    each is assigned to the device with the most remaining usable bytes
+    (ties break toward the lowest device index).  If a shard does not
+    fit anywhere, it is still placed on the emptiest device — the pool
+    is oversubscribed, which the ``dist.placement_oversubscribed``
+    counter records for the operator, but evaluation (simulated) still
+    proceeds.
+    """
+    remaining: List[float] = [
+        usable_bytes(dev.spec) for dev in pool.devices
+    ]
+    assignments: List[int] = []
+    oversubscribed = 0
+    for spec, block in zip(sharded.specs, sharded.blocks):
+        footprint = MatrixFootprint(
+            name=f"shard{spec.index}",
+            n_rows=block.n_rows,
+            n_cols=block.n_cols,
+            nnz=block.nnz,
+            precision=precision,
+        )
+        best = max(range(len(remaining)), key=lambda i: (remaining[i], -i))
+        if footprint.total_bytes > remaining[best]:
+            oversubscribed += 1
+        remaining[best] -= footprint.total_bytes
+        assignments.append(best)
+    if oversubscribed:
+        metrics.counter("dist.placement_oversubscribed").inc(oversubscribed)
+    return Placement(
+        policy="memory",
+        assignments=tuple(assignments),
+        n_devices=pool.n_devices,
+    )
+
+
+def place_shards(
+    sharded: ShardedMatrix,
+    pool: DevicePool,
+    policy: str = "memory",
+    precision: MixedPrecision = HALF_DOUBLE,
+) -> Placement:
+    """Place shards under a named policy (see :data:`PLACEMENT_POLICIES`)."""
+    with trace_span(
+        "dist.place",
+        policy=policy,
+        shards=sharded.n_shards,
+        devices=pool.n_devices,
+    ):
+        if policy == "round_robin":
+            return place_round_robin(sharded, pool)
+        if policy == "memory":
+            return place_memory_aware(sharded, pool, precision=precision)
+        raise ShapeError(
+            f"unknown placement policy {policy!r}; "
+            f"expected one of {PLACEMENT_POLICIES}"
+        )

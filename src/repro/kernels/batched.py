@@ -120,6 +120,9 @@ class MultiVectorSpMVResult:
     #: (matrix streamed once for all vectors), False for the
     #: launch-overhead-only back-to-back model.
     spmm: bool = False
+    #: number of row shards the evaluation ran across (1 = single device;
+    #: >1 means a :class:`repro.dist.ShardedServeBackend` produced it).
+    shards: int = 1
 
     @property
     def doses(self) -> List[np.ndarray]:
@@ -139,7 +142,7 @@ class MultiVectorSpMVResult:
         return self.unbatched_time_s / self.batched_time_s
 
 
-def _spmm_batched_time(
+def spmm_batched_time(
     kernel: SpMVKernel,
     matrix,
     first: KernelResult,
@@ -215,7 +218,7 @@ def run_multi_spmv(
                 )
         unbatched = len(arrays) * first.timing.time_s
         if hasattr(kernel, "multi_counters"):
-            batched = _spmm_batched_time(
+            batched = spmm_batched_time(
                 kernel, matrix, first, len(arrays), device
             )
         else:

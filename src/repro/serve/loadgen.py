@@ -66,6 +66,12 @@ class LoadTestConfig:
     #: register Table I cases (at ``preset``) instead of synthetic plans.
     case_names: Optional[Sequence[str]] = None
     preset: str = "tiny"
+    #: row shards per evaluation (>1 serves through repro.dist).
+    shards: int = 1
+    #: simulated devices in the sharded pool (None: min(shards, 4)).
+    dist_devices: Optional[int] = None
+    #: shard placement policy for the sharded backend.
+    dist_placement: str = "memory"
 
     def __post_init__(self) -> None:
         if self.n_requests <= 0 or self.n_clients <= 0 or self.burst <= 0:
@@ -87,6 +93,8 @@ class RequestRecord:
     batch_size: Optional[int] = None
     modeled_time_s: Optional[float] = None
     cache_hit: Optional[bool] = None
+    #: row shards the evaluation ran across (1 == single device).
+    shards: int = 1
     bitwise: Optional[bool] = None
     #: the served dose, held only until the bitwise audit runs.
     dose: Optional[np.ndarray] = None
@@ -242,6 +250,8 @@ class LoadTestReport:
             ("bitwise identical to stand-alone",
              f"{self.bitwise_ok}/{self.bitwise_checked}"),
         ]
+        if self.config.shards > 1:
+            rows.append(("shards per evaluation", self.config.shards))
         for reason, count in sorted(self.rejections.items()):
             rows.append((f"rejections[{reason}]", count))
         for name, value in rows:
@@ -296,6 +306,9 @@ def run_loadtest(
                 max_batch_size=config.max_batch_size,
                 max_wait_s=config.batch_window_s,
             ),
+            shards=config.shards,
+            dist_devices=config.dist_devices,
+            dist_placement=config.dist_placement,
         ),
         clock=clock,
     )
@@ -410,6 +423,7 @@ def _record(request: EvaluationRequest, outcome) -> RequestRecord:
         batch_size=outcome.batch_size,
         modeled_time_s=outcome.modeled_time_s,
         cache_hit=outcome.cache_hit,
+        shards=outcome.shards,
         dose=outcome.dose,
     )
 

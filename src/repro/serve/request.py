@@ -46,6 +46,9 @@ class RejectReason(enum.Enum):
     BAD_SHAPE = "bad_shape"
     #: the request sat in the queue past its deadline.
     DEADLINE_EXCEEDED = "deadline_exceeded"
+    #: the service runs sharded and the requested kernel has no
+    #: compiled-plan family to shard (libraries, format baselines).
+    UNSHARDABLE = "unshardable"
     #: the service is draining/stopped.
     SHUTTING_DOWN = "shutting_down"
     #: the executing worker hit an unexpected error.
@@ -109,6 +112,8 @@ class EvaluationResult:
     worker: str
     #: True when the plan matrix came from the plan cache.
     cache_hit: bool
+    #: row shards the evaluation ran across (1 == single device).
+    shards: int = 1
 
 
 @dataclass(frozen=True)

@@ -65,6 +65,16 @@ class ServiceConfig:
     #: admit kernels whose results are not bitwise reproducible (the
     #: atomics baseline); off by default — serving is a clinical path.
     allow_nonreproducible: bool = False
+    #: row shards per evaluation (1 == classic single-device serving;
+    #: >1 routes batches through a :class:`repro.dist.ShardedServeBackend`
+    #: with the bitwise contract intact).
+    shards: int = 1
+    #: simulated devices in the sharded pool (None: min(shards, 4)).
+    dist_devices: Optional[int] = None
+    #: shard placement policy ("memory" or "round_robin").
+    dist_placement: str = "memory"
+    #: total per-evaluation retry budget for transient device failures.
+    dist_retry_budget: int = 2
 
 
 class DoseEvaluationService:
@@ -92,6 +102,19 @@ class DoseEvaluationService:
             n_workers=self.config.n_workers, resolver=self._resolve,
         )
         self._reproducible_kernels = self._probe_reproducible()
+        self._shardable_kernels = self._probe_shardable()
+        self._dist_backend = None
+        if self.config.shards > 1:
+            from repro.dist.backend import ShardedServeBackend
+
+            self._dist_backend = ShardedServeBackend(
+                shards=self.config.shards,
+                n_devices=self.config.dist_devices,
+                placement=self.config.dist_placement,
+                retry_budget=self.config.dist_retry_budget,
+                capacity=self.config.plan_cache_capacity,
+                device_name=self.config.device.name,
+            )
         self._started = False
         self._stopped = False
         self._accounting = threading.Lock()
@@ -106,6 +129,14 @@ class DoseEvaluationService:
     def _probe_reproducible() -> Dict[str, bool]:
         return {
             name: make_kernel(name).reproducible for name in kernel_names()
+        }
+
+    @staticmethod
+    def _probe_shardable() -> Dict[str, bool]:
+        """Which kernels can run sharded (compiled-plan families only)."""
+        return {
+            name: hasattr(make_kernel(name), "plan_family")
+            for name in kernel_names()
         }
 
     # ------------------------------------------------------------------ #
@@ -176,6 +207,16 @@ class DoseEvaluationService:
                 f"kernel {request.precision!r} is not bitwise reproducible "
                 "and the service requires reproducible results",
             )
+        if (
+            self.config.shards > 1
+            and not self._shardable_kernels.get(request.precision, False)
+        ):
+            return reject(
+                RejectReason.UNSHARDABLE,
+                f"kernel {request.precision!r} has no compiled-plan family "
+                f"and this service shards evaluations "
+                f"{self.config.shards} ways",
+            )
         record = self.plans.get(request.plan_id)
         if record is None:
             return reject(
@@ -217,27 +258,42 @@ class DoseEvaluationService:
     def _execute_batch(self, batch: Batch, worker_name: str) -> None:
         started = self._clock.monotonic()
         try:
-            if hasattr(self._cache, "materialize_with_plan"):
-                matrix, exec_plan, cache_hit, plan_hit = (
-                    self._cache.materialize_with_plan(
-                        batch.plan_id, batch.precision
-                    )
-                )
-            else:  # matrix-only cache (tests stub these)
+            if self._dist_backend is not None:
+                # Sharded path: the dist backend owns per-shard plan
+                # compilation, so only the converted matrix is needed.
                 matrix, cache_hit = self._cache.materialize(
                     batch.plan_id, batch.precision
                 )
-                exec_plan, plan_hit = None, None
-            kernel = make_kernel(batch.precision)
-            with trace_span("serve.spmm", plan=batch.plan_id,
-                            precision=batch.precision, size=len(batch),
-                            plan_cached=plan_hit):
-                result = run_multi_spmv(
-                    kernel, matrix,
-                    [t.request.weights for t in batch.tickets],
-                    device=self.config.device,
-                    plan=exec_plan,
-                )
+                plan_hit = None
+                with trace_span("serve.dist_spmm", plan=batch.plan_id,
+                                precision=batch.precision, size=len(batch),
+                                shards=self.config.shards):
+                    result = self._dist_backend.run_batch(
+                        batch.plan_id, batch.precision, matrix,
+                        [t.request.weights for t in batch.tickets],
+                    )
+            else:
+                if hasattr(self._cache, "materialize_with_plan"):
+                    matrix, exec_plan, cache_hit, plan_hit = (
+                        self._cache.materialize_with_plan(
+                            batch.plan_id, batch.precision
+                        )
+                    )
+                else:  # matrix-only cache (tests stub these)
+                    matrix, cache_hit = self._cache.materialize(
+                        batch.plan_id, batch.precision
+                    )
+                    exec_plan, plan_hit = None, None
+                kernel = make_kernel(batch.precision)
+                with trace_span("serve.spmm", plan=batch.plan_id,
+                                precision=batch.precision, size=len(batch),
+                                plan_cached=plan_hit):
+                    result = run_multi_spmv(
+                        kernel, matrix,
+                        [t.request.weights for t in batch.tickets],
+                        device=self.config.device,
+                        plan=exec_plan,
+                    )
         except BaseException as exc:
             detail = f"{type(exc).__name__}: {exc}"
             metrics.counter("serve.batch_errors").inc()
@@ -270,6 +326,7 @@ class DoseEvaluationService:
                 latency_s=resolved_at - ticket.submitted_at,
                 worker=worker_name,
                 cache_hit=cache_hit,
+                shards=getattr(result, "shards", 1),
             ))
 
     # ------------------------------------------------------------------ #

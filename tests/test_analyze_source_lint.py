@@ -1,4 +1,4 @@
-"""AST reproducibility lint (RA101–RA104) on synthetic modules."""
+"""AST reproducibility lint (RA101–RA106) on synthetic modules."""
 
 from __future__ import annotations
 
@@ -243,6 +243,104 @@ class TestRA105PlanImmutability:
             rel_path="kernels/plan.py",
         )
         assert "RA105" not in _ids(findings)
+
+
+class TestRA106UnorderedShardMerge:
+    def test_concatenate_from_dict_values_flagged(self):
+        findings = _lint(
+            """
+            import numpy as np
+
+            def merge(results):
+                return np.concatenate(list(results.values()))
+            """,
+            rel_path="dist/merge_helper.py",
+        )
+        assert "RA106" in _ids(findings)
+
+    def test_tree_merge_from_set_comprehension_flagged(self):
+        findings = _lint(
+            """
+            def merge(parts):
+                return tree_merge({p for p in parts})
+            """,
+            rel_path="dist/evaluator.py",
+        )
+        assert "RA106" in _ids(findings)
+
+    def test_vstack_from_dict_values_flagged(self):
+        findings = _lint(
+            """
+            import numpy as np
+
+            def merge(by_device):
+                return np.vstack(tuple(by_device.values()))
+            """,
+            rel_path="dist/backend.py",
+        )
+        assert "RA106" in _ids(findings)
+
+    def test_index_sorted_merge_is_clean(self):
+        findings = _lint(
+            """
+            import numpy as np
+
+            def merge(parts):
+                ordered = sorted(parts, key=lambda p: p[0])
+                return np.concatenate([a for _, a in ordered])
+            """,
+            rel_path="dist/merge.py",
+        )
+        assert "RA106" not in _ids(findings)
+
+    def test_rule_scoped_to_dist_modules(self):
+        findings = _lint(
+            """
+            import numpy as np
+
+            def merge(results):
+                return np.concatenate(list(results.values()))
+            """,
+            rel_path="bench/helper.py",
+        )
+        assert "RA106" not in _ids(findings)
+
+    def test_scan_is_per_argument_expression(self):
+        # the .values() read in a separate statement is out of reach of
+        # the argument-subtree scan; the rule is a tripwire, not a
+        # dataflow analysis.
+        findings = _lint(
+            """
+            import numpy as np
+
+            def merge(results):
+                vals = results.values()
+                return np.concatenate(list(vals))
+            """,
+            rel_path="dist/merge.py",
+        )
+        assert "RA106" not in _ids(findings)
+
+    def test_inline_allow_honoured(self):
+        findings = _lint(
+            """
+            import numpy as np
+
+            def merge(results):
+                return np.concatenate(list(results.values()))  # analyze: allow[RA106]
+            """,
+            rel_path="dist/merge.py",
+        )
+        assert "RA106" not in _ids(findings)
+
+    def test_dist_is_functional_path_for_wall_clocks(self):
+        # "dist" joined FUNCTIONAL_DIRS with this rule: the evaluator's
+        # modeled times must come from the timing model, never wall clocks.
+        findings = _lint(
+            "import time\n\ndef run():\n    return time.perf_counter()\n",
+            rel_path="dist/evaluator.py",
+        )
+        assert "RA103" in _ids(findings)
 
 
 class TestPackageLint:

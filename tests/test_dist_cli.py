@@ -1,0 +1,69 @@
+"""CLI dist verbs: run, sweep (JSON record), and partition-report."""
+
+import json
+
+import pytest
+
+from repro.bench.recording import DIST_BENCH_SCHEMA
+from repro.cli import main
+
+FAST = ["--case", "Liver 1", "--preset", "tiny"]
+
+
+def test_dist_run_smoke(capsys):
+    rc = main(["dist", "run", "--shards", "3"] + FAST)
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "bitwise identical" in out
+    assert "yes" in out
+
+
+def test_dist_run_with_injected_failure(capsys):
+    rc = main(
+        ["dist", "run", "--shards", "4", "--fail-shard", "2"] + FAST
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "retries spent" in out
+    assert "bitwise identical" in out
+
+
+def test_dist_run_exhausted_budget_fails_loudly(capsys):
+    rc = main(
+        [
+            "dist", "run", "--shards", "4", "--retry-budget", "0",
+            "--fail-shard", "1",
+        ]
+        + FAST
+    )
+    assert rc == 1
+
+
+def test_dist_sweep_writes_record(tmp_path, capsys):
+    target = tmp_path / "bench" / "BENCH_dist.json"
+    rc = main(
+        ["dist", "sweep", "--shards", "1", "2", "4",
+         "--json", str(target)] + FAST
+    )
+    assert rc == 0
+    record = json.loads(target.read_text())
+    assert record["schema"] == DIST_BENCH_SCHEMA
+    assert record["all_bitwise_identical"] is True
+    assert [p["shards"] for p in record["points"]] == [1, 2, 4]
+    out = capsys.readouterr().out
+    assert "Strong scaling" in out
+
+
+def test_dist_partition_report(capsys):
+    rc = main(
+        ["dist", "partition-report", "--case", "Liver 1", "--shards", "2", "4"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Partition quality" in out
+    assert "equal_rows_imbalance" in out
+
+
+def test_dist_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main(["dist"])

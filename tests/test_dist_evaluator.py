@@ -1,0 +1,172 @@
+"""Sharded evaluation: the cross-device bitwise-identity contract.
+
+The issue's acceptance criterion lives here: for every test matrix and
+shard count in {1, 2, 3, 4, 8}, the sharded dose must be bitwise
+identical (``np.array_equal`` on float64) to the single-device compiled
+plan run — including under injected executor failures with retry.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import convert_for_kernel
+from repro.dist.evaluator import ShardedEvaluator
+from repro.dist.executor import FailureInjector, ShardExecutionError
+from repro.dist.pool import DevicePool
+from repro.kernels.dispatch import make_kernel
+from repro.util.errors import ReproError, ShapeError
+from repro.util.rng import make_rng, stable_seed
+
+SHARD_COUNTS = (1, 2, 3, 4, 8)
+
+
+@pytest.fixture(scope="module", params=["half_double", "scalar_csr"])
+def kernel(request):
+    return make_kernel(request.param)
+
+
+@pytest.fixture(scope="module")
+def matrix(kernel):
+    from tests.conftest import make_random_csr
+
+    rng = make_rng(stable_seed("dist-evaluator-test", kernel.name))
+    m = make_random_csr(rng, n_rows=300, n_cols=60, density=0.15)
+    return convert_for_kernel(m, kernel.name)
+
+
+@pytest.fixture(scope="module")
+def weights(matrix):
+    rng = make_rng(stable_seed("dist-evaluator-weights", 0))
+    return rng.random(matrix.n_cols, dtype=np.float64)
+
+
+@pytest.fixture(scope="module")
+def reference(kernel, matrix, weights):
+    return kernel.run(matrix, weights, plan=kernel.prepare_plan(matrix))
+
+
+class TestBitwiseContract:
+    @pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+    def test_sharded_equals_single_device(
+        self, kernel, matrix, weights, reference, n_shards
+    ):
+        evaluator = ShardedEvaluator(matrix, kernel, n_shards)
+        evaluation = evaluator.evaluate(weights)
+        assert evaluation.doses.dtype == np.float64
+        assert np.array_equal(evaluation.doses, reference.y)
+
+    @pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+    def test_pool_size_never_changes_bits(
+        self, kernel, matrix, weights, reference, n_shards
+    ):
+        for n_devices in (1, 2, 3):
+            evaluator = ShardedEvaluator(
+                matrix, kernel, n_shards,
+                pool=DevicePool.homogeneous(n_devices),
+            )
+            assert np.array_equal(
+                evaluator.evaluate(weights).doses, reference.y
+            )
+
+    @pytest.mark.parametrize("placement", ["round_robin", "memory"])
+    @pytest.mark.parametrize("policy", ["balanced", "equal_rows"])
+    def test_policies_never_change_bits(
+        self, kernel, matrix, weights, reference, placement, policy
+    ):
+        evaluator = ShardedEvaluator(
+            matrix, kernel, 4, placement=placement, shard_policy=policy
+        )
+        assert np.array_equal(evaluator.evaluate(weights).doses, reference.y)
+
+    def test_bitwise_under_injected_failure_and_retry(
+        self, kernel, matrix, weights, reference
+    ):
+        evaluator = ShardedEvaluator(matrix, kernel, 4, retry_budget=2)
+        evaluation = evaluator.evaluate(
+            weights, injector=FailureInjector.fail_once(2)
+        )
+        assert evaluation.retries == 1
+        assert np.array_equal(evaluation.doses, reference.y)
+
+    def test_exhausted_budget_never_returns_partial_dose(
+        self, kernel, matrix, weights
+    ):
+        evaluator = ShardedEvaluator(matrix, kernel, 4, retry_budget=1)
+        with pytest.raises(ShardExecutionError):
+            evaluator.evaluate(
+                weights, injector=FailureInjector(failures={1: 5})
+            )
+
+    def test_multi_vector_columns_bitwise(self, kernel, matrix):
+        rng = make_rng(stable_seed("dist-evaluator-multi", 1))
+        vectors = [rng.random(matrix.n_cols) for _ in range(5)]
+        evaluator = ShardedEvaluator(matrix, kernel, 3)
+        evaluation = evaluator.evaluate_multi(vectors)
+        assert evaluation.doses.shape == (matrix.n_rows, 5)
+        plan = kernel.prepare_plan(matrix)
+        for b, w in enumerate(vectors):
+            standalone = kernel.run(matrix, w, plan=plan)
+            assert np.array_equal(evaluation.doses[:, b], standalone.y)
+
+
+class TestEvaluationAccounting:
+    def test_wall_time_is_slowest_device(self, kernel, matrix, weights):
+        evaluator = ShardedEvaluator(
+            matrix, kernel, 6, pool=DevicePool.homogeneous(3)
+        )
+        evaluation = evaluator.evaluate(weights)
+        assert evaluation.n_shards == 6
+        assert evaluation.n_devices == 3
+        assert evaluation.wall_time_s == max(evaluation.per_device_time_s)
+        assert evaluation.wall_time_s <= evaluation.serial_time_s
+        np.testing.assert_allclose(
+            sum(evaluation.per_device_time_s),
+            sum(evaluation.per_shard_time_s),
+        )
+
+    def test_batched_time_beats_unbatched(self, kernel, matrix):
+        rng = make_rng(stable_seed("dist-evaluator-batch", 2))
+        vectors = [rng.random(matrix.n_cols) for _ in range(8)]
+        evaluator = ShardedEvaluator(matrix, kernel, 2)
+        evaluation = evaluator.evaluate_multi(vectors)
+        assert evaluation.batch == 8
+        unbatched = 8 * evaluation.single_vector_wall_s
+        assert evaluation.wall_time_s < unbatched
+
+    def test_retries_zero_without_injector(self, kernel, matrix, weights):
+        evaluation = ShardedEvaluator(matrix, kernel, 2).evaluate(weights)
+        assert evaluation.retries == 0
+
+
+class TestEvaluatorConstruction:
+    def test_matches_is_identity_not_equality(self, kernel, matrix):
+        evaluator = ShardedEvaluator(matrix, kernel, 2)
+        assert evaluator.matches(matrix)
+        from repro.sparse.csr import CSRMatrix
+
+        clone = CSRMatrix(
+            (matrix.n_rows, matrix.n_cols),
+            matrix.data.copy(),
+            matrix.indices.copy(),
+            matrix.indptr.copy(),
+        )
+        assert not evaluator.matches(clone)
+
+    def test_non_plan_family_kernel_rejected(self, matrix):
+        with pytest.raises(ReproError):
+            ShardedEvaluator(matrix, make_kernel("cusparse"), 2)
+
+    def test_negative_retry_budget_rejected(self, kernel, matrix):
+        with pytest.raises(ShapeError):
+            ShardedEvaluator(matrix, kernel, 2, retry_budget=-1)
+
+    def test_bad_weight_shape_rejected(self, kernel, matrix):
+        evaluator = ShardedEvaluator(matrix, kernel, 2)
+        with pytest.raises(ShapeError):
+            evaluator.evaluate(np.ones(matrix.n_cols + 1))
+        with pytest.raises(ShapeError):
+            evaluator.evaluate_multi([])
+
+    def test_default_pool_caps_at_four_devices(self, kernel, matrix):
+        assert ShardedEvaluator(matrix, kernel, 8).pool.n_devices == 4
+        assert ShardedEvaluator(matrix, kernel, 2).pool.n_devices == 2

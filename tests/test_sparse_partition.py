@@ -94,3 +94,50 @@ def test_property_partition_covers_all_nnz(seed, n_parts):
     p = partition_rows_balanced(m, n_parts)
     assert int(p.nnz_per_part.sum()) == m.nnz
     assert np.all(p.nnz_per_part >= 0)
+
+
+def _heavy_tail_matrix(seed, n_rows, n_cols=40):
+    """A lognormal row-length matrix (the dose-deposition skew)."""
+    from repro.sparse.csr import CSRMatrix
+
+    rng = np.random.default_rng(seed)
+    dense = np.zeros((n_rows, n_cols))
+    for i in range(n_rows):
+        if rng.random() < 0.5:
+            continue
+        length = min(n_cols, max(1, int(rng.lognormal(2.0, 1.4))))
+        start = int(rng.integers(0, n_cols - length + 1))
+        dense[i, start : start + length] = 0.1 + rng.random(length)
+    return CSRMatrix.from_dense(dense, value_dtype=np.float32)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(0, 2**31 - 1), st.integers(2, 140), st.integers(1, 10))
+def test_property_bounds_cover_monotone_and_sized(seed, n_rows, n_parts):
+    # Both partitioners: exactly n_parts contiguous ranges, first bound 0,
+    # last bound n_rows, never a decreasing boundary.
+    m = _heavy_tail_matrix(seed, n_rows)
+    n_parts = min(n_parts, m.n_rows)
+    for p in (
+        partition_rows_balanced(m, n_parts),
+        partition_rows_equal(m, n_parts),
+    ):
+        assert p.n_parts == n_parts
+        assert p.bounds.shape == (n_parts + 1,)
+        assert int(p.bounds[0]) == 0
+        assert int(p.bounds[-1]) == m.n_rows
+        assert np.all(np.diff(p.bounds) >= 0)
+        assert int(p.nnz_per_part.sum()) == m.nnz
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(0, 2**31 - 1), st.integers(1, 12))
+def test_property_greedy_prefix_imbalance_bound(seed, n_parts):
+    # The partitioner's advertised guarantee: with boundaries at nnz
+    # quantiles of indptr, no part exceeds the perfect share by more than
+    # one row length, even on heavy-tailed row distributions.
+    m = _heavy_tail_matrix(seed, n_rows=160)
+    n_parts = min(n_parts, m.n_rows)
+    p = partition_rows_balanced(m, n_parts)
+    max_row_len = int(np.diff(m.indptr).max(initial=0))
+    assert int(p.nnz_per_part.max(initial=0)) <= m.nnz / n_parts + max_row_len
