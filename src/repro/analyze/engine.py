@@ -13,7 +13,7 @@ from typing import Callable, List, Optional, Sequence
 
 from repro.analyze.findings import AnalysisReport, Finding
 from repro.analyze.rules import get_registry, validate_suppressions
-from repro.obs import metrics
+from repro.obs import artifact, metrics
 from repro.obs.trace import span as _trace_span
 
 
@@ -89,4 +89,16 @@ def run_analysis(
         ).inc()
     metrics.counter("analyze.suppressed").inc(report.suppressed)
     metrics.counter("analyze.runs").inc()
+    if artifact.enabled():
+        by_severity: dict = {}
+        for finding in report.findings:
+            key = finding.severity.value
+            by_severity[key] = by_severity.get(key, 0) + 1
+        artifact.record(
+            "analyze",
+            checkers=sorted(report.checkers_run),
+            findings=len(report.findings),
+            by_severity=by_severity,
+            suppressed=report.suppressed,
+        )
     return report

@@ -1,4 +1,4 @@
-"""AST-based reproducibility lint (rules RA101–RA106).
+"""AST-based reproducibility lint (rules RA101–RA107).
 
 The paper's kernel is clinically acceptable only because it is bitwise
 reproducible (Section II-D), and reproducibility is a *global* property:
@@ -25,7 +25,12 @@ package source and enforces:
   results in dict/set iteration order: a merge fed from ``.values()`` or
   a set reconstructs the dose in whatever order the container yields,
   which is exactly the nondeterminism the explicit shard-index merge
-  exists to exclude.
+  exists to exclude;
+* **RA107** — run-record-producing modules (the functional path plus
+  ``bench``) must not write run records with ``json.dump``/``csv.writer``
+  directly: the per-run artifact (:mod:`repro.obs.artifact`) is the
+  single source of truth, and files are views rendered from it.  Modules
+  that import ``repro.obs.artifact`` are artifact-aware and exempt.
 
 All rules honour inline ``# analyze: allow[RULE]`` suppressions on the
 flagged line.
@@ -98,6 +103,18 @@ RA106 = Rule(
     "merge_shard_outputs, which sorts by explicit shard index before "
     "any concatenation.",
 )
+RA107 = Rule(
+    "RA107",
+    "ad-hoc-run-record-writer",
+    Severity.ERROR,
+    "A functional-path module writes run records with json.dump/"
+    "csv.writer directly, bypassing the per-run ArtifactSink "
+    "(repro.obs.artifact) as the single source of truth.",
+    "Record the data into the artifact (repro.obs.artifact.record) and "
+    "render files as views of it; modules that import "
+    "repro.obs.artifact are treated as artifact-aware view renderers. "
+    "Mark deliberate exceptions '# analyze: allow[RA107]'.",
+)
 
 #: package-relative directories whose modules are the functional path.
 #: ``serve`` is functional-path too: a served dose must be a pure
@@ -113,6 +130,13 @@ RNG_EXEMPT_SUFFIXES: Tuple[str, ...] = ("util/rng.py",)
 
 #: modules holding compiled execution plans; RA105 applies to these.
 PLAN_MODULE_SUFFIXES: Tuple[str, ...] = ("kernels/plan.py",)
+
+#: directories whose modules produce run records; RA107 applies to
+#: these (the functional path plus the bench harness/recording layer).
+RUN_RECORD_DIRS: Tuple[str, ...] = FUNCTIONAL_DIRS + ("bench",)
+
+#: calls that write ad-hoc run records (RA107).
+_RUN_RECORD_WRITERS = frozenset({"json.dump", "csv.writer"})
 
 #: numpy.random attributes that are types/plumbing, not entropy sources.
 _NUMPY_RANDOM_ALLOWED = frozenset({
@@ -338,6 +362,32 @@ def _is_dist_module(rel_path: str) -> bool:
     return len(parts) >= 2 and parts[0] == "dist"
 
 
+def _is_run_record_module(rel_path: str) -> bool:
+    parts = Path(rel_path).parts
+    return len(parts) >= 2 and parts[0] in RUN_RECORD_DIRS
+
+
+def _imports_artifact_sink(tree: ast.Module) -> bool:
+    """True when the module imports :mod:`repro.obs.artifact`.
+
+    Artifact-aware modules are the sanctioned view renderers: they read
+    or enrich the per-run record rather than bypassing it, so RA107
+    exempts them wholesale.
+    """
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module and (
+            node.module.startswith("repro.obs.artifact")
+            or (node.module == "repro.obs"
+                and any(a.name == "artifact" for a in node.names))
+        ):
+            return True
+        if isinstance(node, ast.Import) and any(
+            a.name.startswith("repro.obs.artifact") for a in node.names
+        ):
+            return True
+    return False
+
+
 def _yields_container_order(node: ast.expr) -> bool:
     """True when the expression subtree draws values from a dict/set.
 
@@ -438,6 +488,10 @@ def lint_source(
 
     is_rng_exempt = any(rel_path.endswith(s) for s in RNG_EXEMPT_SUFFIXES)
     functional = _is_functional_path(rel_path)
+    run_record_scope = (
+        _is_run_record_module(rel_path)
+        and not _imports_artifact_sink(tree)
+    )
 
     # --- RA105: compiled-plan immutability ----------------------------- #
     if any(rel_path.endswith(s) for s in PLAN_MODULE_SUFFIXES):
@@ -477,6 +531,14 @@ def lint_source(
             emit(
                 RA103, node.lineno,
                 f"wall-clock read {path}() in functional-path module",
+            )
+        # --- RA107: ad-hoc run-record writers -------------------------- #
+        if run_record_scope and path in _RUN_RECORD_WRITERS:
+            emit(
+                RA107, node.lineno,
+                f"{path}(...) writes a run record outside the "
+                "ArtifactSink; record into the artifact and render "
+                "files as views of it",
             )
 
     # --- RA104: module-level mutable state ----------------------------- #
@@ -520,12 +582,12 @@ def _check_repro_lint(context: object) -> List[Finding]:
 
 #: rule ids this checker may emit (shared with tests).
 SOURCE_LINT_RULES: FrozenSet[str] = frozenset(
-    {"RA101", "RA102", "RA103", "RA104", "RA105", "RA106"}
+    {"RA101", "RA102", "RA103", "RA104", "RA105", "RA106", "RA107"}
 )
 
 
 def register(registry: RuleRegistry) -> None:
     """Register the lint rules and checker."""
-    for rule in (RA101, RA102, RA103, RA104, RA105, RA106):
+    for rule in (RA101, RA102, RA103, RA104, RA105, RA106, RA107):
         registry.add_rule(rule)
     registry.add_checker("repro-lint", SOURCE_LINT_RULES, _check_repro_lint)

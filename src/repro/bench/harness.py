@@ -38,7 +38,7 @@ from repro.gpu.timing import (
 from repro.kernels.base import KernelResult
 from repro.kernels.dispatch import make_kernel
 from repro.kernels.plan import clear_plan_cache
-from repro.obs import metrics
+from repro.obs import artifact, metrics
 from repro.obs.logging import get_logger, kv
 from repro.obs.trace import span as trace_span
 from repro.plans.cases import build_case_matrix, scale_factors
@@ -239,11 +239,26 @@ def prepare_input_matrix(
     with trace_span("harness.matrix_build", case=case_name, preset=preset):
         dep = build_case_matrix(case_name, preset)
     master = dep.matrix  # float32 CSR
+    if artifact.enabled():
+        artifact.record_once(
+            "matrix_build", (case_name, preset),
+            case=case_name, preset=preset,
+            n_rows=master.n_rows, n_cols=master.n_cols, nnz=master.nnz,
+            fingerprint=artifact.matrix_fingerprint(master),
+        )
 
     def build():
         with trace_span("harness.format_convert", kernel=kernel_name,
                         case=case_name):
-            return convert_for_kernel(master, kernel_name)
+            converted = convert_for_kernel(master, kernel_name)
+        if artifact.enabled():
+            artifact.record_once(
+                "format_convert", (case_name, preset, kernel_name),
+                case=case_name, preset=preset, kernel=kernel_name,
+                format=type(converted).__name__,
+                fingerprint=artifact.matrix_fingerprint(converted),
+            )
+        return converted
 
     if kernel_name in ("gpu_baseline", "cpu_raystation"):
         return _RSCF_CACHE.get_or_create((case_name, preset), build)

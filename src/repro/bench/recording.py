@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.bench.experiments import ExperimentReport
+from repro.obs.artifact import ARTIFACT_SCHEMA
 
 #: claim name -> (paper value or None, [low, high] acceptance band, source)
 PAPER_EXPECTATIONS: Dict[str, Tuple[Optional[float], Tuple[float, float], str]] = {
@@ -258,6 +259,113 @@ def loadtest_rows_to_csv(report) -> str:
             ]
         )
     return buf.getvalue()
+
+
+# --------------------------------------------------------------------- #
+# views rendered from the per-run artifact (repro.obs.artifact)
+#
+# Since the artifact became the single source of truth, the CSV and
+# BENCH outputs below are *views* of its phase entries: same columns,
+# same ordering, same formatting as the legacy report-based writers, so
+# downstream consumers are unchanged.
+# --------------------------------------------------------------------- #
+
+
+def _require_artifact(record: Dict[str, object]) -> Dict[str, object]:
+    if record.get("schema") != ARTIFACT_SCHEMA:
+        raise ValueError(
+            f"expected a {ARTIFACT_SCHEMA} record, got schema="
+            f"{record.get('schema')!r}"
+        )
+    phases = record.get("phases")
+    return phases if isinstance(phases, dict) else {}
+
+
+def loadtest_csv_from_artifact(record: Dict[str, object]) -> str:
+    """The loadtest per-request CSV, rendered from an artifact dict.
+
+    Byte-compatible with :func:`loadtest_rows_to_csv`: the artifact's
+    ``request`` entries are serialized in (client, submission-index)
+    order, which is exactly the legacy report's flattened record order.
+    """
+    phases = _require_artifact(record)
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(
+        [
+            "request_id", "client_id", "plan_id", "precision", "status",
+            "latency_ms", "queue_wait_ms", "batch_id", "batch_size",
+            "modeled_time_s", "cache_hit", "shards", "bitwise",
+        ]
+    )
+    for e in phases.get("request", []):
+        bitwise = e.get("bitwise")
+        writer.writerow(
+            [
+                e.get("request_id"), e.get("client_id"), e.get("plan_id"),
+                e.get("precision"), e.get("status"), e.get("latency_ms"),
+                e.get("queue_wait_ms"), e.get("batch_id"),
+                e.get("batch_size"), e.get("modeled_time_s"),
+                e.get("cache_hit"), e.get("shards", 1),
+                "" if bitwise is None else ("yes" if bitwise else "NO"),
+            ]
+        )
+    return buf.getvalue()
+
+
+def experiment_csv_from_artifact(
+    record: Dict[str, object], experiment: str
+) -> str:
+    """One experiment's point CSV, rendered from an artifact dict.
+
+    Byte-compatible with :func:`rows_to_csv` for the same points: the
+    artifact's ``bench_point`` entries are recorded in report-row order
+    and carry every CSV column.
+    """
+    phases = _require_artifact(record)
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(
+        [
+            "case", "kernel", "device", "threads_per_block", "time_s",
+            "gflops", "bandwidth_gbs", "bandwidth_fraction",
+            "operational_intensity", "limiter", "relative_error",
+            "reproducible",
+        ]
+    )
+    for e in phases.get("bench_point", []):
+        if e.get("experiment") != experiment:
+            continue
+        writer.writerow(
+            [
+                e.get("case"), e.get("kernel"), e.get("device"),
+                e.get("threads_per_block"), e.get("time_s"),
+                e.get("gflops"), e.get("bandwidth_gbs"),
+                e.get("bandwidth_fraction"),
+                e.get("operational_intensity"), e.get("limiter"),
+                e.get("relative_error"), e.get("reproducible"),
+            ]
+        )
+    return buf.getvalue()
+
+
+def dist_bench_from_artifact(record: Dict[str, object]) -> Dict[str, object]:
+    """The ``repro.dist-bench/v1`` record held in an artifact's
+    ``dist_sweep`` phase (the last sweep of the run)."""
+    phases = _require_artifact(record)
+    sweeps = phases.get("dist_sweep", [])
+    if not sweeps:
+        raise ValueError("artifact contains no dist_sweep entries")
+    sweep_record = sweeps[-1].get("record")
+    if (
+        not isinstance(sweep_record, dict)
+        or sweep_record.get("schema") != DIST_BENCH_SCHEMA
+    ):
+        raise ValueError(
+            "artifact dist_sweep entry carries no "
+            f"{DIST_BENCH_SCHEMA} record"
+        )
+    return sweep_record
 
 
 def rows_to_csv(report: ExperimentReport) -> str:

@@ -24,6 +24,7 @@ Observability flags (every subcommand):
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from pathlib import Path
@@ -31,13 +32,27 @@ from typing import List, Optional
 
 from repro.bench.experiments import ALL_EXPERIMENTS
 from repro.bench.harness import run_spmv_experiment
-from repro.bench.recording import check_claims, rows_to_csv
+from repro.bench.recording import (
+    check_claims,
+    experiment_csv_from_artifact,
+    rows_to_csv,
+)
 from repro.gpu.device import get_device, list_devices
 from repro.kernels.dispatch import kernel_names
-from repro.obs.export import span_summary_table, write_chrome_trace, write_jsonl
+from repro.obs import artifact as artifact_mod
+from repro.obs.export import (
+    span_summary_table,
+    write_chrome_trace,
+    write_events_ndjson,
+    write_jsonl,
+)
 from repro.obs.logging import get_logger, kv, setup_logging
 from repro.obs.metrics import get_registry
-from repro.obs.provenance import collect_manifest, write_manifest
+from repro.obs.provenance import (
+    collect_manifest,
+    manifest_from_artifact,
+    write_manifest,
+)
 from repro.obs.trace import (
     disable_tracing,
     enable_tracing,
@@ -91,6 +106,19 @@ def _run_experiment(
     """Run one experiment; returns (all claims in band, report)."""
     fn = ALL_EXPERIMENTS[name]
     report = fn(preset=preset) if preset else fn()
+    if artifact_mod.enabled():
+        for r in report.rows:
+            artifact_mod.record(
+                "bench_point",
+                experiment=name, case=r.case, kernel=r.kernel,
+                device=r.device, threads_per_block=r.threads_per_block,
+                time_s=r.time_s, gflops=r.gflops,
+                bandwidth_gbs=r.bandwidth_gbs,
+                bandwidth_fraction=r.bandwidth_fraction,
+                operational_intensity=r.operational_intensity,
+                limiter=r.limiter, relative_error=r.relative_error,
+                reproducible=r.reproducible,
+            )
     print(report.render())
     if chart and report.rows:
         from repro.bench.figures import grouped_bar_chart
@@ -123,7 +151,15 @@ def _run_experiment(
     if csv_dir is not None and report.rows:
         csv_dir.mkdir(parents=True, exist_ok=True)
         path = csv_dir / f"{name}.csv"
-        path.write_text(rows_to_csv(report))
+        sink = artifact_mod.get_sink()
+        if sink.enabled:
+            # The CSV is a view of the artifact's bench_point entries
+            # (byte-compatible with the legacy report-based writer).
+            path.write_text(
+                experiment_csv_from_artifact(sink.artifact(), name)
+            )
+        else:
+            path.write_text(rows_to_csv(report))
         print(f"\nraw rows written to {path}")
     print()
     return ok, report
@@ -143,13 +179,26 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         phases[name] = round(time.perf_counter() - t0, 6)
         all_ok = ok and all_ok
         all_rows.extend(report.rows)
-    if csv_dir is not None:
-        manifest = collect_manifest(
-            experiments=names,
-            rows=all_rows,
-            phases=phases,
-            preset=args.preset or "per-experiment default",
+        artifact_mod.record(
+            "experiment", name=name, wall_s=phases[name], ok=ok,
         )
+    if csv_dir is not None:
+        sink = artifact_mod.get_sink()
+        if sink.enabled:
+            # The manifest is a view of the artifact, not an
+            # independently collected record.
+            sink.record_metrics()
+            manifest = manifest_from_artifact(
+                sink.artifact(),
+                preset=args.preset or "per-experiment default",
+            )
+        else:
+            manifest = collect_manifest(
+                experiments=names,
+                rows=all_rows,
+                phases=phases,
+                preset=args.preset or "per-experiment default",
+            )
         path = write_manifest(manifest, csv_dir)
         print(f"run manifest written to {path}")
     if not all_ok:
@@ -168,6 +217,18 @@ def _cmd_spmv(args: argparse.Namespace) -> int:
         threads_per_block=args.threads_per_block,
         at_paper_scale=not args.bench_scale,
     )
+    if artifact_mod.enabled():
+        artifact_mod.record(
+            "bench_point",
+            experiment="spmv", case=row.case, kernel=row.kernel,
+            device=row.device, threads_per_block=row.threads_per_block,
+            time_s=row.time_s, gflops=row.gflops,
+            bandwidth_gbs=row.bandwidth_gbs,
+            bandwidth_fraction=row.bandwidth_fraction,
+            operational_intensity=row.operational_intensity,
+            limiter=row.limiter, relative_error=row.relative_error,
+            reproducible=row.reproducible,
+        )
     table = Table(
         ["case", "kernel", "device", "tpb", "time", "GFLOP/s", "BW GB/s",
          "BW frac", "OI", "limiter", "rel err", "bitwise"],
@@ -285,7 +346,15 @@ def _cmd_serve_loadtest(args: argparse.Namespace) -> int:
     if args.csv:
         path = Path(args.csv)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(loadtest_rows_to_csv(report))
+        sink = artifact_mod.get_sink()
+        if sink.enabled:
+            from repro.bench.recording import loadtest_csv_from_artifact
+
+            # The CSV is a view of the artifact's request entries
+            # (byte-compatible with the legacy report-based writer).
+            path.write_text(loadtest_csv_from_artifact(sink.artifact()))
+        else:
+            path.write_text(loadtest_rows_to_csv(report))
         print(f"\nper-request records written to {path}")
     if not ok:
         print("SERVING-LAYER CLAIMS OUT OF BAND", file=sys.stderr)
@@ -325,6 +394,13 @@ def _cmd_serve_run(args: argparse.Namespace) -> int:
             service.plans.register(plan_id, matrix, source="synthetic")
             masters[plan_id] = matrix
     plan_ids = sorted(masters)
+    record_artifact = artifact_mod.enabled()
+    if record_artifact:
+        from dataclasses import asdict
+
+        workload = asdict(config)
+        workload["mode"] = "serve_run"
+        artifact_mod.set_param("workload", workload)
     completed = rejected = 0
     total_dose = 0.0
     with service:
@@ -342,14 +418,43 @@ def _cmd_serve_run(args: argparse.Namespace) -> int:
                 rejected += 1
                 _log.warning(kv("request rejected", request=f"run-{i}",
                                 reason=outcome.reason.value))
+                if record_artifact:
+                    artifact_mod.record(
+                        "request", request_id=f"run-{i}", client=0,
+                        index=i, plan_id=plan_id,
+                        precision=config.precision,
+                        status=outcome.reason.value,
+                    )
                 continue
             result = outcome.outcome(timeout=30.0)
             if isinstance(result, Rejected):
                 rejected += 1
+                if record_artifact:
+                    artifact_mod.record(
+                        "request", request_id=f"run-{i}", client=0,
+                        index=i, plan_id=plan_id,
+                        precision=config.precision,
+                        status=result.reason.value,
+                    )
                 continue
             completed += 1
             total_dose += float(np.sum(result.dose))
+            if record_artifact:
+                artifact_mod.record(
+                    "request", request_id=f"run-{i}", client=0, index=i,
+                    plan_id=plan_id, precision=config.precision,
+                    status="ok", batch_id=result.batch_id,
+                    batch_size=result.batch_size,
+                    cache_hit=result.cache_hit, shards=result.shards,
+                    bitwise=None,
+                    dose_sha256=artifact_mod.dose_sha256(result.dose),
+                    dose_dtype=str(result.dose.dtype),
+                )
         stats = service.stats()
+    if record_artifact:
+        artifact_mod.record(
+            "serve_cache", metrics=artifact_mod.cache_metrics_snapshot()
+        )
     table = Table(["stat", "value"], title="Service run")
     table.add_row(["requests completed", completed])
     table.add_row(["requests rejected", rejected])
@@ -453,8 +558,18 @@ def _cmd_dist_sweep(args: argparse.Namespace) -> int:
     )
     print(report.render())
     if args.json:
+        from repro.bench.recording import dist_bench_from_artifact
+
         Path(args.json).parent.mkdir(parents=True, exist_ok=True)
-        write_dist_bench(report.record(), args.json)
+        sink = artifact_mod.get_sink()
+        if sink.enabled:
+            # BENCH_dist.json is a view of the artifact's dist_sweep
+            # phase (the sweep recorded its own repro.dist-bench/v1
+            # record there).
+            write_dist_bench(dist_bench_from_artifact(sink.artifact()),
+                             args.json)
+        else:
+            write_dist_bench(report.record(), args.json)
         print(f"\nsweep record written to {args.json}")
     if not report.all_bitwise_identical:
         print("SHARDED RESULTS NOT BITWISE IDENTICAL", file=sys.stderr)
@@ -472,6 +587,102 @@ def _cmd_dist_partition_report(args: argparse.Namespace) -> int:
         shard_counts=args.shards,
     )
     print(table.render())
+    return 0
+
+
+def _artifact_file(path: str) -> Path:
+    """Resolve a run directory or artifact file to the artifact path."""
+    p = Path(path)
+    return p / "artifact.json" if p.is_dir() else p
+
+
+def _cmd_artifact_show(args: argparse.Namespace) -> int:
+    """``repro-rtdose artifact show``: summarize one run record."""
+    data = artifact_mod.read_artifact(_artifact_file(args.path))
+    run = data.get("run", {})
+    table = Table(["field", "value"], title="Artifact record")
+    table.add_row(["schema", data.get("schema")])
+    table.add_row(["run id", run.get("run_id")])
+    table.add_row(["status", run.get("status")])
+    table.add_row(["exit code", run.get("exit_code")])
+    table.add_row(["created", run.get("created_iso")])
+    table.add_row(["command", " ".join(run.get("command", []))])
+    env = data.get("environment", {})
+    table.add_row(["package", env.get("package_version")])
+    table.add_row(["python", env.get("python_version")])
+    table.add_row(["events file", data.get("events") or "(none)"])
+    for name in sorted(data.get("params", {})):
+        table.add_row(["param", name])
+    for phase, entries in sorted(data.get("phases", {}).items()):
+        table.add_row([f"phase[{phase}]", f"{len(entries)} entries"])
+    table.add_row(["metrics recorded", len(data.get("metrics", {}))])
+    print(table.render())
+    return 0
+
+
+def _cmd_artifact_validate(args: argparse.Namespace) -> int:
+    """``repro-rtdose artifact validate``: check the v1 invariants."""
+    path = _artifact_file(args.path)
+    try:
+        data = artifact_mod.read_artifact(path)
+    except (OSError, ValueError) as exc:
+        print(f"artifact validate: {exc}", file=sys.stderr)
+        return 1
+    problems = artifact_mod.validate_artifact(data)
+    for problem in problems:
+        print(f"  {problem}")
+    errors = sum(1 for p in problems if p.severity == "error")
+    warnings = len(problems) - errors
+    failed = errors > 0 or (args.strict and warnings > 0)
+    print(
+        f"{path}: {errors} error(s), {warnings} warning(s) — "
+        + ("INVALID" if failed else "valid")
+    )
+    return 1 if failed else 0
+
+
+def _cmd_artifact_replay(args: argparse.Namespace) -> int:
+    """``repro-rtdose artifact replay``: re-execute recorded requests and
+    assert bitwise equality against the recorded dose hashes."""
+    from repro.serve.replay import replay_requests
+    from repro.util.errors import ReproError
+
+    data = artifact_mod.read_artifact(_artifact_file(args.path))
+    try:
+        outcomes = replay_requests(
+            data, request_ids=args.request or None, limit=args.limit
+        )
+    except ReproError as exc:
+        print(f"artifact replay: {exc}", file=sys.stderr)
+        return 2
+    if not outcomes:
+        print("artifact replay: no replayable requests recorded",
+              file=sys.stderr)
+        return 2
+    table = Table(
+        ["request", "plan", "precision", "recorded", "replayed", "bitwise"],
+        title="Replay audit",
+    )
+    mismatches = 0
+    for o in outcomes:
+        if not o.match:
+            mismatches += 1
+        table.add_row(
+            [
+                o.request_id, o.plan_id, o.precision,
+                o.recorded_sha256[:12], o.replayed_sha256[:12],
+                "yes" if o.match else "NO",
+            ]
+        )
+    print(table.render())
+    print(
+        f"\n{len(outcomes) - mismatches}/{len(outcomes)} replayed requests "
+        "bitwise identical to the recorded doses"
+    )
+    if mismatches:
+        print("REPLAY MISMATCH: served doses are not reproducible",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -518,6 +729,16 @@ def build_parser() -> argparse.ArgumentParser:
     obs_flags.add_argument(
         "--metrics", action="store_true",
         help="print the metrics registry summary after the command",
+    )
+    obs_flags.add_argument(
+        "--no-artifact", action="store_true",
+        help="do not write the per-run artifact record "
+             "(artifact.json + events.ndjson)",
+    )
+    obs_flags.add_argument(
+        "--artifact-dir", metavar="DIR", default=None,
+        help="base directory for per-run artifact records "
+             "(default: $REPRO_ARTIFACT_DIR or ./runs)",
     )
     obs_flags.add_argument(
         "-v", "--verbose", action="count", default=0,
@@ -730,6 +951,50 @@ def build_parser() -> argparse.ArgumentParser:
                            help="shard counts to tabulate")
     p_dist_pr.set_defaults(func=_cmd_dist_partition_report)
 
+    p_artifact = sub.add_parser(
+        "artifact",
+        help="inspect, validate, or replay a per-run artifact record",
+    )
+    artifact_sub = p_artifact.add_subparsers(
+        dest="artifact_command", required=True
+    )
+    p_art_show = artifact_sub.add_parser(
+        "show", parents=[obs_flags],
+        help="summarize one artifact.json (or run directory)",
+    )
+    p_art_show.add_argument("path",
+                            help="artifact.json path or run directory")
+    p_art_show.set_defaults(func=_cmd_artifact_show)
+
+    p_art_val = artifact_sub.add_parser(
+        "validate", parents=[obs_flags],
+        help="check an artifact against the repro.artifact/v1 invariants",
+    )
+    p_art_val.add_argument("path",
+                           help="artifact.json path or run directory")
+    p_art_val.add_argument(
+        "--strict", action="store_true",
+        help="treat warnings as failures",
+    )
+    p_art_val.set_defaults(func=_cmd_artifact_validate)
+
+    p_art_rep = artifact_sub.add_parser(
+        "replay", parents=[obs_flags],
+        help="re-execute recorded requests and assert bitwise equality "
+             "against the recorded dose hashes",
+    )
+    p_art_rep.add_argument("path",
+                           help="artifact.json path or run directory")
+    p_art_rep.add_argument(
+        "--request", action="append", default=[], metavar="ID",
+        help="replay only this request id (repeatable; default: all)",
+    )
+    p_art_rep.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="replay at most N requests",
+    )
+    p_art_rep.set_defaults(func=_cmd_artifact_replay)
+
     p_trace = sub.add_parser(
         "trace",
         help="run any subcommand under tracing and print a span report",
@@ -742,20 +1007,81 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _write_run_artifact(
+    sink: "artifact_mod.ArtifactSink",
+    args: argparse.Namespace,
+    tracer,
+    status: str,
+    exit_code: Optional[int],
+) -> None:
+    """Persist the run's artifact (and its events.ndjson companion)."""
+    base = (
+        getattr(args, "artifact_dir", None)
+        or os.environ.get("REPRO_ARTIFACT_DIR")
+        or "runs"
+    )
+    run_dir = Path(base) / sink.run_id
+    if tracer is not None:
+        sink.set_events_file("events.ndjson")
+    sink.finish(status=status, exit_code=exit_code)
+    if tracer is not None:
+        write_events_ndjson(tracer, run_dir / "events.ndjson")
+    path = sink.write(run_dir)
+    # stderr keeps machine-readable stdout (--format json, CSV) clean.
+    print(f"artifact written to {path}", file=sys.stderr)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point."""
+    """CLI entry point.
+
+    Every subcommand except ``artifact`` itself records one
+    ``repro.artifact/v1`` run record (opt out with ``--no-artifact``):
+    a process-wide :class:`~repro.obs.artifact.ArtifactSink` is
+    installed before the command runs and the enriched record is
+    written afterwards — on success *and* on failure — together with
+    the ``events.ndjson`` span stream.
+    """
     args = build_parser().parse_args(argv)
     verbosity = -1 if getattr(args, "quiet", False) else getattr(args, "verbose", 0)
     setup_logging(verbosity)
     trace_path = getattr(args, "trace", None)
     jsonl_path = getattr(args, "trace_jsonl", None)
+    want_trace = bool(trace_path or jsonl_path)
+
+    sink = None
+    previous_sink = None
+    if not getattr(args, "no_artifact", False) and args.command != "artifact":
+        command = ["repro-rtdose"] + (
+            list(argv) if argv is not None else sys.argv[1:]
+        )
+        sink = artifact_mod.ArtifactSink(command=command)
+        previous_sink = artifact_mod.set_sink(sink)
+
     tracer = None
-    if trace_path or jsonl_path:
+    if want_trace or sink is not None:
+        # The sink needs a recording tracer too: events.ndjson is
+        # derived from the same span source as the Chrome trace.
         tracer = enable_tracing()
-        _log.info(kv("tracing enabled", out=trace_path, jsonl=jsonl_path))
-    rc = args.func(args)
-    if tracer is not None:
-        disable_tracing()
+        if want_trace:
+            _log.info(kv("tracing enabled", out=trace_path,
+                         jsonl=jsonl_path))
+
+    rc: Optional[int] = None
+    status = "completed"
+    try:
+        rc = args.func(args)
+        status = "completed" if rc == 0 else "failed"
+    except BaseException:
+        status = "error"
+        raise
+    finally:
+        if tracer is not None:
+            disable_tracing()
+        if sink is not None:
+            artifact_mod.set_sink(previous_sink)
+            _write_run_artifact(sink, args, tracer, status, rc)
+
+    if want_trace:
         print(span_summary_table(tracer).render())
         if trace_path:
             path = write_chrome_trace(tracer, trace_path)
@@ -763,7 +1089,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                   "(load in https://ui.perfetto.dev)")
         if jsonl_path:
             print(f"span JSONL written to {write_jsonl(tracer, jsonl_path)}")
-    if tracer is not None or getattr(args, "metrics", False):
+    if want_trace or getattr(args, "metrics", False):
         print()
         print(get_registry().render_table())
     return rc

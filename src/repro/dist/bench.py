@@ -27,6 +27,7 @@ from repro.bench.harness import convert_for_kernel
 from repro.bench.recording import dist_bench_record
 from repro.gpu.device import get_device
 from repro.kernels.dispatch import make_kernel
+from repro.obs import artifact
 from repro.obs.trace import span as trace_span
 from repro.plans.cases import build_case_matrix
 from repro.sparse.csr import CSRMatrix
@@ -196,7 +197,7 @@ def strong_scaling_sweep(
                     retries=evaluation.retries,
                 )
             )
-    return StrongScalingReport(
+    report = StrongScalingReport(
         case=case,
         kernel=kernel_name,
         device=device_name,
@@ -207,6 +208,9 @@ def strong_scaling_sweep(
         placement=placement,
         points=tuple(points),
     )
+    if artifact.enabled():
+        artifact.record("dist_sweep", record=report.record())
+    return report
 
 
 def partition_report(

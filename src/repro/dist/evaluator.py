@@ -39,7 +39,7 @@ from repro.gpu.timing import KERNEL_LAUNCH_OVERHEAD_S
 from repro.kernels.base import KernelResult, SpMVKernel
 from repro.kernels.batched import spmm_batched_time
 from repro.kernels.plan import SpMVPlan, compile_plan, execute_plan_multi
-from repro.obs import metrics
+from repro.obs import artifact, metrics
 from repro.obs.trace import span as trace_span
 from repro.precision.types import HALF_DOUBLE
 from repro.sparse.csr import CSRMatrix
@@ -169,6 +169,38 @@ class ShardedEvaluator:
                 for spec, block in zip(self.sharded.specs, self.sharded.blocks)
             )
         metrics.counter("dist.evaluators_built").inc()
+        if artifact.enabled():
+            artifact.record(
+                "shard_partition",
+                n_shards=self.sharded.n_shards,
+                policy=shard_policy,
+                kernel=kernel.name,
+                imbalance=float(self.sharded.imbalance),
+                matrix_fingerprint=artifact.matrix_fingerprint(matrix),
+                shards=[
+                    {
+                        "index": spec.index,
+                        "row_start": spec.row_start,
+                        "row_end": spec.row_end,
+                        "nnz": spec.nnz,
+                    }
+                    for spec in self.sharded.specs
+                ],
+            )
+            artifact.record(
+                "shard_placement",
+                policy=placement,
+                devices=self.pool.n_devices,
+                assignments=[
+                    {
+                        "shard": spec.index,
+                        "device": self.pool.devices[
+                            self.placement.device_of(spec.index)
+                        ].name,
+                    }
+                    for spec in self.sharded.specs
+                ],
+            )
 
     # ------------------------------------------------------------------ #
 

@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, TypeVar
 
-from repro.obs import metrics
+from repro.obs import artifact, metrics
 from repro.obs.trace import span as trace_span
 from repro.util.errors import ReproError
 
@@ -118,3 +118,11 @@ def run_shard_with_retry(
             except DeviceFailure as exc:
                 metrics.counter("dist.shard_failures").inc()
                 budget.consume(shard_index, exc)
+                artifact.record(
+                    "shard_retry",
+                    shard=shard_index,
+                    device=device_name,
+                    attempt=attempt,
+                    error=str(exc),
+                    budget_remaining=budget.remaining,
+                )

@@ -43,7 +43,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.gpu.coop import WarpTile
-from repro.obs import metrics
+from repro.obs import artifact, metrics
 from repro.obs.trace import span as trace_span
 from repro.sparse.csr import CSRMatrix
 from repro.util.errors import DTypeError, PlanMismatchError, ShapeError
@@ -269,6 +269,16 @@ def compile_plan(
         sp.set_attrs(groups=len(groups), steps=len(steps),
                      plan_bytes=plan.nbytes)
     metrics.counter("plan.compiled").inc()
+    if artifact.enabled():
+        artifact.record(
+            "plan_compile",
+            family=family, accum=accum.name,
+            n_rows=matrix.n_rows, n_cols=matrix.n_cols, nnz=matrix.nnz,
+            value_dtype=np.dtype(matrix.value_dtype).name,
+            groups=len(plan.groups), steps=len(plan.scalar_steps),
+            plan_bytes=plan.nbytes,
+            matrix_fingerprint=artifact.matrix_fingerprint(matrix),
+        )
     return plan
 
 

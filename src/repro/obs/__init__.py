@@ -9,13 +9,30 @@ reproduction the same auditability:
 * :mod:`repro.obs.metrics` — process-wide counters/gauges/histograms;
 * :mod:`repro.obs.export` — Chrome-trace JSON (Perfetto-loadable),
   JSONL span logs, span summary tables;
-* :mod:`repro.obs.provenance` — run manifests written next to CSV output;
+* :mod:`repro.obs.provenance` — run manifests, now rendered as views of
+  the per-run artifact;
+* :mod:`repro.obs.artifact` — the unified ``repro.artifact/v1`` per-run
+  record (``artifact.json`` + ``events.ndjson``), the single source of
+  truth every phase enriches in place;
 * :mod:`repro.obs.logging` — structured logging with the CLI's
   ``-v``/``-q`` story;
 * :mod:`repro.obs.clock` — injectable monotonic clock (the serving
   layer's sanctioned time source; RA103 bans direct wall-clock reads).
 """
 
+from repro.obs.artifact import (
+    ARTIFACT_SCHEMA,
+    ArtifactProblem,
+    ArtifactSink,
+    NullArtifactSink,
+    cache_metrics_snapshot,
+    dose_sha256,
+    get_sink,
+    matrix_fingerprint,
+    read_artifact,
+    set_sink,
+    validate_artifact,
+)
 from repro.obs.clock import (
     Clock,
     FakeClock,
@@ -26,9 +43,14 @@ from repro.obs.clock import (
 )
 from repro.obs.export import (
     chrome_trace_events,
+    chrome_trace_from_events,
+    events_ndjson,
+    read_events_ndjson,
+    span_events,
     span_summary_table,
     spans_to_jsonl,
     write_chrome_trace,
+    write_events_ndjson,
     write_jsonl,
 )
 from repro.obs.logging import get_logger, kv, setup_logging
@@ -45,6 +67,7 @@ from repro.obs.metrics import (
 from repro.obs.provenance import (
     RunManifest,
     collect_manifest,
+    manifest_from_artifact,
     read_manifest,
     write_manifest,
 )
@@ -83,14 +106,32 @@ __all__ = [
     "histogram",
     "get_registry",
     # export
+    "span_events",
     "chrome_trace_events",
+    "chrome_trace_from_events",
     "write_chrome_trace",
+    "events_ndjson",
+    "write_events_ndjson",
+    "read_events_ndjson",
     "spans_to_jsonl",
     "write_jsonl",
     "span_summary_table",
+    # artifact
+    "ARTIFACT_SCHEMA",
+    "ArtifactProblem",
+    "ArtifactSink",
+    "NullArtifactSink",
+    "get_sink",
+    "set_sink",
+    "dose_sha256",
+    "matrix_fingerprint",
+    "cache_metrics_snapshot",
+    "read_artifact",
+    "validate_artifact",
     # provenance
     "RunManifest",
     "collect_manifest",
+    "manifest_from_artifact",
     "write_manifest",
     "read_manifest",
     # logging

@@ -18,8 +18,13 @@ from repro.obs.trace import RecordingTracer, Span
 from repro.util.tables import Table
 
 __all__ = [
+    "span_events",
     "chrome_trace_events",
+    "chrome_trace_from_events",
     "write_chrome_trace",
+    "events_ndjson",
+    "write_events_ndjson",
+    "read_events_ndjson",
     "spans_to_jsonl",
     "write_jsonl",
     "span_summary_table",
@@ -33,30 +38,85 @@ def _json_safe(value: Any) -> Any:
     return str(value)
 
 
+def _process_meta() -> Dict[str, Any]:
+    return {
+        "name": "process_name",
+        "ph": "M",
+        "pid": 1,
+        "args": {"name": "repro-rtdose"},
+    }
+
+
+def span_events(tracer: RecordingTracer) -> List[Dict[str, Any]]:
+    """Finished spans as Chrome *complete* (``"ph": "X"``) event dicts.
+
+    This is the single event source shared by the Chrome-trace export
+    and the per-run ``events.ndjson`` stream: both views serialize
+    exactly these dicts, so one can always be regenerated from the
+    other (:func:`chrome_trace_from_events`).
+    """
+    return [
+        {
+            "name": s.name,
+            "cat": s.name.split(".", 1)[0],
+            "ph": "X",
+            "pid": 1,
+            "tid": s.thread_id,
+            "ts": (s.start_ns - tracer.origin_ns) / 1e3,
+            "dur": s.duration_ns / 1e3,
+            "args": {k: _json_safe(v) for k, v in s.attrs.items()},
+        }
+        for s in tracer.finished_spans()
+    ]
+
+
 def chrome_trace_events(tracer: RecordingTracer) -> Dict[str, Any]:
     """The tracer's spans as a Chrome-trace-event JSON object."""
-    events: List[Dict[str, Any]] = [
-        {
-            "name": "process_name",
-            "ph": "M",
-            "pid": 1,
-            "args": {"name": "repro-rtdose"},
-        }
+    return {
+        "traceEvents": [_process_meta()] + span_events(tracer),
+        "displayTimeUnit": "ms",
+    }
+
+
+def chrome_trace_from_events(
+    events: List[Dict[str, Any]],
+) -> Dict[str, Any]:
+    """Rebuild the Chrome-trace object from an ``events.ndjson`` stream.
+
+    Round-trip guarantee:
+    ``chrome_trace_from_events(read_events_ndjson(p))`` equals
+    :func:`chrome_trace_events` for the tracer that wrote ``p``.
+    """
+    return {
+        "traceEvents": [_process_meta()]
+        + [e for e in events if e.get("ph") == "X"],
+        "displayTimeUnit": "ms",
+    }
+
+
+def events_ndjson(tracer: RecordingTracer) -> str:
+    """The span events newline-delimited, one JSON object per line."""
+    return "\n".join(json.dumps(e, sort_keys=True) for e in span_events(tracer))
+
+
+def write_events_ndjson(
+    tracer: RecordingTracer, path: Union[str, Path]
+) -> Path:
+    """Write the event stream to ``path`` and return it."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    text = events_ndjson(tracer)
+    path.write_text(text + ("\n" if text else ""))
+    return path
+
+
+def read_events_ndjson(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Load an ``events.ndjson`` stream back as a list of event dicts."""
+    return [
+        json.loads(line)
+        for line in Path(path).read_text().splitlines()
+        if line.strip()
     ]
-    for s in tracer.finished_spans():
-        events.append(
-            {
-                "name": s.name,
-                "cat": s.name.split(".", 1)[0],
-                "ph": "X",
-                "pid": 1,
-                "tid": s.thread_id,
-                "ts": (s.start_ns - tracer.origin_ns) / 1e3,
-                "dur": s.duration_ns / 1e3,
-                "args": {k: _json_safe(v) for k, v in s.attrs.items()},
-            }
-        )
-    return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
 def write_chrome_trace(tracer: RecordingTracer, path: Union[str, Path]) -> Path:

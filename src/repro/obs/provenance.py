@@ -21,9 +21,22 @@ from typing import Any, Dict, List, Optional, Union
 from repro.obs.metrics import get_registry
 from repro.obs.trace import get_tracer
 
-__all__ = ["RunManifest", "collect_manifest", "write_manifest", "read_manifest"]
+__all__ = [
+    "RunManifest",
+    "collect_manifest",
+    "manifest_from_artifact",
+    "write_manifest",
+    "read_manifest",
+]
 
 MANIFEST_SCHEMA = "repro.run-manifest/v1"
+
+#: seed derivation policy — all library randomness flows through
+#: :func:`repro.util.rng.stable_seed` on these namespaces.
+SEED_POLICY = (
+    "stable_seed(namespace, *parts): SHA-256 of the repr'd parts, "
+    "63-bit; namespaces: 'weights', case geometry, MC noise, atomics"
+)
 
 
 @dataclass
@@ -108,10 +121,7 @@ def collect_manifest(
         platform=platform.platform(),
         numpy_version=np.__version__,
         scipy_version=_scipy_version(),
-        seed_policy=(
-            "stable_seed(namespace, *parts): SHA-256 of the repr'd parts, "
-            "63-bit; namespaces: 'weights', case geometry, MC noise, atomics"
-        ),
+        seed_policy=SEED_POLICY,
         experiments=list(experiments or []),
         cases=sorted({r.case for r in rows}),
         kernels=sorted({r.kernel for r in rows}),
@@ -122,6 +132,53 @@ def collect_manifest(
         extra=dict(extra),
     )
     return manifest
+
+
+def manifest_from_artifact(
+    artifact: Dict[str, Any], **extra: Any
+) -> RunManifest:
+    """Render a run manifest as a *view* of a ``repro.artifact/v1`` dict.
+
+    Since the artifact became the single source of truth, the manifest
+    is no longer collected independently: its point inventory comes
+    from the artifact's ``bench_point`` entries, its phase wall-clocks
+    from ``experiment`` entries, its metrics from the artifact's
+    snapshot.  Downstream consumers of ``manifest.json`` are unchanged.
+    """
+    run = artifact.get("run", {})
+    env = artifact.get("environment", {})
+    phases = artifact.get("phases", {})
+    points = [e for e in phases.get("bench_point", []) if isinstance(e, dict)]
+    experiments = [
+        e for e in phases.get("experiment", []) if isinstance(e, dict)
+    ]
+    return RunManifest(
+        schema=MANIFEST_SCHEMA,
+        created_unix=run.get("created_unix", time.time()),
+        created_iso=run.get(
+            "created_iso",
+            time.strftime("%Y-%m-%dT%H:%M:%S%z", time.localtime()),
+        ),
+        command=list(run.get("command", [])),
+        package_version=env.get("package_version", _package_version()),
+        python_version=env.get("python_version", sys.version.split()[0]),
+        platform=env.get("platform", platform.platform()),
+        numpy_version=env.get("numpy_version", ""),
+        scipy_version=env.get("scipy_version"),
+        seed_policy=env.get("seed_policy", SEED_POLICY),
+        experiments=[e["name"] for e in experiments if "name" in e],
+        cases=sorted({p["case"] for p in points if p.get("case")}),
+        kernels=sorted({p["kernel"] for p in points if p.get("kernel")}),
+        devices=sorted({p["device"] for p in points if p.get("device")}),
+        presets=sorted({p["preset"] for p in points if p.get("preset")}),
+        phases={
+            e["name"]: e["wall_s"]
+            for e in experiments
+            if "name" in e and isinstance(e.get("wall_s"), (int, float))
+        },
+        metrics=dict(artifact.get("metrics", {})),
+        extra=dict(extra),
+    )
 
 
 def write_manifest(

@@ -22,13 +22,14 @@ argument).
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.bench.harness import convert_for_kernel
 from repro.kernels.dispatch import make_kernel
+from repro.obs import artifact
 from repro.obs.clock import Clock, get_clock
 from repro.obs.logging import get_logger, kv
 from repro.obs.trace import span as trace_span
@@ -96,6 +97,10 @@ class RequestRecord:
     #: row shards the evaluation ran across (1 == single device).
     shards: int = 1
     bitwise: Optional[bool] = None
+    #: SHA-256 of the served dose bytes (the artifact's replay target);
+    #: stamped by the bitwise audit before the dose itself is dropped.
+    dose_sha256: Optional[str] = None
+    dose_dtype: Optional[str] = None
     #: the served dose, held only until the bitwise audit runs.
     dose: Optional[np.ndarray] = None
 
@@ -390,7 +395,68 @@ def run_loadtest(
                  rejected=report.rejected, p99_ms=round(report.p99_ms, 3),
                  amortization=round(report.amortization, 4),
                  plan_cache_hit_rate=round(report.plan_cache_hit_rate, 4)))
+    _enrich_artifact(config, report)
     return report
+
+
+def _enrich_artifact(config: LoadTestConfig, report: LoadTestReport) -> None:
+    """Record the run into the per-run artifact (no-op when disabled).
+
+    Writes the workload parameters (everything
+    :mod:`repro.serve.replay` needs to reconstruct any request), one
+    ``request`` entry per submitted request — with the dose digest the
+    replay asserts against — the run-level summary, and a snapshot of
+    every cache metric so amortization claims stay auditable.
+    """
+    if not artifact.enabled():
+        return
+    workload = asdict(config)
+    workload["mode"] = "loadtest"
+    artifact.set_param("workload", workload)
+    for record in report.records:
+        client, index = _parse_request_id(record.request_id)
+        artifact.record(
+            "request",
+            request_id=record.request_id,
+            client=client,
+            index=index,
+            client_id=record.client_id,
+            plan_id=record.plan_id,
+            precision=record.precision,
+            status=record.status,
+            latency_ms=record.latency_ms,
+            queue_wait_ms=record.queue_wait_ms,
+            batch_id=record.batch_id,
+            batch_size=record.batch_size,
+            modeled_time_s=record.modeled_time_s,
+            cache_hit=record.cache_hit,
+            shards=record.shards,
+            bitwise=record.bitwise,
+            dose_sha256=record.dose_sha256,
+            dose_dtype=record.dose_dtype,
+        )
+    artifact.record(
+        "loadtest",
+        submitted=report.submitted,
+        completed=report.completed,
+        rejected=report.rejected,
+        wall_s=report.wall_s,
+        p50_ms=report.p50_ms,
+        p95_ms=report.p95_ms,
+        p99_ms=report.p99_ms,
+        mean_batch_size=report.mean_batch_size,
+        max_batch_size=report.max_batch_size,
+        amortization=report.amortization,
+        plan_cache_hits=report.plan_cache_hits,
+        plan_cache_misses=report.plan_cache_misses,
+        bitwise_checked=report.bitwise_checked,
+        bitwise_ok=report.bitwise_ok,
+        rejections=report.rejections,
+        claims=report.claims(),
+    )
+    artifact.record(
+        "serve_cache", metrics=artifact.cache_metrics_snapshot()
+    )
 
 
 def _split_requests(n_requests: int, n_clients: int) -> List[int]:
@@ -462,6 +528,8 @@ def _audit_bitwise(
             weights = request_weights(config, client, index, ref.n_cols)
             standalone = make_kernel(record.precision).run(ref, weights)
             record.bitwise = bool(np.array_equal(record.dose, standalone.y))
+            record.dose_sha256 = artifact.dose_sha256(record.dose)
+            record.dose_dtype = str(record.dose.dtype)
             record.dose = None
 
 

@@ -31,7 +31,7 @@ from typing import Dict, List, Optional, Sequence, Union
 from repro.gpu.device import A100, DeviceSpec
 from repro.kernels.batched import run_multi_spmv
 from repro.kernels.dispatch import kernel_names, make_kernel
-from repro.obs import metrics
+from repro.obs import artifact, metrics
 from repro.obs.clock import Clock, get_clock
 from repro.obs.logging import get_logger, kv
 from repro.obs.trace import span as trace_span
@@ -311,6 +311,23 @@ class DoseEvaluationService:
                     self.plan_cache_hits += 1
                 else:
                     self.plan_cache_misses += 1
+        if artifact.enabled():
+            artifact.record(
+                "serve_batch",
+                batch_id=batch.batch_id,
+                plan_id=batch.plan_id,
+                precision=batch.precision,
+                size=len(batch),
+                request_ids=sorted(
+                    t.request.request_id for t in batch.tickets
+                ),
+                worker=worker_name,
+                cache_hit=cache_hit,
+                plan_cache_hit=plan_hit,
+                shards=getattr(result, "shards", 1),
+                batched_time_s=result.batched_time_s,
+                unbatched_time_s=result.unbatched_time_s,
+            )
         resolved_at = self._clock.monotonic()
         for ticket, kernel_result in zip(batch.tickets, result.per_vector):
             request = ticket.request

@@ -14,6 +14,7 @@ from repro.analyze.rules import reset_registry as reset_analyze_registry
 from repro.bench.harness import clear_caches
 from repro.dose.beam import Beam
 from repro.dose.phantom import build_liver_phantom
+from repro.obs.artifact import NullArtifactSink, set_sink
 from repro.obs.metrics import get_registry
 from repro.plans.cases import build_case_matrix
 from repro.sparse.csr import CSRMatrix
@@ -31,10 +32,23 @@ def _fresh_process_state():
     clear_caches()
     get_registry().reset()
     reset_analyze_registry()
+    set_sink(NullArtifactSink())
     yield
     clear_caches()
     get_registry().reset()
     reset_analyze_registry()
+    set_sink(NullArtifactSink())
+
+
+@pytest.fixture(autouse=True)
+def _artifact_dir(tmp_path, monkeypatch):
+    """Route per-run artifacts into the test's tmp dir.
+
+    ``repro.cli.main`` writes a ``runs/<run-id>/`` record for every
+    subcommand; without this redirect, each CLI test would litter the
+    repository checkout with run directories.
+    """
+    monkeypatch.setenv("REPRO_ARTIFACT_DIR", str(tmp_path / "runs"))
 
 
 @pytest.fixture(scope="session")

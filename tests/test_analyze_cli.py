@@ -32,7 +32,7 @@ class TestEngine:
             "cuda-source", "precision-contracts", "repro-lint",
             "traffic-model",
         ]
-        assert len(report.rules_run) == 15
+        assert len(report.rules_run) == 16
 
     def test_checker_filter(self):
         report = run_analysis(checkers=["cuda-source"])

@@ -1,4 +1,4 @@
-"""AST reproducibility lint (RA101–RA106) on synthetic modules."""
+"""AST reproducibility lint (RA101–RA107) on synthetic modules."""
 
 from __future__ import annotations
 
@@ -341,6 +341,68 @@ class TestRA106UnorderedShardMerge:
             rel_path="dist/evaluator.py",
         )
         assert "RA103" in _ids(findings)
+
+
+class TestRA107AdHocRunRecords:
+    def test_json_dump_in_functional_dir_flagged(self):
+        findings = _lint(
+            """
+            import json
+
+            def save(report, fh):
+                json.dump(report, fh)
+            """,
+            rel_path="serve/report.py",
+        )
+        assert "RA107" in _ids(findings)
+
+    def test_csv_writer_in_bench_dir_flagged(self):
+        findings = _lint(
+            """
+            import csv
+
+            def export(rows, fh):
+                w = csv.writer(fh)
+                w.writerows(rows)
+            """,
+            rel_path="bench/export.py",
+        )
+        assert "RA107" in _ids(findings)
+
+    def test_artifact_aware_module_exempt(self):
+        # Importing repro.obs.artifact marks the module as a sanctioned
+        # view renderer: it derives files from the record, not beside it.
+        findings = _lint(
+            """
+            import json
+
+            from repro.obs.artifact import ARTIFACT_SCHEMA
+
+            def render(record, fh):
+                json.dump(record, fh)
+            """,
+            rel_path="bench/views.py",
+        )
+        assert "RA107" not in _ids(findings)
+
+    def test_non_run_record_dir_exempt(self):
+        findings = _lint(
+            "import json\n\ndef save(x, fh):\n    json.dump(x, fh)\n",
+            rel_path="util/debugging.py",
+        )
+        assert "RA107" not in _ids(findings)
+
+    def test_inline_allow_honoured(self):
+        findings = _lint(
+            """
+            import json
+
+            def save(x, fh):
+                json.dump(x, fh)  # analyze: allow[RA107]
+            """,
+            rel_path="dist/report.py",
+        )
+        assert "RA107" not in _ids(findings)
 
 
 class TestPackageLint:

@@ -1,0 +1,136 @@
+"""``repro-rtdose`` artifact lifecycle: every run writes one record.
+
+Covers the CLI-wide artifact contract (one ``artifact.json`` +
+``events.ndjson`` per subcommand, ``--no-artifact`` opt-out,
+``--artifact-dir`` override) and the ``artifact show|validate|replay``
+verbs on records produced by real runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.obs.artifact import get_sink, read_artifact, validate_artifact
+from repro.obs.export import chrome_trace_from_events, read_events_ndjson
+
+FAST = ["--requests", "24", "--clients", "2", "--burst", "4",
+        "--plans", "2", "--batch-window-ms", "50"]
+
+
+def _run_dirs() -> list:
+    base = Path(os.environ["REPRO_ARTIFACT_DIR"])
+    return sorted(p for p in base.iterdir() if p.is_dir()) if base.exists() else []
+
+
+def _latest_artifact() -> dict:
+    runs = _run_dirs()
+    assert runs, "no run directory was written"
+    return read_artifact(runs[-1] / "artifact.json")
+
+
+class TestLifecycle:
+    def test_every_subcommand_writes_a_record(self, capsys):
+        assert main(["info"]) == 0
+        (run_dir,) = _run_dirs()
+        data = read_artifact(run_dir / "artifact.json")
+        assert data["run"]["status"] == "completed"
+        assert data["run"]["exit_code"] == 0
+        assert data["run"]["command"][:2] == ["repro-rtdose", "info"]
+        assert f"artifact written to {run_dir}" in capsys.readouterr().err
+        # the events companion exists and round-trips to a Chrome trace
+        events = read_events_ndjson(run_dir / "events.ndjson")
+        trace = chrome_trace_from_events(events)
+        assert trace["traceEvents"][0]["ph"] == "M"
+
+    def test_no_artifact_opts_out(self, capsys):
+        assert main(["info", "--no-artifact"]) == 0
+        assert _run_dirs() == []
+        assert "artifact written" not in capsys.readouterr().err
+
+    def test_artifact_dir_flag_overrides_env(self, tmp_path, capsys):
+        target = tmp_path / "elsewhere"
+        assert main(["info", "--artifact-dir", str(target)]) == 0
+        assert _run_dirs() == []
+        assert len(list(target.iterdir())) == 1
+
+    def test_failed_run_still_records_with_failed_status(self, capsys):
+        rc = main(["artifact", "validate", "no/such/artifact.json"])
+        assert rc == 1
+        # the artifact verbs themselves never write run records
+        assert _run_dirs() == []
+
+    def test_sink_is_restored_after_the_run(self, capsys):
+        assert main(["info"]) == 0
+        assert not get_sink().enabled
+
+    def test_loadtest_record_validates_clean(self, capsys):
+        assert main(["serve", "loadtest"] + FAST) == 0
+        data = _latest_artifact()
+        problems = validate_artifact(data)
+        assert [p for p in problems if p.severity == "error"] == []
+        phases = data["phases"]
+        assert len(phases["request"]) == 24
+        assert phases["loadtest"] and phases["serve_batch"]
+        assert data["params"]["workload"]["mode"] == "loadtest"
+
+
+class TestArtifactVerbs:
+    @pytest.fixture()
+    def loadtest_run(self, capsys) -> Path:
+        assert main(["serve", "loadtest"] + FAST) == 0
+        capsys.readouterr()
+        return _run_dirs()[-1]
+
+    def test_show_summarizes_the_record(self, loadtest_run, capsys):
+        assert main(["artifact", "show", str(loadtest_run)]) == 0
+        out = capsys.readouterr().out
+        assert "Artifact record" in out
+        assert "phase[request]" in out
+        assert "completed" in out
+
+    def test_validate_accepts_a_real_run_strictly(self, loadtest_run, capsys):
+        rc = main(["artifact", "validate", "--strict", str(loadtest_run)])
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "0 error(s), 0 warning(s)" in out
+
+    def test_validate_strict_rejects_warnings(self, loadtest_run, capsys):
+        path = loadtest_run / "artifact.json"
+        data = json.loads(path.read_text())
+        data["phases"]["totally_novel_phase"] = [{"seq": 10**6}]
+        path.write_text(json.dumps(data))
+        assert main(["artifact", "validate", str(loadtest_run)]) == 0
+        assert main(["artifact", "validate", "--strict",
+                     str(loadtest_run)]) == 1
+        assert "unknown phase" in capsys.readouterr().out
+
+    def test_replay_reproduces_served_doses(self, loadtest_run, capsys):
+        rc = main(["artifact", "replay", "--limit", "4", str(loadtest_run)])
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "4/4 replayed requests bitwise identical" in out
+
+    def test_replay_flags_a_tampered_digest(self, loadtest_run, capsys):
+        path = loadtest_run / "artifact.json"
+        data = json.loads(path.read_text())
+        entry = data["phases"]["request"][0]
+        entry["dose_sha256"] = "0" * 64
+        path.write_text(json.dumps(data))
+        rc = main(["artifact", "replay", "--request",
+                   entry["request_id"], str(loadtest_run)])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "REPLAY MISMATCH" in captured.err
+
+    def test_replay_without_requests_is_a_usage_error(self, capsys):
+        assert main(["info"]) == 0
+        run_dir = _run_dirs()[-1]
+        capsys.readouterr()
+        rc = main(["artifact", "replay", str(run_dir)])
+        assert rc == 2
+        assert "no replayable requests" in capsys.readouterr().err

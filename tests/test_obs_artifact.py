@@ -1,0 +1,346 @@
+"""The per-run artifact record: sink, validation, views, replay, events.
+
+These tests exercise the ``repro.artifact/v1`` invariants end to end:
+deterministic serialization under concurrent enrichment, phase coverage
+from the real worker-pool and sharded-executor paths (including an
+injected device failure), byte-compatibility of the legacy CSV/manifest
+views, bitwise replay of recorded requests, and the shared event source
+behind ``events.ndjson`` and the Chrome trace.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import convert_for_kernel
+from repro.bench.recording import (
+    loadtest_csv_from_artifact,
+    loadtest_rows_to_csv,
+)
+from repro.dist.evaluator import ShardedEvaluator
+from repro.dist.executor import FailureInjector
+from repro.kernels.dispatch import make_kernel
+from repro.obs import artifact as artifact_mod
+from repro.obs.artifact import (
+    ArtifactSink,
+    NullArtifactSink,
+    dose_sha256,
+    matrix_fingerprint,
+    validate_artifact,
+)
+from repro.obs.export import (
+    chrome_trace_events,
+    chrome_trace_from_events,
+    read_events_ndjson,
+    write_events_ndjson,
+)
+from repro.obs.provenance import manifest_from_artifact
+from repro.obs.trace import disable_tracing, enable_tracing
+from repro.serve.loadgen import LoadTestConfig, run_loadtest
+from repro.serve.replay import replay_requests
+
+
+@pytest.fixture()
+def sink():
+    """A real sink installed as the process sink for one test."""
+    sink = ArtifactSink(command=["test"], run_id="run-test-000000")
+    previous = artifact_mod.set_sink(sink)
+    yield sink
+    artifact_mod.set_sink(previous)
+
+
+def _loadtest_sink(**overrides) -> ArtifactSink:
+    """Run a small loadtest with a sink installed; return the sink."""
+    sink = ArtifactSink(command=["test", "loadtest"])
+    previous = artifact_mod.set_sink(sink)
+    try:
+        config = LoadTestConfig(
+            n_requests=24,
+            n_clients=3,
+            n_plans=2,
+            plan_rows=90,
+            plan_cols=30,
+            n_workers=2,
+            **overrides,
+        )
+        report = run_loadtest(config)
+    finally:
+        artifact_mod.set_sink(previous)
+    assert report.completed == 24
+    sink.finish(status="completed", exit_code=0)
+    return sink
+
+
+class TestSinkBasics:
+    def test_entries_get_unique_monotonic_seq(self):
+        sink = ArtifactSink(command=["x"])
+        for i in range(5):
+            sink.record("bench_point", case=f"c{i}")
+        seqs = [e["seq"] for e in sink.artifact()["phases"]["bench_point"]]
+        assert seqs == sorted(seqs) and len(set(seqs)) == 5
+
+    def test_record_once_dedupes_by_key(self):
+        sink = ArtifactSink(command=["x"])
+        assert sink.record_once("matrix_build", ("Liver 1", "tiny"), case="Liver 1")
+        assert not sink.record_once("matrix_build", ("Liver 1", "tiny"), case="dup")
+        entries = sink.artifact()["phases"]["matrix_build"]
+        assert [e["case"] for e in entries] == ["Liver 1"]
+
+    def test_numpy_values_are_coerced_to_json(self):
+        sink = ArtifactSink(command=["x"])
+        sink.record(
+            "bench_point",
+            n=np.int64(3),
+            t=np.float32(0.5),
+            ok=np.bool_(True),
+            v=np.arange(3),
+        )
+        entry = sink.artifact()["phases"]["bench_point"][0]
+        json.dumps(entry)  # must be serializable as-is
+        assert entry["n"] == 3 and entry["ok"] is True and entry["v"] == [0, 1, 2]
+
+    def test_null_sink_is_inert(self):
+        null = NullArtifactSink()
+        assert not null.enabled
+        null.record("request", request_id="r")
+        assert not null.record_once("request", "k", request_id="r")
+        assert null.artifact() == {}
+
+    def test_concurrent_enrichment_serializes_deterministically(self):
+        """N threads appending in shuffled order -> identical JSON."""
+
+        def build(seed: int) -> str:
+            sink = ArtifactSink(command=["x"], run_id="run-fixed")
+            entries = [
+                {"client": c, "index": i, "request_id": f"c{c}-r{i}"}
+                for c in range(4)
+                for i in range(10)
+            ]
+            random.Random(seed).shuffle(entries)
+            chunks = [entries[k::4] for k in range(4)]
+
+            def worker(chunk):
+                for e in chunk:
+                    sink.record("request", **e)
+
+            threads = [
+                threading.Thread(target=worker, args=(c,)) for c in chunks
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            data = sink.artifact()
+            # seq differs per interleaving; the *order* must not.
+            for e in data["phases"]["request"]:
+                e.pop("seq")
+            return json.dumps(data["phases"], sort_keys=True)
+
+        assert build(1) == build(2) == build(3)
+
+
+class TestHashes:
+    def test_dose_sha256_is_dtype_and_shape_faithful(self):
+        a = np.arange(6, dtype=np.float64)
+        assert dose_sha256(a) == dose_sha256(a.copy())
+        assert dose_sha256(a) != dose_sha256(a.astype(np.float32))
+        assert dose_sha256(a) != dose_sha256(a.reshape(2, 3))
+        assert len(dose_sha256(a)) == 64
+
+    def test_matrix_fingerprint_tracks_structure_not_identity(self, small_csr):
+        import dataclasses as dc
+
+        same = dc.replace(small_csr, data=small_csr.data.copy())
+        assert matrix_fingerprint(small_csr) == matrix_fingerprint(same)
+        other = dc.replace(small_csr, data=small_csr.data * 2.0)
+        assert matrix_fingerprint(small_csr) != matrix_fingerprint(other)
+
+
+class TestValidation:
+    def test_fresh_finished_sink_validates_clean(self):
+        sink = ArtifactSink(command=["x"])
+        sink.record("bench_point", case="c")
+        sink.finish(status="completed", exit_code=0)
+        problems = validate_artifact(sink.artifact())
+        assert [p for p in problems if p.severity == "error"] == []
+
+    def test_wrong_schema_and_missing_run_are_errors(self):
+        problems = validate_artifact({"schema": "bogus/v9"})
+        messages = [p.message for p in problems if p.severity == "error"]
+        assert any("schema" in m for m in messages)
+        assert any("'run'" in m for m in messages)
+
+    def test_unfinished_run_warns(self):
+        sink = ArtifactSink(command=["x"])
+        problems = validate_artifact(sink.artifact())
+        assert any(
+            "never finished" in p.message
+            for p in problems
+            if p.severity == "warning"
+        )
+
+    def test_duplicate_seq_is_an_error(self):
+        sink = ArtifactSink(command=["x"])
+        sink.record("bench_point", case="a")
+        sink.finish()
+        data = sink.artifact()
+        data["phases"]["bench_point"].append(
+            dict(data["phases"]["bench_point"][0])
+        )
+        assert any(
+            "duplicate 'seq'" in p.message
+            for p in validate_artifact(data)
+            if p.severity == "error"
+        )
+
+    def test_batch_membership_mismatch_is_an_error(self):
+        sink = ArtifactSink(command=["x"])
+        sink.record(
+            "serve_batch", batch_id="b0", size=3, request_ids=["a", "b"]
+        )
+        sink.finish()
+        assert any(
+            "size != len(request_ids)" in p.message
+            for p in validate_artifact(sink.artifact())
+        )
+
+    def test_audited_request_without_digest_is_an_error(self):
+        sink = ArtifactSink(command=["x"])
+        sink.record(
+            "request", request_id="r0", client=0, index=0,
+            status="ok", bitwise=True, dose_sha256=None,
+        )
+        sink.set_param("workload", {"mode": "loadtest"})
+        sink.finish()
+        assert any(
+            "dose_sha256" in p.message
+            for p in validate_artifact(sink.artifact())
+            if p.severity == "error"
+        )
+
+
+class TestLoadtestEnrichment:
+    def test_worker_pool_run_enriches_five_phases(self):
+        sink = _loadtest_sink()
+        phases = sink.artifact()["phases"]
+        for phase in (
+            "plan_compile", "serve_batch", "serve_cache",
+            "request", "loadtest",
+        ):
+            assert phases.get(phase), f"missing phase {phase!r}"
+        problems = validate_artifact(sink.artifact())
+        assert [p for p in problems if p.severity == "error"] == []
+        # every batch's membership invariant holds on real data too
+        for batch in phases["serve_batch"]:
+            assert batch["size"] == len(batch["request_ids"])
+        # satellite: cache hit/miss metrics snapshot rides in serve_cache
+        cache_metrics = phases["serve_cache"][0]["metrics"]
+        assert any("cache" in name for name in cache_metrics)
+
+    def test_csv_view_matches_legacy_writer_bytes(self):
+        sink = ArtifactSink(command=["test"])
+        previous = artifact_mod.set_sink(sink)
+        try:
+            report = run_loadtest(
+                LoadTestConfig(
+                    n_requests=18, n_clients=3, n_plans=2,
+                    plan_rows=80, plan_cols=24, n_workers=2,
+                )
+            )
+        finally:
+            artifact_mod.set_sink(previous)
+        assert loadtest_csv_from_artifact(sink.artifact()) == (
+            loadtest_rows_to_csv(report)
+        )
+
+    def test_replay_reproduces_recorded_doses_bitwise(self):
+        sink = _loadtest_sink()
+        outcomes = replay_requests(sink.artifact(), limit=6)
+        assert len(outcomes) == 6
+        for o in outcomes:
+            assert o.match, f"replay mismatch for {o.request_id}"
+
+    def test_replay_rejects_unknown_request_ids(self):
+        from repro.util.errors import ReproError
+
+        sink = _loadtest_sink()
+        with pytest.raises(ReproError, match="not replayable"):
+            replay_requests(sink.artifact(), request_ids=["c9-r999"])
+
+    def test_manifest_view_derives_from_artifact(self):
+        sink = _loadtest_sink()
+        manifest = manifest_from_artifact(sink.artifact(), preset="tiny")
+        assert manifest.command == ["test", "loadtest"]
+        assert manifest.metrics  # snapshot stamped by finish()
+
+
+class TestShardedEnrichment:
+    def test_sharded_run_records_partition_placement_and_retry(
+        self, heavy_tail_csr, sink
+    ):
+        kernel = make_kernel("half_double")
+        matrix = convert_for_kernel(heavy_tail_csr, "half_double")
+        evaluator = ShardedEvaluator(
+            matrix, kernel, n_shards=4, retry_budget=4
+        )
+        weights = np.linspace(0.0, 1.0, matrix.n_cols)
+        baseline = kernel.run(matrix, weights).y
+        result = evaluator.evaluate(
+            weights, injector=FailureInjector.fail_once(1, 3)
+        )
+        assert np.array_equal(result.doses, baseline)
+
+        sink.finish(status="completed", exit_code=0)
+        data = sink.artifact()
+        phases = data["phases"]
+        partition = phases["shard_partition"][0]
+        assert partition["n_shards"] == 4
+        assert [s["index"] for s in partition["shards"]] == [0, 1, 2, 3]
+        assert partition["matrix_fingerprint"] == matrix_fingerprint(matrix)
+        placement = phases["shard_placement"][0]
+        assert len(placement["assignments"]) == 4
+        retried = sorted(e["shard"] for e in phases["shard_retry"])
+        assert retried == [1, 3]
+        assert [p for p in validate_artifact(data)
+                if p.severity == "error"] == []
+
+    def test_sharded_loadtest_artifact_is_valid(self):
+        sink = _loadtest_sink(shards=2, dist_devices=2)
+        data = sink.artifact()
+        assert data["phases"].get("shard_partition")
+        assert [p for p in validate_artifact(data)
+                if p.severity == "error"] == []
+        outcomes = replay_requests(data, limit=3)
+        assert outcomes and all(o.match for o in outcomes)
+
+
+class TestEventStream:
+    def test_ndjson_round_trips_to_the_chrome_trace(self, tmp_path):
+        tracer = enable_tracing()
+        try:
+            with tracer.span("serve.batch", size=3):
+                with tracer.span("kernels.spmv", kernel="csr"):
+                    pass
+        finally:
+            disable_tracing()
+        path = write_events_ndjson(tracer, tmp_path / "events.ndjson")
+        events = read_events_ndjson(path)
+        assert all(e["ph"] == "X" for e in events)
+        assert chrome_trace_from_events(events) == chrome_trace_events(tracer)
+
+    def test_event_categories_come_from_span_names(self, tmp_path):
+        tracer = enable_tracing()
+        try:
+            with tracer.span("dist.evaluate", shards=2):
+                pass
+        finally:
+            disable_tracing()
+        path = write_events_ndjson(tracer, tmp_path / "events.ndjson")
+        (event,) = read_events_ndjson(path)
+        assert event["cat"] == "dist"
+        assert event["args"]["shards"] == 2
