@@ -18,7 +18,12 @@ paper-level contracts into machine-checked gates:
   claims verified by execution);
 * :mod:`repro.analyze.traffic_check` — traffic-model consistency
   (RT401–RT402: model coefficients and kernel counters vs the analytic
-  model).
+  model);
+* :mod:`repro.analyze.concurrency` — lock-discipline lint
+  (RL501–RL506: undeclared locks, unguarded accesses to guarded
+  attributes, lock-order cycles, blocking calls under locks, thread
+  targets capturing mutable state, self-deadlocks), paired with the
+  runtime witness in :mod:`repro.obs.lockwitness`.
 
 Run via ``repro-rtdose analyze [--strict] [--format json] [--suppress
 RULE]``; suppress single lines with ``# analyze: allow[RULE]``.

@@ -1,0 +1,1064 @@
+"""Static concurrency-contract analysis (rules RL501–RL506).
+
+The serving stack's headline guarantees — bitwise-deterministic served
+doses, deterministic artifact ordering under concurrent enrichment —
+rest on lock discipline that, before this pass, nothing checked.  This
+lint parses every module in the concurrency scope (the functional dirs
+plus ``obs``, ``bench`` and ``analyze``), extracts the declared locks
+and the attributes each one guards, and enforces:
+
+* **RL501** — every lock attribute must carry a
+  ``# analyze: lock-guards[attr, ...]`` declaration on its assignment
+  line naming the attributes it guards (empty brackets for
+  pure-exclusion locks).  Conditions built *from* a declared lock are
+  aliases and need no declaration of their own;
+* **RL502** — a public method that reads or writes a guarded attribute
+  without holding the guarding lock races every locked writer;
+* **RL503** — lock acquisitions inside already-locked regions feed an
+  inter-module lock-order graph; a cycle in that graph is a potential
+  deadlock (the classic AB/BA inversion);
+* **RL504** — blocking calls (queue ``get``, ``join``, ``sleep``, lock
+  acquisition, kernel execution/compilation) made while holding a lock
+  serialize unrelated threads behind the slow operation.
+  ``Condition.wait`` on the *held* lock is exempt — wait releases it;
+* **RL505** — ``threading.Thread`` targets that capture mutable state
+  (lambdas, closures mutating free variables, bound methods of classes
+  with no declared lock) race their creator unless ownership is
+  documented;
+* **RL506** — re-acquiring a held non-reentrant lock self-deadlocks.
+
+Locks are recognised when created via ``threading.Lock``/``RLock``/
+``Condition`` or the sanctioned :func:`repro.obs.lockwitness.
+guarded_lock` factory — including ``dataclasses.field(default_factory=
+threading.Lock)`` declarations.
+
+**Scope and honesty.** The pass is lexical: it resolves lock
+acquisitions through ``self``, through ``self.<attr>`` whose class is
+statically known (constructor calls, parameter/attribute annotations),
+and through own-method calls one level deep.  Dynamically dispatched
+acquisitions it cannot resolve are *not* guessed at — that is what the
+runtime witness (:mod:`repro.obs.lockwitness`) is for; the two are one
+contract checked twice.  All rules honour inline
+``# analyze: allow[RULE]`` suppressions on the flagged line.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple,
+)
+
+from repro.analyze.findings import Finding, Severity
+from repro.analyze.rules import Rule, RuleRegistry
+from repro.analyze.source_lint import (
+    FUNCTIONAL_DIRS, _dotted_path, _ImportMap, _line_allows,
+)
+
+RL501 = Rule(
+    "RL501",
+    "undeclared-lock",
+    Severity.WARNING,
+    "A lock attribute has no '# analyze: lock-guards[...]' declaration; "
+    "the analyzer cannot check what it protects.",
+    "Annotate the lock assignment line with "
+    "'# analyze: lock-guards[attr, ...]' naming the attributes the lock "
+    "guards (empty brackets for pure-exclusion locks).",
+)
+RL502 = Rule(
+    "RL502",
+    "unguarded-guarded-attribute",
+    Severity.ERROR,
+    "A public method reads or writes a guarded attribute without "
+    "holding the lock declared to guard it; this races every locked "
+    "writer.",
+    "Wrap the access in 'with self.<lock>:', or suppress with "
+    "'# analyze: allow[RL502]' plus a justification when the access is "
+    "deliberately unsynchronized (e.g. a single atomic store).",
+)
+RL503 = Rule(
+    "RL503",
+    "lock-order-cycle",
+    Severity.ERROR,
+    "Lock acquisitions form a cycle in the inter-module lock-order "
+    "graph; two threads interleaving these orders can deadlock.",
+    "Acquire locks in one global order (DESIGN.md lock hierarchy: "
+    "scheduler -> queue -> cache -> metrics -> artifact sink), or "
+    "restructure so the inner acquisition happens after releasing the "
+    "outer lock.",
+)
+RL504 = Rule(
+    "RL504",
+    "blocking-call-under-lock",
+    Severity.WARNING,
+    "A blocking call (queue get, join, sleep, lock acquisition, kernel "
+    "execution) runs while holding a lock; every thread needing that "
+    "lock stalls behind it.",
+    "Move the blocking call outside the locked region (copy state "
+    "under the lock, block after releasing), or suppress with "
+    "'# analyze: allow[RL504]' plus a justification when blocking "
+    "under the lock is the design (e.g. single-flight compilation).",
+)
+RL505 = Rule(
+    "RL505",
+    "thread-captures-mutable-state",
+    Severity.WARNING,
+    "A threading.Thread target captures mutable state not owned by a "
+    "documented thread-safe class; writes race the creating thread.",
+    "Give the state a declared lock (lock-guards annotation), pass "
+    "immutable arguments instead, or suppress with "
+    "'# analyze: allow[RL505]' plus a justification documenting the "
+    "ownership argument.",
+)
+RL506 = Rule(
+    "RL506",
+    "self-deadlock",
+    Severity.ERROR,
+    "A held non-reentrant lock is re-acquired on the same thread; this "
+    "deadlocks immediately.",
+    "Split the method so the locked region calls an unlocked helper "
+    "(the _locked-suffix pattern), or make the lock an RLock if "
+    "re-entry is genuinely required.",
+)
+
+#: package-relative directories in the concurrency scope: the
+#: functional path plus the observability/bench/analyze layers whose
+#: locks the functional path takes while holding its own.
+CONCURRENCY_DIRS: Tuple[str, ...] = FUNCTIONAL_DIRS + (
+    "obs", "bench", "analyze",
+)
+
+#: the lock-guards declaration, on the lock-assignment line.
+_LOCK_GUARDS_RE = re.compile(
+    r"#\s*analyze:\s*lock-guards\[([A-Za-z0-9_,\s]*)\]"
+)
+
+#: dotted paths that construct a lock.
+_LOCK_FACTORY_PATHS = frozenset({
+    "threading.Lock", "threading.RLock", "threading.Condition",
+})
+_REENTRANT_FACTORIES = frozenset({"threading.RLock"})
+
+#: attribute-call names that block (RL504).
+_BLOCKING_ATTR_CALLS = frozenset({"acquire", "join", "sleep"})
+
+#: call names that execute or compile kernels (RL504): holding a lock
+#: across a modeled device execution serializes the whole service.
+_KERNEL_EXEC_CALLS = frozenset({
+    "run", "run_multi_spmv", "run_batch", "execute_plan",
+    "execute_plan_multi", "prepare_plan", "compile_plan",
+    "get_or_compile", "matvec", "evaluate",
+})
+
+#: dotted call paths that block (RL504).
+_BLOCKING_DOTTED_CALLS = frozenset({"time.sleep"})
+
+#: method names that mutate their receiver (RL505 capture check).
+_MUTATING_METHODS = frozenset({
+    "append", "appendleft", "extend", "add", "update", "insert",
+    "setdefault", "remove", "clear", "popleft",
+})
+
+#: dunders that run before the object is shared between threads.
+_LIFECYCLE_DUNDERS = frozenset({
+    "__init__", "__post_init__", "__new__", "__del__",
+    "__init_subclass__", "__set_name__",
+})
+
+
+# --------------------------------------------------------------------- #
+# pass 1: per-class facts
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class LockDecl:
+    """One declared lock attribute."""
+
+    attr: str
+    lineno: int
+    guards: Tuple[str, ...] = ()
+    annotated: bool = False
+    #: for Conditions built from another declared lock: that lock.
+    alias_of: Optional[str] = None
+    reentrant: bool = False
+
+
+@dataclass
+class ClassInfo:
+    """What pass 1 learned about one class."""
+
+    name: str
+    lineno: int
+    location: str
+    lines: List[str] = field(default_factory=list)
+    locks: Dict[str, LockDecl] = field(default_factory=dict)
+    #: self-attribute -> class name, where statically resolvable.
+    attr_types: Dict[str, str] = field(default_factory=dict)
+    #: method name -> canonical own-lock attrs it directly acquires.
+    method_acquires: Dict[str, FrozenSet[str]] = field(default_factory=dict)
+    node: Optional[ast.ClassDef] = None
+
+    def canonical(self, attr: str) -> Optional[str]:
+        """Resolve Condition aliases to the canonical lock attribute."""
+        seen = set()
+        while attr in self.locks and attr not in seen:
+            seen.add(attr)
+            alias = self.locks[attr].alias_of
+            if alias is None:
+                return attr
+            attr = alias
+        return attr if attr in self.locks else None
+
+    def guard_map(self) -> Dict[str, FrozenSet[str]]:
+        """Guarded attribute -> canonical locks declared to guard it."""
+        out: Dict[str, set] = {}
+        for attr, decl in self.locks.items():
+            canon = self.canonical(attr)
+            if canon is None:
+                continue
+            for guarded in decl.guards:
+                out.setdefault(guarded, set()).add(canon)
+        return {k: frozenset(v) for k, v in out.items()}
+
+    @property
+    def has_declared_lock(self) -> bool:
+        """True when the class documents thread-safety via any
+        annotated lock declaration (RL505's ownership test)."""
+        return any(d.annotated for d in self.locks.values())
+
+
+def _type_name(node: Optional[ast.AST]) -> Optional[str]:
+    """Best-effort class name out of an annotation or call target."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        text = node.value.split("[")[0]
+        return text.split(".")[-1].strip() or None
+    if isinstance(node, ast.Subscript):
+        base = _type_name(node.value)
+        if base in {"Optional", "Final", "ClassVar"}:
+            return _type_name(node.slice)
+    return None
+
+
+def _walk_skipping_defs(node: ast.AST) -> Iterable[ast.AST]:
+    """ast.walk, but do not descend into nested function bodies."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        yield child
+        if not isinstance(
+            child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            stack.extend(ast.iter_child_nodes(child))
+
+
+def _lock_factory(
+    value: ast.expr, imports: Dict[str, str]
+) -> Optional[str]:
+    """The factory dotted path when ``value`` constructs a lock."""
+    if not isinstance(value, ast.Call):
+        return None
+    path = _dotted_path(value.func, imports)
+    if path is None:
+        return None
+    if path in _LOCK_FACTORY_PATHS or path.endswith(".guarded_lock") \
+            or path == "guarded_lock":
+        return path
+    return None
+
+
+def _parse_guards(
+    lines: List[str], lineno: int
+) -> Tuple[bool, Tuple[str, ...]]:
+    """(annotated, guarded attrs) from the declaration's source line."""
+    if not (1 <= lineno <= len(lines)):
+        return False, ()
+    match = _LOCK_GUARDS_RE.search(lines[lineno - 1])
+    if match is None:
+        return False, ()
+    attrs = tuple(
+        a.strip() for a in match.group(1).split(",") if a.strip()
+    )
+    return True, attrs
+
+
+def _self_attr(expr: ast.expr) -> Optional[str]:
+    """``self.X`` -> ``"X"``."""
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+    ):
+        return expr.attr
+    return None
+
+
+def _collect_class(
+    node: ast.ClassDef,
+    imports: Dict[str, str],
+    location: str,
+    lines: List[str],
+) -> ClassInfo:
+    info = ClassInfo(
+        name=node.name, lineno=node.lineno, location=location,
+        lines=lines, node=node,
+    )
+    # --- class-body dataclass fields: locks and attribute types ------- #
+    for stmt in node.body:
+        if not isinstance(stmt, ast.AnnAssign) or not isinstance(
+            stmt.target, ast.Name
+        ):
+            continue
+        attr = stmt.target.id
+        factory = None
+        if isinstance(stmt.value, ast.Call):
+            func_name = _type_name(stmt.value.func)
+            if func_name == "field":
+                for kw in stmt.value.keywords:
+                    if kw.arg == "default_factory":
+                        path = _dotted_path(kw.value, imports)
+                        if path in _LOCK_FACTORY_PATHS:
+                            factory = path
+        if factory is not None:
+            annotated, guards = _parse_guards(lines, stmt.lineno)
+            info.locks[attr] = LockDecl(
+                attr=attr, lineno=stmt.lineno, guards=guards,
+                annotated=annotated,
+                reentrant=factory in _REENTRANT_FACTORIES,
+            )
+        else:
+            tname = _type_name(stmt.annotation)
+            if tname and tname[:1].isupper():
+                info.attr_types.setdefault(attr, tname)
+    # --- method bodies: lock assignments and attribute types ---------- #
+    methods = [
+        s for s in node.body
+        if isinstance(s, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+    for method in methods:
+        param_types: Dict[str, Optional[str]] = {
+            arg.arg: _type_name(arg.annotation)
+            for arg in method.args.args
+        }
+        for sub in _walk_skipping_defs(method):
+            target: Optional[ast.expr] = None
+            value: Optional[ast.expr] = None
+            if isinstance(sub, ast.Assign) and len(sub.targets) == 1:
+                target, value = sub.targets[0], sub.value
+            elif isinstance(sub, ast.AnnAssign) and sub.value is not None:
+                target, value = sub.target, sub.value
+            if target is None or value is None:
+                continue
+            attr = _self_attr(target)
+            if attr is None:
+                continue
+            factory = _lock_factory(value, imports)
+            if factory is not None:
+                alias_of = None
+                if factory == "threading.Condition" and isinstance(
+                    value, ast.Call
+                ) and value.args:
+                    alias_of = _self_attr(value.args[0])
+                annotated, guards = _parse_guards(lines, sub.lineno)
+                info.locks.setdefault(attr, LockDecl(
+                    attr=attr, lineno=sub.lineno, guards=guards,
+                    annotated=annotated, alias_of=alias_of,
+                    reentrant=factory in _REENTRANT_FACTORIES,
+                ))
+                continue
+            tname: Optional[str] = None
+            if isinstance(value, ast.Call):
+                tname = _type_name(value.func)
+            elif isinstance(value, ast.Name):
+                tname = param_types.get(value.id)
+            elif isinstance(sub, ast.AnnAssign):
+                tname = _type_name(sub.annotation)
+            if tname and tname[:1].isupper():
+                info.attr_types.setdefault(attr, tname)
+    # --- direct own-lock acquisitions per method ---------------------- #
+    for method in methods:
+        acquired: set = set()
+        for sub in _walk_skipping_defs(method):
+            if isinstance(sub, ast.With):
+                for item in sub.items:
+                    attr = _self_attr(item.context_expr)
+                    if attr is not None:
+                        canon = info.canonical(attr)
+                        if canon is not None:
+                            acquired.add(canon)
+        info.method_acquires[method.name] = frozenset(acquired)
+    return info
+
+
+# --------------------------------------------------------------------- #
+# pass 2: per-method discipline checks + lock-order graph
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class _Held:
+    """One entry on the lexical held-locks stack."""
+
+    node_id: str
+    #: canonical own-lock attribute when this is ``self``'s lock.
+    own_attr: Optional[str]
+    reentrant: bool
+
+
+@dataclass
+class _EdgeSite:
+    """Where an ordered pair of lock acquisitions was first seen."""
+
+    location: str
+    lineno: int
+    lines: List[str]
+
+
+class _LockGraph:
+    """Name-keyed inter-module lock-order graph."""
+
+    def __init__(self) -> None:
+        self.edges: Dict[Tuple[str, str], _EdgeSite] = {}
+        self.adjacency: Dict[str, set] = {}
+
+    def add_edge(
+        self, src: str, dst: str, location: str, lineno: int,
+        lines: List[str],
+    ) -> None:
+        key = (src, dst)
+        if key not in self.edges:
+            self.edges[key] = _EdgeSite(location, lineno, lines)
+        self.adjacency.setdefault(src, set()).add(dst)
+
+    def find_path(self, src: str, dst: str) -> Optional[List[str]]:
+        """A path ``src -> ... -> dst``, or None."""
+        if src == dst:
+            return [src]
+        seen = {src}
+        frontier: List[Tuple[str, List[str]]] = [(src, [src])]
+        while frontier:
+            node, path = frontier.pop()
+            for nxt in sorted(self.adjacency.get(node, ())):
+                if nxt == dst:
+                    return path + [nxt]
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append((nxt, path + [nxt]))
+        return None
+
+
+def _is_public_method(name: str) -> bool:
+    if name.startswith("__") and name.endswith("__"):
+        return name not in _LIFECYCLE_DUNDERS
+    return not name.startswith("_")
+
+
+def _resolve_lock_operand(
+    expr: ast.expr, info: ClassInfo, classes: Dict[str, ClassInfo]
+) -> Optional[_Held]:
+    """A ``with``-operand (or acquire receiver) as a held-lock entry.
+
+    Resolves ``self.<lock>`` and ``self.<attr>.<lock>`` where the
+    attribute's class is statically known.
+    """
+    attr = _self_attr(expr)
+    if attr is not None:
+        canon = info.canonical(attr)
+        if canon is not None:
+            decl = info.locks[canon]
+            return _Held(f"{info.name}.{canon}", canon, decl.reentrant)
+        return None
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Attribute)
+        and isinstance(expr.value.value, ast.Name)
+        and expr.value.value.id == "self"
+    ):
+        tname = info.attr_types.get(expr.value.attr)
+        target = classes.get(tname) if tname else None
+        if target is not None:
+            canon = target.canonical(expr.attr)
+            if canon is not None:
+                decl = target.locks[canon]
+                return _Held(
+                    f"{target.name}.{canon}", None, decl.reentrant
+                )
+    return None
+
+
+def _call_acquisitions(
+    call: ast.Call, info: ClassInfo, classes: Dict[str, ClassInfo]
+) -> Tuple[Optional[ClassInfo], FrozenSet[str]]:
+    """(owning class, canonical locks) a method call acquires.
+
+    Resolves ``self.m()`` through ``info`` and ``self.<attr>.m()``
+    through the attribute's statically known class; one level deep.
+    """
+    func = call.func
+    if not isinstance(func, ast.Attribute):
+        return None, frozenset()
+    receiver = func.value
+    if isinstance(receiver, ast.Name) and receiver.id == "self":
+        acquired = info.method_acquires.get(func.attr)
+        if acquired:
+            return info, acquired
+        return None, frozenset()
+    if (
+        isinstance(receiver, ast.Attribute)
+        and isinstance(receiver.value, ast.Name)
+        and receiver.value.id == "self"
+    ):
+        tname = info.attr_types.get(receiver.attr)
+        target = classes.get(tname) if tname else None
+        if target is not None:
+            acquired = target.method_acquires.get(func.attr)
+            if acquired:
+                return target, acquired
+    return None, frozenset()
+
+
+def _blocking_call_reason(
+    call: ast.Call,
+    imports: Dict[str, str],
+    info: ClassInfo,
+    own_held: FrozenSet[str],
+) -> Optional[str]:
+    """Why this call blocks, or None (RL504)."""
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        name = func.attr
+        if name == "wait":
+            attr = _self_attr(func.value)
+            if attr is not None and info.canonical(attr) in own_held:
+                return None  # Condition.wait on the held lock releases it
+            return "wait() blocks until another thread signals"
+        if name in _BLOCKING_ATTR_CALLS:
+            return f"{name}() blocks the calling thread"
+        if name == "get" and not call.args and not call.keywords:
+            return "zero-argument get() is a blocking queue read"
+        if name in _KERNEL_EXEC_CALLS:
+            return f"{name}() executes/compiles a kernel"
+        path = _dotted_path(func, imports)
+        if path in _BLOCKING_DOTTED_CALLS:
+            return f"{path}() blocks the calling thread"
+        return None
+    if isinstance(func, ast.Name):
+        resolved = imports.get(func.id, func.id)
+        if resolved in _BLOCKING_DOTTED_CALLS:
+            return f"{resolved}() blocks the calling thread"
+        if func.id in _KERNEL_EXEC_CALLS:
+            return f"{func.id}() executes/compiles a kernel"
+    return None
+
+
+class _MethodLinter:
+    """Walks one method body with the lexical held-locks stack."""
+
+    def __init__(
+        self,
+        info: ClassInfo,
+        method: ast.FunctionDef,
+        classes: Dict[str, ClassInfo],
+        imports: Dict[str, str],
+        graph: _LockGraph,
+        emit,  # Callable[[Rule, int, str], None]
+    ) -> None:
+        self.info = info
+        self.method = method
+        self.classes = classes
+        self.imports = imports
+        self.graph = graph
+        self.emit = emit
+        self.check_guards = _is_public_method(method.name)
+        self.guard_map = info.guard_map()
+
+    def run(self) -> None:
+        for stmt in self.method.body:
+            self._walk(stmt, ())
+
+    def _walk(self, node: ast.AST, held: Tuple[_Held, ...]) -> None:
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            return  # closures run later; their lock context is unknowable
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            self._walk_with(node, held)
+            return
+        if isinstance(node, ast.Call):
+            self._check_call(node, held)
+        elif isinstance(node, ast.Attribute):
+            self._check_attribute(node, held)
+        for child in ast.iter_child_nodes(node):
+            self._walk(child, held)
+
+    def _walk_with(self, node: ast.AST, held: Tuple[_Held, ...]) -> None:
+        new_held = held
+        for item in node.items:  # type: ignore[attr-defined]
+            entry = _resolve_lock_operand(
+                item.context_expr, self.info, self.classes
+            )
+            if entry is None:
+                # not a lock acquisition; still lint the expression.
+                self._walk(item.context_expr, new_held)
+                continue
+            self._record_acquisition(entry, new_held, node.lineno)
+            new_held = new_held + (entry,)
+        for stmt in node.body:  # type: ignore[attr-defined]
+            self._walk(stmt, new_held)
+
+    def _record_acquisition(
+        self, entry: _Held, held: Tuple[_Held, ...], lineno: int
+    ) -> None:
+        own_held = frozenset(
+            h.own_attr for h in held if h.own_attr is not None
+        )
+        if (
+            entry.own_attr is not None
+            and entry.own_attr in own_held
+            and not entry.reentrant
+        ):
+            self.emit(
+                RL506, lineno,
+                f"{self.info.name}.{self.method.name} re-acquires held "
+                f"non-reentrant lock self.{entry.own_attr}",
+            )
+            return
+        for h in held:
+            if h.node_id == entry.node_id and entry.own_attr is not None:
+                continue
+            self.graph.add_edge(
+                h.node_id, entry.node_id, self.info.location, lineno,
+                self.info.lines,
+            )
+
+    def _check_call(
+        self, node: ast.Call, held: Tuple[_Held, ...]
+    ) -> None:
+        own_held = frozenset(
+            h.own_attr for h in held if h.own_attr is not None
+        )
+        owner, acquired = _call_acquisitions(
+            node, self.info, self.classes
+        )
+        if owner is not None:
+            for lock_attr in sorted(acquired):
+                if (
+                    owner is self.info
+                    and lock_attr in own_held
+                    and not owner.locks[lock_attr].reentrant
+                ):
+                    self.emit(
+                        RL506, node.lineno,
+                        f"{self.info.name}.{self.method.name} calls "
+                        f"{ast.unparse(node.func)}() which re-acquires "
+                        f"held non-reentrant lock self.{lock_attr}",
+                    )
+                    continue
+                for h in held:
+                    self.graph.add_edge(
+                        h.node_id, f"{owner.name}.{lock_attr}",
+                        self.info.location, node.lineno, self.info.lines,
+                    )
+        if held:
+            reason = _blocking_call_reason(
+                node, self.imports, self.info, own_held
+            )
+            if reason is not None:
+                held_names = ", ".join(h.node_id for h in held)
+                self.emit(
+                    RL504, node.lineno,
+                    f"blocking call {ast.unparse(node.func)}(...) while "
+                    f"holding {held_names}: {reason}",
+                )
+
+    def _check_attribute(
+        self, node: ast.Attribute, held: Tuple[_Held, ...]
+    ) -> None:
+        if not self.check_guards or not self.guard_map:
+            return
+        attr = _self_attr(node)
+        if attr is None or attr not in self.guard_map:
+            return
+        own_held = frozenset(
+            h.own_attr for h in held if h.own_attr is not None
+        )
+        guards = self.guard_map[attr]
+        if guards & own_held:
+            return
+        locks = ", ".join(f"self.{g}" for g in sorted(guards))
+        action = "writes" if isinstance(
+            node.ctx, (ast.Store, ast.Del)
+        ) else "reads"
+        self.emit(
+            RL502, node.lineno,
+            f"public method {self.info.name}.{self.method.name} "
+            f"{action} guarded attribute self.{attr} without holding "
+            f"{locks}",
+        )
+
+
+# --------------------------------------------------------------------- #
+# RL505: thread targets capturing mutable state
+# --------------------------------------------------------------------- #
+
+
+def _root_name(expr: ast.AST) -> Optional[str]:
+    while isinstance(expr, (ast.Attribute, ast.Subscript)):
+        expr = expr.value
+    return expr.id if isinstance(expr, ast.Name) else None
+
+
+def _closure_mutates_free_state(closure: ast.FunctionDef) -> Optional[str]:
+    """The first free variable the closure mutates, or None."""
+    local = {arg.arg for arg in closure.args.args}
+    nonlocal_names: set = set()
+    for sub in _walk_skipping_defs(closure):
+        if isinstance(sub, ast.Nonlocal):
+            nonlocal_names.update(sub.names)
+        elif isinstance(sub, ast.Assign):
+            for t in sub.targets:
+                if isinstance(t, ast.Name):
+                    local.add(t.id)
+        elif isinstance(sub, (ast.AnnAssign, ast.AugAssign)):
+            if isinstance(sub.target, ast.Name):
+                local.add(sub.target.id)
+        elif isinstance(sub, ast.For) and isinstance(sub.target, ast.Name):
+            local.add(sub.target.id)
+        elif isinstance(sub, ast.withitem) and isinstance(
+            sub.optional_vars, ast.Name
+        ):
+            local.add(sub.optional_vars.id)
+    local -= nonlocal_names
+    for sub in _walk_skipping_defs(closure):
+        targets: List[ast.expr] = []
+        if isinstance(sub, ast.Assign):
+            targets = list(sub.targets)
+        elif isinstance(sub, ast.AugAssign):
+            targets = [sub.target]
+        for t in targets:
+            if isinstance(t, (ast.Subscript, ast.Attribute)):
+                root = _root_name(t)
+                if root and root != "self" and root not in local:
+                    return root
+            elif isinstance(t, ast.Name) and t.id in nonlocal_names:
+                return t.id
+        if isinstance(sub, ast.Call) and isinstance(
+            sub.func, ast.Attribute
+        ) and sub.func.attr in _MUTATING_METHODS:
+            root = _root_name(sub.func.value)
+            if root and root != "self" and root not in local:
+                return root
+    return None
+
+
+def _method_stores_self_state(
+    info: ClassInfo, method_name: str, depth: int = 1
+) -> Optional[str]:
+    """A self attribute the method (or a direct self-call) stores."""
+    if info.node is None:
+        return None
+    method = next(
+        (
+            s for s in info.node.body
+            if isinstance(s, ast.FunctionDef) and s.name == method_name
+        ),
+        None,
+    )
+    if method is None:
+        return None
+    callees: List[str] = []
+    for sub in _walk_skipping_defs(method):
+        targets: List[ast.expr] = []
+        if isinstance(sub, ast.Assign):
+            targets = list(sub.targets)
+        elif isinstance(sub, (ast.AugAssign, ast.AnnAssign)):
+            targets = [sub.target]
+        for t in targets:
+            attr = _self_attr(t)
+            if attr is not None:
+                return attr
+            if isinstance(t, ast.Subscript):
+                attr = _self_attr(t.value)
+                if attr is not None:
+                    return attr
+        if (
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Attribute)
+            and isinstance(sub.func.value, ast.Name)
+            and sub.func.value.id == "self"
+        ):
+            callees.append(sub.func.attr)
+    if depth > 0:
+        for callee in callees:
+            stored = _method_stores_self_state(info, callee, depth - 1)
+            if stored is not None:
+                return stored
+    return None
+
+
+def _lint_thread_targets(
+    tree: ast.Module,
+    imports: Dict[str, str],
+    classes: Dict[str, ClassInfo],
+    emit,  # Callable[[Rule, int, str], None]
+) -> None:
+    def scan(
+        node: ast.AST,
+        func_stack: Tuple[ast.FunctionDef, ...],
+        class_name: Optional[str],
+    ) -> None:
+        if isinstance(node, ast.ClassDef):
+            for child in node.body:
+                scan(child, func_stack, node.name)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for child in node.body:
+                scan(child, func_stack + (node,), class_name)
+            return
+        if isinstance(node, ast.Call):
+            path = _dotted_path(node.func, imports)
+            if path == "threading.Thread":
+                _check_target(node, func_stack, class_name)
+        for child in ast.iter_child_nodes(node):
+            scan(child, func_stack, class_name)
+
+    def _check_target(
+        call: ast.Call,
+        func_stack: Tuple[ast.FunctionDef, ...],
+        class_name: Optional[str],
+    ) -> None:
+        target = next(
+            (kw.value for kw in call.keywords if kw.arg == "target"),
+            None,
+        )
+        if target is None:
+            return
+        if isinstance(target, ast.Lambda):
+            emit(
+                RL505, call.lineno,
+                "Thread target is a lambda; captured state has no "
+                "documented owner",
+            )
+            return
+        if isinstance(target, ast.Name):
+            for enclosing in reversed(func_stack):
+                closure = next(
+                    (
+                        s for s in enclosing.body
+                        if isinstance(s, ast.FunctionDef)
+                        and s.name == target.id
+                    ),
+                    None,
+                )
+                if closure is not None:
+                    mutated = _closure_mutates_free_state(closure)
+                    if mutated is not None:
+                        emit(
+                            RL505, call.lineno,
+                            f"Thread target {target.id}() mutates "
+                            f"captured variable '{mutated}' with no "
+                            "declared lock",
+                        )
+                    return
+            return  # module-level function: no captured state
+        attr = _self_attr(target)
+        if attr is not None and class_name is not None:
+            info = classes.get(class_name)
+            if info is None or info.has_declared_lock:
+                return  # documented thread-safe class owns its state
+            stored = _method_stores_self_state(info, attr)
+            if stored is not None:
+                emit(
+                    RL505, call.lineno,
+                    f"Thread target self.{attr} stores "
+                    f"self.{stored} but {class_name} declares no lock "
+                    "(no lock-guards annotation)",
+                )
+
+    scan(tree, (), None)
+
+
+# --------------------------------------------------------------------- #
+# driver
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class _Module:
+    source: str
+    rel_path: str
+    location: str
+    tree: ast.Module
+    lines: List[str]
+    imports: Dict[str, str]
+
+
+def lint_concurrency_sources(
+    named_sources: Sequence[Tuple[str, str, str]],
+) -> List[Finding]:
+    """Lint ``(source, rel_path, location)`` triples as one program.
+
+    All modules share one class registry and one lock-order graph, so
+    inversions *between* modules (the interesting deadlocks) are caught.
+    """
+    findings: List[Finding] = []
+
+    def emitter(location: str, lines: List[str]):
+        def emit(rule: Rule, lineno: int, message: str) -> None:
+            if not _line_allows(lines, lineno, rule.rule_id):
+                findings.append(
+                    rule.finding(location, message, line=lineno)
+                )
+        return emit
+
+    modules: List[_Module] = []
+    for source, rel_path, location in named_sources:
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as exc:  # pragma: no cover - repo parses
+            findings.append(
+                RL501.finding(
+                    location, f"cannot parse module: {exc}",
+                    line=exc.lineno,
+                    remediation="Fix the syntax error.",
+                )
+            )
+            continue
+        imports = _ImportMap()
+        imports.visit(tree)
+        modules.append(_Module(
+            source=source, rel_path=rel_path, location=location,
+            tree=tree, lines=source.splitlines(),
+            imports=imports.names,
+        ))
+
+    # pass 1: class facts across every module.
+    classes: Dict[str, ClassInfo] = {}
+    module_classes: Dict[int, List[ClassInfo]] = {}
+    for idx, mod in enumerate(modules):
+        infos = [
+            _collect_class(node, mod.imports, mod.location, mod.lines)
+            for node in mod.tree.body
+            if isinstance(node, ast.ClassDef)
+        ]
+        module_classes[idx] = infos
+        for info in infos:
+            classes[info.name] = info
+
+    # pass 2: per-class discipline + the shared lock-order graph.
+    graph = _LockGraph()
+    for idx, mod in enumerate(modules):
+        emit = emitter(mod.location, mod.lines)
+        for info in module_classes[idx]:
+            for attr, decl in sorted(info.locks.items()):
+                if not decl.annotated and decl.alias_of is None:
+                    emit(
+                        RL501, decl.lineno,
+                        f"lock {info.name}.{attr} has no "
+                        "'# analyze: lock-guards[...]' declaration",
+                    )
+            if info.node is None:
+                continue
+            for stmt in info.node.body:
+                if isinstance(stmt, ast.FunctionDef):
+                    _MethodLinter(
+                        info, stmt, classes, mod.imports, graph, emit
+                    ).run()
+        _lint_thread_targets(mod.tree, mod.imports, classes, emit)
+
+    # RL503: cycles in the assembled graph.
+    reported: set = set()
+    for (src, dst), site in sorted(graph.edges.items()):
+        path = graph.find_path(dst, src)
+        if path is None:
+            continue
+        cycle = [src] + path
+        key = frozenset(cycle)
+        if key in reported:
+            continue
+        reported.add(key)
+        back_site = graph.edges.get((path[0], path[1])) if len(
+            path
+        ) > 1 else site
+        emit = emitter(site.location, site.lines)
+        where = (
+            f"{back_site.location}:{back_site.lineno}"
+            if back_site is not None else "<unknown>"
+        )
+        emit(
+            RL503, site.lineno,
+            f"lock-order cycle {' -> '.join(cycle)} (reverse edge "
+            f"recorded at {where}); concurrent threads interleaving "
+            "these orders can deadlock",
+        )
+    return findings
+
+
+def _in_scope(rel_path: str) -> bool:
+    parts = Path(rel_path).parts
+    return len(parts) >= 2 and parts[0] in CONCURRENCY_DIRS
+
+
+def lint_concurrency_source(
+    source: str, rel_path: str, location: Optional[str] = None
+) -> List[Finding]:
+    """Single-module convenience wrapper (unit tests)."""
+    return lint_concurrency_sources(
+        [(source, rel_path, location or rel_path)]
+    )
+
+
+def lint_package(
+    package_root: Path, extra_paths: Sequence[Path] = ()
+) -> List[Finding]:
+    """Lint the concurrency scope under ``package_root``.
+
+    ``extra_paths`` (files or directories) join the same program —
+    the CLI's ``analyze --include`` hook for out-of-tree fixtures.
+    """
+    named: List[Tuple[str, str, str]] = []
+    for path in sorted(package_root.rglob("*.py")):
+        rel = path.relative_to(package_root).as_posix()
+        if not _in_scope(rel):
+            continue
+        named.append(
+            (path.read_text(encoding="utf-8"), rel, f"src/repro/{rel}")
+        )
+    for extra in extra_paths:
+        extra = Path(extra)
+        files = sorted(extra.rglob("*.py")) if extra.is_dir() else [extra]
+        for file in files:
+            named.append(
+                (file.read_text(encoding="utf-8"), file.name, str(file))
+            )
+    return lint_concurrency_sources(named)
+
+
+def _check_concurrency(context: object) -> List[Finding]:
+    root = Path(getattr(context, "package_root"))
+    extra = tuple(getattr(context, "extra_lint_paths", ()) or ())
+    return lint_package(root, extra)
+
+
+#: rule ids this checker may emit (shared with tests).
+CONCURRENCY_RULES: FrozenSet[str] = frozenset(
+    {"RL501", "RL502", "RL503", "RL504", "RL505", "RL506"}
+)
+
+
+def register(registry: RuleRegistry) -> None:
+    """Register the concurrency rules and checker."""
+    for rule in (RL501, RL502, RL503, RL504, RL505, RL506):
+        registry.add_rule(rule)
+    registry.add_checker(
+        "concurrency", CONCURRENCY_RULES, _check_concurrency
+    )

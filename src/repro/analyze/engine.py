@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.analyze.findings import AnalysisReport, Finding
 from repro.analyze.rules import get_registry, validate_suppressions
@@ -39,6 +39,9 @@ class AnalysisContext:
     cuda_source_provider: Optional[Callable[[object], str]] = None
     #: override for kernel instantiation, ``f(name) -> kernel``.
     kernel_factory: Optional[Callable[[str], object]] = None
+    #: extra files/directories the source lints include beyond the
+    #: package root (``analyze --include``; seeded-violation fixtures).
+    extra_lint_paths: Tuple[Path, ...] = ()
 
 
 def run_analysis(

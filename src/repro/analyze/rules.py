@@ -77,7 +77,9 @@ class RuleRegistry:
 
     _rules: Dict[str, Rule] = field(default_factory=dict)
     _checkers: Dict[str, Checker] = field(default_factory=dict)
-    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    _lock: threading.Lock = field(  # analyze: lock-guards[_rules, _checkers]
+        default_factory=threading.Lock, repr=False
+    )
 
     def add_rule(self, rule: Rule, replace: bool = False) -> Rule:
         with self._lock:
@@ -176,9 +178,12 @@ def ensure_builtin_rules() -> None:
     if _BUILTINS_LOADED:
         return
     _BUILTINS_LOADED = True
-    from repro.analyze import contracts, cuda_check, source_lint, traffic_check
+    from repro.analyze import (
+        concurrency, contracts, cuda_check, source_lint, traffic_check,
+    )
 
-    for mod in (source_lint, cuda_check, contracts, traffic_check):
+    for mod in (source_lint, concurrency, cuda_check, contracts,
+                traffic_check):
         mod.register(_REGISTRY)
 
 

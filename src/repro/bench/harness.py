@@ -39,6 +39,7 @@ from repro.kernels.base import KernelResult
 from repro.kernels.dispatch import make_kernel
 from repro.kernels.plan import clear_plan_cache
 from repro.obs import artifact, metrics
+from repro.obs.lockwitness import guarded_lock
 from repro.obs.logging import get_logger, kv
 from repro.obs.trace import span as trace_span
 from repro.plans.cases import build_case_matrix, scale_factors
@@ -115,7 +116,9 @@ class LRUCache(Generic[_K, _V]):
         self.name = name
         self.capacity = capacity
         self._metric_root = f"{metric_prefix}.{name}"
-        self._lock = threading.Lock()
+        self._lock = guarded_lock(  # analyze: lock-guards[_data, _building]
+            "bench.harness.LRUCache"
+        )
         self._data: "OrderedDict[_K, _V]" = OrderedDict()
         #: key -> Event set when the in-flight builder for key finishes.
         self._building: Dict[_K, threading.Event] = {}

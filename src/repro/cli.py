@@ -292,8 +292,15 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             )
         print(table.render())
         return 0
+    context = None
+    if args.include:
+        from repro.analyze import AnalysisContext
+
+        context = AnalysisContext(
+            extra_lint_paths=tuple(Path(p) for p in args.include)
+        )
     try:
-        report = run_analysis(suppress=args.suppress)
+        report = run_analysis(context, suppress=args.suppress)
     except KeyError as exc:
         print(f"analyze: {exc.args[0]}", file=sys.stderr)
         return 2
@@ -302,6 +309,30 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     else:
         print(report.render_table())
     return report.exit_code(strict=args.strict)
+
+
+def _witness_report(witness) -> int:
+    """Print a lock-witness summary, record the ``lock_witness`` phase,
+    and return 1 when any violation was observed."""
+    summary = witness.summary()
+    violations = summary["violations"]
+    print()
+    print(
+        f"Lock witness: {summary['acquisitions']} acquisitions across "
+        f"{len(summary['locks'])} lock classes, "
+        f"{len(summary['edges'])} order edges, "
+        f"{len(violations)} violation(s)"
+    )
+    for v in violations:
+        print(
+            f"  {v['kind']}: acquiring {v['acquiring']} while holding "
+            f"{v['held']} (x{v['count']}, thread {v['thread']}): "
+            f"{v['detail']}",
+            file=sys.stderr,
+        )
+    if artifact_mod.enabled():
+        artifact_mod.record("lock_witness", **summary)
+    return 1 if violations else 0
 
 
 def _loadtest_config(args: argparse.Namespace):
@@ -331,7 +362,19 @@ def _cmd_serve_loadtest(args: argparse.Namespace) -> int:
     from repro.bench.recording import check_loadtest_claims, loadtest_rows_to_csv
     from repro.serve.loadgen import run_loadtest
 
-    report = run_loadtest(_loadtest_config(args))
+    witness = None
+    if getattr(args, "lock_witness", False):
+        from repro.obs.lockwitness import install_witness, uninstall_witness
+
+        # Install before the service is built so every declared lock the
+        # run creates is wrapped; recording (non-strict) mode, so the
+        # run completes and violations are reported at the end.
+        witness = install_witness()
+    try:
+        report = run_loadtest(_loadtest_config(args))
+    finally:
+        if witness is not None:
+            uninstall_witness()
     print(report.render())
     print()
     print("Serving-layer checks:")
@@ -356,10 +399,13 @@ def _cmd_serve_loadtest(args: argparse.Namespace) -> int:
         else:
             path.write_text(loadtest_rows_to_csv(report))
         print(f"\nper-request records written to {path}")
+    witness_rc = _witness_report(witness) if witness is not None else 0
+    if witness_rc:
+        print("LOCK-ORDER VIOLATIONS WITNESSED", file=sys.stderr)
     if not ok:
         print("SERVING-LAYER CLAIMS OUT OF BAND", file=sys.stderr)
         return 1
-    return 0
+    return witness_rc
 
 
 def _cmd_serve_run(args: argparse.Namespace) -> int:
@@ -547,15 +593,24 @@ def _cmd_dist_sweep(args: argparse.Namespace) -> int:
     from repro.bench.recording import write_dist_bench
     from repro.dist import strong_scaling_sweep
 
-    report = strong_scaling_sweep(
-        case=args.case,
-        preset=args.preset,
-        kernel_name=args.kernel,
-        shard_counts=args.shards,
-        shard_policy=args.policy,
-        device_name=args.device,
-        seed=args.seed,
-    )
+    witness = None
+    if getattr(args, "lock_witness", False):
+        from repro.obs.lockwitness import install_witness, uninstall_witness
+
+        witness = install_witness()
+    try:
+        report = strong_scaling_sweep(
+            case=args.case,
+            preset=args.preset,
+            kernel_name=args.kernel,
+            shard_counts=args.shards,
+            shard_policy=args.policy,
+            device_name=args.device,
+            seed=args.seed,
+        )
+    finally:
+        if witness is not None:
+            uninstall_witness()
     print(report.render())
     if args.json:
         from repro.bench.recording import dist_bench_from_artifact
@@ -571,10 +626,13 @@ def _cmd_dist_sweep(args: argparse.Namespace) -> int:
         else:
             write_dist_bench(report.record(), args.json)
         print(f"\nsweep record written to {args.json}")
+    witness_rc = _witness_report(witness) if witness is not None else 0
+    if witness_rc:
+        print("LOCK-ORDER VIOLATIONS WITNESSED", file=sys.stderr)
     if not report.all_bitwise_identical:
         print("SHARDED RESULTS NOT BITWISE IDENTICAL", file=sys.stderr)
         return 1
-    return 0
+    return witness_rc
 
 
 def _cmd_dist_partition_report(args: argparse.Namespace) -> int:
@@ -826,6 +884,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit",
     )
+    p_analyze.add_argument(
+        "--include", action="append", default=[], metavar="PATH",
+        help="also lint this file or directory with the concurrency "
+             "checker (repeatable; fixtures, out-of-tree modules)",
+    )
     p_analyze.set_defaults(func=_cmd_analyze)
 
     p_serve = sub.add_parser(
@@ -885,6 +948,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve_lt.add_argument("--csv", default=None,
                             help="write per-request records to this CSV path")
+    p_serve_lt.add_argument("--lock-witness", action="store_true",
+                            help="run under the runtime lock-order witness; "
+                                 "report violations and exit non-zero on any")
     p_serve_lt.set_defaults(func=_cmd_serve_loadtest)
 
     p_dist = sub.add_parser(
@@ -935,6 +1001,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_dist_sweep.add_argument("--json", default=None, metavar="PATH",
                               help="write the repro.dist-bench/v1 record "
                                    "here")
+    p_dist_sweep.add_argument("--lock-witness", action="store_true",
+                              help="run under the runtime lock-order "
+                                   "witness; report violations and exit "
+                                   "non-zero on any")
     p_dist_sweep.set_defaults(func=_cmd_dist_sweep)
 
     p_dist_pr = dist_sub.add_parser(

@@ -63,7 +63,7 @@ class ShardedServeBackend:
         retry_budget: int = 2,
         capacity: int = 8,
         device_name: str = "A100",
-    ):
+    ) -> None:
         if shards < 1:
             raise ReproError(f"shards must be >= 1, got {shards}")
         self.shards = shards

@@ -121,7 +121,7 @@ class ShardedEvaluator:
         placement: str = "memory",
         shard_policy: str = "balanced",
         retry_budget: int = 2,
-    ):
+    ) -> None:
         if not hasattr(kernel, "plan_family"):
             raise ReproError(
                 f"kernel {kernel.name!r} has no compiled-plan family; "

@@ -35,7 +35,6 @@ compilation runs under a ``plan.compile`` span.
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from dataclasses import dataclass, fields
 from typing import List, Optional, Sequence, Tuple, Union
@@ -44,6 +43,7 @@ import numpy as np
 
 from repro.gpu.coop import WarpTile
 from repro.obs import artifact, metrics
+from repro.obs.lockwitness import guarded_lock
 from repro.obs.trace import span as trace_span
 from repro.sparse.csr import CSRMatrix
 from repro.util.errors import DTypeError, PlanMismatchError, ShapeError
@@ -414,7 +414,9 @@ class PlanCache:
         if capacity <= 0:
             raise ValueError(f"cache capacity must be positive, got {capacity}")
         self.capacity = capacity
-        self._lock = threading.Lock()
+        self._lock = guarded_lock(  # analyze: lock-guards[_plans]
+            "kernels.plan.PlanCache"
+        )
         self._plans: "OrderedDict[Tuple[int, str, str], SpMVPlan]" = (
             OrderedDict()
         )
@@ -434,7 +436,7 @@ class PlanCache:
                 metrics.counter("plan.cache.hit").inc()
                 return plan
             metrics.counter("plan.cache.miss").inc()
-            plan = compile_plan(matrix, family, accum)
+            plan = compile_plan(matrix, family, accum)  # analyze: allow[RL504] -- deliberate single-flight: compiling under the lock is what guarantees one compilation per key; plan compilation is bounded CPU work, not unbounded blocking
             # cache bookkeeping, not a plan-array mutation
             self._plans[key] = plan  # analyze: allow[RA105]
             self._plans.move_to_end(key)

@@ -17,7 +17,11 @@ reproduction the same auditability:
 * :mod:`repro.obs.logging` — structured logging with the CLI's
   ``-v``/``-q`` story;
 * :mod:`repro.obs.clock` — injectable monotonic clock (the serving
-  layer's sanctioned time source; RA103 bans direct wall-clock reads).
+  layer's sanctioned time source; RA103 bans direct wall-clock reads);
+* :mod:`repro.obs.lockwitness` — runtime lock-order witness (lockdep
+  style): wraps declared locks, builds the runtime lock-order graph,
+  flags hierarchy inversions/cycles, and feeds the ``lock_witness``
+  artifact phase; the dynamic half of the RL501–RL506 static pass.
 """
 
 from repro.obs.artifact import (
@@ -52,6 +56,16 @@ from repro.obs.export import (
     write_chrome_trace,
     write_events_ndjson,
     write_jsonl,
+)
+from repro.obs.lockwitness import (
+    LOCK_LEVELS,
+    LockOrderViolation,
+    LockWitness,
+    WitnessedLock,
+    get_witness,
+    guarded_lock,
+    install_witness,
+    uninstall_witness,
 )
 from repro.obs.logging import get_logger, kv, setup_logging
 from repro.obs.metrics import (
@@ -145,4 +159,13 @@ __all__ = [
     "get_clock",
     "set_clock",
     "monotonic",
+    # lockwitness
+    "LOCK_LEVELS",
+    "LockOrderViolation",
+    "LockWitness",
+    "WitnessedLock",
+    "guarded_lock",
+    "get_witness",
+    "install_witness",
+    "uninstall_witness",
 ]

@@ -47,13 +47,13 @@ import hashlib
 import json
 import platform
 import sys
-import threading
 import time
 from pathlib import Path
 from typing import Any, Dict, Hashable, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.obs.lockwitness import guarded_lock
 from repro.obs.metrics import get_registry
 
 __all__ = [
@@ -94,6 +94,7 @@ KNOWN_PHASES: Tuple[str, ...] = (
     "experiment",
     "dist_sweep",
     "analyze",
+    "lock_witness",
 )
 
 #: serialization sort key per phase (field names; ``seq`` is always the
@@ -297,7 +298,9 @@ class ArtifactSink:
         now = time.time()
         stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime(now))
         self.run_id = run_id or f"run-{stamp}-{int(now * 1e6) % 10**6:06d}"
-        self._lock = threading.Lock()
+        self._lock = guarded_lock(  # analyze: lock-guards[_seq, _phases, _once_keys, _params, _metrics, _events_file, _run]
+            "obs.artifact.ArtifactSink"
+        )
         self._seq = 0
         self._phases: Dict[str, List[Dict[str, Any]]] = {}
         self._once_keys: set = set()

@@ -17,8 +17,9 @@ timings, bitwise-identical doses) enforces exactly that separation.
 
 from __future__ import annotations
 
-import threading
 import time
+
+from repro.obs.lockwitness import guarded_lock
 
 __all__ = [
     "Clock",
@@ -50,7 +51,7 @@ class FakeClock(Clock):
 
     def __init__(self, start: float = 0.0):
         self._now = float(start)
-        self._lock = threading.Lock()
+        self._lock = guarded_lock("obs.clock.FakeClock")  # analyze: lock-guards[_now]
 
     def monotonic(self) -> float:
         with self._lock:

@@ -21,8 +21,9 @@ Usage::
 
 from __future__ import annotations
 
-import threading
 from typing import Any, Dict, List, Optional, Sequence
+
+from repro.obs.lockwitness import guarded_lock
 
 __all__ = [
     "Counter",
@@ -50,7 +51,7 @@ class Counter:
     def __init__(self, name: str):
         self.name = name
         self.value = 0.0
-        self._lock = threading.Lock()
+        self._lock = guarded_lock("obs.metrics.Counter")  # analyze: lock-guards[value]
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
@@ -67,10 +68,10 @@ class Gauge:
     def __init__(self, name: str):
         self.name = name
         self.value = 0.0
-        self._lock = threading.Lock()
+        self._lock = guarded_lock("obs.metrics.Gauge")  # analyze: lock-guards[value]
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        self.value = float(value)  # analyze: allow[RL502] -- single atomic store; last-write-wins is the gauge contract, a lock would buy nothing
 
     def inc(self, amount: float = 1.0) -> None:
         with self._lock:
@@ -103,7 +104,7 @@ class Histogram:
         self._samples: List[float] = []
         self._keep_every = 1
         self._skip = 0
-        self._lock = threading.Lock()
+        self._lock = guarded_lock("obs.metrics.Histogram")  # analyze: lock-guards[count, sum, min, max, _samples, _keep_every, _skip]
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -122,7 +123,10 @@ class Histogram:
 
     @property
     def mean(self) -> float:
-        return self.sum / self.count if self.count else 0.0
+        # sum and count are updated together under the lock; reading
+        # them unlocked could pair a new sum with a stale count.
+        with self._lock:
+            return self.sum / self.count if self.count else 0.0
 
     def percentile(self, q: float) -> float:
         """Approximate ``q``-th percentile (0-100) of the observations."""
@@ -140,7 +144,7 @@ class MetricsRegistry:
     """Get-or-create store of named metrics (thread-safe)."""
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = guarded_lock("obs.metrics.MetricsRegistry")  # analyze: lock-guards[_metrics]
         self._metrics: Dict[str, Any] = {}
 
     def _get_or_create(self, name: str, cls, **kwargs):

@@ -36,6 +36,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.obs.lockwitness import guarded_lock
+
 __all__ = [
     "Span",
     "NullTracer",
@@ -164,7 +166,9 @@ class RecordingTracer:
         #: that want absolute times (the run manifest).
         self.created_unix = time.time()
         self.origin_ns = time.perf_counter_ns()
-        self._lock = threading.Lock()
+        self._lock = guarded_lock(  # analyze: lock-guards[_finished, _next_id]
+            "obs.trace.RecordingTracer"
+        )
         self._finished: List[Span] = []
         self._local = threading.local()
         self._next_id = 0

@@ -16,13 +16,13 @@ metrics, reported under ``serve.plan_cache.*``.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.bench.harness import LRUCache, convert_for_kernel
 from repro.kernels.dispatch import make_kernel
 from repro.kernels.plan import SpMVPlan
+from repro.obs.lockwitness import guarded_lock
 from repro.obs.trace import span as trace_span
 from repro.serve.request import ServeError
 from repro.sparse.csr import CSRMatrix
@@ -50,7 +50,9 @@ class PlanStore:
     """Thread-safe registry of servable plans."""
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = guarded_lock(  # analyze: lock-guards[_plans]
+            "serve.cache.PlanStore"
+        )
         self._plans: Dict[str, PlanRecord] = {}
 
     def register(self, plan_id: str, matrix: CSRMatrix,
@@ -99,7 +101,7 @@ class PlanMatrixCache:
     """
 
     def __init__(self, store: PlanStore, capacity: int = 8,
-                 plan_capacity: Optional[int] = None):
+                 plan_capacity: Optional[int] = None) -> None:
         self._store = store
         self._lru: LRUCache[Tuple[str, str], object] = LRUCache(
             "plan_cache", capacity, metric_prefix="serve"
@@ -109,7 +111,9 @@ class PlanMatrixCache:
             metric_prefix="serve",
         )
 
-    def materialize(self, plan_id: str, precision: str):
+    def materialize(
+        self, plan_id: str, precision: str
+    ) -> Tuple[object, bool]:
         """The kernel-ready matrix for one (plan, precision) pair.
 
         Returns ``(matrix, cache_hit)``.  Conversion is single-flighted:
@@ -121,9 +125,9 @@ class PlanMatrixCache:
         record = self._store.get(plan_id)
         if record is None:
             raise ServeError(f"plan {plan_id!r} is not registered")
-        built_here = []
+        built_here: List[bool] = []
 
-        def build():
+        def build() -> object:
             built_here.append(True)
             with trace_span("serve.plan_convert", plan=plan_id,
                             precision=precision):
@@ -132,7 +136,9 @@ class PlanMatrixCache:
         matrix = self._lru.get_or_create((plan_id, precision), build)
         return matrix, not built_here
 
-    def materialize_with_plan(self, plan_id: str, precision: str):
+    def materialize_with_plan(
+        self, plan_id: str, precision: str
+    ) -> Tuple[object, Optional[SpMVPlan], bool, Optional[bool]]:
         """Matrix plus compiled execution plan for one (plan, precision).
 
         Returns ``(matrix, exec_plan, matrix_hit, plan_hit)``.  For
@@ -145,7 +151,7 @@ class PlanMatrixCache:
         kernel = make_kernel(precision)
         if not hasattr(kernel, "prepare_plan"):
             return matrix, None, matrix_hit, None
-        built_here = []
+        built_here: List[bool] = []
 
         def build() -> SpMVPlan:
             built_here.append(True)

@@ -33,9 +33,15 @@ from repro.obs import artifact
 from repro.obs.clock import Clock, get_clock
 from repro.obs.logging import get_logger, kv
 from repro.obs.trace import span as trace_span
-from repro.serve.request import EvaluationRequest, EvaluationResult, Rejected
+from repro.serve.request import (
+    EvaluationRequest,
+    EvaluationResult,
+    Outcome,
+    Rejected,
+)
 from repro.serve.scheduler import BatchingPolicy
 from repro.serve.service import DoseEvaluationService, ServiceConfig
+from repro.sparse.csr import CSRMatrix
 from repro.sparse.synth import dose_like
 from repro.util.rng import make_rng, stable_seed
 from repro.util.tables import Table
@@ -267,9 +273,9 @@ class LoadTestReport:
 # --------------------------------------------------------------------- #
 
 
-def build_synthetic_plans(config: LoadTestConfig):
+def build_synthetic_plans(config: LoadTestConfig) -> Dict[str, CSRMatrix]:
     """Deterministic dose-like plan matrices for the run."""
-    plans = {}
+    plans: Dict[str, CSRMatrix] = {}
     for p in range(config.n_plans):
         rng = make_rng(stable_seed("serve-loadgen-plan", config.seed, p))
         plans[f"plan-{p}"] = dose_like(
@@ -364,7 +370,7 @@ def run_loadtest(
         service.start()
         started = clock.monotonic()
         threads = [
-            threading.Thread(target=client_loop, args=(c,),
+            threading.Thread(target=client_loop, args=(c,),  # analyze: allow[RL505] -- each client thread appends only to its own records[c] slot; slots are disjoint and read after join()
                              name=f"loadgen-client-{c}")
             for c in range(config.n_clients)
         ]
@@ -467,7 +473,7 @@ def _split_requests(n_requests: int, n_clients: int) -> List[int]:
     return shares
 
 
-def _record(request: EvaluationRequest, outcome) -> RequestRecord:
+def _record(request: EvaluationRequest, outcome: Outcome) -> RequestRecord:
     if isinstance(outcome, Rejected):
         return RequestRecord(
             request_id=request.request_id,

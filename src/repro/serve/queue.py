@@ -21,6 +21,7 @@ from typing import Callable, Deque, Dict, Hashable, Optional
 
 from repro.obs import metrics
 from repro.obs.clock import Clock, get_clock
+from repro.obs.lockwitness import guarded_lock
 from repro.serve.request import Rejected, RejectReason, Ticket
 
 
@@ -33,7 +34,7 @@ class RequestQueue:
     """
 
     def __init__(self, capacity: int, max_inflight_per_client: int,
-                 clock: Optional[Clock] = None):
+                 clock: Optional[Clock] = None) -> None:
         if capacity <= 0:
             raise ValueError(f"queue capacity must be positive, got {capacity}")
         if max_inflight_per_client <= 0:
@@ -44,7 +45,9 @@ class RequestQueue:
         self.capacity = capacity
         self.max_inflight_per_client = max_inflight_per_client
         self._clock = clock or get_clock()
-        self._lock = threading.Lock()
+        self._lock = guarded_lock(  # analyze: lock-guards[_entries, _inflight, _closed]
+            "serve.queue.RequestQueue"
+        )
         self._not_empty = threading.Condition(self._lock)
         self._entries: Deque[Ticket] = deque()
         self._inflight: Dict[str, int] = {}

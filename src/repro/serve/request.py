@@ -137,7 +137,11 @@ class Ticket:
     submitted_at: float
     _event: threading.Event = field(default_factory=threading.Event, repr=False)
     _outcome: Optional[Outcome] = field(default=None, repr=False)
-    _resolve_lock: threading.Lock = field(
+    # Pure-exclusion lock (empty guard list): it serializes the
+    # resolve-once transition; _outcome is *published* by _event.set()
+    # (the Event's internal lock provides the happens-before for the
+    # post-wait read in outcome()).
+    _resolve_lock: threading.Lock = field(  # analyze: lock-guards[]
         default_factory=threading.Lock, repr=False
     )
 

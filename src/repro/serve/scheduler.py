@@ -23,7 +23,7 @@ from __future__ import annotations
 import queue as stdlib_queue
 import threading
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.obs import metrics
 from repro.obs.clock import Clock, get_clock
@@ -103,11 +103,16 @@ class MicroBatchScheduler:
         policy: BatchingPolicy,
         n_workers: int,
         clock: Optional[Clock] = None,
-    ):
+        stop_sentinels: Optional[Callable[[], None]] = None,
+    ) -> None:
         self._requests = requests
         self._policy = policy
         self._n_workers = n_workers
         self._clock = clock or get_clock()
+        #: overrides sentinel delivery at drain time (the service wires
+        #: the worker pool's idempotent delivery here); None keeps the
+        #: standalone behaviour of one None per worker.
+        self._stop_sentinels = stop_sentinels
         self._batches: "stdlib_queue.Queue[Optional[Batch]]" = (
             stdlib_queue.Queue(maxsize=policy.max_pending_batches)
         )
@@ -124,7 +129,7 @@ class MicroBatchScheduler:
     def start(self) -> None:
         if self._thread is not None:
             return
-        self._thread = threading.Thread(
+        self._thread = threading.Thread(  # analyze: allow[RL505] -- batch-formation state (_next_batch_id) is owned by this single scheduler thread; start() races are benign (second start() sees _thread set)
             target=self._run, name="serve-scheduler", daemon=True
         )
         self._thread.start()
@@ -195,5 +200,8 @@ class MicroBatchScheduler:
                           plan=batch.plan_id, precision=batch.precision,
                           size=len(batch)))
             self._batches.put(batch)
-        for _ in range(self._n_workers):
-            self._batches.put(None)
+        if self._stop_sentinels is not None:
+            self._stop_sentinels()
+        else:
+            for _ in range(self._n_workers):
+                self._batches.put(None)

@@ -24,7 +24,6 @@ Guarantees:
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
@@ -33,6 +32,7 @@ from repro.kernels.batched import run_multi_spmv
 from repro.kernels.dispatch import kernel_names, make_kernel
 from repro.obs import artifact, metrics
 from repro.obs.clock import Clock, get_clock
+from repro.obs.lockwitness import guarded_lock
 from repro.obs.logging import get_logger, kv
 from repro.obs.trace import span as trace_span
 from repro.serve.cache import PlanMatrixCache, PlanStore
@@ -81,7 +81,7 @@ class DoseEvaluationService:
     """Concurrent front end over the kernel library."""
 
     def __init__(self, config: Optional[ServiceConfig] = None,
-                 clock: Optional[Clock] = None):
+                 clock: Optional[Clock] = None) -> None:
         self.config = config or ServiceConfig()
         self._clock = clock or get_clock()
         self.plans = PlanStore()
@@ -96,6 +96,9 @@ class DoseEvaluationService:
         self._scheduler = MicroBatchScheduler(
             self._queue, self.config.batching, self.config.n_workers,
             clock=self._clock,
+            # idempotent sentinel delivery (the pool is constructed two
+            # lines down; the lambda resolves it at shutdown time).
+            stop_sentinels=lambda: self._workers.deliver_stop_sentinels(),
         )
         self._workers = WorkerPool(
             self._scheduler.batches, self._execute_batch,
@@ -117,7 +120,9 @@ class DoseEvaluationService:
             )
         self._started = False
         self._stopped = False
-        self._accounting = threading.Lock()
+        self._accounting = guarded_lock(  # analyze: lock-guards[modeled_batched_s, modeled_sequential_s, plan_cache_hits, plan_cache_misses]
+            "serve.service.accounting"
+        )
         #: modelled kernel seconds, batched vs sequential (loadtest report).
         self.modeled_batched_s = 0.0
         self.modeled_sequential_s = 0.0
@@ -160,13 +165,17 @@ class DoseEvaluationService:
         self._stopped = True
         self._queue.close()
         self._scheduler.join(timeout)
+        # Backstop: if the scheduler thread died before emitting stop
+        # sentinels, deliver them here; delivery is idempotent, so the
+        # normal path (scheduler already delivered) is a no-op.
+        self._workers.deliver_stop_sentinels()
         self._workers.join(timeout)
         _log.info(kv("service stopped"))
 
     def __enter__(self) -> "DoseEvaluationService":
         return self.start()
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
         self.stop()
 
     # ------------------------------------------------------------------ #
@@ -353,15 +362,22 @@ class DoseEvaluationService:
     def stats(self) -> Dict[str, float]:
         """Snapshot of the service's own counters (serve.* metrics)."""
         registry = metrics.get_registry()
-        out: Dict[str, float] = {
-            "queue_depth": float(len(self._queue)),
-            "plan_cache_entries": float(len(self._cache)),
-            "registered_plans": float(len(self.plans)),
-            "modeled_batched_s": self.modeled_batched_s,
-            "modeled_sequential_s": self.modeled_sequential_s,
-            "plan_cache_hits": float(self.plan_cache_hits),
-            "plan_cache_misses": float(self.plan_cache_misses),
-        }
+        # Container sizes are read before taking the accounting lock:
+        # each len() acquires a lower-level lock (queue=20, cache=30 vs
+        # accounting=35), and the hierarchy forbids descending holds.
+        queue_depth = float(len(self._queue))
+        plan_cache_entries = float(len(self._cache))
+        registered_plans = float(len(self.plans))
+        with self._accounting:
+            out: Dict[str, float] = {
+                "queue_depth": queue_depth,
+                "plan_cache_entries": plan_cache_entries,
+                "registered_plans": registered_plans,
+                "modeled_batched_s": self.modeled_batched_s,
+                "modeled_sequential_s": self.modeled_sequential_s,
+                "plan_cache_hits": float(self.plan_cache_hits),
+                "plan_cache_misses": float(self.plan_cache_misses),
+            }
         for name, state in registry.snapshot().items():
             if not name.startswith("serve."):
                 continue

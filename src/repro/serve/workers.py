@@ -16,6 +16,7 @@ import threading
 from typing import Callable, List, Optional
 
 from repro.obs import metrics
+from repro.obs.lockwitness import get_witness, guarded_lock
 from repro.obs.logging import get_logger, kv
 from repro.obs.trace import span as trace_span
 from repro.serve.request import Outcome, Rejected, RejectReason, Ticket
@@ -44,34 +45,65 @@ class WorkerPool:
         executor: BatchExecutor,
         n_workers: int = 2,
         resolver: TicketResolver = _default_resolver,
-    ):
+    ) -> None:
         if n_workers <= 0:
             raise ValueError(f"n_workers must be positive, got {n_workers}")
         self._batches = batches
         self._executor = executor
         self._resolver = resolver
         self.n_workers = n_workers
+        self._lifecycle = guarded_lock(  # analyze: lock-guards[_threads, _sentinels_sent]
+            "serve.workers.WorkerPool"
+        )
         self._threads: List[threading.Thread] = []
+        self._sentinels_sent = False
 
     def start(self) -> None:
-        if self._threads:
-            return
-        for i in range(self.n_workers):
-            thread = threading.Thread(
-                target=self._run, name=f"serve-worker-{i}", daemon=True,
-                args=(f"worker-{i}",),
-            )
-            self._threads.append(thread)
+        with self._lifecycle:
+            if self._threads:
+                return
+            threads = [
+                threading.Thread(  # analyze: allow[RL505] -- _run stores nothing on self; all worker state is per-call locals
+                    target=self._run, name=f"serve-worker-{i}", daemon=True,
+                    args=(f"worker-{i}",),
+                )
+                for i in range(self.n_workers)
+            ]
+            self._threads.extend(threads)
+        for thread in threads:
             thread.start()
+
+    def deliver_stop_sentinels(self) -> None:
+        """Place one ``None`` per worker on the batch queue, exactly once.
+
+        Idempotent: the scheduler's drain path and the service's
+        shutdown backstop can both call it; only the first delivers.
+        The (possibly blocking) puts happen after releasing the
+        lifecycle lock — only the first-caller election is locked.
+        """
+        with self._lifecycle:
+            if self._sentinels_sent:
+                return
+            self._sentinels_sent = True
+        for _ in range(self.n_workers):
+            self._batches.put(None)
 
     def join(self, timeout: Optional[float] = None) -> None:
         """Wait for every worker to see its stop sentinel and exit."""
-        for thread in self._threads:
+        with self._lifecycle:
+            threads = list(self._threads)
+        witness = get_witness()
+        if witness is not None:
+            # A lock held here would starve the workers being joined.
+            witness.assert_no_locks_held("WorkerPool.join")
+        for thread in threads:
             thread.join(timeout)
 
     @property
     def alive(self) -> int:
-        return sum(1 for t in self._threads if t.is_alive())
+        with self._lifecycle:
+            threads = list(self._threads)
+        return sum(1 for t in threads if t.is_alive())
 
     # ------------------------------------------------------------------ #
 

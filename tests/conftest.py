@@ -51,6 +51,25 @@ def _artifact_dir(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_ARTIFACT_DIR", str(tmp_path / "runs"))
 
 
+@pytest.fixture()
+def lock_witness():
+    """Opt-in strict lock-order witness around one test.
+
+    Installed before the test body, so any declared lock the test
+    creates (service, caches, metrics) is wrapped and order-checked;
+    a violation raises :class:`~repro.obs.lockwitness.
+    LockOrderViolation` at the acquisition site.  Always uninstalled,
+    even when the test fails.
+    """
+    from repro.obs.lockwitness import install_witness, uninstall_witness
+
+    witness = install_witness(strict=True)
+    try:
+        yield witness
+    finally:
+        uninstall_witness()
+
+
 @pytest.fixture(scope="session")
 def rng():
     """Session RNG for test-local randomness (fixed seed)."""

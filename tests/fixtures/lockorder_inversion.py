@@ -1,0 +1,67 @@
+"""Deliberately seeded AB/BA lock-order inversion (test fixture).
+
+This module is **intentionally broken**: :class:`Alpha` acquires its own
+lock then its peer's, while :class:`Beta` does the reverse — the classic
+two-lock deadlock.  It is never imported by the package; it exists so the
+test suite can prove that
+
+* the static pass flags the cycle (``repro-rtdose analyze --strict
+  --include tests/fixtures/lockorder_inversion.py`` exits non-zero with
+  an RL503 finding), and
+* the runtime witness catches the *same* inversion from a sequential
+  ``a.poke(); b.poke()`` — no real deadlock or thread race needed,
+  because the order graph remembers the first ordering.
+
+Do not fix this file.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.lockwitness import guarded_lock
+
+
+class Alpha:
+    """Acquires Alpha's lock, then the peer Beta's (A -> B)."""
+
+    def __init__(self, peer: "Beta") -> None:
+        self._lock = guarded_lock("fixture.Alpha")  # analyze: lock-guards[counter]
+        self.counter = 0
+        self.peer = peer
+
+    def poke(self) -> None:
+        with self._lock:
+            self.counter += 1
+            self.peer.nudge()
+
+    def nudge(self) -> None:
+        with self._lock:
+            self.counter += 1
+
+
+class Beta:
+    """Acquires Beta's lock, then the peer Alpha's (B -> A)."""
+
+    def __init__(self) -> None:
+        self._lock = guarded_lock("fixture.Beta")  # analyze: lock-guards[counter]
+        self.counter = 0
+        self.peer: Optional[Alpha] = None
+
+    def poke(self) -> None:
+        with self._lock:
+            self.counter += 1
+            assert self.peer is not None
+            self.peer.nudge()
+
+    def nudge(self) -> None:
+        with self._lock:
+            self.counter += 1
+
+
+def build_pair() -> "tuple[Alpha, Beta]":
+    """A wired Alpha/Beta pair whose poke() orders conflict."""
+    b = Beta()
+    a = Alpha(b)
+    b.peer = a
+    return a, b

@@ -29,10 +29,10 @@ class TestEngine:
         report = run_analysis()
         assert report.exit_code(strict=True) == 0
         assert sorted(report.checkers_run) == [
-            "cuda-source", "precision-contracts", "repro-lint",
-            "traffic-model",
+            "concurrency", "cuda-source", "precision-contracts",
+            "repro-lint", "traffic-model",
         ]
-        assert len(report.rules_run) == 16
+        assert len(report.rules_run) == 22
 
     def test_checker_filter(self):
         report = run_analysis(checkers=["cuda-source"])

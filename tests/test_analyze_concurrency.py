@@ -1,0 +1,369 @@
+"""The static concurrency-contract checker (rules RL501-RL506)."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analyze import AnalysisContext, run_analysis
+from repro.analyze.concurrency import (
+    CONCURRENCY_RULES,
+    lint_concurrency_source,
+    lint_concurrency_sources,
+)
+from repro.analyze.findings import Severity
+from repro.analyze.rules import get_registry
+from repro.cli import main
+
+FIXTURE = Path(__file__).parent / "fixtures" / "lockorder_inversion.py"
+
+
+def _lint(source: str):
+    return lint_concurrency_source(textwrap.dedent(source), "mod.py")
+
+
+def _ids(findings):
+    return sorted(f.rule_id for f in findings)
+
+
+class TestRegistry:
+    def test_rules_registered(self):
+        registered = {r.rule_id for r in get_registry().rules()}
+        assert CONCURRENCY_RULES <= registered
+
+    def test_checker_runs_clean_on_real_tree(self):
+        report = run_analysis(checkers=["concurrency"])
+        assert report.findings == []
+        assert report.exit_code(strict=True) == 0
+
+
+class TestRL501UndeclaredLock:
+    SOURCE = """
+        import threading
+
+        class Holder:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.value = 0
+    """
+
+    def test_flagged(self):
+        findings = _lint(self.SOURCE)
+        assert _ids(findings) == ["RL501"]
+        assert findings[0].severity is Severity.WARNING
+        assert "_lock" in findings[0].message
+
+    def test_suppressed(self):
+        src = self.SOURCE.replace(
+            "threading.Lock()", "threading.Lock()  # analyze: allow[RL501]"
+        )
+        assert _lint(src) == []
+
+    def test_clean_when_annotated(self):
+        src = self.SOURCE.replace(
+            "threading.Lock()",
+            "threading.Lock()  # analyze: lock-guards[value]",
+        )
+        assert _lint(src) == []
+
+
+class TestRL502UnguardedAccess:
+    SOURCE = """
+        import threading
+
+        class Holder:
+            def __init__(self):
+                self._lock = threading.Lock()  # analyze: lock-guards[items]
+                self.items = []
+
+            def add(self, x):
+                with self._lock:
+                    self.items.append(x)
+
+            def peek(self):
+                return self.items[-1]
+    """
+
+    def test_flagged(self):
+        findings = _lint(self.SOURCE)
+        assert _ids(findings) == ["RL502"]
+        assert findings[0].severity is Severity.ERROR
+        assert "items" in findings[0].message
+        assert "peek" in findings[0].message
+
+    def test_suppressed(self):
+        src = self.SOURCE.replace(
+            "return self.items[-1]",
+            "return self.items[-1]  # analyze: allow[RL502] -- snapshot",
+        )
+        assert _lint(src) == []
+
+    def test_private_methods_exempt(self):
+        src = self.SOURCE.replace("def peek", "def _peek")
+        assert _lint(src) == []
+
+    def test_lifecycle_dunders_exempt(self):
+        # the guarded attribute is *initialised* in __init__ unlocked.
+        src = """
+            import threading
+
+            class Holder:
+                def __init__(self):
+                    self._lock = threading.Lock()  # analyze: lock-guards[value]
+                    self.value = 0
+
+                def bump(self):
+                    with self._lock:
+                        self.value += 1
+        """
+        assert _lint(src) == []
+
+
+class TestRL503LockOrderCycle:
+    def test_seeded_fixture_flags_cycle(self):
+        findings = lint_concurrency_source(
+            FIXTURE.read_text(), FIXTURE.name
+        )
+        assert _ids(findings) == ["RL503"]
+        assert findings[0].severity is Severity.ERROR
+        assert "Alpha._lock" in findings[0].message
+        assert "Beta._lock" in findings[0].message
+
+    def test_cross_module_cycle(self):
+        # A -> B in one module, B -> A in another: only the shared
+        # program-wide graph can see the cycle.
+        mod_a = textwrap.dedent("""
+            import threading
+
+            class A:
+                def __init__(self, b: "B"):
+                    self._lock = threading.Lock()  # analyze: lock-guards[n]
+                    self.n = 0
+                    self.b = b
+
+                def poke(self):
+                    with self._lock:
+                        self.b.nudge()
+
+                def nudge(self):
+                    with self._lock:
+                        self.n += 1
+        """)
+        mod_b = textwrap.dedent("""
+            import threading
+
+            class B:
+                def __init__(self, a: "A"):
+                    self._lock = threading.Lock()  # analyze: lock-guards[n]
+                    self.n = 0
+                    self.a = a
+
+                def poke(self):
+                    with self._lock:
+                        self.a.nudge()
+
+                def nudge(self):
+                    with self._lock:
+                        self.n += 1
+        """)
+        findings = lint_concurrency_sources(
+            [(mod_a, "a.py", "a.py"), (mod_b, "b.py", "b.py")]
+        )
+        assert _ids(findings) == ["RL503"]
+
+    def test_consistent_order_is_clean(self):
+        src = """
+            import threading
+
+            class A:
+                def __init__(self, b: "B"):
+                    self._lock = threading.Lock()  # analyze: lock-guards[n]
+                    self.n = 0
+                    self.b = b
+
+                def poke(self):
+                    with self._lock:
+                        self.b.nudge()
+
+            class B:
+                def __init__(self):
+                    self._lock = threading.Lock()  # analyze: lock-guards[n]
+                    self.n = 0
+
+                def nudge(self):
+                    with self._lock:
+                        self.n += 1
+        """
+        assert _lint(src) == []
+
+
+class TestRL504BlockingUnderLock:
+    SOURCE = """
+        import threading
+        import time
+
+        class Holder:
+            def __init__(self):
+                self._lock = threading.Lock()  # analyze: lock-guards[value]
+                self.value = 0
+
+            def slow(self):
+                with self._lock:
+                    time.sleep(0.1)
+                    self.value += 1
+    """
+
+    def test_flagged(self):
+        findings = _lint(self.SOURCE)
+        assert _ids(findings) == ["RL504"]
+        assert findings[0].severity is Severity.WARNING
+        assert "sleep" in findings[0].message
+
+    def test_suppressed(self):
+        src = self.SOURCE.replace(
+            "time.sleep(0.1)",
+            "time.sleep(0.1)  # analyze: allow[RL504] -- test pacing",
+        )
+        assert _lint(src) == []
+
+    def test_queue_get_under_lock(self):
+        src = """
+            import queue
+            import threading
+
+            class Holder:
+                def __init__(self):
+                    self._lock = threading.Lock()  # analyze: lock-guards[value]
+                    self.q = queue.Queue()
+                    self.value = 0
+
+                def drain_one(self):
+                    with self._lock:
+                        self.value = self.q.get()
+        """
+        findings = _lint(src)
+        assert _ids(findings) == ["RL504"]
+
+    def test_blocking_outside_lock_is_clean(self):
+        src = """
+            import threading
+            import time
+
+            class Holder:
+                def __init__(self):
+                    self._lock = threading.Lock()  # analyze: lock-guards[value]
+                    self.value = 0
+
+                def slow(self):
+                    time.sleep(0.1)
+                    with self._lock:
+                        self.value += 1
+        """
+        assert _lint(src) == []
+
+
+class TestRL505ThreadCapture:
+    def test_closure_mutating_free_state(self):
+        src = """
+            import threading
+
+            def spawn():
+                results = []
+
+                def work():
+                    results.append(1)
+
+                t = threading.Thread(target=work)
+                t.start()
+                return t, results
+        """
+        findings = _lint(src)
+        assert _ids(findings) == ["RL505"]
+        assert findings[0].severity is Severity.WARNING
+
+    def test_suppressed(self):
+        src = """
+            import threading
+
+            def spawn():
+                results = []
+
+                def work():
+                    results.append(1)
+
+                t = threading.Thread(target=work)  # analyze: allow[RL505] -- joined before read
+                t.start()
+                return t, results
+        """
+        assert _lint(src) == []
+
+    def test_read_only_closure_is_clean(self):
+        src = """
+            import threading
+
+            def spawn(items):
+                def work():
+                    print(len(items))
+
+                return threading.Thread(target=work)
+        """
+        assert _lint(src) == []
+
+
+class TestRL506SelfDeadlock:
+    SOURCE = """
+        import threading
+
+        class Holder:
+            def __init__(self):
+                self._lock = threading.Lock()  # analyze: lock-guards[value]
+                self.value = 0
+
+            def bump(self):
+                with self._lock:
+                    with self._lock:
+                        self.value += 1
+    """
+
+    def test_flagged(self):
+        findings = _lint(self.SOURCE)
+        assert _ids(findings) == ["RL506"]
+        assert findings[0].severity is Severity.ERROR
+
+    def test_rlock_is_reentrant(self):
+        src = self.SOURCE.replace("threading.Lock()", "threading.RLock()")
+        assert _lint(src) == []
+
+
+class TestEngineAndCli:
+    def test_extra_lint_paths_reach_the_checker(self):
+        context = AnalysisContext(extra_lint_paths=(FIXTURE,))
+        report = run_analysis(context, checkers=["concurrency"])
+        assert _ids(report.findings) == ["RL503"]
+        assert report.exit_code(strict=False) == 1
+
+    def test_cli_include_flags_fixture(self, capsys):
+        rc = main(["analyze", "--strict", "--include", str(FIXTURE)])
+        out = capsys.readouterr().out
+        assert rc != 0
+        assert "RL503" in out
+
+    def test_cli_real_tree_is_clean_under_strict(self, capsys):
+        rc = main(["analyze", "--strict", "--format", "json"])
+        assert rc == 0
+
+    def test_cli_suppress_rejects_unknown_rule(self, capsys):
+        rc = main(["analyze", "--suppress", "RL999"])
+        assert rc == 2
+
+
+class TestSyntaxTolerance:
+    def test_syntax_error_becomes_no_findings(self):
+        # the shared source-lint driver reports syntax separately; the
+        # concurrency pass must not crash on unparsable input.
+        with pytest.raises(SyntaxError):
+            compile("def broken(:", "mod.py", "exec")
+        findings = lint_concurrency_source("def broken(:", "mod.py")
+        assert isinstance(findings, list)

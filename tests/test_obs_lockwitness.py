@@ -1,0 +1,337 @@
+"""Runtime lock-order witness: wrapping, order graph, violations, and
+the witnessed serving stack."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import queue as stdlib_queue
+import threading
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.obs.lockwitness import (
+    LOCK_LEVELS,
+    LockOrderViolation,
+    LockWitness,
+    WitnessedLock,
+    get_witness,
+    guarded_lock,
+    install_witness,
+    uninstall_witness,
+)
+from repro.serve.request import EvaluationResult
+from repro.serve.scheduler import BatchingPolicy
+from repro.serve.service import DoseEvaluationService, ServiceConfig
+from repro.serve.workers import WorkerPool
+from repro.sparse.synth import dose_like
+from repro.util.rng import make_rng, stable_seed
+
+FIXTURE = Path(__file__).parent / "fixtures" / "lockorder_inversion.py"
+
+
+def _load_fixture():
+    spec = importlib.util.spec_from_file_location(
+        "lockorder_inversion_fixture", FIXTURE
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestGuardedLock:
+    def test_plain_lock_when_no_witness(self):
+        assert get_witness() is None
+        lock = guarded_lock("test.plain")
+        assert isinstance(lock, type(threading.Lock()))
+
+    def test_wrapped_when_witness_installed(self, lock_witness):
+        lock = guarded_lock("serve.queue.RequestQueue")
+        assert isinstance(lock, WitnessedLock)
+        assert lock.level == LOCK_LEVELS["serve.queue.RequestQueue"]
+
+    def test_unknown_name_has_no_level(self, lock_witness):
+        assert guarded_lock("test.unleveled").level is None
+
+    def test_context_manager_and_locked(self, lock_witness):
+        lock = guarded_lock("test.cm")
+        assert not lock.locked()
+        with lock:
+            assert lock.locked()
+            assert lock_witness.held_locks() == ["test.cm"]
+        assert not lock.locked()
+        assert lock_witness.held_locks() == []
+
+    def test_explicit_acquire_release(self, lock_witness):
+        lock = guarded_lock("test.explicit")
+        assert lock.acquire()
+        assert not lock.acquire(blocking=False)  # held; probe fails
+        lock.release()
+        assert not lock.locked()
+
+
+class TestInstallUninstall:
+    def test_double_install_raises(self, lock_witness):
+        with pytest.raises(RuntimeError, match="already installed"):
+            install_witness()
+
+    def test_uninstall_returns_the_witness(self):
+        witness = install_witness()
+        assert get_witness() is witness
+        assert uninstall_witness() is witness
+        assert get_witness() is None
+        assert uninstall_witness() is None
+
+    def test_stale_strict_witness_never_raises_after_uninstall(self):
+        witness = install_witness(strict=True)
+        a = guarded_lock("test.stale-a")
+        b = guarded_lock("test.stale-b")
+        uninstall_witness()
+        with a:
+            with b:
+                pass
+        with b:
+            with a:  # inverted: would raise were the witness active
+                pass
+        kinds = {v["kind"] for v in witness.violations()}
+        assert kinds == {"lock-order-cycle"}
+
+
+class TestOrderGraph:
+    def test_edges_and_summary(self, lock_witness):
+        a = guarded_lock("test.outer")
+        b = guarded_lock("test.inner")
+        for _ in range(3):
+            with a:
+                with b:
+                    pass
+        summary = lock_witness.summary()
+        assert summary["violations"] == []
+        assert summary["acquisitions"] == 6
+        assert {"from": "test.outer", "to": "test.inner", "count": 3} in (
+            summary["edges"]
+        )
+        json.dumps(summary)  # JSON-ready for the artifact phase
+
+    def test_cycle_recorded_in_nonstrict_mode(self):
+        witness = install_witness()
+        try:
+            a = guarded_lock("test.cyc-a")
+            b = guarded_lock("test.cyc-b")
+            with a:
+                with b:
+                    pass
+            with b:
+                with a:
+                    pass
+        finally:
+            uninstall_witness()
+        [violation] = witness.violations()
+        assert violation["kind"] == "lock-order-cycle"
+        assert violation["held"] == "test.cyc-b"
+        assert violation["acquiring"] == "test.cyc-a"
+        assert violation["count"] == 1
+        assert violation["stack"]  # compact acquisition stack captured
+
+    def test_cycle_raises_in_strict_mode(self, lock_witness):
+        a = guarded_lock("test.strict-a")
+        b = guarded_lock("test.strict-b")
+        with a:
+            with b:
+                pass
+        with b:
+            with pytest.raises(LockOrderViolation, match="lock-order-cycle"):
+                with a:
+                    pass
+
+    def test_hierarchy_inversion(self, lock_witness):
+        queue_lock = guarded_lock("serve.queue.RequestQueue")  # level 20
+        sched_lock = guarded_lock(
+            "serve.scheduler.MicroBatchScheduler"  # level 10
+        )
+        with queue_lock:
+            with pytest.raises(
+                LockOrderViolation, match="hierarchy-inversion"
+            ):
+                sched_lock.acquire()
+
+    def test_ascending_levels_are_clean(self, lock_witness):
+        low = guarded_lock("serve.queue.RequestQueue")
+        high = guarded_lock("obs.metrics.Counter")
+        with low:
+            with high:
+                pass
+        assert lock_witness.violations() == []
+
+    def test_self_deadlock_detected_before_blocking(self, lock_witness):
+        lock = guarded_lock("test.self")
+        lock.acquire()
+        try:
+            with pytest.raises(LockOrderViolation, match="self-deadlock"):
+                lock.acquire()  # would hang forever without the witness
+        finally:
+            lock.release()
+
+    def test_assert_no_locks_held(self, lock_witness):
+        lock = guarded_lock("test.held")
+        lock_witness.assert_no_locks_held("clean-context")
+        with lock:
+            with pytest.raises(
+                LockOrderViolation, match="lock-held-across-join"
+            ):
+                lock_witness.assert_no_locks_held("WorkerPool.join")
+
+
+class TestConditionCompatibility:
+    def test_condition_on_witnessed_lock(self, lock_witness):
+        lock = guarded_lock("test.cond")
+        cond = threading.Condition(lock)
+        state = {"flag": False, "seen": False}
+
+        def waiter():
+            with cond:
+                while not state["flag"]:
+                    cond.wait(timeout=5.0)
+                state["seen"] = True
+
+        t = threading.Thread(target=waiter)  # analyze: allow[RL505] -- joined before state is read
+        t.start()
+        with cond:
+            state["flag"] = True
+            cond.notify()
+        t.join(5.0)
+        assert state["seen"]
+        assert lock_witness.violations() == []
+        # wait() released the witnessed lock: the held stack is balanced.
+        assert lock_witness.held_locks() == []
+
+
+class TestSeededFixture:
+    """The runtime witness and RL503 catch the *same* seeded inversion."""
+
+    def test_witness_catches_fixture_inversion(self, lock_witness):
+        module = _load_fixture()
+        a, b = module.build_pair()
+        a.poke()  # records fixture.Alpha -> fixture.Beta
+        with pytest.raises(LockOrderViolation, match="lock-order-cycle"):
+            b.poke()  # tries fixture.Beta -> fixture.Alpha
+        [violation] = lock_witness.violations()
+        assert violation["held"] == "fixture.Beta"
+        assert violation["acquiring"] == "fixture.Alpha"
+
+    def test_static_pass_flags_the_same_cycle(self):
+        from repro.analyze.concurrency import lint_concurrency_source
+
+        findings = lint_concurrency_source(FIXTURE.read_text(), FIXTURE.name)
+        assert [f.rule_id for f in findings] == ["RL503"]
+        message = findings[0].message
+        assert "Alpha._lock" in message and "Beta._lock" in message
+
+
+class TestWorkerPoolShutdown:
+    def _pool(self, n_workers=2):
+        batches = stdlib_queue.Queue()
+        return WorkerPool(batches, lambda batch, worker: None,
+                          n_workers=n_workers), batches
+
+    def test_stop_sentinels_delivered_exactly_once(self):
+        pool, batches = self._pool(n_workers=3)
+        pool.deliver_stop_sentinels()
+        pool.deliver_stop_sentinels()  # idempotent: second is a no-op
+        sentinels = []
+        while not batches.empty():
+            sentinels.append(batches.get())
+        assert sentinels == [None, None, None]
+
+    def test_start_run_stop_with_double_delivery(self):
+        pool, _ = self._pool(n_workers=2)
+        pool.start()
+        pool.deliver_stop_sentinels()
+        pool.deliver_stop_sentinels()
+        pool.join(timeout=5.0)
+        assert pool.alive == 0
+
+    def test_join_asserts_no_locks_held(self):
+        witness = install_witness()  # recording mode: join must not raise
+        try:
+            pool, _ = self._pool()
+            held = guarded_lock("test.join-holder")
+            with held:
+                pool.join(timeout=0.1)
+        finally:
+            uninstall_witness()
+        [violation] = witness.violations()
+        assert violation["kind"] == "lock-held-across-join"
+        assert violation["acquiring"] == "WorkerPool.join"
+
+    def test_join_clean_without_held_locks(self):
+        witness = install_witness()
+        try:
+            pool, _ = self._pool()
+            pool.start()
+            pool.deliver_stop_sentinels()
+            pool.join(timeout=5.0)
+        finally:
+            uninstall_witness()
+        assert witness.violations() == []
+
+
+N_SPOTS = 16
+
+
+@settings(
+    max_examples=5,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    n_workers=st.integers(min_value=1, max_value=3),
+    max_batch_size=st.integers(min_value=1, max_value=6),
+    shards=st.sampled_from([1, 2]),
+    n_requests=st.integers(min_value=4, max_value=12),
+)
+def test_service_stress_under_strict_witness(
+    n_workers, max_batch_size, shards, n_requests
+):
+    """The full service, randomized, never violates the lock discipline.
+
+    A strict witness is installed around construction + evaluation, so
+    any hierarchy inversion or order cycle in the serving stack raises
+    at the acquisition site.  The witness is installed inside the test
+    body (not a fixture): hypothesis re-runs the body per example and
+    each example needs its own install/uninstall bracket.
+    """
+    from repro.serve.request import EvaluationRequest
+
+    witness = install_witness(strict=True)
+    try:
+        master = dose_like(
+            80, N_SPOTS, density=0.2, empty_fraction=0.3,
+            rng=make_rng(stable_seed("witness-stress", 0)),
+        )
+        config = ServiceConfig(
+            n_workers=n_workers,
+            batching=BatchingPolicy(max_batch_size=max_batch_size,
+                                    max_wait_s=0.001),
+            shards=shards,
+        )
+        with DoseEvaluationService(config) as service:
+            service.plans.register("plan-a", master)
+            rng = make_rng(stable_seed("witness-stress-weights", 1))
+            requests = [
+                EvaluationRequest(
+                    request_id=f"r{i}", plan_id="plan-a",
+                    weights=0.5 + rng.random(N_SPOTS),
+                )
+                for i in range(n_requests)
+            ]
+            outcomes = service.evaluate(requests)
+        assert all(isinstance(o, EvaluationResult) for o in outcomes)
+        summary = witness.summary()
+        assert summary["violations"] == []
+        assert summary["acquisitions"] > 0
+    finally:
+        uninstall_witness()
