@@ -648,6 +648,322 @@ def _cmd_dist_partition_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _opt_run_params(args: argparse.Namespace, specs) -> dict:
+    """Everything ``opt resume`` needs to reconstruct the optimization."""
+    from repro.opt.dist import specs_to_dicts
+
+    return {
+        "opt_id": args.opt_id,
+        "case": args.case,
+        "preset": args.preset,
+        "precision": args.precision,
+        "objective_preset": args.objective,
+        "objective": specs_to_dicts(specs),
+        "seed": args.seed,
+        "shards": args.shards,
+        "dist_devices": args.dist_devices,
+        "dist_placement": args.dist_placement,
+        "tolerance": args.tolerance,
+        "max_iterations": args.max_iterations,
+        "initial_step": args.initial_step,
+        "checkpoint_every": args.checkpoint_every,
+    }
+
+
+def _render_opt_outcome(outcome, title: str) -> None:
+    table = Table(["quantity", "value"], title=title)
+    table.add_row(["terminal state", outcome.terminal.value])
+    table.add_row(["iterations", outcome.state.iteration])
+    table.add_row(["objective", f"{outcome.state.value:.8e}"])
+    table.add_row(["projected-gradient norm",
+                   f"{outcome.state.pg_norm:.6e}"])
+    table.add_row(["objective/gradient evaluations", outcome.state.n_evals])
+    if outcome.detail:
+        table.add_row(["detail", outcome.detail])
+    print(table.render())
+
+
+def _render_opt_audit(audit) -> None:
+    table = Table(["leg", "points", "status"],
+                  title="Trajectory audit (bitwise vs reference)")
+    for label, n_points, status in audit.legs:
+        table.add_row([label, n_points, status])
+    print(table.render())
+    for problem in audit.problems:
+        print(f"  {problem}", file=sys.stderr)
+
+
+def _cmd_opt_run(args: argparse.Namespace) -> int:
+    """``repro-rtdose opt run``: one sharded optimization + trajectory
+    audit (shard counts, batching orders, kill/resume)."""
+    from repro.bench.harness import convert_for_kernel
+    from repro.opt.dist import (
+        OBJECTIVE_PRESETS,
+        TerminalState,
+        audit_optimization,
+        run_sharded,
+        warm_start,
+    )
+    from repro.plans.cases import build_case_matrix
+
+    master = build_case_matrix(args.case, args.preset).matrix
+    matrix = convert_for_kernel(master, args.precision)
+    specs = OBJECTIVE_PRESETS[args.objective]
+    w0 = warm_start(args.seed, matrix.n_cols, args.opt_id)
+    if artifact_mod.enabled():
+        artifact_mod.set_param("optimization", _opt_run_params(args, specs))
+    outcome = run_sharded(
+        matrix, args.precision, specs, w0, args.shards,
+        tolerance=args.tolerance, max_iterations=args.max_iterations,
+        initial_step=args.initial_step,
+        devices=args.dist_devices or 0, placement=args.dist_placement,
+        halt_after=args.halt_after, opt_id=args.opt_id,
+        checkpoint_every=args.checkpoint_every, seed=args.seed,
+    )
+    if artifact_mod.enabled():
+        artifact_mod.record(
+            "opt_run", opt_id=args.opt_id, tenant="cli",
+            plan_id=args.case, precision=args.precision,
+            terminal=outcome.terminal.value,
+            iterations=outcome.state.iteration,
+            n_evals=outcome.state.n_evals,
+            objective=outcome.state.value,
+            objective_hex=float(outcome.state.value).hex(),
+            shards=args.shards, detail=outcome.detail,
+        )
+    _render_opt_outcome(
+        outcome,
+        f"Optimization — {args.case} / {args.precision} / "
+        f"{args.objective} (shards={args.shards})",
+    )
+    if outcome.terminal is TerminalState.FAILED:
+        print(f"OPTIMIZATION FAILED: {outcome.detail}", file=sys.stderr)
+        return 1
+    if outcome.terminal is TerminalState.PREEMPTED:
+        print(
+            f"\nhalted after iteration {args.halt_after}; checkpoint "
+            "recorded — resume with: repro-rtdose opt resume <run-dir>"
+        )
+        return 0
+    if args.no_audit:
+        return 0
+    print()
+    audit = audit_optimization(
+        matrix, args.precision, specs, seed=args.seed, w0=w0,
+        tolerance=args.tolerance, max_iterations=args.max_iterations,
+        initial_step=args.initial_step, shard_counts=args.audit_shards,
+        devices=args.dist_devices or 0, placement=args.dist_placement,
+        include_service=not args.no_service_audit,
+    )
+    _render_opt_audit(audit)
+    if not audit.ok:
+        print("TRAJECTORY NOT BITWISE IDENTICAL ACROSS LEGS",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_opt_resume(args: argparse.Namespace) -> int:
+    """``repro-rtdose opt resume``: continue a killed optimization from
+    its recorded checkpoint and prove the stitched trajectory matches an
+    uninterrupted run bit for bit."""
+    from repro.bench.harness import convert_for_kernel
+    from repro.dist import DevicePool
+    from repro.kernels.dispatch import make_kernel
+    from repro.opt.dist import (
+        CheckpointError,
+        DistributedObjectiveEvaluator,
+        build_objective,
+        compare_trajectories,
+        points_from_artifact_entries,
+        restore_state,
+        run_reference,
+        run_to_completion,
+        specs_from_dicts,
+        warm_start,
+    )
+    from repro.plans.cases import build_case_matrix
+
+    data = artifact_mod.read_artifact(_artifact_file(args.path))
+    params = data.get("params", {}).get("optimization")
+    if not params:
+        print("opt resume: artifact has no 'optimization' params "
+              "(was it written by 'opt run'?)", file=sys.stderr)
+        return 2
+    opt_id = params["opt_id"]
+    checkpoints = [
+        c for c in data.get("phases", {}).get("opt_checkpoint", [])
+        if c.get("opt_id") == opt_id
+    ]
+    if not checkpoints:
+        print(f"opt resume: no opt_checkpoint entries for {opt_id!r}",
+              file=sys.stderr)
+        return 2
+    checkpoint = max(checkpoints, key=lambda c: int(c["iteration"]))
+    try:
+        state = restore_state(checkpoint["state"])
+    except CheckpointError as exc:
+        print(f"opt resume: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"resuming {opt_id!r} from iteration {state.iteration} "
+        f"(checkpoint reason: {checkpoint.get('reason')})"
+    )
+
+    master = build_case_matrix(params["case"], params["preset"]).matrix
+    matrix = convert_for_kernel(master, params["precision"])
+    specs = specs_from_dicts(params["objective"])
+    shards = int(params["shards"])
+    kernel = make_kernel(params["precision"])
+    evaluator = DistributedObjectiveEvaluator(
+        matrix, kernel, shards,
+        pool=DevicePool.homogeneous(
+            params.get("dist_devices") or min(shards, 4)
+        ),
+        placement=params.get("dist_placement", "memory"),
+    )
+    if artifact_mod.enabled():
+        artifact_mod.set_param("optimization", dict(params))
+    outcome = run_to_completion(
+        evaluator, build_objective(specs, matrix), state,
+        opt_id=opt_id, tolerance=float(params["tolerance"]),
+        max_iterations=int(params["max_iterations"]),
+        initial_step=float(params["initial_step"]),
+        checkpoint_every=int(params.get("checkpoint_every") or 0),
+        seed=params.get("seed"),
+    )
+    _render_opt_outcome(outcome, f"Resumed optimization — {opt_id}")
+    if args.no_audit:
+        return 0
+
+    # The resume proof: recorded prefix + resumed suffix must equal an
+    # uninterrupted reference run bit for bit.
+    prefix = [
+        p for p in points_from_artifact_entries(
+            data.get("phases", {}).get("opt_iteration", []), opt_id
+        )
+        if p.iteration <= state.iteration
+    ]
+    stitched = prefix + list(outcome.points)
+    w0 = warm_start(int(params["seed"]), matrix.n_cols, opt_id)
+    reference = run_reference(
+        matrix, params["precision"], specs, w0,
+        tolerance=float(params["tolerance"]),
+        max_iterations=int(params["max_iterations"]),
+        initial_step=float(params["initial_step"]),
+        opt_id=f"{opt_id}-reference",
+    )
+    problems = compare_trajectories(
+        reference.points, stitched, "kill/resume"
+    )
+    print(
+        f"\nresume audit: {len(prefix)} recorded + {len(outcome.points)} "
+        f"resumed points vs {len(reference.points)} uninterrupted — "
+        + ("bitwise identical" if not problems else "DIVERGED")
+    )
+    for problem in problems:
+        print(f"  {problem}", file=sys.stderr)
+    if problems:
+        print("RESUMED TRAJECTORY NOT BITWISE IDENTICAL", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_opt_sweep(args: argparse.Namespace) -> int:
+    """``repro-rtdose opt sweep``: the full multi-leg trajectory audit
+    (shard counts, batching orders, kill/resume) as a command."""
+    from repro.bench.harness import convert_for_kernel
+    from repro.opt.dist import OBJECTIVE_PRESETS, audit_optimization
+    from repro.plans.cases import build_case_matrix
+
+    witness = None
+    if getattr(args, "lock_witness", False):
+        from repro.obs.lockwitness import install_witness, uninstall_witness
+
+        witness = install_witness()
+    try:
+        master = build_case_matrix(args.case, args.preset).matrix
+        matrix = convert_for_kernel(master, args.precision)
+        audit = audit_optimization(
+            matrix, args.precision, OBJECTIVE_PRESETS[args.objective],
+            seed=args.seed, tolerance=args.tolerance,
+            max_iterations=args.max_iterations,
+            initial_step=args.initial_step, shard_counts=args.shards,
+            include_service=not args.no_service,
+        )
+    finally:
+        if witness is not None:
+            uninstall_witness()
+    _render_opt_audit(audit)
+    if artifact_mod.enabled():
+        artifact_mod.record(
+            "opt_sweep", case=args.case, preset=args.preset,
+            precision=args.precision, objective=args.objective,
+            seed=args.seed, shard_counts=list(args.shards),
+            reference_iterations=audit.reference_iterations,
+            ok=audit.ok,
+            legs=[
+                {"leg": label, "points": n, "status": status}
+                for label, n, status in audit.legs
+            ],
+            problems=list(audit.problems),
+        )
+    witness_rc = _witness_report(witness) if witness is not None else 0
+    if witness_rc:
+        print("LOCK-ORDER VIOLATIONS WITNESSED", file=sys.stderr)
+    if not audit.ok:
+        print("TRAJECTORY NOT BITWISE IDENTICAL ACROSS LEGS",
+              file=sys.stderr)
+        return 1
+    return witness_rc
+
+
+def _cmd_opt_loadtest(args: argparse.Namespace) -> int:
+    """``repro-rtdose opt loadtest``: concurrent optimizations through
+    the service, audited bitwise against standalone re-runs."""
+    from repro.opt.dist import OptLoadConfig, run_opt_loadtest
+
+    witness = None
+    if getattr(args, "lock_witness", False):
+        from repro.obs.lockwitness import install_witness, uninstall_witness
+
+        witness = install_witness()
+    try:
+        report = run_opt_loadtest(OptLoadConfig(
+            n_optimizations=args.optimizations,
+            n_tenants=args.tenants,
+            n_plans=args.plans,
+            precision=args.precision,
+            objective_preset=args.objective,
+            max_iterations=args.max_iterations,
+            tolerance=args.tolerance,
+            n_workers=args.workers,
+            serve_workers=args.serve_workers,
+            shards=args.shards,
+            quantum=args.quantum,
+            checkpoint_every=args.checkpoint_every,
+            tenant_budget=args.tenant_budget,
+            seed=args.seed,
+            audit=not args.no_audit,
+        ))
+    finally:
+        if witness is not None:
+            uninstall_witness()
+    print(report.render())
+    witness_rc = _witness_report(witness) if witness is not None else 0
+    if witness_rc:
+        print("LOCK-ORDER VIOLATIONS WITNESSED", file=sys.stderr)
+    failed = report.terminal_counts.get("failed", 0)
+    if failed:
+        print(f"{failed} OPTIMIZATION(S) FAILED", file=sys.stderr)
+        return 1
+    if report.bitwise_checked and report.bitwise_ok < report.bitwise_checked:
+        print("TRAJECTORIES NOT BITWISE IDENTICAL TO STANDALONE RE-RUNS",
+              file=sys.stderr)
+        return 1
+    return witness_rc
+
+
 def _artifact_file(path: str) -> Path:
     """Resolve a run directory or artifact file to the artifact path."""
     p = Path(path)
@@ -1020,6 +1336,121 @@ def build_parser() -> argparse.ArgumentParser:
     p_dist_pr.add_argument("--shards", type=int, nargs="+", default=[2, 4, 8],
                            help="shard counts to tabulate")
     p_dist_pr.set_defaults(func=_cmd_dist_partition_report)
+
+    p_opt = sub.add_parser(
+        "opt",
+        help="distributed plan optimization: run, resume, trajectory "
+             "sweep, concurrent loadtest",
+    )
+    opt_sub = p_opt.add_subparsers(dest="opt_command", required=True)
+    opt_flags = argparse.ArgumentParser(add_help=False)
+    opt_flags.add_argument("--case", default="Liver 1", choices=case_names())
+    opt_flags.add_argument("--preset", default="tiny",
+                           choices=["tiny", "bench", "structure"])
+    opt_flags.add_argument("--precision", default="half_double",
+                           choices=kernel_names(),
+                           help="kernel/precision for dose + adjoint")
+    opt_flags.add_argument("--objective", default="clinical",
+                           choices=["uniform", "clinical", "dvh"],
+                           help="objective preset")
+    opt_flags.add_argument("--seed", type=int, default=20210419,
+                           help="warm-start seed")
+    opt_flags.add_argument("--tolerance", type=float, default=1e-6,
+                           help="relative projected-gradient tolerance")
+    opt_flags.add_argument("--max-iterations", type=int, default=30)
+    opt_flags.add_argument("--initial-step", type=float, default=1.0)
+
+    p_opt_run = opt_sub.add_parser(
+        "run", parents=[obs_flags, opt_flags],
+        help="one sharded optimization; by default audited bitwise "
+             "across shard counts, batching orders, and kill/resume",
+    )
+    p_opt_run.add_argument("--opt-id", default="opt",
+                           help="optimization id (artifact key)")
+    p_opt_run.add_argument("--shards", type=int, default=2,
+                           help="row shards per dose/adjoint evaluation")
+    p_opt_run.add_argument("--dist-devices", type=int, default=None,
+                           help="pool size (default: min(shards, 4))")
+    p_opt_run.add_argument("--dist-placement", default="memory",
+                           choices=["memory", "round_robin"])
+    p_opt_run.add_argument("--checkpoint-every", type=int, default=5,
+                           help="record a resumable checkpoint every N "
+                                "iterations (0: terminals only)")
+    p_opt_run.add_argument("--halt-after", type=int, default=None,
+                           metavar="N",
+                           help="simulate a kill: stop after N iterations "
+                                "with a checkpoint (resume with 'opt "
+                                "resume <run-dir>')")
+    p_opt_run.add_argument("--audit-shards", type=int, nargs="+",
+                           default=[1, 2, 4, 8],
+                           help="shard counts the post-run audit compares")
+    p_opt_run.add_argument("--no-service-audit", action="store_true",
+                           help="skip the service (batching/arrival-order) "
+                                "audit legs")
+    p_opt_run.add_argument("--no-audit", action="store_true",
+                           help="skip the post-run trajectory audit")
+    p_opt_run.set_defaults(func=_cmd_opt_run)
+
+    p_opt_resume = opt_sub.add_parser(
+        "resume", parents=[obs_flags],
+        help="continue a killed optimization from its recorded "
+             "checkpoint; proves the stitched trajectory bitwise",
+    )
+    p_opt_resume.add_argument("path",
+                              help="artifact.json path or run directory "
+                                   "of the killed 'opt run'")
+    p_opt_resume.add_argument("--no-audit", action="store_true",
+                              help="skip the stitched-trajectory audit")
+    p_opt_resume.set_defaults(func=_cmd_opt_resume)
+
+    p_opt_sweep = opt_sub.add_parser(
+        "sweep", parents=[obs_flags, opt_flags],
+        help="full trajectory-determinism audit: shard counts, service "
+             "batching orders, kill/resume",
+    )
+    p_opt_sweep.add_argument("--shards", type=int, nargs="+",
+                             default=[1, 2, 4, 8],
+                             help="shard counts to audit")
+    p_opt_sweep.add_argument("--no-service", action="store_true",
+                             help="skip the service legs")
+    p_opt_sweep.add_argument("--lock-witness", action="store_true",
+                             help="run under the runtime lock-order "
+                                  "witness; report violations and exit "
+                                  "non-zero on any")
+    p_opt_sweep.set_defaults(func=_cmd_opt_sweep)
+
+    p_opt_lt = opt_sub.add_parser(
+        "loadtest", parents=[obs_flags],
+        help="many concurrent optimizations through the service, "
+             "audited bitwise against standalone re-runs",
+    )
+    p_opt_lt.add_argument("--optimizations", type=int, default=6)
+    p_opt_lt.add_argument("--tenants", type=int, default=2)
+    p_opt_lt.add_argument("--plans", type=int, default=2,
+                          help="number of synthetic plans")
+    p_opt_lt.add_argument("--precision", default="half_double",
+                          choices=kernel_names())
+    p_opt_lt.add_argument("--objective", default="clinical",
+                          choices=["uniform", "clinical", "dvh"])
+    p_opt_lt.add_argument("--max-iterations", type=int, default=8)
+    p_opt_lt.add_argument("--tolerance", type=float, default=1e-6)
+    p_opt_lt.add_argument("--workers", type=int, default=2,
+                          help="optimizer worker threads")
+    p_opt_lt.add_argument("--serve-workers", type=int, default=2,
+                          help="dose-evaluation worker threads")
+    p_opt_lt.add_argument("--shards", type=int, default=2)
+    p_opt_lt.add_argument("--quantum", type=int, default=1,
+                          help="iterations per scheduling quantum")
+    p_opt_lt.add_argument("--checkpoint-every", type=int, default=4)
+    p_opt_lt.add_argument("--tenant-budget", type=int, default=None,
+                          help="per-tenant iteration budget")
+    p_opt_lt.add_argument("--seed", type=int, default=20210419)
+    p_opt_lt.add_argument("--no-audit", action="store_true",
+                          help="skip the standalone bitwise audit")
+    p_opt_lt.add_argument("--lock-witness", action="store_true",
+                          help="run under the runtime lock-order witness; "
+                               "report violations and exit non-zero on any")
+    p_opt_lt.set_defaults(func=_cmd_opt_loadtest)
 
     p_artifact = sub.add_parser(
         "artifact",

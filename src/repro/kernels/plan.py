@@ -392,6 +392,109 @@ def execute_plan_multi(
 
 
 # --------------------------------------------------------------------- #
+# transpose plans (the adjoint product A^T @ r)
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class TransposePlan:
+    """A compiled plan for the adjoint product ``A^T @ r``.
+
+    The optimizer's backward pass evaluates ``grad_w = A^T grad_d``
+    every iteration — the same traffic volume as the forward dose
+    calculation, previously served only by the exact-but-unplanned
+    :meth:`repro.sparse.csr.CSRMatrix.transpose_matvec`.  A transpose
+    plan materializes ``A^T`` in CSR layout once (a deterministic
+    counting sort, so the transpose's bits are a pure function of
+    ``A``'s) and compiles a regular :class:`SpMVPlan` for it, making the
+    adjoint a first-class planned operation with the same bitwise
+    contract as the forward path: each output component is reduced by
+    one warp (or one sequential row walk) in a fixed order.
+
+    ``matrix`` is the explicit transpose (``A^T`` as CSR, same value
+    dtype as ``A``); ``plan`` is its compiled plan.  The identity
+    anchors reference the *source* matrix ``A``, so :meth:`matches`
+    answers "was this transpose plan built from exactly that forward
+    matrix" — the question callers holding ``A`` actually ask.
+    """
+
+    matrix: CSRMatrix
+    plan: SpMVPlan
+    #: identity anchors into the forward (source) matrix ``A``.
+    source_data: np.ndarray
+    source_indices: np.ndarray
+
+    def __post_init__(self) -> None:
+        _freeze_arrays(self)
+
+    @property
+    def n_rows(self) -> int:
+        """Rows of ``A^T`` == columns (spots) of the forward matrix."""
+        return self.plan.n_rows
+
+    @property
+    def n_cols(self) -> int:
+        """Columns of ``A^T`` == rows (voxels) of the forward matrix."""
+        return self.plan.n_cols
+
+    def matches(self, matrix: CSRMatrix) -> bool:
+        """True when this plan was compiled from exactly ``matrix``."""
+        return (
+            self.source_data is matrix.data
+            and self.source_indices is matrix.indices
+        )
+
+
+def compile_transpose_plan(
+    matrix: CSRMatrix,
+    family: str = "vector",
+    accum_dtype: Union[np.dtype, type] = np.float64,
+) -> TransposePlan:
+    """Compile a plan evaluating ``A^T @ r`` for the forward matrix ``A``.
+
+    The transpose is materialized via :meth:`CSRMatrix.transposed`
+    (stable counting sort — bitwise deterministic) and compiled through
+    the ordinary :func:`compile_plan` machinery, so the adjoint inherits
+    every plan property: immutability (RA105), the bitwise equivalence
+    with the per-call kernels, and the SpMM fast path.
+    """
+    if not isinstance(matrix, CSRMatrix):
+        raise DTypeError(
+            f"plans compile from CSR matrices, got {type(matrix).__name__}"
+        )
+    with trace_span(
+        "plan.compile_transpose",
+        family=family,
+        rows=matrix.n_rows,
+        nnz=matrix.nnz,
+    ):
+        transposed = matrix.transposed()
+        plan = compile_plan(transposed, family, accum_dtype)
+    metrics.counter("plan.transpose_compiled").inc()
+    return TransposePlan(
+        matrix=transposed,
+        plan=plan,
+        source_data=matrix.data,
+        source_indices=matrix.indices,
+    )
+
+
+def execute_transpose_plan(tplan: TransposePlan, r: np.ndarray) -> np.ndarray:
+    """Evaluate ``A^T @ r`` from a compiled transpose plan.
+
+    Bitwise identical to running the plan's family kernel on the
+    explicitly transposed matrix — the contract test pins this.
+    """
+    r = np.asarray(r)
+    if r.shape != (tplan.n_cols,):
+        raise ShapeError(
+            f"r has shape {r.shape}, expected ({tplan.n_cols},) — the "
+            "adjoint consumes a residual over the forward matrix's rows"
+        )
+    return execute_plan(tplan.plan, r)
+
+
+# --------------------------------------------------------------------- #
 # process-global plan cache
 # --------------------------------------------------------------------- #
 

@@ -93,6 +93,12 @@ KNOWN_PHASES: Tuple[str, ...] = (
     "bench_point",
     "experiment",
     "dist_sweep",
+    "opt_submit",
+    "opt_iteration",
+    "opt_checkpoint",
+    "opt_run",
+    "opt_sweep",
+    "opt_loadtest",
     "analyze",
     "lock_witness",
 )
@@ -107,6 +113,10 @@ _PHASE_SORT_FIELDS: Dict[str, Tuple[str, ...]] = {
     "plan_compile": ("matrix_fingerprint", "family"),
     "matrix_build": ("case", "preset"),
     "format_convert": ("case", "preset", "kernel"),
+    "opt_submit": ("opt_id",),
+    "opt_iteration": ("opt_id", "iteration"),
+    "opt_checkpoint": ("opt_id", "iteration"),
+    "opt_run": ("opt_id",),
 }
 
 _RUN_STATUSES = ("running", "completed", "failed", "error")

@@ -62,10 +62,14 @@ LOCK_LEVELS: Dict[str, int] = {
     "serve.scheduler.MicroBatchScheduler": 10,
     "serve.workers.WorkerPool": 15,
     "serve.queue.RequestQueue": 20,
+    "opt.service.queue": 20,
     "serve.cache.PlanStore": 30,
     "bench.harness.LRUCache": 30,
     "kernels.plan.PlanCache": 30,
+    "opt.service.engines": 30,
     "serve.service.accounting": 35,
+    "opt.service.accounting": 35,
+    "opt.solver.stats": 35,
     "obs.metrics.Counter": 40,
     "obs.metrics.Gauge": 40,
     "obs.metrics.Histogram": 40,

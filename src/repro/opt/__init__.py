@@ -26,6 +26,7 @@ from repro.opt.solver import (
     project_nonnegative,
     solve_lbfgs,
     solve_projected_gradient,
+    solver_stats,
 )
 
 __all__ = [
@@ -49,4 +50,5 @@ __all__ = [
     "project_nonnegative",
     "solve_lbfgs",
     "solve_projected_gradient",
+    "solver_stats",
 ]

@@ -1,0 +1,383 @@
+"""Post-run bitwise audit of optimization trajectories.
+
+The headline invariant of the optimization layer: the *entire
+trajectory* — every iterate, objective value, and gradient — is bitwise
+identical
+
+* across shard counts (1/2/4/8 …),
+* across serve batching and arrival orders (concurrent optimizations,
+  different submission orders, micro-batched forwards),
+* across kill-and-resume at any iteration boundary.
+
+This module enforces it the way the serve loadgen audits doses: by
+*recomputing*.  The reference leg re-runs the optimization on the
+single-device path (plain ``kernel.run`` + the first-class
+:class:`~repro.kernels.plan.TransposePlan` adjoint — an implementation
+independent of the sharded executors), and every other leg must match
+it on the per-iteration witnesses (hex-exact objective / step /
+gradient norm, sha256 of iterate and gradient).  Any divergence is a
+typed problem; the CLI exits non-zero on a failed audit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.dist.pool import DevicePool
+from repro.kernels.dispatch import make_kernel
+from repro.obs import metrics
+from repro.obs.trace import span as trace_span
+from repro.sparse.csr import CSRMatrix
+
+from repro.opt.dist.evaluator import (
+    DistributedObjectiveEvaluator,
+    LocalObjectiveEvaluator,
+)
+from repro.opt.dist.loop import (
+    OptRunOutcome,
+    TrajectoryPoint,
+    initial_state,
+    restore_state,
+    run_to_completion,
+    warm_start,
+)
+from repro.opt.dist.objective_spec import ObjectiveTermSpec, build_objective
+from repro.opt.dist.service import (
+    OptimizationRequest,
+    OptimizationOutcome,
+    OptimizationService,
+    OptServiceConfig,
+)
+
+_POINT_FIELDS = (
+    "objective_hex",
+    "gradient_norm_hex",
+    "step_hex",
+    "w_sha256",
+    "grad_sha256",
+)
+
+
+@dataclass
+class TrajectoryAudit:
+    """Outcome of a full multi-leg trajectory audit."""
+
+    ok: bool
+    reference_iterations: int
+    #: (leg label, iterations compared, "ok"/first problem).
+    legs: List[Tuple[str, int, str]] = field(default_factory=list)
+    problems: List[str] = field(default_factory=list)
+
+
+def compare_trajectories(
+    baseline: Sequence[TrajectoryPoint],
+    other: Sequence[TrajectoryPoint],
+    label: str,
+) -> List[str]:
+    """Bitwise comparison of two trajectories (all problems, not first)."""
+    problems: List[str] = []
+    if len(baseline) != len(other):
+        problems.append(
+            f"{label}: trajectory length {len(other)} != baseline "
+            f"{len(baseline)}"
+        )
+    for base, point in zip(baseline, other):
+        if base.iteration != point.iteration:
+            problems.append(
+                f"{label}: iteration numbering diverged "
+                f"({point.iteration} vs {base.iteration})"
+            )
+            break
+        for fname in _POINT_FIELDS:
+            b, o = getattr(base, fname), getattr(point, fname)
+            if b != o:
+                problems.append(
+                    f"{label}: iteration {base.iteration} {fname} "
+                    f"diverged ({o} != {b})"
+                )
+    return problems
+
+
+def points_from_artifact_entries(
+    entries: Sequence[Dict[str, Any]], opt_id: Optional[str] = None
+) -> List[TrajectoryPoint]:
+    """Rebuild trajectory witnesses from recorded ``opt_iteration`` rows."""
+    points: List[TrajectoryPoint] = []
+    for entry in entries:
+        if opt_id is not None and entry.get("opt_id") != opt_id:
+            continue
+        points.append(
+            TrajectoryPoint(
+                iteration=int(entry["iteration"]),
+                objective=float(entry["objective"]),
+                objective_hex=str(entry["objective_hex"]),
+                gradient_norm=float(entry["gradient_norm"]),
+                gradient_norm_hex=str(entry["gradient_norm_hex"]),
+                step_hex=str(entry["step_hex"]),
+                w_sha256=str(entry["w_sha256"]),
+                grad_sha256=str(entry["grad_sha256"]),
+                n_evals=int(entry.get("n_evals", 0)),
+            )
+        )
+    points.sort(key=lambda p: p.iteration)
+    return points
+
+
+def run_reference(
+    matrix: CSRMatrix,
+    precision: str,
+    specs: Sequence[ObjectiveTermSpec],
+    w0: np.ndarray,
+    *,
+    tolerance: float = 1e-6,
+    max_iterations: int = 50,
+    initial_step: float = 1.0,
+    opt_id: str = "audit-reference",
+    seed: Optional[int] = None,
+) -> OptRunOutcome:
+    """The independent single-device recomputation every leg must match."""
+    kernel = make_kernel(precision)
+    evaluator = LocalObjectiveEvaluator(matrix, kernel)
+    objective = build_objective(specs, matrix)
+    state = initial_state(evaluator, objective, w0,
+                          initial_step=initial_step)
+    return run_to_completion(
+        evaluator, objective, state,
+        opt_id=opt_id, tolerance=tolerance,
+        max_iterations=max_iterations, initial_step=initial_step,
+        seed=seed,
+    )
+
+
+def run_sharded(
+    matrix: CSRMatrix,
+    precision: str,
+    specs: Sequence[ObjectiveTermSpec],
+    w0: np.ndarray,
+    n_shards: int,
+    *,
+    tolerance: float = 1e-6,
+    max_iterations: int = 50,
+    initial_step: float = 1.0,
+    devices: int = 0,
+    placement: str = "memory",
+    halt_after: Optional[int] = None,
+    opt_id: str = "audit-shard",
+    checkpoint_every: int = 0,
+    seed: Optional[int] = None,
+) -> OptRunOutcome:
+    """One sharded leg (optionally halted mid-run for the resume leg)."""
+    kernel = make_kernel(precision)
+    evaluator = DistributedObjectiveEvaluator(
+        matrix, kernel, n_shards,
+        pool=DevicePool.homogeneous(devices or min(n_shards, 4)),
+        placement=placement,
+    )
+    objective = build_objective(specs, matrix)
+    state = initial_state(evaluator, objective, w0,
+                          initial_step=initial_step)
+    return run_to_completion(
+        evaluator, objective, state,
+        opt_id=opt_id, tolerance=tolerance,
+        max_iterations=max_iterations, initial_step=initial_step,
+        halt_after=halt_after, checkpoint_every=checkpoint_every,
+        seed=seed,
+    )
+
+
+def _service_leg(
+    matrix: CSRMatrix,
+    precision: str,
+    specs: Sequence[ObjectiveTermSpec],
+    w0: np.ndarray,
+    *,
+    tolerance: float,
+    max_iterations: int,
+    initial_step: float,
+    shards: int,
+    devices: int,
+    placement: str,
+    reverse_order: bool,
+) -> OptimizationOutcome:
+    """Run the audited optimization through the service, concurrently
+    with a decoy optimization of the same plan so forwards coalesce;
+    ``reverse_order`` flips the arrival order."""
+    service = OptimizationService(
+        OptServiceConfig(
+            n_workers=2,
+            shards=shards,
+            dist_devices=devices,
+            placement=placement,
+            serve_workers=2,
+        )
+    )
+    service.register_plan("audit-plan", matrix)
+    target = OptimizationRequest(
+        opt_id="audit-target",
+        plan_id="audit-plan",
+        objective=tuple(specs),
+        precision=precision,
+        w0=w0,
+        max_iterations=max_iterations,
+        tolerance=tolerance,
+        initial_step=initial_step,
+    )
+    decoy = OptimizationRequest(
+        opt_id="audit-decoy",
+        plan_id="audit-plan",
+        objective=tuple(specs),
+        precision=precision,
+        seed=1,
+        max_iterations=max(2, max_iterations // 4),
+        tolerance=tolerance,
+        initial_step=initial_step,
+    )
+    with service:
+        order = [decoy, target] if reverse_order else [target, decoy]
+        tickets: Dict[str, Any] = {}
+        for request in order:
+            submitted = service.submit(request)
+            if not hasattr(submitted, "outcome"):
+                raise RuntimeError(
+                    f"audit submission rejected: {submitted}"
+                )
+            tickets[request.opt_id] = submitted
+        outcome = tickets["audit-target"].outcome(timeout=120.0)
+        tickets["audit-decoy"].outcome(timeout=120.0)
+    if not isinstance(outcome, OptimizationOutcome):
+        raise RuntimeError(f"audit target rejected late: {outcome}")
+    return outcome
+
+
+def audit_optimization(
+    matrix: CSRMatrix,
+    precision: str,
+    specs: Sequence[ObjectiveTermSpec],
+    *,
+    seed: int = 0,
+    w0: Optional[np.ndarray] = None,
+    tolerance: float = 1e-6,
+    max_iterations: int = 50,
+    initial_step: float = 1.0,
+    shard_counts: Sequence[int] = (1, 2, 4, 8),
+    devices: int = 0,
+    placement: str = "memory",
+    include_service: bool = True,
+    kill_at: Optional[int] = None,
+) -> TrajectoryAudit:
+    """The full post-run audit: shard counts, batching orders, resume.
+
+    ``matrix`` is the kernel-precision converted deposition matrix the
+    audited run used.  Every leg recomputes the trajectory and must
+    match the independent single-device reference bit for bit.
+    """
+    if w0 is None:
+        w0 = warm_start(seed, matrix.n_cols)
+    with trace_span("opt.audit", legs="reference"):
+        reference = run_reference(
+            matrix, precision, specs, w0,
+            tolerance=tolerance, max_iterations=max_iterations,
+            initial_step=initial_step,
+        )
+    audit = TrajectoryAudit(
+        ok=True, reference_iterations=reference.state.iteration
+    )
+    audit.legs.append(
+        ("reference (local, transpose-plan adjoint)",
+         len(reference.points), "baseline")
+    )
+
+    def check(label: str, points: Sequence[TrajectoryPoint]) -> None:
+        problems = compare_trajectories(reference.points, points, label)
+        audit.problems.extend(problems)
+        audit.legs.append(
+            (label, len(points), problems[0] if problems else "ok")
+        )
+
+    # Leg 1 — shard counts.
+    for count in shard_counts:
+        if count > min(matrix.n_rows, matrix.n_cols):
+            audit.legs.append(
+                (f"shards={count}", 0, "skipped (matrix too small)")
+            )
+            continue
+        leg = run_sharded(
+            matrix, precision, specs, w0, count,
+            tolerance=tolerance, max_iterations=max_iterations,
+            initial_step=initial_step, devices=devices,
+            placement=placement, opt_id=f"audit-shards-{count}",
+        )
+        check(f"shards={count}", leg.points)
+
+    # Leg 2 — kill and resume at an iteration boundary.
+    total = reference.state.iteration
+    if total >= 1:
+        halt = kill_at if kill_at is not None else max(1, total // 2)
+        halt = min(halt, total)
+        shard_for_resume = next(
+            (c for c in shard_counts
+             if 1 < c <= min(matrix.n_rows, matrix.n_cols)),
+            1,
+        )
+        halted = run_sharded(
+            matrix, precision, specs, w0, shard_for_resume,
+            tolerance=tolerance, max_iterations=max_iterations,
+            initial_step=initial_step, devices=devices,
+            placement=placement, halt_after=halt,
+            opt_id="audit-halted",
+        )
+        kernel = make_kernel(precision)
+        evaluator = DistributedObjectiveEvaluator(
+            matrix, kernel, shard_for_resume,
+            pool=DevicePool.homogeneous(
+                devices or min(shard_for_resume, 4)
+            ),
+            placement=placement,
+        )
+        objective = build_objective(specs, matrix)
+        resumed = run_to_completion(
+            evaluator, objective,
+            restore_state(_checkpoint_of(halted)),
+            opt_id="audit-resumed", tolerance=tolerance,
+            max_iterations=max_iterations, initial_step=initial_step,
+        )
+        stitched = list(halted.points) + list(resumed.points)
+        check(
+            f"kill@{halt}/resume (shards={shard_for_resume})", stitched
+        )
+
+    # Leg 3 — serve batching and arrival orders.
+    if include_service:
+        for reverse in (False, True):
+            outcome = _service_leg(
+                matrix, precision, specs, w0,
+                tolerance=tolerance, max_iterations=max_iterations,
+                initial_step=initial_step,
+                shards=max(
+                    1,
+                    min(2, min(matrix.n_rows, matrix.n_cols)),
+                ),
+                devices=devices, placement=placement,
+                reverse_order=reverse,
+            )
+            label = (
+                "service (reversed arrival)" if reverse
+                else "service (batched forwards)"
+            )
+            check(label, outcome.points)
+
+    audit.ok = not audit.problems
+    metrics.counter(
+        "opt.audit.passed" if audit.ok else "opt.audit.failed"
+    ).inc()
+    return audit
+
+
+def _checkpoint_of(outcome: OptRunOutcome) -> Dict[str, Any]:
+    """Serialize a halted run's final state for the resume leg."""
+    from repro.opt.dist.loop import checkpoint_dict
+
+    return checkpoint_dict(outcome.state)

@@ -1,0 +1,414 @@
+"""Concurrent-optimization load generator with a bitwise trajectory audit.
+
+The serve loadgen models many clients submitting *dose evaluations*;
+this one models the layer above: many tenants running whole *plan
+optimizations* concurrently through the
+:class:`~repro.opt.dist.service.OptimizationService` — cooperative
+quantum scheduling, per-tenant iteration budgets, shared micro-batched
+forwards underneath.
+
+Everything is reconstructible from the seed: plan matrices come from
+:func:`repro.sparse.synth.dose_like`, objectives from a named preset,
+warm starts from ``stable_seed``.  After the run every finished
+optimization is re-run *outside* the service — fresh evaluator, no
+scheduler, no batching, no concurrency — and its recorded trajectory
+must match the service's bit for bit (a prefix match for tenants whose
+budget ran out mid-flight, whole-trajectory otherwise).  Concurrency,
+arrival order and preemption must not move a single bit of any
+optimization's trajectory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.bench.harness import convert_for_kernel
+from repro.obs import artifact
+from repro.obs.clock import Clock, get_clock
+from repro.obs.logging import get_logger, kv
+from repro.obs.trace import span as trace_span
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.synth import dose_like
+from repro.util.rng import make_rng, stable_seed
+from repro.util.tables import Table
+
+from repro.opt.dist.audit import compare_trajectories, run_reference
+from repro.opt.dist.loop import TrajectoryPoint
+from repro.opt.dist.objective_spec import (
+    OBJECTIVE_PRESETS,
+    ObjectiveSpecError,
+)
+from repro.opt.dist.service import (
+    OptimizationOutcome,
+    OptimizationRequest,
+    OptimizationService,
+    OptRejected,
+    OptServiceConfig,
+)
+
+_log = get_logger(__name__)
+
+
+@dataclass(frozen=True)
+class OptLoadConfig:
+    """Shape of one concurrent-optimization load run."""
+
+    n_optimizations: int = 6
+    n_tenants: int = 2
+    n_plans: int = 2
+    #: synthetic plan dimensions (voxels x spots, dose-like structure).
+    plan_rows: int = 240
+    plan_cols: int = 48
+    precision: str = "half_double"
+    objective_preset: str = "clinical"
+    max_iterations: int = 8
+    tolerance: float = 1e-6
+    initial_step: float = 1.0
+    n_workers: int = 2
+    serve_workers: int = 2
+    #: row shards per dose/adjoint evaluation (>1 rides repro.dist).
+    shards: int = 2
+    dist_devices: int = 0
+    placement: str = "memory"
+    quantum: int = 1
+    checkpoint_every: int = 4
+    #: per-tenant iteration budget (None: unlimited).
+    tenant_budget: Optional[int] = None
+    seed: int = 20210419
+    #: run the post-run standalone bitwise audit.
+    audit: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n_optimizations <= 0 or self.n_tenants <= 0:
+            raise ValueError(
+                "n_optimizations and n_tenants must be positive"
+            )
+        if self.objective_preset not in OBJECTIVE_PRESETS:
+            raise ObjectiveSpecError(
+                f"unknown objective preset {self.objective_preset!r}; "
+                f"expected one of {sorted(OBJECTIVE_PRESETS)}"
+            )
+
+
+@dataclass
+class OptRunRecord:
+    """Per-optimization outcome row of the loadtest report."""
+
+    opt_id: str
+    tenant: str
+    plan_id: str
+    #: terminal state value, or the rejection reason value.
+    status: str
+    iterations: int = 0
+    n_evals: int = 0
+    objective: Optional[float] = None
+    detail: str = ""
+    #: trajectory bitwise identical to the standalone re-run?
+    bitwise: Optional[bool] = None
+    #: held only until the audit runs.
+    points: List[TrajectoryPoint] = field(default_factory=list)
+
+
+@dataclass
+class OptLoadReport:
+    """Everything one concurrent-optimization load run measured."""
+
+    config: OptLoadConfig
+    records: List[OptRunRecord]
+    wall_s: float
+    terminal_counts: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def submitted(self) -> int:
+        return len(self.records)
+
+    @property
+    def finished(self) -> int:
+        return sum(
+            1 for r in self.records
+            if r.status in ("converged", "budget_exhausted",
+                            "preempted", "failed")
+        )
+
+    @property
+    def rejected(self) -> int:
+        return self.submitted - self.finished
+
+    @property
+    def iterations_total(self) -> int:
+        return sum(r.iterations for r in self.records)
+
+    @property
+    def bitwise_checked(self) -> int:
+        return sum(1 for r in self.records if r.bitwise is not None)
+
+    @property
+    def bitwise_ok(self) -> int:
+        return sum(1 for r in self.records if r.bitwise)
+
+    @property
+    def bitwise_fraction(self) -> float:
+        checked = self.bitwise_checked
+        return self.bitwise_ok / checked if checked else 0.0
+
+    def claims(self) -> Dict[str, float]:
+        """Quantities the recording layer checks against expectations."""
+        return {
+            "opt_loadtest_bitwise_fraction": self.bitwise_fraction,
+            "opt_loadtest_finished_fraction": (
+                self.finished / self.submitted if self.submitted else 0.0
+            ),
+        }
+
+    def render(self) -> str:
+        summary = Table(
+            ["quantity", "value"], title="Optimization loadtest summary"
+        )
+        rows = [
+            ("optimizations submitted", self.submitted),
+            ("optimizations finished", self.finished),
+            ("optimizations rejected", self.rejected),
+            ("iterations total", self.iterations_total),
+            ("wall time (s)", round(self.wall_s, 4)),
+            ("shards per evaluation", self.config.shards),
+            ("objective preset", self.config.objective_preset),
+            ("trajectories bitwise vs standalone",
+             f"{self.bitwise_ok}/{self.bitwise_checked}"),
+        ]
+        if self.config.tenant_budget is not None:
+            rows.append(
+                ("per-tenant iteration budget", self.config.tenant_budget)
+            )
+        for terminal, count in sorted(self.terminal_counts.items()):
+            rows.append((f"terminal[{terminal}]", count))
+        for name, value in rows:
+            summary.add_row([name, value])
+        return summary.render()
+
+
+# --------------------------------------------------------------------- #
+
+
+def build_opt_plans(config: OptLoadConfig) -> Dict[str, CSRMatrix]:
+    """Deterministic dose-like plan matrices for the run."""
+    plans: Dict[str, CSRMatrix] = {}
+    for p in range(config.n_plans):
+        rng = make_rng(stable_seed("opt-loadgen-plan", config.seed, p))
+        plans[f"plan-{p}"] = dose_like(
+            config.plan_rows, config.plan_cols, density=0.05,
+            empty_fraction=0.5, rng=rng,
+        )
+    return plans
+
+
+def _build_request(config: OptLoadConfig, index: int,
+                   plan_ids: List[str]) -> OptimizationRequest:
+    """The (reconstructible) request of one synthetic optimization."""
+    return OptimizationRequest(
+        opt_id=f"opt-{index}",
+        plan_id=plan_ids[index % len(plan_ids)],
+        objective=OBJECTIVE_PRESETS[config.objective_preset],
+        tenant=f"tenant-{index % config.n_tenants}",
+        precision=config.precision,
+        seed=stable_seed("opt-loadgen-start", config.seed, index),
+        max_iterations=config.max_iterations,
+        tolerance=config.tolerance,
+        initial_step=config.initial_step,
+    )
+
+
+def run_opt_loadtest(
+    config: Optional[OptLoadConfig] = None,
+    clock: Optional[Clock] = None,
+) -> OptLoadReport:
+    """Run one concurrent-optimization load test against a fresh service."""
+    config = config or OptLoadConfig()
+    clock = clock or get_clock()
+
+    budgets: Optional[Dict[str, int]] = None
+    if config.tenant_budget is not None:
+        budgets = {
+            f"tenant-{t}": config.tenant_budget
+            for t in range(config.n_tenants)
+        }
+    service = OptimizationService(
+        OptServiceConfig(
+            n_workers=config.n_workers,
+            shards=config.shards,
+            dist_devices=config.dist_devices,
+            placement=config.placement,
+            quantum=config.quantum,
+            checkpoint_every=config.checkpoint_every,
+            tenant_budgets=budgets,
+            serve_workers=config.serve_workers,
+        ),
+        clock=clock,
+    )
+    masters: Dict[str, CSRMatrix] = {}
+    for plan_id, matrix in build_opt_plans(config).items():
+        service.register_plan(plan_id, matrix, source="synthetic")
+        masters[plan_id] = matrix
+    plan_ids = sorted(masters)
+
+    requests = [
+        _build_request(config, i, plan_ids)
+        for i in range(config.n_optimizations)
+    ]
+    records: List[OptRunRecord] = []
+
+    with trace_span("opt.loadtest", optimizations=config.n_optimizations,
+                    tenants=config.n_tenants):
+        with service:
+            started = clock.monotonic()
+            tickets = []
+            for request in requests:
+                submitted = service.submit(request)
+                if isinstance(submitted, OptRejected):
+                    records.append(OptRunRecord(
+                        opt_id=request.opt_id,
+                        tenant=request.tenant,
+                        plan_id=request.plan_id,
+                        status=submitted.reason.value,
+                        detail=submitted.detail,
+                    ))
+                else:
+                    tickets.append((request, submitted))
+            for request, ticket in tickets:
+                outcome = ticket.outcome(timeout=300.0)
+                records.append(_record(request, outcome))
+            wall_s = clock.monotonic() - started
+
+    if config.audit:
+        _audit_trajectories(config, records, masters)
+
+    terminal_counts: Dict[str, int] = {}
+    for record in records:
+        terminal_counts[record.status] = (
+            terminal_counts.get(record.status, 0) + 1
+        )
+    report = OptLoadReport(
+        config=config,
+        records=records,
+        wall_s=wall_s,
+        terminal_counts=terminal_counts,
+    )
+    _log.info(kv(
+        "opt loadtest finished", finished=report.finished,
+        rejected=report.rejected,
+        bitwise=f"{report.bitwise_ok}/{report.bitwise_checked}",
+    ))
+    _enrich_artifact(config, report)
+    return report
+
+
+def _record(request: OptimizationRequest, outcome: object) -> OptRunRecord:
+    if isinstance(outcome, OptRejected):
+        return OptRunRecord(
+            opt_id=request.opt_id,
+            tenant=request.tenant,
+            plan_id=request.plan_id,
+            status=outcome.reason.value,
+            detail=outcome.detail,
+        )
+    assert isinstance(outcome, OptimizationOutcome)
+    return OptRunRecord(
+        opt_id=request.opt_id,
+        tenant=request.tenant,
+        plan_id=request.plan_id,
+        status=outcome.terminal.value,
+        iterations=outcome.iterations,
+        n_evals=outcome.n_evals,
+        objective=outcome.objective,
+        detail=outcome.detail,
+        points=list(outcome.points),
+    )
+
+
+def _audit_trajectories(
+    config: OptLoadConfig,
+    records: List[OptRunRecord],
+    masters: Dict[str, CSRMatrix],
+) -> None:
+    """Bitwise-compare every trajectory with a standalone re-run.
+
+    Each finished optimization is reconstructed from its seeds and
+    re-run *outside* the service — single evaluator, no workers, no
+    batching — and the service's recorded trajectory must equal the
+    standalone one point for point.  Optimizations the tenant budget
+    (or preemption) cut short must be an exact *prefix* of the
+    standalone trajectory: stopping early is allowed, drifting is not.
+    """
+    from repro.opt.dist.loop import warm_start
+
+    with trace_span("opt.loadtest_audit"):
+        for record in records:
+            if record.status in ("converged", "budget_exhausted",
+                                 "preempted") and record.points:
+                request = _build_request(
+                    config, int(record.opt_id.split("-")[1]),
+                    sorted(masters),
+                )
+                converted = convert_for_kernel(
+                    masters[record.plan_id], config.precision
+                )
+                w0 = warm_start(
+                    request.seed, converted.n_cols, request.opt_id
+                )
+                reference = run_reference(
+                    converted, config.precision, request.objective, w0,
+                    tolerance=config.tolerance,
+                    max_iterations=config.max_iterations,
+                    initial_step=config.initial_step,
+                    opt_id=f"{record.opt_id}-standalone",
+                )
+                baseline = list(reference.points)[: len(record.points)]
+                problems = compare_trajectories(
+                    baseline, record.points, record.opt_id
+                )
+                if len(record.points) > len(reference.points):
+                    problems.append(
+                        f"{record.opt_id}: served trajectory longer than "
+                        "standalone"
+                    )
+                record.bitwise = not problems
+                for problem in problems:
+                    _log.error(kv("opt loadtest divergence",
+                                  problem=problem))
+            record.points = []
+
+
+def _enrich_artifact(config: OptLoadConfig, report: OptLoadReport) -> None:
+    """Record the run into the per-run artifact (no-op when disabled)."""
+    if not artifact.enabled():
+        return
+    workload = asdict(config)
+    workload["mode"] = "opt_loadtest"
+    artifact.set_param("workload", workload)
+    artifact.record(
+        "opt_loadtest",
+        submitted=report.submitted,
+        finished=report.finished,
+        rejected=report.rejected,
+        iterations_total=report.iterations_total,
+        wall_s=report.wall_s,
+        bitwise_checked=report.bitwise_checked,
+        bitwise_ok=report.bitwise_ok,
+        terminal_counts=report.terminal_counts,
+        records=[
+            {
+                "opt_id": r.opt_id,
+                "tenant": r.tenant,
+                "plan_id": r.plan_id,
+                "status": r.status,
+                "iterations": r.iterations,
+                "n_evals": r.n_evals,
+                "objective": r.objective,
+                "bitwise": r.bitwise,
+            }
+            for r in report.records
+        ],
+        claims=report.claims(),
+    )

@@ -1,0 +1,270 @@
+"""Declarative, serializable objective specifications.
+
+Checkpoint/resume needs the *whole* optimization to be reconstructible
+from the run artifact: the iterate is an array, but the objective is
+code.  An :class:`ObjectiveTermSpec` closes that gap — a small
+declarative description (term kind, ROI selector, parameters) that
+:func:`build_objective` expands into the real
+:class:`~repro.opt.objectives.CompositeObjective` deterministically from
+the plan's deposition matrix.  Two processes holding the same matrix and
+the same specs build bit-for-bit the same objective, which is one leg of
+the trajectory-determinism invariant.
+
+ROI selectors derive regions from the matrix itself (no external
+structure set needed for synthetic plans): ``hottest:K`` / ``coldest:K``
+rank voxels by the reference dose ``A @ 1`` with index tie-breaks, so
+the selection is a pure function of the matrix bits; ``all`` is every
+voxel.  ``coldest`` only considers voxels with at least one deposition
+entry — empty rows can never receive dose, so a coverage objective over
+them would add a constant floor and a permanently zero gradient.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.dose.grid import DoseGrid
+from repro.dose.structures import ROIMask
+from repro.opt.dvh_objectives import MaxDVHObjective, MinDVHObjective
+from repro.opt.objectives import (
+    CompositeObjective,
+    DoseObjective,
+    MaxDoseObjective,
+    MeanDoseObjective,
+    MinDoseObjective,
+    UniformDoseObjective,
+)
+from repro.sparse.csr import CSRMatrix
+from repro.util.errors import ReproError
+
+#: objective term kinds a spec may name.
+OBJECTIVE_KINDS: Tuple[str, ...] = (
+    "uniform",
+    "max_dose",
+    "min_dose",
+    "mean_dose",
+    "max_dvh",
+    "min_dvh",
+)
+
+_DVH_KINDS = ("max_dvh", "min_dvh")
+
+
+class ObjectiveSpecError(ReproError):
+    """An objective specification that cannot be built."""
+
+
+@dataclass(frozen=True)
+class ObjectiveTermSpec:
+    """One declarative objective term.
+
+    ``roi`` is a selector string: ``all``, ``hottest:K`` or
+    ``coldest:K``.  ``dose_gy`` is the prescription / limit / floor /
+    goal depending on ``kind``; ``volume_fraction`` applies to the DVH
+    kinds only.
+    """
+
+    kind: str
+    roi: str = "all"
+    dose_gy: float = 1.0
+    weight: float = 1.0
+    volume_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in OBJECTIVE_KINDS:
+            raise ObjectiveSpecError(
+                f"unknown objective kind {self.kind!r}; expected one of "
+                f"{OBJECTIVE_KINDS}"
+            )
+        _parse_roi(self.roi)
+        if self.weight < 0:
+            raise ObjectiveSpecError(
+                f"objective weight must be >= 0, got {self.weight}"
+            )
+        if self.dose_gy <= 0:
+            raise ObjectiveSpecError(
+                f"dose_gy must be positive, got {self.dose_gy}"
+            )
+        if self.kind == "max_dvh" and not 0.0 <= self.volume_fraction < 1.0:
+            raise ObjectiveSpecError(
+                f"max_dvh volume_fraction must be in [0, 1), got "
+                f"{self.volume_fraction}"
+            )
+        if self.kind == "min_dvh" and not 0.0 < self.volume_fraction <= 1.0:
+            raise ObjectiveSpecError(
+                f"min_dvh volume_fraction must be in (0, 1], got "
+                f"{self.volume_fraction}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe encoding (recorded in artifact params/checkpoints)."""
+        return {
+            "kind": self.kind,
+            "roi": self.roi,
+            "dose_gy": float(self.dose_gy),
+            "weight": float(self.weight),
+            "volume_fraction": float(self.volume_fraction),
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "ObjectiveTermSpec":
+        return ObjectiveTermSpec(
+            kind=str(data["kind"]),
+            roi=str(data.get("roi", "all")),
+            dose_gy=float(data.get("dose_gy", 1.0)),
+            weight=float(data.get("weight", 1.0)),
+            volume_fraction=float(data.get("volume_fraction", 0.0)),
+        )
+
+
+def specs_to_dicts(
+    specs: Iterable[ObjectiveTermSpec],
+) -> List[Dict[str, Any]]:
+    return [s.to_dict() for s in specs]
+
+
+def specs_from_dicts(
+    data: Iterable[Dict[str, Any]],
+) -> Tuple[ObjectiveTermSpec, ...]:
+    return tuple(ObjectiveTermSpec.from_dict(d) for d in data)
+
+
+def _parse_roi(selector: str) -> Tuple[str, int]:
+    """Parse an ROI selector into ``(mode, count)`` (count 0 == all)."""
+    if selector == "all":
+        return "all", 0
+    parts = selector.split(":")
+    if len(parts) == 2 and parts[0] in ("hottest", "coldest"):
+        try:
+            count = int(parts[1])
+        except ValueError:
+            count = 0
+        if count > 0:
+            return parts[0], count
+    raise ObjectiveSpecError(
+        f"bad ROI selector {selector!r}; expected 'all', 'hottest:K' or "
+        "'coldest:K' with K > 0"
+    )
+
+
+#: named objective sets the CLI/loadgen use.
+OBJECTIVE_PRESETS: Dict[str, Tuple[ObjectiveTermSpec, ...]] = {
+    # one quadratic target objective — the best-conditioned smoke case
+    "uniform": (
+        ObjectiveTermSpec("uniform", roi="hottest:200", dose_gy=60.0),
+    ),
+    # target + organ-at-risk + mean control — the typical clinical mix
+    "clinical": (
+        ObjectiveTermSpec("uniform", roi="hottest:200", dose_gy=60.0),
+        ObjectiveTermSpec(
+            "max_dose", roi="coldest:150", dose_gy=20.0, weight=0.5
+        ),
+        ObjectiveTermSpec(
+            "mean_dose", roi="all", dose_gy=10.0, weight=0.25
+        ),
+    ),
+    # DVH-constrained mix exercising the non-smooth clinical language
+    "dvh": (
+        ObjectiveTermSpec("uniform", roi="hottest:200", dose_gy=60.0),
+        ObjectiveTermSpec(
+            "max_dvh",
+            roi="coldest:150",
+            dose_gy=25.0,
+            volume_fraction=0.3,
+            weight=0.5,
+        ),
+        ObjectiveTermSpec(
+            "min_dvh",
+            roi="hottest:100",
+            dose_gy=55.0,
+            volume_fraction=0.95,
+            weight=0.5,
+        ),
+    ),
+}
+
+
+def reference_dose(matrix: CSRMatrix) -> np.ndarray:
+    """The ROI-derivation dose ``A @ 1`` (float64, deterministic)."""
+    return matrix.matvec(np.ones(matrix.n_cols, dtype=np.float64))
+
+
+def _select_roi(
+    selector: str,
+    matrix: CSRMatrix,
+    ref_dose: np.ndarray,
+    grid: DoseGrid,
+) -> ROIMask:
+    """Deterministically derive an ROI from the reference dose."""
+    mode, count = _parse_roi(selector)
+    n = matrix.n_rows
+    flat = np.zeros(n, dtype=bool)
+    if mode == "all":
+        flat[:] = True
+    else:
+        if mode == "coldest":
+            nonempty = np.flatnonzero(matrix.row_lengths() > 0)
+            if nonempty.size == 0:
+                raise ObjectiveSpecError(
+                    f"ROI {selector!r}: matrix has no nonzero rows"
+                )
+            # ascending dose, index tie-break — a pure function of bits
+            order = np.lexsort(
+                (nonempty, ref_dose[nonempty])
+            )
+            chosen = nonempty[order[: min(count, nonempty.size)]]
+        else:
+            order = np.lexsort((np.arange(n), -ref_dose))
+            chosen = order[: min(count, n)]
+        flat[chosen] = True
+    nx, ny, nz = grid.shape
+    return ROIMask(
+        name=selector, grid=grid, mask=flat.reshape(nz, ny, nx)
+    )
+
+
+def build_objective(
+    specs: Sequence[ObjectiveTermSpec], matrix: CSRMatrix
+) -> CompositeObjective:
+    """Expand specs into a :class:`CompositeObjective` over ``matrix``.
+
+    Deterministic: the ROIs derive from the reference dose ``A @ 1``
+    with index tie-breaks, so the same (matrix bits, specs) pair always
+    yields the same objective — on any host, at any shard count.
+    """
+    if not specs:
+        raise ObjectiveSpecError("need at least one objective term spec")
+    # Degenerate 1-D grid: matrix rows are the voxel axis.  Synthetic
+    # plans have no 3-D geometry; the objectives only consume flat
+    # voxel indices, so the grid shape carries no physics here.
+    grid = DoseGrid(shape=(matrix.n_rows, 1, 1), spacing=(1.0, 1.0, 1.0))
+    ref = reference_dose(matrix)
+    terms: List[DoseObjective] = []
+    for spec in specs:
+        roi = _select_roi(spec.roi, matrix, ref, grid)
+        if spec.kind == "uniform":
+            terms.append(
+                UniformDoseObjective(roi, spec.dose_gy, spec.weight)
+            )
+        elif spec.kind == "max_dose":
+            terms.append(MaxDoseObjective(roi, spec.dose_gy, spec.weight))
+        elif spec.kind == "min_dose":
+            terms.append(MinDoseObjective(roi, spec.dose_gy, spec.weight))
+        elif spec.kind == "mean_dose":
+            terms.append(MeanDoseObjective(roi, spec.dose_gy, spec.weight))
+        elif spec.kind == "max_dvh":
+            terms.append(
+                MaxDVHObjective(
+                    roi, spec.dose_gy, spec.volume_fraction, spec.weight
+                )
+            )
+        else:
+            terms.append(
+                MinDVHObjective(
+                    roi, spec.dose_gy, spec.volume_fraction, spec.weight
+                )
+            )
+    return CompositeObjective(terms)

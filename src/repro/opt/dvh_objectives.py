@@ -37,7 +37,7 @@ class MaxDVHObjective(DoseObjective):
         dose_gy: float,
         volume_fraction: float,
         weight: float = 1.0,
-    ):
+    ) -> None:
         super().__init__(roi, weight)
         self.dose_gy = check_positive(dose_gy, "dose_gy")
         if not 0.0 <= volume_fraction < 1.0:
@@ -46,7 +46,9 @@ class MaxDVHObjective(DoseObjective):
             )
         self.volume_fraction = volume_fraction
 
-    def _value_and_grad_inside(self, dose_inside):
+    def _value_and_grad_inside(
+        self, dose_inside: np.ndarray
+    ) -> "tuple[float, np.ndarray]":
         n = max(dose_inside.shape[0], 1)
         allowed = int(np.floor(self.volume_fraction * n))
         over = dose_inside > self.dose_gy
@@ -78,7 +80,7 @@ class MinDVHObjective(DoseObjective):
         dose_gy: float,
         volume_fraction: float,
         weight: float = 1.0,
-    ):
+    ) -> None:
         super().__init__(roi, weight)
         self.dose_gy = check_positive(dose_gy, "dose_gy")
         if not 0.0 < volume_fraction <= 1.0:
@@ -87,7 +89,9 @@ class MinDVHObjective(DoseObjective):
             )
         self.volume_fraction = volume_fraction
 
-    def _value_and_grad_inside(self, dose_inside):
+    def _value_and_grad_inside(
+        self, dose_inside: np.ndarray
+    ) -> "tuple[float, np.ndarray]":
         n = max(dose_inside.shape[0], 1)
         required = int(np.ceil(self.volume_fraction * n))
         covered = dose_inside >= self.dose_gy

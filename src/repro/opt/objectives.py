@@ -28,7 +28,7 @@ from repro.util.validation import check_nonnegative, check_positive
 class DoseObjective(abc.ABC):
     """A weighted objective term evaluated on the dose vector."""
 
-    def __init__(self, roi: ROIMask, weight: float = 1.0):
+    def __init__(self, roi: ROIMask, weight: float = 1.0) -> None:
         self.roi = roi
         self.weight = check_nonnegative(weight, "weight")
         self._indices = roi.voxel_indices
@@ -76,11 +76,14 @@ class _Normalization:
 class UniformDoseObjective(DoseObjective):
     """``(1/n) * sum((d_i - prescription)^2)`` over the target."""
 
-    def __init__(self, roi: ROIMask, prescription_gy: float, weight: float = 1.0):
+    def __init__(self, roi: ROIMask, prescription_gy: float,
+                 weight: float = 1.0) -> None:
         super().__init__(roi, weight)
         self.prescription_gy = check_positive(prescription_gy, "prescription_gy")
 
-    def _value_and_grad_inside(self, dose_inside):
+    def _value_and_grad_inside(
+        self, dose_inside: np.ndarray
+    ) -> "tuple[float, np.ndarray]":
         n = max(dose_inside.shape[0], 1)
         diff = dose_inside - self.prescription_gy
         return float(diff @ diff) / n, (2.0 / n) * diff
@@ -89,11 +92,14 @@ class UniformDoseObjective(DoseObjective):
 class MaxDoseObjective(DoseObjective):
     """One-sided ``(1/n) * sum(max(d_i - limit, 0)^2)`` over an OAR."""
 
-    def __init__(self, roi: ROIMask, limit_gy: float, weight: float = 1.0):
+    def __init__(self, roi: ROIMask, limit_gy: float,
+                 weight: float = 1.0) -> None:
         super().__init__(roi, weight)
         self.limit_gy = check_nonnegative(limit_gy, "limit_gy")
 
-    def _value_and_grad_inside(self, dose_inside):
+    def _value_and_grad_inside(
+        self, dose_inside: np.ndarray
+    ) -> "tuple[float, np.ndarray]":
         n = max(dose_inside.shape[0], 1)
         excess = np.maximum(dose_inside - self.limit_gy, 0.0)
         return float(excess @ excess) / n, (2.0 / n) * excess
@@ -102,11 +108,14 @@ class MaxDoseObjective(DoseObjective):
 class MinDoseObjective(DoseObjective):
     """One-sided ``(1/n) * sum(max(floor - d_i, 0)^2)`` over the target."""
 
-    def __init__(self, roi: ROIMask, floor_gy: float, weight: float = 1.0):
+    def __init__(self, roi: ROIMask, floor_gy: float,
+                 weight: float = 1.0) -> None:
         super().__init__(roi, weight)
         self.floor_gy = check_positive(floor_gy, "floor_gy")
 
-    def _value_and_grad_inside(self, dose_inside):
+    def _value_and_grad_inside(
+        self, dose_inside: np.ndarray
+    ) -> "tuple[float, np.ndarray]":
         n = max(dose_inside.shape[0], 1)
         deficit = np.maximum(self.floor_gy - dose_inside, 0.0)
         return float(deficit @ deficit) / n, (-2.0 / n) * deficit
@@ -115,11 +124,14 @@ class MinDoseObjective(DoseObjective):
 class MeanDoseObjective(DoseObjective):
     """``(mean(d) - goal)^2`` — soft mean-dose control for large OARs."""
 
-    def __init__(self, roi: ROIMask, goal_gy: float, weight: float = 1.0):
+    def __init__(self, roi: ROIMask, goal_gy: float,
+                 weight: float = 1.0) -> None:
         super().__init__(roi, weight)
         self.goal_gy = check_nonnegative(goal_gy, "goal_gy")
 
-    def _value_and_grad_inside(self, dose_inside):
+    def _value_and_grad_inside(
+        self, dose_inside: np.ndarray
+    ) -> "tuple[float, np.ndarray]":
         n = max(dose_inside.shape[0], 1)
         mean = float(dose_inside.mean()) if dose_inside.size else 0.0
         diff = mean - self.goal_gy
@@ -130,7 +142,7 @@ class MeanDoseObjective(DoseObjective):
 class CompositeObjective:
     """Weighted sum of objective terms with a combined gradient."""
 
-    def __init__(self, terms: "list[DoseObjective]"):
+    def __init__(self, terms: "list[DoseObjective]") -> None:
         if not terms:
             raise ValueError("need at least one objective term")
         self.terms = list(terms)

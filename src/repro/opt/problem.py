@@ -60,7 +60,7 @@ class PlanOptimizationProblem:
         objective: CompositeObjective,
         kernel: Optional[SpMVKernel] = None,
         model_gradients: bool = False,
-    ):
+    ) -> None:
         if not beams:
             raise ValueError("need at least one beam")
         n_voxels = beams[0].n_voxels

@@ -168,7 +168,7 @@ class RobustPlanProblem:
         objective: CompositeObjective,
         aggregation: str = "worst_case",
         temperature: float = 0.05,
-    ):
+    ) -> None:
         if aggregation not in ("expected", "worst_case"):
             raise ReproError(f"unknown aggregation {aggregation!r}")
         if not scenario_beams:

@@ -11,22 +11,49 @@ calculations a plan costs — the quantity the paper's GPU port accelerates.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.obs import metrics
+from repro.obs.clock import Clock, get_clock
+from repro.obs.lockwitness import guarded_lock
 from repro.obs.trace import span as trace_span, traced
 from repro.opt.problem import PlanOptimizationProblem
 from repro.util.errors import ConvergenceError
 
 
-def _eval(problem: PlanOptimizationProblem, w: np.ndarray):
+def _eval(
+    problem: PlanOptimizationProblem, w: np.ndarray
+) -> Tuple[float, np.ndarray]:
     """Objective/gradient evaluation, counted: each one is a dose
     calculation (SpMV + adjoint) — the quantity the paper's GPU port
     accelerates."""
     metrics.counter("opt.objective_evals").inc()
     return problem.value_and_gradient(w)
+
+
+_stats_lock = guarded_lock(  # analyze: lock-guards[_solve_stats]
+    "opt.solver.stats"
+)
+#: cumulative per-solver totals (iterations, evals, wall seconds).
+_solve_stats: Dict[str, Dict[str, float]] = {}
+
+
+def _note_solve(solver: str, iterations: int, wall_s: float) -> None:
+    with _stats_lock:
+        entry = _solve_stats.setdefault(
+            solver, {"solves": 0.0, "iterations": 0.0, "wall_s": 0.0}
+        )
+        entry["solves"] += 1
+        entry["iterations"] += iterations
+        entry["wall_s"] += wall_s
+
+
+def solver_stats() -> Dict[str, Dict[str, float]]:
+    """Cumulative per-solver accounting (snapshot copy)."""
+    with _stats_lock:
+        return {name: dict(entry) for name, entry in _solve_stats.items()}
 
 
 @dataclass
@@ -37,6 +64,9 @@ class IterationRecord:
     objective: float
     gradient_norm: float
     step_size: float
+    #: wall time of this iteration per the injected clock (0.0 when the
+    #: clock stands still, e.g. a FakeClock in tests).
+    wall_s: float = 0.0
 
 
 @dataclass
@@ -48,6 +78,8 @@ class OptimizationResult:
     iterations: int
     converged: bool
     history: List[IterationRecord] = field(default_factory=list)
+    #: total solve wall time per the injected clock.
+    wall_s: float = 0.0
 
     @property
     def objective_trace(self) -> np.ndarray:
@@ -67,14 +99,25 @@ def solve_projected_gradient(
     tolerance: float = 1e-6,
     initial_step: float = 1.0,
     raise_on_failure: bool = False,
+    clock: Optional[Clock] = None,
 ) -> OptimizationResult:
     """Projected gradient with Barzilai-Borwein step adaptation.
 
     Converged when the projected-gradient norm falls below ``tolerance``
-    times its initial value.
+    times its initial value.  ``clock`` (injectable for tests; defaults
+    to the process clock) times each iteration without touching the
+    math: timing is observational, never part of the trajectory.
     """
     if max_iterations <= 0:
         raise ValueError("max_iterations must be positive")
+    clock = clock or get_clock()
+    solve_start = clock.monotonic()
+
+    def finish(result: OptimizationResult) -> OptimizationResult:
+        result.wall_s = clock.monotonic() - solve_start
+        _note_solve("projected_gradient", result.iterations, result.wall_s)
+        return result
+
     w = (
         np.full(problem.n_weights, 1.0)
         if w0 is None
@@ -85,12 +128,13 @@ def solve_projected_gradient(
     history: List[IterationRecord] = []
     initial_norm = _projected_gradient_norm(w, grad)
     if initial_norm == 0.0:
-        return OptimizationResult(w, value, 0, True, history)
+        return finish(OptimizationResult(w, value, 0, True, history))
     prev_w = None
     prev_grad = None
     for it in range(1, max_iterations + 1):
         with trace_span("opt.iteration", solver="projected_gradient",
                         iteration=it) as sp:
+            iter_start = clock.monotonic()
             w_new = project_nonnegative(w - step * grad)
             value_new, grad_new = _eval(problem, w_new)
             # Backtrack if the step increased the objective.
@@ -103,12 +147,15 @@ def solve_projected_gradient(
             prev_w, prev_grad = w, grad
             w, value, grad = w_new, value_new, grad_new
             pg_norm = _projected_gradient_norm(w, grad)
-            history.append(IterationRecord(it, value, pg_norm, step))
+            history.append(IterationRecord(
+                it, value, pg_norm, step,
+                wall_s=clock.monotonic() - iter_start,
+            ))
             metrics.counter("opt.iterations").inc()
             sp.set_attrs(objective=value, gradient_norm=pg_norm,
                          backtracks=backtracks)
             if pg_norm <= tolerance * initial_norm:
-                return OptimizationResult(w, value, it, True, history)
+                return finish(OptimizationResult(w, value, it, True, history))
             # Barzilai-Borwein step for the next iteration.
             s = w - prev_w
             g = grad - prev_grad
@@ -122,7 +169,7 @@ def solve_projected_gradient(
             f"projected gradient did not converge in {max_iterations} iterations "
             f"(final projected-gradient norm {history[-1].gradient_norm:.3e})"
         )
-    return OptimizationResult(w, value, max_iterations, False, history)
+    return finish(OptimizationResult(w, value, max_iterations, False, history))
 
 
 @traced("opt.solve", solver="lbfgs")
@@ -132,8 +179,17 @@ def solve_lbfgs(
     max_iterations: int = 100,
     tolerance: float = 1e-6,
     memory: int = 8,
+    clock: Optional[Clock] = None,
 ) -> OptimizationResult:
     """Projected L-BFGS (two-loop recursion, projection after each step)."""
+    clock = clock or get_clock()
+    solve_start = clock.monotonic()
+
+    def finish(result: OptimizationResult) -> OptimizationResult:
+        result.wall_s = clock.monotonic() - solve_start
+        _note_solve("lbfgs", result.iterations, result.wall_s)
+        return result
+
     w = (
         np.full(problem.n_weights, 1.0)
         if w0 is None
@@ -145,9 +201,10 @@ def solve_lbfgs(
     history: List[IterationRecord] = []
     initial_norm = _projected_gradient_norm(w, grad)
     if initial_norm == 0.0:
-        return OptimizationResult(w, value, 0, True, history)
+        return finish(OptimizationResult(w, value, 0, True, history))
     for it in range(1, max_iterations + 1):
         with trace_span("opt.iteration", solver="lbfgs", iteration=it) as sp:
+            iter_start = clock.monotonic()
             direction = -_two_loop(grad, s_list, y_list)
             step = 1.0 if s_list else min(1.0, 1.0 / max(initial_norm, 1e-12))
             w_new = project_nonnegative(w + step * direction)
@@ -168,13 +225,16 @@ def solve_lbfgs(
                     y_list.pop(0)
             w, value, grad = w_new, value_new, grad_new
             pg_norm = _projected_gradient_norm(w, grad)
-            history.append(IterationRecord(it, value, pg_norm, step))
+            history.append(IterationRecord(
+                it, value, pg_norm, step,
+                wall_s=clock.monotonic() - iter_start,
+            ))
             metrics.counter("opt.iterations").inc()
             sp.set_attrs(objective=value, gradient_norm=pg_norm,
                          backtracks=backtracks)
             if pg_norm <= tolerance * initial_norm:
-                return OptimizationResult(w, value, it, True, history)
-    return OptimizationResult(w, value, max_iterations, False, history)
+                return finish(OptimizationResult(w, value, it, True, history))
+    return finish(OptimizationResult(w, value, max_iterations, False, history))
 
 
 def _two_loop(

@@ -16,13 +16,15 @@ from repro.kernels.plan import (
     PlanCache,
     clear_plan_cache,
     compile_plan,
+    compile_transpose_plan,
     execute_plan,
     execute_plan_multi,
+    execute_transpose_plan,
     get_plan_cache,
 )
 from repro.obs.metrics import get_registry
 from repro.sparse.csr import CSRMatrix
-from repro.util.errors import PlanMismatchError, ShapeError
+from repro.util.errors import DTypeError, PlanMismatchError, ShapeError
 from tests.conftest import make_random_csr
 
 
@@ -284,3 +286,85 @@ class TestRunMultiSpMMPath:
                                 plan=plan)
         assert result.spmm
         assert result.batch_size == 2
+
+
+class TestTransposePlan:
+    """The adjoint contract: A^T @ r through a compiled transpose plan
+    is bitwise identical to the family kernel run on the explicitly
+    transposed matrix, and numerically the exact adjoint of A."""
+
+    def test_bitwise_vs_kernel_on_explicit_transpose(self, rng):
+        m = make_random_csr(rng, n_rows=90, n_cols=40).astype(np.float16)
+        r = 0.5 + rng.random(m.n_rows)
+        tplan = compile_transpose_plan(m, "vector", np.float64)
+        np.testing.assert_array_equal(
+            execute_transpose_plan(tplan, r),
+            warp_csr_spmv_exact(m.transposed(), r, np.float64),
+        )
+
+    def test_bitwise_vs_kernel_run(self, rng):
+        m = make_random_csr(rng, n_rows=60, n_cols=30).astype(np.float16)
+        r = rng.random(m.n_rows)
+        kernel = HalfDoubleKernel()
+        tplan = compile_transpose_plan(
+            m, kernel.plan_family, kernel.precision.accumulate.dtype
+        )
+        np.testing.assert_array_equal(
+            execute_transpose_plan(tplan, r),
+            kernel.run(m.transposed(), r).y,
+        )
+
+    def test_numerically_the_adjoint(self, rng):
+        # <A w, r> == <w, A^T r> up to float64 roundoff.
+        m = make_random_csr(rng, n_rows=50, n_cols=22).astype(np.float16)
+        w = rng.random(m.n_cols)
+        r = rng.random(m.n_rows)
+        plan = compile_plan(m, "vector", np.float64)
+        tplan = compile_transpose_plan(m, "vector", np.float64)
+        lhs = float(execute_plan(plan, w) @ r)
+        rhs = float(w @ execute_transpose_plan(tplan, r))
+        assert lhs == pytest.approx(rhs, rel=1e-12)
+
+    def test_heavy_tail_bitwise(self, heavy_tail_csr, rng):
+        m = heavy_tail_csr.astype(np.float16)
+        r = rng.random(m.n_rows)
+        tplan = compile_transpose_plan(m, "vector", np.float64)
+        np.testing.assert_array_equal(
+            execute_transpose_plan(tplan, r),
+            warp_csr_spmv_exact(m.transposed(), r, np.float64),
+        )
+
+    def test_shapes_and_scalar_family(self, rng):
+        m = make_random_csr(rng, n_rows=31, n_cols=13)
+        tplan = compile_transpose_plan(m, "scalar", np.float32)
+        assert tplan.n_rows == m.n_cols
+        assert tplan.n_cols == m.n_rows
+        r = rng.random(m.n_rows)
+        np.testing.assert_array_equal(
+            execute_transpose_plan(tplan, r),
+            scalar_csr_spmv_exact(m.transposed(), r, np.float32),
+        )
+
+    def test_identity_anchors_source_matrix(self, rng):
+        m1 = make_random_csr(rng, n_rows=20, n_cols=9).astype(np.float16)
+        m2 = make_random_csr(rng, n_rows=20, n_cols=9).astype(np.float16)
+        tplan = compile_transpose_plan(m1)
+        assert tplan.matches(m1)
+        assert not tplan.matches(m2)
+        assert not tplan.matches(tplan.matrix)  # anchors name A, not A^T
+
+    def test_wrong_residual_shape_rejected(self, rng):
+        m = make_random_csr(rng, n_rows=20, n_cols=9).astype(np.float16)
+        tplan = compile_transpose_plan(m)
+        with pytest.raises(ShapeError):
+            execute_transpose_plan(tplan, np.ones(m.n_cols))
+
+    def test_non_csr_rejected(self):
+        with pytest.raises(DTypeError):
+            compile_transpose_plan(np.eye(4))
+
+    def test_plan_arrays_frozen(self, rng):
+        m = make_random_csr(rng, n_rows=20, n_cols=9).astype(np.float16)
+        tplan = compile_transpose_plan(m)
+        for g in tplan.plan.groups:
+            assert not g.values.flags.writeable

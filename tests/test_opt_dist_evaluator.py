@@ -1,0 +1,150 @@
+"""Sharded objective evaluation: bitwise across shard counts; specs."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.dispatch import make_kernel
+from repro.opt.dist import (
+    OBJECTIVE_PRESETS,
+    DistributedObjectiveEvaluator,
+    LocalObjectiveEvaluator,
+    ObjectiveSpecError,
+    ObjectiveTermSpec,
+    build_objective,
+    specs_from_dicts,
+    specs_to_dicts,
+    warm_start,
+)
+from repro.util.errors import ShapeError
+from tests.conftest import make_random_csr
+
+
+@pytest.fixture()
+def half_csr(rng):
+    return make_random_csr(rng, n_rows=60, n_cols=25).astype(np.float16)
+
+
+class TestShardCountInvariance:
+    """f and ∇f are bitwise identical across shard counts — the
+    per-iteration leg of the trajectory-determinism invariant."""
+
+    @pytest.mark.parametrize("preset", sorted(OBJECTIVE_PRESETS))
+    def test_local_vs_sharded_bitwise(self, half_csr, preset):
+        kernel = make_kernel("half_double")
+        objective = build_objective(OBJECTIVE_PRESETS[preset], half_csr)
+        w = warm_start(7, half_csr.n_cols)
+        reference = LocalObjectiveEvaluator(
+            half_csr, kernel
+        ).value_and_gradient(w, objective)
+        for shards in (1, 2, 4, 8):
+            sharded = DistributedObjectiveEvaluator(
+                half_csr, make_kernel("half_double"), shards
+            ).value_and_gradient(w, objective)
+            assert sharded.value == reference.value
+            assert (
+                float(sharded.value).hex() == float(reference.value).hex()
+            )
+            np.testing.assert_array_equal(sharded.dose, reference.dose)
+            np.testing.assert_array_equal(
+                sharded.gradient, reference.gradient
+            )
+
+    def test_gradient_matches_explicit_adjoint(self, half_csr):
+        # ∇f == A^T (∂f/∂d) computed with the exact transpose product.
+        kernel = make_kernel("half_double")
+        objective = build_objective(
+            OBJECTIVE_PRESETS["uniform"], half_csr
+        )
+        w = warm_start(3, half_csr.n_cols)
+        ev = LocalObjectiveEvaluator(half_csr, kernel).value_and_gradient(
+            w, objective
+        )
+        _, grad_d = objective.value_and_gradient(ev.dose)
+        manual = kernel.run(half_csr.transposed(), grad_d).y
+        np.testing.assert_array_equal(ev.gradient, manual)
+
+    def test_shapes_and_accessors(self, half_csr):
+        ev = DistributedObjectiveEvaluator(
+            half_csr, make_kernel("half_double"), 2
+        )
+        assert ev.n_weights == half_csr.n_cols
+        assert ev.n_voxels == half_csr.n_rows
+        assert ev.n_shards == 2
+        assert ev.matches(half_csr)
+
+    def test_bad_weight_shape_rejected(self, half_csr):
+        ev = DistributedObjectiveEvaluator(
+            half_csr, make_kernel("half_double"), 2
+        )
+        objective = build_objective(
+            OBJECTIVE_PRESETS["uniform"], half_csr
+        )
+        with pytest.raises(ShapeError):
+            ev.value_and_gradient(
+                np.ones(half_csr.n_cols + 1), objective
+            )
+
+
+class TestObjectiveSpecs:
+    def test_round_trip(self):
+        specs = OBJECTIVE_PRESETS["dvh"]
+        assert specs_from_dicts(specs_to_dicts(specs)) == specs
+
+    def test_presets_all_build(self, half_csr):
+        for preset, specs in OBJECTIVE_PRESETS.items():
+            objective = build_objective(specs, half_csr)
+            value, grad = objective.value_and_gradient(
+                np.ones(half_csr.n_rows)
+            )
+            assert np.isfinite(value), preset
+            assert grad.shape == (half_csr.n_rows,)
+
+    def test_roi_derivation_deterministic(self, half_csr):
+        specs = OBJECTIVE_PRESETS["clinical"]
+        w = warm_start(0, half_csr.n_cols)
+        kernel = make_kernel("half_double")
+        a = LocalObjectiveEvaluator(half_csr, kernel).value_and_gradient(
+            w, build_objective(specs, half_csr)
+        )
+        b = LocalObjectiveEvaluator(half_csr, kernel).value_and_gradient(
+            w, build_objective(specs, half_csr)
+        )
+        assert float(a.value).hex() == float(b.value).hex()
+        np.testing.assert_array_equal(a.gradient, b.gradient)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ObjectiveSpecError):
+            ObjectiveTermSpec("quadratic")
+
+    def test_bad_roi_rejected(self):
+        with pytest.raises(ObjectiveSpecError):
+            ObjectiveTermSpec("uniform", roi="hottest")
+        with pytest.raises(ObjectiveSpecError):
+            ObjectiveTermSpec("uniform", roi="hottest:0")
+
+    def test_bad_dvh_fraction_rejected(self):
+        with pytest.raises(ObjectiveSpecError):
+            ObjectiveTermSpec(
+                "max_dvh", dose_gy=10.0, volume_fraction=1.0
+            )
+        with pytest.raises(ObjectiveSpecError):
+            ObjectiveTermSpec(
+                "min_dvh", dose_gy=10.0, volume_fraction=0.0
+            )
+
+    def test_empty_specs_rejected(self, half_csr):
+        with pytest.raises(ObjectiveSpecError):
+            build_objective((), half_csr)
+
+
+class TestWarmStart:
+    def test_deterministic_and_positive(self):
+        a = warm_start(5, 40, "opt-a")
+        b = warm_start(5, 40, "opt-a")
+        np.testing.assert_array_equal(a, b)
+        assert (a >= 0.5).all()
+
+    def test_varies_with_seed_and_opt_id(self):
+        base = warm_start(5, 40, "opt-a")
+        assert not np.array_equal(base, warm_start(6, 40, "opt-a"))
+        assert not np.array_equal(base, warm_start(5, 40, "opt-b"))

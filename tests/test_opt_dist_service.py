@@ -1,0 +1,249 @@
+"""The optimization service: outcomes, rejections, budgets, preemption."""
+
+import numpy as np
+import pytest
+
+from repro.opt.dist import (
+    CHECKPOINT_SCHEMA,
+    OBJECTIVE_PRESETS,
+    OptimizationOutcome,
+    OptimizationRequest,
+    OptimizationService,
+    OptRejected,
+    OptRejectReason,
+    OptServeError,
+    OptServiceConfig,
+    TerminalState,
+    audit_optimization,
+    restore_state,
+    run_reference,
+    run_to_completion,
+    warm_start,
+)
+from tests.conftest import make_random_csr
+
+UNIFORM = OBJECTIVE_PRESETS["uniform"]
+
+
+@pytest.fixture()
+def master(rng):
+    # float32 master, as the plan registry expects.
+    return make_random_csr(rng, n_rows=60, n_cols=25)
+
+
+def _request(opt_id="o1", **overrides):
+    defaults = dict(
+        opt_id=opt_id,
+        plan_id="p",
+        objective=UNIFORM,
+        max_iterations=6,
+        tolerance=1e-9,
+    )
+    defaults.update(overrides)
+    return OptimizationRequest(**defaults)
+
+
+@pytest.fixture()
+def service(master):
+    svc = OptimizationService(
+        OptServiceConfig(n_workers=2, serve_workers=1, shards=1)
+    )
+    svc.register_plan("p", master)
+    with svc:
+        yield svc
+
+
+class TestOutcomes:
+    def test_runs_to_typed_terminal_with_checkpoint(self, service):
+        ticket = service.submit(_request())
+        outcome = ticket.outcome(timeout=60.0)
+        assert isinstance(outcome, OptimizationOutcome)
+        assert outcome.terminal in (
+            TerminalState.CONVERGED, TerminalState.BUDGET_EXHAUSTED
+        )
+        assert outcome.iterations == outcome.points[-1].iteration
+        assert outcome.checkpoint["schema"] == CHECKPOINT_SCHEMA
+        assert ticket.done()
+
+    def test_trajectory_bitwise_equals_standalone(self, service, master):
+        from repro.bench.harness import convert_for_kernel
+
+        ticket = service.submit(_request(opt_id="o-bitwise", seed=3))
+        outcome = ticket.outcome(timeout=60.0)
+        assert isinstance(outcome, OptimizationOutcome)
+        matrix = convert_for_kernel(master, "half_double")
+        w0 = warm_start(3, matrix.n_cols, "o-bitwise")
+        reference = run_reference(
+            matrix, "half_double", UNIFORM, w0,
+            tolerance=1e-9, max_iterations=6,
+        )
+        assert [p.key() for p in outcome.points] == [
+            p.key() for p in reference.points
+        ]
+
+    def test_concurrent_same_plan(self, service):
+        tickets = [
+            service.submit(_request(opt_id=f"c{i}", seed=i))
+            for i in range(4)
+        ]
+        outcomes = [t.outcome(timeout=120.0) for t in tickets]
+        assert all(
+            isinstance(o, OptimizationOutcome) for o in outcomes
+        )
+        stats = service.stats()
+        assert stats["iterations_total"] > 0
+        assert stats["evals_total"] >= stats["iterations_total"]
+
+    def test_preempt_then_resume_standalone(self, service, master):
+        from repro.bench.harness import convert_for_kernel
+        from repro.kernels.dispatch import make_kernel
+        from repro.opt.dist import LocalObjectiveEvaluator, build_objective
+
+        ticket = service.submit(
+            _request(
+                opt_id="long", seed=9, max_iterations=500, tolerance=0.0
+            )
+        )
+        assert service.preempt("long")
+        outcome = ticket.outcome(timeout=60.0)
+        assert isinstance(outcome, OptimizationOutcome)
+        assert outcome.terminal is TerminalState.PREEMPTED
+        # The checkpoint resumes to the uninterrupted trajectory.
+        matrix = convert_for_kernel(master, "half_double")
+        evaluator = LocalObjectiveEvaluator(
+            matrix, make_kernel("half_double")
+        )
+        objective = build_objective(UNIFORM, matrix)
+        resumed = run_to_completion(
+            evaluator, objective, restore_state(outcome.checkpoint),
+            tolerance=1e-9, max_iterations=outcome.iterations + 3,
+        )
+        w0 = warm_start(9, matrix.n_cols, "long")
+        reference = run_reference(
+            matrix, "half_double", UNIFORM, w0,
+            tolerance=1e-9, max_iterations=outcome.iterations + 3,
+        )
+        # A preempt can land before the first iteration, in which case
+        # the resumed run legitimately re-opens at iteration 0.
+        stitched = list(outcome.points) + [
+            p for p in resumed.points if p.iteration > outcome.iterations
+        ]
+        assert [p.key() for p in stitched] == [
+            p.key() for p in reference.points
+        ]
+
+    def test_preempt_unknown_id(self, service):
+        assert not service.preempt("nope")
+
+
+class TestRejections:
+    def test_unknown_plan(self, service):
+        rejected = service.submit(_request(plan_id="ghost"))
+        assert isinstance(rejected, OptRejected)
+        assert rejected.reason is OptRejectReason.UNKNOWN_PLAN
+
+    def test_unknown_precision(self, service):
+        rejected = service.submit(_request(precision="float128"))
+        assert isinstance(rejected, OptRejected)
+        assert rejected.reason is OptRejectReason.UNKNOWN_PRECISION
+
+    def test_nonreproducible_kernel(self, service):
+        rejected = service.submit(_request(precision="gpu_baseline"))
+        assert isinstance(rejected, OptRejected)
+        assert rejected.reason is OptRejectReason.NONREPRODUCIBLE
+
+    def test_duplicate_id(self, service):
+        ticket = service.submit(
+            _request(opt_id="dup", max_iterations=500, tolerance=0.0)
+        )
+        dup = service.submit(
+            _request(opt_id="dup", max_iterations=500, tolerance=0.0)
+        )
+        assert isinstance(dup, OptRejected)
+        assert dup.reason is OptRejectReason.DUPLICATE_ID
+        service.preempt("dup")
+        ticket.outcome(timeout=60.0)
+
+    def test_bad_w0_shape(self, service):
+        rejected = service.submit(_request(w0=np.ones(3)))
+        assert isinstance(rejected, OptRejected)
+        assert rejected.reason is OptRejectReason.BAD_REQUEST
+
+    def test_unshardable_plan(self, master):
+        svc = OptimizationService(
+            OptServiceConfig(n_workers=1, serve_workers=1, shards=64)
+        )
+        svc.register_plan("p", master)
+        with svc:
+            rejected = svc.submit(_request())
+            assert isinstance(rejected, OptRejected)
+            assert rejected.reason is OptRejectReason.UNSHARDABLE
+
+    def test_shutting_down(self, master):
+        svc = OptimizationService(
+            OptServiceConfig(n_workers=1, serve_workers=1)
+        )
+        svc.register_plan("p", master)
+        svc.start()
+        svc.stop()
+        rejected = svc.submit(_request())
+        assert isinstance(rejected, OptRejected)
+        assert rejected.reason is OptRejectReason.SHUTTING_DOWN
+
+    def test_request_validation(self):
+        with pytest.raises(OptServeError):
+            OptimizationRequest(
+                opt_id="x", plan_id="p", objective=()
+            )
+        with pytest.raises(OptServeError):
+            OptimizationRequest(
+                opt_id="x", plan_id="p", objective=UNIFORM,
+                max_iterations=0,
+            )
+
+
+class TestTenantBudgets:
+    def test_budget_truncates_then_rejects(self, master):
+        svc = OptimizationService(
+            OptServiceConfig(
+                n_workers=1, serve_workers=1,
+                tenant_budgets={"acme": 3},
+            )
+        )
+        svc.register_plan("p", master)
+        with svc:
+            ticket = svc.submit(_request(
+                opt_id="b1", tenant="acme",
+                max_iterations=500, tolerance=0.0,
+            ))
+            outcome = ticket.outcome(timeout=60.0)
+            assert isinstance(outcome, OptimizationOutcome)
+            assert outcome.terminal is TerminalState.BUDGET_EXHAUSTED
+            assert "acme" in outcome.detail
+            assert outcome.iterations == 3
+            assert svc.tenant_budget_left("acme") == 0
+            rejected = svc.submit(_request(opt_id="b2", tenant="acme"))
+            assert isinstance(rejected, OptRejected)
+            assert rejected.reason is OptRejectReason.TENANT_BUDGET
+            # Other tenants are unaffected.
+            other = svc.submit(_request(opt_id="b3", tenant="zen"))
+            assert isinstance(
+                other.outcome(timeout=60.0), OptimizationOutcome
+            )
+
+
+class TestFullAudit:
+    def test_audit_passes_on_small_problem(self, rng):
+        from repro.bench.harness import convert_for_kernel
+
+        master = make_random_csr(rng, n_rows=40, n_cols=16)
+        matrix = convert_for_kernel(master, "half_double")
+        audit = audit_optimization(
+            matrix, "half_double", OBJECTIVE_PRESETS["clinical"],
+            seed=1, tolerance=1e-9, max_iterations=4,
+            shard_counts=(1, 2, 4), include_service=True,
+        )
+        assert audit.ok, audit.problems
+        labels = [label for label, _, _ in audit.legs]
+        assert any("kill@" in label for label in labels)
+        assert any("service" in label for label in labels)
