@@ -307,7 +307,7 @@ def restore_state(data: Dict[str, Any]) -> OptimizerState:
             initial_norm=float.fromhex(str(data["initial_norm_hex"])),
             n_evals=int(data["n_evals"]),
         )
-    except (KeyError, ValueError) as exc:
+    except (KeyError, TypeError, ValueError) as exc:
         raise CheckpointError(f"malformed checkpoint: {exc}") from exc
 
 

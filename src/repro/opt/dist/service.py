@@ -500,6 +500,13 @@ class OptimizationService:
         """Admit an optimization (returns a ticket) or reject it now."""
         metrics.counter("opt.service.submitted").inc()
         rejection = self._validate(request)
+        if rejection is None:
+            # Admission pressure (stopping / duplicate / full) is checked
+            # before the engine build so requests destined for rejection
+            # never pay plan-compilation cost or populate the engine
+            # cache while the service is stopping.
+            with self._queue_cond:
+                rejection = self._admission_reject(request)
         if rejection is not None:
             metrics.counter("opt.service.rejected").inc()
             return rejection
@@ -522,24 +529,16 @@ class OptimizationService:
         objective = build_objective(request.objective, engine.matrix)
         task = _OptTask(request, ticket, objective, evaluator)
         with self._queue_cond:
-            if self._stopping:
-                return OptRejected(
-                    request.opt_id, OptRejectReason.SHUTTING_DOWN,
-                    "service is stopping",
-                )
-            if request.opt_id in self._tasks:
-                return OptRejected(
-                    request.opt_id, OptRejectReason.DUPLICATE_ID,
-                    "an optimization with this id is already running",
-                )
-            if len(self._tasks) >= self.config.queue_capacity:
-                return OptRejected(
-                    request.opt_id, OptRejectReason.QUEUE_FULL,
-                    f"{len(self._tasks)} optimizations already admitted",
-                )
-            self._tasks[request.opt_id] = task
-            self._ready.append(task)
-            self._queue_cond.notify()
+            # Re-check under the lock: admission state may have changed
+            # while the engine was building.
+            rejection = self._admission_reject(request)
+            if rejection is None:
+                self._tasks[request.opt_id] = task
+                self._ready.append(task)
+                self._queue_cond.notify()
+        if rejection is not None:
+            metrics.counter("opt.service.rejected").inc()
+            return rejection
         if artifact.enabled():
             artifact.record(
                 "opt_submit",
@@ -553,6 +552,27 @@ class OptimizationService:
                 objective=specs_to_dicts(request.objective),
             )
         return ticket
+
+    def _admission_reject(
+        self, request: OptimizationRequest
+    ) -> Optional[OptRejected]:
+        """Cheap admission checks; the caller holds ``_queue_cond``."""
+        if self._stopping:
+            return OptRejected(
+                request.opt_id, OptRejectReason.SHUTTING_DOWN,
+                "service is stopping",
+            )
+        if request.opt_id in self._tasks:
+            return OptRejected(
+                request.opt_id, OptRejectReason.DUPLICATE_ID,
+                "an optimization with this id is already running",
+            )
+        if len(self._tasks) >= self.config.queue_capacity:
+            return OptRejected(
+                request.opt_id, OptRejectReason.QUEUE_FULL,
+                f"{len(self._tasks)} optimizations already admitted",
+            )
+        return None
 
     def _validate(
         self, request: OptimizationRequest
@@ -673,9 +693,45 @@ class OptimizationService:
             task = self._next_task()
             if task is None:
                 return
-            requeue = self._run_quantum(task)
+            try:
+                requeue = self._run_quantum(task)
+            except Exception as exc:  # pragma: no cover - defensive
+                # _run_quantum handles task failures itself; anything
+                # that still escapes (a bug in the finish path) must not
+                # kill the worker thread, leak the task, or leave the
+                # caller blocked on an unresolved ticket.
+                _log.error(kv("optimizer worker error",
+                              opt_id=task.request.opt_id,
+                              error=f"{type(exc).__name__}: {exc}"))
+                self._abandon(task, exc)
+                requeue = False
             if requeue:
                 self._requeue(task)
+
+    def _abandon(self, task: _OptTask, exc: BaseException) -> None:
+        """Last-resort retirement when finishing a task itself failed."""
+        with self._queue_cond:
+            self._tasks.pop(task.request.opt_id, None)
+        if task.ticket.done():
+            return
+        state = task.state
+        with self._accounting:
+            self._terminal_counts[TerminalState.FAILED.value] += 1
+        metrics.counter(f"opt.service.{TerminalState.FAILED.value}").inc()
+        task.ticket.resolve(
+            OptimizationOutcome(
+                opt_id=task.request.opt_id,
+                tenant=task.request.tenant,
+                plan_id=task.request.plan_id,
+                terminal=TerminalState.FAILED,
+                iterations=state.iteration if state is not None else 0,
+                objective=state.value if state is not None else float("nan"),
+                n_evals=state.n_evals if state is not None else 0,
+                points=task.points,
+                checkpoint={},
+                detail=f"{type(exc).__name__}: {exc}",
+            )
+        )
 
     def _run_quantum(self, task: _OptTask) -> bool:
         """Advance ``task`` by up to one quantum; True = more to do."""
@@ -755,18 +811,30 @@ class OptimizationService:
                 detail: str = "") -> None:
         request = task.request
         state = task.state
-        assert state is not None
-        checkpoint = record_checkpoint(
-            request.opt_id, state, seed=request.seed,
-            reason="terminal" if terminal is not TerminalState.PREEMPTED
-            else "preempt",
-        )
+        checkpoint: Dict[str, object] = {}
+        if state is not None:
+            checkpoint = record_checkpoint(
+                request.opt_id, state, seed=request.seed,
+                reason="terminal" if terminal is not TerminalState.PREEMPTED
+                else "preempt",
+            )
+            iterations = state.iteration
+            n_evals = state.n_evals
+            objective = state.value
+        else:
+            # The task failed before warm start produced a state (e.g.
+            # the very first evaluation was rejected or timed out).
+            # There is nothing to checkpoint, but the task must still be
+            # retired and the caller's ticket must still resolve.
+            iterations = 0
+            n_evals = 0
+            objective = float("nan")
         with self._queue_cond:
             self._tasks.pop(request.opt_id, None)
         with self._accounting:
             self._terminal_counts[terminal.value] += 1
-            self._iterations_total += state.iteration
-            self._evals_total += state.n_evals
+            self._iterations_total += iterations
+            self._evals_total += n_evals
         metrics.counter(f"opt.service.{terminal.value}").inc()
         if artifact.enabled():
             artifact.record(
@@ -776,10 +844,10 @@ class OptimizationService:
                 plan_id=request.plan_id,
                 precision=request.precision,
                 terminal=terminal.value,
-                iterations=state.iteration,
-                n_evals=state.n_evals,
-                objective=state.value,
-                objective_hex=float(state.value).hex(),
+                iterations=iterations,
+                n_evals=n_evals,
+                objective=objective,
+                objective_hex=float(objective).hex(),
                 shards=self.config.shards,
                 detail=detail,
             )
@@ -789,9 +857,9 @@ class OptimizationService:
                 tenant=request.tenant,
                 plan_id=request.plan_id,
                 terminal=terminal,
-                iterations=state.iteration,
-                objective=state.value,
-                n_evals=state.n_evals,
+                iterations=iterations,
+                objective=objective,
+                n_evals=n_evals,
                 points=task.points,
                 checkpoint=checkpoint,
                 detail=detail,

@@ -150,6 +150,42 @@ class TestCheckpointSerialization:
         with pytest.raises(CheckpointError):
             restore_state({"schema": CHECKPOINT_SCHEMA, "iteration": 1})
 
+    def test_wrong_typed_checkpoint_fields_rejected(self):
+        # Wrong-typed fields must surface as the documented typed
+        # CheckpointError, not a raw TypeError.
+        import base64
+
+        arr = {
+            "dtype": "<f8",
+            "shape": [2],
+            "data_b64": base64.b64encode(
+                np.zeros(2).tobytes()
+            ).decode("ascii"),
+        }
+        valid = {
+            "schema": CHECKPOINT_SCHEMA,
+            "iteration": 1,
+            "n_evals": 2,
+            "value": 0.5,
+            "value_hex": (0.5).hex(),
+            "pg_norm_hex": (0.1).hex(),
+            "step_hex": (1.0).hex(),
+            "initial_norm_hex": (1.0).hex(),
+            "w": arr,
+            "grad": arr,
+        }
+        restore_state(dict(valid))  # the baseline really is restorable
+        for field, bad in (
+            ("w", 42),  # array payload not a dict
+            ("w", {**arr, "shape": 2}),  # shape not a list
+            ("grad", None),
+            ("iteration", None),
+        ):
+            corrupted = dict(valid)
+            corrupted[field] = bad
+            with pytest.raises(CheckpointError):
+                restore_state(corrupted)
+
 
 class TestKillResumeProperty:
     """Satellite invariant: kill at ANY iteration boundary, resume from

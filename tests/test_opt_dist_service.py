@@ -1,5 +1,7 @@
 """The optimization service: outcomes, rejections, budgets, preemption."""
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -200,6 +202,94 @@ class TestRejections:
                 opt_id="x", plan_id="p", objective=UNIFORM,
                 max_iterations=0,
             )
+
+
+class TestFailurePaths:
+    def test_warm_start_failure_resolves_ticket(
+        self, service, monkeypatch
+    ):
+        # A failure before the first iterate exists (task.state is still
+        # None, e.g. the inner serve rejected the very first forward
+        # evaluation) must resolve the ticket with a FAILED outcome —
+        # not kill the worker thread and hang the caller.
+        import repro.opt.dist.service as service_mod
+
+        real = service_mod.initial_state
+        fail = threading.Event()
+        fail.set()
+
+        def flaky(*args, **kwargs):
+            if fail.is_set():
+                raise OptServeError("injected warm-start failure")
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(service_mod, "initial_state", flaky)
+        ticket = service.submit(_request(opt_id="ws-fail"))
+        outcome = ticket.outcome(timeout=30.0)
+        assert isinstance(outcome, OptimizationOutcome)
+        assert outcome.terminal is TerminalState.FAILED
+        assert outcome.iterations == 0
+        assert outcome.checkpoint == {}
+        assert "injected warm-start failure" in outcome.detail
+        # The task is not leaked in the admission queue.
+        assert service.stats()["active"] == 0.0
+        # The worker survived: a healthy submit still completes.
+        fail.clear()
+        ticket2 = service.submit(_request(opt_id="ws-ok"))
+        assert isinstance(
+            ticket2.outcome(timeout=60.0), OptimizationOutcome
+        )
+
+    def test_admission_rejections_counted(self, master):
+        from repro.obs import metrics
+
+        svc = OptimizationService(
+            OptServiceConfig(
+                n_workers=1, serve_workers=1, queue_capacity=1
+            )
+        )
+        svc.register_plan("p", master)
+        rejected = metrics.counter("opt.service.rejected")
+        with svc:
+            before = rejected.value
+            ticket = svc.submit(_request(
+                opt_id="hold", max_iterations=500, tolerance=0.0
+            ))
+            dup = svc.submit(_request(opt_id="hold"))
+            assert isinstance(dup, OptRejected)
+            assert dup.reason is OptRejectReason.DUPLICATE_ID
+            full = svc.submit(_request(opt_id="overflow"))
+            assert isinstance(full, OptRejected)
+            assert full.reason is OptRejectReason.QUEUE_FULL
+            assert rejected.value == before + 2
+            svc.preempt("hold")
+            ticket.outcome(timeout=60.0)
+        late = svc.submit(_request(opt_id="late"))
+        assert isinstance(late, OptRejected)
+        assert late.reason is OptRejectReason.SHUTTING_DOWN
+        assert rejected.value == before + 3
+
+    def test_doomed_submit_builds_no_engine(self, master, rng):
+        # Requests rejected for admission pressure must not pay the
+        # per-(plan, precision) engine build (transpose + compile).
+        other = make_random_csr(rng, n_rows=50, n_cols=20)
+        svc = OptimizationService(
+            OptServiceConfig(
+                n_workers=1, serve_workers=1, queue_capacity=1
+            )
+        )
+        svc.register_plan("p", master)
+        svc.register_plan("p2", other)
+        with svc:
+            ticket = svc.submit(_request(
+                opt_id="hold", max_iterations=500, tolerance=0.0
+            ))
+            full = svc.submit(_request(opt_id="x", plan_id="p2"))
+            assert isinstance(full, OptRejected)
+            assert full.reason is OptRejectReason.QUEUE_FULL
+            assert ("p2", "half_double") not in svc._engines
+            svc.preempt("hold")
+            ticket.outcome(timeout=60.0)
 
 
 class TestTenantBudgets:
