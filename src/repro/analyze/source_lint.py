@@ -1,4 +1,4 @@
-"""AST-based reproducibility lint (rules RA101–RA107).
+"""AST-based reproducibility lint (rules RA101–RA108).
 
 The paper's kernel is clinically acceptable only because it is bitwise
 reproducible (Section II-D), and reproducibility is a *global* property:
@@ -30,7 +30,13 @@ package source and enforces:
   ``bench``) must not write run records with ``json.dump``/``csv.writer``
   directly: the per-run artifact (:mod:`repro.obs.artifact`) is the
   single source of truth, and files are views rendered from it.  Modules
-  that import ``repro.obs.artifact`` are artifact-aware and exempt.
+  that import ``repro.obs.artifact`` are artifact-aware and exempt;
+* **RA108** — functional-path modules outside :mod:`repro.tune` must not
+  hard-code execution configuration: a literal ``threads_per_block=`` or
+  ``n_shards=`` at a call site, or a fresh block-size default binding,
+  silently pins a launch shape the autotuner exists to choose.  The
+  tuner owns the candidate space; kernels keep their measured Fig-4
+  defaults under explicit ``# analyze: allow[RA108]`` markers.
 
 All rules honour inline ``# analyze: allow[RULE]`` suppressions on the
 flagged line.
@@ -115,6 +121,18 @@ RA107 = Rule(
     "repro.obs.artifact are treated as artifact-aware view renderers. "
     "Mark deliberate exceptions '# analyze: allow[RA107]'.",
 )
+RA108 = Rule(
+    "RA108",
+    "hard-coded-execution-config",
+    Severity.ERROR,
+    "A functional-path module outside repro.tune hard-codes execution "
+    "configuration (a literal threads_per_block/n_shards argument or a "
+    "block-size default binding); launch shapes belong to the autotuner's "
+    "candidate space.",
+    "Leave the parameter unset (kernel default), thread a tuned "
+    "ExecutionConfig from repro.tune through the call, or mark a kernel's "
+    "measured Fig-4 default '# analyze: allow[RA108]' with justification.",
+)
 
 #: package-relative directories whose modules are the functional path.
 #: ``serve`` is functional-path too: a served dose must be a pure
@@ -122,7 +140,7 @@ RA107 = Rule(
 #: through the injectable :mod:`repro.obs.clock`, never wall clocks.
 FUNCTIONAL_DIRS: Tuple[str, ...] = (
     "kernels", "sparse", "precision", "gpu", "dose", "opt", "roofline",
-    "plans", "serve", "dist",
+    "plans", "serve", "dist", "tune",
 )
 
 #: modules exempt from RA102 (the sanctioned RNG plumbing itself).
@@ -161,6 +179,17 @@ _WALL_CLOCK_CALLS = frozenset({
 
 _MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
                      ast.SetComp)
+
+#: call keywords that pin a launch shape (RA108); matched by exact name,
+#: so spec fields like ``max_threads_per_block`` stay out of scope.
+_EXEC_CONFIG_KEYWORDS = frozenset({"threads_per_block", "n_shards"})
+
+#: bindings that (re)declare a block-size default (RA108); kernels'
+#: measured Fig-4 values carry explicit allow markers.
+_EXEC_CONFIG_BINDINGS = frozenset({
+    "default_threads_per_block",
+    "DEFAULT_THREADS_PER_BLOCK",
+})
 
 #: calls that assemble shard outputs into one dose vector (RA106).
 _CONCAT_FAMILY = frozenset({
@@ -429,6 +458,52 @@ def _lint_dist_module(
             )
 
 
+def _lint_exec_config(
+    tree: ast.Module, emit: "Callable[[Rule, int, str], None]"
+) -> None:
+    """RA108: no hard-coded launch shapes outside the tuner.
+
+    Two shapes are flagged: (a) a call-site keyword ``threads_per_block=``
+    or ``n_shards=`` whose value is an integer literal — the caller pins a
+    launch configuration the tuning cache should choose; (b) a binding of
+    a recognized block-size default name — a new Fig-4-style constant
+    outside the kernel catalogue.  Booleans and ``None`` (the "use the
+    kernel default" sentinel) are not literals in this sense.
+    """
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            for kw in node.keywords:
+                if (
+                    kw.arg in _EXEC_CONFIG_KEYWORDS
+                    and isinstance(kw.value, ast.Constant)
+                    and isinstance(kw.value.value, int)
+                    and not isinstance(kw.value.value, bool)
+                ):
+                    emit(
+                        RA108, kw.value.lineno,
+                        f"call hard-codes {kw.arg}={kw.value.value}; "
+                        "launch shapes belong to the tuner's candidate "
+                        "space (pass a tuned ExecutionConfig or leave "
+                        "unset)",
+                    )
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, ast.AnnAssign):
+            targets = [node.target]
+        for target in targets:
+            if (
+                isinstance(target, ast.Name)
+                and target.id in _EXEC_CONFIG_BINDINGS
+            ):
+                emit(
+                    RA108, node.lineno,
+                    f"binding {target.id!r} declares a block-size "
+                    "default outside the tuner; mark a kernel's measured "
+                    "Fig-4 default '# analyze: allow[RA108]'",
+                )
+
+
 def _line_allows(source_lines: List[str], lineno: int, rule_id: str) -> bool:
     if 1 <= lineno <= len(source_lines):
         return rule_id in inline_allowed_rules(source_lines[lineno - 1])
@@ -500,6 +575,10 @@ def lint_source(
     # --- RA106: ordered shard merges in repro.dist --------------------- #
     if _is_dist_module(rel_path):
         _lint_dist_module(tree, emit)
+
+    # --- RA108: hard-coded execution config outside the tuner ---------- #
+    if functional and Path(rel_path).parts[0] != "tune":
+        _lint_exec_config(tree, emit)
 
     for node in ast.walk(tree):
         if not isinstance(node, ast.Call):
@@ -582,12 +661,13 @@ def _check_repro_lint(context: object) -> List[Finding]:
 
 #: rule ids this checker may emit (shared with tests).
 SOURCE_LINT_RULES: FrozenSet[str] = frozenset(
-    {"RA101", "RA102", "RA103", "RA104", "RA105", "RA106", "RA107"}
+    {"RA101", "RA102", "RA103", "RA104", "RA105", "RA106", "RA107",
+     "RA108"}
 )
 
 
 def register(registry: RuleRegistry) -> None:
     """Register the lint rules and checker."""
-    for rule in (RA101, RA102, RA103, RA104, RA105, RA106, RA107):
+    for rule in (RA101, RA102, RA103, RA104, RA105, RA106, RA107, RA108):
         registry.add_rule(rule)
     registry.add_checker("repro-lint", SOURCE_LINT_RULES, _check_repro_lint)

@@ -199,15 +199,29 @@ def dist_bench_record(
     shard_policy: str,
     placement: str,
     points: List[Dict[str, object]],
+    dispatch: str = "launch",
+    repeats: int = 1,
+    threads_per_block: Optional[int] = None,
+    tuned: bool = False,
+    tuning_cache_hit: Optional[bool] = None,
 ) -> Dict[str, object]:
     """The strong-scaling sweep: one sharded evaluation per shard count.
 
     Each point carries the modeled wall time at that shard count (one
     device per shard, from the existing analytic timing model), the
     speedup/efficiency against the single-device reference, the nnz
-    imbalance of the sharding, and whether the sharded dose was bitwise
+    imbalance of the sharding, whether the sharded dose was bitwise
     identical to the single-device run — the acceptance criterion this
-    record exists to witness.
+    record exists to witness — and the serial-overhead decomposition
+    (dispatch/execute/merge modeled terms plus host-measured
+    partition/compile/execute seconds, steady-state over ``repeats``
+    evaluations of one compiled evaluator).
+
+    The header additionally records the dispatch mode, the repeat count,
+    any explicit block-size override, and — when the sweep consulted the
+    autotuner — whether its tuning-cache lookup hit.  All header
+    additions are optional with legacy-compatible defaults, so older
+    ``repro.dist-bench/v1`` readers keep working.
     """
     return {
         "schema": DIST_BENCH_SCHEMA,
@@ -219,6 +233,11 @@ def dist_bench_record(
         "nnz": nnz,
         "shard_policy": shard_policy,
         "placement": placement,
+        "dispatch": dispatch,
+        "repeats": repeats,
+        "threads_per_block": threads_per_block,
+        "tuned": tuned,
+        "tuning_cache_hit": tuning_cache_hit,
         "all_bitwise_identical": all(
             bool(p.get("bitwise_identical")) for p in points
         ),

@@ -607,6 +607,10 @@ def _cmd_dist_sweep(args: argparse.Namespace) -> int:
             shard_policy=args.policy,
             device_name=args.device,
             seed=args.seed,
+            dispatch=args.dispatch,
+            threads_per_block=args.tpb,
+            repeats=args.repeats,
+            use_tuned=args.tuned,
         )
     finally:
         if witness is not None:
@@ -633,6 +637,95 @@ def _cmd_dist_sweep(args: argparse.Namespace) -> int:
         print("SHARDED RESULTS NOT BITWISE IDENTICAL", file=sys.stderr)
         return 1
     return witness_rc
+
+
+def _cmd_tune_run(args: argparse.Namespace) -> int:
+    """``repro-rtdose tune run``: autotune one (case, kernel) problem."""
+    from repro.bench.harness import convert_for_kernel
+    from repro.kernels.dispatch import make_kernel
+    from repro.plans.cases import build_case_matrix
+    from repro.tune import TuningCache, autotune, set_tune_cache
+
+    if args.cache:
+        set_tune_cache(TuningCache(args.cache))
+    kernel = make_kernel(args.kernel)
+    matrix = convert_for_kernel(
+        build_case_matrix(args.case, args.preset).matrix, args.kernel
+    )
+    result = autotune(
+        matrix,
+        kernel,
+        device=args.device,
+        n_devices=args.dist_devices,
+        seed=args.seed,
+    )
+    entry = result.entry
+    summary = Table(["metric", "value"],
+                    title=f"Autotune — {args.case} / {args.kernel}")
+    summary.add_row(["cache", "HIT" if result.cache_hit else "miss (swept)"])
+    summary.add_row(["key", entry.key.key_string()])
+    summary.add_row(["threads/block", entry.config.threads_per_block])
+    summary.add_row(["shards", entry.config.n_shards])
+    summary.add_row(["shard policy", entry.config.shard_policy])
+    summary.add_row(["placement", entry.config.placement])
+    summary.add_row(["dispatch", entry.config.dispatch])
+    summary.add_row(["modeled wall (us)", entry.modeled_wall_s * 1e6])
+    summary.add_row(["single device (us)", entry.single_device_time_s * 1e6])
+    summary.add_row(["speedup", entry.speedup])
+    summary.add_row(["candidates tried", entry.candidates_tried])
+    summary.add_row(["bitwise validated",
+                     "yes" if entry.bitwise_validated else "NO"])
+    print(summary.render())
+    if result.outcomes and args.verbose:
+        detail = Table(
+            ["tpb", "shards", "policy", "dispatch", "wall_us", "bitwise"],
+            title="Candidates",
+        )
+        for o in sorted(result.outcomes, key=lambda o: o.modeled_wall_s):
+            detail.add_row([
+                o.config.threads_per_block, o.config.n_shards,
+                o.config.shard_policy, o.config.dispatch,
+                o.modeled_wall_s * 1e6,
+                "yes" if o.bitwise_identical else "NO",
+            ])
+        print()
+        print(detail.render())
+    return 0 if entry.bitwise_validated else 1
+
+
+def _cmd_tune_show(args: argparse.Namespace) -> int:
+    """``repro-rtdose tune show``: list the tuning cache's entries."""
+    from repro.tune import TUNE_CACHE_ENV, TuningCache, get_tune_cache
+
+    if args.cache:
+        cache = TuningCache(args.cache)
+    else:
+        cache = get_tune_cache()
+        if cache.path is None and os.environ.get(TUNE_CACHE_ENV) is None:
+            print("no cache path: pass --cache PATH or set "
+                  f"{TUNE_CACHE_ENV} (showing in-memory cache)")
+    entries = cache.entries()
+    if not entries:
+        print("tuning cache is empty")
+        return 0
+    table = Table(
+        ["key", "tpb", "shards", "policy", "dispatch", "wall_us",
+         "speedup", "tried"],
+        title=f"Tuning cache ({cache.path or 'memory'})",
+    )
+    for entry in entries:
+        table.add_row([
+            entry.key.key_string(),
+            entry.config.threads_per_block,
+            entry.config.n_shards,
+            entry.config.shard_policy,
+            entry.config.dispatch,
+            entry.modeled_wall_s * 1e6,
+            entry.speedup,
+            entry.candidates_tried,
+        ])
+    print(table.render())
+    return 0
 
 
 def _cmd_dist_partition_report(args: argparse.Namespace) -> int:
@@ -1312,8 +1405,23 @@ def build_parser() -> argparse.ArgumentParser:
                               default=[1, 2, 4, 8],
                               help="shard counts to sweep")
     p_dist_sweep.add_argument("--policy", default="balanced",
-                              choices=["balanced", "equal_rows"],
+                              choices=["balanced", "cost", "equal_rows"],
                               help="row partition policy")
+    p_dist_sweep.add_argument("--dispatch", default="graph",
+                              choices=["graph", "launch"],
+                              help="dispatch pricing: one graph replay per "
+                                   "device vs one launch per shard")
+    p_dist_sweep.add_argument("--tpb", type=int, default=None,
+                              metavar="THREADS",
+                              help="threads per block for every shard "
+                                   "(default: kernel's Fig-4 default)")
+    p_dist_sweep.add_argument("--repeats", type=int, default=3,
+                              help="steady-state evaluations per point on "
+                                   "the one compiled evaluator")
+    p_dist_sweep.add_argument("--tuned", action="store_true",
+                              help="consult the tuning cache for this "
+                                   "problem (tunes once on a cold cache); "
+                                   "overrides --policy/--dispatch/--tpb")
     p_dist_sweep.add_argument("--json", default=None, metavar="PATH",
                               help="write the repro.dist-bench/v1 record "
                                    "here")
@@ -1336,6 +1444,45 @@ def build_parser() -> argparse.ArgumentParser:
     p_dist_pr.add_argument("--shards", type=int, nargs="+", default=[2, 4, 8],
                            help="shard counts to tabulate")
     p_dist_pr.set_defaults(func=_cmd_dist_partition_report)
+
+    p_tune = sub.add_parser(
+        "tune",
+        help="Fig-4-style execution autotuner: sweep block size × shard "
+             "count × policy, cache the bitwise-validated winner",
+    )
+    tune_sub = p_tune.add_subparsers(dest="tune_command", required=True)
+    tune_flags = argparse.ArgumentParser(add_help=False)
+    tune_flags.add_argument("--cache", default=None, metavar="PATH",
+                            help="tuning-cache JSON path (default: "
+                                 "$REPRO_TUNE_CACHE, else in-memory)")
+
+    p_tune_run = tune_sub.add_parser(
+        "run", parents=[obs_flags, tune_flags],
+        help="tune one (case, kernel) problem; warm cache entries are "
+             "returned without sweeping",
+    )
+    p_tune_run.add_argument("--case", default="Liver 1",
+                            choices=case_names())
+    p_tune_run.add_argument("--preset", default="tiny",
+                            choices=["tiny", "bench", "structure"])
+    p_tune_run.add_argument("--kernel", default="half_double",
+                            choices=kernel_names())
+    p_tune_run.add_argument("--device", default="A100",
+                            help="device type of the simulated pool")
+    p_tune_run.add_argument("--dist-devices", type=int, default=4,
+                            help="device-pool width to tune for")
+    p_tune_run.add_argument("--seed", type=int, default=20210419,
+                            help="probe-vector seed for the bitwise audit")
+    p_tune_run.add_argument("--verbose-candidates", dest="verbose",
+                            action="store_true",
+                            help="also print every candidate's outcome")
+    p_tune_run.set_defaults(func=_cmd_tune_run)
+
+    p_tune_show = tune_sub.add_parser(
+        "show", parents=[obs_flags, tune_flags],
+        help="list the tuning cache's entries",
+    )
+    p_tune_show.set_defaults(func=_cmd_tune_show)
 
     p_opt = sub.add_parser(
         "opt",
@@ -1535,7 +1682,8 @@ def _write_run_artifact(
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point.
 
-    Every subcommand except ``artifact`` itself records one
+    Every subcommand except the pure inspection verbs (``artifact``
+    itself and ``tune show``) records one
     ``repro.artifact/v1`` run record (opt out with ``--no-artifact``):
     a process-wide :class:`~repro.obs.artifact.ArtifactSink` is
     installed before the command runs and the enriched record is
@@ -1551,7 +1699,13 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     sink = None
     previous_sink = None
-    if not getattr(args, "no_artifact", False) and args.command != "artifact":
+    # Pure inspection verbs record nothing: the artifact verbs read
+    # other runs' records, and `tune show` only lists a cache.
+    inspection_only = args.command == "artifact" or (
+        args.command == "tune"
+        and getattr(args, "tune_command", None) == "show"
+    )
+    if not getattr(args, "no_artifact", False) and not inspection_only:
         command = ["repro-rtdose"] + (
             list(argv) if argv is not None else sys.argv[1:]
         )

@@ -80,11 +80,39 @@ class ShardedServeBackend:
     def evaluator_for(
         self, plan_id: str, precision: str, matrix: CSRMatrix
     ) -> ShardedEvaluator:
-        """The (cached) sharded evaluator for one servable plan."""
+        """The (cached) sharded evaluator for one servable plan.
+
+        A warm tuning-cache entry for this matrix structure transparently
+        upgrades the evaluator (block size, shard count/policy,
+        placement); a cold cache changes nothing — serving never runs a
+        sweep inline.
+        """
         key = (plan_id, precision)
 
         def build() -> ShardedEvaluator:
             kernel: SpMVKernel = make_kernel(precision)
+            # Imported lazily: repro.tune depends on this package.
+            from repro.tune.autotuner import tuned_config_for
+
+            tuned = tuned_config_for(
+                matrix,
+                kernel,
+                device=self.pool.devices[0].spec.name,
+                n_devices=self.pool.n_devices,
+            )
+            if tuned is not None:
+                metrics.counter("dist.evaluators_tuned").inc()
+                return ShardedEvaluator(
+                    matrix,
+                    kernel,
+                    tuned.n_shards,
+                    pool=self.pool,
+                    placement=tuned.placement,
+                    shard_policy=tuned.shard_policy,
+                    retry_budget=self.retry_budget,
+                    dispatch=tuned.dispatch,
+                    threads_per_block=tuned.threads_per_block,
+                )
             return ShardedEvaluator(
                 matrix,
                 kernel,

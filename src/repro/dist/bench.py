@@ -11,9 +11,15 @@ cross-device reproducibility contract.
 Speedups come from the analytic timing model, like every performance
 number in this repo: per-shard times are priced on each shard's own
 block, shards on one device serialize, devices overlap.  Perfect scaling
-would be ``speedup == shards``; the gap is nnz imbalance (bounded by the
-greedy prefix partitioner) plus the per-launch overhead each extra
-device pays.
+would be ``speedup == shards``; the gap decomposes into terms each point
+now reports explicitly — fixed dispatch cost (one graph replay per
+device + per-node slots, or one full launch per shard on the legacy
+path), the executed core, and the merge (identically zero since the
+fused plan writes merge-ordered output slices in place).  Host-side
+partition/compile/execute seconds ride along, measured through the
+injectable :mod:`repro.obs.clock` with one compiled evaluator reused
+across ``repeats`` evaluations, so the execute figure is steady-state
+dispatch, not first-call compilation.
 """
 
 from __future__ import annotations
@@ -28,6 +34,7 @@ from repro.bench.recording import dist_bench_record
 from repro.gpu.device import get_device
 from repro.kernels.dispatch import make_kernel
 from repro.obs import artifact
+from repro.obs.clock import monotonic
 from repro.obs.trace import span as trace_span
 from repro.plans.cases import build_case_matrix
 from repro.sparse.csr import CSRMatrix
@@ -36,11 +43,13 @@ from repro.sparse.partition import (
     partition_rows_balanced,
     partition_rows_equal,
 )
+from repro.util.errors import ShapeError
 from repro.util.rng import make_rng, stable_seed
 from repro.util.tables import Table
 
 from repro.dist.evaluator import ShardedEvaluator
 from repro.dist.pool import DevicePool
+from repro.dist.sharding import shard_matrix
 
 #: the sweep's default shard counts (the issue's strong-scaling ladder).
 DEFAULT_SHARD_COUNTS: Tuple[int, ...] = (1, 2, 4, 8)
@@ -63,6 +72,25 @@ class StrongScalingPoint:
     #: sharded dose bitwise equal to the single-device dose.
     bitwise_identical: bool
     retries: int
+    #: dispatch mode the point was priced under.
+    dispatch: str = "launch"
+    #: modeled fixed dispatch cost on the critical device.
+    dispatch_overhead_s: float = 0.0
+    #: modeled executed core on the critical device (wall - dispatch).
+    execute_time_s: float = 0.0
+    #: modeled merge cost — identically zero: the fused plan writes
+    #: merge-ordered output slices in place (kept explicit so the
+    #: decomposition sums to the wall).
+    merge_time_s: float = 0.0
+    #: wall the same placement would post under per-shard launches.
+    legacy_wall_time_s: float = 0.0
+    #: host seconds partitioning rows (measured, repro.obs.clock).
+    host_partition_s: float = 0.0
+    #: host seconds compiling the fused sharded plan (measured).
+    host_compile_s: float = 0.0
+    #: host seconds per steady-state evaluation (median over repeats of
+    #: one compiled evaluator — dispatch cost, not compilation).
+    host_execute_s: float = 0.0
 
     @property
     def speedup(self) -> float:
@@ -72,6 +100,13 @@ class StrongScalingPoint:
     def efficiency(self) -> float:
         """Speedup per device (1.0 == perfect strong scaling)."""
         return self.speedup / self.devices
+
+    @property
+    def legacy_speedup(self) -> float:
+        """Speedup the per-launch dispatch path would have posted."""
+        if self.legacy_wall_time_s <= 0:
+            return 0.0
+        return self.single_device_time_s / self.legacy_wall_time_s
 
 
 @dataclass(frozen=True)
@@ -87,10 +122,20 @@ class StrongScalingReport:
     shard_policy: str
     placement: str
     points: Tuple[StrongScalingPoint, ...]
+    dispatch: str = "launch"
+    repeats: int = 1
+    threads_per_block: Optional[int] = None
+    tuned: bool = False
+    #: None when the sweep did not consult the tuner; True/False for a
+    #: warm/cold tuning-cache lookup.
+    tuning_cache_hit: Optional[bool] = None
 
     @property
     def all_bitwise_identical(self) -> bool:
         return all(p.bitwise_identical for p in self.points)
+
+    def by_shards(self) -> Dict[int, StrongScalingPoint]:
+        return {p.shards: p for p in self.points}
 
     def record(self) -> Dict[str, object]:
         """The ``repro.dist-bench/v1`` JSON record for this sweep."""
@@ -103,6 +148,11 @@ class StrongScalingReport:
             nnz=self.nnz,
             shard_policy=self.shard_policy,
             placement=self.placement,
+            dispatch=self.dispatch,
+            repeats=self.repeats,
+            threads_per_block=self.threads_per_block,
+            tuned=self.tuned,
+            tuning_cache_hit=self.tuning_cache_hit,
             points=[
                 {
                     "shards": p.shards,
@@ -115,6 +165,15 @@ class StrongScalingReport:
                     "imbalance": p.imbalance,
                     "bitwise_identical": p.bitwise_identical,
                     "retries": p.retries,
+                    "dispatch": p.dispatch,
+                    "dispatch_overhead_s": p.dispatch_overhead_s,
+                    "execute_time_s": p.execute_time_s,
+                    "merge_time_s": p.merge_time_s,
+                    "legacy_wall_time_s": p.legacy_wall_time_s,
+                    "legacy_speedup": p.legacy_speedup,
+                    "host_partition_s": p.host_partition_s,
+                    "host_compile_s": p.host_compile_s,
+                    "host_execute_s": p.host_execute_s,
                 }
                 for p in self.points
             ],
@@ -122,20 +181,23 @@ class StrongScalingReport:
 
     def render(self) -> str:
         table = Table(
-            ["shards", "wall_ms", "speedup", "efficiency", "imbalance",
-             "bitwise"],
+            ["shards", "wall_us", "speedup", "efficiency", "legacy_speedup",
+             "dispatch_us", "imbalance", "bitwise"],
             title=(
                 f"Strong scaling — {self.case} / {self.kernel} on "
-                f"{self.device} pools ({self.shard_policy} sharding)"
+                f"{self.device} pools ({self.shard_policy} sharding, "
+                f"{self.dispatch} dispatch)"
             ),
         )
         for p in self.points:
             table.add_row(
                 [
                     p.shards,
-                    p.wall_time_s * 1e3,
+                    p.wall_time_s * 1e6,
                     p.speedup,
                     p.efficiency,
+                    p.legacy_speedup,
+                    p.dispatch_overhead_s * 1e6,
                     p.imbalance,
                     "yes" if p.bitwise_identical else "NO",
                 ]
@@ -153,13 +215,29 @@ def strong_scaling_sweep(
     device_name: str = "A100",
     seed: int = 20210419,
     matrix: Optional[CSRMatrix] = None,
+    dispatch: str = "graph",
+    threads_per_block: Optional[int] = None,
+    repeats: int = 3,
+    use_tuned: bool = False,
 ) -> StrongScalingReport:
     """Run the strong-scaling sweep (one device per shard).
 
     The single-device reference is the kernel's own compiled-plan run on
     the full matrix — the exact path the serve layer executes — and
     every sweep point asserts bitwise equality against its dose.
+
+    Each point compiles **one** evaluator and evaluates it
+    ``repeats + 1`` times: the first call warms any lazily-cached model
+    state, the remaining ``repeats`` are the steady-state dispatch the
+    ``host_execute_s`` figure reports (median).  With ``use_tuned`` the
+    sweep consults the tuning cache for this (matrix, kernel) problem —
+    a warm entry overrides block size and shard policy and skips the
+    sweep's own configuration; a cold one triggers one autotune whose
+    winner is cached for next time.  The lookup outcome is recorded in
+    the report and the run artifact.
     """
+    if repeats < 1:
+        raise ShapeError(f"repeats must be >= 1, got {repeats}")
     kernel = make_kernel(kernel_name)
     if matrix is None:
         master = build_case_matrix(case, preset).matrix
@@ -167,13 +245,40 @@ def strong_scaling_sweep(
     rng = make_rng(stable_seed("dist-sweep", case, kernel_name, seed))
     weights = rng.random(matrix.n_cols, dtype=np.float64)
 
-    with trace_span("dist.sweep", case=case, kernel=kernel_name):
+    tuning_cache_hit: Optional[bool] = None
+    if use_tuned:
+        # Imported lazily: repro.tune depends on this package.
+        from repro.tune.autotuner import autotune
+
+        tune_result = autotune(
+            matrix,
+            kernel,
+            device=device_name,
+            n_devices=max(shard_counts),
+        )
+        tuning_cache_hit = tune_result.cache_hit
+        tuned_config = tune_result.entry.config
+        shard_policy = tuned_config.shard_policy
+        placement = tuned_config.placement
+        dispatch = tuned_config.dispatch
+        threads_per_block = tuned_config.threads_per_block
+
+    with trace_span(
+        "dist.sweep", case=case, kernel=kernel_name, dispatch=dispatch
+    ):
         plan = kernel.prepare_plan(matrix)
         reference = kernel.run(
             matrix, weights, device=get_device(device_name), plan=plan
         )
         points: List[StrongScalingPoint] = []
         for n_shards in shard_counts:
+            # Host-side partition cost, measured on its own (the
+            # evaluator repeats this work internally; timing it inline
+            # would conflate it with plan compilation).
+            t0 = monotonic()
+            shard_matrix(matrix, n_shards, policy=shard_policy)
+            t_partition = monotonic() - t0
+            t0 = monotonic()
             evaluator = ShardedEvaluator(
                 matrix,
                 kernel,
@@ -181,11 +286,23 @@ def strong_scaling_sweep(
                 pool=DevicePool.of(n_shards, device_name),
                 placement=placement,
                 shard_policy=shard_policy,
+                dispatch=dispatch,
+                threads_per_block=threads_per_block,
             )
+            t_compile = max(monotonic() - t0 - t_partition, 0.0)
+            # One warm-up evaluation (fills the per-batch timing cache),
+            # then `repeats` steady-state evaluations of the SAME
+            # compiled evaluator — the median is pure dispatch cost.
             evaluation = evaluator.evaluate(weights)
+            host_execs: List[float] = []
+            for _ in range(repeats):
+                t0 = monotonic()
+                evaluation = evaluator.evaluate(weights)
+                host_execs.append(monotonic() - t0)
+            dispatch_s = evaluation.dispatch_overhead_s
             points.append(
                 StrongScalingPoint(
-                    shards=n_shards,
+                    shards=evaluator.n_shards,
                     devices=n_shards,
                     wall_time_s=evaluation.wall_time_s,
                     serial_time_s=evaluation.serial_time_s,
@@ -195,6 +312,14 @@ def strong_scaling_sweep(
                         np.array_equal(evaluation.doses, reference.y)
                     ),
                     retries=evaluation.retries,
+                    dispatch=dispatch,
+                    dispatch_overhead_s=dispatch_s,
+                    execute_time_s=evaluation.wall_time_s - dispatch_s,
+                    merge_time_s=0.0,
+                    legacy_wall_time_s=evaluation.legacy_wall_time_s,
+                    host_partition_s=t_partition,
+                    host_compile_s=t_compile,
+                    host_execute_s=float(np.median(host_execs)),
                 )
             )
     report = StrongScalingReport(
@@ -207,6 +332,11 @@ def strong_scaling_sweep(
         shard_policy=shard_policy,
         placement=placement,
         points=tuple(points),
+        dispatch=dispatch,
+        repeats=repeats,
+        threads_per_block=threads_per_block,
+        tuned=use_tuned,
+        tuning_cache_hit=tuning_cache_hit,
     )
     if artifact.enabled():
         artifact.record("dist_sweep", record=report.record())

@@ -2,43 +2,63 @@
 
 :class:`ShardedEvaluator` is the distribution-layer counterpart of one
 kernel invocation: it shards the deposition matrix
-(:mod:`repro.dist.sharding`), compiles one immutable
-:class:`~repro.kernels.plan.SpMVPlan` *per shard*, places shards on a
-simulated device pool (:mod:`repro.dist.pool`), executes them under the
-retry crash barrier (:mod:`repro.dist.executor`), and merges outputs in
-explicit shard-index order (:mod:`repro.dist.merge`).
+(:mod:`repro.dist.sharding`), compiles **one fused**
+:class:`~repro.kernels.plan.ShardedPlan` covering every shard, places
+shards on a simulated device pool (:mod:`repro.dist.pool`), executes
+them under the retry crash barrier (:mod:`repro.dist.executor`), and
+writes every shard's output directly into its merge-ordered slice of a
+single preallocated dose array — the tree merge degenerates to a
+zero-copy index-ordered write.
 
 The contract, inherited from the paper and extended across device
-boundaries: for every shard count and pool size, the sharded dose is
-**bitwise identical** to the single-device evaluation.  The argument has
-three independently checkable legs:
+boundaries: for every shard count, pool size and dispatch mode, the
+sharded dose is **bitwise identical** to the single-device evaluation.
+The argument has three independently checkable legs:
 
 1. every dose row is reduced by exactly one warp in a fixed order, and
    that order depends only on the row's own elements — so a row computes
    the same bits inside a shard block as inside the full matrix;
-2. shards are disjoint contiguous row blocks, so merging involves no
-   floating-point arithmetic at all;
-3. the merge orders parts by explicit shard index, never by completion,
-   container, or device order (rule RA106).
+2. shards are disjoint contiguous row blocks, so placing results
+   involves no floating-point arithmetic at all;
+3. output slices are ordered by explicit shard index, never by
+   completion, container, or device order (rule RA106).
 
-Timing is modeled, like everything in the simulated-GPU substrate: each
-shard's time comes from the analytic model priced on its own block;
-shards on one device serialize, devices run concurrently, so the
-evaluation's wall time is the slowest device's total — which is exactly
-why nnz-balanced sharding matters (see the strong-scaling bench).
+Timing is modeled, like everything in the simulated-GPU substrate.  Two
+dispatch modes are priced:
+
+* ``"launch"`` — the historical path: every shard pays one full
+  :data:`~repro.gpu.timing.KERNEL_LAUNCH_OVERHEAD_S` (4 us), which at
+  8 shards of a millisecond-scale matrix eats most of the speedup;
+* ``"graph"`` (default) — CUDA-graph-style dispatch: the per-shard work
+  list is captured once at compile time, each evaluation pays one
+  :data:`~repro.gpu.timing.GRAPH_REPLAY_OVERHEAD_S` per device plus a
+  small :data:`~repro.gpu.timing.GRAPH_NODE_OVERHEAD_S` per shard node.
+
+Both modes execute the identical arithmetic — dispatch affects when
+work is submitted, never what it computes — so the choice is invisible
+to the dose bits; :class:`ShardedEvaluation` carries the legacy
+per-launch wall time alongside for before/after reporting.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.gpu.timing import KERNEL_LAUNCH_OVERHEAD_S
-from repro.kernels.base import KernelResult, SpMVKernel
-from repro.kernels.batched import spmm_batched_time
-from repro.kernels.plan import SpMVPlan, compile_plan, execute_plan_multi
+from repro.gpu.timing import (
+    GRAPH_NODE_OVERHEAD_S,
+    GRAPH_REPLAY_OVERHEAD_S,
+    KERNEL_LAUNCH_OVERHEAD_S,
+)
+from repro.kernels.base import SpMVKernel
+from repro.kernels.plan import (
+    ShardedPlan,
+    compile_sharded_plan,
+    execute_plan_into,
+    execute_plan_multi_into,
+)
 from repro.obs import artifact, metrics
 from repro.obs.trace import span as trace_span
 from repro.precision.types import HALF_DOUBLE
@@ -50,18 +70,27 @@ from repro.dist.executor import (
     RetryBudget,
     run_shard_with_retry,
 )
-from repro.dist.merge import merge_shard_outputs
 from repro.dist.pool import DevicePool, Placement, SimulatedDevice, place_shards
-from repro.dist.sharding import ShardedMatrix, shard_matrix
+from repro.dist.sharding import ShardedMatrix, fuse_small_shards, shard_matrix
+
+#: how per-evaluation fixed costs are charged (see module docstring).
+DISPATCH_MODES: Tuple[str, ...] = ("graph", "launch")
 
 
 @dataclass(frozen=True)
 class CompiledShard:
-    """One shard ready to execute: block + compiled plan + device."""
+    """One shard ready to execute: row range + block + device.
+
+    The compiled plan itself lives in the evaluator's fused
+    :class:`~repro.kernels.plan.ShardedPlan`; ``slice_index`` is both the
+    shard index and the position of the matching
+    :class:`~repro.kernels.plan.PlanSlice`.
+    """
 
     index: int
+    row_start: int
+    row_end: int
     block: CSRMatrix
-    plan: SpMVPlan
     device: SimulatedDevice
 
 
@@ -78,17 +107,30 @@ class ShardedEvaluation:
     batch: int
     n_shards: int
     n_devices: int
+    #: dispatch mode the fixed costs were priced under.
+    dispatch: str
     #: modeled kernel time of each shard for the whole batch, by shard
-    #: index (equals the single-vector time when ``batch == 1``).
+    #: index, including that shard's dispatch share (node or launch).
     per_shard_time_s: Tuple[float, ...]
+    #: the same, with every fixed dispatch cost stripped: the pure
+    #: memory/compute core the analytic model prices.
+    per_shard_core_time_s: Tuple[float, ...]
     #: modeled stand-alone single-vector time of each shard, by shard
-    #: index (what one unbatched request would cost).
+    #: index (what one unbatched request would cost, dispatch included).
     per_shard_single_time_s: Tuple[float, ...]
-    #: each device's serialized total over its shards, by device index.
+    #: each device's serialized total over its shards, by device index,
+    #: including that device's dispatch overhead.
     per_device_time_s: Tuple[float, ...]
+    #: fixed dispatch cost charged to each device (graph: one replay +
+    #: one node slot per shard; launch: one full launch per shard).
+    per_device_dispatch_s: Tuple[float, ...]
     #: wall time of a one-vector sharded run on the same placement (the
     #: stand-alone cost of one unbatched request).
     single_vector_wall_s: float
+    #: wall time the same placement would post under per-shard
+    #: ``"launch"`` dispatch — the pre-graph baseline, kept so benches
+    #: report the overhead elimination as a before/after pair.
+    legacy_wall_time_s: float
     #: retries actually spent during this evaluation.
     retries: int
 
@@ -100,7 +142,19 @@ class ShardedEvaluation:
     @property
     def serial_time_s(self) -> float:
         """All shards back to back on one device (the 1-device view)."""
-        return sum(self.per_shard_time_s)
+        total = sum(self.per_shard_time_s)
+        if self.dispatch == "graph":
+            total += GRAPH_REPLAY_OVERHEAD_S
+        return total
+
+    @property
+    def dispatch_overhead_s(self) -> float:
+        """Fixed dispatch cost on the critical (slowest) device."""
+        d = max(
+            range(len(self.per_device_time_s)),
+            key=lambda i: self.per_device_time_s[i],
+        )
+        return self.per_device_dispatch_s[d]
 
 
 class ShardedEvaluator:
@@ -110,6 +164,13 @@ class ShardedEvaluator:
     attribute — the vector and scalar CSR kernels qualify); the matrix
     must already be stored in the kernel's matrix precision, exactly as
     for a single-device run.
+
+    ``dispatch`` selects how fixed costs are charged (``"graph"`` or
+    ``"launch"``); ``threads_per_block`` overrides the kernel's default
+    block size for the timing model (the autotuner's knob);
+    ``fuse_below_bytes`` coalesces shards whose modeled cost falls under
+    the given equivalent-byte floor before placement (0 disables).  All
+    three affect timing only — the dose bits are invariant.
     """
 
     def __init__(
@@ -121,6 +182,9 @@ class ShardedEvaluator:
         placement: str = "memory",
         shard_policy: str = "balanced",
         retry_budget: int = 2,
+        dispatch: str = "graph",
+        threads_per_block: Optional[int] = None,
+        fuse_below_bytes: float = 0.0,
     ) -> None:
         if not hasattr(kernel, "plan_family"):
             raise ReproError(
@@ -132,8 +196,15 @@ class ShardedEvaluator:
             raise ShapeError(
                 f"retry_budget must be >= 0, got {retry_budget}"
             )
+        if dispatch not in DISPATCH_MODES:
+            raise ShapeError(
+                f"unknown dispatch mode {dispatch!r}; "
+                f"expected one of {DISPATCH_MODES}"
+            )
         self.kernel = kernel
         self.retry_budget = retry_budget
+        self.dispatch = dispatch
+        self.threads_per_block = threads_per_block
         self.pool = pool if pool is not None else DevicePool.homogeneous(
             min(n_shards, 4)
         )
@@ -142,10 +213,12 @@ class ShardedEvaluator:
             shards=n_shards,
             devices=self.pool.n_devices,
             kernel=kernel.name,
+            dispatch=dispatch,
         ):
-            self.sharded: ShardedMatrix = shard_matrix(
-                matrix, n_shards, policy=shard_policy
-            )
+            sharded = shard_matrix(matrix, n_shards, policy=shard_policy)
+            if fuse_below_bytes > 0:
+                sharded = fuse_small_shards(sharded, fuse_below_bytes)
+            self.sharded: ShardedMatrix = sharded
             self.placement: Placement = place_shards(
                 self.sharded,
                 self.pool,
@@ -153,27 +226,53 @@ class ShardedEvaluator:
                 precision=getattr(kernel, "precision", HALF_DOUBLE),
             )
             accum = kernel.precision.accumulate.dtype
-            # Plans are compiled directly (not through the process-global
-            # LRU): an 8-shard evaluator would otherwise evict half the
-            # serving cache, and the evaluator owning its plans keeps the
-            # source-identity check stable for its whole lifetime.
+            # All per-shard plans are compiled once into a fused
+            # ShardedPlan with merge-ordered output slices (not through
+            # the process-global LRU: an 8-shard evaluator would
+            # otherwise evict half the serving cache, and the evaluator
+            # owning its plan keeps the source-identity check stable for
+            # its whole lifetime).
+            self.plan: ShardedPlan = compile_sharded_plan(
+                matrix,
+                [
+                    (spec.row_start, spec.row_end, block)
+                    for spec, block in zip(
+                        self.sharded.specs, self.sharded.blocks
+                    )
+                ],
+                family=kernel.plan_family,
+                accum_dtype=accum,
+            )
             self.shards: Tuple[CompiledShard, ...] = tuple(
                 CompiledShard(
                     index=spec.index,
+                    row_start=spec.row_start,
+                    row_end=spec.row_end,
                     block=block,
-                    plan=compile_plan(block, kernel.plan_family, accum),
                     device=self.pool.devices[
                         self.placement.device_of(spec.index)
                     ],
                 )
                 for spec, block in zip(self.sharded.specs, self.sharded.blocks)
             )
+            # Timing depends only on structure + launch config, so the
+            # per-shard core times (model time minus the launch term)
+            # are priced once here and reused by every evaluation —
+            # steady-state dispatch never re-runs the counter model for
+            # batch sizes it has already seen.
+            self._core_times: Dict[int, Tuple[float, ...]] = {
+                1: tuple(
+                    self._model_core(shard, batch=1) for shard in self.shards
+                )
+            }
         metrics.counter("dist.evaluators_built").inc()
         if artifact.enabled():
             artifact.record(
                 "shard_partition",
                 n_shards=self.sharded.n_shards,
+                requested_shards=n_shards,
                 policy=shard_policy,
+                dispatch=dispatch,
                 kernel=kernel.name,
                 imbalance=float(self.sharded.imbalance),
                 matrix_fingerprint=artifact.matrix_fingerprint(matrix),
@@ -228,8 +327,9 @@ class ShardedEvaluator:
 
         Round ``j`` visits every device's ``j``-th shard, so completion
         order genuinely differs from shard order whenever more than one
-        device is active — which is what makes the index-sorted merge a
-        load-bearing step rather than a no-op.
+        device is active — which is what makes the explicit
+        index-ordered output slices a load-bearing contract rather than
+        a no-op.
         """
         per_device = [
             [self.shards[k] for k in self.placement.shards_on(d)]
@@ -241,6 +341,60 @@ class ShardedEvaluator:
                 if step < len(queue):
                     order.append(queue[step])
         return order
+
+    # ------------------------------------------------------------------ #
+    # timing model
+    # ------------------------------------------------------------------ #
+
+    def _model_core(self, shard: CompiledShard, batch: int) -> float:
+        """Modeled core time of one shard (fixed launch cost stripped)."""
+        est = self.kernel.model_timing(
+            shard.block,
+            device=shard.device.spec,
+            threads_per_block=self.threads_per_block,
+            batch=batch,
+        )
+        return est.time_s - est.components["launch"]
+
+    def _batch_core_times(self, batch: int) -> Tuple[float, ...]:
+        """Per-shard core times for a ``batch``-vector evaluation."""
+        cached = self._core_times.get(batch)
+        if cached is not None:
+            return cached
+        if hasattr(self.kernel, "multi_counters"):
+            cores = tuple(
+                self._model_core(shard, batch=batch) for shard in self.shards
+            )
+        else:
+            # No SpMM traffic model: the batch streams the matrix once
+            # per vector, so the core scales linearly.
+            cores = tuple(batch * c for c in self._core_times[1])
+        self._core_times[batch] = cores
+        return cores
+
+    def _dispatch_cost(self, n_shards_on_device: int, mode: str) -> float:
+        """Fixed cost a device pays to submit its shard queue."""
+        if n_shards_on_device == 0:
+            return 0.0
+        if mode == "graph":
+            return (
+                GRAPH_REPLAY_OVERHEAD_S
+                + n_shards_on_device * GRAPH_NODE_OVERHEAD_S
+            )
+        return n_shards_on_device * KERNEL_LAUNCH_OVERHEAD_S
+
+    def _device_times(
+        self, cores: Sequence[float], mode: str
+    ) -> Tuple[Tuple[float, ...], Tuple[float, ...]]:
+        """(total, dispatch) per device for given per-shard core times."""
+        totals = []
+        dispatches = []
+        for d in range(self.pool.n_devices):
+            on_d = self.placement.shards_on(d)
+            dispatch = self._dispatch_cost(len(on_d), mode)
+            totals.append(sum(cores[k] for k in on_d) + dispatch)
+            dispatches.append(dispatch)
+        return tuple(totals), tuple(dispatches)
 
     # ------------------------------------------------------------------ #
 
@@ -278,38 +432,67 @@ class ShardedEvaluator:
                 )
         B = len(arrays)
         budget = RetryBudget(total=self.retry_budget)
+        accum = self.plan.accum_dtype
         with trace_span(
             "dist.evaluate",
             shards=self.n_shards,
             devices=self.pool.n_devices,
             batch=B,
             kernel=self.kernel.name,
+            dispatch=self.dispatch,
         ) as sp:
-            parts: List[Tuple[int, np.ndarray]] = []
-            shard_times = [0.0] * self.n_shards
-            single_times = [0.0] * self.n_shards
-            for shard in self._execution_order():
-                y, time_s, single_s = run_shard_with_retry(
-                    shard.index,
-                    shard.device.name,
-                    lambda s=shard: self._run_shard(s, arrays),
-                    budget,
-                    injector,
-                )
-                parts.append((shard.index, y))
-                shard_times[shard.index] = time_s
-                single_times[shard.index] = single_s
-            doses = merge_shard_outputs(parts)
-            if not batch:
-                doses = doses[:, 0]
-            device_times = tuple(
-                sum(shard_times[k] for k in self.placement.shards_on(d))
-                for d in range(self.pool.n_devices)
+            # One cast per evaluation, hoisted out of the shard loop;
+            # one output allocation that every shard writes its
+            # merge-ordered slice into (zero-copy merge).
+            out = np.zeros((self.n_rows, B), dtype=np.float64)
+            if B == 1:
+                xa = arrays[0].astype(accum, copy=False)
+                for shard in self._execution_order():
+                    s = self.plan.slices[shard.index]
+                    run_shard_with_retry(
+                        shard.index,
+                        shard.device.name,
+                        lambda sl=s: execute_plan_into(
+                            sl.plan,
+                            xa,
+                            out[sl.row_start : sl.row_end, 0],
+                        ),
+                        budget,
+                        injector,
+                    )
+            else:
+                xt = np.empty((B, self.n_cols), dtype=accum)
+                for b, w in enumerate(arrays):
+                    xt[b] = w.astype(accum, copy=False)
+                for shard in self._execution_order():
+                    s = self.plan.slices[shard.index]
+                    run_shard_with_retry(
+                        shard.index,
+                        shard.device.name,
+                        lambda sl=s: execute_plan_multi_into(
+                            sl.plan,
+                            xt,
+                            out[sl.row_start : sl.row_end, :].T,
+                        ),
+                        budget,
+                        injector,
+                    )
+            doses = out if batch else out[:, 0]
+
+            cores = self._batch_core_times(B)
+            single_cores = self._core_times[1]
+            per_shard_node = (
+                GRAPH_NODE_OVERHEAD_S
+                if self.dispatch == "graph"
+                else KERNEL_LAUNCH_OVERHEAD_S
             )
-            single_wall = max(
-                sum(single_times[k] for k in self.placement.shards_on(d))
-                for d in range(self.pool.n_devices)
+            device_times, device_dispatch = self._device_times(
+                cores, self.dispatch
             )
+            single_device_times, _ = self._device_times(
+                single_cores, self.dispatch
+            )
+            legacy_device_times, _ = self._device_times(cores, "launch")
             sp.set_attrs(retries=budget.spent)
         metrics.counter("dist.evaluations").inc()
         metrics.counter("dist.shards_executed").inc(self.n_shards)
@@ -318,45 +501,15 @@ class ShardedEvaluator:
             batch=B,
             n_shards=self.n_shards,
             n_devices=self.pool.n_devices,
-            per_shard_time_s=tuple(shard_times),
-            per_shard_single_time_s=tuple(single_times),
+            dispatch=self.dispatch,
+            per_shard_time_s=tuple(c + per_shard_node for c in cores),
+            per_shard_core_time_s=cores,
+            per_shard_single_time_s=tuple(
+                c + per_shard_node for c in single_cores
+            ),
             per_device_time_s=device_times,
-            single_vector_wall_s=single_wall,
+            per_device_dispatch_s=device_dispatch,
+            single_vector_wall_s=max(single_device_times),
+            legacy_wall_time_s=max(legacy_device_times),
             retries=budget.spent,
         )
-
-    def _run_shard(
-        self, shard: CompiledShard, arrays: List[np.ndarray]
-    ) -> Tuple[np.ndarray, float, float]:
-        """One shard's SpMM: ``(rows, B)`` float64 output + modeled times.
-
-        The first vector runs through :meth:`SpMVKernel.run` (yielding
-        the launch/counter state the timing model needs); the remaining
-        columns use the plan's SpMM fast path, each column bitwise
-        identical to a stand-alone evaluation.  Returns
-        ``(doses, batched_time_s, single_vector_time_s)``.
-        """
-        first: KernelResult = self.kernel.run(
-            shard.block, arrays[0], device=shard.device.spec, plan=shard.plan
-        )
-        single_s = first.timing.time_s
-        if len(arrays) == 1:
-            out = first.y[:, None]
-            return out, single_s, single_s
-        multi = execute_plan_multi(shard.plan, arrays)
-        out = multi.astype(np.float64, copy=False)
-        out[:, 0] = first.y
-        if hasattr(self.kernel, "multi_counters"):
-            time_s = spmm_batched_time(
-                self.kernel,
-                shard.block,
-                first,
-                len(arrays),
-                shard.device.spec,
-            )
-        else:
-            time_s = (
-                len(arrays) * single_s
-                - (len(arrays) - 1) * KERNEL_LAUNCH_OVERHEAD_S
-            )
-        return out, time_s, single_s

@@ -27,14 +27,26 @@ from repro.sparse.partition import (
     RowPartition,
     extract_row_block,
     partition_rows_balanced,
+    partition_rows_by_cost,
     partition_rows_equal,
 )
 from repro.util.errors import ShapeError
 
-#: partition policies a sharding may use (equal-nnz is the default; the
-#: heavy-tailed row lengths make equal-rows wildly unbalanced — the
-#: ``dist partition-report`` CLI table quantifies the difference).
-SHARD_POLICIES: Tuple[str, ...] = ("balanced", "equal_rows")
+#: partition policies a sharding may use.  ``balanced`` (equal-nnz) is
+#: the historical default; ``cost`` balances the timing model's
+#: equivalent bytes (nnz stream + fixed per-row overhead), which on
+#: short-row-heavy matrices removes the straggler shard the nnz
+#: quantiles create; ``equal_rows`` is the naive decomposition kept for
+#: the imbalance comparison the partition report surfaces.
+SHARD_POLICIES: Tuple[str, ...] = ("balanced", "cost", "equal_rows")
+
+#: default per-row cost coefficients for the ``cost`` policy, in
+#: equivalent bytes: ``nnz_cost`` covers the half value + int32 index
+#: stream per stored element; ``row_cost`` covers the row-pointer read,
+#: the output write, sector-alignment slack and the per-row reduction
+#: (the timing model's ``row_overhead_bytes`` channel).
+DEFAULT_NNZ_COST_BYTES = 6.0
+DEFAULT_ROW_COST_BYTES = 200.0
 
 
 @dataclass(frozen=True)
@@ -116,9 +128,19 @@ class ShardedMatrix:
         return max(nnz) / mean if mean else 1.0
 
 
-def _partition(matrix: CSRMatrix, n_shards: int, policy: str) -> RowPartition:
+def _partition(
+    matrix: CSRMatrix,
+    n_shards: int,
+    policy: str,
+    nnz_cost: float,
+    row_cost: float,
+) -> RowPartition:
     if policy == "balanced":
         return partition_rows_balanced(matrix, n_shards)
+    if policy == "cost":
+        return partition_rows_by_cost(
+            matrix, n_shards, nnz_cost=nnz_cost, row_cost=row_cost
+        )
     if policy == "equal_rows":
         return partition_rows_equal(matrix, n_shards)
     raise ShapeError(
@@ -126,16 +148,30 @@ def _partition(matrix: CSRMatrix, n_shards: int, policy: str) -> RowPartition:
     )
 
 
+def shard_cost_bytes(
+    spec: ShardSpec,
+    nnz_cost: float = DEFAULT_NNZ_COST_BYTES,
+    row_cost: float = DEFAULT_ROW_COST_BYTES,
+) -> float:
+    """Modeled equivalent-byte cost of one shard (the fusion yardstick)."""
+    return nnz_cost * spec.nnz + row_cost * spec.n_rows
+
+
 def shard_matrix(
-    matrix: CSRMatrix, n_shards: int, policy: str = "balanced"
+    matrix: CSRMatrix,
+    n_shards: int,
+    policy: str = "balanced",
+    nnz_cost: float = DEFAULT_NNZ_COST_BYTES,
+    row_cost: float = DEFAULT_ROW_COST_BYTES,
 ) -> ShardedMatrix:
     """Split ``matrix`` into ``n_shards`` contiguous row shards.
 
-    The default ``"balanced"`` policy places boundaries at nnz quantiles
-    (the greedy prefix partitioner — each device gets comparable work
-    despite the four-orders-of-magnitude row-length spread);
-    ``"equal_rows"`` is the naive decomposition, kept for the imbalance
-    comparison the partition report surfaces.
+    ``"balanced"`` places boundaries at nnz quantiles (the greedy prefix
+    partitioner); ``"cost"`` balances modeled equivalent bytes
+    (``nnz_cost``/``row_cost`` mirror the timing model's DRAM channel),
+    which keeps per-shard *time* flat when fixed per-row overhead
+    dominates; ``"equal_rows"`` is the naive decomposition, kept for the
+    imbalance comparison the partition report surfaces.
     """
     with trace_span(
         "dist.shard",
@@ -144,7 +180,7 @@ def shard_matrix(
         rows=matrix.n_rows,
         nnz=matrix.nnz,
     ) as sp:
-        partition = _partition(matrix, n_shards, policy)
+        partition = _partition(matrix, n_shards, policy, nnz_cost, row_cost)
         specs = []
         blocks = []
         for k in range(partition.n_parts):
@@ -167,3 +203,72 @@ def shard_matrix(
         sp.set_attrs(imbalance=round(sharded.imbalance, 4))
     metrics.counter("dist.matrices_sharded").inc()
     return sharded
+
+
+def fuse_small_shards(
+    sharded: ShardedMatrix,
+    min_cost_bytes: float,
+    nnz_cost: float = DEFAULT_NNZ_COST_BYTES,
+    row_cost: float = DEFAULT_ROW_COST_BYTES,
+) -> ShardedMatrix:
+    """Coalesce adjacent shards whose modeled cost falls below a floor.
+
+    A shard far below the dispatch break-even point buys no parallelism:
+    its kernel finishes faster than the fixed per-dispatch cost it adds.
+    Fusion greedily merges any shard with
+    ``shard_cost_bytes < min_cost_bytes`` into its cheaper adjacent
+    neighbour (deterministic left-to-right scan, ties toward the left
+    neighbour) until every surviving shard clears the floor or one shard
+    remains.  Because shards are contiguous row blocks, a fused shard is
+    just the union row range re-extracted from the source matrix — no
+    arithmetic happens, so the bitwise contract is untouched; surviving
+    shards are re-indexed ``0..m-1`` in row order.
+
+    ``min_cost_bytes <= 0`` disables fusion and returns ``sharded``
+    unchanged.
+    """
+    if min_cost_bytes <= 0 or sharded.n_shards <= 1:
+        return sharded
+    ranges = [
+        (spec.row_start, spec.row_end, shard_cost_bytes(spec, nnz_cost, row_cost))
+        for spec in sharded.specs
+    ]
+    fused = True
+    while fused and len(ranges) > 1:
+        fused = False
+        for k, (start, end, cost) in enumerate(ranges):
+            if cost >= min_cost_bytes:
+                continue
+            left = ranges[k - 1] if k > 0 else None
+            right = ranges[k + 1] if k + 1 < len(ranges) else None
+            if left is not None and (right is None or left[2] <= right[2]):
+                ranges[k - 1] = (left[0], end, left[2] + cost)
+                del ranges[k]
+            else:
+                assert right is not None
+                ranges[k] = (start, right[1], cost + right[2])
+                del ranges[k + 1]
+            fused = True
+            break
+    if len(ranges) == sharded.n_shards:
+        return sharded
+    specs = []
+    blocks = []
+    indptr = sharded.source.indptr
+    for k, (start, end, _) in enumerate(ranges):
+        specs.append(
+            ShardSpec(
+                index=k,
+                row_start=start,
+                row_end=end,
+                nnz=int(indptr[end]) - int(indptr[start]),
+            )
+        )
+        blocks.append(extract_row_block(sharded.source, start, end))
+    metrics.counter("dist.shards_fused").inc(sharded.n_shards - len(ranges))
+    return ShardedMatrix(
+        source=sharded.source,
+        specs=tuple(specs),
+        blocks=tuple(blocks),
+        policy=sharded.policy,
+    )

@@ -44,6 +44,20 @@ BLOCK_TURNOVER_EXPOSED = 0.25
 #: Fixed kernel launch latency (driver + grid setup), seconds.
 KERNEL_LAUNCH_OVERHEAD_S = 4e-6
 
+#: Cost of replaying one pre-instantiated execution graph (CUDA-graph
+#: style dispatch): the driver submits the whole captured work list with
+#: a single API call, so the per-evaluation fixed cost drops from one
+#: :data:`KERNEL_LAUNCH_OVERHEAD_S` *per kernel* to one replay *per
+#: device*.  Measured graph-launch latencies sit around 1.5–2.5 us for
+#: multi-node graphs versus ~4 us per individually launched kernel;
+#: we charge the conservative middle of that range.
+GRAPH_REPLAY_OVERHEAD_S = 1.2e-6
+
+#: Residual per-kernel-node scheduling cost inside a captured graph
+#: (node dependencies are resolved on-device, but each node still pays
+#: a dispatch slot — an order of magnitude below a bare launch).
+GRAPH_NODE_OVERHEAD_S = 2.0e-7
+
 #: Straggler-penalty coefficient (see module docstring, refinement 3).
 STRAGGLER_COEFF = 0.05
 

@@ -172,6 +172,24 @@ class SpMVKernel(abc.ABC):
         (the atomics baseline); deterministic kernels ignore it.
         """
 
+    def model_timing(
+        self,
+        matrix: MatrixLike,
+        device: DeviceSpec = A100,
+        threads_per_block: Optional[int] = None,
+        batch: int = 1,
+    ) -> TimingEstimate:
+        """Timing-only estimate for a candidate execution configuration.
+
+        Kernels with an analytic counter model (the plan-family CSR
+        kernels) override this so the sharded evaluator and the
+        autotuner can price configurations without running arithmetic;
+        kernels without one refuse.
+        """
+        raise NotImplementedError(
+            f"kernel {self.name!r} has no structural timing model"
+        )
+
     def contract(self) -> KernelContract:
         """The contract this kernel declares (checked by ``repro.analyze``).
 

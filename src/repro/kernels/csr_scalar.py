@@ -24,7 +24,7 @@ from repro.gpu.memory import (
     gather_traffic,
     output_write_bytes,
 )
-from repro.gpu.timing import KernelTraits, estimate_gpu_time
+from repro.gpu.timing import KernelTraits, TimingEstimate, estimate_gpu_time
 from repro.kernels.base import KernelResult, SpMVKernel
 from repro.kernels.plan import (
     SpMVPlan,
@@ -34,7 +34,7 @@ from repro.kernels.plan import (
 )
 from repro.precision.types import SINGLE, MixedPrecision
 from repro.sparse.csr import CSRMatrix
-from repro.util.errors import DTypeError
+from repro.util.errors import DTypeError, ShapeError
 from repro.util.rng import RngLike
 
 WARP = 32
@@ -79,7 +79,7 @@ class ScalarCSRKernel(SpMVKernel):
 
     reproducible = True
     traffic_model_exact = True
-    default_threads_per_block = 128
+    default_threads_per_block = 128  # analyze: allow[RA108] -- measured Fig-4 default
     #: which precompiled-plan family this kernel executes.
     plan_family = "scalar"
 
@@ -151,6 +151,39 @@ class ScalarCSRKernel(SpMVKernel):
         self._check_matrix(matrix)
         return get_plan_cache().get_or_compile(
             matrix, self.plan_family, self.precision.accumulate.dtype
+        )
+
+    def model_timing(
+        self,
+        matrix: CSRMatrix,
+        device: DeviceSpec = A100,
+        threads_per_block: Optional[int] = None,
+        batch: int = 1,
+    ) -> TimingEstimate:
+        """Timing-only estimate (no functional execution); ``batch == 1``
+        equals the estimate :meth:`run` attaches bit for bit.
+
+        The scalar kernel has no SpMM traffic model, so a ``batch > 1``
+        estimate is refused — the sharded evaluator falls back to its
+        launch-amortization formula for kernels without one.
+        """
+        self._check_matrix(matrix)
+        if batch != 1:
+            raise ShapeError(
+                f"{self.name} models single-vector timing only, got batch={batch}"
+            )
+        tpb = threads_per_block or self.default_threads_per_block
+        launch = thread_per_item_launch(matrix.n_rows, tpb).validate(device)
+        counters = attach_launch_counts(
+            self._counters(matrix, device), launch, device.warp_size
+        )
+        return estimate_gpu_time(
+            device,
+            launch,
+            counters,
+            self.traits,
+            workload_profile(matrix),
+            accum_bytes=self.precision.accumulate.nbytes,
         )
 
     def run(

@@ -37,7 +37,7 @@ from repro.gpu.memory import (
     gather_traffic,
     output_write_bytes,
 )
-from repro.gpu.timing import KernelTraits, estimate_gpu_time
+from repro.gpu.timing import KernelTraits, TimingEstimate, estimate_gpu_time
 from repro.kernels.base import KernelResult, SpMVKernel
 from repro.kernels.plan import (
     SpMVPlan,
@@ -106,7 +106,7 @@ class VectorCSRKernel(SpMVKernel):
     #: streams CSR exactly once — counters must match the analytic model.
     traffic_model_exact = True
     #: default block size: the Figure 4 sweep found 512 best for this kernel.
-    default_threads_per_block = 512
+    default_threads_per_block = 512  # analyze: allow[RA108] -- measured Fig-4 default
     #: which precompiled-plan family this kernel executes.
     plan_family = "vector"
 
@@ -223,6 +223,43 @@ class VectorCSRKernel(SpMVKernel):
         self._check_matrix(matrix)
         return get_plan_cache().get_or_compile(
             matrix, self.plan_family, self.precision.accumulate.dtype
+        )
+
+    def model_timing(
+        self,
+        matrix: CSRMatrix,
+        device: DeviceSpec = A100,
+        threads_per_block: Optional[int] = None,
+        batch: int = 1,
+    ) -> TimingEstimate:
+        """Timing-only estimate: counters + analytic model, no functional
+        execution.
+
+        The sharded evaluator and the autotuner price candidate
+        execution configurations with this — timing depends only on the
+        matrix structure, the device and the launch configuration, never
+        on the weight values, so re-running the arithmetic per candidate
+        would be pure waste.  At ``batch == 1`` the estimate equals the
+        one :meth:`run` attaches bit for bit.
+        """
+        self._check_matrix(matrix)
+        tpb = threads_per_block or self.default_threads_per_block
+        launch = warp_per_row_launch(
+            matrix.n_rows, tpb, device.warp_size
+        ).validate(device)
+        counters = attach_launch_counts(
+            self.multi_counters(matrix, device, batch),
+            launch,
+            device.warp_size,
+        )
+        profile = workload_profile(matrix)
+        return estimate_gpu_time(
+            device,
+            launch,
+            counters,
+            self.traits_for(profile),
+            profile,
+            accum_bytes=self.precision.accumulate.nbytes,
         )
 
     def run(

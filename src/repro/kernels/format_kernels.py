@@ -101,7 +101,7 @@ class ELLPACKKernel(SpMVKernel):
 
     name = "ellpack_half_double"
     reproducible = True
-    default_threads_per_block = 256
+    default_threads_per_block = 256  # analyze: allow[RA108] -- measured Fig-4 default
 
     def __init__(self, precision: MixedPrecision = HALF_DOUBLE):
         self.precision = precision
@@ -178,7 +178,7 @@ class SellCSigmaKernel(SpMVKernel):
 
     name = "sellcs_half_double"
     reproducible = True
-    default_threads_per_block = 512
+    default_threads_per_block = 512  # analyze: allow[RA108] -- measured Fig-4 default
 
     def __init__(self, precision: MixedPrecision = HALF_DOUBLE):
         self.precision = precision

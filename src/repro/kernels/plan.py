@@ -311,14 +311,17 @@ def validate_plan_for(
 # --------------------------------------------------------------------- #
 
 
-def execute_plan(plan: SpMVPlan, x: np.ndarray) -> np.ndarray:
-    """Evaluate ``A @ x`` from a compiled plan, bitwise identical to the
-    per-call kernel of the plan's family."""
-    x = np.asarray(x)
-    if x.shape != (plan.n_cols,):
-        raise ShapeError(f"x has shape {x.shape}, expected ({plan.n_cols},)")
-    xa = x.astype(plan.accum_dtype, copy=False)
-    y = np.zeros(plan.n_rows, dtype=plan.accum_dtype)
+def execute_plan_into(plan: SpMVPlan, xa: np.ndarray, out: np.ndarray) -> None:
+    """Evaluate one plan into a caller-owned output view.
+
+    ``xa`` must already be cast to the plan's accumulation dtype (the
+    sharded executors hoist that cast so it happens once per evaluation,
+    not once per shard); ``out`` is a zero-initialized 1-D view of
+    length ``plan.n_rows``.  Every accumulation happens in the plan's
+    accumulation dtype; only the final per-row assignment stores into
+    ``out``, so a float64 output buffer receives bitwise the same values
+    ``execute_plan`` returns (float32 accumulators embed exactly).
+    """
     zero = plan.accum_dtype.type(0)
     if plan.family == "vector":
         tile = WarpTile(WARP)
@@ -327,12 +330,23 @@ def execute_plan(plan: SpMVPlan, x: np.ndarray) -> np.ndarray:
             for j in range(g.iterations):
                 contrib = g.values[:, j, :] * xa[g.cols[:, j, :]]
                 lane_acc += np.where(g.valid[:, j, :], contrib, zero)
-            y[g.rows] = tile.reduce_add(lane_acc)
+            out[g.rows] = tile.reduce_add(lane_acc)
     else:
         acc = np.zeros(plan.scalar_rows.size, dtype=plan.accum_dtype)
         for step in plan.scalar_steps:
             acc[step.live] = acc[step.live] + step.values * xa[step.cols]
-        y[plan.scalar_rows] = acc
+        out[plan.scalar_rows] = acc
+
+
+def execute_plan(plan: SpMVPlan, x: np.ndarray) -> np.ndarray:
+    """Evaluate ``A @ x`` from a compiled plan, bitwise identical to the
+    per-call kernel of the plan's family."""
+    x = np.asarray(x)
+    if x.shape != (plan.n_cols,):
+        raise ShapeError(f"x has shape {x.shape}, expected ({plan.n_cols},)")
+    xa = x.astype(plan.accum_dtype, copy=False)
+    y = np.zeros(plan.n_rows, dtype=plan.accum_dtype)
+    execute_plan_into(plan, xa, y)
     return y
 
 
@@ -368,6 +382,22 @@ def execute_plan_multi(
     for b, w in enumerate(columns):
         xt[b] = w.astype(plan.accum_dtype, copy=False)
     out = np.zeros((batch, plan.n_rows), dtype=plan.accum_dtype)
+    execute_plan_multi_into(plan, xt, out)
+    return out.T
+
+
+def execute_plan_multi_into(
+    plan: SpMVPlan, xt: np.ndarray, out: np.ndarray
+) -> None:
+    """The SpMM fast path into a caller-owned ``(B, n_rows)`` view.
+
+    ``xt`` is the pre-cast ``(B, n_cols)`` weight block (one cast per
+    evaluation, shared across shards); ``out`` is zero-initialized.
+    Arithmetic is identical to :func:`execute_plan_multi` — each
+    per-(row, lane) operation is an elementwise broadcast of the
+    single-vector operation — only the destination differs.
+    """
+    batch = xt.shape[0]
     zero = plan.accum_dtype.type(0)
     if plan.family == "vector":
         tile = WarpTile(WARP)
@@ -388,7 +418,6 @@ def execute_plan_multi(
                 acc[:, step.live] + step.values[None, :] * xt[:, step.cols]
             )
         out[:, plan.scalar_rows] = acc
-    return out.T
 
 
 # --------------------------------------------------------------------- #
@@ -492,6 +521,212 @@ def execute_transpose_plan(tplan: TransposePlan, r: np.ndarray) -> np.ndarray:
             "adjoint consumes a residual over the forward matrix's rows"
         )
     return execute_plan(tplan.plan, r)
+
+
+# --------------------------------------------------------------------- #
+# sharded plans (fused multi-shard dispatch)
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class PlanSlice:
+    """One shard of a :class:`ShardedPlan`: a compiled plan plus the row
+    range its output occupies in the merged dose vector."""
+
+    index: int
+    row_start: int
+    row_end: int
+    plan: SpMVPlan
+
+    @property
+    def n_rows(self) -> int:
+        return self.row_end - self.row_start
+
+
+@dataclass(frozen=True)
+class ShardedPlan:
+    """All per-shard plans of one sharded matrix, compiled once, with
+    merge-ordered output slices.
+
+    The fused executors below allocate the full dose array once and let
+    every slice write directly into its ``[row_start, row_end)`` view —
+    the tree merge degenerates to a zero-copy index-ordered write.  The
+    bitwise argument is unchanged from the concatenating merge: slices
+    are disjoint contiguous row blocks, each row's bits are produced by
+    the same fixed-order reduction as in the full matrix, and no
+    floating-point arithmetic happens between a slice's reduction and
+    its resting place in the output (writes are ordered by the explicit
+    slice index, never by completion or container order — rule RA106).
+
+    Identity anchors reference the *source* matrix the sharding was cut
+    from, so :meth:`matches` answers the question evaluator caches ask.
+    """
+
+    family: str
+    n_rows: int
+    n_cols: int
+    nnz: int
+    accum_dtype: np.dtype
+    slices: Tuple[PlanSlice, ...]
+    #: identity anchors into the source (unsharded) matrix.
+    source_data: np.ndarray
+    source_indices: np.ndarray
+
+    def __post_init__(self) -> None:
+        _freeze_arrays(self)
+
+    @property
+    def n_slices(self) -> int:
+        return len(self.slices)
+
+    def matches(self, matrix: CSRMatrix) -> bool:
+        """True when this plan was compiled from exactly ``matrix``."""
+        return (
+            self.source_data is matrix.data
+            and self.source_indices is matrix.indices
+        )
+
+    @property
+    def nbytes(self) -> int:
+        """Resident size of all compiled slice plans."""
+        return sum(s.plan.nbytes for s in self.slices)
+
+
+def compile_sharded_plan(
+    source: CSRMatrix,
+    blocks: Sequence[Tuple[int, int, CSRMatrix]],
+    family: str = "vector",
+    accum_dtype: Union[np.dtype, type] = np.float64,
+) -> ShardedPlan:
+    """Compile one :class:`ShardedPlan` from contiguous row blocks.
+
+    ``blocks`` is a sequence of ``(row_start, row_end, block)`` triples
+    ordered by shard index; the ranges must tile ``[0, source.n_rows)``
+    exactly — gaps, overlaps or reorderings are structural errors, not
+    merge-time surprises.
+    """
+    if not blocks:
+        raise ShapeError("sharded plan needs at least one row block")
+    accum = np.dtype(accum_dtype)
+    expected_start = 0
+    slices: List[PlanSlice] = []
+    with trace_span(
+        "plan.compile_sharded",
+        family=family,
+        shards=len(blocks),
+        rows=source.n_rows,
+        nnz=source.nnz,
+    ):
+        for k, (start, end, block) in enumerate(blocks):
+            if start != expected_start:
+                raise ShapeError(
+                    f"slice {k} starts at row {start}, expected "
+                    f"{expected_start}; slices must tile the source rows "
+                    "in ascending shard order"
+                )
+            if block.n_rows != end - start or block.n_cols != source.n_cols:
+                raise ShapeError(
+                    f"slice {k} block shape ({block.n_rows}, {block.n_cols}) "
+                    f"does not match range [{start}, {end}) over "
+                    f"{source.n_cols} columns"
+                )
+            expected_start = end
+            slices.append(
+                PlanSlice(
+                    index=k,
+                    row_start=start,
+                    row_end=end,
+                    plan=compile_plan(block, family, accum),
+                )
+            )
+        if expected_start != source.n_rows:
+            raise ShapeError(
+                f"slices cover rows [0, {expected_start}) of a "
+                f"{source.n_rows}-row matrix"
+            )
+    metrics.counter("plan.sharded_compiled").inc()
+    return ShardedPlan(
+        family=family,
+        n_rows=source.n_rows,
+        n_cols=source.n_cols,
+        nnz=source.nnz,
+        accum_dtype=accum,
+        slices=tuple(slices),
+        source_data=source.data,
+        source_indices=source.indices,
+    )
+
+
+def execute_sharded_plan(
+    splan: ShardedPlan, x: np.ndarray, out: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Evaluate ``A @ x`` through every slice of a sharded plan.
+
+    One input cast, one output allocation, one in-order pass over the
+    slices — bitwise identical to ``execute_plan`` on the full matrix
+    (each row is reduced by the same fixed-order kernel arithmetic; the
+    slice write is pure placement).  ``out`` may be a caller-owned
+    float64 buffer of shape ``(n_rows,)`` for allocation-free repeats.
+    """
+    x = np.asarray(x)
+    if x.shape != (splan.n_cols,):
+        raise ShapeError(f"x has shape {x.shape}, expected ({splan.n_cols},)")
+    if out is None:
+        out = np.zeros(splan.n_rows, dtype=np.float64)
+    else:
+        if out.shape != (splan.n_rows,):
+            raise ShapeError(
+                f"out has shape {out.shape}, expected ({splan.n_rows},)"
+            )
+        out[:] = 0.0
+    xa = x.astype(splan.accum_dtype, copy=False)
+    for s in splan.slices:
+        execute_plan_into(s.plan, xa, out[s.row_start:s.row_end])
+    return out
+
+
+def execute_sharded_plan_multi(
+    splan: ShardedPlan,
+    weights: Union[np.ndarray, Sequence[np.ndarray]],
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """The sharded SpMM path: all ``B`` vectors through every slice in
+    one dispatch.
+
+    Returns ``(n_rows, B)``; column ``b`` is bitwise identical to
+    ``execute_sharded_plan(splan, W[:, b])`` — and therefore to the
+    single-device per-call kernel — by the same broadcast argument as
+    :func:`execute_plan_multi`.
+    """
+    if isinstance(weights, np.ndarray) and weights.ndim == 2:
+        columns = [weights[:, b] for b in range(weights.shape[1])]
+    else:
+        columns = [np.asarray(w) for w in weights]
+    if not columns:
+        raise ShapeError("need at least one weight vector")
+    for i, w in enumerate(columns):
+        if w.shape != (splan.n_cols,):
+            raise ShapeError(
+                f"vector {i}: expected shape ({splan.n_cols},), got {w.shape}"
+            )
+    batch = len(columns)
+    xt = np.empty((batch, splan.n_cols), dtype=splan.accum_dtype)
+    for b, w in enumerate(columns):
+        xt[b] = w.astype(splan.accum_dtype, copy=False)
+    if out is None:
+        out = np.zeros((splan.n_rows, batch), dtype=np.float64)
+    else:
+        if out.shape != (splan.n_rows, batch):
+            raise ShapeError(
+                f"out has shape {out.shape}, expected "
+                f"({splan.n_rows}, {batch})"
+            )
+        out[:] = 0.0
+    for s in splan.slices:
+        execute_plan_multi_into(
+            s.plan, xt, out[s.row_start:s.row_end, :].T
+        )
+    return out
 
 
 # --------------------------------------------------------------------- #

@@ -93,6 +93,7 @@ KNOWN_PHASES: Tuple[str, ...] = (
     "bench_point",
     "experiment",
     "dist_sweep",
+    "tune",
     "opt_submit",
     "opt_iteration",
     "opt_checkpoint",
@@ -111,6 +112,7 @@ _PHASE_SORT_FIELDS: Dict[str, Tuple[str, ...]] = {
     "serve_batch": ("batch_id",),
     "shard_retry": ("shard", "attempt"),
     "plan_compile": ("matrix_fingerprint", "family"),
+    "tune": ("key", "event"),
     "matrix_build": ("case", "preset"),
     "format_convert": ("case", "preset", "kernel"),
     "opt_submit": ("opt_id",),

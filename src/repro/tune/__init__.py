@@ -1,0 +1,70 @@
+"""Execution-configuration autotuning (the paper's Figure-4 sweep, as a
+subsystem).
+
+The paper picks its launch configuration by sweeping block sizes per
+kernel and reading the best point off Figure 4.  This package does the
+same mechanically — and extends the search space to the knobs the
+distribution layer added: shard count, shard policy, placement and
+dispatch mode — then remembers the answer:
+
+* :mod:`repro.tune.config` — the tunable :class:`ExecutionConfig`, the
+  cache key (:class:`TuneKey`) and the structure fingerprint it is
+  derived from (invariant under row/column permutations: timing depends
+  on the row-length *distribution*, not on row order);
+* :mod:`repro.tune.cache` — the persistent JSON tuning cache
+  (schema ``repro.tune-cache/v1``), atomic writes, single-flight
+  population;
+* :mod:`repro.tune.autotuner` — the sweep itself: every candidate is
+  priced by the analytic timing model **and bitwise-validated** against
+  the single-device compiled-plan dose before it may win.
+
+Everything here is deterministic: candidate ranking uses modeled time
+(a pure function of structure + config), ties break lexicographically,
+and no wall clock is ever read.
+"""
+
+from repro.tune.autotuner import (
+    DEFAULT_BLOCK_SIZES,
+    DEFAULT_PLACEMENTS,
+    DEFAULT_SHARD_COUNTS,
+    DEFAULT_SHARD_POLICIES,
+    TuneResult,
+    autotune,
+    candidate_space,
+    tuned_config_for,
+)
+from repro.tune.cache import (
+    TUNE_CACHE_ENV,
+    TUNE_CACHE_SCHEMA,
+    TunedEntry,
+    TuningCache,
+    get_tune_cache,
+    reset_tune_cache,
+    set_tune_cache,
+)
+from repro.tune.config import (
+    ExecutionConfig,
+    TuneKey,
+    structure_fingerprint,
+)
+
+__all__ = [
+    "DEFAULT_BLOCK_SIZES",
+    "DEFAULT_PLACEMENTS",
+    "DEFAULT_SHARD_COUNTS",
+    "DEFAULT_SHARD_POLICIES",
+    "ExecutionConfig",
+    "TUNE_CACHE_ENV",
+    "TUNE_CACHE_SCHEMA",
+    "TuneKey",
+    "TuneResult",
+    "TunedEntry",
+    "TuningCache",
+    "autotune",
+    "candidate_space",
+    "get_tune_cache",
+    "reset_tune_cache",
+    "set_tune_cache",
+    "structure_fingerprint",
+    "tuned_config_for",
+]

@@ -1,0 +1,267 @@
+"""The autotuner: sweep execution configurations, validate, remember.
+
+In the spirit of the paper's Figure-4 block-size sweep, extended to the
+distribution layer's knobs.  For one ``(matrix, kernel, device, pool
+width)`` problem the tuner:
+
+1. enumerates the candidate space (block size x shard count x shard
+   policy x placement), pruned of degenerate duplicates;
+2. prices every candidate with the sharded evaluator's analytic model
+   **and** bitwise-validates its dose against the single-device
+   compiled-plan reference — a candidate that fails validation aborts
+   the tune, because the bitwise identity is a theorem and a violation
+   means a bug, not a slow configuration;
+3. picks the fastest modeled wall (ties break deterministically via
+   :meth:`ExecutionConfig.sort_key`) and stores the winner in the
+   tuning cache, single-flighted per key.
+
+Warm path: a cache hit skips the sweep entirely and is recorded in the
+run artifact's ``tune`` phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.gpu.device import get_device
+from repro.kernels.base import SpMVKernel
+from repro.obs import artifact, metrics
+from repro.obs.trace import span as trace_span
+from repro.sparse.csr import CSRMatrix
+from repro.util.errors import ReproError
+from repro.util.rng import make_rng, stable_seed
+
+from repro.dist.evaluator import ShardedEvaluator
+from repro.dist.pool import DevicePool
+
+from repro.tune.cache import TunedEntry, TuningCache, get_tune_cache
+from repro.tune.config import ExecutionConfig, TuneKey
+
+#: block sizes of the paper's Figure-4 sweep.
+DEFAULT_BLOCK_SIZES: Tuple[int, ...] = (128, 256, 512, 1024)
+
+#: shard-count ladder matching the strong-scaling bench.
+DEFAULT_SHARD_COUNTS: Tuple[int, ...] = (1, 2, 4, 8)
+
+#: partition policies worth trying (equal_rows exists for reporting
+#: contrast only — it is strictly dominated on heavy-tailed matrices).
+DEFAULT_SHARD_POLICIES: Tuple[str, ...] = ("balanced", "cost")
+
+#: placement policies worth trying on a homogeneous pool.
+DEFAULT_PLACEMENTS: Tuple[str, ...] = ("memory",)
+
+
+@dataclass(frozen=True)
+class CandidateOutcome:
+    """One examined configuration with its evidence."""
+
+    config: ExecutionConfig
+    modeled_wall_s: float
+    bitwise_identical: bool
+
+
+@dataclass(frozen=True)
+class TuneResult:
+    """Outcome of one :func:`autotune` call."""
+
+    entry: TunedEntry
+    #: True when the answer came from the cache (no sweep ran).
+    cache_hit: bool
+    #: every candidate the sweep examined (empty on a cache hit).
+    outcomes: Tuple[CandidateOutcome, ...]
+
+
+def candidate_space(
+    n_rows: int,
+    n_devices: int,
+    block_sizes: Sequence[int] = DEFAULT_BLOCK_SIZES,
+    shard_counts: Sequence[int] = DEFAULT_SHARD_COUNTS,
+    shard_policies: Sequence[str] = DEFAULT_SHARD_POLICIES,
+    placements: Sequence[str] = DEFAULT_PLACEMENTS,
+    dispatch: str = "graph",
+) -> Tuple[ExecutionConfig, ...]:
+    """Enumerate the deduplicated candidate configurations.
+
+    Shard counts above the row count are dropped (cannot partition);
+    with one shard, policy and placement are inert, so only one
+    representative survives.
+    """
+    seen = set()
+    configs: List[ExecutionConfig] = []
+    for tpb in block_sizes:
+        for n_shards in shard_counts:
+            if n_shards > max(n_rows, 1):
+                continue
+            policies = shard_policies if n_shards > 1 else ("balanced",)
+            places = placements if n_shards > 1 else (placements[0],)
+            for policy in policies:
+                for placement in places:
+                    config = ExecutionConfig(
+                        threads_per_block=tpb,
+                        n_shards=n_shards,
+                        shard_policy=policy,
+                        placement=placement,
+                        dispatch=dispatch,
+                    )
+                    if config not in seen:
+                        seen.add(config)
+                        configs.append(config)
+    return tuple(configs)
+
+
+def _sweep(
+    matrix: CSRMatrix,
+    kernel: SpMVKernel,
+    key: TuneKey,
+    candidates: Sequence[ExecutionConfig],
+    seed: int,
+) -> Tuple[TunedEntry, Tuple[CandidateOutcome, ...]]:
+    """Run the full sweep: price + bitwise-validate every candidate."""
+    device = get_device(key.device)
+    rng = make_rng(stable_seed("tune-probe", key.key_string(), seed))
+    probe = rng.random(matrix.n_cols, dtype=np.float64)
+    reference = kernel.run(
+        matrix, probe, device=device, plan=kernel.prepare_plan(matrix)
+    )
+    outcomes: List[CandidateOutcome] = []
+    with trace_span(
+        "tune.sweep",
+        key=key.key_string(),
+        candidates=len(candidates),
+    ):
+        for config in candidates:
+            evaluator = ShardedEvaluator(
+                matrix,
+                kernel,
+                config.n_shards,
+                pool=DevicePool.of(
+                    min(config.n_shards, key.n_devices), key.device
+                ),
+                placement=config.placement,
+                shard_policy=config.shard_policy,
+                dispatch=config.dispatch,
+                threads_per_block=config.threads_per_block,
+            )
+            evaluation = evaluator.evaluate(probe)
+            identical = bool(np.array_equal(evaluation.doses, reference.y))
+            outcomes.append(
+                CandidateOutcome(
+                    config=config,
+                    modeled_wall_s=evaluation.wall_time_s,
+                    bitwise_identical=identical,
+                )
+            )
+            if not identical:
+                raise ReproError(
+                    f"tuning candidate {config.as_dict()} failed bitwise "
+                    "validation against the single-device reference — "
+                    "this is a kernel/evaluator bug, not a slow "
+                    "configuration; refusing to tune"
+                )
+    if not outcomes:
+        raise ReproError("tuning sweep examined zero candidates")
+    best = min(
+        outcomes,
+        key=lambda o: (o.modeled_wall_s,) + o.config.sort_key(),
+    )
+    entry = TunedEntry(
+        key=key,
+        config=best.config,
+        modeled_wall_s=best.modeled_wall_s,
+        single_device_time_s=reference.timing.time_s,
+        candidates_tried=len(outcomes),
+        bitwise_validated=all(o.bitwise_identical for o in outcomes),
+    )
+    return entry, tuple(outcomes)
+
+
+def autotune(
+    matrix: CSRMatrix,
+    kernel: SpMVKernel,
+    device: str = "A100",
+    n_devices: int = 4,
+    cache: Optional[TuningCache] = None,
+    candidates: Optional[Sequence[ExecutionConfig]] = None,
+    seed: int = 20210419,
+) -> TuneResult:
+    """Tune one problem, consulting and populating the tuning cache.
+
+    ``matrix`` must already be stored in the kernel's matrix precision
+    (exactly as for a run).  Returns the cached entry when the key is
+    warm — the sweep is skipped and the hit recorded in the artifact's
+    ``tune`` phase.
+    """
+    if not hasattr(kernel, "plan_family"):
+        raise ReproError(
+            f"kernel {kernel.name!r} has no compiled-plan family; "
+            "autotuning requires a plan-family kernel"
+        )
+    key = TuneKey.for_problem(
+        matrix,
+        kernel.name,
+        kernel.precision.name,
+        device=device,
+        n_devices=n_devices,
+    )
+    store = cache if cache is not None else get_tune_cache()
+    space = (
+        tuple(candidates)
+        if candidates is not None
+        else candidate_space(matrix.n_rows, n_devices)
+    )
+    swept: List[Tuple[CandidateOutcome, ...]] = []
+
+    def run_sweep() -> TunedEntry:
+        entry, outcomes = _sweep(matrix, kernel, key, space, seed)
+        swept.append(outcomes)
+        return entry
+
+    entry = store.get_or_tune(key, run_sweep)
+    cache_hit = not swept
+    if cache_hit:
+        metrics.counter("tune.sweeps_skipped").inc()
+        if artifact.enabled():
+            artifact.record(
+                "tune",
+                event="cache_hit",
+                key=key.key_string(),
+                config=entry.config.as_dict(),
+                modeled_wall_s=entry.modeled_wall_s,
+            )
+    else:
+        metrics.counter("tune.sweeps_run").inc()
+    return TuneResult(
+        entry=entry,
+        cache_hit=cache_hit,
+        outcomes=swept[0] if swept else (),
+    )
+
+
+def tuned_config_for(
+    matrix: CSRMatrix,
+    kernel: SpMVKernel,
+    device: str = "A100",
+    n_devices: int = 4,
+    cache: Optional[TuningCache] = None,
+) -> Optional[ExecutionConfig]:
+    """Consult-only cache lookup (never tunes, never blocks on a sweep).
+
+    The serving backend and the optimization service call this on their
+    hot construction paths: a warm cache transparently upgrades their
+    evaluators; a cold one changes nothing.
+    """
+    if not hasattr(kernel, "plan_family"):
+        return None
+    key = TuneKey.for_problem(
+        matrix,
+        kernel.name,
+        kernel.precision.name,
+        device=device,
+        n_devices=n_devices,
+    )
+    store = cache if cache is not None else get_tune_cache()
+    entry = store.get(key)
+    return entry.config if entry is not None else None

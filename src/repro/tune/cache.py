@@ -1,0 +1,270 @@
+"""Persistent tuning cache: ``repro.tune-cache/v1``.
+
+One JSON document maps :class:`~repro.tune.config.TuneKey` strings to
+their tuned entry — the winning configuration plus the evidence it won
+on (modeled wall, single-device reference, candidate count, and the
+bitwise-validation flag that must be true for the entry to exist).
+
+Persistence is **opt-in**: a cache constructed without a path (the
+default for the process-global cache unless ``REPRO_TUNE_CACHE`` is set)
+lives in memory only, so tests and libraries never write files as a
+side effect.  With a path, every store rewrites the document atomically
+(temp file + ``os.replace``) so a crashed process can never leave a
+torn cache behind.
+
+Population is single-flighted per key: concurrent callers asking for
+the same missing key run one sweep; the rest block on the first
+caller's per-key lock and read its answer.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from repro.obs import artifact, metrics
+from repro.obs.lockwitness import guarded_lock
+from repro.util.errors import ReproError
+
+from repro.tune.config import ExecutionConfig, TuneKey
+
+#: schema tag of the cache document.
+TUNE_CACHE_SCHEMA = "repro.tune-cache/v1"
+
+#: environment variable naming the process-global cache file.
+TUNE_CACHE_ENV = "REPRO_TUNE_CACHE"
+
+
+@dataclass(frozen=True)
+class TunedEntry:
+    """One cached tuning decision and the evidence behind it."""
+
+    key: TuneKey
+    config: ExecutionConfig
+    #: modeled wall time of the winning configuration.
+    modeled_wall_s: float
+    #: the unsharded single-device reference the speedup is against.
+    single_device_time_s: float
+    #: configurations examined by the sweep that produced this entry.
+    candidates_tried: int
+    #: every examined candidate reproduced the reference dose bitwise.
+    bitwise_validated: bool
+
+    @property
+    def speedup(self) -> float:
+        if self.modeled_wall_s <= 0:
+            return 0.0
+        return self.single_device_time_s / self.modeled_wall_s
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "key": self.key.as_dict(),
+            "config": self.config.as_dict(),
+            "modeled_wall_s": self.modeled_wall_s,
+            "single_device_time_s": self.single_device_time_s,
+            "candidates_tried": self.candidates_tried,
+            "bitwise_validated": self.bitwise_validated,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "TunedEntry":
+        return cls(
+            key=TuneKey.from_dict(payload["key"]),
+            config=ExecutionConfig.from_dict(payload["config"]),
+            modeled_wall_s=float(payload["modeled_wall_s"]),
+            single_device_time_s=float(payload["single_device_time_s"]),
+            candidates_tried=int(payload["candidates_tried"]),
+            bitwise_validated=bool(payload["bitwise_validated"]),
+        )
+
+
+class TuningCache:
+    """Thread-safe tuned-entry store with optional JSON persistence."""
+
+    def __init__(self, path: Optional[Union[str, Path]] = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self._lock = guarded_lock(  # analyze: lock-guards[_entries,_inflight]
+            "tune.cache.TuningCache"
+        )
+        self._entries: Dict[str, TunedEntry] = {}
+        self._inflight: Dict[str, threading.Lock] = {}
+        if self.path is not None and self.path.exists():
+            self._load(self.path)
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+
+    def _load(self, path: Path) -> None:
+        try:
+            document = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ReproError(
+                f"tuning cache {path} is unreadable: {exc}"
+            ) from exc
+        schema = document.get("schema")
+        if schema != TUNE_CACHE_SCHEMA:
+            raise ReproError(
+                f"tuning cache {path} carries schema {schema!r}, "
+                f"expected {TUNE_CACHE_SCHEMA!r}"
+            )
+        entries = {
+            key: TunedEntry.from_dict(payload)
+            for key, payload in document.get("entries", {}).items()
+        }
+        with self._lock:
+            self._entries.update(entries)
+
+    def _persist_locked(self) -> None:
+        """Atomically rewrite the document (caller holds the lock)."""
+        if self.path is None:
+            return
+        document = {
+            "schema": TUNE_CACHE_SCHEMA,
+            "entries": {
+                key: entry.as_dict()
+                for key, entry in sorted(self._entries.items())
+            },
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=str(self.path.parent), prefix=self.path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(document, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------ #
+    # lookup / store
+    # ------------------------------------------------------------------ #
+
+    def get(self, key: TuneKey) -> Optional[TunedEntry]:
+        """Consult-only lookup; counts a hit or miss metric either way."""
+        with self._lock:
+            entry = self._entries.get(key.key_string())
+        if entry is None:
+            metrics.counter("tune.cache_misses").inc()
+        else:
+            metrics.counter("tune.cache_hits").inc()
+        return entry
+
+    def put(self, entry: TunedEntry) -> None:
+        """Store one tuned entry (rejects unvalidated ones) and persist."""
+        if not entry.bitwise_validated:
+            raise ReproError(
+                "refusing to cache a tuning entry that was not "
+                "bitwise-validated"
+            )
+        with self._lock:
+            self._entries[entry.key.key_string()] = entry
+            self._persist_locked()
+        metrics.counter("tune.cache_stores").inc()
+
+    def get_or_tune(
+        self, key: TuneKey, tune_fn: Callable[[], TunedEntry]
+    ) -> TunedEntry:
+        """Return the cached entry or run ``tune_fn`` exactly once.
+
+        Concurrent callers for the same missing key are single-flighted:
+        one runs the sweep under the key's in-flight lock, the rest wait
+        and read its result.  Distinct keys tune concurrently.
+        """
+        cached = self.get(key)
+        if cached is not None:
+            return cached
+        ks = key.key_string()
+        with self._lock:
+            gate = self._inflight.get(ks)
+            if gate is None:
+                gate = guarded_lock(f"tune.cache.inflight[{ks}]")
+                self._inflight[ks] = gate
+        with gate:  # analyze: allow[RL504] -- deliberate single-flight: the sweep runs under the per-key gate so concurrent callers tune once; bounded CPU work, no I/O under the main lock
+            cached = self.get(key)
+            if cached is not None:
+                return cached
+            entry = tune_fn()
+            if entry.key.key_string() != ks:
+                raise ReproError(
+                    f"tune_fn produced entry for {entry.key.key_string()!r}, "
+                    f"expected {ks!r}"
+                )
+            self.put(entry)
+        with self._lock:
+            self._inflight.pop(ks, None)
+        if artifact.enabled():
+            artifact.record(
+                "tune",
+                event="populated",
+                key=ks,
+                config=entry.config.as_dict(),
+                modeled_wall_s=entry.modeled_wall_s,
+                speedup=entry.speedup,
+                candidates_tried=entry.candidates_tried,
+            )
+        return entry
+
+    def entries(self) -> List[TunedEntry]:
+        """All cached entries, key-ordered (a snapshot copy)."""
+        with self._lock:
+            return [
+                entry for _, entry in sorted(self._entries.items())
+            ]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._persist_locked()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+# --------------------------------------------------------------------- #
+# the process-global cache
+# --------------------------------------------------------------------- #
+
+_cache: Optional[TuningCache] = None
+_cache_lock = guarded_lock("tune.cache.global")  # analyze: lock-guards[_cache]
+
+
+def get_tune_cache() -> TuningCache:
+    """The process-global tuning cache.
+
+    Backed by the file named in ``REPRO_TUNE_CACHE`` when that variable
+    is set; in-memory otherwise.  Created lazily, once.
+    """
+    global _cache
+    with _cache_lock:
+        if _cache is None:
+            path = os.environ.get(TUNE_CACHE_ENV)
+            _cache = TuningCache(path if path else None)
+        return _cache
+
+
+def set_tune_cache(cache: TuningCache) -> Optional[TuningCache]:
+    """Install ``cache`` as the process-global one; returns the old."""
+    global _cache
+    with _cache_lock:
+        previous, _cache = _cache, cache
+        return previous
+
+
+def reset_tune_cache() -> None:
+    """Drop the process-global cache (next access re-resolves the env)."""
+    global _cache
+    with _cache_lock:
+        _cache = None

@@ -1,0 +1,185 @@
+"""Tunable execution configuration, cache key, and structure fingerprint.
+
+The cache key answers "which tuned entry applies to this problem?".
+Three observations shape it:
+
+* modeled timing is a pure function of **matrix structure** (shape, nnz,
+  row-length distribution), device, and configuration — never of the
+  stored values — so the fingerprint hashes structure only;
+* permuting rows permutes the row-length array and permuting columns
+  renumbers indices within rows; neither changes the row-length
+  *histogram*, the traffic totals, or the partition-quality landscape a
+  tuned configuration was chosen on — so the fingerprint is built from
+  the histogram and is invariant under both (the property tests pin
+  this);
+* the same structure tuned for a different kernel, precision, device or
+  pool width is a different problem — those ride in the key next to the
+  fingerprint.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix
+from repro.util.errors import ShapeError
+
+from repro.dist.evaluator import DISPATCH_MODES
+from repro.dist.pool import PLACEMENT_POLICIES
+from repro.dist.sharding import SHARD_POLICIES
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """One point of the tuning search space.
+
+    Every field affects modeled timing only; the dose bits are invariant
+    across the whole space (the autotuner verifies, it does not trust).
+    """
+
+    threads_per_block: int
+    n_shards: int
+    shard_policy: str = "balanced"
+    placement: str = "memory"
+    dispatch: str = "graph"
+
+    def __post_init__(self) -> None:
+        if self.threads_per_block <= 0:
+            raise ShapeError(
+                f"threads_per_block must be positive, "
+                f"got {self.threads_per_block}"
+            )
+        if self.n_shards <= 0:
+            raise ShapeError(f"n_shards must be positive, got {self.n_shards}")
+        if self.shard_policy not in SHARD_POLICIES:
+            raise ShapeError(
+                f"unknown shard policy {self.shard_policy!r}; "
+                f"expected one of {SHARD_POLICIES}"
+            )
+        if self.placement not in PLACEMENT_POLICIES:
+            raise ShapeError(
+                f"unknown placement {self.placement!r}; "
+                f"expected one of {PLACEMENT_POLICIES}"
+            )
+        if self.dispatch not in DISPATCH_MODES:
+            raise ShapeError(
+                f"unknown dispatch {self.dispatch!r}; "
+                f"expected one of {DISPATCH_MODES}"
+            )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "threads_per_block": self.threads_per_block,
+            "n_shards": self.n_shards,
+            "shard_policy": self.shard_policy,
+            "placement": self.placement,
+            "dispatch": self.dispatch,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ExecutionConfig":
+        return cls(
+            threads_per_block=int(payload["threads_per_block"]),
+            n_shards=int(payload["n_shards"]),
+            shard_policy=str(payload["shard_policy"]),
+            placement=str(payload["placement"]),
+            dispatch=str(payload["dispatch"]),
+        )
+
+    def sort_key(self) -> Tuple[int, int, str, str, str]:
+        """Deterministic tie-break order among equal-time candidates:
+        fewer shards first (less machinery), then smaller blocks, then
+        lexicographic names."""
+        return (
+            self.n_shards,
+            self.threads_per_block,
+            self.shard_policy,
+            self.placement,
+            self.dispatch,
+        )
+
+
+def structure_fingerprint(matrix: CSRMatrix) -> str:
+    """Permutation-invariant hash of a matrix's timing-relevant structure.
+
+    Hashes ``(n_rows, n_cols, nnz, value dtype, row-length histogram)``.
+    The histogram — sorted ``(length, count)`` pairs over all rows — is
+    unchanged by row reordering (it permutes the length array) and by
+    column reordering (row lengths do not involve column ids), which is
+    exactly the invariance the tuning cache key needs: such permutations
+    cannot change any quantity the timing model reads.
+    """
+    lengths = np.diff(matrix.indptr)
+    values, counts = np.unique(lengths, return_counts=True)
+    digest = hashlib.sha256()
+    digest.update(
+        f"{matrix.n_rows}:{matrix.n_cols}:{matrix.nnz}:"
+        f"{np.dtype(matrix.value_dtype).str}".encode()
+    )
+    digest.update(np.ascontiguousarray(values, dtype=np.int64).tobytes())
+    digest.update(np.ascontiguousarray(counts, dtype=np.int64).tobytes())
+    return digest.hexdigest()[:24]
+
+
+@dataclass(frozen=True)
+class TuneKey:
+    """What one tuned entry is keyed on."""
+
+    fingerprint: str
+    kernel: str
+    precision: str
+    device: str
+    n_devices: int
+
+    def __post_init__(self) -> None:
+        if self.n_devices <= 0:
+            raise ShapeError(
+                f"n_devices must be positive, got {self.n_devices}"
+            )
+
+    def key_string(self) -> str:
+        """The JSON-map key (stable, human-greppable)."""
+        return (
+            f"{self.fingerprint}:{self.kernel}:{self.precision}:"
+            f"{self.device}:{self.n_devices}"
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "fingerprint": self.fingerprint,
+            "kernel": self.kernel,
+            "precision": self.precision,
+            "device": self.device,
+            "n_devices": self.n_devices,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "TuneKey":
+        return cls(
+            fingerprint=str(payload["fingerprint"]),
+            kernel=str(payload["kernel"]),
+            precision=str(payload["precision"]),
+            device=str(payload["device"]),
+            n_devices=int(payload["n_devices"]),
+        )
+
+    @classmethod
+    def for_problem(
+        cls,
+        matrix: CSRMatrix,
+        kernel_name: str,
+        precision_name: str,
+        device: str = "A100",
+        n_devices: int = 4,
+    ) -> "TuneKey":
+        return cls(
+            fingerprint=structure_fingerprint(matrix),
+            kernel=kernel_name,
+            precision=precision_name,
+            device=device,
+            n_devices=n_devices,
+        )

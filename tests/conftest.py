@@ -41,6 +41,21 @@ def _fresh_process_state():
 
 
 @pytest.fixture(autouse=True)
+def _fresh_tune_cache():
+    """Isolate the process-global tuning cache per test.
+
+    A warm cache entry transparently reconfigures evaluators
+    (dist/backend, opt/dist), so one test's autotune leaking into the
+    next would change which code path the next test exercises.
+    """
+    from repro.tune import reset_tune_cache
+
+    reset_tune_cache()
+    yield
+    reset_tune_cache()
+
+
+@pytest.fixture(autouse=True)
 def _artifact_dir(tmp_path, monkeypatch):
     """Route per-run artifacts into the test's tmp dir.
 

@@ -32,7 +32,7 @@ class TestEngine:
             "concurrency", "cuda-source", "precision-contracts",
             "repro-lint", "traffic-model",
         ]
-        assert len(report.rules_run) == 22
+        assert len(report.rules_run) == 23
 
     def test_checker_filter(self):
         report = run_analysis(checkers=["cuda-source"])

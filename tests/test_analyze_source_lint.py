@@ -1,4 +1,4 @@
-"""AST reproducibility lint (RA101–RA107) on synthetic modules."""
+"""AST reproducibility lint (RA101–RA108) on synthetic modules."""
 
 from __future__ import annotations
 
@@ -403,6 +403,91 @@ class TestRA107AdHocRunRecords:
             rel_path="dist/report.py",
         )
         assert "RA107" not in _ids(findings)
+
+
+class TestRA108ExecutionConfig:
+    def test_literal_threads_per_block_keyword_flagged(self):
+        findings = _lint(
+            """
+            def build(matrix, kernel):
+                return kernel.run(matrix, threads_per_block=256)
+            """,
+            rel_path="serve/backend.py",
+        )
+        assert "RA108" in _ids(findings)
+
+    def test_literal_n_shards_keyword_flagged(self):
+        findings = _lint(
+            """
+            def build(matrix, kernel, make):
+                return make(matrix, kernel, n_shards=8)
+            """,
+            rel_path="dist/helper.py",
+        )
+        assert "RA108" in _ids(findings)
+
+    def test_variable_and_none_arguments_clean(self):
+        findings = _lint(
+            """
+            def build(matrix, kernel, make, config):
+                a = make(matrix, kernel, n_shards=config.n_shards)
+                b = make(matrix, kernel, threads_per_block=None)
+                return a, b
+            """,
+            rel_path="dist/helper.py",
+        )
+        assert "RA108" not in _ids(findings)
+
+    def test_block_size_default_binding_flagged(self):
+        findings = _lint(
+            "class K:\n    default_threads_per_block = 640\n",
+            rel_path="kernels/custom.py",
+        )
+        assert "RA108" in _ids(findings)
+
+    def test_tune_package_exempt(self):
+        findings = _lint(
+            """
+            def space(make):
+                return [make(threads_per_block=128, n_shards=4)]
+            """,
+            rel_path="tune/autotuner.py",
+        )
+        assert "RA108" not in _ids(findings)
+
+    def test_non_functional_dir_exempt(self):
+        findings = _lint(
+            "def f(make):\n    return make(threads_per_block=128)\n",
+            rel_path="util/helper.py",
+        )
+        assert "RA108" not in _ids(findings)
+
+    def test_spec_field_names_not_confused(self):
+        # Exact-name matching: device specs legitimately carry
+        # max_threads_per_block and similar capacity fields.
+        findings = _lint(
+            "def f(make):\n    return make(max_threads_per_block=2)\n",
+            rel_path="gpu/device.py",
+        )
+        assert "RA108" not in _ids(findings)
+
+    def test_inline_allow_honoured(self):
+        findings = _lint(
+            "class K:\n"
+            "    default_threads_per_block = 512"
+            "  # analyze: allow[RA108] -- Fig-4\n",
+            rel_path="kernels/custom.py",
+        )
+        assert "RA108" not in _ids(findings)
+
+    def test_tune_is_functional_path_for_wall_clocks(self):
+        # "tune" joined FUNCTIONAL_DIRS: modeled sweep times must come
+        # from the timing model, never host clocks.
+        findings = _lint(
+            "import time\n\ndef sweep():\n    return time.monotonic()\n",
+            rel_path="tune/autotuner.py",
+        )
+        assert "RA103" in _ids(findings)
 
 
 class TestPackageLint:

@@ -64,6 +64,99 @@ def test_dist_partition_report(capsys):
     assert "equal_rows_imbalance" in out
 
 
+def test_dist_sweep_breakdown_fields_in_record(tmp_path):
+    target = tmp_path / "BENCH_dist.json"
+    rc = main(
+        ["dist", "sweep", "--shards", "1", "2", "--policy", "cost",
+         "--dispatch", "graph", "--repeats", "2",
+         "--json", str(target)] + FAST
+    )
+    assert rc == 0
+    record = json.loads(target.read_text())
+    assert record["dispatch"] == "graph"
+    assert record["shard_policy"] == "cost"
+    assert record["repeats"] == 2
+    assert record["tuned"] is False
+    for point in record["points"]:
+        # the serial-overhead breakdown must account for the wall
+        total = (
+            point["execute_time_s"]
+            + point["dispatch_overhead_s"]
+            + point["merge_time_s"]
+        )
+        assert abs(total - point["wall_time_s"]) < 1e-15
+        assert point["merge_time_s"] == 0.0
+        assert point["legacy_wall_time_s"] >= point["wall_time_s"]
+        for host_field in (
+            "host_partition_s", "host_compile_s", "host_execute_s"
+        ):
+            assert point[host_field] >= 0.0
+
+
+def test_dist_sweep_tuned_records_cache_outcome(tmp_path):
+    target = tmp_path / "BENCH_dist.json"
+    rc = main(
+        ["dist", "sweep", "--shards", "1", "2", "--tuned",
+         "--json", str(target)] + FAST
+    )
+    assert rc == 0
+    record = json.loads(target.read_text())
+    assert record["tuned"] is True
+    # fresh process-global cache per test: this run tuned cold
+    assert record["tuning_cache_hit"] is False
+    assert record["all_bitwise_identical"] is True
+
+
+def test_tune_run_then_warm_hit(capsys, tmp_path):
+    cache = tmp_path / "tune.json"
+    args = ["tune", "run", "--preset", "tiny", "--cache", str(cache)]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "miss (swept)" in out
+    assert "bitwise validated" in out
+    # Same problem, same on-disk cache: the second run must hit.
+    assert main(args) == 0
+    assert "HIT" in capsys.readouterr().out
+
+
+def test_tune_show_lists_entries(capsys, tmp_path):
+    cache = tmp_path / "tune.json"
+    assert main(
+        ["tune", "run", "--preset", "tiny", "--cache", str(cache)]
+    ) == 0
+    capsys.readouterr()
+    assert main(["tune", "show", "--cache", str(cache)]) == 0
+    out = capsys.readouterr().out
+    assert "Tuning cache" in out
+    assert "half_double" in out
+
+
+def test_tune_show_empty_cache(capsys, tmp_path):
+    assert main(
+        ["tune", "show", "--cache", str(tmp_path / "none.json")]
+    ) == 0
+    assert "empty" in capsys.readouterr().out
+
+
+def test_tune_show_records_no_artifact(tmp_path):
+    # `tune show` is a pure inspection verb, like the artifact verbs:
+    # it must not write a (phase-less, strict-invalid) run record.
+    cache = tmp_path / "tune.json"
+    assert main(
+        ["tune", "run", "--preset", "tiny", "--cache", str(cache)]
+    ) == 0
+    runs_dir = tmp_path / "runs"  # conftest routes REPRO_ARTIFACT_DIR here
+    before = sorted(runs_dir.iterdir()) if runs_dir.exists() else []
+    assert main(["tune", "show", "--cache", str(cache)]) == 0
+    after = sorted(runs_dir.iterdir()) if runs_dir.exists() else []
+    assert after == before
+
+
 def test_dist_requires_subcommand():
     with pytest.raises(SystemExit):
         main(["dist"])
+
+
+def test_tune_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main(["tune"])

@@ -1,0 +1,194 @@
+"""Dispatch modes, cost sharding, and shard fusion on the fused evaluator.
+
+The PR 9 additions to :class:`~repro.dist.evaluator.ShardedEvaluator`:
+graph-style dispatch (one replay per device + per-shard node slots,
+replacing one full launch per shard), the cost shard policy, fusion of
+under-sized shards, and the ``legacy_wall_time_s`` before/after figure.
+None of these may move a single output bit — they only reprice and
+regroup the same fixed-order arithmetic.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import convert_for_kernel
+from repro.dist.evaluator import DISPATCH_MODES, ShardedEvaluator
+from repro.dist.executor import FailureInjector
+from repro.dist.pool import DevicePool
+from repro.gpu.timing import (
+    GRAPH_NODE_OVERHEAD_S,
+    GRAPH_REPLAY_OVERHEAD_S,
+    KERNEL_LAUNCH_OVERHEAD_S,
+)
+from repro.kernels.dispatch import make_kernel
+from repro.util.errors import ReproError
+from repro.util.rng import make_rng, stable_seed
+from tests.conftest import make_random_csr
+
+
+@pytest.fixture(scope="module")
+def kernel():
+    return make_kernel("half_double")
+
+
+@pytest.fixture(scope="module")
+def matrix(kernel):
+    rng = make_rng(stable_seed("dist-dispatch-test", 0))
+    m = make_random_csr(rng, n_rows=400, n_cols=64, density=0.15)
+    return convert_for_kernel(m, kernel.name)
+
+
+@pytest.fixture(scope="module")
+def weights(matrix):
+    rng = make_rng(stable_seed("dist-dispatch-weights", 0))
+    return rng.random(matrix.n_cols, dtype=np.float64)
+
+
+@pytest.fixture(scope="module")
+def reference(kernel, matrix, weights):
+    return kernel.run(matrix, weights, plan=kernel.prepare_plan(matrix))
+
+
+class TestDispatchModes:
+    @pytest.mark.parametrize("dispatch", DISPATCH_MODES)
+    @pytest.mark.parametrize("n_shards", [1, 3, 8])
+    def test_dispatch_never_changes_bits(
+        self, kernel, matrix, weights, reference, dispatch, n_shards
+    ):
+        evaluator = ShardedEvaluator(
+            matrix, kernel, n_shards, dispatch=dispatch
+        )
+        assert np.array_equal(evaluator.evaluate(weights).doses, reference.y)
+
+    def test_graph_cheaper_than_launch_per_device(
+        self, kernel, matrix, weights
+    ):
+        pool = DevicePool.of(8, "A100")
+        graph = ShardedEvaluator(
+            matrix, kernel, 8, pool=pool, dispatch="graph"
+        ).evaluate(weights)
+        launch = ShardedEvaluator(
+            matrix, kernel, 8, pool=pool, dispatch="launch"
+        ).evaluate(weights)
+        assert graph.wall_time_s < launch.wall_time_s
+        assert np.array_equal(graph.doses, launch.doses)
+
+    def test_graph_dispatch_cost_is_replay_plus_nodes(
+        self, kernel, matrix, weights
+    ):
+        # One device with all 4 shards: a single replay + 4 node slots.
+        evaluation = ShardedEvaluator(
+            matrix, kernel, 4, pool=DevicePool.of(1, "A100"),
+            dispatch="graph",
+        ).evaluate(weights)
+        expected = GRAPH_REPLAY_OVERHEAD_S + 4 * GRAPH_NODE_OVERHEAD_S
+        np.testing.assert_allclose(
+            evaluation.per_device_dispatch_s[0], expected
+        )
+
+    def test_launch_dispatch_cost_is_per_shard(self, kernel, matrix, weights):
+        evaluation = ShardedEvaluator(
+            matrix, kernel, 4, pool=DevicePool.of(1, "A100"),
+            dispatch="launch",
+        ).evaluate(weights)
+        np.testing.assert_allclose(
+            evaluation.per_device_dispatch_s[0],
+            4 * KERNEL_LAUNCH_OVERHEAD_S,
+        )
+
+    def test_legacy_wall_prices_launch_regardless_of_dispatch(
+        self, kernel, matrix, weights
+    ):
+        pool = DevicePool.of(4, "A100")
+        graph = ShardedEvaluator(
+            matrix, kernel, 4, pool=pool, dispatch="graph"
+        ).evaluate(weights)
+        launch = ShardedEvaluator(
+            matrix, kernel, 4, pool=pool, dispatch="launch"
+        ).evaluate(weights)
+        np.testing.assert_allclose(
+            graph.legacy_wall_time_s, launch.wall_time_s
+        )
+        assert graph.wall_time_s < graph.legacy_wall_time_s
+
+    def test_unknown_dispatch_rejected(self, kernel, matrix):
+        with pytest.raises(ReproError):
+            ShardedEvaluator(matrix, kernel, 2, dispatch="warp")
+
+    def test_retry_under_graph_dispatch_bitwise(
+        self, kernel, matrix, weights, reference
+    ):
+        evaluator = ShardedEvaluator(
+            matrix, kernel, 4, dispatch="graph", retry_budget=2
+        )
+        evaluation = evaluator.evaluate(
+            weights, injector=FailureInjector.fail_once(1)
+        )
+        assert evaluation.retries == 1
+        assert np.array_equal(evaluation.doses, reference.y)
+
+
+class TestCostPolicyAndFusion:
+    @pytest.mark.parametrize("n_shards", [2, 4, 8])
+    def test_cost_policy_bitwise(
+        self, kernel, matrix, weights, reference, n_shards
+    ):
+        evaluator = ShardedEvaluator(
+            matrix, kernel, n_shards, shard_policy="cost"
+        )
+        assert np.array_equal(evaluator.evaluate(weights).doses, reference.y)
+
+    def test_fusion_reduces_shards_and_keeps_bits(
+        self, kernel, matrix, weights, reference
+    ):
+        # A threshold far above any shard's cost fuses everything into
+        # one shard; the dose must not move.
+        evaluator = ShardedEvaluator(
+            matrix, kernel, 8, fuse_below_bytes=1e12
+        )
+        assert evaluator.n_shards == 1
+        assert np.array_equal(evaluator.evaluate(weights).doses, reference.y)
+
+    def test_fusion_threshold_zero_is_identity(self, kernel, matrix):
+        assert ShardedEvaluator(
+            matrix, kernel, 8, fuse_below_bytes=0.0
+        ).n_shards == 8
+
+    def test_threads_per_block_never_changes_bits(
+        self, kernel, matrix, weights, reference
+    ):
+        for tpb in (128, 1024):
+            evaluator = ShardedEvaluator(
+                matrix, kernel, 4, threads_per_block=tpb
+            )
+            assert np.array_equal(
+                evaluator.evaluate(weights).doses, reference.y
+            )
+
+    def test_tpb_moves_modeled_time_only(self, kernel, matrix, weights):
+        small = ShardedEvaluator(
+            matrix, kernel, 2, threads_per_block=128
+        ).evaluate(weights)
+        large = ShardedEvaluator(
+            matrix, kernel, 2, threads_per_block=1024
+        ).evaluate(weights)
+        assert small.wall_time_s != large.wall_time_s
+        assert np.array_equal(small.doses, large.doses)
+
+
+class TestFusedPlanReuse:
+    def test_one_sharded_plan_backs_all_shards(self, kernel, matrix):
+        evaluator = ShardedEvaluator(matrix, kernel, 4)
+        assert evaluator.plan.matches(matrix)
+        assert len(evaluator.plan.slices) == 4
+        for shard, plan_slice in zip(
+            evaluator.shards, evaluator.plan.slices
+        ):
+            assert shard.row_start == plan_slice.row_start
+            assert shard.row_end == plan_slice.row_end
+
+    def test_repeat_evaluations_bitwise_stable(self, kernel, matrix, weights):
+        evaluator = ShardedEvaluator(matrix, kernel, 3)
+        first = evaluator.evaluate(weights).doses
+        for _ in range(3):
+            assert np.array_equal(evaluator.evaluate(weights).doses, first)

@@ -119,9 +119,12 @@ class TestEvaluationAccounting:
         assert evaluation.n_devices == 3
         assert evaluation.wall_time_s == max(evaluation.per_device_time_s)
         assert evaluation.wall_time_s <= evaluation.serial_time_s
+        # Device totals = shard core times + each device's dispatch cost
+        # (graph: one replay + one node slot per shard on that device).
         np.testing.assert_allclose(
             sum(evaluation.per_device_time_s),
-            sum(evaluation.per_shard_time_s),
+            sum(evaluation.per_shard_core_time_s)
+            + sum(evaluation.per_device_dispatch_s),
         )
 
     def test_batched_time_beats_unbatched(self, kernel, matrix):

@@ -1,0 +1,152 @@
+"""Fused sharded plans: tiling validation, bitwise identity, immutability.
+
+``ShardedPlan`` is the tentpole of the shard-overhead elimination: all
+per-shard plans compiled once, outputs written into merge-ordered slices
+of one pre-allocated dose array.  These tests pin the structural
+contract (slices must tile the source rows exactly) and the bitwise one
+(fused execution equals the full single plan, vector and multi-vector,
+with and without a caller-owned output buffer).
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels.plan import (
+    compile_plan,
+    compile_sharded_plan,
+    execute_plan,
+    execute_sharded_plan,
+    execute_sharded_plan_multi,
+)
+from repro.sparse.partition import extract_row_block, partition_rows_balanced
+from repro.util.errors import ShapeError
+from repro.util.rng import make_rng, stable_seed
+from tests.conftest import make_random_csr
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    rng = make_rng(stable_seed("sharded-plan-test", 0))
+    return make_random_csr(rng, n_rows=220, n_cols=48, density=0.2)
+
+
+@pytest.fixture(scope="module")
+def weights(matrix):
+    rng = make_rng(stable_seed("sharded-plan-weights", 0))
+    return rng.random(matrix.n_cols, dtype=np.float64)
+
+
+def blocks_for(matrix, n_shards):
+    """(row_start, row_end, block) triples from the nnz partitioner."""
+    partition = partition_rows_balanced(matrix, n_shards)
+    out = []
+    for k in range(n_shards):
+        start, end = partition.part(k)
+        out.append((start, end, extract_row_block(matrix, start, end)))
+    return out
+
+
+class TestCompileValidation:
+    def test_compiles_contiguous_tiling(self, matrix):
+        splan = compile_sharded_plan(matrix, blocks_for(matrix, 4))
+        assert len(splan.slices) == 4
+        assert splan.slices[0].row_start == 0
+        assert splan.slices[-1].row_end == matrix.n_rows
+        assert splan.matches(matrix)
+
+    def test_rejects_empty(self, matrix):
+        with pytest.raises(ShapeError):
+            compile_sharded_plan(matrix, [])
+
+    def test_rejects_gap(self, matrix):
+        blocks = blocks_for(matrix, 3)
+        with pytest.raises(ShapeError):
+            compile_sharded_plan(matrix, blocks[:1] + blocks[2:])
+
+    def test_rejects_reordering(self, matrix):
+        blocks = blocks_for(matrix, 3)
+        with pytest.raises(ShapeError):
+            compile_sharded_plan(matrix, [blocks[1], blocks[0], blocks[2]])
+
+    def test_rejects_short_coverage(self, matrix):
+        blocks = blocks_for(matrix, 3)
+        with pytest.raises(ShapeError):
+            compile_sharded_plan(matrix, blocks[:-1])
+
+    def test_rejects_mismatched_block_shape(self, matrix):
+        blocks = blocks_for(matrix, 2)
+        start, end, _ = blocks[0]
+        wrong = extract_row_block(matrix, start, end - 1)
+        with pytest.raises(ShapeError):
+            compile_sharded_plan(
+                matrix, [(start, end, wrong)] + blocks[1:]
+            )
+
+    def test_matches_is_identity_not_equality(self, matrix):
+        splan = compile_sharded_plan(matrix, blocks_for(matrix, 2))
+        copy = matrix.__class__.from_arrays(
+            matrix.data.copy(),
+            matrix.indices.copy(),
+            matrix.indptr.copy(),
+            shape=(matrix.n_rows, matrix.n_cols),
+        )
+        assert not splan.matches(copy)
+
+
+class TestBitwiseIdentity:
+    @pytest.mark.parametrize("n_shards", [1, 2, 3, 5, 8])
+    def test_fused_equals_full_plan(self, matrix, weights, n_shards):
+        full = execute_plan(compile_plan(matrix, "vector"), weights)
+        splan = compile_sharded_plan(matrix, blocks_for(matrix, n_shards))
+        assert np.array_equal(execute_sharded_plan(splan, weights), full)
+
+    def test_multi_columns_equal_vector_path(self, matrix):
+        rng = make_rng(stable_seed("sharded-plan-multi", 0))
+        batch = rng.random((matrix.n_cols, 3), dtype=np.float64)
+        splan = compile_sharded_plan(matrix, blocks_for(matrix, 4))
+        out = execute_sharded_plan_multi(splan, batch)
+        assert out.shape == (matrix.n_rows, 3)
+        for b in range(3):
+            assert np.array_equal(
+                out[:, b], execute_sharded_plan(splan, batch[:, b])
+            )
+
+    def test_out_buffer_reuse_is_bitwise_stable(self, matrix, weights):
+        splan = compile_sharded_plan(matrix, blocks_for(matrix, 3))
+        fresh = execute_sharded_plan(splan, weights)
+        buf = np.full(matrix.n_rows, np.nan)  # stale garbage
+        result = execute_sharded_plan(splan, weights, out=buf)
+        assert result is buf
+        assert np.array_equal(buf, fresh)
+
+    def test_out_buffer_shape_checked(self, matrix, weights):
+        splan = compile_sharded_plan(matrix, blocks_for(matrix, 2))
+        with pytest.raises(ShapeError):
+            execute_sharded_plan(
+                splan, weights, out=np.zeros(matrix.n_rows + 1)
+            )
+        with pytest.raises(ShapeError):
+            execute_sharded_plan_multi(
+                splan, [weights], out=np.zeros((matrix.n_rows, 2))
+            )
+
+    def test_scalar_family(self, matrix, weights):
+        full = execute_plan(compile_plan(matrix, "scalar"), weights)
+        splan = compile_sharded_plan(
+            matrix, blocks_for(matrix, 4), family="scalar"
+        )
+        assert np.array_equal(execute_sharded_plan(splan, weights), full)
+
+
+class TestImmutability:
+    def test_source_anchors_frozen(self, matrix):
+        splan = compile_sharded_plan(matrix, blocks_for(matrix, 2))
+        assert not splan.source_data.flags.writeable
+        assert not splan.source_indices.flags.writeable
+
+    def test_slice_plans_frozen(self, matrix):
+        splan = compile_sharded_plan(matrix, blocks_for(matrix, 2))
+        for s in splan.slices:
+            assert not s.plan.source_data.flags.writeable
+            with pytest.raises((ValueError, RuntimeError)):
+                s.plan.source_indices[0] = 0

@@ -9,8 +9,10 @@ from repro.sparse.partition import (
     extract_row_block,
     partition_quality,
     partition_rows_balanced,
+    partition_rows_by_cost,
     partition_rows_equal,
 )
+from repro.sparse.csr import CSRMatrix
 from repro.util.errors import ShapeError
 from tests.conftest import make_random_csr
 
@@ -128,6 +130,84 @@ def test_property_bounds_cover_monotone_and_sized(seed, n_rows, n_parts):
         assert int(p.bounds[-1]) == m.n_rows
         assert np.all(np.diff(p.bounds) >= 0)
         assert int(p.nnz_per_part.sum()) == m.nnz
+
+
+class TestCostPartition:
+    def test_bounds_cover_and_conserve(self, heavy_tail_csr):
+        p = partition_rows_by_cost(heavy_tail_csr, 6)
+        assert int(p.bounds[0]) == 0
+        assert int(p.bounds[-1]) == heavy_tail_csr.n_rows
+        assert np.all(np.diff(p.bounds) >= 0)
+        assert int(p.nnz_per_part.sum()) == heavy_tail_csr.nnz
+
+    def test_degenerates_to_nnz_balance_without_row_cost(
+        self, heavy_tail_csr
+    ):
+        by_cost = partition_rows_by_cost(
+            heavy_tail_csr, 5, nnz_cost=1.0, row_cost=0.0
+        )
+        balanced = partition_rows_balanced(heavy_tail_csr, 5)
+        np.testing.assert_array_equal(by_cost.bounds, balanced.bounds)
+
+    def test_row_cost_rebalances_short_row_tail(self):
+        # Many 1-nnz rows plus a few giants: nnz quantiles stack almost
+        # all *rows* (and their fixed per-row work) into the last parts;
+        # cost boundaries spread the row count too.
+        rng = np.random.default_rng(20210419)
+        dense = np.zeros((300, 60))
+        dense[:20, :] = 1.0  # 20 dense rows up front
+        for i in range(20, 300):
+            dense[i, int(rng.integers(0, 60))] = 1.0  # 1-nnz tail
+        m = CSRMatrix.from_dense(dense, value_dtype=np.float32)
+        nnz_rows = np.diff(partition_rows_balanced(m, 4).bounds)
+        cost_rows = np.diff(partition_rows_by_cost(m, 4).bounds)
+        assert int(cost_rows.max()) < int(nnz_rows.max())
+
+    def test_negative_costs_rejected(self, small_csr):
+        with pytest.raises(ShapeError):
+            partition_rows_by_cost(small_csr, 2, nnz_cost=-1.0)
+        with pytest.raises(ShapeError):
+            partition_rows_by_cost(small_csr, 2, row_cost=-1.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.integers(0, 2**31 - 1),
+    st.integers(1, 10),
+    st.floats(0.0, 32.0, allow_nan=False),
+    st.floats(0.0, 1024.0, allow_nan=False),
+)
+def test_property_cost_bounds_cover_monotone(seed, n_parts, nnz_c, row_c):
+    # The cost partitioner keeps the structural guarantees of the other
+    # two for any non-negative cost model (including the degenerate
+    # all-zero one): exact coverage, monotone bounds, nnz conservation.
+    m = _heavy_tail_matrix(seed, n_rows=120)
+    n_parts = min(n_parts, m.n_rows)
+    p = partition_rows_by_cost(m, n_parts, nnz_cost=nnz_c, row_cost=row_c)
+    assert p.n_parts == n_parts
+    assert int(p.bounds[0]) == 0
+    assert int(p.bounds[-1]) == m.n_rows
+    assert np.all(np.diff(p.bounds) >= 0)
+    assert int(p.nnz_per_part.sum()) == m.nnz
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 2**31 - 1), st.integers(2, 8))
+def test_property_cost_partition_never_changes_bits(seed, n_parts):
+    # Contiguous row partitions cannot change what each row computes:
+    # chunked matvec over cost-partition blocks reconstructs the full
+    # product bit for bit.
+    m = _heavy_tail_matrix(seed, n_rows=100)
+    n_parts = min(n_parts, m.n_rows)
+    rng = np.random.default_rng(seed)
+    x = rng.random(m.n_cols)
+    full = m.matvec(x)
+    p = partition_rows_by_cost(m, n_parts)
+    parts = [
+        extract_row_block(m, *p.part(k)).matvec(x)
+        for k in range(p.n_parts)
+    ]
+    np.testing.assert_array_equal(np.concatenate(parts), full)
 
 
 @settings(max_examples=50, deadline=None)

@@ -1,0 +1,222 @@
+"""Property tests: tune-cache round-trips and fingerprint invariance.
+
+Three hypotheses hold for any input: (1) a ``TunedEntry`` survives the
+dict/JSON round-trip exactly — a persisted cache read back is the cache
+that was written; (2) the structure fingerprint is invariant under row
+and column permutations (the timing model prices the row-length
+*histogram*, not which voxel owns which row) but moves when the
+structure itself changes; (3) the single-flight gate runs one sweep per
+key no matter how many threads race it.
+"""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dist.evaluator import DISPATCH_MODES
+from repro.dist.pool import PLACEMENT_POLICIES
+from repro.dist.sharding import SHARD_POLICIES
+from repro.sparse.csr import CSRMatrix
+from repro.tune import (
+    TUNE_CACHE_SCHEMA,
+    ExecutionConfig,
+    TunedEntry,
+    TuneKey,
+    TuningCache,
+    structure_fingerprint,
+)
+from repro.util.errors import ReproError
+from tests.conftest import make_random_csr
+
+configs = st.builds(
+    ExecutionConfig,
+    threads_per_block=st.sampled_from([32, 128, 256, 512, 1024]),
+    n_shards=st.integers(min_value=1, max_value=16),
+    shard_policy=st.sampled_from(SHARD_POLICIES),
+    placement=st.sampled_from(PLACEMENT_POLICIES),
+    dispatch=st.sampled_from(DISPATCH_MODES),
+)
+
+keys = st.builds(
+    TuneKey,
+    fingerprint=st.text(
+        alphabet="0123456789abcdef", min_size=8, max_size=24
+    ),
+    kernel=st.sampled_from(["half_double", "scalar_csr"]),
+    precision=st.sampled_from(["half_double", "float_float"]),
+    device=st.sampled_from(["A100", "RTX3080"]),
+    n_devices=st.integers(min_value=1, max_value=16),
+)
+
+walls = st.floats(
+    min_value=1e-9, max_value=1.0, allow_nan=False, allow_infinity=False
+)
+
+entries = st.builds(
+    TunedEntry,
+    key=keys,
+    config=configs,
+    modeled_wall_s=walls,
+    single_device_time_s=walls,
+    candidates_tried=st.integers(min_value=1, max_value=200),
+    bitwise_validated=st.just(True),
+)
+
+
+class TestEntryRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(entry=entries)
+    def test_dict_round_trip_exact(self, entry):
+        clone = TunedEntry.from_dict(entry.as_dict())
+        assert clone == entry
+        # Through actual JSON text, as the persisted cache does.
+        rehydrated = TunedEntry.from_dict(
+            json.loads(json.dumps(entry.as_dict()))
+        )
+        assert rehydrated == entry
+
+    @settings(max_examples=25, deadline=None)
+    @given(entry=entries)
+    def test_file_round_trip_exact(self, entry, tmp_path_factory):
+        path = tmp_path_factory.mktemp("tune") / "cache.json"
+        cache = TuningCache(path)
+        cache.put(entry)
+        reloaded = TuningCache(path)
+        assert len(reloaded) == 1
+        assert reloaded.get(entry.key) == entry
+
+    def test_bad_schema_rejected(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text(json.dumps({"schema": "bogus/v9", "entries": {}}))
+        with pytest.raises(ReproError):
+            TuningCache(path)
+
+    def test_schema_constant_in_persisted_file(self, tmp_path, rng):
+        path = tmp_path / "cache.json"
+        matrix = make_random_csr(rng, n_rows=40, n_cols=10)
+        entry = TunedEntry(
+            key=TuneKey.for_problem(matrix, "half_double", "half_double"),
+            config=ExecutionConfig(threads_per_block=256, n_shards=2),
+            modeled_wall_s=1e-6,
+            single_device_time_s=2e-6,
+            candidates_tried=4,
+            bitwise_validated=True,
+        )
+        TuningCache(path).put(entry)
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == TUNE_CACHE_SCHEMA
+
+    def test_unvalidated_entry_refused(self, rng):
+        matrix = make_random_csr(rng, n_rows=40, n_cols=10)
+        entry = TunedEntry(
+            key=TuneKey.for_problem(matrix, "half_double", "half_double"),
+            config=ExecutionConfig(threads_per_block=256, n_shards=2),
+            modeled_wall_s=1e-6,
+            single_device_time_s=2e-6,
+            candidates_tried=4,
+            bitwise_validated=False,
+        )
+        with pytest.raises(ReproError):
+            TuningCache().put(entry)
+
+
+def _permute_rows(matrix: CSRMatrix, perm: np.ndarray) -> CSRMatrix:
+    dense = matrix.to_dense()
+    return CSRMatrix.from_dense(
+        dense[perm, :], value_dtype=matrix.data.dtype
+    )
+
+
+def _permute_cols(matrix: CSRMatrix, perm: np.ndarray) -> CSRMatrix:
+    dense = matrix.to_dense()
+    return CSRMatrix.from_dense(
+        dense[:, perm], value_dtype=matrix.data.dtype
+    )
+
+
+class TestFingerprintInvariance:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_row_permutation_invariant(self, seed):
+        rng = np.random.default_rng(seed)
+        matrix = make_random_csr(rng, n_rows=50, n_cols=20, density=0.3)
+        perm = rng.permutation(matrix.n_rows)
+        assert structure_fingerprint(matrix) == structure_fingerprint(
+            _permute_rows(matrix, perm)
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_column_permutation_invariant(self, seed):
+        rng = np.random.default_rng(seed)
+        matrix = make_random_csr(rng, n_rows=50, n_cols=20, density=0.3)
+        perm = rng.permutation(matrix.n_cols)
+        assert structure_fingerprint(matrix) == structure_fingerprint(
+            _permute_cols(matrix, perm)
+        )
+
+    def test_structure_change_moves_fingerprint(self, rng):
+        matrix = make_random_csr(rng, n_rows=50, n_cols=20, density=0.3)
+        dense = matrix.to_dense()
+        dense[0, 0] = 0.0 if dense[0, 0] != 0.0 else 1.0  # flip one nnz
+        changed = CSRMatrix.from_dense(dense, value_dtype=matrix.data.dtype)
+        assert structure_fingerprint(matrix) != structure_fingerprint(
+            changed
+        )
+
+    def test_dtype_change_moves_fingerprint(self, rng):
+        matrix = make_random_csr(rng, n_rows=50, n_cols=20, density=0.3)
+        assert structure_fingerprint(matrix) != structure_fingerprint(
+            matrix.astype(np.float16)
+        )
+
+    def test_values_do_not_move_fingerprint(self, rng):
+        matrix = make_random_csr(rng, n_rows=50, n_cols=20, density=0.3)
+        doubled = CSRMatrix.from_arrays(
+            matrix.data * 2.0,
+            matrix.indices,
+            matrix.indptr,
+            shape=(matrix.n_rows, matrix.n_cols),
+        )
+        assert structure_fingerprint(matrix) == structure_fingerprint(
+            doubled
+        )
+
+
+class TestSingleFlight:
+    def test_concurrent_get_or_tune_runs_once(self, rng):
+        matrix = make_random_csr(rng, n_rows=40, n_cols=10)
+        key = TuneKey.for_problem(matrix, "half_double", "half_double")
+        cache = TuningCache()
+        calls = []
+        barrier = threading.Barrier(6)
+
+        def tune_fn() -> TunedEntry:
+            calls.append(1)
+            return TunedEntry(
+                key=key,
+                config=ExecutionConfig(threads_per_block=256, n_shards=2),
+                modeled_wall_s=1e-6,
+                single_device_time_s=2e-6,
+                candidates_tried=4,
+                bitwise_validated=True,
+            )
+
+        results = []
+
+        def worker() -> None:
+            barrier.wait()
+            results.append(cache.get_or_tune(key, tune_fn))
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(calls) == 1
+        assert len(set(id(r) for r in results)) >= 1
+        assert all(r == results[0] for r in results)
