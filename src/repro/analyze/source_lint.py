@@ -1,4 +1,4 @@
-"""AST-based reproducibility lint (rules RA101–RA108).
+"""AST-based reproducibility lint (rules RA101–RA109).
 
 The paper's kernel is clinically acceptable only because it is bitwise
 reproducible (Section II-D), and reproducibility is a *global* property:
@@ -36,7 +36,13 @@ package source and enforces:
   ``n_shards=`` at a call site, or a fresh block-size default binding,
   silently pins a launch shape the autotuner exists to choose.  The
   tuner owns the candidate space; kernels keep their measured Fig-4
-  defaults under explicit ``# analyze: allow[RA108]`` markers.
+  defaults under explicit ``# analyze: allow[RA108]`` markers;
+* **RA109** — deposition matrices are constructed only through
+  :mod:`repro.workloads` (and the legacy ``dose/`` builders the registry
+  wraps).  An ad-hoc ``build_deposition_matrix``/``DoseDepositionMatrix``
+  call anywhere else bypasses the registry's structure, cost-model and
+  tuning-fingerprint contracts; sanctioned legacy sites carry explicit
+  ``# analyze: allow[RA109]`` markers.
 
 All rules honour inline ``# analyze: allow[RULE]`` suppressions on the
 flagged line.
@@ -133,6 +139,19 @@ RA108 = Rule(
     "ExecutionConfig from repro.tune through the call, or mark a kernel's "
     "measured Fig-4 default '# analyze: allow[RA108]' with justification.",
 )
+RA109 = Rule(
+    "RA109",
+    "deposition-construction-outside-workloads",
+    Severity.ERROR,
+    "Deposition-matrix construction (build_deposition_matrix / "
+    "DoseDepositionMatrix) outside repro.workloads and the legacy "
+    "repro.dose builders; ad-hoc construction bypasses the typed "
+    "workload registry's structure, cost-model and fingerprint "
+    "contracts.",
+    "Generate matrices through repro.workloads (register_workload / "
+    "generate), or mark a sanctioned legacy construction site "
+    "'# analyze: allow[RA109]' with justification.",
+)
 
 #: package-relative directories whose modules are the functional path.
 #: ``serve`` is functional-path too: a served dose must be a pure
@@ -140,8 +159,18 @@ RA108 = Rule(
 #: through the injectable :mod:`repro.obs.clock`, never wall clocks.
 FUNCTIONAL_DIRS: Tuple[str, ...] = (
     "kernels", "sparse", "precision", "gpu", "dose", "opt", "roofline",
-    "plans", "serve", "dist", "tune",
+    "plans", "serve", "dist", "tune", "workloads",
 )
+
+#: directories allowed to construct deposition matrices (RA109): the
+#: typed workload registry and the legacy dose builders it wraps.
+DEPOSITION_DIRS: Tuple[str, ...] = ("workloads", "dose")
+
+#: call names that construct a deposition matrix (RA109).
+_DEPOSITION_BUILDERS = frozenset({
+    "build_deposition_matrix",
+    "DoseDepositionMatrix",
+})
 
 #: modules exempt from RA102 (the sanctioned RNG plumbing itself).
 RNG_EXEMPT_SUFFIXES: Tuple[str, ...] = ("util/rng.py",)
@@ -567,6 +596,8 @@ def lint_source(
         _is_run_record_module(rel_path)
         and not _imports_artifact_sink(tree)
     )
+    parts = Path(rel_path).parts
+    deposition_scope = not (len(parts) >= 2 and parts[0] in DEPOSITION_DIRS)
 
     # --- RA105: compiled-plan immutability ----------------------------- #
     if any(rel_path.endswith(s) for s in PLAN_MODULE_SUFFIXES):
@@ -619,6 +650,17 @@ def lint_source(
                 "ArtifactSink; record into the artifact and render "
                 "files as views of it",
             )
+        # --- RA109: deposition construction outside workloads ---------- #
+        if (
+            deposition_scope
+            and path.split(".")[-1] in _DEPOSITION_BUILDERS
+        ):
+            emit(
+                RA109, node.lineno,
+                f"{path.split('.')[-1]}(...) constructs a deposition "
+                "matrix outside repro.workloads / repro.dose; route "
+                "construction through the workload registry",
+            )
 
     # --- RA104: module-level mutable state ----------------------------- #
     if facts.declares_reproducible:
@@ -662,12 +704,13 @@ def _check_repro_lint(context: object) -> List[Finding]:
 #: rule ids this checker may emit (shared with tests).
 SOURCE_LINT_RULES: FrozenSet[str] = frozenset(
     {"RA101", "RA102", "RA103", "RA104", "RA105", "RA106", "RA107",
-     "RA108"}
+     "RA108", "RA109"}
 )
 
 
 def register(registry: RuleRegistry) -> None:
     """Register the lint rules and checker."""
-    for rule in (RA101, RA102, RA103, RA104, RA105, RA106, RA107, RA108):
+    for rule in (RA101, RA102, RA103, RA104, RA105, RA106, RA107, RA108,
+                 RA109):
         registry.add_rule(rule)
     registry.add_checker("repro-lint", SOURCE_LINT_RULES, _check_repro_lint)

@@ -16,6 +16,14 @@ the code honest:
   sector-alignment tolerance.  A refactor that books traffic against the
   wrong structural dimension — or silently changes a stored width —
   diverges immediately.
+
+Both rules additionally sweep the workload registry
+(:mod:`repro.workloads`): every registered family's per-nnz DRAM
+coefficient must derive from its declared value dtype (RT401), and its
+traffic probe's actual storage must match that declaration (RT402).
+The banded float32 photon rows are the motivating case — they cost
+8 B/nnz, not the PBS Half/Double 6 — and every workload finding names
+the offending family.
 """
 
 from __future__ import annotations
@@ -114,6 +122,106 @@ def _traffic_probe(name: str, value_dtype: np.dtype) -> object:
     )
 
 
+def check_workload_coefficients() -> List[Finding]:
+    """RT401 over the workload registry: coefficients follow structure.
+
+    Every registered workload family declares a value dtype and a row
+    cost model; the model's per-nnz coefficient is a DRAM byte count and
+    must *derive* from the declared storage (value width + 4-byte column
+    index), not inherit the paper's PBS Half/Double constant.  The
+    photon finite-pencil-beam family is the motivating case: its banded
+    float32 rows cost 8 B/nnz, so modeling it with the PBS ``6`` would
+    misplace it on the roofline — and the finding names the workload so
+    the violation is attributable.
+    """
+    from repro.workloads import get_workload, workload_names
+
+    findings: List[Finding] = []
+    for name in workload_names():
+        spec = get_workload(name)
+        value_bytes = float(np.dtype(spec.value_dtype).itemsize)
+        expected_nnz_cost = value_bytes + 4.0
+        model = spec.cost_model
+        location = f"workload[{name}]"
+        if model.nnz_cost != expected_nnz_cost:
+            findings.append(
+                RT401.finding(
+                    location,
+                    f"cost model {model.name!r} books {model.nnz_cost} "
+                    f"B/nnz, but the registered {spec.value_dtype} values "
+                    f"demand {expected_nnz_cost} B/nnz (value + 4 B "
+                    "index); per-workload coefficients must derive from "
+                    "the declared structure, not reuse the PBS constant",
+                )
+            )
+        if model.row_cost <= 0.0:
+            findings.append(
+                RT401.finding(
+                    location,
+                    f"cost model {model.name!r} declares a non-positive "
+                    f"per-row cost {model.row_cost}; row pointers and "
+                    "output doses always cost bytes",
+                )
+            )
+    return findings
+
+
+def check_workload_probe_traffic() -> List[Finding]:
+    """RT402 over the workload registry: probes match their declaration.
+
+    Each family's traffic probe generates a real (tiny) matrix.  The
+    master must honour the float32 master-matrix contract; casting it to
+    the declared served dtype must keep every value finite (no silent
+    half overflow) and must store exactly the registered bytes/nnz — a
+    generator that widens values, or a registration that lies about the
+    served width, diverges here with the workload named.
+    """
+    from repro.workloads import get_workload, workload_names
+
+    findings: List[Finding] = []
+    for name in workload_names():
+        spec = get_workload(name)
+        if spec.traffic_probe is None:
+            continue
+        matrix = spec.traffic_probe()
+        location = f"workload[{name}]"
+        if matrix.data.dtype != np.dtype(np.float32):
+            findings.append(
+                RT402.finding(
+                    location,
+                    f"traffic probe master stores {matrix.data.dtype} "
+                    "values; master deposition matrices are float32 by "
+                    "contract (served widths are a conversion)",
+                )
+            )
+            continue
+        served = matrix.astype(np.dtype(spec.value_dtype))
+        if not np.all(np.isfinite(served.data)):
+            findings.append(
+                RT402.finding(
+                    location,
+                    f"casting the probe to the declared {spec.value_dtype} "
+                    "overflows to non-finite values; the declared serving "
+                    "width cannot represent what the generator builds",
+                )
+            )
+            continue
+        stored_per_nnz = (
+            served.data.nbytes + served.indices.nbytes
+        ) / served.nnz
+        if stored_per_nnz != spec.cost_model.nnz_cost:
+            findings.append(
+                RT402.finding(
+                    location,
+                    f"probe served as {spec.value_dtype} streams "
+                    f"{stored_per_nnz:.1f} B/nnz but the cost model "
+                    f"{spec.cost_model.name!r} books "
+                    f"{spec.cost_model.nnz_cost} B/nnz",
+                )
+            )
+    return findings
+
+
 KernelFactory = Callable[[str], object]
 
 
@@ -162,6 +270,8 @@ def check_all_traffic(
     factory: KernelFactory = kernel_factory or make_kernel
     names = kernel_list if kernel_list is not None else kernel_names()
     findings = check_model_coefficients()
+    findings.extend(check_workload_coefficients())
+    findings.extend(check_workload_probe_traffic())
     for name in names:
         findings.extend(check_kernel_traffic(name, factory(name)))
     return findings

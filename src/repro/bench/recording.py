@@ -257,6 +257,62 @@ def write_dist_bench(record: Dict[str, object], path: str) -> None:
         fh.write("\n")
 
 
+#: schema tag of the per-workload benchmark record (BENCH_workloads.json).
+WORKLOADS_BENCH_SCHEMA = "repro.workloads-bench/v1"
+
+
+def workloads_bench_record(
+    *,
+    seed: int,
+    preset: str,
+    kernel: str,
+    device: str,
+    shard_counts: List[int],
+    workloads: List[Dict[str, object]],
+) -> Dict[str, object]:
+    """The workload suite benchmark: structure + scaling per family.
+
+    Each ``workloads`` entry describes one registered workload family:
+    its structure report (row-length statistics, bandwidth, the tuning
+    fingerprint that keys its autotuned execution config), the
+    strong-scaling sweep of its nominal matrix across ``shard_counts``,
+    the tuned execution config the autotuner selected for its
+    fingerprint, and — for ensemble families — the ensemble bitwise
+    audit outcome.  The header-level ``distinct_fingerprints`` count
+    witnesses that structurally different families key separate tuning
+    cache entries.
+    """
+    fingerprints = {
+        str(w.get("structure", {}).get("fingerprint", "")) for w in workloads
+    }
+    fingerprints.discard("")
+    return {
+        "schema": WORKLOADS_BENCH_SCHEMA,
+        "seed": seed,
+        "preset": preset,
+        "kernel": kernel,
+        "device": device,
+        "shard_counts": shard_counts,
+        "distinct_fingerprints": len(fingerprints),
+        "all_bitwise_identical": all(
+            bool(w.get("all_bitwise_identical")) for w in workloads
+        ),
+        "workloads": workloads,
+    }
+
+
+def write_workloads_bench(record: Dict[str, object], path: str) -> None:
+    """Persist a workloads-bench record as pretty-printed JSON."""
+    if record.get("schema") != WORKLOADS_BENCH_SCHEMA:
+        raise ValueError(
+            f"record schema {record.get('schema')!r} is not "
+            f"{WORKLOADS_BENCH_SCHEMA!r}"
+        )
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True, default=str)
+        fh.write("\n")
+
+
 def loadtest_rows_to_csv(report) -> str:
     """Serialize a loadtest's per-request records as CSV."""
     buf = io.StringIO()
@@ -265,15 +321,19 @@ def loadtest_rows_to_csv(report) -> str:
         [
             "request_id", "client_id", "plan_id", "precision", "status",
             "latency_ms", "queue_wait_ms", "batch_id", "batch_size",
-            "modeled_time_s", "cache_hit", "shards", "bitwise",
+            "modeled_time_s", "cache_hit", "shards", "workload",
+            "scenario", "bitwise",
         ]
     )
     for r in report.records:
+        scenario = getattr(r, "scenario", None)
         writer.writerow(
             [
                 r.request_id, r.client_id, r.plan_id, r.precision, r.status,
                 r.latency_ms, r.queue_wait_ms, r.batch_id, r.batch_size,
                 r.modeled_time_s, r.cache_hit, getattr(r, "shards", 1),
+                getattr(r, "workload", "synthetic"),
+                "" if scenario is None else scenario,
                 "" if r.bitwise is None else ("yes" if r.bitwise else "NO"),
             ]
         )
@@ -314,11 +374,13 @@ def loadtest_csv_from_artifact(record: Dict[str, object]) -> str:
         [
             "request_id", "client_id", "plan_id", "precision", "status",
             "latency_ms", "queue_wait_ms", "batch_id", "batch_size",
-            "modeled_time_s", "cache_hit", "shards", "bitwise",
+            "modeled_time_s", "cache_hit", "shards", "workload",
+            "scenario", "bitwise",
         ]
     )
     for e in phases.get("request", []):
         bitwise = e.get("bitwise")
+        scenario = e.get("scenario")
         writer.writerow(
             [
                 e.get("request_id"), e.get("client_id"), e.get("plan_id"),
@@ -326,6 +388,8 @@ def loadtest_csv_from_artifact(record: Dict[str, object]) -> str:
                 e.get("queue_wait_ms"), e.get("batch_id"),
                 e.get("batch_size"), e.get("modeled_time_s"),
                 e.get("cache_hit"), e.get("shards", 1),
+                e.get("workload", "synthetic"),
+                "" if scenario is None else scenario,
                 "" if bitwise is None else ("yes" if bitwise else "NO"),
             ]
         )
@@ -385,6 +449,27 @@ def dist_bench_from_artifact(record: Dict[str, object]) -> Dict[str, object]:
             f"{DIST_BENCH_SCHEMA} record"
         )
     return sweep_record
+
+
+def workloads_bench_from_artifact(
+    record: Dict[str, object],
+) -> Dict[str, object]:
+    """The ``repro.workloads-bench/v1`` record held in an artifact's
+    ``workloads_bench`` phase (the last suite run of the process)."""
+    phases = _require_artifact(record)
+    runs = phases.get("workloads_bench", [])
+    if not runs:
+        raise ValueError("artifact contains no workloads_bench entries")
+    bench_record = runs[-1].get("record")
+    if (
+        not isinstance(bench_record, dict)
+        or bench_record.get("schema") != WORKLOADS_BENCH_SCHEMA
+    ):
+        raise ValueError(
+            "artifact workloads_bench entry carries no "
+            f"{WORKLOADS_BENCH_SCHEMA} record"
+        )
+    return bench_record
 
 
 def rows_to_csv(report: ExperimentReport) -> str:

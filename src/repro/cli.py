@@ -61,6 +61,7 @@ from repro.obs.trace import (
 )
 from repro.plans.cases import PAPER_TABLE1, case_names
 from repro.util.tables import Table
+from repro.workloads import WORKLOAD_PRESETS, workload_names
 
 _log = get_logger(__name__)
 
@@ -354,6 +355,7 @@ def _loadtest_config(args: argparse.Namespace):
         shards=args.shards,
         dist_devices=args.dist_devices,
         dist_placement=args.dist_placement,
+        workload=getattr(args, "workload", "synthetic"),
     )
 
 
@@ -726,6 +728,218 @@ def _cmd_tune_show(args: argparse.Namespace) -> int:
         ])
     print(table.render())
     return 0
+
+
+def _cmd_workloads_list(_: argparse.Namespace) -> int:
+    """``repro-rtdose workloads list``: the registered workload families."""
+    from repro.workloads import get_workload, workload_names
+
+    table = Table(
+        ["workload", "dtype", "B/nnz", "B/row", "ensemble", "description"],
+        title="Workload registry",
+    )
+    for name in workload_names():
+        spec = get_workload(name)
+        table.add_row([
+            spec.name,
+            spec.value_dtype,
+            spec.cost_model.nnz_cost,
+            spec.cost_model.row_cost,
+            "yes" if spec.ensemble else "",
+            spec.description,
+        ])
+    print(table.render())
+    return 0
+
+
+def _record_workload_generate(name: str, preset: str, scenarios) -> None:
+    """Record one ``workload_generate`` artifact entry per scenario."""
+    from repro.workloads import structure_stats
+
+    if not artifact_mod.enabled():
+        return
+    for index, (scenario_name, matrix) in enumerate(scenarios):
+        stats = structure_stats(matrix)
+        artifact_mod.record(
+            "workload_generate",
+            workload=name, scenario=index, scenario_name=scenario_name,
+            preset=preset, **stats,
+        )
+
+
+def _cmd_workloads_run(args: argparse.Namespace) -> int:
+    """``repro-rtdose workloads run``: generate one family + bitwise audit."""
+    from repro.workloads import (
+        audit_workload,
+        generate,
+        get_workload,
+        scenario_matrices,
+        structure_stats,
+    )
+
+    spec = get_workload(args.workload)
+    product = generate(args.workload, seed=args.seed, preset=args.preset)
+    scenarios = scenario_matrices(product)
+    _record_workload_generate(args.workload, args.preset, scenarios)
+
+    structure = Table(
+        ["scenario", "rows", "cols", "nnz", "density", "empty rows",
+         "mean row", "p95 row", "bandwidth"],
+        title=f"Workload {spec.name!r} ({args.preset}, seed {args.seed})",
+    )
+    for scenario_name, matrix in scenarios:
+        stats = structure_stats(matrix)
+        structure.add_row([
+            scenario_name, stats["n_rows"], stats["n_cols"], stats["nnz"],
+            f"{100 * stats['density']:.2f}%",
+            f"{100 * stats['empty_row_fraction']:.1f}%",
+            f"{stats['mean_row_length']:.1f}", stats["p95_row_length"],
+            stats["bandwidth"],
+        ])
+    print(structure.render())
+    fingerprint = structure_stats(scenarios[0][1])["fingerprint"]
+    print(f"structure fingerprint (nominal): {fingerprint}")
+    print()
+
+    report = audit_workload(
+        args.workload,
+        seed=args.seed,
+        preset=args.preset,
+        precision=args.precision,
+        shard_counts=tuple(args.shards),
+        device_name=args.device,
+        product=product,
+    )
+    audit = Table(
+        ["execution path", "bitwise identical"],
+        title=f"Ensemble bitwise audit — stack sha256 "
+              f"{report.stack_sha256[:16]}…",
+    )
+    for n_shards, bitwise in sorted(report.shards_bitwise.items()):
+        audit.add_row([f"sharded x{n_shards}", "yes" if bitwise else "NO"])
+    for pass_name, bitwise in report.serve_bitwise.items():
+        audit.add_row([f"serve {pass_name}", "yes" if bitwise else "NO"])
+    print(audit.render())
+    if not report.all_bitwise:
+        print("WORKLOAD DOSE STACK NOT BITWISE IDENTICAL", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_workloads_bench(args: argparse.Namespace) -> int:
+    """``repro-rtdose workloads bench``: structure + scaling per family."""
+    from repro.bench.harness import convert_for_kernel
+    from repro.bench.recording import (
+        workloads_bench_from_artifact,
+        workloads_bench_record,
+        write_workloads_bench,
+    )
+    from repro.dist import strong_scaling_sweep
+    from repro.kernels.dispatch import make_kernel
+    from repro.tune import TuningCache, autotune, set_tune_cache
+    from repro.workloads import (
+        audit_workload,
+        generate,
+        scenario_matrices,
+        structure_stats,
+        workload_names,
+    )
+
+    if args.cache:
+        set_tune_cache(TuningCache(args.cache))
+    names = args.workload or list(workload_names())
+    kernel = make_kernel(args.kernel)
+    shard_counts = tuple(args.shards)
+    workload_entries = []
+    for name in names:
+        product = generate(name, seed=args.seed, preset=args.preset)
+        scenarios = scenario_matrices(product)
+        _record_workload_generate(name, args.preset, scenarios)
+        nominal = scenarios[0][1]
+        stats = structure_stats(nominal)
+        converted = convert_for_kernel(nominal, args.kernel)
+        tuned = autotune(
+            converted, kernel,
+            device=args.device, n_devices=max(shard_counts),
+            seed=args.seed,
+        )
+        sweep = strong_scaling_sweep(
+            case=f"workload:{name}",
+            kernel_name=args.kernel,
+            shard_counts=shard_counts,
+            device_name=args.device,
+            seed=args.seed,
+            matrix=converted,
+        )
+        audit = audit_workload(
+            name,
+            seed=args.seed,
+            preset=args.preset,
+            precision=args.kernel,
+            shard_counts=shard_counts,
+            device_name=args.device,
+            product=product,
+        )
+        all_bitwise = sweep.all_bitwise_identical and audit.all_bitwise
+        workload_entries.append({
+            "workload": name,
+            "preset": args.preset,
+            "n_scenarios": len(scenarios),
+            "structure": stats,
+            "tuned": {
+                "cache_hit": tuned.cache_hit,
+                "key": tuned.entry.key.key_string(),
+                "threads_per_block": tuned.entry.config.threads_per_block,
+                "n_shards": tuned.entry.config.n_shards,
+                "shard_policy": tuned.entry.config.shard_policy,
+                "dispatch": tuned.entry.config.dispatch,
+            },
+            "scaling": sweep.record(),
+            "audit": {
+                "stack_sha256": audit.stack_sha256,
+                "shards_bitwise": {
+                    str(k): v for k, v in audit.shards_bitwise.items()
+                },
+                "serve_bitwise": dict(audit.serve_bitwise),
+            },
+            "all_bitwise_identical": all_bitwise,
+        })
+        print(sweep.render())
+        print(
+            f"workload {name}: fingerprint {stats['fingerprint'][:16]}… "
+            f"tuned tpb={tuned.entry.config.threads_per_block} "
+            f"shards={tuned.entry.config.n_shards} "
+            f"bitwise={'yes' if all_bitwise else 'NO'}"
+        )
+        print()
+    record = workloads_bench_record(
+        seed=args.seed,
+        preset=args.preset,
+        kernel=args.kernel,
+        device=args.device,
+        shard_counts=list(shard_counts),
+        workloads=workload_entries,
+    )
+    if artifact_mod.enabled():
+        artifact_mod.record("workloads_bench", record=record)
+    print(
+        f"workloads: {len(workload_entries)}, distinct tuning "
+        f"fingerprints: {record['distinct_fingerprints']}, all bitwise: "
+        f"{'yes' if record['all_bitwise_identical'] else 'NO'}"
+    )
+    if args.json:
+        Path(args.json).parent.mkdir(parents=True, exist_ok=True)
+        sink = artifact_mod.get_sink()
+        if sink.enabled:
+            # BENCH_workloads.json is a view of the artifact's
+            # workloads_bench phase.
+            write_workloads_bench(
+                workloads_bench_from_artifact(sink.artifact()), args.json
+            )
+        else:
+            write_workloads_bench(record, args.json)
+        print(f"bench record written to {args.json}")
+    return 0 if record["all_bitwise_identical"] else 1
 
 
 def _cmd_dist_partition_report(args: argparse.Namespace) -> int:
@@ -1332,8 +1546,9 @@ def build_parser() -> argparse.ArgumentParser:
                              help="serve Table I cases instead of synthetic "
                                   "plans (repeatable)")
     serve_flags.add_argument("--preset", default="tiny",
-                             choices=["tiny", "bench", "structure"],
-                             help="matrix-scale preset for --case plans")
+                             choices=["tiny", "bench", "structure", "probe"],
+                             help="matrix-scale preset for --case or "
+                                  "--workload plans")
     serve_flags.add_argument("--shards", type=int, default=1,
                              help="row shards per evaluation (>1 serves "
                                   "through the repro.dist sharded backend)")
@@ -1355,6 +1570,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="closed-loop load test: latency percentiles, amortization, "
              "bitwise audit",
     )
+    p_serve_lt.add_argument("--workload", default="synthetic",
+                            choices=["synthetic"] + list(workload_names()),
+                            help="drive registered workload plans instead "
+                                 "of synthetic ones (ensemble families "
+                                 "submit scenario-ensemble requests)")
     p_serve_lt.add_argument("--csv", default=None,
                             help="write per-request records to this CSV path")
     p_serve_lt.add_argument("--lock-witness", action="store_true",
@@ -1483,6 +1703,61 @@ def build_parser() -> argparse.ArgumentParser:
         help="list the tuning cache's entries",
     )
     p_tune_show.set_defaults(func=_cmd_tune_show)
+
+    p_wl = sub.add_parser(
+        "workloads",
+        help="typed workload families: list the registry, generate + "
+             "bitwise-audit one family, or benchmark structure/scaling "
+             "across families",
+    )
+    wl_sub = p_wl.add_subparsers(dest="workloads_command", required=True)
+    wl_flags = argparse.ArgumentParser(add_help=False)
+    wl_flags.add_argument("--seed", type=int, default=0,
+                          help="generator seed (bitwise-stable)")
+    wl_flags.add_argument("--preset", default="tiny",
+                          choices=list(WORKLOAD_PRESETS))
+    wl_flags.add_argument("--device", default="A100",
+                          help="device type of the simulated pool")
+    wl_flags.add_argument("--shards", type=int, nargs="+",
+                          default=[1, 2, 4, 8],
+                          help="shard counts the audit/scaling sweeps")
+
+    p_wl_list = wl_sub.add_parser(
+        "list", parents=[obs_flags],
+        help="show the registered workload families and their cost models",
+    )
+    p_wl_list.set_defaults(func=_cmd_workloads_list)
+
+    p_wl_run = wl_sub.add_parser(
+        "run", parents=[obs_flags, wl_flags],
+        help="generate one family and prove its dose stack bitwise "
+             "identical across shard counts, serve batching orders, and "
+             "direct evaluation",
+    )
+    p_wl_run.add_argument("--workload", required=True,
+                          choices=list(workload_names()))
+    p_wl_run.add_argument("--precision", default="half_double",
+                          choices=kernel_names())
+    p_wl_run.set_defaults(func=_cmd_workloads_run)
+
+    p_wl_bench = wl_sub.add_parser(
+        "bench", parents=[obs_flags, wl_flags],
+        help="per-workload structure report + strong scaling + "
+             "fingerprint-keyed autotune (BENCH_workloads.json)",
+    )
+    p_wl_bench.add_argument("--workload", action="append", default=[],
+                            choices=list(workload_names()), metavar="NAME",
+                            help="restrict to these families (repeatable; "
+                                 "default: all registered)")
+    p_wl_bench.add_argument("--kernel", default="half_double",
+                            choices=kernel_names())
+    p_wl_bench.add_argument("--cache", default=None, metavar="PATH",
+                            help="tuning-cache JSON path (default: "
+                                 "$REPRO_TUNE_CACHE, else in-memory)")
+    p_wl_bench.add_argument("--json", default=None, metavar="PATH",
+                            help="write the repro.workloads-bench/v1 "
+                                 "record here")
+    p_wl_bench.set_defaults(func=_cmd_workloads_bench)
 
     p_opt = sub.add_parser(
         "opt",
@@ -1700,10 +1975,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     sink = None
     previous_sink = None
     # Pure inspection verbs record nothing: the artifact verbs read
-    # other runs' records, and `tune show` only lists a cache.
-    inspection_only = args.command == "artifact" or (
-        args.command == "tune"
-        and getattr(args, "tune_command", None) == "show"
+    # other runs' records, `tune show` only lists a cache, and
+    # `workloads list` only prints the registry.
+    inspection_only = (
+        args.command == "artifact"
+        or (
+            args.command == "tune"
+            and getattr(args, "tune_command", None) == "show"
+        )
+        or (
+            args.command == "workloads"
+            and getattr(args, "workloads_command", None) == "list"
+        )
     )
     if not getattr(args, "no_artifact", False) and not inspection_only:
         command = ["repro-rtdose"] + (

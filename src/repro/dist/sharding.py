@@ -18,14 +18,16 @@ per-shard outputs in ascending shard index".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple, Union
 
 from repro.obs import metrics
 from repro.obs.trace import span as trace_span
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.partition import (
+    RowCostModel,
     RowPartition,
     extract_row_block,
+    get_cost_model,
     partition_rows_balanced,
     partition_rows_by_cost,
     partition_rows_equal,
@@ -40,13 +42,27 @@ from repro.util.errors import ShapeError
 #: the imbalance comparison the partition report surfaces.
 SHARD_POLICIES: Tuple[str, ...] = ("balanced", "cost", "equal_rows")
 
-#: default per-row cost coefficients for the ``cost`` policy, in
-#: equivalent bytes: ``nnz_cost`` covers the half value + int32 index
-#: stream per stored element; ``row_cost`` covers the row-pointer read,
-#: the output write, sector-alignment slack and the per-row reduction
-#: (the timing model's ``row_overhead_bytes`` channel).
-DEFAULT_NNZ_COST_BYTES = 6.0
-DEFAULT_ROW_COST_BYTES = 200.0
+#: the ``cost`` policy's default coefficients are the registered PBS
+#: cost model (:data:`repro.sparse.partition.PBS_COST_MODEL`), resolved
+#: by name so workload registrations can supply their own; these module
+#: aliases are kept for legacy callers that sweep coefficients.
+DEFAULT_NNZ_COST_BYTES = get_cost_model("pbs").nnz_cost
+DEFAULT_ROW_COST_BYTES = get_cost_model("pbs").row_cost
+
+
+def _resolve_costs(
+    cost_model: Union[str, RowCostModel],
+    nnz_cost: Optional[float],
+    row_cost: Optional[float],
+) -> Tuple[float, float]:
+    model = (
+        cost_model if isinstance(cost_model, RowCostModel)
+        else get_cost_model(cost_model)
+    )
+    return (
+        model.nnz_cost if nnz_cost is None else nnz_cost,
+        model.row_cost if row_cost is None else row_cost,
+    )
 
 
 @dataclass(frozen=True)
@@ -150,10 +166,12 @@ def _partition(
 
 def shard_cost_bytes(
     spec: ShardSpec,
-    nnz_cost: float = DEFAULT_NNZ_COST_BYTES,
-    row_cost: float = DEFAULT_ROW_COST_BYTES,
+    nnz_cost: Optional[float] = None,
+    row_cost: Optional[float] = None,
+    cost_model: Union[str, RowCostModel] = "pbs",
 ) -> float:
     """Modeled equivalent-byte cost of one shard (the fusion yardstick)."""
+    nnz_cost, row_cost = _resolve_costs(cost_model, nnz_cost, row_cost)
     return nnz_cost * spec.nnz + row_cost * spec.n_rows
 
 
@@ -161,18 +179,22 @@ def shard_matrix(
     matrix: CSRMatrix,
     n_shards: int,
     policy: str = "balanced",
-    nnz_cost: float = DEFAULT_NNZ_COST_BYTES,
-    row_cost: float = DEFAULT_ROW_COST_BYTES,
+    nnz_cost: Optional[float] = None,
+    row_cost: Optional[float] = None,
+    cost_model: Union[str, RowCostModel] = "pbs",
 ) -> ShardedMatrix:
     """Split ``matrix`` into ``n_shards`` contiguous row shards.
 
     ``"balanced"`` places boundaries at nnz quantiles (the greedy prefix
-    partitioner); ``"cost"`` balances modeled equivalent bytes
-    (``nnz_cost``/``row_cost`` mirror the timing model's DRAM channel),
-    which keeps per-shard *time* flat when fixed per-row overhead
-    dominates; ``"equal_rows"`` is the naive decomposition, kept for the
-    imbalance comparison the partition report surfaces.
+    partitioner); ``"cost"`` balances modeled equivalent bytes from the
+    named :class:`~repro.sparse.partition.RowCostModel` (``"pbs"`` by
+    default; workloads register their own), which keeps per-shard *time*
+    flat when fixed per-row overhead dominates; ``"equal_rows"`` is the
+    naive decomposition, kept for the imbalance comparison the partition
+    report surfaces.  Explicit ``nnz_cost``/``row_cost`` override the
+    model coefficient-wise.
     """
+    nnz_cost, row_cost = _resolve_costs(cost_model, nnz_cost, row_cost)
     with trace_span(
         "dist.shard",
         shards=n_shards,
@@ -208,8 +230,9 @@ def shard_matrix(
 def fuse_small_shards(
     sharded: ShardedMatrix,
     min_cost_bytes: float,
-    nnz_cost: float = DEFAULT_NNZ_COST_BYTES,
-    row_cost: float = DEFAULT_ROW_COST_BYTES,
+    nnz_cost: Optional[float] = None,
+    row_cost: Optional[float] = None,
+    cost_model: Union[str, RowCostModel] = "pbs",
 ) -> ShardedMatrix:
     """Coalesce adjacent shards whose modeled cost falls below a floor.
 
@@ -229,6 +252,7 @@ def fuse_small_shards(
     """
     if min_cost_bytes <= 0 or sharded.n_shards <= 1:
         return sharded
+    nnz_cost, row_cost = _resolve_costs(cost_model, nnz_cost, row_cost)
     ranges = [
         (spec.row_start, spec.row_end, shard_cost_bytes(spec, nnz_cost, row_cost))
         for spec in sharded.specs

@@ -102,13 +102,16 @@ KNOWN_PHASES: Tuple[str, ...] = (
     "opt_loadtest",
     "analyze",
     "lock_witness",
+    "workload_generate",
+    "ensemble_audit",
+    "workloads_bench",
 )
 
 #: serialization sort key per phase (field names; ``seq`` is always the
 #: final tiebreak).  Content-keyed phases are the ones written
 #: concurrently from worker/executor threads.
 _PHASE_SORT_FIELDS: Dict[str, Tuple[str, ...]] = {
-    "request": ("client", "index"),
+    "request": ("client", "index", "scenario"),
     "serve_batch": ("batch_id",),
     "shard_retry": ("shard", "attempt"),
     "plan_compile": ("matrix_fingerprint", "family"),
@@ -119,6 +122,8 @@ _PHASE_SORT_FIELDS: Dict[str, Tuple[str, ...]] = {
     "opt_iteration": ("opt_id", "iteration"),
     "opt_checkpoint": ("opt_id", "iteration"),
     "opt_run": ("opt_id",),
+    "workload_generate": ("workload", "scenario"),
+    "ensemble_audit": ("workload", "preset"),
 }
 
 _RUN_STATUSES = ("running", "completed", "failed", "error")

@@ -142,7 +142,7 @@ def build_scenario_matrices(
                 layer_depths_mm=spot_map.layer_depths_mm,
             )
             per_beam.append(
-                build_deposition_matrix(
+                build_deposition_matrix(  # analyze: allow[RA109] -- legacy robust builder predating repro.workloads
                     phantom,
                     shifted,
                     config=config,

@@ -217,7 +217,7 @@ def build_case_matrix(
                 layer_spacing_mm=case.layer_spacing_mm,
             )
             if matrix.shape == (phantom.grid.n_voxels, spot_map.n_spots):
-                dep = DoseDepositionMatrix(
+                dep = DoseDepositionMatrix(  # analyze: allow[RA109] -- rehydrates the cached PBS build, no new construction
                     beam=beam, spot_map=spot_map, matrix=matrix,
                     half_safety_scale=1.0,
                 )
@@ -226,7 +226,7 @@ def build_case_matrix(
         except Exception:
             pass  # stale/corrupt cache: rebuild below
 
-    dep = build_deposition_matrix(
+    dep = build_deposition_matrix(  # analyze: allow[RA109] -- the named PBS workload's sanctioned builder
         phantom,
         beam,
         spot_spacing_mm=case.spot_spacing_mm,

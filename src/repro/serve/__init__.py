@@ -19,10 +19,22 @@ service.  This package is that layer for the reproduction:
   guaranteeing bitwise-deterministic per-request doses regardless of
   arrival order, batch composition, or worker count;
 * :mod:`repro.serve.loadgen` — synthetic closed-loop load generator
-  with a latency/throughput/bitwise-audit report.
+  with a latency/throughput/bitwise-audit report;
+* :mod:`repro.serve.ensemble` — scenario-ensemble requests: one
+  submission fans out into S scenario evaluations whose results merge
+  strictly in scenario-index order (the robust-planning stack).
 """
 
 from repro.serve.cache import PlanMatrixCache, PlanRecord, PlanStore
+from repro.serve.ensemble import (
+    EnsembleOutcome,
+    EnsembleResult,
+    EnsembleTicket,
+    ScenarioEnsembleRequest,
+    evaluate_ensemble,
+    register_ensemble,
+    submit_ensemble,
+)
 from repro.serve.loadgen import (
     LoadTestConfig,
     LoadTestReport,
@@ -73,4 +85,11 @@ __all__ = [
     "LoadTestReport",
     "RequestRecord",
     "run_loadtest",
+    "EnsembleOutcome",
+    "EnsembleResult",
+    "EnsembleTicket",
+    "ScenarioEnsembleRequest",
+    "evaluate_ensemble",
+    "register_ensemble",
+    "submit_ensemble",
 ]

@@ -33,6 +33,11 @@ from repro.obs import artifact
 from repro.obs.clock import Clock, get_clock
 from repro.obs.logging import get_logger, kv
 from repro.obs.trace import span as trace_span
+from repro.serve.ensemble import (
+    EnsembleOutcome,
+    EnsembleResult,
+    ScenarioEnsembleRequest,
+)
 from repro.serve.request import (
     EvaluationRequest,
     EvaluationResult,
@@ -73,6 +78,12 @@ class LoadTestConfig:
     #: register Table I cases (at ``preset``) instead of synthetic plans.
     case_names: Optional[Sequence[str]] = None
     preset: str = "tiny"
+    #: workload family driving the traffic: ``"synthetic"`` keeps the
+    #: historical dose-like plans; any registered :mod:`repro.workloads`
+    #: name generates that family's matrices instead, and an *ensemble*
+    #: family (``robust_ensemble``) switches every client to
+    #: :class:`~repro.serve.ensemble.ScenarioEnsembleRequest` traffic.
+    workload: str = "synthetic"
     #: row shards per evaluation (>1 serves through repro.dist).
     shards: int = 1
     #: simulated devices in the sharded pool (None: min(shards, 4)).
@@ -102,6 +113,10 @@ class RequestRecord:
     cache_hit: Optional[bool] = None
     #: row shards the evaluation ran across (1 == single device).
     shards: int = 1
+    #: workload family the request's plan came from.
+    workload: str = "synthetic"
+    #: scenario index within an ensemble request (None outside ensembles).
+    scenario: Optional[int] = None
     bitwise: Optional[bool] = None
     #: SHA-256 of the served dose bytes (the artifact's replay target);
     #: stamped by the bitwise audit before the dose itself is dropped.
@@ -324,44 +339,102 @@ def run_loadtest(
         clock=clock,
     )
     masters = {}
+    ensemble_plan: Optional[str] = None
     if config.case_names:
         for i, case in enumerate(config.case_names):
             record = service.plans.register_case(
                 f"plan-{i}", case, preset=config.preset
             )
             masters[record.plan_id] = record.matrix
+    elif config.workload != "synthetic":
+        from repro.workloads import generate, get_workload, scenario_matrices
+
+        spec = get_workload(config.workload)
+        if spec.ensemble:
+            product = generate(
+                config.workload, seed=config.seed, preset=config.preset
+            )
+            ensemble_plan = "plan-0"
+            scenario_ids = service.register_ensemble(ensemble_plan, product)
+            for pid, (_, matrix) in zip(
+                scenario_ids, scenario_matrices(product)
+            ):
+                masters[pid] = matrix
+        else:
+            for p in range(config.n_plans):
+                product = generate(
+                    config.workload,
+                    seed=config.seed + p,
+                    preset=config.preset,
+                )
+                plan_id = f"plan-{p}"
+                service.plans.register(
+                    plan_id, product.matrix,
+                    source=f"workload:{config.workload}",
+                )
+                masters[plan_id] = product.matrix
     else:
         for plan_id, matrix in build_synthetic_plans(config).items():
             service.plans.register(plan_id, matrix, source="synthetic")
             masters[plan_id] = matrix
-    plan_ids = sorted(masters)
+    plan_ids = [ensemble_plan] if ensemble_plan else sorted(masters)
 
     per_client = _split_requests(config.n_requests, config.n_clients)
     records: List[List[RequestRecord]] = [[] for _ in range(config.n_clients)]
+
+    n_cols_any = next(iter(masters.values())).n_cols
 
     def client_loop(client: int) -> None:
         submitted = 0
         burst_index = 0
         while submitted < per_client[client]:
             plan_id = _client_plan(config, client, burst_index, plan_ids)
-            n_cols = masters[plan_id].n_cols
+            n_cols = (
+                n_cols_any if ensemble_plan else masters[plan_id].n_cols
+            )
             burst_n = min(config.burst, per_client[client] - submitted)
-            requests = [
-                EvaluationRequest(
-                    request_id=f"c{client}-r{submitted + j}",
-                    plan_id=plan_id,
-                    weights=request_weights(
-                        config, client, submitted + j, n_cols
-                    ),
-                    precision=config.precision,
-                    deadline_s=config.deadline_s,
-                    client_id=f"client-{client}",
-                )
-                for j in range(burst_n)
-            ]
-            outcomes = service.evaluate(requests)
-            for request, outcome in zip(requests, outcomes):
-                records[client].append(_record(request, outcome))
+            if ensemble_plan:
+                ensembles = [
+                    ScenarioEnsembleRequest(
+                        request_id=f"c{client}-r{submitted + j}",
+                        plan_id=plan_id,
+                        weights=request_weights(
+                            config, client, submitted + j, n_cols
+                        ),
+                        precision=config.precision,
+                        deadline_s=config.deadline_s,
+                        client_id=f"client-{client}",
+                    )
+                    for j in range(burst_n)
+                ]
+                handles = [service.submit_ensemble(r) for r in ensembles]
+                for request, handle in zip(ensembles, handles):
+                    outcome = (
+                        handle if isinstance(handle, Rejected)
+                        else handle.outcome(60.0)
+                    )
+                    records[client].extend(
+                        _ensemble_records(request, outcome, config.workload)
+                    )
+            else:
+                requests = [
+                    EvaluationRequest(
+                        request_id=f"c{client}-r{submitted + j}",
+                        plan_id=plan_id,
+                        weights=request_weights(
+                            config, client, submitted + j, n_cols
+                        ),
+                        precision=config.precision,
+                        deadline_s=config.deadline_s,
+                        client_id=f"client-{client}",
+                    )
+                    for j in range(burst_n)
+                ]
+                outcomes = service.evaluate(requests)
+                for request, outcome in zip(requests, outcomes):
+                    records[client].append(
+                        _record(request, outcome, config.workload)
+                    )
             submitted += burst_n
             burst_index += 1
 
@@ -437,6 +510,8 @@ def _enrich_artifact(config: LoadTestConfig, report: LoadTestReport) -> None:
             modeled_time_s=record.modeled_time_s,
             cache_hit=record.cache_hit,
             shards=record.shards,
+            workload=record.workload,
+            scenario=record.scenario,
             bitwise=record.bitwise,
             dose_sha256=record.dose_sha256,
             dose_dtype=record.dose_dtype,
@@ -473,7 +548,8 @@ def _split_requests(n_requests: int, n_clients: int) -> List[int]:
     return shares
 
 
-def _record(request: EvaluationRequest, outcome: Outcome) -> RequestRecord:
+def _record(request: EvaluationRequest, outcome: Outcome,
+            workload: str = "synthetic") -> RequestRecord:
     if isinstance(outcome, Rejected):
         return RequestRecord(
             request_id=request.request_id,
@@ -481,6 +557,7 @@ def _record(request: EvaluationRequest, outcome: Outcome) -> RequestRecord:
             plan_id=request.plan_id,
             precision=request.precision,
             status=outcome.reason.value,
+            workload=workload,
         )
     assert isinstance(outcome, EvaluationResult)
     return RequestRecord(
@@ -496,8 +573,57 @@ def _record(request: EvaluationRequest, outcome: Outcome) -> RequestRecord:
         modeled_time_s=outcome.modeled_time_s,
         cache_hit=outcome.cache_hit,
         shards=outcome.shards,
+        workload=workload,
         dose=outcome.dose,
     )
+
+
+def _ensemble_records(
+    request: ScenarioEnsembleRequest,
+    outcome: EnsembleOutcome,
+    workload: str,
+) -> List[RequestRecord]:
+    """One record per scenario (or one rejection row for the ensemble).
+
+    Scenario rows carry the *scenario plan id* (``plan-0@s{i}``) and the
+    scenario index, so the bitwise audit reconstructs each stand-alone
+    ``A_s @ w`` exactly like any other request, and the CSV/artifact
+    views expose the fan-out explicitly.
+    """
+    if isinstance(outcome, Rejected):
+        return [
+            RequestRecord(
+                request_id=request.request_id,
+                client_id=request.client_id,
+                plan_id=request.plan_id,
+                precision=request.precision,
+                status=outcome.reason.value,
+                workload=workload,
+            )
+        ]
+    assert isinstance(outcome, EnsembleResult)
+    rows = []
+    for index, result in enumerate(outcome.scenario_results):
+        rows.append(
+            RequestRecord(
+                request_id=request.request_id,
+                client_id=request.client_id,
+                plan_id=result.plan_id,
+                precision=result.precision,
+                status="ok",
+                latency_ms=result.latency_s * 1e3,
+                queue_wait_ms=result.queue_wait_s * 1e3,
+                batch_id=result.batch_id,
+                batch_size=result.batch_size,
+                modeled_time_s=result.modeled_time_s,
+                cache_hit=result.cache_hit,
+                shards=result.shards,
+                workload=workload,
+                scenario=index,
+                dose=result.dose,
+            )
+        )
+    return rows
 
 
 def _audit_bitwise(

@@ -252,6 +252,32 @@ class DoseEvaluationService:
         ]
 
     # ------------------------------------------------------------------ #
+    # scenario ensembles (delegates to repro.serve.ensemble)
+    # ------------------------------------------------------------------ #
+
+    def register_ensemble(self, plan_id: str, ensemble: object,
+                          source: str = "workload"):
+        """Register every scenario of an ensemble as plan ``plan_id@s{i}``."""
+        from repro.serve.ensemble import register_ensemble
+
+        return register_ensemble(self, plan_id, ensemble, source=source)
+
+    def submit_ensemble(self, request, submit_order=None):
+        """Fan one ensemble request out into per-scenario submissions."""
+        from repro.serve.ensemble import submit_ensemble
+
+        return submit_ensemble(self, request, submit_order=submit_order)
+
+    def evaluate_ensemble(self, request, timeout: Optional[float] = 60.0,
+                          submit_order=None):
+        """Submit an ensemble request and wait for the merged dose stack."""
+        from repro.serve.ensemble import evaluate_ensemble
+
+        return evaluate_ensemble(
+            self, request, timeout=timeout, submit_order=submit_order
+        )
+
+    # ------------------------------------------------------------------ #
     # execution (called from worker threads)
     # ------------------------------------------------------------------ #
 

@@ -15,12 +15,97 @@ so benches can show the equal-rows vs equal-nnz difference.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.sparse.csr import CSRMatrix
 from repro.util.errors import ShapeError
+
+
+@dataclass(frozen=True)
+class RowCostModel:
+    """A named per-row work model: ``cost(i) = nnz_cost*len(i) + row_cost``.
+
+    Both coefficients are in equivalent bytes, mirroring the timing
+    model's DRAM channel: ``nnz_cost`` prices the per-element value +
+    index stream, ``row_cost`` the fixed per-row work (row-pointer read,
+    warp reduction, output write, sector-alignment slack).  Different
+    sparsity families weight these differently — banded photon FPB rows
+    are long and dense (stream-dominated), VMAT aperture columns make
+    short contiguous runs (row-overhead-dominated) — so the model is a
+    *registration*, not a constant: every workload registers its own and
+    partitioners resolve coefficients by name.
+    """
+
+    name: str
+    nnz_cost: float
+    row_cost: float
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ShapeError("cost model name must be non-empty")
+        if self.nnz_cost < 0 or self.row_cost < 0:
+            raise ShapeError(
+                f"cost model {self.name!r}: coefficients must be "
+                f"non-negative, got nnz_cost={self.nnz_cost}, "
+                f"row_cost={self.row_cost}"
+            )
+
+    def row_costs(self, matrix: CSRMatrix) -> np.ndarray:
+        """Modeled cost of every row (float64, length ``n_rows``)."""
+        lengths = np.diff(matrix.indptr).astype(np.float64)
+        return lengths * self.nnz_cost + self.row_cost
+
+
+#: the proton-PBS default: half value (2 B) + int32 index (4 B) per
+#: stored element, 200 B-equivalent fixed work per row.  These are the
+#: historical hard-coded constants, now the *named* default rather than
+#: an implicit assumption baked into every partitioner call.
+PBS_COST_MODEL = RowCostModel(
+    name="pbs",
+    nnz_cost=6.0,  # analyze: allow[cost-literal] -- the named PBS default itself
+    row_cost=200.0,  # analyze: allow[cost-literal] -- the named PBS default itself
+    description="proton pencil-beam scanning (paper Table I structure)",
+)
+
+_COST_MODELS: Dict[str, RowCostModel] = {}
+
+
+def register_cost_model(model: RowCostModel,
+                        replace: bool = False) -> RowCostModel:
+    """Register a named row-cost model (workloads call this at import)."""
+    if model.name in _COST_MODELS and not replace:
+        existing = _COST_MODELS[model.name]
+        if (existing.nnz_cost, existing.row_cost) != (
+            model.nnz_cost, model.row_cost
+        ):
+            raise ShapeError(
+                f"cost model {model.name!r} already registered with "
+                f"different coefficients; pass replace=True to overwrite"
+            )
+        return existing
+    _COST_MODELS[model.name] = model
+    return model
+
+
+def get_cost_model(name: str) -> RowCostModel:
+    """Look up a registered cost model by name."""
+    try:
+        return _COST_MODELS[name]
+    except KeyError:
+        raise ShapeError(
+            f"no cost model named {name!r}; registered: "
+            f"{sorted(_COST_MODELS)}"
+        ) from None
+
+
+def cost_model_names() -> Tuple[str, ...]:
+    return tuple(sorted(_COST_MODELS))
+
+
+register_cost_model(PBS_COST_MODEL)
 
 
 @dataclass(frozen=True)
@@ -76,8 +161,9 @@ def partition_rows_balanced(matrix: CSRMatrix, n_parts: int) -> RowPartition:
 def partition_rows_by_cost(
     matrix: CSRMatrix,
     n_parts: int,
-    nnz_cost: float = 6.0,
-    row_cost: float = 200.0,
+    nnz_cost: Optional[float] = None,
+    row_cost: Optional[float] = None,
+    cost_model: Union[str, RowCostModel] = "pbs",
 ) -> RowPartition:
     """Partition on a *modeled per-row cost*, not raw non-zeros.
 
@@ -86,15 +172,28 @@ def partition_rows_by_cost(
     warp reduction, the output write, sector-alignment slack) — on
     matrices with many short rows that fixed term dominates, and an
     nnz-balanced chunk holding most of the *rows* becomes the straggler.
-    Here each row ``i`` is charged ``nnz_cost * len(i) + row_cost``
-    (both in equivalent bytes, mirroring the timing model's DRAM
-    channel) and boundaries sit at quantiles of the cumulative cost.
+    Each row ``i`` is charged ``nnz_cost * len(i) + row_cost`` (both in
+    equivalent bytes, mirroring the timing model's DRAM channel) and
+    boundaries sit at quantiles of the cumulative cost.
+
+    Coefficients come from a registered :class:`RowCostModel` — the
+    ``"pbs"`` default reproduces the historical hard-coded constants —
+    and explicit ``nnz_cost``/``row_cost`` arguments override the model
+    coefficient-wise (kept for callers that sweep coefficients).
 
     Like every contiguous row partition, this cannot change a result
     bit: each row's reduction is self-contained, so only *where* rows
     are computed moves, never *what* they compute.
     """
     _check_parts(matrix, n_parts)
+    model = (
+        cost_model if isinstance(cost_model, RowCostModel)
+        else get_cost_model(cost_model)
+    )
+    if nnz_cost is None:
+        nnz_cost = model.nnz_cost
+    if row_cost is None:
+        row_cost = model.row_cost
     if nnz_cost < 0 or row_cost < 0:
         raise ShapeError(
             f"costs must be non-negative, got nnz_cost={nnz_cost}, "

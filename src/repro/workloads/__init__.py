@@ -1,0 +1,160 @@
+"""Workload families: typed generators for every sparsity structure.
+
+``repro.workloads`` is the single entry point for deposition-matrix
+construction (analyzer rule RA109 flags construction anywhere outside
+this package and the legacy ``dose/`` builders it wraps).  Importing the
+package registers the four built-in families:
+
+``pbs``
+    the paper's proton pencil-beam-scanning cases — the historical
+    default, now named.
+``vmat``
+    aperture matrices whose column structure follows dynamic-MLC leaf
+    sequences (Tian et al.).
+``photon_fpb``
+    photon finite-pencil-beam matrices with dense banded rows
+    (Gu et al.).
+``robust_ensemble``
+    setup/range scenario ensembles sharing one spot grid, evaluated as
+    a single multi-matrix request.
+
+Each registration carries the family's row-cost model (registered with
+:mod:`repro.sparse.partition`), its served value dtype (from which the
+traffic contract derives per-workload DRAM coefficients), and a cheap
+structure-faithful traffic probe.
+"""
+
+from __future__ import annotations
+
+from repro.sparse.partition import PBS_COST_MODEL, RowCostModel
+from repro.workloads.audit import EnsembleAuditReport, audit_workload
+from repro.workloads.ensemble import (
+    Scenario,
+    ScenarioEnsemble,
+    generate_robust_ensemble,
+)
+from repro.workloads.pbs import PBSWorkload, generate_pbs
+from repro.workloads.photon_fpb import (
+    PhotonDepthCurve,
+    PhotonFPBWorkload,
+    generate_photon_fpb,
+)
+from repro.workloads.registry import (
+    WORKLOAD_PRESETS,
+    WorkloadError,
+    WorkloadSpec,
+    generate,
+    get_workload,
+    register_workload,
+    scenario_matrices,
+    structure_stats,
+    workload_names,
+)
+from repro.workloads.vmat import VMATWorkload, generate_vmat
+
+#: VMAT apertures make many short contiguous runs: fixed per-row work
+#: dominates the stream term, so the row overhead is priced above PBS.
+VMAT_COST_MODEL = RowCostModel(
+    name="vmat",
+    nnz_cost=6.0,  # analyze: allow[cost-literal] -- half value + int32 index
+    row_cost=320.0,  # analyze: allow[cost-literal] -- short rows: overhead-dominated
+    description="VMAT dynamic-MLC apertures (short contiguous runs)",
+)
+
+#: photon FPB rows are long and dense and the family is served in single
+#: precision: the per-element stream is 4 B value + 4 B index and the
+#: fixed per-row term amortizes away.
+PHOTON_FPB_COST_MODEL = RowCostModel(
+    name="photon_fpb",
+    nnz_cost=8.0,  # analyze: allow[cost-literal] -- float32 value + int32 index
+    row_cost=96.0,  # analyze: allow[cost-literal] -- dense rows: stream-dominated
+    description="photon finite pencil beam (dense banded rows)",
+)
+
+#: each ensemble scenario is a PBS-structured matrix; the ensemble
+#: inherits the PBS coefficients under its own name so per-workload
+#: consumers never fall back to an implicit default.
+ROBUST_ENSEMBLE_COST_MODEL = RowCostModel(
+    name="robust_ensemble",
+    nnz_cost=PBS_COST_MODEL.nnz_cost,
+    row_cost=PBS_COST_MODEL.row_cost,
+    description="robust scenario ensemble (PBS-structured scenarios)",
+)
+
+
+register_workload(
+    WorkloadSpec(
+        name="pbs",
+        description="proton pencil-beam scanning (paper Table I cases)",
+        generator=generate_pbs,
+        cost_model=PBS_COST_MODEL,
+        value_dtype="float16",
+        paper="Accelerating radiation therapy dose calculation (source paper)",
+        traffic_probe=None,  # the analyzer's own PBS probe covers RT402
+    )
+)
+
+register_workload(
+    WorkloadSpec(
+        name="vmat",
+        description="VMAT apertures following dynamic-MLC leaf sequences",
+        generator=generate_vmat,
+        cost_model=VMAT_COST_MODEL,
+        value_dtype="float16",
+        paper="Tian et al., Multi-GPU VMAT treatment plan optimization",
+        traffic_probe=lambda: generate_vmat(seed=0, preset="probe").matrix,
+    )
+)
+
+register_workload(
+    WorkloadSpec(
+        name="photon_fpb",
+        description="photon finite pencil beam with dense banded rows",
+        generator=generate_photon_fpb,
+        cost_model=PHOTON_FPB_COST_MODEL,
+        value_dtype="float32",
+        paper="Gu et al., GPU ultra-fast dose calculation, finite pencil beam",
+        traffic_probe=lambda: generate_photon_fpb(
+            seed=0, preset="probe"
+        ).matrix,
+    )
+)
+
+register_workload(
+    WorkloadSpec(
+        name="robust_ensemble",
+        description="setup/range scenario ensemble sharing one spot grid",
+        generator=generate_robust_ensemble,
+        cost_model=ROBUST_ENSEMBLE_COST_MODEL,
+        value_dtype="float16",
+        ensemble=True,
+        paper="robust planning ensembles (multi-scenario d_s = A_s w)",
+        traffic_probe=lambda: generate_robust_ensemble(
+            seed=0, preset="probe"
+        ).matrix,
+    )
+)
+
+__all__ = [
+    "EnsembleAuditReport",
+    "PBSWorkload",
+    "PhotonDepthCurve",
+    "PhotonFPBWorkload",
+    "Scenario",
+    "ScenarioEnsemble",
+    "VMATWorkload",
+    "WORKLOAD_PRESETS",
+    "WorkloadError",
+    "WorkloadSpec",
+    "audit_workload",
+    "generate",
+    "generate_photon_fpb",
+    "generate_pbs",
+    "generate_robust_ensemble",
+    "generate_vmat",
+    "get_workload",
+    "register_workload",
+    "scenario_matrices",
+    "structure_stats",
+    "workload_names",
+]

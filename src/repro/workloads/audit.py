@@ -1,0 +1,231 @@
+"""The ensemble bitwise audit: one stack, every execution path.
+
+The workload subsystem's core claim is that a workload's dose stack —
+``np.stack([A_s @ w for s in scenarios])`` in scenario-index order — is
+**one well-defined array of bits**, no matter which execution path
+produced it.  This module proves the claim constructively: it evaluates
+the same ``(workload, weights, precision)`` problem
+
+* directly (stand-alone kernel, batch of one, no cache, no scheduler),
+* sharded across every requested shard count (one device per shard),
+* through the serve layer twice, under *different* batching windows,
+  worker counts and scenario submission orders,
+
+and compares every stack bit-for-bit against the direct reference.
+Single-matrix workloads are audited as one-scenario ensembles, so the
+same report covers all families.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bench.harness import convert_for_kernel
+from repro.dist.evaluator import ShardedEvaluator
+from repro.dist.pool import DevicePool
+from repro.kernels.dispatch import make_kernel
+from repro.obs import artifact
+from repro.serve.ensemble import (
+    EnsembleResult,
+    ScenarioEnsembleRequest,
+    scenario_plan_id,
+)
+from repro.serve.request import Rejected, ServeError
+from repro.serve.scheduler import BatchingPolicy
+from repro.serve.service import DoseEvaluationService, ServiceConfig
+from repro.sparse.csr import CSRMatrix
+from repro.util.rng import make_rng, stable_seed
+from repro.workloads.registry import generate, get_workload, scenario_matrices
+
+#: shard counts the acceptance audit sweeps.
+DEFAULT_SHARD_COUNTS: Tuple[int, ...] = (1, 2, 4, 8)
+
+
+@dataclass(frozen=True)
+class EnsembleAuditReport:
+    """Outcome of one audit: which paths matched the reference stack."""
+
+    workload: str
+    preset: str
+    precision: str
+    n_scenarios: int
+    n_rows: int
+    n_cols: int
+    shard_counts: Tuple[int, ...]
+    #: sha256 of the reference stack (the one true answer's identity).
+    stack_sha256: str
+    #: shard count -> stack bitwise equal to the direct reference.
+    shards_bitwise: Dict[int, bool] = field(default_factory=dict)
+    #: serve pass name -> stack bitwise equal to the direct reference.
+    serve_bitwise: Dict[str, bool] = field(default_factory=dict)
+
+    @property
+    def all_bitwise(self) -> bool:
+        return all(self.shards_bitwise.values()) and all(
+            self.serve_bitwise.values()
+        )
+
+
+def audit_weights(workload: str, seed: int, n_cols: int) -> np.ndarray:
+    """The audit's deterministic weight vector (strictly positive)."""
+    rng = make_rng(stable_seed("workload-audit", workload, seed))
+    return 0.5 + rng.random(n_cols)
+
+
+def _direct_stack(
+    matrices: Sequence[CSRMatrix], precision: str, weights: np.ndarray
+) -> np.ndarray:
+    """Reference: stand-alone kernel evaluation per scenario, stacked."""
+    kernel = make_kernel(precision)
+    doses = []
+    for matrix in matrices:
+        converted = convert_for_kernel(matrix, precision)
+        doses.append(kernel.run(converted, weights).y)
+    return np.stack(doses)
+
+
+def _sharded_stack(
+    matrices: Sequence[CSRMatrix],
+    precision: str,
+    weights: np.ndarray,
+    n_shards: int,
+    device_name: str,
+) -> np.ndarray:
+    """The dist path: every scenario through a ``ShardedEvaluator``."""
+    kernel = make_kernel(precision)
+    doses = []
+    for matrix in matrices:
+        converted = convert_for_kernel(matrix, precision)
+        evaluator = ShardedEvaluator(
+            converted,
+            kernel,
+            n_shards,
+            pool=DevicePool.of(n_shards, device_name),
+        )
+        doses.append(evaluator.evaluate(weights).doses)
+    return np.stack(doses)
+
+
+def _serve_stack(
+    matrices: Sequence[CSRMatrix],
+    precision: str,
+    weights: np.ndarray,
+    config: ServiceConfig,
+    submit_order: Optional[Sequence[int]],
+    plan_id: str = "audit",
+) -> np.ndarray:
+    """The serve path: one ensemble request through a live service."""
+    service = DoseEvaluationService(config)
+    for index, matrix in enumerate(matrices):
+        service.plans.register(
+            scenario_plan_id(plan_id, index), matrix, source="workload"
+        )
+    with service:
+        outcome = service.evaluate_ensemble(
+            ScenarioEnsembleRequest(
+                request_id="audit-r0",
+                plan_id=plan_id,
+                weights=weights,
+                precision=precision,
+            ),
+            submit_order=submit_order,
+        )
+    if isinstance(outcome, Rejected):
+        raise ServeError(
+            f"audit ensemble request rejected: {outcome.reason.value} "
+            f"({outcome.detail})"
+        )
+    assert isinstance(outcome, EnsembleResult)
+    return outcome.doses
+
+
+def audit_workload(
+    name: str,
+    seed: int = 0,
+    preset: str = "tiny",
+    precision: str = "half_double",
+    shard_counts: Sequence[int] = DEFAULT_SHARD_COUNTS,
+    device_name: str = "A100",
+    product: Any = None,
+) -> EnsembleAuditReport:
+    """Prove the workload's dose stack identical across execution paths.
+
+    ``product`` may pass a pre-generated workload (the CLI reuses one
+    generation for audit + bench); otherwise the registry regenerates it
+    from ``(name, seed, preset)``.
+    """
+    get_workload(name)  # fail fast on unknown names
+    if product is None:
+        product = generate(name, seed=seed, preset=preset)
+    matrices = [m for _, m in scenario_matrices(product)]
+    n_rows, n_cols = matrices[0].shape
+    weights = audit_weights(name, seed, n_cols)
+
+    reference = _direct_stack(matrices, precision, weights)
+
+    shards_bitwise: Dict[int, bool] = {}
+    for n_shards in shard_counts:
+        stack = _sharded_stack(
+            matrices, precision, weights, n_shards, device_name
+        )
+        shards_bitwise[int(n_shards)] = bool(
+            np.array_equal(stack, reference)
+        )
+
+    # Two deliberately different serve configurations: no coalescing on
+    # one worker vs. wide batching on three workers with the scenario
+    # submission order reversed — the merge must not notice.
+    serve_passes = {
+        "serial_1worker": (
+            ServiceConfig(
+                n_workers=1,
+                batching=BatchingPolicy(max_batch_size=1, max_wait_s=0.0),
+            ),
+            None,
+        ),
+        "batched_3workers_reversed": (
+            ServiceConfig(
+                n_workers=3,
+                batching=BatchingPolicy(max_batch_size=8, max_wait_s=0.004),
+            ),
+            list(reversed(range(len(matrices)))),
+        ),
+    }
+    serve_bitwise: Dict[str, bool] = {}
+    for pass_name, (config, submit_order) in serve_passes.items():
+        stack = _serve_stack(
+            matrices, precision, weights, config, submit_order
+        )
+        serve_bitwise[pass_name] = bool(np.array_equal(stack, reference))
+
+    report = EnsembleAuditReport(
+        workload=name,
+        preset=preset,
+        precision=precision,
+        n_scenarios=len(matrices),
+        n_rows=n_rows,
+        n_cols=n_cols,
+        shard_counts=tuple(int(n) for n in shard_counts),
+        stack_sha256=artifact.dose_sha256(reference),
+        shards_bitwise=shards_bitwise,
+        serve_bitwise=serve_bitwise,
+    )
+    if artifact.enabled():
+        artifact.record(
+            "ensemble_audit",
+            workload=name,
+            preset=preset,
+            precision=precision,
+            n_scenarios=report.n_scenarios,
+            shard_counts=list(report.shard_counts),
+            stack_sha256=report.stack_sha256,
+            shards_bitwise={
+                str(k): v for k, v in report.shards_bitwise.items()
+            },
+            serve_bitwise=dict(report.serve_bitwise),
+            all_bitwise=report.all_bitwise,
+        )
+    return report

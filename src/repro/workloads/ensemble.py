@@ -1,0 +1,225 @@
+"""Robust-planning scenario ensembles: perturbed matrices, one spot grid.
+
+Robust optimization evaluates a plan under explicit error scenarios —
+setup (patient position) shifts and proton range over/undershoot — by
+computing ``d_s = A_s · w`` for every scenario matrix ``A_s`` with the
+*same* weight vector.  The defining structural property is the **shared
+spot grid**: every scenario is generated from one
+:class:`~repro.dose.spots.SpotMap`, so all ``A_s`` share the column
+space and one request fans out into S independent SpMVs whose results
+stack into an ``(S, n_voxels)`` dose block.
+
+Scenario order is part of the data model: ``scenarios[0]`` is the
+nominal geometry, and the ensemble dose stack is **defined** as the
+scenario-index-ordered stack — the serve layer's merge invariant (and
+the ensemble bitwise audit) is anchored to these explicit indices,
+never to completion or container order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.dose.beam import Beam
+from repro.dose.deposition import build_deposition_matrix
+from repro.dose.pencilbeam import compute_beam_geometry
+from repro.dose.phantom import Phantom, build_liver_phantom
+from repro.dose.spots import SpotMap, generate_spot_map
+from repro.sparse.csr import CSRMatrix
+from repro.util.errors import ShapeError
+from repro.util.rng import make_rng, stable_seed
+
+#: (phantom shape, phantom spacing mm, spot spacing mm, layer spacing mm,
+#:  number of scenarios).
+_PRESETS: Dict[str, Tuple[Tuple[int, int, int], Tuple[float, float, float],
+                          float, float, int]] = {
+    "probe": ((12, 12, 8), (16.0, 16.0, 20.0), 18.0, 22.0, 3),
+    "tiny": ((16, 16, 10), (14.0, 14.0, 18.0), 14.0, 18.0, 5),
+    "bench": ((22, 22, 15), (12.0, 12.0, 16.0), 12.0, 16.0, 9),
+}
+
+#: setup-error magnitude (one standard scenario shift) in mm.
+SETUP_SHIFT_MM = 4.0
+
+#: range-error magnitude as a relative density scale.
+RANGE_SCALE_PCT = 0.03
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One perturbed geometry: the nominal plan seen under one error."""
+
+    index: int
+    name: str
+    setup_shift_mm: Tuple[float, float, float]
+    range_scale: float
+    matrix: CSRMatrix
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ShapeError(f"scenario index must be >= 0, got {self.index}")
+
+
+@dataclass(frozen=True)
+class ScenarioEnsemble:
+    """An ordered ensemble of scenario matrices sharing one spot grid.
+
+    ``scenarios`` is ordered by explicit scenario index (``scenarios[0]``
+    nominal); every matrix has identical shape because all scenarios are
+    built from the same :class:`~repro.dose.spots.SpotMap` over the same
+    voxel grid — the invariant that makes one weight vector valid for
+    every scenario and the ``(S, n_voxels)`` dose stack well-defined.
+    """
+
+    name: str
+    scenarios: Tuple[Scenario, ...]
+    spot_map: SpotMap
+
+    def __post_init__(self) -> None:
+        if not self.scenarios:
+            raise ShapeError("ensemble must hold at least one scenario")
+        shape = self.scenarios[0].matrix.shape
+        for k, sc in enumerate(self.scenarios):
+            if sc.index != k:
+                raise ShapeError(
+                    f"scenario at position {k} carries index {sc.index}; "
+                    "scenarios must be ordered by explicit index"
+                )
+            if sc.matrix.shape != shape:
+                raise ShapeError(
+                    f"scenario {sc.name!r} shape {sc.matrix.shape} differs "
+                    f"from nominal {shape}; scenarios must share the grid"
+                )
+        if shape[1] != self.spot_map.n_spots:
+            raise ShapeError(
+                f"{shape[1]} columns but {self.spot_map.n_spots} spots in "
+                "the shared spot map"
+            )
+
+    @property
+    def matrix(self) -> CSRMatrix:
+        """The nominal-scenario matrix (single-matrix workload view)."""
+        return self.scenarios[0].matrix
+
+    @property
+    def n_scenarios(self) -> int:
+        return len(self.scenarios)
+
+    @property
+    def n_spots(self) -> int:
+        return self.spot_map.n_spots
+
+
+def _scenario_ladder(n_scenarios: int) -> Tuple[Tuple[str, Tuple[float, float, float], float], ...]:
+    """Deterministic (name, setup shift uvz, range scale) per scenario.
+
+    Scenario 0 is nominal; the rest cycle ±u, ±v setup shifts and ±range
+    scales, doubling magnitude each full cycle — the standard 2-axis
+    setup + range robustness ladder.
+    """
+    ladder = [("nominal", (0.0, 0.0, 0.0), 1.0)]
+    kinds = ("setup+u", "setup-u", "setup+v", "setup-v", "range+", "range-")
+    for s in range(1, n_scenarios):
+        kind = kinds[(s - 1) % len(kinds)]
+        level = (s - 1) // len(kinds) + 1
+        shift = SETUP_SHIFT_MM * level
+        scale = RANGE_SCALE_PCT * level
+        if kind == "setup+u":
+            ladder.append((f"{kind}{level}", (shift, 0.0, 0.0), 1.0))
+        elif kind == "setup-u":
+            ladder.append((f"{kind}{level}", (-shift, 0.0, 0.0), 1.0))
+        elif kind == "setup+v":
+            ladder.append((f"{kind}{level}", (0.0, shift, 0.0), 1.0))
+        elif kind == "setup-v":
+            ladder.append((f"{kind}{level}", (0.0, -shift, 0.0), 1.0))
+        elif kind == "range+":
+            ladder.append((f"{kind}{level}", (0.0, 0.0, 0.0), 1.0 + scale))
+        else:
+            ladder.append((f"{kind}{level}", (0.0, 0.0, 0.0), 1.0 - scale))
+    return tuple(ladder)
+
+
+def generate_robust_ensemble(
+    seed: int = 0, preset: str = "tiny"
+) -> ScenarioEnsemble:
+    """Generate a seed-stable setup/range scenario ensemble.
+
+    The nominal phantom, beam and **spot map are built once**; each
+    scenario rebuilds only what its error actually perturbs — a setup
+    shift moves the beam isocenter in the BEV frame (recomputing the
+    geometry cache), a range error scales the density volume (recomputing
+    radiological depth) — and every scenario deposits onto the *shared*
+    spot map, so column ``j`` means the same physical spot in every
+    ``A_s``.
+    """
+    if preset not in _PRESETS:
+        raise ShapeError(
+            f"unknown robust_ensemble preset {preset!r}; expected one of "
+            f"{tuple(_PRESETS)}"
+        )
+    shape, spacing, spot_spacing, layer_spacing, n_scenarios = _PRESETS[preset]
+    phantom = build_liver_phantom(shape, spacing)
+    idx = phantom.target.voxel_indices
+    centers = phantom.grid.voxel_centers()[idx]
+    iso = np.asarray([float(c) for c in centers.mean(axis=0)])
+    beam = Beam("robust-nominal", gantry_angle_deg=40.0,
+                isocenter_mm=tuple(iso))
+    geometry = compute_beam_geometry(phantom, beam)
+    spot_map = generate_spot_map(
+        phantom,
+        beam,
+        geometry,
+        spot_spacing_mm=spot_spacing,
+        layer_spacing_mm=layer_spacing,
+    )
+
+    u_axis, v_axis = beam.bev_axes
+    scenarios = []
+    for index, (sc_name, shift_uvz, range_scale) in enumerate(
+        _scenario_ladder(n_scenarios)
+    ):
+        sc_phantom = phantom
+        sc_beam = beam
+        sc_geometry = geometry
+        if range_scale != 1.0:
+            sc_phantom = Phantom(
+                name=f"{phantom.name}-{sc_name}",
+                grid=phantom.grid,
+                density=phantom.density * range_scale,
+                structures=phantom.structures,
+            )
+            sc_geometry = compute_beam_geometry(sc_phantom, beam)
+        elif shift_uvz != (0.0, 0.0, 0.0):
+            shifted = iso + shift_uvz[0] * u_axis + shift_uvz[1] * v_axis
+            sc_beam = Beam(
+                f"robust-{sc_name}",
+                gantry_angle_deg=beam.gantry_angle_deg,
+                isocenter_mm=tuple(float(c) for c in shifted),
+            )
+            sc_geometry = compute_beam_geometry(phantom, sc_beam)
+        dep = build_deposition_matrix(
+            sc_phantom,
+            sc_beam,
+            rng=make_rng(
+                stable_seed("workload", "robust_ensemble", seed, preset, index)
+            ),
+            geometry=sc_geometry,
+            spot_map=spot_map,
+        )
+        scenarios.append(
+            Scenario(
+                index=index,
+                name=sc_name,
+                setup_shift_mm=shift_uvz,
+                range_scale=range_scale,
+                matrix=dep.matrix,
+            )
+        )
+    return ScenarioEnsemble(
+        name="robust_ensemble",
+        scenarios=tuple(scenarios),
+        spot_map=spot_map,
+    )

@@ -1,0 +1,258 @@
+"""Photon finite-pencil-beam workload: dense, banded rows.
+
+A photon finite-pencil-beam (FPB) dose engine decomposes the fluence
+plane into a regular grid of beamlets and superposes per-beamlet dose
+kernels (Gu et al., PAPERS.md).  Two structural properties set the
+family apart from proton PBS:
+
+* **no Bragg peak** — the depth dose is buildup followed by slow
+  exponential attenuation, so a beamlet deposits along its *entire*
+  path: rows are much denser than PBS rows;
+* **regular beamlet grid** — columns are ordered row-major over the
+  ``(v, u)`` fluence grid, so the lateral kernel radius translates into
+  a hard *bandwidth* bound: all nonzeros of a voxel row fall within
+  ``floor(2·r_cut/Δ) · (n_u + 1)`` columns of each other.
+
+The generator reuses the existing analytic machinery end-to-end —
+:func:`~repro.dose.pencilbeam.compute_beam_geometry` for radiological
+depth and :func:`~repro.dose.pencilbeam.spot_dose` for the culled
+lateral superposition — with :class:`PhotonDepthCurve` duck-typing the
+Bragg curve interface.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.dose.beam import Beam
+from repro.dose.bragg import lateral_sigma_mm
+from repro.dose.deposition import HALF_CALIBRATION_PEAK
+from repro.dose.pencilbeam import compute_beam_geometry, spot_dose
+from repro.dose.phantom import Phantom, build_liver_phantom
+from repro.sparse.convert import coo_to_csr
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+from repro.util.errors import ShapeError
+from repro.util.rng import make_rng, stable_seed
+
+#: (phantom shape, phantom spacing mm, beamlet spacing mm).
+_PRESETS: Dict[str, Tuple[Tuple[int, int, int], Tuple[float, float, float], float]] = {
+    "probe": ((12, 12, 8), (16.0, 16.0, 20.0), 22.0),
+    "tiny": ((16, 16, 10), (14.0, 14.0, 18.0), 16.0),
+    "bench": ((22, 22, 15), (12.0, 12.0, 16.0), 11.0),
+}
+
+#: lateral truncation radius in units of sigma (narrower than the proton
+#: default: FPB kernels are tabulated on finite supports).
+CUTOFF_SIGMA = 3.0
+
+#: in-air beamlet width; photon beamlets are broader than proton spots.
+SIGMA0_MM = 7.0
+
+
+@dataclass(frozen=True)
+class PhotonDepthCurve:
+    """Photon depth dose: electron buildup times exponential attenuation.
+
+    ``dose_at(d) = (1 - exp(-d/buildup_mm)) * exp(-mu_per_mm * d)``.
+
+    Duck-types the :class:`~repro.dose.bragg.BraggCurve` interface that
+    :func:`~repro.dose.pencilbeam.spot_dose` consumes (``range_mm``,
+    ``dose_at``, ``mean_dose_between``); ``range_mm`` is the bookkeeping
+    depth limit, set beyond the phantom so the depth cull never clips a
+    photon row — attenuation, not range, ends the dose.
+    """
+
+    mu_per_mm: float = 0.004
+    buildup_mm: float = 15.0
+    range_mm: float = 350.0
+
+    def __post_init__(self) -> None:
+        if self.mu_per_mm <= 0 or self.buildup_mm <= 0 or self.range_mm <= 0:
+            raise ShapeError(
+                "PhotonDepthCurve parameters must be positive, got "
+                f"mu={self.mu_per_mm}, buildup={self.buildup_mm}, "
+                f"range={self.range_mm}"
+            )
+
+    def dose_at(self, depth_mm: np.ndarray) -> np.ndarray:
+        d = np.clip(np.asarray(depth_mm, dtype=np.float64), 0.0, None)
+        return (1.0 - np.exp(-d / self.buildup_mm)) * np.exp(
+            -self.mu_per_mm * d
+        )
+
+    def _antiderivative(self, d: np.ndarray) -> np.ndarray:
+        mu = self.mu_per_mm
+        k = mu + 1.0 / self.buildup_mm
+        return -np.exp(-mu * d) / mu + np.exp(-k * d) / k
+
+    def mean_dose_between(
+        self, lo_mm: np.ndarray, hi_mm: np.ndarray
+    ) -> np.ndarray:
+        """Exact interval average of :meth:`dose_at` (analytic integral)."""
+        lo = np.clip(np.asarray(lo_mm, dtype=np.float64), 0.0, None)
+        hi = np.clip(np.asarray(hi_mm, dtype=np.float64), 0.0, None)
+        width = hi - lo
+        mean = np.where(
+            width > 0,
+            (self._antiderivative(hi) - self._antiderivative(lo))
+            / np.where(width > 0, width, 1.0),
+            self.dose_at(lo),
+        )
+        return mean
+
+
+@dataclass(frozen=True)
+class PhotonFPBWorkload:
+    """A generated photon FPB matrix plus its beamlet-grid metadata.
+
+    Column ``iv * n_u + iu`` is the beamlet at fluence-grid position
+    ``(iv, iu)`` (row-major, **not** the serpentine PBS order — the
+    row-major order is what makes :attr:`bandwidth_bound` a provable
+    invariant rather than a statistical one).
+    """
+
+    matrix: CSRMatrix
+    phantom: Phantom
+    beam: Beam
+    curve: PhotonDepthCurve
+    n_u: int
+    n_v: int
+    beamlet_spacing_mm: float
+    sigma0_mm: float
+    beamlet_u_mm: np.ndarray
+    beamlet_v_mm: np.ndarray
+    #: hard upper bound on (last col - first col) of any row.
+    bandwidth_bound: int
+
+    def __post_init__(self) -> None:
+        if self.matrix.n_cols != self.n_u * self.n_v:
+            raise ShapeError(
+                f"{self.matrix.n_cols} columns but a "
+                f"{self.n_v}x{self.n_u} beamlet grid"
+            )
+
+    @property
+    def name(self) -> str:
+        return "photon_fpb"
+
+
+def photon_bandwidth_bound(
+    n_u: int,
+    beamlet_spacing_mm: float,
+    curve: PhotonDepthCurve,
+    sigma0_mm: float = SIGMA0_MM,
+    cutoff_sigma: float = CUTOFF_SIGMA,
+) -> int:
+    """Provable row-bandwidth bound of a row-major FPB matrix.
+
+    Two beamlets can hit the same voxel only if both lie within the
+    lateral cull radius ``r_cut = cutoff_sigma * sigma(range)`` of it, so
+    their grid offsets differ by at most ``floor(2*r_cut / spacing)`` in
+    each axis; with columns ordered ``iv * n_u + iu`` the column spread
+    of one row is at most that offset times ``n_u + 1``.
+    """
+    sigma_max = float(
+        lateral_sigma_mm(curve.range_mm, curve.range_mm, sigma0_mm)
+    )
+    r_cut = cutoff_sigma * sigma_max
+    k = math.floor(2.0 * r_cut / beamlet_spacing_mm)
+    return k * (n_u + 1)
+
+
+def generate_photon_fpb(seed: int = 0, preset: str = "tiny") -> PhotonFPBWorkload:
+    """Generate a seed-stable photon finite-pencil-beam matrix.
+
+    The beamlet grid covers the target's BEV hull plus one cull radius of
+    margin; per-beamlet fluence jitter (the only stochastic element) is
+    drawn from a ``stable_seed`` stream, so the same ``(seed, preset)``
+    regenerates the matrix bit-for-bit.
+    """
+    if preset not in _PRESETS:
+        raise ShapeError(
+            f"unknown photon_fpb preset {preset!r}; expected one of "
+            f"{tuple(_PRESETS)}"
+        )
+    shape, spacing, beamlet_spacing = _PRESETS[preset]
+    rng = make_rng(stable_seed("workload", "photon_fpb", seed, preset))
+    curve = PhotonDepthCurve()
+
+    phantom = build_liver_phantom(shape, spacing)
+    idx = phantom.target.voxel_indices
+    centers = phantom.grid.voxel_centers()[idx]
+    iso = tuple(float(c) for c in centers.mean(axis=0))
+    beam = Beam("photon-fpb", gantry_angle_deg=0.0, isocenter_mm=iso)
+    geometry = compute_beam_geometry(phantom, beam)
+
+    # Beamlet grid over the target BEV hull + margin, row-major in (v, u).
+    u_t = geometry.u_mm[idx]
+    v_t = geometry.v_mm[idx]
+    sigma_max = float(
+        lateral_sigma_mm(curve.range_mm, curve.range_mm, SIGMA0_MM)
+    )
+    margin = CUTOFF_SIGMA * sigma_max / 2.0
+    u_lo, u_hi = float(u_t.min()) - margin, float(u_t.max()) + margin
+    v_lo, v_hi = float(v_t.min()) - margin, float(v_t.max()) + margin
+    n_u = max(int(math.floor((u_hi - u_lo) / beamlet_spacing)) + 1, 2)
+    n_v = max(int(math.floor((v_hi - v_lo) / beamlet_spacing)) + 1, 2)
+    us = u_lo + np.arange(n_u) * beamlet_spacing
+    vs = v_lo + np.arange(n_v) * beamlet_spacing
+
+    fluence = 0.8 + 0.4 * rng.random(n_u * n_v)
+
+    rows = []
+    cols = []
+    vals = []
+    for iv in range(n_v):
+        for iu in range(n_u):
+            j = iv * n_u + iu
+            sd = spot_dose(
+                geometry,
+                curve,
+                spot_u_mm=float(us[iu]),
+                spot_v_mm=float(vs[iv]),
+                sigma0_mm=SIGMA0_MM,
+                cutoff_sigma=CUTOFF_SIGMA,
+                relative_cutoff=1e-3,
+                dose_per_weight=float(fluence[j]),
+            )
+            rows.append(sd.voxel_indices)
+            cols.append(np.full(sd.voxel_indices.shape[0], j, dtype=np.int64))
+            vals.append(sd.dose)
+
+    all_vals = np.concatenate(vals)
+    peak = float(all_vals.max(initial=0.0))
+    scale = (HALF_CALIBRATION_PEAK / peak) if peak > 0 else 1.0
+    matrix = coo_to_csr(
+        COOMatrix(
+            (phantom.grid.n_voxels, n_u * n_v),
+            np.concatenate(rows),
+            np.concatenate(cols),
+            all_vals * scale,
+        ),
+        value_dtype=np.float32,
+        index_dtype=np.int32,
+    )
+    grid_u = np.tile(us, n_v)
+    grid_v = np.repeat(vs, n_u)
+    grid_u.setflags(write=False)
+    grid_v.setflags(write=False)
+    return PhotonFPBWorkload(
+        matrix=matrix,
+        phantom=phantom,
+        beam=beam,
+        curve=curve,
+        n_u=n_u,
+        n_v=n_v,
+        beamlet_spacing_mm=beamlet_spacing,
+        sigma0_mm=SIGMA0_MM,
+        beamlet_u_mm=grid_u,
+        beamlet_v_mm=grid_v,
+        bandwidth_bound=photon_bandwidth_bound(
+            n_u, beamlet_spacing, curve
+        ),
+    )

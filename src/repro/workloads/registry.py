@@ -1,0 +1,165 @@
+"""Typed registry of deposition-matrix workload families.
+
+Everything the stack served before this module existed was one sparsity
+family: proton pencil-beam-scanning (PBS) matrices.  The registry makes
+"workload" a first-class, typed concept: a :class:`WorkloadSpec` names a
+deterministic generator, the row-cost model its partitioner should use,
+the value dtype its traffic coefficients derive from, and a cheap
+structure-faithful probe for the analyzer's traffic contract.  Every new
+sparsity family enters the system here (rule RA109 flags deposition-
+matrix construction anywhere else), so the harness, partitioner,
+autotuner, traffic model and serve layer all see the family through one
+declared interface.
+
+Generators are **seed-stable**: the same ``(seed, preset)`` regenerates
+a bitwise-identical matrix, which is what makes the serve loadtest's
+post-hoc bitwise audit and the ensemble audit possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.partition import RowCostModel, register_cost_model
+from repro.util.errors import ReproError
+
+
+class WorkloadError(ReproError):
+    """An invalid interaction with the workload registry."""
+
+
+#: generation presets every generator understands.
+WORKLOAD_PRESETS: Tuple[str, ...] = ("probe", "tiny", "bench")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One registered workload family.
+
+    ``generator(seed=..., preset=...)`` returns the family's product —
+    a single-matrix workload exposing ``.matrix`` (float32 CSR master)
+    or a :class:`~repro.workloads.ensemble.ScenarioEnsemble` exposing
+    ``.scenarios``.  ``cost_model`` is registered with
+    :mod:`repro.sparse.partition` so the ``cost`` shard policy prices
+    this family's rows with its own coefficients instead of the PBS
+    defaults.  ``value_dtype`` is the dtype the family's matrices are
+    *served* in; the analyzer derives the family's DRAM-traffic
+    coefficients from it instead of silently assuming the PBS constants.
+    ``traffic_probe`` builds a small structure-faithful matrix for the
+    RT402 counter-vs-model check (cheap enough for every CI analyze
+    run).
+    """
+
+    name: str
+    description: str
+    generator: Callable[..., Any]
+    cost_model: RowCostModel
+    #: dtype the family's served matrices store values in.
+    value_dtype: str = "float32"
+    #: True when the generator returns a :class:`ScenarioEnsemble`.
+    ensemble: bool = False
+    #: the related work this family reproduces (PAPERS.md reference).
+    paper: str = ""
+    traffic_probe: Optional[Callable[[], CSRMatrix]] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise WorkloadError("workload name must be non-empty")
+        try:
+            np.dtype(self.value_dtype)
+        except TypeError:
+            raise WorkloadError(
+                f"invalid value_dtype {self.value_dtype!r} for workload "
+                f"{self.name!r}"
+            ) from None
+
+
+_REGISTRY: Dict[str, WorkloadSpec] = {}
+
+
+def register_workload(spec: WorkloadSpec,
+                      replace: bool = False) -> WorkloadSpec:
+    """Register a workload family (and its row-cost model)."""
+    if spec.name in _REGISTRY and not replace:
+        raise WorkloadError(
+            f"workload {spec.name!r} is already registered; pass "
+            "replace=True to overwrite it deliberately"
+        )
+    register_cost_model(spec.cost_model, replace=replace)
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    """Look up a registered workload family by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise WorkloadError(
+            f"no workload named {name!r}; registered: {workload_names()}"
+        ) from None
+
+
+def workload_names() -> Tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))
+
+
+def generate(name: str, seed: int = 0, preset: str = "tiny") -> Any:
+    """Generate a workload product deterministically.
+
+    Same ``(name, seed, preset)`` -> bitwise-identical product; the
+    registry only dispatches, determinism is each generator's contract.
+    """
+    if preset not in WORKLOAD_PRESETS:
+        raise WorkloadError(
+            f"unknown preset {preset!r}; expected one of {WORKLOAD_PRESETS}"
+        )
+    return get_workload(name).generator(seed=seed, preset=preset)
+
+
+def scenario_matrices(product: Any) -> Tuple[Tuple[str, CSRMatrix], ...]:
+    """Ordered ``(scenario_name, matrix)`` pairs of a workload product.
+
+    Single-matrix workloads yield one ``("nominal", matrix)`` pair;
+    ensembles yield every scenario in **explicit scenario-index order**
+    — the order that defines how ensemble dose stacks merge.
+    """
+    scenarios = getattr(product, "scenarios", None)
+    if scenarios is not None:
+        return tuple((s.name, s.matrix) for s in scenarios)
+    return (("nominal", product.matrix),)
+
+
+def structure_stats(matrix: CSRMatrix) -> Dict[str, Any]:
+    """Structural statistics of one matrix (the bench/report vocabulary)."""
+    lengths = np.diff(matrix.indptr)
+    nonempty = lengths[lengths > 0]
+    if matrix.nnz:
+        first = matrix.indices[matrix.indptr[:-1][lengths > 0]]
+        last = matrix.indices[matrix.indptr[1:][lengths > 0] - 1]
+        bandwidth = int(np.max(last.astype(np.int64) - first))
+    else:
+        bandwidth = 0
+    # Imported here, not at module scope: repro.tune consumes dist/,
+    # which is a heavier dependency than the registry needs at import.
+    from repro.tune.config import structure_fingerprint
+
+    return {
+        "n_rows": matrix.n_rows,
+        "n_cols": matrix.n_cols,
+        "nnz": matrix.nnz,
+        "density": matrix.nnz / float(matrix.n_rows * matrix.n_cols),
+        "value_dtype": str(matrix.data.dtype),
+        "empty_row_fraction": float(np.mean(lengths == 0)),
+        "mean_row_length": float(nonempty.mean()) if nonempty.size else 0.0,
+        "max_row_length": int(lengths.max(initial=0)),
+        "p95_row_length": (
+            float(np.percentile(nonempty, 95)) if nonempty.size else 0.0
+        ),
+        "bandwidth": bandwidth,
+        "fingerprint": structure_fingerprint(matrix),
+    }

@@ -1,0 +1,178 @@
+"""VMAT aperture workload: dynamic-MLC column structure.
+
+Volumetric-modulated arc therapy delivers dose through a multi-leaf
+collimator (MLC) whose leaf pairs sweep while the gantry rotates; the
+optimization variable is one weight per *control point* (gantry angle),
+not per spot.  The deposition matrix therefore has one **column per
+control point**, and the nonzero rows of column ``k`` are exactly the
+fluence-plane voxels inside control point ``k``'s aperture — short
+contiguous runs per leaf row whose endpoints move by at most the leaf
+travel limit between consecutive control points (Tian et al., PAPERS.md).
+
+The structure is the opposite of proton PBS: PBS columns are scattered
+dose clouds over a 3-D grid; VMAT columns are unions of contiguous
+``x``-runs, one per leaf row, and adjacent columns overlap heavily.
+That makes the family row-overhead-dominated for the partitioner (many
+short rows) and gives the autotuner a fingerprint far from the PBS one.
+
+Everything is generated from ``stable_seed``-derived streams: the same
+``(seed, preset)`` reproduces leaf trajectories, fluence profile and
+matrix bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.sparse.convert import coo_to_csr
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+from repro.util.errors import ShapeError
+from repro.util.rng import make_rng, stable_seed
+
+#: generation-size presets: (leaf_pairs, positions_per_row, control_points).
+_PRESETS: Dict[str, Tuple[int, int, int]] = {
+    "probe": (12, 24, 24),
+    "tiny": (24, 40, 64),
+    "bench": (40, 64, 144),
+}
+
+#: maximum leaf travel (in position bins) between consecutive control
+#: points — the dynamic-MLC mechanical constraint the column structure
+#: must respect.
+MAX_LEAF_TRAVEL = 3
+
+#: minimum open width (position bins) of every aperture row.
+MIN_APERTURE_WIDTH = 2
+
+
+@dataclass(frozen=True)
+class VMATWorkload:
+    """A generated VMAT aperture matrix plus the MLC sequence behind it.
+
+    Row ``y * n_positions + x`` is fluence-plane voxel ``(y, x)``; column
+    ``k`` is control point ``k``.  ``leaf_left[k, y]``/``leaf_right[k, y]``
+    bound the open interval ``[left, right)`` of leaf row ``y`` at control
+    point ``k`` — the invariant tests check the matrix columns against
+    exactly these arrays.
+    """
+
+    matrix: CSRMatrix
+    n_leaf_pairs: int
+    n_positions: int
+    n_control_points: int
+    leaf_left: np.ndarray
+    leaf_right: np.ndarray
+    mu: np.ndarray
+    max_leaf_travel: int = MAX_LEAF_TRAVEL
+
+    def __post_init__(self) -> None:
+        expect = (self.n_control_points, self.n_leaf_pairs)
+        if self.leaf_left.shape != expect or self.leaf_right.shape != expect:
+            raise ShapeError(
+                f"leaf arrays must be {expect}, got "
+                f"{self.leaf_left.shape} / {self.leaf_right.shape}"
+            )
+        if self.matrix.shape != (
+            self.n_leaf_pairs * self.n_positions,
+            self.n_control_points,
+        ):
+            raise ShapeError(
+                f"matrix shape {self.matrix.shape} does not match the "
+                f"{self.n_leaf_pairs}x{self.n_positions} fluence plane with "
+                f"{self.n_control_points} control points"
+            )
+
+    @property
+    def name(self) -> str:
+        return "vmat"
+
+    def aperture_rows(self, k: int) -> np.ndarray:
+        """Sorted row indices open at control point ``k`` (the invariant)."""
+        rows = [
+            y * self.n_positions + x
+            for y in range(self.n_leaf_pairs)
+            for x in range(int(self.leaf_left[k, y]),
+                           int(self.leaf_right[k, y]))
+        ]
+        return np.asarray(rows, dtype=np.int64)
+
+
+def generate_vmat(seed: int = 0, preset: str = "tiny") -> VMATWorkload:
+    """Generate a seed-stable VMAT aperture deposition matrix.
+
+    Leaf trajectories are a bounded random walk: each leaf endpoint moves
+    at most :data:`MAX_LEAF_TRAVEL` bins per control point and every row
+    stays at least :data:`MIN_APERTURE_WIDTH` bins open, so consecutive
+    columns differ only where leaves moved.  Column ``k``'s values are
+    ``mu[k] * profile[y, x]`` — a per-control-point monitor-unit weight
+    times a static fluence profile — strictly positive everywhere inside
+    the aperture.
+    """
+    if preset not in _PRESETS:
+        raise ShapeError(
+            f"unknown vmat preset {preset!r}; expected one of "
+            f"{tuple(_PRESETS)}"
+        )
+    n_leaf, n_pos, n_cp = _PRESETS[preset]
+    rng = make_rng(stable_seed("workload", "vmat", seed, preset))
+
+    profile = 0.5 + rng.random((n_leaf, n_pos))
+    mu = 0.5 + rng.random(n_cp)
+
+    left = np.empty((n_cp, n_leaf), dtype=np.int64)
+    right = np.empty((n_cp, n_leaf), dtype=np.int64)
+    lo = rng.integers(0, n_pos - MIN_APERTURE_WIDTH, size=n_leaf)
+    hi = np.minimum(
+        lo + MIN_APERTURE_WIDTH + rng.integers(0, n_pos // 2, size=n_leaf),
+        n_pos,
+    )
+    for k in range(n_cp):
+        left[k] = lo
+        right[k] = hi
+        step = MAX_LEAF_TRAVEL + 1
+        lo = np.clip(
+            lo + rng.integers(-MAX_LEAF_TRAVEL, step, size=n_leaf),
+            0,
+            n_pos - MIN_APERTURE_WIDTH,
+        )
+        hi = np.clip(
+            hi + rng.integers(-MAX_LEAF_TRAVEL, step, size=n_leaf),
+            lo + MIN_APERTURE_WIDTH,
+            n_pos,
+        )
+
+    rows = []
+    cols = []
+    vals = []
+    for k in range(n_cp):
+        for y in range(n_leaf):
+            xs = np.arange(left[k, y], right[k, y], dtype=np.int64)
+            rows.append(y * n_pos + xs)
+            cols.append(np.full(xs.shape[0], k, dtype=np.int64))
+            vals.append(mu[k] * profile[y, left[k, y]:right[k, y]])
+    matrix = coo_to_csr(
+        COOMatrix(
+            (n_leaf * n_pos, n_cp),
+            np.concatenate(rows),
+            np.concatenate(cols),
+            np.concatenate(vals),
+        ),
+        value_dtype=np.float32,
+        index_dtype=np.int32,
+    )
+    left.setflags(write=False)
+    right.setflags(write=False)
+    mu.setflags(write=False)
+    return VMATWorkload(
+        matrix=matrix,
+        n_leaf_pairs=n_leaf,
+        n_positions=n_pos,
+        n_control_points=n_cp,
+        leaf_left=left,
+        leaf_right=right,
+        mu=mu,
+    )

@@ -32,7 +32,7 @@ class TestEngine:
             "concurrency", "cuda-source", "precision-contracts",
             "repro-lint", "traffic-model",
         ]
-        assert len(report.rules_run) == 23
+        assert len(report.rules_run) == 24
 
     def test_checker_filter(self):
         report = run_analysis(checkers=["cuda-source"])

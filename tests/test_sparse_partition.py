@@ -221,3 +221,70 @@ def test_property_greedy_prefix_imbalance_bound(seed, n_parts):
     p = partition_rows_balanced(m, n_parts)
     max_row_len = int(np.diff(m.indptr).max(initial=0))
     assert int(p.nnz_per_part.max(initial=0)) <= m.nnz / n_parts + max_row_len
+
+
+class TestCostModelRegistry:
+    """Per-workload row-cost models (the named replacement for the old
+    hard-coded ``6*nnz + 200`` PBS literals)."""
+
+    def test_pbs_is_the_named_default(self):
+        from repro.sparse.partition import PBS_COST_MODEL, get_cost_model
+
+        assert get_cost_model("pbs") is PBS_COST_MODEL
+        assert PBS_COST_MODEL.nnz_cost == 6.0
+        assert PBS_COST_MODEL.row_cost == 200.0
+
+    def test_workload_models_registered_on_import(self):
+        import repro.workloads  # noqa: F401  (registers its models)
+        from repro.sparse.partition import cost_model_names
+
+        assert {"pbs", "vmat", "photon_fpb", "robust_ensemble"} <= set(
+            cost_model_names()
+        )
+
+    def test_unknown_model_raises(self):
+        from repro.sparse.partition import get_cost_model
+        from repro.util.errors import ReproError
+
+        with pytest.raises(ReproError):
+            get_cost_model("nope")
+
+    def test_conflicting_reregistration_rejected(self):
+        from repro.sparse.partition import (
+            RowCostModel,
+            register_cost_model,
+        )
+        from repro.util.errors import ReproError
+
+        with pytest.raises(ReproError):
+            register_cost_model(
+                RowCostModel(name="pbs", nnz_cost=1.0, row_cost=1.0,
+                             description="imposter")
+            )
+
+    def test_row_costs_match_formula(self):
+        from repro.sparse.partition import get_cost_model
+
+        m = make_random_csr(np.random.default_rng(1), 6, 5, density=0.5)
+        model = get_cost_model("pbs")
+        lengths = np.diff(m.indptr)
+        np.testing.assert_allclose(
+            model.row_costs(m), 6.0 * lengths + 200.0
+        )
+
+    def test_partition_by_named_model(self, heavy_tail_csr):
+        p_pbs = partition_rows_by_cost(heavy_tail_csr, 4, cost_model="pbs")
+        p_photon = partition_rows_by_cost(
+            heavy_tail_csr, 4, cost_model="photon_fpb"
+        )
+        assert p_pbs.bounds[0] == p_photon.bounds[0] == 0
+        assert p_pbs.bounds[-1] == p_photon.bounds[-1] == (
+            heavy_tail_csr.n_rows
+        )
+
+    def test_explicit_costs_override_model(self, heavy_tail_csr):
+        a = partition_rows_by_cost(
+            heavy_tail_csr, 3, nnz_cost=6.0, row_cost=200.0
+        )
+        b = partition_rows_by_cost(heavy_tail_csr, 3, cost_model="pbs")
+        np.testing.assert_array_equal(a.bounds, b.bounds)

@@ -1,0 +1,258 @@
+"""Workload registry + generators: seed stability, structure, round-trips.
+
+The three new families make structural promises (VMAT columns follow
+leaf positions, photon rows stay inside an analytic bandwidth bound,
+ensemble scenarios share one spot grid) and one determinism promise
+(same seed, same bits).  These tests state both as properties.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.harness import convert_for_kernel
+from repro.kernels.dispatch import make_kernel
+from repro.sparse.partition import get_cost_model
+from repro.workloads import (
+    WORKLOAD_PRESETS,
+    WorkloadError,
+    WorkloadSpec,
+    generate,
+    generate_photon_fpb,
+    generate_robust_ensemble,
+    generate_vmat,
+    get_workload,
+    register_workload,
+    scenario_matrices,
+    structure_stats,
+    workload_names,
+)
+from repro.workloads.vmat import MAX_LEAF_TRAVEL, MIN_APERTURE_WIDTH
+
+seeds = st.integers(min_value=0, max_value=2**16)
+
+
+def _same_bits(a, b):
+    return (
+        np.array_equal(a.data, b.data)
+        and np.array_equal(a.indices, b.indices)
+        and np.array_equal(a.indptr, b.indptr)
+        and a.data.dtype == b.data.dtype
+    )
+
+
+class TestRegistry:
+    def test_builtin_families_registered(self):
+        assert set(workload_names()) >= {
+            "pbs", "vmat", "photon_fpb", "robust_ensemble"
+        }
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(WorkloadError, match="no workload named"):
+            get_workload("nope")
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(WorkloadError, match="preset"):
+            generate("vmat", preset="huge")
+
+    def test_duplicate_registration_rejected(self):
+        spec = get_workload("vmat")
+        with pytest.raises(WorkloadError, match="already registered"):
+            register_workload(
+                WorkloadSpec(
+                    name="vmat",
+                    description="imposter",
+                    generator=spec.generator,
+                    cost_model=spec.cost_model,
+                )
+            )
+
+    def test_reregistration_idempotent_with_replace(self):
+        spec = get_workload("vmat")
+        register_workload(spec, replace=True)
+        assert get_workload("vmat") is spec
+
+    def test_cost_models_registered_by_name(self):
+        for name in ("pbs", "vmat", "photon_fpb", "robust_ensemble"):
+            model = get_cost_model(name)
+            assert model.nnz_cost > 0 and model.row_cost > 0
+
+    def test_coefficients_derive_from_value_dtype(self):
+        # The traffic contract's invariant, stated at the registry level:
+        # bytes/nnz == declared value width + 4-byte column index.
+        for name in workload_names():
+            spec = get_workload(name)
+            expected = np.dtype(spec.value_dtype).itemsize + 4.0
+            assert spec.cost_model.nnz_cost == expected, name
+
+    def test_bad_value_dtype_rejected(self):
+        spec = get_workload("vmat")
+        with pytest.raises(WorkloadError, match="value_dtype"):
+            WorkloadSpec(
+                name="x",
+                description="",
+                generator=spec.generator,
+                cost_model=spec.cost_model,
+                value_dtype="int7",
+            )
+
+    def test_presets_cover_all_generators(self):
+        assert WORKLOAD_PRESETS == ("probe", "tiny", "bench")
+
+    def test_structure_stats_fields(self):
+        stats = structure_stats(generate_vmat(seed=0, preset="probe").matrix)
+        for key in ("n_rows", "n_cols", "nnz", "density", "bandwidth",
+                    "fingerprint", "empty_row_fraction"):
+            assert key in stats
+
+
+class TestVMATProperties:
+    @given(seed=seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_seed_stable_bitwise(self, seed):
+        a = generate_vmat(seed=seed, preset="probe")
+        b = generate_vmat(seed=seed, preset="probe")
+        assert _same_bits(a.matrix, b.matrix)
+        assert np.array_equal(a.leaf_left, b.leaf_left)
+        assert np.array_equal(a.leaf_right, b.leaf_right)
+        assert np.array_equal(a.mu, b.mu)
+
+    @given(seed=seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_columns_follow_leaf_positions(self, seed):
+        wl = generate_vmat(seed=seed, preset="probe")
+        csc_rows = {k: set() for k in range(wl.matrix.n_cols)}
+        for row in range(wl.matrix.n_rows):
+            lo, hi = wl.matrix.indptr[row], wl.matrix.indptr[row + 1]
+            for k in wl.matrix.indices[lo:hi]:
+                csc_rows[int(k)].add(row)
+        for k in range(wl.n_control_points):
+            assert csc_rows[k] == set(wl.aperture_rows(k)), (
+                f"control point {k}: column support != aperture"
+            )
+
+    @given(seed=seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_leaf_dynamics_bounded(self, seed):
+        wl = generate_vmat(seed=seed, preset="probe")
+        widths = wl.leaf_right - wl.leaf_left
+        assert np.all(widths >= MIN_APERTURE_WIDTH)
+        travel_l = np.abs(np.diff(wl.leaf_left, axis=0))
+        travel_r = np.abs(np.diff(wl.leaf_right, axis=0))
+        assert np.all(travel_l <= MAX_LEAF_TRAVEL)
+        # the right bank may additionally be dragged by the left bank's
+        # minimum-width constraint, one clamp's worth at most
+        assert np.all(travel_r <= 2 * MAX_LEAF_TRAVEL + MIN_APERTURE_WIDTH)
+
+    def test_different_seeds_differ(self):
+        a = generate_vmat(seed=0, preset="probe")
+        b = generate_vmat(seed=1, preset="probe")
+        assert not _same_bits(a.matrix, b.matrix)
+
+
+class TestPhotonFPBProperties:
+    @given(seed=st.integers(min_value=0, max_value=64))
+    @settings(max_examples=5, deadline=None)
+    def test_seed_stable_bitwise(self, seed):
+        a = generate_photon_fpb(seed=seed, preset="probe")
+        b = generate_photon_fpb(seed=seed, preset="probe")
+        assert _same_bits(a.matrix, b.matrix)
+
+    @given(seed=st.integers(min_value=0, max_value=64))
+    @settings(max_examples=5, deadline=None)
+    def test_rows_inside_bandwidth_bound(self, seed):
+        wl = generate_photon_fpb(seed=seed, preset="probe")
+        m = wl.matrix
+        for row in range(m.n_rows):
+            lo, hi = m.indptr[row], m.indptr[row + 1]
+            if hi > lo:
+                cols = m.indices[lo:hi]
+                assert cols.max() - cols.min() <= wl.bandwidth_bound
+
+    def test_banded_rows_denser_than_pbs(self):
+        photon = generate_photon_fpb(seed=0, preset="probe")
+        pbs_stats = structure_stats(
+            generate_robust_ensemble(seed=0, preset="probe").matrix
+        )
+        photon_stats = structure_stats(photon.matrix)
+        assert photon_stats["density"] > pbs_stats["density"]
+
+
+class TestEnsembleProperties:
+    @given(seed=st.integers(min_value=0, max_value=64))
+    @settings(max_examples=3, deadline=None)
+    def test_seed_stable_bitwise(self, seed):
+        a = generate_robust_ensemble(seed=seed, preset="probe")
+        b = generate_robust_ensemble(seed=seed, preset="probe")
+        assert a.n_scenarios == b.n_scenarios
+        for sa, sb in zip(a.scenarios, b.scenarios):
+            assert _same_bits(sa.matrix, sb.matrix)
+
+    @given(seed=st.integers(min_value=0, max_value=64))
+    @settings(max_examples=3, deadline=None)
+    def test_scenarios_share_shape_and_spot_grid(self, seed):
+        ens = generate_robust_ensemble(seed=seed, preset="probe")
+        shapes = {s.matrix.shape for s in ens.scenarios}
+        assert len(shapes) == 1
+        (shape,) = shapes
+        assert shape[1] == ens.spot_map.n_spots
+        assert [s.index for s in ens.scenarios] == list(
+            range(ens.n_scenarios)
+        )
+
+    def test_scenarios_structurally_distinct(self):
+        ens = generate_robust_ensemble(seed=0, preset="probe")
+        fingerprints = {
+            structure_stats(s.matrix)["fingerprint"] for s in ens.scenarios
+        }
+        assert len(fingerprints) > 1
+
+    def test_scenario_matrices_order(self):
+        ens = generate_robust_ensemble(seed=0, preset="probe")
+        pairs = scenario_matrices(ens)
+        assert [name for name, _ in pairs] == [
+            s.name for s in ens.scenarios
+        ]
+        assert pairs[0][0] == "nominal"
+
+    def test_single_matrix_workloads_wrap_as_nominal(self):
+        wl = generate_vmat(seed=0, preset="probe")
+        pairs = scenario_matrices(wl)
+        assert len(pairs) == 1
+        assert pairs[0][0] == "nominal"
+        assert pairs[0][1] is wl.matrix
+
+
+class TestKernelRoundTrip:
+    @pytest.mark.parametrize("family", ["vmat", "photon_fpb"])
+    @pytest.mark.parametrize("kernel_name", ["half_double", "single"])
+    def test_convert_and_run(self, family, kernel_name):
+        master = generate(family, seed=0, preset="probe")
+        matrix = scenario_matrices(master)[0][1]
+        converted = convert_for_kernel(matrix, kernel_name)
+        assert converted.shape == matrix.shape
+        kernel = make_kernel(kernel_name)
+        weights = np.ones(matrix.n_cols)
+        y1 = kernel.run(converted, weights).y
+        y2 = kernel.run(
+            convert_for_kernel(matrix, kernel_name), weights
+        ).y
+        assert np.array_equal(y1, y2)
+        assert np.all(np.isfinite(y1))
+        assert y1.shape == (matrix.n_rows,)
+
+    def test_conversion_deterministic_bits(self):
+        matrix = generate_vmat(seed=3, preset="probe").matrix
+        a = convert_for_kernel(matrix, "half_double")
+        b = convert_for_kernel(matrix, "half_double")
+        assert np.array_equal(a.data, b.data)
+
+    def test_fingerprints_distinguish_families(self):
+        fps = {
+            name: structure_stats(
+                scenario_matrices(generate(name, 0, "probe"))[0][1]
+            )["fingerprint"]
+            for name in ("vmat", "photon_fpb", "robust_ensemble")
+        }
+        assert len(set(fps.values())) == 3

@@ -1,0 +1,199 @@
+"""CLI workloads verbs: list, run (bitwise audit), bench (JSON record).
+
+Plus the analyzer extensions that ride on the registry: per-workload
+traffic coefficients (RT401/RT402) and the RA109 construction fence.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.recording import (
+    WORKLOADS_BENCH_SCHEMA,
+    workloads_bench_record,
+    write_workloads_bench,
+)
+from repro.cli import main
+
+FAST = ["--preset", "probe", "--shards", "1", "2"]
+
+
+class TestWorkloadsCLI:
+    def test_list(self, capsys):
+        rc = main(["workloads", "list"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for name in ("pbs", "vmat", "photon_fpb", "robust_ensemble"):
+            assert name in out
+
+    @pytest.mark.parametrize("workload", ["vmat", "photon_fpb"])
+    def test_run_single_matrix(self, workload, capsys):
+        rc = main(["workloads", "run", "--workload", workload] + FAST)
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "bitwise" in out
+        assert "NO" not in out
+
+    def test_run_ensemble(self, capsys):
+        rc = main(
+            ["workloads", "run", "--workload", "robust_ensemble"] + FAST
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "setup+u1" in out  # scenario rows are reported
+        assert "serve batched_3workers_reversed" in out
+
+    def test_bench_writes_record(self, tmp_path, capsys):
+        target = tmp_path / "BENCH_workloads.json"
+        cache = tmp_path / "tune-cache.json"
+        rc = main(
+            ["workloads", "bench", "--workload", "vmat",
+             "--workload", "photon_fpb", "--json", str(target),
+             "--cache", str(cache)] + FAST
+        )
+        assert rc == 0
+        record = json.loads(target.read_text())
+        assert record["schema"] == WORKLOADS_BENCH_SCHEMA
+        assert record["all_bitwise_identical"] is True
+        # structurally different families key distinct tuning entries
+        assert record["distinct_fingerprints"] == 2
+        names = [w["workload"] for w in record["workloads"]]
+        assert names == ["vmat", "photon_fpb"]
+        for w in record["workloads"]:
+            assert w["scaling"]["all_bitwise_identical"] is True
+            assert "fingerprint" in w["structure"]
+        cache_record = json.loads(cache.read_text())
+        assert len(cache_record["entries"]) == 2
+
+    def test_loadtest_workload_flag(self, capsys):
+        rc = main(
+            ["serve", "loadtest", "--workload", "vmat", "--preset",
+             "probe", "--requests", "4", "--clients", "2", "--plans", "1"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "bitwise identical to stand-alone" in out
+
+
+class TestRecordingHelpers:
+    def test_record_requires_schema(self, tmp_path):
+        with pytest.raises(ValueError, match="schema"):
+            write_workloads_bench(
+                {"schema": "wrong"}, str(tmp_path / "x.json")
+            )
+
+    def test_distinct_fingerprint_count(self):
+        record = workloads_bench_record(
+            seed=0, preset="probe", kernel="half_double", device="A100",
+            shard_counts=[1],
+            workloads=[
+                {"structure": {"fingerprint": "aaa"},
+                 "all_bitwise_identical": True},
+                {"structure": {"fingerprint": "aaa"},
+                 "all_bitwise_identical": True},
+                {"structure": {"fingerprint": "bbb"},
+                 "all_bitwise_identical": False},
+            ],
+        )
+        assert record["distinct_fingerprints"] == 2
+        assert record["all_bitwise_identical"] is False
+
+
+class TestWorkloadTrafficContract:
+    def test_registry_coefficients_pass(self):
+        from repro.analyze.traffic_check import check_workload_coefficients
+
+        assert check_workload_coefficients() == []
+
+    def test_probes_pass(self):
+        from repro.analyze.traffic_check import check_workload_probe_traffic
+
+        assert check_workload_probe_traffic() == []
+
+    def test_pbs_constant_on_photon_rows_named(self):
+        # the motivating violation: float32 photon rows booked at the
+        # PBS 6 B/nnz constant must be flagged, naming the workload
+        from repro.analyze.traffic_check import check_workload_coefficients
+        from repro.sparse.partition import PBS_COST_MODEL
+        from repro.workloads import get_workload, register_workload
+
+        spec = get_workload("photon_fpb")
+        broken = type(spec)(
+            name=spec.name, description=spec.description,
+            generator=spec.generator, cost_model=PBS_COST_MODEL,
+            value_dtype=spec.value_dtype, paper=spec.paper,
+            traffic_probe=spec.traffic_probe,
+        )
+        register_workload(broken, replace=True)
+        try:
+            findings = check_workload_coefficients()
+            assert any(
+                f.rule_id == "RT401"
+                and "workload[photon_fpb]" in f.location
+                for f in findings
+            )
+        finally:
+            register_workload(spec, replace=True)
+
+    def test_dtype_lie_named_by_probe_check(self):
+        from repro.analyze.traffic_check import check_workload_probe_traffic
+        from repro.workloads import get_workload, register_workload
+
+        spec = get_workload("vmat")
+        lying = type(spec)(
+            name=spec.name, description=spec.description,
+            generator=spec.generator, cost_model=spec.cost_model,
+            value_dtype="float64", paper=spec.paper,
+            traffic_probe=spec.traffic_probe,
+        )
+        register_workload(lying, replace=True)
+        try:
+            findings = check_workload_probe_traffic()
+            assert any(
+                f.rule_id == "RT402" and "workload[vmat]" in f.location
+                for f in findings
+            )
+        finally:
+            register_workload(spec, replace=True)
+
+
+class TestRA109:
+    def test_flags_construction_outside_workloads(self):
+        from repro.analyze.source_lint import lint_source
+
+        src = (
+            "from repro.dose.deposition import build_deposition_matrix\n"
+            "dep = build_deposition_matrix(phantom, beam)\n"
+        )
+        findings = lint_source(src, "serve/adhoc.py")
+        assert [f.rule_id for f in findings] == ["RA109"]
+
+    def test_workloads_and_dose_exempt(self):
+        from repro.analyze.source_lint import lint_source
+
+        src = (
+            "from repro.dose.deposition import build_deposition_matrix\n"
+            "dep = build_deposition_matrix(phantom, beam)\n"
+        )
+        assert lint_source(src, "workloads/gen.py") == []
+        assert lint_source(src, "dose/engine.py") == []
+
+    def test_allow_marker_suppresses(self):
+        from repro.analyze.source_lint import lint_source
+
+        src = (
+            "from repro.dose import DoseDepositionMatrix\n"
+            "d = DoseDepositionMatrix(beam=b, spot_map=s, matrix=m,"
+            "  half_safety_scale=1.0)"
+            "  # analyze: allow[RA109] -- sanctioned\n"
+        )
+        assert lint_source(src, "plans/x.py") == []
+
+    def test_package_is_clean(self):
+        import repro
+        from pathlib import Path
+
+        from repro.analyze.source_lint import lint_package
+
+        findings = lint_package(Path(repro.__file__).parent)
+        assert [f for f in findings if f.rule_id == "RA109"] == []
